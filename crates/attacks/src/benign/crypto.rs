@@ -1,0 +1,248 @@
+//! Crypto-kernel benign programs: table-lookup ciphers and
+//! square-and-multiply exponentiation.
+//!
+//! These are the "hard" benign cases: like cache attacks they perform many
+//! data-dependent table lookups, but they lack the flush/evict + timed
+//! re-access structure that defines a CSCA.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sca_isa::{AluOp, Cond, MemRef, ProgramBuilder, Reg};
+
+use crate::layout::BENIGN_BASE;
+use crate::sample::Sample;
+
+const SBOX: u64 = BENIGN_BASE + 0x40000;
+const STATE_OUT: u64 = BENIGN_BASE + 0x50000;
+
+/// Pick and emit one crypto kernel.
+pub fn generate(rng: &mut StdRng) -> Sample {
+    match rng.gen_range(0..4u32) {
+        0 => aes_like(
+            rng.gen_range(6..14),
+            rng.gen_range(8..32),
+            rng.gen_range(1..0xffff),
+        ),
+        1 => rsa_like(rng.gen_range(16..48), rng.gen::<u32>() as i64),
+        2 => stream_cipher(rng.gen_range(32..128), rng.gen_range(1..0xffff)),
+        _ => crc_table(rng.gen_range(48..160), rng.gen_range(1..0xffff)),
+    }
+}
+
+/// Table-driven CRC over a message buffer: one table lookup per byte,
+/// structurally the same data-dependent-lookup shape as AES but with a
+/// chained accumulator (the lookup index depends on the running CRC).
+fn crc_table(len: i64, seed: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("crypto-crc-{len}-{seed}"));
+    emit_sbox_init(&mut b, seed & 0xff);
+    super::leetcode::emit_array_init(&mut b, BENIGN_BASE, len, 13, seed & 0xfff);
+    let (i, v, crc, addr) = (Reg::R1, Reg::R2, Reg::R4, Reg::R5);
+    b.mov_imm(crc, 0xffff);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    // v = message[i]
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(v, MemRef::base(addr));
+    // index = (crc ^ v) & 0xff; crc = (crc >> 8) ^ table[index]
+    b.alu(AluOp::Xor, v, crc);
+    b.alu_imm(AluOp::And, v, 0xff);
+    b.alu_imm(AluOp::Shl, v, 3);
+    b.alu_imm(AluOp::Add, v, SBOX as i64);
+    b.load(v, MemRef::base(v));
+    b.alu_imm(AluOp::Shr, crc, 8);
+    b.alu(AluOp::Xor, crc, v);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, len);
+    b.br(Cond::Lt, top);
+    b.store(crc, MemRef::abs(STATE_OUT as i64));
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// Emit an S-box initialization loop: `sbox[i] = (i * 167 + c) & 0xff`.
+fn emit_sbox_init(b: &mut ProgramBuilder, c: i64) {
+    let (i, v, addr) = (Reg::R1, Reg::R2, Reg::R3);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    b.mov_reg(v, i);
+    b.alu_imm(AluOp::Mul, v, 167);
+    b.alu_imm(AluOp::Add, v, c);
+    b.alu_imm(AluOp::And, v, 0xff);
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, SBOX as i64);
+    b.store(v, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, 256);
+    b.br(Cond::Lt, top);
+}
+
+/// AES-like: `rounds` of byte-wise S-box substitution and mixing over a
+/// `blocks`-word state, with key addition.
+fn aes_like(rounds: i64, blocks: i64, key: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("crypto-aes-{rounds}-{blocks}-{key}"));
+    emit_sbox_init(&mut b, key & 0xff);
+    let (r, blk, state, byte, addr, acc) =
+        (Reg::R1, Reg::R2, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    // state starts as blk * 0x9e3779b9 ^ key
+    b.mov_imm(r, 0);
+    let round_top = b.here();
+    b.mov_imm(blk, 0);
+    let blk_top = b.here();
+    b.mov_reg(state, blk);
+    b.alu_imm(AluOp::Mul, state, 0x9e37_79b9);
+    b.alu_imm(AluOp::Xor, state, key);
+    b.alu(AluOp::Xor, state, r);
+    // substitute 4 bytes through the sbox
+    b.mov_imm(acc, 0);
+    for shift in [0i64, 8, 16, 24] {
+        b.mov_reg(byte, state);
+        b.alu_imm(AluOp::Shr, byte, shift);
+        b.alu_imm(AluOp::And, byte, 0xff);
+        b.mov_reg(addr, byte);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, SBOX as i64);
+        b.load(byte, MemRef::base(addr));
+        b.alu_imm(AluOp::Shl, byte, shift);
+        b.alu(AluOp::Or, acc, byte);
+    }
+    // mix and store
+    b.alu_imm(AluOp::Mul, acc, 0x0101_0101);
+    b.alu_imm(AluOp::And, acc, 0xffff_ffff);
+    b.mov_reg(addr, blk);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, STATE_OUT as i64);
+    b.store(acc, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, blk, 1);
+    b.cmp_imm(blk, blocks);
+    b.br(Cond::Lt, blk_top);
+    b.alu_imm(AluOp::Add, r, 1);
+    b.cmp_imm(r, rounds);
+    b.br(Cond::Lt, round_top);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// RSA-like square-and-multiply: scans exponent bits, squaring always and
+/// multiplying on set bits — the classic secret-dependent-branch kernel.
+fn rsa_like(bits: i64, exponent: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("crypto-rsa-{bits}-{exponent}"));
+    let (i, e, bit, acc, base, addr) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    b.mov_imm(e, exponent);
+    b.mov_imm(acc, 1);
+    b.mov_imm(base, 0x0001_2345);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    // square
+    b.alu(AluOp::Mul, acc, acc);
+    b.alu_imm(AluOp::And, acc, 0x3fff_ffff);
+    // test bit i
+    b.mov_reg(bit, e);
+    b.alu(AluOp::Shr, bit, i);
+    b.alu_imm(AluOp::And, bit, 1);
+    b.cmp_imm(bit, 0);
+    let skip = b.new_label();
+    b.br(Cond::Eq, skip);
+    b.alu(AluOp::Mul, acc, base);
+    b.alu_imm(AluOp::And, acc, 0x3fff_ffff);
+    // table write of the running value (mimics Montgomery scratch)
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, (BENIGN_BASE + 0x60000) as i64);
+    b.store(acc, MemRef::base(addr));
+    b.bind(skip);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, bits);
+    b.br(Cond::Lt, top);
+    b.store(acc, MemRef::abs(STATE_OUT as i64));
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// A keystream generator XORing table bytes over a message buffer.
+fn stream_cipher(len: i64, key: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("crypto-stream-{len}-{key}"));
+    emit_sbox_init(&mut b, key & 0xff);
+    super::leetcode::emit_array_init(&mut b, BENIGN_BASE, len, 5, key & 0xfff);
+    let (i, v, k, addr) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(v, MemRef::base(addr));
+    // k = sbox[(v + i) & 0xff]
+    b.mov_reg(k, v);
+    b.alu(AluOp::Add, k, i);
+    b.alu_imm(AluOp::And, k, 0xff);
+    b.alu_imm(AluOp::Shl, k, 3);
+    b.alu_imm(AluOp::Add, k, SBOX as i64);
+    b.load(k, MemRef::base(k));
+    b.alu(AluOp::Xor, v, k);
+    b.store(v, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, len);
+    b.br(Cond::Lt, top);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sca_cpu::{CpuConfig, Machine, Victim};
+
+    #[test]
+    fn all_crypto_kernels_halt() {
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = generate(&mut rng);
+            let mut m = Machine::new(CpuConfig::default());
+            let t = m.run(&s.program, &Victim::None).expect("run");
+            assert!(t.halted, "{} did not halt", s.name());
+        }
+    }
+
+    #[test]
+    fn crc_depends_on_the_message() {
+        let run = |seed: i64| {
+            let s = crc_table(64, seed);
+            let mut m = Machine::new(CpuConfig::default());
+            m.run(&s.program, &Victim::None).expect("run");
+            m.read_word(STATE_OUT)
+        };
+        assert_ne!(run(11), run(12), "different messages, different CRCs");
+        assert_eq!(run(11), run(11), "deterministic");
+    }
+
+    #[test]
+    fn rsa_like_depends_on_exponent() {
+        let a = rsa_like(20, 0b1010_1010);
+        let b = rsa_like(20, 0b1111_0000);
+        let run = |s: &Sample| {
+            let mut m = Machine::new(CpuConfig::default());
+            m.run(&s.program, &Victim::None).expect("run");
+            m.read_word(STATE_OUT)
+        };
+        assert_ne!(run(&a), run(&b));
+    }
+
+    #[test]
+    fn aes_like_is_memory_heavy() {
+        let s = aes_like(8, 16, 99);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &Victim::None).expect("run");
+        let loads = s
+            .program
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, sca_isa::Inst::Load { .. }))
+            .count();
+        assert!(loads >= 4, "table lookups present");
+        assert!(t.totals.hpc_value() > 100, "plenty of cache events");
+    }
+}

@@ -1,0 +1,911 @@
+//! LeetCode-style benign kernels: sorts, searches, dynamic programming.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sca_isa::{AluOp, Cond, MemRef, ProgramBuilder, Reg};
+
+use crate::layout::BENIGN_BASE;
+use crate::sample::Sample;
+
+/// Emit a loop initializing `n` words at `base` with a cheap in-program
+/// PRNG (`x = x * a + c` style), so the data is seed-dependent without a
+/// store per element in the program text.
+pub(crate) fn emit_array_init(b: &mut ProgramBuilder, base: u64, n: i64, mul: i64, add: i64) {
+    let (i, x, addr) = (Reg::R1, Reg::R2, Reg::R3);
+    b.mov_imm(i, 0);
+    b.mov_imm(x, add);
+    let top = b.here();
+    b.alu_imm(AluOp::Mul, x, mul);
+    b.alu_imm(AluOp::Add, x, add);
+    b.alu_imm(AluOp::And, x, 0xffff);
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, base as i64);
+    b.store(x, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n);
+    b.br(Cond::Lt, top);
+}
+
+/// Pick and emit one of the LeetCode-style kernels.
+pub fn generate(rng: &mut StdRng) -> Sample {
+    let kernel = rng.gen_range(0..14u32);
+    let n = rng.gen_range(24..96i64);
+    let mul = rng.gen_range(3..9i64) * 2 + 1;
+    let add = rng.gen_range(1..1000i64);
+    match kernel {
+        0 => bubble_sort(n, mul, add),
+        1 => binary_search(n, mul, add, rng.gen_range(1..200)),
+        2 => two_sum(n, mul, add, rng.gen_range(100..2000)),
+        3 => fib_dp(n + 20, add),
+        4 => max_subarray(n, mul, add),
+        5 => prefix_sums(n, mul, add),
+        6 => matrix_transpose(rng.gen_range(5..12), mul, add),
+        7 => rolling_hash(n, mul, add),
+        8 => quicksort(n, mul, add),
+        9 => string_search(n + 40, mul, add),
+        10 => graph_bfs(1 << rng.gen_range(4..6u32), mul, add),
+        11 => radix_sort(n, mul, add),
+        12 => tokenizer(n + 60, mul, add),
+        _ => lru_sim(n, rng.gen_range(4..9), mul, add),
+    }
+}
+
+/// Iterative quicksort (Lomuto partition) with an explicit stack of
+/// `(lo, hi)` ranges kept in memory — exercises pointer-style data
+/// structures no other kernel has.
+fn quicksort(n: i64, mul: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-qsort-{n}-{mul}-{add}"));
+    emit_array_init(&mut b, BENIGN_BASE, n, mul, add);
+    let stack = (BENIGN_BASE + 0x30000) as i64;
+    let (sp, lo, hi, i, j, addr) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    let (pivot, v, tmp) = (Reg::R7, Reg::R8, Reg::R9);
+
+    // push (0, n-1)
+    b.mov_imm(sp, stack);
+    b.mov_imm(lo, 0);
+    b.store(lo, MemRef::base(sp));
+    b.mov_imm(hi, n - 1);
+    b.store(hi, MemRef::base_disp(sp, 8));
+    b.alu_imm(AluOp::Add, sp, 16);
+
+    let loop_top = b.here();
+    // empty stack => done
+    b.cmp_imm(sp, stack);
+    let done = b.new_label();
+    b.br(Cond::Le, done);
+    // pop (lo, hi)
+    b.alu_imm(AluOp::Sub, sp, 16);
+    b.load(lo, MemRef::base(sp));
+    b.load(hi, MemRef::base_disp(sp, 8));
+    b.cmp(lo, hi);
+    b.br(Cond::Ge, loop_top);
+
+    // Lomuto partition with pivot = a[hi]
+    b.mov_reg(addr, hi);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(pivot, MemRef::base(addr));
+    b.mov_reg(i, lo);
+    b.mov_reg(j, lo);
+    let part_top = b.here();
+    b.cmp(j, hi);
+    let part_done = b.new_label();
+    b.br(Cond::Ge, part_done);
+    b.mov_reg(addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(v, MemRef::base(addr));
+    b.cmp(v, pivot);
+    let no_swap = b.new_label();
+    b.br(Cond::Ge, no_swap);
+    // swap a[i], a[j]
+    b.mov_reg(tmp, i);
+    b.alu_imm(AluOp::Shl, tmp, 3);
+    b.alu_imm(AluOp::Add, tmp, BENIGN_BASE as i64);
+    b.load(Reg::R10, MemRef::base(tmp));
+    b.store(v, MemRef::base(tmp));
+    b.store(Reg::R10, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.bind(no_swap);
+    b.alu_imm(AluOp::Add, j, 1);
+    b.jmp(part_top);
+    b.bind(part_done);
+    // swap a[i], a[hi] (pivot into place)
+    b.mov_reg(addr, hi);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.mov_reg(tmp, i);
+    b.alu_imm(AluOp::Shl, tmp, 3);
+    b.alu_imm(AluOp::Add, tmp, BENIGN_BASE as i64);
+    b.load(Reg::R10, MemRef::base(tmp));
+    b.store(pivot, MemRef::base(tmp));
+    b.store(Reg::R10, MemRef::base(addr));
+
+    // push (lo, i-1) if nonempty (guards unsigned underflow at i == 0)
+    b.cmp(i, lo);
+    let skip_left = b.new_label();
+    b.br(Cond::Le, skip_left);
+    b.mov_reg(tmp, i);
+    b.alu_imm(AluOp::Sub, tmp, 1);
+    b.store(lo, MemRef::base(sp));
+    b.store(tmp, MemRef::base_disp(sp, 8));
+    b.alu_imm(AluOp::Add, sp, 16);
+    b.bind(skip_left);
+    // push (i+1, hi) if nonempty
+    b.mov_reg(tmp, i);
+    b.alu_imm(AluOp::Add, tmp, 1);
+    b.cmp(tmp, hi);
+    let skip_right = b.new_label();
+    b.br(Cond::Ge, skip_right);
+    b.store(tmp, MemRef::base(sp));
+    b.store(hi, MemRef::base_disp(sp, 8));
+    b.alu_imm(AluOp::Add, sp, 16);
+    b.bind(skip_right);
+    b.jmp(loop_top);
+
+    b.bind(done);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// Naive substring search: count occurrences of a short pattern in a
+/// pseudo-random byte string (two nested scans with early exit).
+fn string_search(n: i64, mul: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-strstr-{n}-{mul}-{add}"));
+    emit_array_init(&mut b, BENIGN_BASE, n, mul, add);
+    // pattern = first 3 elements of the text itself (guaranteed >= 1 match)
+    let (i, j, addr, tv, pv, count) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    b.mov_imm(count, 0);
+    b.mov_imm(i, 0);
+    let outer = b.here();
+    b.mov_imm(j, 0);
+    let inner = b.here();
+    // tv = text[i + j]
+    b.mov_reg(addr, i);
+    b.alu(AluOp::Add, addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(tv, MemRef::base(addr));
+    // pv = text[j] (the pattern)
+    b.mov_reg(addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(pv, MemRef::base(addr));
+    b.cmp(tv, pv);
+    let mismatch = b.new_label();
+    b.br(Cond::Ne, mismatch);
+    b.alu_imm(AluOp::Add, j, 1);
+    b.cmp_imm(j, 3);
+    b.br(Cond::Lt, inner);
+    b.alu_imm(AluOp::Add, count, 1);
+    b.bind(mismatch);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n - 3);
+    b.br(Cond::Lt, outer);
+    b.store(count, MemRef::abs((BENIGN_BASE + 0x10000) as i64));
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// Software LRU simulation: a move-to-front list of `ways` slots over a
+/// request stream, counting hits — a miniature of what buffer caches do.
+fn lru_sim(n_requests: i64, ways: i64, mul: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-lru-{n_requests}-{ways}-{mul}"));
+    emit_array_init(&mut b, BENIGN_BASE, n_requests, mul, add);
+    let slots = (BENIGN_BASE + 0x40000) as i64;
+    let (i, key, w, addr, v, hits, tmp) =
+        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    b.mov_imm(hits, 0);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    // key = requests[i] & 0xf | 1
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(key, MemRef::base(addr));
+    b.alu_imm(AluOp::And, key, 0xf);
+    b.alu_imm(AluOp::Or, key, 1);
+    // scan slots for the key
+    b.mov_imm(w, 0);
+    let scan = b.here();
+    b.mov_reg(addr, w);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, slots);
+    b.load(v, MemRef::base(addr));
+    b.cmp(v, key);
+    let found = b.new_label();
+    b.br(Cond::Eq, found);
+    b.alu_imm(AluOp::Add, w, 1);
+    b.cmp_imm(w, ways);
+    b.br(Cond::Lt, scan);
+    // miss: shift everything down one slot, insert at front
+    b.mov_imm(w, ways - 1);
+    let shift = b.here();
+    b.cmp_imm(w, 0);
+    let insert = b.new_label();
+    b.br(Cond::Le, insert);
+    b.mov_reg(addr, w);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, slots);
+    b.load(tmp, MemRef::base_disp(addr, -8));
+    b.store(tmp, MemRef::base(addr));
+    b.alu_imm(AluOp::Sub, w, 1);
+    b.jmp(shift);
+    b.bind(insert);
+    b.store(key, MemRef::abs(slots));
+    let next = b.new_label();
+    b.jmp(next);
+    b.bind(found);
+    b.alu_imm(AluOp::Add, hits, 1);
+    b.bind(next);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n_requests);
+    b.br(Cond::Lt, top);
+    b.store(hits, MemRef::abs((BENIGN_BASE + 0x10000) as i64));
+    b.halt();
+    Sample::benign(b.build())
+}
+
+fn bubble_sort(n: i64, mul: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-bubble-{n}-{mul}-{add}"));
+    emit_array_init(&mut b, BENIGN_BASE, n, mul, add);
+    let (i, j, ai, aj, va, vb) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    b.mov_imm(i, 0);
+    let outer = b.here();
+    b.mov_imm(j, 0);
+    let inner = b.here();
+    // load a[j], a[j+1]
+    b.mov_reg(ai, j);
+    b.alu_imm(AluOp::Shl, ai, 3);
+    b.alu_imm(AluOp::Add, ai, BENIGN_BASE as i64);
+    b.mov_reg(aj, ai);
+    b.alu_imm(AluOp::Add, aj, 8);
+    b.load(va, MemRef::base(ai));
+    b.load(vb, MemRef::base(aj));
+    b.cmp(va, vb);
+    let no_swap = b.new_label();
+    b.br(Cond::Le, no_swap);
+    b.store(vb, MemRef::base(ai));
+    b.store(va, MemRef::base(aj));
+    b.bind(no_swap);
+    b.alu_imm(AluOp::Add, j, 1);
+    b.cmp_imm(j, n - 1);
+    b.br(Cond::Lt, inner);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n);
+    b.br(Cond::Lt, outer);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+fn binary_search(n: i64, mul: i64, add: i64, target: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-bsearch-{n}-{mul}-{target}"));
+    // sorted array: a[i] = i * mul + add
+    let (i, x, addr) = (Reg::R1, Reg::R2, Reg::R3);
+    b.mov_imm(i, 0);
+    let init = b.here();
+    b.mov_reg(x, i);
+    b.alu_imm(AluOp::Mul, x, mul);
+    b.alu_imm(AluOp::Add, x, add);
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.store(x, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n);
+    b.br(Cond::Lt, init);
+
+    // repeated searches for target+k
+    let (lo, hi, mid, v, t, k) = (Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9);
+    b.mov_imm(k, 0);
+    let search_top = b.here();
+    b.mov_imm(lo, 0);
+    b.mov_imm(hi, n);
+    b.mov_imm(t, target);
+    b.alu(AluOp::Add, t, k);
+    let loop_top = b.here();
+    b.cmp(lo, hi);
+    let done = b.new_label();
+    b.br(Cond::Ge, done);
+    b.mov_reg(mid, lo);
+    b.alu(AluOp::Add, mid, hi);
+    b.alu_imm(AluOp::Shr, mid, 1);
+    b.mov_reg(addr, mid);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(v, MemRef::base(addr));
+    b.cmp(v, t);
+    let go_right = b.new_label();
+    b.br(Cond::Lt, go_right);
+    b.mov_reg(hi, mid);
+    b.jmp(loop_top);
+    b.bind(go_right);
+    b.mov_reg(lo, mid);
+    b.alu_imm(AluOp::Add, lo, 1);
+    b.jmp(loop_top);
+    b.bind(done);
+    b.alu_imm(AluOp::Add, k, 7);
+    b.cmp_imm(k, 20 * 7);
+    b.br(Cond::Lt, search_top);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+fn two_sum(n: i64, mul: i64, add: i64, target: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-twosum-{n}-{mul}-{target}"));
+    emit_array_init(&mut b, BENIGN_BASE, n, mul, add);
+    let (i, j, ai, aj, va, vb, sum) =
+        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    b.mov_imm(i, 0);
+    let outer = b.here();
+    b.mov_reg(j, i);
+    b.alu_imm(AluOp::Add, j, 1);
+    let inner = b.here();
+    b.mov_reg(ai, i);
+    b.alu_imm(AluOp::Shl, ai, 3);
+    b.alu_imm(AluOp::Add, ai, BENIGN_BASE as i64);
+    b.load(va, MemRef::base(ai));
+    b.mov_reg(aj, j);
+    b.alu_imm(AluOp::Shl, aj, 3);
+    b.alu_imm(AluOp::Add, aj, BENIGN_BASE as i64);
+    b.load(vb, MemRef::base(aj));
+    b.mov_reg(sum, va);
+    b.alu(AluOp::Add, sum, vb);
+    b.cmp_imm(sum, target);
+    let not_found = b.new_label();
+    b.br(Cond::Ne, not_found);
+    // record the pair
+    b.store(va, MemRef::abs((BENIGN_BASE + 0x10000) as i64));
+    b.store(vb, MemRef::abs((BENIGN_BASE + 0x10008) as i64));
+    b.bind(not_found);
+    b.alu_imm(AluOp::Add, j, 1);
+    b.cmp_imm(j, n);
+    b.br(Cond::Lt, inner);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n - 1);
+    b.br(Cond::Lt, outer);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+fn fib_dp(n: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-fib-{n}-{add}"));
+    let (i, addr, a, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R5);
+    // dp[0] = 1, dp[1] = add
+    b.mov_imm(a, 1);
+    b.store(a, MemRef::abs(BENIGN_BASE as i64));
+    b.mov_imm(a, add);
+    b.store(a, MemRef::abs(BENIGN_BASE as i64 + 8));
+    b.mov_imm(i, 2);
+    let top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(a, MemRef::base_disp(addr, -8));
+    b.load(c, MemRef::base_disp(addr, -16));
+    b.alu(AluOp::Add, a, c);
+    b.alu_imm(AluOp::And, a, 0xffff_ffff);
+    b.store(a, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n);
+    b.br(Cond::Lt, top);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+fn max_subarray(n: i64, mul: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-kadane-{n}-{mul}-{add}"));
+    emit_array_init(&mut b, BENIGN_BASE, n, mul, add);
+    let (i, addr, v, cur, best) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+    b.mov_imm(cur, 0);
+    b.mov_imm(best, 0);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(v, MemRef::base(addr));
+    b.alu_imm(AluOp::Sub, v, 0x8000); // center values around zero-ish
+    b.alu(AluOp::Add, cur, v);
+    b.cmp_imm(cur, 0);
+    let keep = b.new_label();
+    b.br(Cond::Ge, keep);
+    b.mov_imm(cur, 0);
+    b.bind(keep);
+    b.cmp(cur, best);
+    let no_update = b.new_label();
+    b.br(Cond::Le, no_update);
+    b.mov_reg(best, cur);
+    b.bind(no_update);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n);
+    b.br(Cond::Lt, top);
+    b.store(best, MemRef::abs((BENIGN_BASE + 0x10000) as i64));
+    b.halt();
+    Sample::benign(b.build())
+}
+
+fn prefix_sums(n: i64, mul: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-prefix-{n}-{mul}-{add}"));
+    emit_array_init(&mut b, BENIGN_BASE, n, mul, add);
+    let (i, addr, v, acc, out) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+    b.mov_imm(acc, 0);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(v, MemRef::base(addr));
+    b.alu(AluOp::Add, acc, v);
+    b.mov_reg(out, addr);
+    b.alu_imm(AluOp::Add, out, 0x8000);
+    b.store(acc, MemRef::base(out));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n);
+    b.br(Cond::Lt, top);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+fn matrix_transpose(dim: i64, mul: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-transpose-{dim}-{mul}"));
+    emit_array_init(&mut b, BENIGN_BASE, dim * dim, mul, add);
+    let (i, j, src, dst, v, t) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    b.mov_imm(i, 0);
+    let outer = b.here();
+    b.mov_imm(j, 0);
+    let inner = b.here();
+    // src = base + (i*dim + j)*8 ; dst = out + (j*dim + i)*8
+    b.mov_reg(src, i);
+    b.alu_imm(AluOp::Mul, src, dim);
+    b.alu(AluOp::Add, src, j);
+    b.alu_imm(AluOp::Shl, src, 3);
+    b.alu_imm(AluOp::Add, src, BENIGN_BASE as i64);
+    b.mov_reg(dst, j);
+    b.alu_imm(AluOp::Mul, dst, dim);
+    b.alu(AluOp::Add, dst, i);
+    b.alu_imm(AluOp::Shl, dst, 3);
+    b.alu_imm(AluOp::Add, dst, (BENIGN_BASE + 0x20000) as i64);
+    b.load(v, MemRef::base(src));
+    b.store(v, MemRef::base(dst));
+    b.mov_reg(t, v);
+    b.alu_imm(AluOp::Add, j, 1);
+    b.cmp_imm(j, dim);
+    b.br(Cond::Lt, inner);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, dim);
+    b.br(Cond::Lt, outer);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+fn rolling_hash(n: i64, mul: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-hash-{n}-{mul}-{add}"));
+    emit_array_init(&mut b, BENIGN_BASE, n, mul, add);
+    let (i, addr, v, h) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    b.mov_imm(h, 5381);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(v, MemRef::base(addr));
+    b.alu_imm(AluOp::Mul, h, 33);
+    b.alu(AluOp::Xor, h, v);
+    b.alu_imm(AluOp::And, h, 0x7fff_ffff);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n);
+    b.br(Cond::Lt, top);
+    b.store(h, MemRef::abs((BENIGN_BASE + 0x10000) as i64));
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// Breadth-first search over a synthetic out-degree-2 digraph stored as
+/// an adjacency array, with an explicit in-memory queue and visited map —
+/// irregular, data-dependent pointer-ish traffic no other kernel has.
+fn graph_bfs(nodes: i64, mul: i64, add: i64) -> Sample {
+    assert!(nodes.count_ones() == 1, "graph_bfs needs a power-of-two node count");
+    let mut b = ProgramBuilder::new(format!("leet-bfs-{nodes}-{mul}-{add}"));
+    let adj = BENIGN_BASE as i64; // adj[2i], adj[2i+1]
+    let visited = (BENIGN_BASE + 0x10000) as i64;
+    let queue = (BENIGN_BASE + 0x20000) as i64;
+    let (i, x, addr, head, tail, v) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    let count = Reg::R7;
+
+    // adjacency: adj[2i] = (i*mul + add) % nodes, adj[2i+1] = (i + add) % nodes
+    b.mov_imm(i, 0);
+    let init_top = b.here();
+    b.mov_reg(x, i);
+    b.alu_imm(AluOp::Mul, x, mul);
+    b.alu_imm(AluOp::Add, x, add);
+    b.alu_imm(AluOp::And, x, nodes - 1);
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 4);
+    b.alu_imm(AluOp::Add, addr, adj);
+    b.store(x, MemRef::base(addr));
+    b.mov_reg(x, i);
+    b.alu_imm(AluOp::Add, x, add);
+    b.alu_imm(AluOp::And, x, nodes - 1);
+    b.store(x, MemRef::base_disp(addr, 8));
+    // visited[i] = 0
+    b.mov_imm(x, 0);
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, visited);
+    b.store(x, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, nodes);
+    b.br(Cond::Lt, init_top);
+
+    // queue = [0]; visited[0] = 1
+    b.mov_imm(x, 0);
+    b.store(x, MemRef::abs(queue));
+    b.mov_imm(x, 1);
+    b.store(x, MemRef::abs(visited));
+    b.mov_imm(head, 0);
+    b.mov_imm(tail, 1);
+    b.mov_imm(count, 1);
+
+    // while head < tail: pop, push unvisited neighbors
+    let loop_top = b.here();
+    b.cmp(head, tail);
+    let done = b.new_label();
+    b.br(Cond::Ge, done);
+    b.mov_reg(addr, head);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, queue);
+    b.load(v, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, head, 1);
+    for slot in 0..2i64 {
+        // x = adj[2v + slot]
+        b.mov_reg(addr, v);
+        b.alu_imm(AluOp::Shl, addr, 4);
+        b.alu_imm(AluOp::Add, addr, adj + slot * 8);
+        b.load(x, MemRef::base(addr));
+        // if !visited[x] { visited[x] = 1; queue[tail++] = x; count += 1 }
+        b.mov_reg(addr, x);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, visited);
+        b.load(i, MemRef::base(addr));
+        b.cmp_imm(i, 0);
+        let seen = b.new_label();
+        b.br(Cond::Ne, seen);
+        b.mov_imm(i, 1);
+        b.store(i, MemRef::base(addr));
+        b.mov_reg(addr, tail);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, queue);
+        b.store(x, MemRef::base(addr));
+        b.alu_imm(AluOp::Add, tail, 1);
+        b.alu_imm(AluOp::Add, count, 1);
+        b.bind(seen);
+    }
+    b.jmp(loop_top);
+    b.bind(done);
+    b.store(count, MemRef::abs((BENIGN_BASE + 0x30000) as i64));
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// LSD radix sort over 16-bit keys: two counting passes (256 buckets),
+/// prefix sums, and a scatter into a second buffer — bursty, strided
+/// bucket traffic unlike the comparison sorts.
+fn radix_sort(n: i64, mul: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-radix-{n}-{mul}-{add}"));
+    emit_array_init(&mut b, BENIGN_BASE, n, mul, add);
+    let src0 = BENIGN_BASE as i64;
+    let dst0 = (BENIGN_BASE + 0x20000) as i64;
+    let buckets = (BENIGN_BASE + 0x40000) as i64;
+    let (i, x, addr, d, acc, v) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    let (src, dst) = (Reg::R7, Reg::R8);
+
+    b.mov_imm(src, src0);
+    b.mov_imm(dst, dst0);
+    b.mov_imm(d, 0);
+    let digit_top = b.here();
+
+    // clear buckets
+    b.mov_imm(i, 0);
+    b.mov_imm(x, 0);
+    let clear_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, buckets);
+    b.store(x, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, 256);
+    b.br(Cond::Lt, clear_top);
+
+    // count digit occurrences
+    b.mov_imm(i, 0);
+    let count_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu(AluOp::Add, addr, src);
+    b.load(x, MemRef::base(addr));
+    b.mov_reg(v, d);
+    b.alu_imm(AluOp::Shl, v, 3);
+    b.alu(AluOp::Shr, x, v);
+    b.alu_imm(AluOp::And, x, 0xff);
+    b.alu_imm(AluOp::Shl, x, 3);
+    b.alu_imm(AluOp::Add, x, buckets);
+    b.load(v, MemRef::base(x));
+    b.alu_imm(AluOp::Add, v, 1);
+    b.store(v, MemRef::base(x));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n);
+    b.br(Cond::Lt, count_top);
+
+    // exclusive prefix sums
+    b.mov_imm(i, 0);
+    b.mov_imm(acc, 0);
+    let prefix_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, buckets);
+    b.load(x, MemRef::base(addr));
+    b.store(acc, MemRef::base(addr));
+    b.alu(AluOp::Add, acc, x);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, 256);
+    b.br(Cond::Lt, prefix_top);
+
+    // scatter
+    b.mov_imm(i, 0);
+    let scatter_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu(AluOp::Add, addr, src);
+    b.load(x, MemRef::base(addr));
+    b.mov_reg(v, d);
+    b.alu_imm(AluOp::Shl, v, 3);
+    b.mov_reg(acc, x);
+    b.alu(AluOp::Shr, acc, v);
+    b.alu_imm(AluOp::And, acc, 0xff);
+    b.alu_imm(AluOp::Shl, acc, 3);
+    b.alu_imm(AluOp::Add, acc, buckets);
+    b.load(v, MemRef::base(acc));
+    // dst[bucket slot] = x; bucket += 1
+    b.alu_imm(AluOp::Shl, v, 3);
+    b.alu(AluOp::Add, v, dst);
+    b.store(x, MemRef::base(v));
+    b.load(v, MemRef::base(acc));
+    b.alu_imm(AluOp::Add, v, 1);
+    b.store(v, MemRef::base(acc));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n);
+    b.br(Cond::Lt, scatter_top);
+
+    // swap src/dst, next digit
+    b.mov_reg(x, src);
+    b.mov_reg(src, dst);
+    b.mov_reg(dst, x);
+    b.alu_imm(AluOp::Add, d, 1);
+    b.cmp_imm(d, 2);
+    b.br(Cond::Lt, digit_top);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// A table-driven DFA tokenizer: classify each input byte through a
+/// 4-class map, step a 4-state transition table, and count token
+/// boundaries — the state-machine scan shape of a real lexer.
+fn tokenizer(len: i64, mul: i64, add: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("leet-tok-{len}-{mul}-{add}"));
+    emit_array_init(&mut b, BENIGN_BASE, len, mul, add);
+    let table = (BENIGN_BASE + 0x40000) as i64; // 4 states x 4 classes
+    let (i, byte, cls, state, addr, tokens) =
+        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+
+    // transition table: next = (state + class + 1) % 4, but class 0 resets
+    // to state 0 (delimiter); a transition into state 1 marks a new token
+    b.mov_imm(i, 0);
+    let table_top = b.here();
+    b.mov_reg(cls, i);
+    b.alu_imm(AluOp::And, cls, 3); // class = i % 4
+    b.mov_reg(state, i);
+    b.alu_imm(AluOp::Shr, state, 2); // state = i / 4
+    b.mov_reg(byte, state);
+    b.alu(AluOp::Add, byte, cls);
+    b.alu_imm(AluOp::Add, byte, 1);
+    b.alu_imm(AluOp::And, byte, 3);
+    b.cmp_imm(cls, 0);
+    let keep = b.new_label();
+    b.br(Cond::Ne, keep);
+    b.mov_imm(byte, 0);
+    b.bind(keep);
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, table);
+    b.store(byte, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, 16);
+    b.br(Cond::Lt, table_top);
+
+    // scan the input
+    b.mov_imm(state, 0);
+    b.mov_imm(tokens, 0);
+    b.mov_imm(i, 0);
+    let scan_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BENIGN_BASE as i64);
+    b.load(byte, MemRef::base(addr));
+    b.mov_reg(cls, byte);
+    b.alu_imm(AluOp::And, cls, 3);
+    // state = table[state*4 + cls]
+    b.mov_reg(addr, state);
+    b.alu_imm(AluOp::Shl, addr, 2);
+    b.alu(AluOp::Add, addr, cls);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, table);
+    b.load(state, MemRef::base(addr));
+    // token boundary: state == 1
+    b.cmp_imm(state, 1);
+    let not_tok = b.new_label();
+    b.br(Cond::Ne, not_tok);
+    b.alu_imm(AluOp::Add, tokens, 1);
+    b.bind(not_tok);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, len);
+    b.br(Cond::Lt, scan_top);
+    b.store(tokens, MemRef::abs((BENIGN_BASE + 0x30000) as i64));
+    b.halt();
+    Sample::benign(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sca_cpu::{CpuConfig, Machine, Victim};
+
+    #[test]
+    fn all_kernels_halt() {
+        for seed in 0..16u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = generate(&mut rng);
+            let mut m = Machine::new(CpuConfig::default());
+            let t = m.run(&s.program, &Victim::None).expect("run");
+            assert!(t.halted, "{} (seed {seed}) did not halt", s.name());
+        }
+    }
+
+    #[test]
+    fn bubble_sort_actually_sorts() {
+        let s = bubble_sort(16, 7, 13);
+        let mut m = Machine::new(CpuConfig::default());
+        m.run(&s.program, &Victim::None).expect("run");
+        let vals: Vec<u64> = (0..16).map(|i| m.read_word(BENIGN_BASE + i * 8)).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        assert_eq!(vals, sorted);
+    }
+
+    #[test]
+    fn quicksort_actually_sorts() {
+        let s = quicksort(40, 7, 13);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &Victim::None).expect("run");
+        assert!(t.halted, "quicksort must terminate");
+        let vals: Vec<u64> = (0..40).map(|i| m.read_word(BENIGN_BASE + i * 8)).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        assert_eq!(vals, sorted);
+    }
+
+    #[test]
+    fn string_search_finds_its_own_prefix() {
+        let s = string_search(50, 7, 13);
+        let mut m = Machine::new(CpuConfig::default());
+        m.run(&s.program, &Victim::None).expect("run");
+        assert!(
+            m.read_word(BENIGN_BASE + 0x10000) >= 1,
+            "the pattern is the text's own prefix, so at least one match"
+        );
+    }
+
+    #[test]
+    fn bfs_visits_every_reachable_node_once() {
+        let nodes = 16;
+        let (mul, add) = (7, 13);
+        let s = graph_bfs(nodes, mul, add);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &Victim::None).expect("run");
+        assert!(t.halted, "BFS must terminate");
+        // replay the traversal on the host
+        let neighbors = |i: i64| {
+            (
+                ((i * mul + add) & (nodes - 1)) as usize,
+                ((i + add) & (nodes - 1)) as usize,
+            )
+        };
+        let mut visited = vec![false; nodes as usize];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        visited[0] = true;
+        let mut count = 1u64;
+        while let Some(v) = queue.pop_front() {
+            let (a, b) = neighbors(v as i64);
+            for n in [a, b] {
+                if !visited[n] {
+                    visited[n] = true;
+                    count += 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        assert_eq!(
+            m.read_word(BENIGN_BASE + 0x30000),
+            count,
+            "visit count must match a host-side BFS"
+        );
+    }
+
+    #[test]
+    fn radix_sort_actually_sorts() {
+        let n = 32;
+        let s = radix_sort(n, 7, 13);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &Victim::None).expect("run");
+        assert!(t.halted);
+        // two LSD passes over 16-bit keys end back in the source buffer
+        let vals: Vec<u64> = (0..n as u64).map(|i| m.read_word(BENIGN_BASE + i * 8)).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        assert_eq!(vals, sorted, "radix output must be sorted");
+    }
+
+    #[test]
+    fn tokenizer_counts_tokens_like_a_host_dfa() {
+        let (len, mul, add) = (80, 7, 13);
+        let s = tokenizer(len, mul, add);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &Victim::None).expect("run");
+        assert!(t.halted);
+        // host replay: same array init, same table, same scan
+        let mut x: u64 = add as u64;
+        let mut input = Vec::new();
+        for _ in 0..len {
+            x = (x * mul as u64 + add as u64) & 0xffff;
+            input.push(x);
+        }
+        let table: Vec<u64> = (0..16)
+            .map(|i| {
+                let (cls, st) = (i % 4, i / 4);
+                if cls == 0 { 0 } else { (st + cls + 1) & 3 }
+            })
+            .collect();
+        let mut state = 0u64;
+        let mut tokens = 0u64;
+        for byte in input {
+            state = table[(state * 4 + (byte & 3)) as usize];
+            if state == 1 {
+                tokens += 1;
+            }
+        }
+        assert_eq!(m.read_word(BENIGN_BASE + 0x30000), tokens);
+    }
+
+    #[test]
+    fn lru_sim_counts_hits_sanely() {
+        let s = lru_sim(60, 6, 7, 13);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &Victim::None).expect("run");
+        assert!(t.halted);
+        let hits = m.read_word(BENIGN_BASE + 0x10000);
+        assert!(hits <= 60, "hits bounded by requests: {hits}");
+    }
+
+    #[test]
+    fn fib_dp_computes_fibonacci() {
+        let s = fib_dp(10, 1);
+        let mut m = Machine::new(CpuConfig::default());
+        m.run(&s.program, &Victim::None).expect("run");
+        // dp[0]=1, dp[1]=1 -> classic fibonacci
+        let dp: Vec<u64> = (0..10).map(|i| m.read_word(BENIGN_BASE + i * 8)).collect();
+        assert_eq!(&dp[..8], &[1, 1, 2, 3, 5, 8, 13, 21]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Benign program generators (Table III).
+//!
+//! The paper's 400 benign programs mix SPEC2006 cases, LeetCode-style
+//! algorithm solutions, mutated crypto-system kernels, and real server
+//! applications — programs with widely varying memory-access intensity.
+//! Each category here is a family of seeded kernel generators in the
+//! micro-ISA with the same character:
+//!
+//! * [`Kind::Spec`] — streaming/stencil kernels (high, regular memory
+//!   traffic);
+//! * [`Kind::Leetcode`] — small algorithmic kernels (sorts, searches, DP);
+//! * [`Kind::Crypto`] — table-lookup ciphers and square-and-multiply
+//!   exponentiation (secret-dependent *data* access, but no probe/flush
+//!   timing structure);
+//! * [`Kind::Server`] — request-dispatch loops over hash tables and
+//!   counters.
+
+mod crypto;
+mod leetcode;
+mod server;
+mod spec;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sample::Sample;
+
+/// The four benign categories of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Kind {
+    /// SPEC2006-like streaming kernels.
+    Spec,
+    /// LeetCode-style algorithm solutions.
+    Leetcode,
+    /// Crypto-system kernels (AES-like, RSA-like).
+    Crypto,
+    /// Server-application request loops.
+    Server,
+}
+
+impl Kind {
+    /// All categories in Table III order.
+    pub const ALL: [Kind; 4] = [Kind::Spec, Kind::Leetcode, Kind::Crypto, Kind::Server];
+
+    /// The Table-III sample count for this category (out of 400).
+    pub fn table_iii_count(self) -> usize {
+        match self {
+            Kind::Spec => 12,
+            Kind::Leetcode => 230,
+            Kind::Crypto => 150,
+            Kind::Server => 8,
+        }
+    }
+}
+
+/// Generate one benign sample of `kind` from `seed`. Distinct seeds vary
+/// the kernel selected within the category and its sizes/constants.
+pub fn generate(kind: Kind, seed: u64) -> Sample {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbe_0196);
+    match kind {
+        Kind::Spec => spec::generate(&mut rng),
+        Kind::Leetcode => leetcode::generate(&mut rng),
+        Kind::Crypto => crypto::generate(&mut rng),
+        Kind::Server => server::generate(&mut rng),
+    }
+}
+
+/// Generate `total` benign samples with the Table-III category mix,
+/// deterministically from `seed`.
+pub fn generate_mix(total: usize, seed: u64) -> Vec<Sample> {
+    let weights: Vec<(Kind, usize)> = Kind::ALL
+        .iter()
+        .map(|&k| (k, k.table_iii_count()))
+        .collect();
+    let table_total: usize = weights.iter().map(|(_, c)| c).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..total {
+        // Proportional allocation matching Table III (exact at total=400).
+        let slot = (i * table_total) / total;
+        let mut acc = 0;
+        let mut kind = Kind::Leetcode;
+        for &(k, c) in &weights {
+            acc += c;
+            if slot < acc {
+                kind = k;
+                break;
+            }
+        }
+        out.push(generate(kind, rng.gen()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_cpu::{CpuConfig, Machine, Victim};
+
+    #[test]
+    fn table_iii_counts_sum_to_400() {
+        let total: usize = Kind::ALL.iter().map(|k| k.table_iii_count()).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn every_kind_generates_runnable_untagged_programs() {
+        for kind in Kind::ALL {
+            for seed in 0..3 {
+                let s = generate(kind, seed);
+                assert!(
+                    !s.program.has_attack_tags(),
+                    "benign {} must carry no attack tags",
+                    s.name()
+                );
+                let mut m = Machine::new(CpuConfig::default());
+                let t = m.run(&s.program, &Victim::None).expect("run");
+                assert!(t.halted, "{:?} seed {} must halt", kind, seed);
+                assert!(t.steps > 50, "{:?} seed {} too trivial", kind, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_vary_the_program() {
+        let a = generate(Kind::Leetcode, 1);
+        let b = generate(Kind::Leetcode, 2);
+        assert_ne!(a.program.insts(), b.program.insts());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Kind::Crypto, 7);
+        let b = generate(Kind::Crypto, 7);
+        assert_eq!(a.program.insts(), b.program.insts());
+    }
+
+    #[test]
+    fn mix_has_all_categories_at_scale_400() {
+        let samples = generate_mix(400, 42);
+        assert_eq!(samples.len(), 400);
+        let spec = samples.iter().filter(|s| s.name().starts_with("spec")).count();
+        let leet = samples.iter().filter(|s| s.name().starts_with("leet")).count();
+        let crypto = samples.iter().filter(|s| s.name().starts_with("crypto")).count();
+        let server = samples.iter().filter(|s| s.name().starts_with("server")).count();
+        assert_eq!(spec, 12);
+        assert_eq!(leet, 230);
+        assert_eq!(crypto, 150);
+        assert_eq!(server, 8);
+    }
+}

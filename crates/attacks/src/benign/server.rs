@@ -1,0 +1,339 @@
+//! Server-application-like benign programs: request-dispatch loops over
+//! hash tables and per-type counters (the SQLite/OpenSSH/thttpd row of
+//! Table III).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sca_isa::{AluOp, Cond, MemRef, ProgramBuilder, Reg};
+
+use crate::layout::BENIGN_BASE;
+use crate::sample::Sample;
+
+const REQUESTS: u64 = BENIGN_BASE + 0x200000;
+const COUNTERS: u64 = BENIGN_BASE + 0x210000;
+const BUCKETS: u64 = BENIGN_BASE + 0x220000;
+
+/// Pick and emit one server kernel.
+pub fn generate(rng: &mut StdRng) -> Sample {
+    match rng.gen_range(0..4u32) {
+        0 => dispatch_loop(rng.gen_range(64..256), rng.gen_range(3..7)),
+        1 => connection_cache(rng.gen_range(48..160), 1 << rng.gen_range(3..5u32)),
+        2 => rate_limiter(rng.gen_range(64..200), 1 << rng.gen_range(2..4u32), 1 << rng.gen_range(1..3u32)),
+        _ => hash_table_server(rng.gen_range(64..256), rng.gen_range(16..64)),
+    }
+}
+
+/// Read a ring of requests; branch on request type; bump a per-type
+/// counter; write a response word.
+fn dispatch_loop(n_requests: i64, n_types: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("server-dispatch-{n_requests}-{n_types}"));
+    super::leetcode::emit_array_init(&mut b, REQUESTS, n_requests, 13, 7);
+    let (i, req, ty, addr, cnt) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, REQUESTS as i64);
+    b.load(req, MemRef::base(addr));
+    // type = req % n_types  (via masking-free repeated subtraction bound)
+    b.mov_reg(ty, req);
+    b.alu_imm(AluOp::And, ty, 0xff);
+    let mod_top = b.here();
+    b.cmp_imm(ty, n_types);
+    let mod_done = b.new_label();
+    b.br(Cond::Lt, mod_done);
+    b.alu_imm(AluOp::Sub, ty, n_types);
+    b.jmp(mod_top);
+    b.bind(mod_done);
+    // dispatch chain: compare against each type id
+    let done = b.new_label();
+    for t in 0..n_types {
+        b.cmp_imm(ty, t);
+        let next = b.new_label();
+        b.br(Cond::Ne, next);
+        // handler: counters[t] += 1; response = req ^ t
+        b.mov_imm(addr, t * 8 + COUNTERS as i64);
+        b.load(cnt, MemRef::base(addr));
+        b.alu_imm(AluOp::Add, cnt, 1);
+        b.store(cnt, MemRef::base(addr));
+        b.alu_imm(AluOp::Xor, req, t);
+        b.jmp(done);
+        b.bind(next);
+    }
+    b.bind(done);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n_requests);
+    b.br(Cond::Lt, top);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// Insert request keys into a fixed-size chained-free hash table
+/// (open addressing with linear probing over a power-of-two bucket array).
+fn hash_table_server(n_requests: i64, extra_buckets: i64) -> Sample {
+    // Keep the table under 50% load so linear probing always terminates.
+    let n_buckets = ((n_requests * 2 + extra_buckets) as u64).next_power_of_two() as i64;
+    let mut b = ProgramBuilder::new(format!("server-hash-{n_requests}-{n_buckets}"));
+    super::leetcode::emit_array_init(&mut b, REQUESTS, n_requests, 17, 11);
+    let (i, key, slot, addr, v) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, REQUESTS as i64);
+    b.load(key, MemRef::base(addr));
+    b.alu_imm(AluOp::Or, key, 1); // keys are nonzero
+    // slot = (key * 2654435761) & (n_buckets - 1)
+    b.mov_reg(slot, key);
+    b.alu_imm(AluOp::Mul, slot, 2654435761);
+    b.alu_imm(AluOp::And, slot, n_buckets - 1);
+    // linear probe for an empty or matching slot
+    let probe = b.here();
+    b.mov_reg(addr, slot);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, BUCKETS as i64);
+    b.load(v, MemRef::base(addr));
+    b.cmp_imm(v, 0);
+    let insert = b.new_label();
+    b.br(Cond::Eq, insert);
+    b.cmp(v, key);
+    let found = b.new_label();
+    b.br(Cond::Eq, found);
+    b.alu_imm(AluOp::Add, slot, 1);
+    b.alu_imm(AluOp::And, slot, n_buckets - 1);
+    b.jmp(probe);
+    b.bind(insert);
+    b.store(key, MemRef::base(addr));
+    b.bind(found);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, n_requests);
+    b.br(Cond::Lt, top);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// An LRU connection cache: each incoming connection id either refreshes
+/// its slot's timestamp or evicts the least-recently-used slot — the
+/// linear min-scan over a small table every server's connection pool does.
+fn connection_cache(n_events: i64, slots: i64) -> Sample {
+    let mut b = ProgramBuilder::new(format!("server-conncache-{n_events}-{slots}"));
+    super::leetcode::emit_array_init(&mut b, REQUESTS, n_events, 19, 5);
+    let ids = BUCKETS as i64; // slot -> connection id
+    let stamps = COUNTERS as i64; // slot -> last-used tick
+    let (t, ev, id, addr, v, best, bestv) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    );
+    let j = Reg::R8;
+
+    // empty table
+    b.mov_imm(j, 0);
+    b.mov_imm(v, 0);
+    let clear_top = b.here();
+    b.mov_reg(addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, ids);
+    b.store(v, MemRef::base(addr));
+    b.mov_reg(addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, stamps);
+    b.store(v, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, j, 1);
+    b.cmp_imm(j, slots);
+    b.br(Cond::Lt, clear_top);
+
+    b.mov_imm(t, 0);
+    let top = b.here();
+    // id = requests[t] | 1 (nonzero)
+    b.mov_reg(addr, t);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, REQUESTS as i64);
+    b.load(id, MemRef::base(addr));
+    b.alu_imm(AluOp::Or, id, 1);
+    // scan for the id, tracking the LRU slot as we go
+    b.mov_imm(j, 0);
+    b.mov_imm(best, 0);
+    b.mov_imm(bestv, i64::MAX);
+    let scan_top = b.here();
+    b.mov_reg(addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, ids);
+    b.load(ev, MemRef::base(addr));
+    b.cmp(ev, id);
+    let hit = b.new_label();
+    b.br(Cond::Eq, hit);
+    b.mov_reg(addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, stamps);
+    b.load(v, MemRef::base(addr));
+    b.cmp(v, bestv);
+    let not_older = b.new_label();
+    b.br(Cond::Ge, not_older);
+    b.mov_reg(bestv, v);
+    b.mov_reg(best, j);
+    b.bind(not_older);
+    b.alu_imm(AluOp::Add, j, 1);
+    b.cmp_imm(j, slots);
+    b.br(Cond::Lt, scan_top);
+    // miss: evict the LRU slot
+    b.mov_reg(j, best);
+    b.mov_reg(addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, ids);
+    b.store(id, MemRef::base(addr));
+    b.bind(hit);
+    // refresh the slot's timestamp
+    b.mov_reg(addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, stamps);
+    b.store(t, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, t, 1);
+    b.cmp_imm(t, n_events);
+    b.br(Cond::Lt, top);
+    b.halt();
+    Sample::benign(b.build())
+}
+
+/// A token-bucket rate limiter: per-client buckets hold one token,
+/// drained on each request and restored every `period` ticks (a power of
+/// two); rejected requests are counted — the counter-update pattern of an
+/// API gateway.
+fn rate_limiter(n_requests: i64, clients: i64, period: i64) -> Sample {
+    assert!(period.count_ones() == 1, "period must be a power of two");
+    let mut b = ProgramBuilder::new(format!("server-ratelimit-{n_requests}-{clients}-{period}"));
+    super::leetcode::emit_array_init(&mut b, REQUESTS, n_requests, 23, 3);
+    let buckets = COUNTERS as i64;
+    let rejected = (BENIGN_BASE + 0x230000) as i64;
+    let (t, c, addr, v, rej, j) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+
+    // fill every bucket with one token
+    b.mov_imm(j, 0);
+    b.mov_imm(v, 1);
+    let fill_top = b.here();
+    b.mov_reg(addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, buckets);
+    b.store(v, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, j, 1);
+    b.cmp_imm(j, clients);
+    b.br(Cond::Lt, fill_top);
+
+    b.mov_imm(rej, 0);
+    b.mov_imm(t, 0);
+    let top = b.here();
+    // periodic refill: every `period` requests, top every bucket back up
+    b.mov_reg(v, t);
+    b.alu_imm(AluOp::And, v, period - 1);
+    b.cmp_imm(v, 0);
+    let no_refill = b.new_label();
+    b.br(Cond::Ne, no_refill);
+    b.mov_imm(j, 0);
+    b.mov_imm(v, 1);
+    let refill_top = b.here();
+    b.mov_reg(addr, j);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, buckets);
+    b.store(v, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, j, 1);
+    b.cmp_imm(j, clients);
+    b.br(Cond::Lt, refill_top);
+    b.bind(no_refill);
+    // client = requests[t] & (clients - 1)
+    b.mov_reg(addr, t);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, REQUESTS as i64);
+    b.load(c, MemRef::base(addr));
+    b.alu_imm(AluOp::And, c, clients - 1);
+    b.mov_reg(addr, c);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, buckets);
+    b.load(v, MemRef::base(addr));
+    b.cmp_imm(v, 0);
+    let reject = b.new_label();
+    b.br(Cond::Eq, reject);
+    b.alu_imm(AluOp::Sub, v, 1);
+    b.store(v, MemRef::base(addr));
+    let next = b.new_label();
+    b.jmp(next);
+    b.bind(reject);
+    b.alu_imm(AluOp::Add, rej, 1);
+    b.bind(next);
+    b.alu_imm(AluOp::Add, t, 1);
+    b.cmp_imm(t, n_requests);
+    b.br(Cond::Lt, top);
+    b.store(rej, MemRef::abs(rejected));
+    b.halt();
+    Sample::benign(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn connection_cache_tracks_recency() {
+        let s = connection_cache(80, 8);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &Victim::None).expect("run");
+        assert!(t.halted);
+        // every slot holds a nonzero connection id after 80 events over
+        // 8 slots, and some timestamp is recent
+        let ids: Vec<u64> = (0..8).map(|j| m.read_word(BUCKETS + j * 8)).collect();
+        assert!(ids.iter().all(|&v| v != 0), "table filled: {ids:?}");
+        let newest = (0..8).map(|j| m.read_word(COUNTERS + j * 8)).max().unwrap();
+        assert!(newest >= 70, "a slot was touched near the end: {newest}");
+    }
+
+    #[test]
+    fn rate_limiter_rejects_under_pressure() {
+        // 4 clients sharing one token per 4-tick refill cannot serve
+        // 100 requests without rejections
+        let s = rate_limiter(100, 4, 4);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &Victim::None).expect("run");
+        assert!(t.halted);
+        let rejected = m.read_word(BENIGN_BASE + 0x230000);
+        assert!(rejected > 0, "pressure must cause rejections");
+        assert!(rejected < 100, "but not everything is rejected");
+    }
+
+    use super::*;
+    use rand::SeedableRng;
+    use sca_cpu::{CpuConfig, Machine, Victim};
+
+    #[test]
+    fn all_server_kernels_halt() {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = generate(&mut rng);
+            let mut m = Machine::new(CpuConfig::default());
+            let t = m.run(&s.program, &Victim::None).expect("run");
+            assert!(t.halted, "{} did not halt", s.name());
+        }
+    }
+
+    #[test]
+    fn dispatch_counts_every_request() {
+        let s = dispatch_loop(50, 4);
+        let mut m = Machine::new(CpuConfig::default());
+        m.run(&s.program, &Victim::None).expect("run");
+        let total: u64 = (0..4).map(|t| m.read_word(COUNTERS + t * 8)).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn hash_table_inserts_keys() {
+        let s = hash_table_server(40, 32);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &Victim::None).expect("run");
+        assert!(t.halted);
+        let occupied = (0..256u64)
+            .filter(|b| m.read_word(BUCKETS + b * 8) != 0)
+            .count();
+        assert!(occupied > 5, "several buckets filled: {occupied}");
+    }
+}

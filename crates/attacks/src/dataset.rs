@@ -1,0 +1,239 @@
+//! Dataset assembly (Tables II and III): mutated attack variants per
+//! family, the benign mix, and obfuscated variants for E4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::benign;
+use crate::mutate::{mutate, MutationConfig};
+use crate::obfuscate::{obfuscate, ObfuscationConfig};
+use crate::poc::{self, PocParams};
+use crate::sample::{AttackFamily, Sample};
+
+/// Configuration of dataset generation.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Mutated variants per attack type (400 in the paper).
+    pub per_type: usize,
+    /// Total benign programs (400 in the paper).
+    pub benign_total: usize,
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+    /// Mutation intensity.
+    pub mutation: MutationConfig,
+    /// Obfuscation intensity (E4).
+    pub obfuscation: ObfuscationConfig,
+}
+
+impl DatasetConfig {
+    /// The paper's full scale: 400 variants per type + 400 benign.
+    pub fn paper_scale() -> DatasetConfig {
+        DatasetConfig {
+            per_type: 400,
+            benign_total: 400,
+            seed: 0x5ca6_0a2d,
+            mutation: MutationConfig::default(),
+            obfuscation: ObfuscationConfig::default(),
+        }
+    }
+
+    /// A reduced scale for fast tests and smoke runs.
+    pub fn small(per_type: usize) -> DatasetConfig {
+        DatasetConfig {
+            per_type,
+            benign_total: per_type,
+            ..DatasetConfig::paper_scale()
+        }
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> DatasetConfig {
+        DatasetConfig::paper_scale()
+    }
+}
+
+/// Draw a parameter variation for one mutant: the paper's mutation operates
+/// on PoC source code, which perturbs loop bounds and constants as well as
+/// instructions; we mirror that by varying the generator parameters.
+fn vary_params(rng: &mut StdRng) -> PocParams {
+    let probe_lines = rng.gen_range(8..24u64);
+    let prime_sets = rng.gen_range(6..12u64);
+    let max_secret = probe_lines.min(prime_sets);
+    let n_secrets = rng.gen_range(1..4usize);
+    let secrets: Vec<u64> = (0..n_secrets)
+        .map(|_| rng.gen_range(0..max_secret))
+        .collect();
+    PocParams {
+        probe_lines,
+        rounds: rng.gen_range(2..5),
+        prime_sets,
+        spectre_secret: rng.gen_range(0..max_secret),
+        secrets,
+        ..PocParams::default()
+    }
+}
+
+/// Generate `count` mutated variants of `family`, cycling over the
+/// family's collected PoC implementations.
+pub fn mutated_family(
+    family: AttackFamily,
+    count: usize,
+    seed: u64,
+    mutation: &MutationConfig,
+) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed ^ family as u64);
+    let mut out = Vec::with_capacity(count);
+    let bases: Vec<fn(&PocParams) -> Sample> = match family {
+        AttackFamily::FlushReload => vec![
+            poc::flush_reload_iaik,
+            poc::flush_reload_mastik,
+            poc::flush_reload_nepoche,
+            poc::flush_reload_calibrated,
+            poc::flush_flush_iaik,
+            poc::evict_reload_iaik,
+        ],
+        AttackFamily::PrimeProbe => vec![
+            poc::prime_probe_iaik,
+            poc::prime_probe_jzhang,
+            poc::prime_probe_percival,
+        ],
+        AttackFamily::SpectreFlushReload => {
+            vec![poc::spectre_fr_v1, poc::spectre_fr_v2, poc::spectre_fr_v3]
+        }
+        AttackFamily::SpectrePrimeProbe => vec![poc::spectre_pp_trippel],
+    };
+    for i in 0..count {
+        let params = vary_params(&mut rng);
+        let base = bases[i % bases.len()](&params);
+        let program = mutate(&base.program, rng.gen(), mutation);
+        out.push(Sample::new(program, base.victim, base.label));
+    }
+    out
+}
+
+/// Generate `count` obfuscated variants of `family` (E4), cycling over the
+/// family's PoCs, applying parameter variation *and* obfuscation.
+pub fn obfuscated_family(
+    family: AttackFamily,
+    count: usize,
+    seed: u64,
+    obf: &ObfuscationConfig,
+) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bf5 ^ family as u64);
+    let mut out = Vec::with_capacity(count);
+    let mutation = MutationConfig {
+        rename_regs: false,
+        junk_prob: 0.0,
+        split_prob: 0.0,
+        subst_prob: 0.0,
+        ..MutationConfig::default()
+    };
+    for s in mutated_family(family, count, rng.gen(), &mutation) {
+        let program = obfuscate(&s.program, rng.gen(), obf);
+        out.push(Sample::new(program, s.victim, s.label));
+    }
+    out
+}
+
+/// The full evaluation dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Mutated attack variants, `per_type` per family, in family order.
+    pub attacks: Vec<Sample>,
+    /// Benign programs with the Table-III mix.
+    pub benign: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Build the dataset described by `cfg`.
+    pub fn build(cfg: &DatasetConfig) -> Dataset {
+        let mut attacks = Vec::with_capacity(cfg.per_type * 4);
+        for family in AttackFamily::ALL {
+            attacks.extend(mutated_family(
+                family,
+                cfg.per_type,
+                cfg.seed,
+                &cfg.mutation,
+            ));
+        }
+        let benign = benign::generate_mix(cfg.benign_total, cfg.seed ^ 0xbe);
+        Dataset { attacks, benign }
+    }
+
+    /// Attack samples of one family.
+    pub fn family(&self, family: AttackFamily) -> impl Iterator<Item = &Sample> {
+        self.attacks
+            .iter()
+            .filter(move |s| s.label.family() == Some(family))
+    }
+
+    /// Total number of samples.
+    pub fn len(&self) -> usize {
+        self.attacks.len() + self.benign.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.attacks.is_empty() && self.benign.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dataset_has_expected_shape() {
+        let ds = Dataset::build(&DatasetConfig::small(6));
+        assert_eq!(ds.attacks.len(), 24);
+        assert_eq!(ds.benign.len(), 6);
+        assert_eq!(ds.len(), 30);
+        for f in AttackFamily::ALL {
+            assert_eq!(ds.family(f).count(), 6);
+        }
+    }
+
+    #[test]
+    fn mutants_are_distinct_programs() {
+        let samples = mutated_family(
+            AttackFamily::FlushReload,
+            8,
+            7,
+            &MutationConfig::default(),
+        );
+        for i in 0..samples.len() {
+            for j in (i + 1)..samples.len() {
+                assert_ne!(
+                    samples[i].program.insts(),
+                    samples[j].program.insts(),
+                    "mutants {i} and {j} identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn obfuscated_variants_keep_their_label() {
+        let samples = obfuscated_family(
+            AttackFamily::PrimeProbe,
+            4,
+            9,
+            &ObfuscationConfig::default(),
+        );
+        assert_eq!(samples.len(), 4);
+        for s in &samples {
+            assert_eq!(s.label.family(), Some(AttackFamily::PrimeProbe));
+            assert!(s.name().contains("obf"));
+        }
+    }
+
+    #[test]
+    fn dataset_generation_is_deterministic() {
+        let a = Dataset::build(&DatasetConfig::small(3));
+        let b = Dataset::build(&DatasetConfig::small(3));
+        for (x, y) in a.attacks.iter().zip(&b.attacks) {
+            assert_eq!(x.program.insts(), y.program.insts());
+        }
+    }
+}

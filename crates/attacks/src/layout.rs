@@ -1,0 +1,100 @@
+//! Memory-layout conventions shared by every generated program.
+//!
+//! All generators place their data in fixed, disjoint regions so that the
+//! cache-set arithmetic of the attacks (eviction sets, prime targets) is
+//! predictable and so that no generated program aliases the text segment
+//! (`sca_isa::TEXT_BASE = 0x40_0000`) or the victim's private noise region
+//! (`0x7000_0000`).
+
+/// Cache line size assumed by all generators (matches the default
+/// [`sca_cache::HierarchyConfig`]).
+pub const LINE: u64 = 64;
+
+/// Number of LLC sets assumed by generators that need set arithmetic
+/// (matches `HierarchyConfig::skylake_like()`).
+pub const LLC_SETS: u64 = 1024;
+
+/// LLC associativity assumed by Prime+Probe/Evict+Reload generators.
+pub const LLC_WAYS: u64 = 16;
+
+/// Base of the "shared library" region: readable by both attacker and
+/// victim, the channel medium of the Flush+Reload family.
+pub const SHARED_BASE: u64 = 0x1000_0000;
+
+/// Base of the attacker's private working memory (eviction sets, prime
+/// buffers, spectre arrays).
+pub const ATTACKER_BASE: u64 = 0x2000_0000;
+
+/// Base of the region where attacks store recovered secret guesses,
+/// readable by tests to check that a PoC actually works.
+pub const RESULT_BASE: u64 = 0x3000_0000;
+
+/// Base of the region benign programs use for their data.
+pub const BENIGN_BASE: u64 = 0x4000_0000;
+
+/// Base of the victim's conflict-address region for Prime+Probe (mapped so
+/// that `VICTIM_CONFLICT_BASE + s * LINE` falls in LLC set
+/// `set_of(VICTIM_CONFLICT_BASE) + s`).
+pub const VICTIM_CONFLICT_BASE: u64 = 0x5000_0000;
+
+/// First LLC set the Prime+Probe attacks monitor. Offset past the sets
+/// the program *text* occupies (instruction lines land in LLC sets
+/// 0..~16 for our program sizes); priming a set that also holds hot
+/// instruction lines would thrash and destroy the probe signal.
+pub const MONITOR_SET_BASE: u64 = 40;
+
+/// Calibration lines used by the PoCs' latency-calibration phase
+/// (LLC sets 700..708).
+pub const CALIBRATION_BASE: u64 = ATTACKER_BASE + 700 * LINE;
+
+/// The address of the w-th member of the eviction/prime set for LLC set
+/// index `set`: distinct lines that all map to `set`.
+pub fn prime_addr(set: u64, way: u64) -> u64 {
+    ATTACKER_BASE + way * LLC_SETS * LINE + set * LINE
+}
+
+/// The LLC set index of `addr` under the assumed geometry.
+pub fn llc_set(addr: u64) -> u64 {
+    (addr / LINE) % LLC_SETS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_addrs_share_a_set_but_not_a_line() {
+        let s = 37;
+        let addrs: Vec<u64> = (0..LLC_WAYS).map(|w| prime_addr(s, w)).collect();
+        for &a in &addrs {
+            assert_eq!(llc_set(a), llc_set(prime_addr(s, 0)));
+        }
+        let mut lines: Vec<u64> = addrs.iter().map(|a| a / LINE).collect();
+        lines.dedup();
+        assert_eq!(lines.len(), LLC_WAYS as usize);
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let bases = [
+            SHARED_BASE,
+            ATTACKER_BASE,
+            RESULT_BASE,
+            BENIGN_BASE,
+            VICTIM_CONFLICT_BASE,
+        ];
+        for (i, &a) in bases.iter().enumerate() {
+            for &b in &bases[i + 1..] {
+                assert!(a.abs_diff(b) >= 0x1000_0000);
+            }
+        }
+    }
+
+    #[test]
+    fn defaults_match_skylake_like_geometry() {
+        let h = sca_cache::HierarchyConfig::skylake_like();
+        assert_eq!(h.llc.line_size, LINE);
+        assert_eq!(h.llc.sets as u64, LLC_SETS);
+        assert_eq!(h.llc.ways as u64, LLC_WAYS);
+    }
+}

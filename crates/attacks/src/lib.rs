@@ -1,0 +1,38 @@
+//! # sca-attacks — attack PoCs, benign workloads, mutation, obfuscation
+//!
+//! The paper's evaluation (Tables II and III) runs on:
+//!
+//! * 9 collected attack PoCs across four attack *types* — Flush+Reload
+//!   family (FR-IAIK, FR-Mastik, FR-Nepoche, FF-IAIK, ER-IAIK),
+//!   Prime+Probe family (PP-IAIK, PP-Jzhang), and their Spectre-like
+//!   variants (Spectre-FR ×2, Spectre-PP-Trippel);
+//! * 400 *mutated* variants per type, produced with a semantics-preserving
+//!   code mutator (the paper uses `mutate_cpp`);
+//! * 400 benign programs (SPEC2006-like kernels, LeetCode-style solutions,
+//!   crypto kernels, and server-application loops);
+//! * 800 *obfuscated* variants (polymorphic junk-code insertion, ~70% BB
+//!   inflation) for the robustness task E4.
+//!
+//! This crate regenerates all of that as deterministic, seeded
+//! [`sca_isa::Program`]s paired with the [`sca_cpu::Victim`] model each
+//! program expects, so the whole dataset is reproducible bit-for-bit.
+//!
+//! ```
+//! use sca_attacks::poc;
+//!
+//! let sample = poc::flush_reload_iaik(&poc::PocParams::default());
+//! assert!(sample.program.has_attack_tags());
+//! ```
+
+pub mod benign;
+pub mod dataset;
+pub mod layout;
+pub mod mutate;
+pub mod obfuscate;
+pub mod poc;
+pub mod victim_programs;
+mod rewrite;
+mod sample;
+
+pub use dataset::{Dataset, DatasetConfig};
+pub use sample::{AttackFamily, Label, Sample};

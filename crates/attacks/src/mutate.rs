@@ -1,0 +1,563 @@
+//! Semantics-preserving code mutation (the paper's `mutate_cpp` stand-in).
+//!
+//! Table II expands each attack type to 400 variants by code mutation that
+//! "retains the attack functionality". The mutator here composes four
+//! semantics-preserving transformations, all driven by a seed:
+//!
+//! 1. **register renaming** — a random permutation applied consistently to
+//!    every register reference;
+//! 2. **equivalent-instruction substitution** — `add r, k` ⇄ `sub r, -k`
+//!    (wrapping arithmetic), `mul r, 2^k` → `shl r, k`;
+//! 3. **immediate splitting** — `mov r, k` → `mov r, k-d; add r, d`;
+//! 4. **junk insertion** — `nop`s and dead ALU ops on registers the
+//!    program never reads;
+//! 5. **independent-instruction reordering** — adjacent instructions with
+//!    no register, flag, memory, or control dependence swap places.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use sca_isa::{AluOp, Inst, MemRef, Operand, Program, Reg};
+
+use crate::rewrite::expand_program;
+
+/// Mutation intensity knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationConfig {
+    /// Probability of junk insertion before any given instruction.
+    pub junk_prob: f64,
+    /// Probability of splitting a `mov r, imm`.
+    pub split_prob: f64,
+    /// Probability of substituting an equivalent ALU form.
+    pub subst_prob: f64,
+    /// Probability of swapping an eligible independent adjacent pair.
+    pub swap_prob: f64,
+    /// Whether to apply a random register permutation.
+    pub rename_regs: bool,
+}
+
+impl Default for MutationConfig {
+    fn default() -> MutationConfig {
+        MutationConfig {
+            junk_prob: 0.03,
+            split_prob: 0.2,
+            subst_prob: 0.3,
+            swap_prob: 0.15,
+            rename_regs: true,
+        }
+    }
+}
+
+/// Registers read by an instruction (including address computation).
+fn reads(inst: &Inst) -> Vec<Reg> {
+    let mut out = Vec::new();
+    let mem = |m: &MemRef, out: &mut Vec<Reg>| out.extend(m.regs());
+    match inst {
+        Inst::MovImm { .. } | Inst::Rdtscp { .. } => {}
+        Inst::MovReg { src, .. } => out.push(*src),
+        Inst::Load { addr, .. } => mem(addr, &mut out),
+        Inst::Store { src, addr } => {
+            out.push(*src);
+            mem(addr, &mut out);
+        }
+        Inst::Alu { dst, src, .. } => {
+            out.push(*dst);
+            if let Operand::Reg(r) = src {
+                out.push(*r);
+            }
+        }
+        Inst::Cmp { lhs, rhs } => {
+            out.push(*lhs);
+            if let Operand::Reg(r) = rhs {
+                out.push(*r);
+            }
+        }
+        Inst::Clflush { addr } => mem(addr, &mut out),
+        _ => {}
+    }
+    out
+}
+
+/// Register written by an instruction, if any.
+fn writes(inst: &Inst) -> Option<Reg> {
+    match inst {
+        Inst::MovImm { dst, .. }
+        | Inst::MovReg { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::Alu { dst, .. }
+        | Inst::Rdtscp { dst } => Some(*dst),
+        _ => None,
+    }
+}
+
+/// Whether two adjacent instructions can swap without changing semantics:
+/// no register/flag/memory/control/timing dependence. Conservative —
+/// "no" is always safe.
+fn independent(a: &Inst, b: &Inst) -> bool {
+    // control flow, flags, timing, and scheduling points never move
+    let pinned = |i: &Inst| {
+        i.is_terminator()
+            || matches!(
+                i,
+                Inst::Cmp { .. }
+                    | Inst::Rdtscp { .. }
+                    | Inst::VYield
+                    | Inst::Fence { .. }
+            )
+    };
+    if pinned(a) || pinned(b) {
+        return false;
+    }
+    // at most one of the pair may touch memory (conservative aliasing)
+    if a.is_memory_op() && b.is_memory_op() {
+        return false;
+    }
+    // register dependences
+    let (wa, wb) = (writes(a), writes(b));
+    let ra = reads(a);
+    let rb = reads(b);
+    if let Some(w) = wa {
+        if rb.contains(&w) || wb == Some(w) {
+            return false;
+        }
+    }
+    if let Some(w) = wb {
+        if ra.contains(&w) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Swap eligible independent adjacent pairs with probability `prob`,
+/// skipping positions that are branch targets (their indices are
+/// observable through control flow).
+fn reorder_pass(program: &Program, rng: &mut StdRng, prob: f64) -> Program {
+    use std::collections::BTreeSet;
+    let targets: BTreeSet<usize> = program
+        .insts()
+        .iter()
+        .filter_map(|i| i.branch_target())
+        .collect();
+    let mut insts: Vec<Inst> = program.insts().to_vec();
+    let tags: std::collections::BTreeMap<usize, sca_isa::InstTag> = program.tags().collect();
+    let mut new_tags = tags.clone();
+    let mut i = 0;
+    while i + 1 < insts.len() {
+        if !targets.contains(&i)
+            && !targets.contains(&(i + 1))
+            && independent(&insts[i], &insts[i + 1])
+            && rng.gen_bool(prob)
+        {
+            insts.swap(i, i + 1);
+            let (ta, tb) = (tags.get(&i).copied(), tags.get(&(i + 1)).copied());
+            match tb {
+                Some(t) => {
+                    new_tags.insert(i, t);
+                }
+                None => {
+                    new_tags.remove(&i);
+                }
+            }
+            match ta {
+                Some(t) => {
+                    new_tags.insert(i + 1, t);
+                }
+                None => {
+                    new_tags.remove(&(i + 1));
+                }
+            }
+            i += 2; // non-overlapping swaps
+        } else {
+            i += 1;
+        }
+    }
+    Program::from_parts(program.name(), insts, new_tags)
+}
+
+fn map_reg(r: Reg, perm: &[Reg; 16]) -> Reg {
+    perm[r.index()]
+}
+
+fn map_mem(m: MemRef, perm: &[Reg; 16]) -> MemRef {
+    MemRef {
+        base: m.base.map(|r| map_reg(r, perm)),
+        index: m.index.map(|r| map_reg(r, perm)),
+        ..m
+    }
+}
+
+fn map_operand(o: Operand, perm: &[Reg; 16]) -> Operand {
+    match o {
+        Operand::Reg(r) => Operand::Reg(map_reg(r, perm)),
+        imm => imm,
+    }
+}
+
+/// Apply a register permutation to one instruction.
+fn rename_inst(inst: &Inst, perm: &[Reg; 16]) -> Inst {
+    match *inst {
+        Inst::MovImm { dst, imm } => Inst::MovImm {
+            dst: map_reg(dst, perm),
+            imm,
+        },
+        Inst::MovReg { dst, src } => Inst::MovReg {
+            dst: map_reg(dst, perm),
+            src: map_reg(src, perm),
+        },
+        Inst::Load { dst, addr } => Inst::Load {
+            dst: map_reg(dst, perm),
+            addr: map_mem(addr, perm),
+        },
+        Inst::Store { src, addr } => Inst::Store {
+            src: map_reg(src, perm),
+            addr: map_mem(addr, perm),
+        },
+        Inst::Alu { op, dst, src } => Inst::Alu {
+            op,
+            dst: map_reg(dst, perm),
+            src: map_operand(src, perm),
+        },
+        Inst::Cmp { lhs, rhs } => Inst::Cmp {
+            lhs: map_reg(lhs, perm),
+            rhs: map_operand(rhs, perm),
+        },
+        Inst::Clflush { addr } => Inst::Clflush {
+            addr: map_mem(addr, perm),
+        },
+        Inst::Rdtscp { dst } => Inst::Rdtscp {
+            dst: map_reg(dst, perm),
+        },
+        other => other,
+    }
+}
+
+/// Registers referenced (read or written) anywhere in `program`.
+pub fn used_regs(program: &Program) -> [bool; 16] {
+    let mut used = [false; 16];
+    let mark_mem = |m: &MemRef, used: &mut [bool; 16]| {
+        for r in m.regs() {
+            used[r.index()] = true;
+        }
+    };
+    for inst in program.insts() {
+        match inst {
+            Inst::MovImm { dst, .. } | Inst::Rdtscp { dst } => used[dst.index()] = true,
+            Inst::MovReg { dst, src } => {
+                used[dst.index()] = true;
+                used[src.index()] = true;
+            }
+            Inst::Load { dst, addr } => {
+                used[dst.index()] = true;
+                mark_mem(addr, &mut used);
+            }
+            Inst::Store { src, addr } => {
+                used[src.index()] = true;
+                mark_mem(addr, &mut used);
+            }
+            Inst::Alu { dst, src, .. } => {
+                used[dst.index()] = true;
+                if let Operand::Reg(r) = src {
+                    used[r.index()] = true;
+                }
+            }
+            Inst::Cmp { lhs, rhs } => {
+                used[lhs.index()] = true;
+                if let Operand::Reg(r) = rhs {
+                    used[r.index()] = true;
+                }
+            }
+            Inst::Clflush { addr } => mark_mem(addr, &mut used),
+            _ => {}
+        }
+    }
+    used
+}
+
+/// Produce a junk instruction sequence that only touches `scratch`
+/// registers (dead in the host program) and never the flags.
+fn junk_seq(rng: &mut StdRng, scratch: &[Reg]) -> Vec<Inst> {
+    let mut out = Vec::new();
+    let n = rng.gen_range(1..3usize);
+    for _ in 0..n {
+        if scratch.is_empty() || rng.gen_bool(0.4) {
+            out.push(Inst::Nop);
+        } else {
+            let r = scratch[rng.gen_range(0..scratch.len())];
+            match rng.gen_range(0..3u32) {
+                0 => out.push(Inst::MovImm {
+                    dst: r,
+                    imm: rng.gen_range(0..0xffff),
+                }),
+                1 => out.push(Inst::Alu {
+                    op: AluOp::Xor,
+                    dst: r,
+                    src: Operand::Imm(rng.gen_range(1..0xff)),
+                }),
+                _ => out.push(Inst::Alu {
+                    op: AluOp::Add,
+                    dst: r,
+                    src: Operand::Imm(rng.gen_range(1..0xff)),
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Substitute an equivalent form for ALU/immediate instructions.
+fn substitute(inst: &Inst, rng: &mut StdRng) -> Option<Inst> {
+    match *inst {
+        // add r, k  <->  sub r, -k  (wrapping arithmetic makes these equal)
+        Inst::Alu {
+            op: AluOp::Add,
+            dst,
+            src: Operand::Imm(k),
+        } => Some(Inst::Alu {
+            op: AluOp::Sub,
+            dst,
+            src: Operand::Imm(k.wrapping_neg()),
+        }),
+        Inst::Alu {
+            op: AluOp::Sub,
+            dst,
+            src: Operand::Imm(k),
+        } => Some(Inst::Alu {
+            op: AluOp::Add,
+            dst,
+            src: Operand::Imm(k.wrapping_neg()),
+        }),
+        // mul r, 2^k -> shl r, k  (and sometimes keep the mul)
+        Inst::Alu {
+            op: AluOp::Mul,
+            dst,
+            src: Operand::Imm(k),
+        } if k > 0 && (k as u64).is_power_of_two() && rng.gen_bool(0.7) => Some(Inst::Alu {
+            op: AluOp::Shl,
+            dst,
+            src: Operand::Imm((k as u64).trailing_zeros() as i64),
+        }),
+        Inst::Alu {
+            op: AluOp::Shl,
+            dst,
+            src: Operand::Imm(k),
+        } if (0..32).contains(&k) && rng.gen_bool(0.5) => Some(Inst::Alu {
+            op: AluOp::Mul,
+            dst,
+            src: Operand::Imm(1i64 << k),
+        }),
+        _ => None,
+    }
+}
+
+/// Mutate `program` with the given seed and intensity. The result is
+/// semantically equivalent: it computes the same values, performs the same
+/// memory and flush operations, and (for attack programs) retains the
+/// attack functionality.
+pub fn mutate(program: &Program, seed: u64, cfg: &MutationConfig) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca9_ad01);
+
+    // Register permutation: keep it a bijection over all 16 registers.
+    let mut perm = Reg::ALL;
+    if cfg.rename_regs {
+        perm.shuffle(&mut rng);
+    }
+
+    // Scratch registers: unused *after* renaming.
+    let renamed_used = {
+        let used = used_regs(program);
+        let mut out = [false; 16];
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                out[perm[i].index()] = true;
+            }
+        }
+        out
+    };
+    let scratch: Vec<Reg> = Reg::ALL
+        .iter()
+        .copied()
+        .filter(|r| !renamed_used[r.index()])
+        .collect();
+
+    let reordered = if cfg.swap_prob > 0.0 {
+        reorder_pass(program, &mut rng, cfg.swap_prob)
+    } else {
+        program.clone()
+    };
+    let program = &reordered;
+
+    let name = format!("{}+mut{seed:x}", program.name());
+    expand_program(program, name, |_, inst| {
+        let renamed = rename_inst(inst, &perm);
+        let core = if rng.gen_bool(cfg.subst_prob) {
+            substitute(&renamed, &mut rng).unwrap_or(renamed)
+        } else {
+            renamed
+        };
+        let mut out = Vec::new();
+        if rng.gen_bool(cfg.junk_prob) {
+            out.extend(junk_seq(&mut rng, &scratch));
+        }
+        match core {
+            Inst::MovImm { dst, imm } if rng.gen_bool(cfg.split_prob) => {
+                let d = rng.gen_range(1..0x1000i64);
+                out.push(Inst::MovImm {
+                    dst,
+                    imm: imm.wrapping_sub(d),
+                });
+                out.push(Inst::Alu {
+                    op: AluOp::Add,
+                    dst,
+                    src: Operand::Imm(d),
+                });
+            }
+            other => out.push(other),
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::RESULT_BASE;
+    use crate::poc::{flush_reload_iaik, PocParams};
+    use sca_cpu::{CpuConfig, Machine, Victim};
+    use sca_isa::{Cond, ProgramBuilder};
+
+    fn checksum_program() -> Program {
+        // computes a value into memory; used to check semantic preservation
+        let mut b = ProgramBuilder::new("chk");
+        b.mov_imm(Reg::R1, 17);
+        b.mov_imm(Reg::R2, 5);
+        let top = b.here();
+        b.alu(AluOp::Mul, Reg::R1, Reg::R1);
+        b.alu_imm(AluOp::And, Reg::R1, 0xffff);
+        b.alu_imm(AluOp::Add, Reg::R1, 3);
+        b.alu_imm(AluOp::Sub, Reg::R2, 1);
+        b.cmp_imm(Reg::R2, 0);
+        b.br(Cond::Gt, top);
+        b.store(Reg::R1, MemRef::abs(0x9000));
+        b.halt();
+        b.build()
+    }
+
+    fn result_of(p: &Program) -> u64 {
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(p, &Victim::None).expect("run");
+        assert!(t.halted, "{} did not halt", p.name());
+        m.read_word(0x9000)
+    }
+
+    #[test]
+    fn mutation_preserves_computation() {
+        let p = checksum_program();
+        let expected = result_of(&p);
+        for seed in 0..20 {
+            let q = mutate(&p, seed, &MutationConfig::default());
+            assert_eq!(result_of(&q), expected, "seed {seed} broke semantics");
+        }
+    }
+
+    #[test]
+    fn mutation_changes_the_code() {
+        let p = checksum_program();
+        let q = mutate(&p, 1, &MutationConfig::default());
+        assert_ne!(p.insts(), q.insts());
+    }
+
+    #[test]
+    fn mutants_differ_across_seeds() {
+        let p = checksum_program();
+        let a = mutate(&p, 1, &MutationConfig::default());
+        let b = mutate(&p, 2, &MutationConfig::default());
+        assert_ne!(a.insts(), b.insts());
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let p = checksum_program();
+        let a = mutate(&p, 3, &MutationConfig::default());
+        let b = mutate(&p, 3, &MutationConfig::default());
+        assert_eq!(a.insts(), b.insts());
+    }
+
+    #[test]
+    fn mutated_attack_still_works() {
+        let params = PocParams::default().with_secrets(vec![5, 5, 5, 5]);
+        let s = flush_reload_iaik(&params);
+        for seed in 0..5 {
+            let q = mutate(&s.program, seed, &MutationConfig::default());
+            let mut m = Machine::new(CpuConfig::default());
+            let t = m.run(&q, &s.victim).expect("run");
+            assert!(t.halted);
+            assert_ne!(
+                m.read_word(RESULT_BASE + 5 * 8),
+                0,
+                "mutant {seed} lost the attack"
+            );
+        }
+    }
+
+    #[test]
+    fn tags_survive_mutation() {
+        let s = flush_reload_iaik(&PocParams::default());
+        let q = mutate(&s.program, 9, &MutationConfig::default());
+        assert!(q.has_attack_tags());
+    }
+
+    #[test]
+    fn reordering_swaps_independent_pairs_only() {
+        // two independent movs followed by a dependent add
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R1, 1); // independent of next
+        b.mov_imm(Reg::R2, 2);
+        b.alu(AluOp::Add, Reg::R1, Reg::R2); // depends on both
+        b.store(Reg::R1, MemRef::abs(0x9000));
+        b.halt();
+        let p = b.build();
+        let mut rng = rand::SeedableRng::seed_from_u64(1);
+        let q = reorder_pass(&p, &mut rng, 1.0);
+        // the first pair swapped; the dependent add stayed put
+        assert_eq!(
+            q.insts()[0],
+            Inst::MovImm { dst: Reg::R2, imm: 2 }
+        );
+        assert_eq!(
+            q.insts()[1],
+            Inst::MovImm { dst: Reg::R1, imm: 1 }
+        );
+        assert!(matches!(q.insts()[2], Inst::Alu { .. }));
+        // semantics unchanged
+        assert_eq!(result_of(&p), result_of(&q));
+    }
+
+    #[test]
+    fn reordering_preserves_checksum_semantics() {
+        let p = checksum_program();
+        let expected = result_of(&p);
+        for seed in 0..10 {
+            let mut rng = rand::SeedableRng::seed_from_u64(seed);
+            let q = reorder_pass(&p, &mut rng, 0.8);
+            assert_eq!(result_of(&q), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn used_regs_detects_all_reference_kinds() {
+        let mut b = ProgramBuilder::new("t");
+        b.load(
+            Reg::R1,
+            MemRef::base_index(Reg::R2, Reg::R3, 8),
+        );
+        b.cmp(Reg::R4, Reg::R5);
+        b.halt();
+        let used = used_regs(&b.build());
+        for r in [1, 2, 3, 4, 5] {
+            assert!(used[r], "r{r}");
+        }
+        assert!(!used[6]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Polymorphic obfuscation (evaluation task E4).
+//!
+//! The paper generates obfuscated attack variants with a polymorphic
+//! junk-code technique ("inserted with junk code (e.g., NOP)"), yielding
+//! on average 70.49% more basic blocks per sample. This module applies the
+//! two standard moves of such engines:
+//!
+//! * **bogus control flow** (`cmp rX, rX; beq <past junk>` guarding junk
+//!   that never executes) in *straight-line* code, inflating the
+//!   basic-block count the way OLLVM-style engines do;
+//! * **plain junk padding** (NOPs, dead ALU on unused registers) woven
+//!   into *loop bodies*, diluting the hot instruction stream.
+//!
+//! The padding is what defeats rule-based trace matchers like SCADET: the
+//! instruction distance across one prime/probe traversal grows past the
+//! matcher's fixed window. It is register-only (no memory junk), exactly
+//! like NOP-style junk, so the program's memory-access *set* is unchanged
+//! — which is why SCAGuard's cache-semantic model survives it.
+//!
+//! Insertions are placed only at *flags-dead* points (positions from which
+//! a `cmp` is reached before any branch on the fall-through path), so the
+//! clobbered comparison flags are never observed.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sca_cfg::{remove_back_edges, Cfg};
+use sca_isa::{AluOp, Cond, Inst, Operand, Program, Reg};
+
+use crate::mutate::used_regs;
+use crate::rewrite::{expand_program, EXPANSION_END};
+
+/// Obfuscation knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObfuscationConfig {
+    /// Target relative increase in basic-block count (the paper reports
+    /// ~0.70 on average).
+    pub bb_inflation: f64,
+    /// Maximum junk instructions per opaque-predicate site.
+    pub max_junk: usize,
+    /// Probability of padding any given *loop-body* instruction with a
+    /// plain junk instruction.
+    pub hot_junk_prob: f64,
+}
+
+impl Default for ObfuscationConfig {
+    fn default() -> ObfuscationConfig {
+        ObfuscationConfig {
+            bb_inflation: 0.70,
+            max_junk: 3,
+            hot_junk_prob: 0.30,
+        }
+    }
+}
+
+/// Positions before which the comparison flags are dead: scanning forward
+/// from the position on the fall-through path, a `Cmp` appears before any
+/// branch, jump, or halt.
+fn flags_dead_points(program: &Program) -> Vec<usize> {
+    let insts = program.insts();
+    let mut dead = Vec::new();
+    for i in 0..insts.len() {
+        for inst in &insts[i..] {
+            match inst {
+                Inst::Cmp { .. } => {
+                    dead.push(i);
+                    break;
+                }
+                Inst::Br { .. } | Inst::Jmp { .. } | Inst::Halt => break,
+                _ => {}
+            }
+        }
+    }
+    dead
+}
+
+/// Positions inside a *measured timing window*: after an odd number of
+/// `rdtscp` instructions, i.e. between the start and stop of a timing
+/// pair. An attacker obfuscating their own PoC keeps junk out of these
+/// windows — padding the code the attack itself times would shift the
+/// measured latencies and destroy the covert channel the attack depends
+/// on. (Benign programs rarely read the TSC at all, so this exclusion is
+/// a no-op for them.)
+fn measured_windows(program: &Program) -> Vec<bool> {
+    let mut inside = false;
+    program
+        .insts()
+        .iter()
+        .map(|inst| {
+            let here = inside;
+            if matches!(inst, Inst::Rdtscp { .. }) {
+                inside = !inside;
+            }
+            here
+        })
+        .collect()
+}
+
+/// Maximum instruction span for a loop to count as *inner* (hot): junk is
+/// aimed at tight loops, where it dilutes the access stream the most.
+const INNER_LOOP_SPAN: usize = 48;
+
+/// Instruction indices inside an *innermost* loop, approximated as the
+/// address span between each back edge's target (loop head) and source
+/// (latch) when that span is small — exact for the contiguous, reducible
+/// loops our generators emit.
+fn loop_body_insts(program: &Program, cfg: &Cfg) -> Vec<bool> {
+    let dag = remove_back_edges(cfg);
+    let mut hot = vec![false; program.len()];
+    for &(src, dst) in dag.removed_edges() {
+        let head = cfg.block(dst).insts.start.min(cfg.block(src).insts.start);
+        let latch_end = cfg.block(src).insts.end.max(cfg.block(dst).insts.end);
+        if latch_end - head > INNER_LOOP_SPAN {
+            continue;
+        }
+        for flag in &mut hot[head..latch_end] {
+            *flag = true;
+        }
+    }
+    hot
+}
+
+/// Obfuscate `program` with opaque predicates (in straight-line code) and
+/// loop-body junk padding.
+///
+/// The result is semantically equivalent: opaque branches are never taken,
+/// and junk only writes registers the original program never reads.
+pub fn obfuscate(program: &Program, seed: u64, cfg: &ObfuscationConfig) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bf5_ca7e);
+    let cfg_graph = Cfg::build(program);
+    let original_bbs = cfg_graph.len();
+    // Every opaque predicate adds ~2 blocks (the branch split + the decoy
+    // target split).
+    let wanted_sites = ((original_bbs as f64 * cfg.bb_inflation) / 2.0).ceil() as usize;
+
+    let hot = loop_body_insts(program, &cfg_graph);
+    let measured = measured_windows(program);
+    let all_dead = flags_dead_points(program);
+    let dead_set: BTreeSet<usize> = all_dead.iter().copied().collect();
+    // Bogus-control-flow sites go at cold *block leaders*: the guard and
+    // its dead junk slot between existing blocks instead of splitting one.
+    let candidates: Vec<usize> = cfg_graph
+        .blocks()
+        .iter()
+        .map(|b| b.insts.start)
+        .filter(|&i| !hot[i] && !measured[i] && dead_set.contains(&i))
+        .collect();
+
+    let mut sites = BTreeSet::new();
+    if !candidates.is_empty() {
+        for _ in 0..wanted_sites * 8 {
+            if sites.len() >= wanted_sites {
+                break;
+            }
+            sites.insert(candidates[rng.gen_range(0..candidates.len())]);
+        }
+    }
+
+    let used = used_regs(program);
+    let scratch: Vec<Reg> = Reg::ALL
+        .iter()
+        .copied()
+        .filter(|r| !used[r.index()])
+        .collect();
+    // Any register works for the opaque predicate (cmp r, r is always
+    // equal and does not modify r).
+    let pred_reg = scratch.first().copied().unwrap_or(Reg::R0);
+    let max_junk = cfg.max_junk.max(2);
+
+    let hot_dead: Vec<bool> = {
+        let dead: BTreeSet<usize> = all_dead.into_iter().collect();
+        (0..program.len())
+            .map(|i| hot[i] && !measured[i] && dead.contains(&i))
+            .collect()
+    };
+
+    fn junk_inst(rng: &mut StdRng, scratch: &[Reg]) -> Inst {
+        if scratch.is_empty() || rng.gen_bool(0.4) {
+            Inst::Nop
+        } else {
+            let r = scratch[rng.gen_range(0..scratch.len())];
+            if rng.gen_bool(0.5) {
+                Inst::Alu {
+                    op: AluOp::Xor,
+                    dst: r,
+                    src: Operand::Imm(rng.gen_range(1..0xfff)),
+                }
+            } else {
+                Inst::MovImm {
+                    dst: r,
+                    imm: rng.gen_range(0..0xffff),
+                }
+            }
+        }
+    }
+
+    expand_program(program, format!("{}+obf{seed:x}", program.name()), |i, inst| {
+        let mut out = Vec::new();
+        if sites.contains(&i) {
+            // Bogus control flow (cold code only): `cmp r, r` is always
+            // equal, so the `beq` always skips the junk — the junk block
+            // exists statically (inflating the CFG) but never executes.
+            out.push(Inst::Cmp {
+                lhs: pred_reg,
+                rhs: Operand::Reg(pred_reg),
+            });
+            out.push(Inst::Br {
+                cond: Cond::Eq,
+                // Lands on the original instruction, past the junk.
+                target: EXPANSION_END,
+            });
+            for _ in 0..rng.gen_range(2..=max_junk) {
+                out.push(junk_inst(&mut rng, &scratch));
+            }
+        } else if hot_dead[i] && rng.gen_bool(cfg.hot_junk_prob) {
+            // Plain padding inside loop bodies: one junk instruction per
+            // site — no new blocks, just a diluted instruction stream.
+            out.push(junk_inst(&mut rng, &scratch));
+        }
+        out.push(*inst);
+        out
+    })
+}
+
+/// The relative basic-block inflation of `obf` over `orig`.
+pub fn bb_inflation(orig: &Program, obf: &Program) -> f64 {
+    let a = Cfg::build(orig).len() as f64;
+    let b = Cfg::build(obf).len() as f64;
+    (b - a) / a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::RESULT_BASE;
+    use crate::poc::{flush_reload_iaik, prime_probe_iaik, PocParams};
+    use sca_cpu::{CpuConfig, Machine};
+
+    #[test]
+    fn obfuscation_inflates_bb_count_near_target() {
+        let s = flush_reload_iaik(&PocParams::default());
+        let cfg = ObfuscationConfig::default();
+        let mut total = 0.0;
+        for seed in 0..4 {
+            total += bb_inflation(&s.program, &obfuscate(&s.program, seed, &cfg));
+        }
+        let mean = total / 4.0;
+        assert!(
+            (0.3..=1.2).contains(&mean),
+            "mean inflation {mean} too far from the ~0.70 target"
+        );
+    }
+
+    #[test]
+    fn obfuscated_fr_still_recovers_the_secret() {
+        let params = PocParams::default().with_secrets(vec![5, 5, 5, 5]);
+        let s = flush_reload_iaik(&params);
+        for seed in 0..4 {
+            let q = obfuscate(&s.program, seed, &ObfuscationConfig::default());
+            let mut m = Machine::new(CpuConfig::default());
+            let t = m.run(&q, &s.victim).expect("run");
+            assert!(t.halted, "seed {seed}");
+            assert_ne!(
+                m.read_word(RESULT_BASE + 5 * 8),
+                0,
+                "obfuscation {seed} broke the attack"
+            );
+        }
+    }
+
+    #[test]
+    fn obfuscated_pp_still_detects_the_victim_set() {
+        let params = PocParams::default().with_secrets(vec![3, 3, 3, 3]);
+        let s = prime_probe_iaik(&params);
+        let q = obfuscate(&s.program, 7, &ObfuscationConfig::default());
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&q, &s.victim).expect("run");
+        assert!(t.halted);
+        assert_ne!(m.read_word(RESULT_BASE + 3 * 8), 0);
+    }
+
+    #[test]
+    fn obfuscation_is_deterministic_and_seed_sensitive() {
+        let s = flush_reload_iaik(&PocParams::default());
+        let cfg = ObfuscationConfig::default();
+        assert_eq!(
+            obfuscate(&s.program, 3, &cfg).insts(),
+            obfuscate(&s.program, 3, &cfg).insts()
+        );
+        assert_ne!(
+            obfuscate(&s.program, 3, &cfg).insts(),
+            obfuscate(&s.program, 4, &cfg).insts()
+        );
+    }
+
+    #[test]
+    fn hot_junk_lands_in_loops() {
+        let s = prime_probe_iaik(&PocParams::default());
+        let q = obfuscate(&s.program, 1, &ObfuscationConfig::default());
+        assert!(
+            q.len() > s.program.len() + 10,
+            "padding must add instructions: {} -> {}",
+            s.program.len(),
+            q.len()
+        );
+    }
+
+    #[test]
+    fn junk_adds_no_memory_operations() {
+        let s = flush_reload_iaik(&PocParams::default());
+        let q = obfuscate(&s.program, 2, &ObfuscationConfig::default());
+        let count = |p: &Program| {
+            p.insts()
+                .iter()
+                .filter(|i| i.is_memory_op())
+                .count()
+        };
+        assert_eq!(count(&s.program), count(&q), "NOP-style junk only");
+    }
+
+    #[test]
+    fn flags_dead_points_exclude_live_flag_ranges() {
+        use sca_isa::{MemRef, ProgramBuilder};
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 0); // 0: dead (cmp at 1 comes first)
+        b.cmp_imm(Reg::R0, 3); // 1: dead (itself a cmp)
+        b.load(Reg::R1, MemRef::abs(0x1000)); // 2: LIVE (br at 3 before any cmp)
+        let l = b.new_label();
+        b.br(Cond::Lt, l); // 3: live
+        b.bind(l);
+        b.halt();
+        let p = b.build();
+        let dead = flags_dead_points(&p);
+        assert!(dead.contains(&0));
+        assert!(dead.contains(&1));
+        assert!(!dead.contains(&2));
+        assert!(!dead.contains(&3));
+    }
+}

@@ -1,0 +1,131 @@
+//! Evict+Reload (ER-IAIK): like Flush+Reload but evicts the monitored
+//! shared lines by traversing per-set eviction sets instead of `clflush`,
+//! so it works without flush instructions.
+
+use sca_cpu::Victim;
+use sca_isa::{AluOp, Cond, InstTag, MemRef, ProgramBuilder, Reg};
+
+use crate::layout::{llc_set, prime_addr, LINE, LLC_SETS, RESULT_BASE, SHARED_BASE};
+use crate::poc::PocParams;
+use crate::sample::{AttackFamily, Label, Sample};
+
+/// IAIK-style Evict+Reload over the shared probe region.
+///
+/// For each monitored line, the attacker loads `evict_ways` of its own
+/// lines that map to the same LLC set (evicting the target under any
+/// reasonable replacement policy), lets the victim run, then reloads the
+/// target with timing.
+pub fn evict_reload_iaik(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("ER-IAIK");
+    crate::poc::emit_load_calibration(&mut b);
+    let (i, w, addr, t0, t1) = (Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    let (round, mark) = (Reg::R7, Reg::R9);
+
+    // The shared region is laid out so line `i` falls in LLC set
+    // `base_set + i`; the eviction set for line `i` therefore starts at the
+    // attacker's conflict address for that set.
+    let base_set = llc_set(SHARED_BASE);
+
+    b.mov_imm(mark, 1);
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+    b.mov_imm(i, 0);
+    let line_top = b.here();
+
+    // Evict step: traverse the eviction set of line i.
+    b.mov_imm(w, 0);
+    let evict_top = b.here();
+    b.tagged(InstTag::Evict, |b| {
+        // addr = prime_addr(base_set + i, w) = ATTACKER + w*SETS*LINE + (base_set+i)*LINE
+        b.mov_reg(addr, w);
+        b.alu_imm(AluOp::Mul, addr, (LLC_SETS * LINE) as i64);
+        b.alu_imm(AluOp::Add, addr, prime_addr(base_set, 0) as i64);
+        b.mov_reg(t0, i);
+        b.alu_imm(AluOp::Shl, t0, 6);
+        b.alu(AluOp::Add, addr, t0);
+        b.load(t1, MemRef::base(addr));
+    });
+    b.alu_imm(AluOp::Add, w, 1);
+    b.cmp_imm(w, params.evict_ways as i64);
+    b.br(Cond::Lt, evict_top);
+
+    b.vyield();
+
+    // Reload step: timed re-access of the target line.
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.tag_next(InstTag::Reload);
+    b.load(t1, MemRef::base(addr));
+    b.tag_next(InstTag::Time);
+    b.rdtscp(w); // reuse w as t1 before it is reset
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, w, t0);
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(w, params.reload_threshold);
+    let slow = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Ge, slow);
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(addr, i);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, RESULT_BASE as i64);
+        b.store(mark, MemRef::base(addr));
+    });
+    b.bind(slow);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, line_top);
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.probe_lines);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        Victim::shared_memory(SHARED_BASE, LINE, params.secrets.clone()),
+        Label::Attack(AttackFamily::FlushReload),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_cpu::{CpuConfig, Machine};
+
+    #[test]
+    fn er_contains_no_clflush() {
+        let s = evict_reload_iaik(&PocParams::default());
+        assert!(
+            !s.program
+                .insts()
+                .iter()
+                .any(|i| matches!(i, sca_isa::Inst::Clflush { .. })),
+            "Evict+Reload must not use clflush"
+        );
+    }
+
+    #[test]
+    fn er_recovers_the_secret_line() {
+        let params = PocParams::default().with_secrets(vec![4]);
+        let s = evict_reload_iaik(&params);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &s.victim).expect("run");
+        assert!(t.halted);
+        let hits: Vec<u64> = (0..params.probe_lines)
+            .filter(|i| m.read_word(RESULT_BASE + i * 8) != 0)
+            .collect();
+        assert!(hits.contains(&4), "secret line must be recovered: {hits:?}");
+    }
+
+    #[test]
+    fn er_has_evict_tags_and_no_flush_tags() {
+        let s = evict_reload_iaik(&PocParams::default());
+        let tags: std::collections::BTreeSet<_> = s.program.tags().map(|(_, t)| t).collect();
+        assert!(tags.contains(&InstTag::Evict));
+        assert!(!tags.contains(&InstTag::Flush));
+    }
+}

@@ -1,0 +1,112 @@
+//! Flush+Flush (FF-IAIK): observe the victim through `clflush` latency
+//! alone — flushing a cached line takes measurably longer than flushing an
+//! uncached one, so the attack never performs a reload.
+
+use sca_cpu::Victim;
+use sca_isa::{AluOp, Cond, InstTag, MemRef, ProgramBuilder, Reg};
+
+use crate::layout::{LINE, RESULT_BASE, SHARED_BASE};
+use crate::poc::PocParams;
+use crate::sample::{AttackFamily, Label, Sample};
+
+/// IAIK-style Flush+Flush over the shared probe region.
+pub fn flush_flush_iaik(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("FF-IAIK");
+    crate::poc::emit_load_calibration(&mut b);
+    let (i, addr, t0, t1, round) = (Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R7);
+    let mark = Reg::R9;
+
+    b.mov_imm(mark, 1);
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+
+    // Let the victim touch its secret line first; a cached line will now
+    // flush slowly.
+    b.vyield();
+
+    b.mov_imm(i, 0);
+    let line_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.tag_next(InstTag::Flush);
+    b.clflush(MemRef::base(addr));
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t1);
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, t1, t0);
+    // Slow flush => the line was cached => the victim accessed it.
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(t1, params.flush_threshold);
+    let fast = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Lt, fast);
+    // The round number is the recorded mark: the warm-up round stores 0
+    // (no flag), discarding its cold-cache noise for free.
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(addr, i);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, RESULT_BASE as i64);
+        b.store(round, MemRef::base(addr));
+    });
+    b.bind(fast);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, line_top);
+
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.probe_lines);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        Victim::shared_memory(SHARED_BASE, LINE, params.secrets.clone()),
+        Label::Attack(AttackFamily::FlushReload),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_cpu::{CpuConfig, Machine};
+
+    #[test]
+    fn ff_recovers_the_secret_line() {
+        let params = PocParams::default().with_secrets(vec![6, 6, 6, 6]);
+        let s = flush_flush_iaik(&params);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&s.program, &s.victim).expect("run");
+        assert!(t.halted);
+        let hits: Vec<u64> = (0..params.probe_lines)
+            .filter(|i| m.read_word(RESULT_BASE + i * 8) != 0)
+            .collect();
+        assert!(hits.contains(&6), "secret line must flush slowly: {hits:?}");
+    }
+
+    #[test]
+    fn ff_never_reloads_the_probe_region() {
+        // The defining property of Flush+Flush: no loads from the shared
+        // region, only clflush.
+        let s = flush_flush_iaik(&PocParams::default());
+        for inst in s.program.insts() {
+            if let sca_isa::Inst::Load { addr, .. } = inst {
+                assert_ne!(
+                    addr.base,
+                    None,
+                    "no absolute loads from the shared region"
+                );
+            }
+        }
+        let flushes = s
+            .program
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, sca_isa::Inst::Clflush { .. }))
+            .count();
+        assert_eq!(flushes, 1, "one clflush site, in the attack loop");
+    }
+}

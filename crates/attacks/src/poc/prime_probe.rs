@@ -1,0 +1,423 @@
+//! Three Prime+Probe implementations (PP-IAIK, PP-Jzhang, PP-Percival in
+//! Table II).
+//!
+//! Prime+Probe needs no shared memory: the attacker fills ("primes") the
+//! monitored cache sets with its own lines, lets the victim run, then
+//! re-traverses ("probes") each set with timing — a victim access to a
+//! monitored set evicts one of the attacker's lines and slows the probe.
+//!
+//! Two traversal details matter on an out-of-order core and have
+//! real-world counterparts in every robust PoC:
+//!
+//! * **Way-index masking.** At a counted loop's exit branch the core
+//!   mispredicts and speculatively runs extra iterations; unmasked, those
+//!   wrong-path loads hit out-of-range ways *in the monitored set*,
+//!   evicting primed lines and burying the victim's one-line signal under
+//!   self-inflicted misses. Wrapping the way index (`and w, ways-1`)
+//!   sends the overshoot back to an already-resident way — a harmless
+//!   cache hit — so the traversal never pollutes its own sets, no matter
+//!   what padding surrounds the loop. (Real PoCs get the same hygiene
+//!   from pointer-chased eviction sets.)
+//! * **Zig-zag order.** The probe walks the ways in the *reverse* of
+//!   prime order, so the line the victim evicted (the LRU, first-primed
+//!   one) is probed last and its reload displaces the victim's line
+//!   rather than a yet-unprobed one — one clean miss instead of a
+//!   cascade (Osvik/Tromer's classic discipline).
+//!
+//! The probe thresholds in [`PocParams`] are calibrated to the simulated
+//! latency model the same way a real PoC calibrates to its host CPU.
+
+use sca_cpu::Victim;
+use sca_isa::{AluOp, Cond, InstTag, MemRef, ProgramBuilder, Reg};
+
+use crate::layout::{prime_addr, LINE, LLC_SETS, MONITOR_SET_BASE, RESULT_BASE, VICTIM_CONFLICT_BASE};
+use crate::poc::PocParams;
+use crate::sample::{AttackFamily, Label, Sample};
+
+fn victim_for(params: &PocParams) -> Victim {
+    // the victim's conflict addresses target the monitored set range
+    Victim::set_conflict(
+        VICTIM_CONFLICT_BASE + MONITOR_SET_BASE * LINE,
+        LINE,
+        params.secrets.clone(),
+    )
+}
+
+/// Register assignment shared by the direct-addressing generators
+/// (PP-IAIK and PP-Percival).
+struct PpRegs {
+    s: Reg,
+    w: Reg,
+    addr: Reg,
+    t0: Reg,
+    t1: Reg,
+    v: Reg,
+}
+
+/// Emit the shared `addr = base + (w & (ways-1)) * stride + s * 64`
+/// address computation of one prime/probe body.
+fn emit_way_addr(b: &mut ProgramBuilder, r: &PpRegs, ways: i64, stride: i64) {
+    b.mov_reg(r.addr, r.w);
+    // way-index mask: keeps wrong-path overshoot inside the primed range
+    b.alu_imm(AluOp::And, r.addr, ways - 1);
+    b.alu_imm(AluOp::Mul, r.addr, stride);
+    b.mov_reg(r.v, r.s);
+    b.alu_imm(AluOp::Shl, r.v, 6);
+    b.alu(AluOp::Add, r.addr, r.v);
+    b.alu_imm(AluOp::Add, r.addr, prime_addr(MONITOR_SET_BASE, 0) as i64);
+}
+
+/// Emit a prime pass: fill `ways` ways of `sets` monitored sets, way
+/// stride `stride` bytes, ways ascending.
+fn emit_prime(b: &mut ProgramBuilder, r: &PpRegs, sets: i64, ways: i64, stride: i64) {
+    b.mov_imm(r.s, 0);
+    let set_top = b.here();
+    b.mov_imm(r.w, 0);
+    let way_top = b.here();
+    b.tagged(InstTag::Prime, |b| {
+        emit_way_addr(b, r, ways, stride);
+        b.load(r.v, MemRef::base(r.addr));
+    });
+    b.alu_imm(AluOp::Add, r.w, 1);
+    b.cmp_imm(r.w, ways);
+    b.br(Cond::Lt, way_top);
+    b.alu_imm(AluOp::Add, r.s, 1);
+    b.cmp_imm(r.s, sets);
+    b.br(Cond::Lt, set_top);
+}
+
+/// Emit one timed probe of the set in `r.s`: walk `ways` ways in reverse
+/// (zig-zag) order and leave the elapsed time in `r.t1`.
+fn emit_probe_timed(b: &mut ProgramBuilder, r: &PpRegs, ways: i64, stride: i64) {
+    b.tag_next(InstTag::Time);
+    b.rdtscp(r.t0);
+    b.mov_imm(r.w, ways - 1);
+    let way_top = b.here();
+    b.tagged(InstTag::Probe, |b| {
+        emit_way_addr(b, r, ways, stride);
+        b.load(r.v, MemRef::base(r.addr));
+    });
+    b.cmp_imm(r.w, 0);
+    let done = b.new_label();
+    b.br(Cond::Eq, done);
+    b.alu_imm(AluOp::Sub, r.w, 1);
+    b.jmp(way_top);
+    b.bind(done);
+    b.tag_next(InstTag::Time);
+    b.rdtscp(r.t1);
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, r.t1, r.t0);
+}
+
+/// Shared round-loop skeleton for the direct-addressing generators:
+/// per round prime → yield → probe each set → record sets slower than
+/// `threshold`.
+fn emit_pp_rounds(
+    b: &mut ProgramBuilder,
+    r: &PpRegs,
+    round: Reg,
+    params: &PocParams,
+    ways: i64,
+    stride: i64,
+    threshold: i64,
+) {
+    assert!(
+        ways.count_ones() == 1,
+        "way-index masking requires a power-of-two way count, got {ways}"
+    );
+    let sets = params.prime_sets as i64;
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+
+    emit_prime(b, r, sets, ways, stride);
+    b.vyield();
+
+    b.mov_imm(r.s, 0);
+    let probe_set_top = b.here();
+    emit_probe_timed(b, r, ways, stride);
+    // Slow probe => the victim touched this set. The *round number* is
+    // the recorded mark: the warm-up round stores 0 (no flag), which
+    // discards its cold-instruction-cache noise for free.
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(r.t1, threshold);
+    let fast = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Lt, fast);
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(r.addr, r.s);
+        b.alu_imm(AluOp::Shl, r.addr, 3);
+        b.alu_imm(AluOp::Add, r.addr, RESULT_BASE as i64);
+        b.store(round, MemRef::base(r.addr));
+    });
+    b.bind(fast);
+    b.alu_imm(AluOp::Add, r.s, 1);
+    b.cmp_imm(r.s, sets);
+    b.br(Cond::Lt, probe_set_top);
+
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+}
+
+/// IAIK-style Prime+Probe on the LLC: prime all monitored sets, yield,
+/// probe all sets with one `rdtscp` pair per set, record slow sets.
+pub fn prime_probe_iaik(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("PP-IAIK");
+    crate::poc::emit_load_calibration(&mut b);
+    let r = PpRegs {
+        s: Reg::R2,
+        w: Reg::R3,
+        addr: Reg::R4,
+        t0: Reg::R5,
+        t1: Reg::R6,
+        v: Reg::R8,
+    };
+    let round = Reg::R7;
+    let stride = (LLC_SETS * LINE) as i64;
+    let ways = params.prime_ways as i64;
+
+    emit_pp_rounds(
+        &mut b,
+        &r,
+        round,
+        params,
+        ways,
+        stride,
+        params.probe_threshold,
+    );
+    crate::poc::emit_report(&mut b, params.prime_sets);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        victim_for(params),
+        Label::Attack(AttackFamily::PrimeProbe),
+    )
+}
+
+/// Percival-style Prime+Probe on the *L1 data cache*: primes all 8 ways of
+/// the monitored L1 sets and probes them with timing. No shared memory, no
+/// `clflush`, and — unlike the LLC variants — the prime lines deliberately
+/// conflict only in the L1 (each way maps to a distinct LLC set).
+pub fn prime_probe_percival(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("PP-Percival");
+    crate::poc::emit_load_calibration(&mut b);
+    let r = PpRegs {
+        s: Reg::R2,
+        w: Reg::R3,
+        addr: Reg::R4,
+        t0: Reg::R5,
+        t1: Reg::R6,
+        v: Reg::R8,
+    };
+    let round = Reg::R7;
+    // L1D: 64 sets x 8 ways x 64B. Way stride 64*64 B keeps each way in a
+    // different LLC set, so only the L1 conflicts matter; one victim
+    // access costs one L1 miss (an LLC hit, ~26 cycles) over the
+    // all-L1-hit baseline.
+    let l1_ways: i64 = 8;
+    let way_stride: i64 = 64 * 64;
+
+    emit_pp_rounds(
+        &mut b,
+        &r,
+        round,
+        params,
+        l1_ways,
+        way_stride,
+        params.l1_probe_threshold,
+    );
+    crate::poc::emit_report(&mut b, params.prime_sets);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        victim_for(params),
+        Label::Attack(AttackFamily::PrimeProbe),
+    )
+}
+
+/// Jzhang-style Prime+Probe: primes ways in *descending* order, probes
+/// forward with per-way latency accumulation (rdtscp inside the way
+/// loop), and uses index-register addressing — structurally distinct
+/// from [`prime_probe_iaik`] while keeping the same zig-zag discipline
+/// (probe order is the reverse of prime order).
+pub fn prime_probe_jzhang(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("PP-Jzhang");
+    crate::poc::emit_load_calibration(&mut b);
+    let (s, w, off, t0, t1) = (Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    let (round, v, acc, base) = (Reg::R7, Reg::R8, Reg::R10, Reg::R1);
+    let sets = params.prime_sets as i64;
+    let ways = params.prime_ways as i64;
+    assert!(
+        ways.count_ones() == 1,
+        "way-index masking requires a power-of-two way count, got {ways}"
+    );
+
+    b.mov_imm(base, prime_addr(MONITOR_SET_BASE, 0) as i64);
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+
+    // Prime step, ways descending.
+    b.mov_imm(s, 0);
+    let prime_set_top = b.here();
+    b.mov_imm(w, ways - 1);
+    let prime_way_top = b.here();
+    b.tagged(InstTag::Prime, |b| {
+        b.mov_reg(off, w);
+        b.alu_imm(AluOp::And, off, ways - 1);
+        b.alu_imm(AluOp::Mul, off, (LLC_SETS * LINE) as i64);
+        b.mov_reg(v, s);
+        b.alu_imm(AluOp::Shl, v, 6);
+        b.alu(AluOp::Add, off, v);
+        b.load(v, MemRef::base_index(base, off, 1));
+    });
+    b.cmp_imm(w, 0);
+    let prime_done = b.new_label();
+    b.br(Cond::Eq, prime_done);
+    b.alu_imm(AluOp::Sub, w, 1);
+    b.jmp(prime_way_top);
+    b.bind(prime_done);
+    b.alu_imm(AluOp::Add, s, 1);
+    b.cmp_imm(s, sets);
+    b.br(Cond::Lt, prime_set_top);
+
+    b.vyield();
+
+    // Probe step with per-way accumulated latency, ways ascending (the
+    // reverse of prime order — the zig-zag).
+    b.mov_imm(s, 0);
+    let probe_set_top = b.here();
+    b.mov_imm(acc, 0);
+    b.mov_imm(w, 0);
+    let probe_way_top = b.here();
+    b.tagged(InstTag::Probe, |b| {
+        b.mov_reg(off, w);
+        b.alu_imm(AluOp::And, off, ways - 1);
+        b.alu_imm(AluOp::Mul, off, (LLC_SETS * LINE) as i64);
+        b.mov_reg(v, s);
+        b.alu_imm(AluOp::Shl, v, 6);
+        b.alu(AluOp::Add, off, v);
+    });
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.tag_next(InstTag::Probe);
+    b.load(v, MemRef::base_index(base, off, 1));
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t1);
+    b.tagged(InstTag::Time, |b| {
+        b.alu(AluOp::Sub, t1, t0);
+        b.alu(AluOp::Add, acc, t1);
+    });
+    b.alu_imm(AluOp::Add, w, 1);
+    b.cmp_imm(w, ways);
+    b.br(Cond::Lt, probe_way_top);
+    // Slow accumulated probe => the victim touched this set; the round
+    // number is the mark (the warm-up round stores 0, discarding its
+    // cold-instruction-cache noise for free).
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(acc, params.probe_acc_threshold);
+    let fast = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Lt, fast);
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(off, s);
+        b.alu_imm(AluOp::Shl, off, 3);
+        b.alu_imm(AluOp::Add, off, RESULT_BASE as i64);
+        b.store(round, MemRef::base(off));
+    });
+    b.bind(fast);
+    b.alu_imm(AluOp::Add, s, 1);
+    b.cmp_imm(s, sets);
+    b.br(Cond::Lt, probe_set_top);
+
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.prime_sets);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        victim_for(params),
+        Label::Attack(AttackFamily::PrimeProbe),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_cpu::{CpuConfig, Machine};
+
+    fn slow_sets(sample: &Sample, prime_sets: u64) -> Vec<u64> {
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&sample.program, &sample.victim).expect("run");
+        assert!(t.halted, "PoC must halt");
+        (0..prime_sets)
+            .filter(|s| m.read_word(RESULT_BASE + s * 8) != 0)
+            .collect()
+    }
+
+    #[test]
+    fn pp_iaik_detects_the_victim_set() {
+        let params = PocParams::default().with_secrets(vec![3, 3, 3, 3]);
+        let s = prime_probe_iaik(&params);
+        let slow = slow_sets(&s, params.prime_sets);
+        assert_eq!(
+            slow,
+            vec![3],
+            "exactly the victim's set must probe slowly (a differential \
+             signal, not an all-slow scan)"
+        );
+    }
+
+    #[test]
+    fn pp_jzhang_detects_the_victim_set() {
+        let params = PocParams::default().with_secrets(vec![5, 5, 5, 5]);
+        let s = prime_probe_jzhang(&params);
+        let slow = slow_sets(&s, params.prime_sets);
+        assert_eq!(
+            slow,
+            vec![5],
+            "exactly the victim's set must probe slowly (a differential \
+             signal, not an all-slow scan)"
+        );
+    }
+
+    #[test]
+    fn pp_percival_detects_the_victim_set() {
+        let params = PocParams::default().with_secrets(vec![2, 2, 2, 2]);
+        let s = prime_probe_percival(&params);
+        let slow = slow_sets(&s, params.prime_sets);
+        assert_eq!(
+            slow,
+            vec![2],
+            "exactly the victim's set must probe slowly (a differential \
+             signal, not an all-slow scan)"
+        );
+    }
+
+    #[test]
+    fn pp_uses_no_clflush_and_no_shared_memory() {
+        let s = prime_probe_iaik(&PocParams::default());
+        for inst in s.program.insts() {
+            assert!(
+                !matches!(inst, sca_isa::Inst::Clflush { .. }),
+                "Prime+Probe must not flush"
+            );
+        }
+    }
+
+    #[test]
+    fn implementations_are_syntactically_distinct() {
+        let p = PocParams::default();
+        assert_ne!(
+            prime_probe_iaik(&p).program.insts(),
+            prime_probe_jzhang(&p).program.insts()
+        );
+        assert_ne!(
+            prime_probe_iaik(&p).program.insts(),
+            prime_probe_percival(&p).program.insts()
+        );
+    }
+}

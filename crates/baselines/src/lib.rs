@@ -1,0 +1,32 @@
+//! # sca-baselines — the detection approaches compared in Table VI
+//!
+//! A common [`AttackDetector`] interface over the five approaches the
+//! paper evaluates:
+//!
+//! * [`ScaGuardDetector`] — the paper's contribution (attack behavior
+//!   modeling + DTW similarity), wrapping [`scaguard`];
+//! * [`MlDetector`] instantiated as **SVM-NW**, **LR-NW**, and
+//!   **KNN-MLFM** — the learning-based baselines over HPC features;
+//! * [`Scadet`] — the rule-based Prime+Probe tracker (learning-free).
+//!
+//! Beyond the paper's Table VI, [`AnomalyDetector`] reproduces the
+//! victim-oriented benign-profile approach its Related Work critiques
+//! (the paper's reference 32): it detects but cannot classify, and its
+//! false-positive behaviour is measurable.
+//!
+//! The trait deliberately mirrors how the paper trains each approach:
+//! SCAGuard models *one PoC per attack type*; the ML baselines train on
+//! hundreds of labeled samples; SCADET uses fixed, designated rules and
+//! ignores training data entirely.
+
+mod anomaly;
+mod detector;
+mod ml;
+mod scadet;
+mod scaguard_adapter;
+
+pub use anomaly::AnomalyDetector;
+pub use detector::{class_of_label, label_of_class, AttackDetector, DetectError, N_CLASSES};
+pub use ml::MlDetector;
+pub use scadet::{Scadet, ScadetConfig};
+pub use scaguard_adapter::ScaGuardDetector;

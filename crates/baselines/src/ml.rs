@@ -1,0 +1,143 @@
+//! Learning-based baselines (SVM-NW, LR-NW, KNN-MLFM) behind the common
+//! [`AttackDetector`] interface.
+
+use sca_attacks::{Label, Sample};
+use sca_cpu::{CpuConfig, Machine};
+use sca_ml::{features_from_trace, Classifier, Knn, LinearSvm, LogisticRegression};
+
+use crate::detector::{class_of_label, label_of_class, AttackDetector, DetectError};
+
+/// A learning-based detector: runs each sample on the simulated CPU,
+/// extracts windowed-HPC features, and trains/queries an [`sca_ml`]
+/// classifier.
+#[derive(Debug, Clone)]
+pub struct MlDetector<C: Classifier> {
+    name: String,
+    cpu: CpuConfig,
+    clf: C,
+    trained: bool,
+}
+
+impl MlDetector<LinearSvm> {
+    /// The SVM detector of NIGHTs-WATCH.
+    pub fn svm_nw(cpu: CpuConfig) -> MlDetector<LinearSvm> {
+        MlDetector {
+            name: "SVM-NW".into(),
+            cpu,
+            clf: LinearSvm::new(),
+            trained: false,
+        }
+    }
+}
+
+impl MlDetector<LogisticRegression> {
+    /// The regression detector of NIGHTs-WATCH.
+    pub fn lr_nw(cpu: CpuConfig) -> MlDetector<LogisticRegression> {
+        MlDetector {
+            name: "LR-NW".into(),
+            cpu,
+            clf: LogisticRegression::new(),
+            trained: false,
+        }
+    }
+}
+
+impl MlDetector<Knn> {
+    /// The k-NN malicious-loop finder (KNN-MLFM).
+    pub fn knn_mlfm(cpu: CpuConfig) -> MlDetector<Knn> {
+        MlDetector {
+            name: "KNN-MLFM".into(),
+            cpu,
+            clf: Knn::new(5),
+            trained: false,
+        }
+    }
+}
+
+impl<C: Classifier> MlDetector<C> {
+    /// Extract the feature vector of one sample.
+    pub fn features(&self, sample: &Sample) -> Result<Vec<f64>, DetectError> {
+        let mut m = Machine::new(self.cpu.clone());
+        let trace = m.run(&sample.program, &sample.victim)?;
+        Ok(features_from_trace(&trace))
+    }
+}
+
+impl<C: Classifier> AttackDetector for MlDetector<C> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn train(&mut self, samples: &[&Sample]) -> Result<(), DetectError> {
+        let mut x = Vec::with_capacity(samples.len());
+        let mut y = Vec::with_capacity(samples.len());
+        for s in samples {
+            x.push(self.features(s)?);
+            y.push(class_of_label(s.label));
+        }
+        // One-vs-rest classifiers need every class index up to the max to
+        // exist; ensure the benign class is representable even if absent.
+        self.clf.fit(&x, &y);
+        self.trained = true;
+        Ok(())
+    }
+
+    fn classify(&self, sample: &Sample) -> Result<Label, DetectError> {
+        if !self.trained {
+            return Err(DetectError::NotTrained);
+        }
+        let f = self.features(sample)?;
+        let class = self.clf.predict(&f).min(crate::detector::N_CLASSES - 1);
+        Ok(label_of_class(class))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_attacks::benign::{self, Kind};
+    use sca_attacks::poc::{self, PocParams};
+    use sca_attacks::AttackFamily;
+
+    fn training_set() -> Vec<Sample> {
+        let mut out = Vec::new();
+        for seed in 0..6u64 {
+            let params = PocParams::default().with_rounds(2 + seed % 3);
+            out.push(poc::flush_reload_iaik(&params));
+            out.push(poc::prime_probe_iaik(&params));
+            out.push(benign::generate(Kind::Leetcode, seed));
+            out.push(benign::generate(Kind::Crypto, seed));
+        }
+        out
+    }
+
+    #[test]
+    fn knn_separates_attacks_from_benign_in_distribution() {
+        let set = training_set();
+        let refs: Vec<&Sample> = set.iter().collect();
+        let mut d = MlDetector::knn_mlfm(CpuConfig::default());
+        d.train(&refs).expect("train");
+        // In-distribution check: a fresh FR variant and a fresh benign.
+        let fr = poc::flush_reload_iaik(&PocParams::default().with_rounds(4));
+        assert_eq!(
+            d.classify(&fr).expect("classify"),
+            Label::Attack(AttackFamily::FlushReload)
+        );
+        let ben = benign::generate(Kind::Leetcode, 99);
+        assert_eq!(d.classify(&ben).expect("classify"), Label::Benign);
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let d = MlDetector::svm_nw(CpuConfig::default());
+        let s = benign::generate(Kind::Spec, 1);
+        assert!(matches!(d.classify(&s), Err(DetectError::NotTrained)));
+    }
+
+    #[test]
+    fn names_match_table_vi() {
+        assert_eq!(MlDetector::svm_nw(CpuConfig::default()).name(), "SVM-NW");
+        assert_eq!(MlDetector::lr_nw(CpuConfig::default()).name(), "LR-NW");
+        assert_eq!(MlDetector::knn_mlfm(CpuConfig::default()).name(), "KNN-MLFM");
+    }
+}

@@ -1,0 +1,62 @@
+//! # sca-bench — benchmarks and ablation studies
+//!
+//! Two kinds of artifacts live here:
+//!
+//! * **Criterion benches** (`benches/`): per-component performance
+//!   (`components`) and per-experiment wall time at reduced scale
+//!   (`experiments`) — one bench group per table/figure of the paper.
+//! * **Ablation binaries** (`src/bin/ablations.rs`): quality comparisons
+//!   for the design choices DESIGN.md calls out — the CST distance
+//!   components, DTW vs lock-step alignment, the attack-relevant graph vs
+//!   naive block selection, and CST-replay cache policy sensitivity.
+//!
+//! The helpers below build the standard fixtures both share.
+
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::{AttackFamily, Sample};
+use scaguard::{build_model, CstBbs, ModelingConfig, ModelingOutcome};
+
+/// The default fixture parameters used by benches and ablations.
+pub fn fixture_params() -> PocParams {
+    PocParams::default()
+}
+
+/// The representative PoC sample of each family.
+pub fn fixture_pocs() -> Vec<(AttackFamily, Sample)> {
+    let params = fixture_params();
+    AttackFamily::ALL
+        .iter()
+        .map(|&f| (f, poc::representative(f, &params)))
+        .collect()
+}
+
+/// Model one sample with the default configuration.
+///
+/// # Panics
+///
+/// Panics if modeling fails (fixtures are known-good).
+pub fn fixture_model(sample: &Sample) -> ModelingOutcome {
+    build_model(&sample.program, &sample.victim, &ModelingConfig::default())
+        .expect("fixture models")
+}
+
+/// A pair of CST-BBS models for similarity benches: two different
+/// Flush+Reload implementations.
+pub fn fixture_model_pair() -> (CstBbs, CstBbs) {
+    let params = fixture_params();
+    let a = fixture_model(&poc::flush_reload_iaik(&params)).cst_bbs;
+    let b = fixture_model(&poc::flush_reload_mastik(&params)).cst_bbs;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(fixture_pocs().len(), 4);
+        let (a, b) = fixture_model_pair();
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+}

@@ -1,0 +1,589 @@
+//! A single set-associative cache level with owner-tagged lines.
+
+use crate::config::{CacheConfig, ReplacementPolicy};
+use crate::state::CacheState;
+
+/// Who caused a cache line to be filled.
+///
+/// Definition 3 of the paper splits occupancy into `AO` (lines occupied by
+/// the attack program) and `IO` (every other occupied line); tagging each
+/// fill with its originating party lets both be read off directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// The program under analysis (the would-be attacker).
+    Attacker,
+    /// The co-located victim process.
+    Victim,
+    /// Pre-existing/other system data.
+    Other,
+}
+
+/// Result of one cache access at a single level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Line-aligned address and owner of the line evicted by the fill, if
+    /// the access missed and displaced a valid line.
+    pub evicted: Option<(u64, Owner)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    owner: Owner,
+    valid: bool,
+    /// LRU recency stamp or FIFO insertion stamp, depending on policy.
+    stamp: u64,
+}
+
+const INVALID_LINE: Line = Line {
+    tag: 0,
+    owner: Owner::Other,
+    valid: false,
+    stamp: 0,
+};
+
+/// One set-associative cache level.
+///
+/// Addresses are byte addresses; the cache operates on line granularity.
+/// All operations are deterministic, including the `Random` replacement
+/// policy (which draws from a seeded xorshift stream).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    /// Tree-PLRU state bits, one word per set.
+    plru: Vec<u64>,
+    tick: u64,
+    rng: u64,
+}
+
+impl Cache {
+    /// Create an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        Cache {
+            cfg,
+            lines: vec![INVALID_LINE; cfg.lines()],
+            plru: vec![0; cfg.sets],
+            tick: 0,
+            rng: cfg.seed | 1,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.cfg.ways;
+        base..base + self.cfg.ways
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_size / self.cfg.sets as u64
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn xorshift(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Whether the line containing `addr` is present (no state update).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.cfg.set_index(addr);
+        let tag = self.tag_of(addr);
+        self.lines[self.set_range(set)]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// The owner of the resident line containing `addr`, if present.
+    pub fn owner_of(&self, addr: u64) -> Option<Owner> {
+        let set = self.cfg.set_index(addr);
+        let tag = self.tag_of(addr);
+        self.lines[self.set_range(set)]
+            .iter()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| l.owner)
+    }
+
+    /// Access `addr` on behalf of `owner`, filling on miss.
+    ///
+    /// `is_write` only matters for bookkeeping symmetry with real caches
+    /// (write-allocate, no write-back modelling is needed for timing).
+    pub fn access(&mut self, addr: u64, owner: Owner, is_write: bool) -> AccessOutcome {
+        let _ = is_write; // write-allocate: identical fill path
+        let set = self.cfg.set_index(addr);
+        let tag = self.tag_of(addr);
+        let range = self.set_range(set);
+
+        // Hit path.
+        if let Some(off) = self.lines[range.clone()]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+        {
+            let idx = range.start + off;
+            if self.cfg.policy == ReplacementPolicy::Lru {
+                self.lines[idx].stamp = self.next_tick();
+            }
+            if self.cfg.policy == ReplacementPolicy::TreePlru {
+                self.plru_touch(set, off);
+            }
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+
+        // Miss: pick a victim way and fill (honoring any way partition).
+        let way = self.victim_way(set, owner);
+        let idx = range.start + way;
+        let old = self.lines[idx];
+        let evicted = old
+            .valid
+            .then(|| (self.line_addr_of(set, old.tag), old.owner));
+        let stamp = self.next_tick();
+        self.lines[idx] = Line {
+            tag,
+            owner,
+            valid: true,
+            stamp,
+        };
+        if self.cfg.policy == ReplacementPolicy::TreePlru {
+            self.plru_touch(set, way);
+        }
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Fill `addr` for `owner` without counting as a demand access
+    /// (used when propagating inclusive fills between levels).
+    pub fn fill(&mut self, addr: u64, owner: Owner) -> Option<(u64, Owner)> {
+        let out = self.access(addr, owner, false);
+        out.evicted
+    }
+
+    /// Invalidate the line containing `addr`. Returns `true` if it was
+    /// present (this presence bit drives the Flush+Flush timing channel).
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let set = self.cfg.set_index(addr);
+        let tag = self.tag_of(addr);
+        let range = self.set_range(set);
+        for idx in range {
+            if self.lines[idx].valid && self.lines[idx].tag == tag {
+                self.lines[idx] = INVALID_LINE;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidate the line containing `addr` if present; otherwise
+    /// invalidate the replacement-victim line of `addr`'s set (if any line
+    /// is valid there). Returns `true` if a line was invalidated.
+    ///
+    /// This is the `clflush` semantics for CST replay (Section III-A.3 of
+    /// the paper): the replay cache is prefilled to stand for "full of
+    /// arbitrary data", so flushing an address must displace whatever data
+    /// currently occupies its cache slot, decreasing `IO`.
+    pub fn displace(&mut self, addr: u64) -> bool {
+        if self.invalidate(addr) {
+            return true;
+        }
+        let set = self.cfg.set_index(addr);
+        if self.lines[self.set_range(set)].iter().all(|l| !l.valid) {
+            return false;
+        }
+        let way = self.victim_way(set, Owner::Other);
+        let idx = set * self.cfg.ways + way;
+        if !self.lines[idx].valid {
+            return false;
+        }
+        self.lines[idx] = INVALID_LINE;
+        true
+    }
+
+    /// Invalidate every line, resetting the cache to empty.
+    pub fn clear(&mut self) {
+        self.lines.fill(INVALID_LINE);
+        self.plru.fill(0);
+    }
+
+    /// Fill *every* line with distinct synthetic addresses owned by `owner`.
+    ///
+    /// This realizes the paper's CST-measurement scenario: "initially, the
+    /// cache is full of data and the attack is not mounted, that is `IO = 1`
+    /// and `AO = 0`" (with `owner = Owner::Other`).
+    pub fn prefill(&mut self, owner: Owner) {
+        // Use tags beyond any plausible program address so prefill lines
+        // never alias real data.
+        let base_tag = 1u64 << 40;
+        for set in 0..self.cfg.sets {
+            for way in 0..self.cfg.ways {
+                let idx = set * self.cfg.ways + way;
+                let stamp = self.next_tick();
+                self.lines[idx] = Line {
+                    tag: base_tag + way as u64,
+                    owner,
+                    valid: true,
+                    stamp,
+                };
+            }
+        }
+    }
+
+    /// Number of valid lines owned by `owner`.
+    pub fn lines_owned_by(&self, owner: Owner) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.valid && l.owner == owner)
+            .count()
+    }
+
+    /// Number of valid lines regardless of owner.
+    pub fn lines_valid(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// The cache state `(AO, IO)` of Definition 3: attacker occupancy and
+    /// non-attacker occupancy as fractions of total lines.
+    pub fn state(&self) -> CacheState {
+        let total = self.cfg.lines() as f64;
+        let ao = self.lines_owned_by(Owner::Attacker) as f64 / total;
+        let io = (self.lines_valid() - self.lines_owned_by(Owner::Attacker)) as f64 / total;
+        CacheState::new(ao, io)
+    }
+
+    /// Distinct set indices currently holding at least one line owned by
+    /// `owner` (used by the SCADET baseline's set-access rules).
+    pub fn sets_owned_by(&self, owner: Owner) -> Vec<usize> {
+        (0..self.cfg.sets)
+            .filter(|&s| {
+                self.lines[self.set_range(s)]
+                    .iter()
+                    .any(|l| l.valid && l.owner == owner)
+            })
+            .collect()
+    }
+
+    fn line_addr_of(&self, set: usize, tag: u64) -> u64 {
+        (tag * self.cfg.sets as u64 + set as u64) * self.cfg.line_size
+    }
+
+    /// The way offsets `owner` may allocate into under the partition.
+    fn allowed_ways(&self, owner: Owner) -> std::ops::Range<usize> {
+        let r = self.cfg.reserved_victim_ways;
+        if r == 0 {
+            0..self.cfg.ways
+        } else if owner == Owner::Victim {
+            0..r
+        } else {
+            r..self.cfg.ways
+        }
+    }
+
+    fn victim_way(&mut self, set: usize, owner: Owner) -> usize {
+        let base = set * self.cfg.ways;
+        let allowed = self.allowed_ways(owner);
+        // Always prefer an invalid way within the allowed range.
+        for off in allowed.clone() {
+            if !self.lines[base + off].valid {
+                return off;
+            }
+        }
+        if self.cfg.reserved_victim_ways != 0 {
+            // Partitioned: replacement within the allowed range is
+            // oldest-stamp (LRU/FIFO semantics; the tree-PLRU and random
+            // policies degrade to the same, documented behavior).
+            let mut best = allowed.start;
+            let mut best_stamp = u64::MAX;
+            for off in allowed {
+                if self.lines[base + off].stamp < best_stamp {
+                    best_stamp = self.lines[base + off].stamp;
+                    best = off;
+                }
+            }
+            return best;
+        }
+        let range = self.set_range(set);
+        match self.cfg.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                // LRU: oldest recency stamp. FIFO: oldest insertion stamp
+                // (stamps are only refreshed on hit under LRU).
+                let mut best = 0;
+                let mut best_stamp = u64::MAX;
+                for (off, l) in self.lines[range].iter().enumerate() {
+                    if l.stamp < best_stamp {
+                        best_stamp = l.stamp;
+                        best = off;
+                    }
+                }
+                best
+            }
+            ReplacementPolicy::TreePlru => self.plru_victim(set),
+            ReplacementPolicy::Random => (self.xorshift() as usize) % self.cfg.ways,
+        }
+    }
+
+    // --- tree-PLRU ------------------------------------------------------
+    //
+    // Standard binary-tree PLRU over the next power of two >= ways; bits
+    // live in one u64 per set (ways <= 64 supported, ample here).
+
+    fn plru_touch(&mut self, set: usize, way: usize) {
+        let ways = self.cfg.ways.next_power_of_two();
+        let mut node = 1usize;
+        let mut lo = 0usize;
+        let mut hi = ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let go_right = way >= mid;
+            // Point the bit *away* from the touched way.
+            if go_right {
+                self.plru[set] &= !(1 << node);
+                lo = mid;
+                node = node * 2 + 1;
+            } else {
+                self.plru[set] |= 1 << node;
+                hi = mid;
+                node *= 2;
+            }
+        }
+    }
+
+    fn plru_victim(&mut self, set: usize) -> usize {
+        let ways = self.cfg.ways.next_power_of_two();
+        let mut node = 1usize;
+        let mut lo = 0usize;
+        let mut hi = ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let bit = (self.plru[set] >> node) & 1;
+            if bit == 1 {
+                lo = mid;
+                node = node * 2 + 1;
+            } else {
+                hi = mid;
+                node *= 2;
+            }
+        }
+        lo.min(self.cfg.ways - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(policy: ReplacementPolicy) -> Cache {
+        Cache::new(CacheConfig::new(4, 2, 64).with_policy(policy))
+    }
+
+    /// Address with a given set index and tag for the tiny geometry.
+    fn addr(set: u64, tag: u64) -> u64 {
+        (tag * 4 + set) * 64
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        assert!(!c.access(addr(0, 1), Owner::Attacker, false).hit);
+        assert!(c.access(addr(0, 1), Owner::Attacker, false).hit);
+        assert!(c.probe(addr(0, 1)));
+    }
+
+    #[test]
+    fn same_line_different_offset_hits() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access(addr(0, 1), Owner::Attacker, false);
+        assert!(c.access(addr(0, 1) + 63, Owner::Attacker, false).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access(addr(0, 1), Owner::Attacker, false);
+        c.access(addr(0, 2), Owner::Attacker, false);
+        // touch tag 1 so tag 2 becomes LRU
+        c.access(addr(0, 1), Owner::Attacker, false);
+        let out = c.access(addr(0, 3), Owner::Attacker, false);
+        assert_eq!(out.evicted, Some((addr(0, 2), Owner::Attacker)));
+        assert!(c.probe(addr(0, 1)));
+        assert!(!c.probe(addr(0, 2)));
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut c = tiny(ReplacementPolicy::Fifo);
+        c.access(addr(0, 1), Owner::Attacker, false);
+        c.access(addr(0, 2), Owner::Attacker, false);
+        // touching tag 1 must NOT save it under FIFO
+        c.access(addr(0, 1), Owner::Attacker, false);
+        let out = c.access(addr(0, 3), Owner::Attacker, false);
+        assert_eq!(out.evicted, Some((addr(0, 1), Owner::Attacker)));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = Cache::new(
+                CacheConfig::new(4, 2, 64)
+                    .with_policy(ReplacementPolicy::Random)
+                    .with_seed(seed),
+            );
+            let mut evictions = Vec::new();
+            for t in 1..20 {
+                if let Some(e) = c.access(addr(0, t), Owner::Attacker, false).evicted {
+                    evictions.push(e.0);
+                }
+            }
+            evictions
+        };
+        assert_eq!(run(7), run(7));
+        // different seed gives a different (almost surely) eviction order —
+        // not asserted to avoid a flaky test, determinism is the contract.
+    }
+
+    #[test]
+    fn plru_victim_changes_after_touch() {
+        let mut c = Cache::new(CacheConfig::new(1, 4, 64).with_policy(ReplacementPolicy::TreePlru));
+        for t in 0..4 {
+            c.access(addr(0, t), Owner::Attacker, false);
+        }
+        // All ways valid; touching way for tag 3 should steer the victim
+        // away from it.
+        c.access(4 * 3 * 64, Owner::Attacker, false);
+        let out = c.access(4 * 100 * 64, Owner::Attacker, false);
+        assert!(out.evicted.is_some());
+        assert_ne!(out.evicted.unwrap().0, 4 * 3 * 64);
+    }
+
+    #[test]
+    fn invalidate_reports_presence() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access(addr(1, 5), Owner::Victim, false);
+        assert!(c.invalidate(addr(1, 5)));
+        assert!(!c.invalidate(addr(1, 5)));
+        assert!(!c.probe(addr(1, 5)));
+    }
+
+    #[test]
+    fn prefill_yields_full_io() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.prefill(Owner::Other);
+        let s = c.state();
+        assert_eq!(s.ao, 0.0);
+        assert_eq!(s.io, 1.0);
+        assert_eq!(c.lines_valid(), 8);
+    }
+
+    #[test]
+    fn occupancy_tracks_owners() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.prefill(Owner::Other);
+        c.access(addr(0, 9), Owner::Attacker, false);
+        c.access(addr(1, 9), Owner::Attacker, false);
+        let s = c.state();
+        assert!((s.ao - 2.0 / 8.0).abs() < 1e-12);
+        assert!((s.io - 6.0 / 8.0).abs() < 1e-12);
+        assert!(s.ao + s.io <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn eviction_addr_reconstruction_roundtrips() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access(addr(2, 7), Owner::Victim, false);
+        c.access(addr(2, 8), Owner::Victim, false);
+        let out = c.access(addr(2, 9), Owner::Victim, false);
+        assert_eq!(out.evicted, Some((addr(2, 7), Owner::Victim)));
+    }
+
+    #[test]
+    fn sets_owned_by_reports_attacker_sets() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access(addr(0, 1), Owner::Attacker, false);
+        c.access(addr(3, 1), Owner::Attacker, false);
+        c.access(addr(2, 1), Owner::Victim, false);
+        assert_eq!(c.sets_owned_by(Owner::Attacker), vec![0, 3]);
+        assert_eq!(c.sets_owned_by(Owner::Victim), vec![2]);
+    }
+
+    #[test]
+    fn displace_removes_exact_line_or_set_victim() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.prefill(Owner::Other);
+        assert_eq!(c.lines_valid(), 8);
+        // addr not present: displaces the set's victim line
+        assert!(c.displace(addr(0, 5)));
+        assert_eq!(c.lines_valid(), 7);
+        // exact line present: displaces it precisely
+        c.access(addr(1, 9), Owner::Attacker, false);
+        assert!(c.displace(addr(1, 9)));
+        assert!(!c.probe(addr(1, 9)));
+    }
+
+    #[test]
+    fn displace_on_empty_set_is_noop() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        assert!(!c.displace(addr(2, 1)));
+        assert_eq!(c.lines_valid(), 0);
+    }
+
+    #[test]
+    fn partition_confines_victim_fills() {
+        let mut c = Cache::new(CacheConfig::new(4, 4, 64).with_reserved_victim_ways(2));
+        // Attacker fills its 2 allowed ways of set 0.
+        c.access(addr(0, 1), Owner::Attacker, false);
+        c.access(addr(0, 2), Owner::Attacker, false);
+        // Victim fills never evict attacker lines...
+        for t in 10..20 {
+            c.access(addr(0, t), Owner::Victim, false);
+        }
+        assert!(c.probe(addr(0, 1)), "attacker line survives victim fills");
+        assert!(c.probe(addr(0, 2)));
+        // ...and attacker fills never evict victim lines.
+        c.clear();
+        c.access(addr(0, 1), Owner::Victim, false);
+        for t in 10..20 {
+            c.access(addr(0, t), Owner::Attacker, false);
+        }
+        assert!(c.probe(addr(0, 1)), "victim line survives attacker fills");
+    }
+
+    #[test]
+    fn partition_does_not_affect_hits() {
+        let mut c = Cache::new(CacheConfig::new(4, 4, 64).with_reserved_victim_ways(2));
+        c.access(addr(0, 1), Owner::Victim, false);
+        // the attacker can still *hit* the victim's cached line
+        assert!(c.access(addr(0, 1), Owner::Attacker, false).hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must leave ways")]
+    fn full_reservation_rejected() {
+        let _ = CacheConfig::new(4, 4, 64).with_reserved_victim_ways(4);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.prefill(Owner::Other);
+        c.clear();
+        assert_eq!(c.lines_valid(), 0);
+        let s = c.state();
+        assert_eq!((s.ao, s.io), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,224 @@
+//! Cache and hierarchy configuration.
+
+use std::fmt;
+
+/// Replacement policy for a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (exact, per-set recency stamps).
+    #[default]
+    Lru,
+    /// First-in-first-out (insertion order, untouched by hits).
+    Fifo,
+    /// Tree pseudo-LRU (binary decision tree per set, as in real L1s).
+    TreePlru,
+    /// Uniform-random victim selection (deterministic xorshift stream).
+    Random,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplacementPolicy::Lru => write!(f, "LRU"),
+            ReplacementPolicy::Fifo => write!(f, "FIFO"),
+            ReplacementPolicy::TreePlru => write!(f, "Tree-PLRU"),
+            ReplacementPolicy::Random => write!(f, "Random"),
+        }
+    }
+}
+
+/// Geometry and policy of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Number of sets; must be a power of two.
+    pub sets: usize,
+    /// Associativity (lines per set); must be nonzero.
+    pub ways: usize,
+    /// Line size in bytes; must be a power of two.
+    pub line_size: u64,
+    /// Victim-selection policy.
+    pub policy: ReplacementPolicy,
+    /// Seed for the `Random` policy's deterministic stream.
+    pub seed: u64,
+    /// Way-partitioning defense (Intel CAT-style): reserve the first N
+    /// ways of every set for [`Owner::Victim`](crate::Owner::Victim)
+    /// fills; all other owners allocate in the remaining ways. `0`
+    /// disables partitioning. Hits are unaffected (CAT restricts
+    /// *allocation*, not lookup).
+    pub reserved_victim_ways: usize,
+}
+
+impl CacheConfig {
+    /// Create a configuration with the default (LRU) policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_size` is not a power of two, or `ways == 0`.
+    pub fn new(sets: usize, ways: usize, line_size: u64) -> CacheConfig {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be nonzero");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        CacheConfig {
+            sets,
+            ways,
+            line_size,
+            policy: ReplacementPolicy::Lru,
+            seed: 0x5ca6_0a2d,
+            reserved_victim_ways: 0,
+        }
+    }
+
+    /// Builder-style way-partitioning override (see
+    /// [`reserved_victim_ways`](CacheConfig::reserved_victim_ways)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= ways` (every owner needs at least one way).
+    pub fn with_reserved_victim_ways(mut self, n: usize) -> CacheConfig {
+        assert!(n < self.ways, "partition must leave ways for other owners");
+        self.reserved_victim_ways = n;
+        self
+    }
+
+    /// Builder-style policy override.
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> CacheConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style seed override (only affects `Random`).
+    pub fn with_seed(mut self, seed: u64) -> CacheConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_size
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// The set index of byte address `addr`.
+    pub fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.line_size) as usize) & (self.sets - 1)
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_size - 1)
+    }
+}
+
+/// Configuration for the full two-level hierarchy used by the simulated CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Last-level (shared) cache.
+    pub llc: CacheConfig,
+    /// Whether the LLC is inclusive of the L1s (evicting an LLC line
+    /// back-invalidates the L1 copies). Intel client parts — like the
+    /// paper's i7-6700 — are inclusive; server parts since Skylake-SP are
+    /// not, which is a known hardening against LLC Prime+Probe.
+    pub inclusive: bool,
+}
+
+impl HierarchyConfig {
+    /// A hierarchy loosely shaped like the paper's i7-6700 test machine,
+    /// scaled down so experiments stay fast: 32 KiB split L1 (64×8×64B)
+    /// and a 1 MiB 16-way inclusive LLC.
+    pub fn skylake_like() -> HierarchyConfig {
+        HierarchyConfig {
+            l1d: CacheConfig::new(64, 8, 64),
+            l1i: CacheConfig::new(64, 8, 64),
+            llc: CacheConfig::new(1024, 16, 64),
+            inclusive: true,
+        }
+    }
+
+    /// A tiny hierarchy for fast unit tests (4 KiB L1, 32 KiB LLC).
+    pub fn tiny() -> HierarchyConfig {
+        HierarchyConfig {
+            l1d: CacheConfig::new(16, 4, 64),
+            l1i: CacheConfig::new(16, 4, 64),
+            llc: CacheConfig::new(64, 8, 64),
+            inclusive: true,
+        }
+    }
+
+    /// Builder-style switch to a non-inclusive LLC.
+    pub fn non_inclusive(mut self) -> HierarchyConfig {
+        self.inclusive = false;
+        self
+    }
+
+    /// Builder-style replacement-policy override applied to every level.
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> HierarchyConfig {
+        self.l1d.policy = policy;
+        self.l1i.policy = policy;
+        self.llc.policy = policy;
+        self
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig::skylake_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_and_lines() {
+        let c = CacheConfig::new(64, 8, 64);
+        assert_eq!(c.capacity(), 32 * 1024);
+        assert_eq!(c.lines(), 512);
+    }
+
+    #[test]
+    fn set_index_wraps() {
+        let c = CacheConfig::new(16, 4, 64);
+        assert_eq!(c.set_index(0), 0);
+        assert_eq!(c.set_index(64), 1);
+        assert_eq!(c.set_index(16 * 64), 0);
+        assert_eq!(c.set_index(17 * 64 + 5), 1);
+    }
+
+    #[test]
+    fn line_addr_masks_offset() {
+        let c = CacheConfig::new(16, 4, 64);
+        assert_eq!(c.line_addr(0x1234), 0x1200);
+        assert_eq!(c.line_addr(0x1240), 0x1240);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = CacheConfig::new(3, 4, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_ways_rejected() {
+        let _ = CacheConfig::new(4, 0, 64);
+    }
+
+    #[test]
+    fn default_hierarchy_is_skylake_like() {
+        let h = HierarchyConfig::default();
+        assert_eq!(h.l1d.capacity(), 32 * 1024);
+        assert_eq!(h.llc.capacity(), 1024 * 1024);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sca-cache — set-associative cache model
+//!
+//! The cache simulator plays two roles in the SCAGuard pipeline:
+//!
+//! 1. **Runtime substrate.** The simulated CPU (`sca-cpu`) runs every
+//!    target program against a two-level hierarchy (split L1 + inclusive
+//!    LLC) and derives the Table-I HPC events from the hit/miss outcomes
+//!    this crate reports.
+//! 2. **CST measurement.** Section III-A.3 of the paper replays each
+//!    attack-relevant basic block's memory accesses in a cache simulator
+//!    initialized to `IO = 1, AO = 0` and reads the resulting cache state
+//!    transition off the occupancy counters. [`Cache::prefill`] and
+//!    [`Cache::state`] implement exactly that protocol.
+//!
+//! Lines carry an [`Owner`] so the *attacker occupancy* `AO` and *other
+//! occupancy* `IO` of Definition 3 can be measured directly:
+//!
+//! ```
+//! use sca_cache::{Cache, CacheConfig, Owner};
+//!
+//! let mut c = Cache::new(CacheConfig::new(16, 4, 64));
+//! c.prefill(Owner::Other);
+//! assert_eq!(c.state().io, 1.0);
+//! c.access(0x1000, Owner::Attacker, false);
+//! let s = c.state();
+//! assert!(s.ao > 0.0 && s.ao + s.io <= 1.0);
+//! ```
+
+mod cache;
+mod config;
+mod hierarchy;
+mod state;
+
+pub use cache::{AccessOutcome, Cache, Owner};
+pub use config::{CacheConfig, HierarchyConfig, ReplacementPolicy};
+pub use hierarchy::{DataOutcome, FetchOutcome, Hierarchy};
+pub use state::CacheState;

@@ -1,0 +1,328 @@
+//! Basic blocks and CFG construction by leader analysis.
+
+use std::fmt;
+use std::ops::Range;
+
+use sca_isa::Program;
+
+/// Identifier of a basic block within one [`Cfg`] (dense, `0..len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: a maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// This block's id.
+    pub id: BlockId,
+    /// Instruction indices `[start, end)` into the program.
+    pub insts: Range<usize>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the block is empty (never true for blocks built by
+    /// [`Cfg::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The text address of the block's first instruction.
+    pub fn start_addr(&self, program: &Program) -> u64 {
+        program.addr_of(self.insts.start)
+    }
+
+    /// Text addresses of every instruction in the block.
+    pub fn inst_addrs<'p>(&self, program: &'p Program) -> impl Iterator<Item = u64> + 'p {
+        let range = self.insts.clone();
+        range.map(move |i| program.addr_of(i))
+    }
+}
+
+/// A control flow graph over a [`Program`] (Definition 1).
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    /// Instruction index -> owning block.
+    block_of_inst: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Build the CFG of `program` by leader analysis: the first
+    /// instruction, every branch target, and every instruction following a
+    /// terminator start a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is empty.
+    pub fn build(program: &Program) -> Cfg {
+        assert!(!program.is_empty(), "cannot build a CFG of an empty program");
+        let n = program.len();
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (i, inst) in program.insts().iter().enumerate() {
+            if let Some(t) = inst.branch_target() {
+                leader[t] = true;
+            }
+            if inst.is_terminator() && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of_inst = vec![BlockId(0); n];
+        let mut start = 0usize;
+        for (i, is_leader) in leader
+            .iter()
+            .copied()
+            .chain(std::iter::once(true))
+            .enumerate()
+            .skip(1)
+        {
+            if is_leader {
+                let id = BlockId(blocks.len());
+                block_of_inst[start..i].fill(id);
+                blocks.push(BasicBlock { id, insts: start..i });
+                start = i;
+            }
+        }
+
+        let m = blocks.len();
+        let mut succs = vec![Vec::new(); m];
+        let mut preds = vec![Vec::new(); m];
+        let add_edge = |succs: &mut Vec<Vec<BlockId>>, preds: &mut Vec<Vec<BlockId>>, a: BlockId, b: BlockId| {
+            if !succs[a.0].contains(&b) {
+                succs[a.0].push(b);
+                preds[b.0].push(a);
+            }
+        };
+        for block in &blocks {
+            let last = block.insts.end - 1;
+            let inst = &program.insts()[last];
+            if let Some(t) = inst.branch_target() {
+                add_edge(&mut succs, &mut preds, block.id, block_of_inst[t]);
+            }
+            if inst.falls_through() && block.insts.end < n {
+                add_edge(
+                    &mut succs,
+                    &mut preds,
+                    block.id,
+                    block_of_inst[block.insts.end],
+                );
+            }
+        }
+
+        Cfg {
+            blocks,
+            succs,
+            preds,
+            block_of_inst,
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks (never true for built CFGs).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The entry block (always `bb0`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The block with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0]
+    }
+
+    /// All blocks in address order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Iterator over all block ids.
+    pub fn ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len()).map(BlockId)
+    }
+
+    /// Successor blocks of `id`.
+    pub fn succs(&self, id: BlockId) -> &[BlockId] {
+        &self.succs[id.0]
+    }
+
+    /// Predecessor blocks of `id`.
+    pub fn preds(&self, id: BlockId) -> &[BlockId] {
+        &self.preds[id.0]
+    }
+
+    /// The block containing instruction index `inst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is out of range.
+    pub fn block_of_inst(&self, inst: usize) -> BlockId {
+        self.block_of_inst[inst]
+    }
+
+    /// The block whose instruction range contains text address `addr`.
+    pub fn block_at_addr(&self, program: &Program, addr: u64) -> Option<BlockId> {
+        program.index_of_addr(addr).map(|i| self.block_of_inst(i))
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_isa::{AluOp, Cond, MemRef, ProgramBuilder, Reg};
+
+    fn diamond() -> Program {
+        // 0: cmp; 1: br T; 2: then; 3: jmp J; T: else; J: join; halt
+        let mut b = ProgramBuilder::new("diamond");
+        b.cmp_imm(Reg::R0, 0);
+        let t = b.new_label();
+        let j = b.new_label();
+        b.br(Cond::Eq, t);
+        b.mov_imm(Reg::R1, 1);
+        b.jmp(j);
+        b.bind(t);
+        b.mov_imm(Reg::R1, 2);
+        b.bind(j);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 4);
+        let entry = cfg.entry();
+        assert_eq!(cfg.succs(entry).len(), 2);
+        // both arms join
+        let join = cfg.block_of_inst(p.len() - 1);
+        assert_eq!(cfg.preds(join).len(), 2);
+        assert!(cfg.succs(join).is_empty());
+    }
+
+    #[test]
+    fn every_instruction_in_exactly_one_block() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        let mut covered = vec![0u32; p.len()];
+        for b in cfg.blocks() {
+            for i in b.insts.clone() {
+                covered[i] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn loop_back_edge_exists() {
+        let mut b = ProgramBuilder::new("loop");
+        b.mov_imm(Reg::R0, 0);
+        let top = b.here();
+        b.alu_imm(AluOp::Add, Reg::R0, 1);
+        b.cmp_imm(Reg::R0, 3);
+        b.br(Cond::Lt, top);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 3);
+        let body = cfg.block_of_inst(1);
+        assert!(cfg.succs(body).contains(&body), "self-loop on the body");
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new("straight");
+        b.mov_imm(Reg::R1, 0x1000);
+        b.load(Reg::R2, MemRef::base(Reg::R1));
+        b.store(Reg::R2, MemRef::base_disp(Reg::R1, 8));
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.edge_count(), 0);
+    }
+
+    #[test]
+    fn block_at_addr_roundtrips() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        for b in cfg.blocks() {
+            for a in b.inst_addrs(&p) {
+                assert_eq!(cfg.block_at_addr(&p, a), Some(b.id));
+            }
+        }
+        assert_eq!(cfg.block_at_addr(&p, 0xdead_beef), None);
+    }
+
+    #[test]
+    fn branch_fallthrough_both_edges() {
+        let mut b = ProgramBuilder::new("t");
+        b.cmp_imm(Reg::R0, 0);
+        let l = b.new_label();
+        b.br(Cond::Eq, l);
+        b.nop();
+        b.bind(l);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let entry = cfg.entry();
+        assert_eq!(cfg.succs(entry).len(), 2);
+    }
+
+    #[test]
+    fn jmp_has_single_edge() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.new_label();
+        b.jmp(l);
+        b.nop(); // unreachable
+        b.bind(l);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.succs(cfg.entry()).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty program")]
+    fn empty_program_panics() {
+        let p = ProgramBuilder::new("e").build();
+        let _ = Cfg::build(&p);
+    }
+
+    #[test]
+    fn halt_block_has_no_successors() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        let last = cfg.block_of_inst(p.len() - 1);
+        assert!(cfg.succs(last).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Back-edge removal (step 1 of Algorithm 1).
+
+use crate::cfg::{BlockId, Cfg};
+
+/// A loop-free view of a CFG: the same nodes, minus back edges.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    succs: Vec<Vec<BlockId>>,
+    removed: Vec<(BlockId, BlockId)>,
+}
+
+impl Dag {
+    /// Successors of `id` in the DAG.
+    pub fn succs(&self, id: BlockId) -> &[BlockId] {
+        &self.succs[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The back edges that were removed, in discovery order.
+    pub fn removed_edges(&self) -> &[(BlockId, BlockId)] {
+        &self.removed
+    }
+
+    /// A topological order of all nodes reachable from `entry`.
+    pub fn topo_order(&self, entry: BlockId) -> Vec<BlockId> {
+        let mut visited = vec![false; self.len()];
+        let mut order = Vec::new();
+        let mut stack = vec![(entry, 0usize)];
+        visited[entry.0] = true;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            if *child < self.succs[node.0].len() {
+                let next = self.succs[node.0][*child];
+                *child += 1;
+                if !visited[next.0] {
+                    visited[next.0] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
+/// Remove back edges from `cfg` by an iterative DFS from the entry,
+/// classifying an edge as *back* when its head is on the current DFS stack
+/// (the classical definition; for reducible CFGs these are exactly the loop
+/// edges). Nodes unreachable from the entry keep their edges, pruned only
+/// of self-loops, and are additionally swept so the result is acyclic.
+pub fn remove_back_edges(cfg: &Cfg) -> Dag {
+    let n = cfg.len();
+    let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    let mut removed = Vec::new();
+
+    // 0 = unvisited, 1 = on stack, 2 = done
+    let mut color = vec![0u8; n];
+    let mut roots: Vec<BlockId> = vec![cfg.entry()];
+    roots.extend(cfg.ids().filter(|b| *b != cfg.entry()));
+
+    for root in roots {
+        if color[root.0] != 0 {
+            continue;
+        }
+        // Iterative DFS with explicit edge iteration state.
+        let mut stack: Vec<(BlockId, usize)> = vec![(root, 0)];
+        color[root.0] = 1;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            if *child < cfg.succs(node).len() {
+                let next = cfg.succs(node)[*child];
+                *child += 1;
+                match color[next.0] {
+                    1 => removed.push((node, next)), // back edge
+                    0 => {
+                        succs[node.0].push(next);
+                        color[next.0] = 1;
+                        stack.push((next, 0));
+                    }
+                    _ => succs[node.0].push(next), // forward/cross edge
+                }
+            } else {
+                color[node.0] = 2;
+                stack.pop();
+            }
+        }
+    }
+
+    Dag { succs, removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_isa::{AluOp, Cond, ProgramBuilder, Reg};
+
+    fn looped_cfg() -> Cfg {
+        let mut b = ProgramBuilder::new("loop");
+        b.mov_imm(Reg::R0, 0);
+        let top = b.here();
+        b.alu_imm(AluOp::Add, Reg::R0, 1);
+        b.cmp_imm(Reg::R0, 3);
+        b.br(Cond::Lt, top);
+        b.halt();
+        Cfg::build(&b.build())
+    }
+
+    #[test]
+    fn loop_edge_is_removed() {
+        let cfg = looped_cfg();
+        let dag = remove_back_edges(&cfg);
+        assert_eq!(dag.removed_edges().len(), 1);
+        let (src, dst) = dag.removed_edges()[0];
+        assert_eq!(src, dst, "self-loop body");
+        assert!(!dag.succs(src).contains(&dst));
+    }
+
+    #[test]
+    fn acyclic_graph_untouched() {
+        let mut b = ProgramBuilder::new("t");
+        b.cmp_imm(Reg::R0, 0);
+        let l = b.new_label();
+        b.br(Cond::Eq, l);
+        b.nop();
+        b.bind(l);
+        b.halt();
+        let cfg = Cfg::build(&b.build());
+        let dag = remove_back_edges(&cfg);
+        assert!(dag.removed_edges().is_empty());
+        assert_eq!(
+            dag.succs(cfg.entry()).len(),
+            cfg.succs(cfg.entry()).len()
+        );
+    }
+
+    #[test]
+    fn result_is_acyclic() {
+        // nested loops
+        let mut b = ProgramBuilder::new("nested");
+        b.mov_imm(Reg::R0, 0);
+        let outer = b.here();
+        b.mov_imm(Reg::R1, 0);
+        let inner = b.here();
+        b.alu_imm(AluOp::Add, Reg::R1, 1);
+        b.cmp_imm(Reg::R1, 3);
+        b.br(Cond::Lt, inner);
+        b.alu_imm(AluOp::Add, Reg::R0, 1);
+        b.cmp_imm(Reg::R0, 3);
+        b.br(Cond::Lt, outer);
+        b.halt();
+        let cfg = Cfg::build(&b.build());
+        let dag = remove_back_edges(&cfg);
+        assert_eq!(dag.removed_edges().len(), 2);
+        // Kahn check: repeatedly strip zero-in-degree nodes.
+        let n = dag.len();
+        let mut indeg = vec![0usize; n];
+        for u in 0..n {
+            for v in dag.succs(BlockId(u)) {
+                indeg[v.0] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for v in dag.succs(BlockId(u)) {
+                indeg[v.0] -= 1;
+                if indeg[v.0] == 0 {
+                    queue.push(v.0);
+                }
+            }
+        }
+        assert_eq!(seen, n, "DAG must be acyclic");
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let cfg = looped_cfg();
+        let dag = remove_back_edges(&cfg);
+        let order = dag.topo_order(cfg.entry());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        for &b in &order {
+            for &s in dag.succs(b) {
+                assert!(pos[&b] < pos[&s]);
+            }
+        }
+        assert_eq!(order.len(), cfg.len());
+    }
+}

@@ -1,0 +1,41 @@
+//! # sca-cfg — control-flow graphs and the graph algorithms of Algorithm 1
+//!
+//! The paper recovers a CFG from each binary with Angr; here the CFG is
+//! built directly from a [`sca_isa::Program`] by classic leader analysis
+//! (Definition 1: basic blocks are maximal straight-line instruction runs,
+//! edges are the possible control transfers).
+//!
+//! The crate also provides the three graph primitives Algorithm 1 needs:
+//!
+//! * **back-edge removal** ([`remove_back_edges`]) to make the graph
+//!   loop-free (step 1),
+//! * **inter-node path enumeration** ([`enumerate_paths`]) restricted to
+//!   paths that avoid other attack-relevant blocks (step 3),
+//! * **maximum spanning tree** ([`max_spanning_tree`]) over the weighted
+//!   path graph (step 4).
+//!
+//! ```
+//! use sca_isa::{ProgramBuilder, Reg, Cond, AluOp};
+//! use sca_cfg::Cfg;
+//!
+//! let mut b = ProgramBuilder::new("loop");
+//! b.mov_imm(Reg::R0, 0);
+//! let top = b.here();
+//! b.alu_imm(AluOp::Add, Reg::R0, 1);
+//! b.cmp_imm(Reg::R0, 3);
+//! b.br(Cond::Lt, top);
+//! b.halt();
+//! let p = b.build();
+//! let cfg = Cfg::build(&p);
+//! assert_eq!(cfg.len(), 3); // preamble, loop body, exit
+//! ```
+
+mod cfg;
+mod dag;
+mod mst;
+mod paths;
+
+pub use cfg::{BasicBlock, BlockId, Cfg};
+pub use dag::{remove_back_edges, Dag};
+pub use mst::{max_spanning_tree, WeightedEdge};
+pub use paths::enumerate_paths;

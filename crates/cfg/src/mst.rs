@@ -1,0 +1,176 @@
+//! Maximum spanning tree over the weighted attack-relevant path graph
+//! (step 4 of Algorithm 1).
+
+use crate::cfg::BlockId;
+
+/// An undirected weighted edge between two attack-relevant blocks.
+///
+/// The `payload` index lets callers associate the chosen edge back to the
+/// labeled path `(p, V_p)` that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEdge {
+    /// One endpoint.
+    pub a: BlockId,
+    /// The other endpoint.
+    pub b: BlockId,
+    /// Edge weight (the path's attack-correlation value `V_p`).
+    pub weight: f64,
+    /// Caller-defined payload index (e.g. into a path table).
+    pub payload: usize,
+}
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+}
+
+/// Compute a maximum spanning tree (forest, if disconnected) of the
+/// undirected multigraph over `node_count` nodes given by `edges`, using
+/// Kruskal's algorithm with weights sorted descending.
+///
+/// Returns indices into `edges` of the chosen tree edges. Ties are broken
+/// by input order, so the result is deterministic. Non-finite weights are
+/// ordered below all finite ones.
+pub fn max_spanning_tree(node_count: usize, edges: &[WeightedEdge]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by(|&i, &j| {
+        edges[j]
+            .weight
+            .partial_cmp(&edges[i].weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    let mut uf = UnionFind::new(node_count);
+    let mut chosen = Vec::new();
+    for idx in order {
+        let e = &edges[idx];
+        if uf.union(e.a.0, e.b.0) {
+            chosen.push(idx);
+            if chosen.len() + 1 == node_count {
+                break;
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: usize, b: usize, w: f64, payload: usize) -> WeightedEdge {
+        WeightedEdge {
+            a: BlockId(a),
+            b: BlockId(b),
+            weight: w,
+            payload,
+        }
+    }
+
+    #[test]
+    fn triangle_keeps_two_heaviest() {
+        let edges = [e(0, 1, 1.0, 0), e(1, 2, 5.0, 1), e(0, 2, 3.0, 2)];
+        let mst = max_spanning_tree(3, &edges);
+        assert_eq!(mst, vec![1, 2]);
+    }
+
+    #[test]
+    fn paper_figure_3_shape() {
+        // Fig. 3(d): nodes a=0, c=1, e=2 with parallel a-c edges
+        // (weights 3 and MAX) and a-e edges; MST keeps the heaviest.
+        const MAX: f64 = f64::MAX;
+        let edges = [
+            e(0, 1, 3.0, 0),   // a->b->c path
+            e(0, 1, MAX, 1),   // direct a->c
+            e(0, 2, 4.0, 2),   // a->b->e path
+            e(1, 2, 2.0, 3),   // c->d->e path
+        ];
+        let mst = max_spanning_tree(3, &edges);
+        assert_eq!(mst, vec![1, 2], "direct a-c edge and heavier a-e path");
+    }
+
+    #[test]
+    fn disconnected_graph_gives_forest() {
+        let edges = [e(0, 1, 1.0, 0), e(2, 3, 1.0, 1)];
+        let mst = max_spanning_tree(4, &edges);
+        assert_eq!(mst.len(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_pick_heavier() {
+        let edges = [e(0, 1, 1.0, 0), e(0, 1, 9.0, 1)];
+        let mst = max_spanning_tree(2, &edges);
+        assert_eq!(mst, vec![1]);
+    }
+
+    #[test]
+    fn tie_break_is_input_order() {
+        let edges = [e(0, 1, 5.0, 0), e(0, 1, 5.0, 1)];
+        assert_eq!(max_spanning_tree(2, &edges), vec![0]);
+    }
+
+    #[test]
+    fn spanning_tree_connects_all_connected_nodes() {
+        // complete graph K4 with distinct weights
+        let mut edges = Vec::new();
+        let mut w = 0.0;
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                w += 1.0;
+                edges.push(e(a, b, w, edges.len()));
+            }
+        }
+        let mst = max_spanning_tree(4, &edges);
+        assert_eq!(mst.len(), 3);
+        // verify connectivity via the chosen edges
+        let mut uf = UnionFind::new(4);
+        for &i in &mst {
+            uf.union(edges[i].a.0, edges[i].b.0);
+        }
+        let root = uf.find(0);
+        for n in 1..4 {
+            assert_eq!(uf.find(n), root);
+        }
+    }
+
+    #[test]
+    fn empty_edges_empty_tree() {
+        assert!(max_spanning_tree(3, &[]).is_empty());
+    }
+}

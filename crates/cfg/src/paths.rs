@@ -1,0 +1,161 @@
+//! Enumeration of inter-block paths that avoid other attack-relevant
+//! blocks (step 3 of Algorithm 1).
+
+use std::collections::HashSet;
+
+use crate::cfg::BlockId;
+use crate::dag::Dag;
+
+/// Enumerate every path `src -> ... -> dst` in `dag` whose *intermediate*
+/// nodes avoid `forbidden`, up to `cap` paths.
+///
+/// Algorithm 1 computes, for each pair of attack-relevant blocks, "all the
+/// paths between v_i and v_j in the CFG that do not go through any other
+/// attack-relevant BBs"; `forbidden` is that other-relevant-block set
+/// (`src`/`dst` themselves may appear in it — only intermediates are
+/// checked). The graph has already been made loop-free, so enumeration
+/// terminates; `cap` bounds pathological fan-out (a chain of `k` diamonds
+/// has `2^k` paths).
+///
+/// Returned paths include both endpoints. Returns an empty vector when
+/// `dst` is unreachable under the constraints. `src == dst` yields the
+/// trivial single-node path.
+pub fn enumerate_paths(
+    dag: &Dag,
+    src: BlockId,
+    dst: BlockId,
+    forbidden: &HashSet<BlockId>,
+    cap: usize,
+) -> Vec<Vec<BlockId>> {
+    let mut out = Vec::new();
+    if cap == 0 {
+        return out;
+    }
+    if src == dst {
+        out.push(vec![src]);
+        return out;
+    }
+    let mut path = vec![src];
+    dfs(dag, dst, forbidden, cap, &mut path, &mut out);
+    out
+}
+
+fn dfs(
+    dag: &Dag,
+    dst: BlockId,
+    forbidden: &HashSet<BlockId>,
+    cap: usize,
+    path: &mut Vec<BlockId>,
+    out: &mut Vec<Vec<BlockId>>,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    let node = *path.last().expect("path never empty");
+    for &next in dag.succs(node) {
+        if out.len() >= cap {
+            return;
+        }
+        if next == dst {
+            let mut p = path.clone();
+            p.push(dst);
+            out.push(p);
+            continue;
+        }
+        if forbidden.contains(&next) {
+            continue;
+        }
+        path.push(next);
+        dfs(dag, dst, forbidden, cap, path, out);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dag::remove_back_edges;
+    use sca_isa::{Cond, ProgramBuilder, Reg};
+
+    /// entry -> {then, else} -> join -> halt-ish diamond
+    fn diamond_dag() -> (Cfg, Dag) {
+        let mut b = ProgramBuilder::new("diamond");
+        b.cmp_imm(Reg::R0, 0);
+        let t = b.new_label();
+        let j = b.new_label();
+        b.br(Cond::Eq, t);
+        b.mov_imm(Reg::R1, 1);
+        b.jmp(j);
+        b.bind(t);
+        b.mov_imm(Reg::R1, 2);
+        b.bind(j);
+        b.halt();
+        let cfg = Cfg::build(&b.build());
+        let dag = remove_back_edges(&cfg);
+        (cfg, dag)
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        let (cfg, dag) = diamond_dag();
+        let join = BlockId(cfg.len() - 1);
+        let paths = enumerate_paths(&dag, cfg.entry(), join, &HashSet::new(), 100);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.first(), Some(&cfg.entry()));
+            assert_eq!(p.last(), Some(&join));
+        }
+    }
+
+    #[test]
+    fn forbidden_intermediate_blocks_are_avoided() {
+        let (cfg, dag) = diamond_dag();
+        let join = BlockId(cfg.len() - 1);
+        // forbid the "then" arm (bb1)
+        let forbidden: HashSet<_> = [BlockId(1)].into();
+        let paths = enumerate_paths(&dag, cfg.entry(), join, &forbidden, 100);
+        assert_eq!(paths.len(), 1);
+        assert!(!paths[0].contains(&BlockId(1)));
+    }
+
+    #[test]
+    fn endpoints_may_be_in_forbidden_set() {
+        let (cfg, dag) = diamond_dag();
+        let join = BlockId(cfg.len() - 1);
+        let forbidden: HashSet<_> = [cfg.entry(), join].into();
+        let paths = enumerate_paths(&dag, cfg.entry(), join, &forbidden, 100);
+        assert_eq!(paths.len(), 2, "endpoints are exempt from the filter");
+    }
+
+    #[test]
+    fn unreachable_gives_no_paths() {
+        let (cfg, dag) = diamond_dag();
+        let join = BlockId(cfg.len() - 1);
+        let paths = enumerate_paths(&dag, join, cfg.entry(), &HashSet::new(), 100);
+        assert!(paths.is_empty());
+        let _ = cfg;
+    }
+
+    #[test]
+    fn cap_limits_output() {
+        let (cfg, dag) = diamond_dag();
+        let join = BlockId(cfg.len() - 1);
+        let paths = enumerate_paths(&dag, cfg.entry(), join, &HashSet::new(), 1);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn trivial_self_path() {
+        let (cfg, dag) = diamond_dag();
+        let paths = enumerate_paths(&dag, cfg.entry(), cfg.entry(), &HashSet::new(), 10);
+        assert_eq!(paths, vec![vec![cfg.entry()]]);
+    }
+
+    #[test]
+    fn adjacent_nodes_direct_path() {
+        let (cfg, dag) = diamond_dag();
+        let paths = enumerate_paths(&dag, cfg.entry(), BlockId(1), &HashSet::new(), 10);
+        assert_eq!(paths, vec![vec![cfg.entry(), BlockId(1)]]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for CFG construction and the Algorithm-1 graph
+//! primitives, over randomly generated (valid) programs.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use sca_cfg::{enumerate_paths, max_spanning_tree, remove_back_edges, BlockId, Cfg, WeightedEdge};
+use sca_isa::{AluOp, Cond, Inst, Operand, Program, Reg};
+
+/// Opcode skeletons for random program generation; branch targets are
+/// fixed up afterwards to stay in range.
+#[derive(Debug, Clone, Copy)]
+enum Skel {
+    Mov,
+    Alu,
+    Cmp,
+    Jmp(usize),
+    Br(usize),
+    Nop,
+}
+
+fn arb_skeleton() -> impl Strategy<Value = Vec<Skel>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Skel::Mov),
+            Just(Skel::Alu),
+            Just(Skel::Cmp),
+            (0usize..1000).prop_map(Skel::Jmp),
+            (0usize..1000).prop_map(Skel::Br),
+            Just(Skel::Nop),
+        ],
+        1..60,
+    )
+}
+
+fn materialize(skels: Vec<Skel>) -> Program {
+    let n = skels.len() + 1; // +1 for the trailing halt
+    let insts: Vec<Inst> = skels
+        .into_iter()
+        .map(|s| match s {
+            Skel::Mov => Inst::MovImm {
+                dst: Reg::R1,
+                imm: 1,
+            },
+            Skel::Alu => Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg::R1,
+                src: Operand::Imm(1),
+            },
+            Skel::Cmp => Inst::Cmp {
+                lhs: Reg::R1,
+                rhs: Operand::Imm(0),
+            },
+            Skel::Jmp(t) => Inst::Jmp { target: t % n },
+            Skel::Br(t) => Inst::Br {
+                cond: Cond::Eq,
+                target: t % n,
+            },
+            Skel::Nop => Inst::Nop,
+        })
+        .chain(std::iter::once(Inst::Halt))
+        .collect();
+    Program::from_parts("prop", insts, Default::default())
+}
+
+proptest! {
+    /// Every instruction belongs to exactly one basic block, blocks are
+    /// contiguous, and only block-final instructions are terminators.
+    #[test]
+    fn cfg_partitions_instructions(skels in arb_skeleton()) {
+        let p = materialize(skels);
+        let cfg = Cfg::build(&p);
+        let mut covered = vec![0u32; p.len()];
+        for b in cfg.blocks() {
+            prop_assert!(!b.is_empty());
+            for i in b.insts.clone() {
+                covered[i] += 1;
+                prop_assert_eq!(cfg.block_of_inst(i), b.id);
+                if i + 1 < b.insts.end {
+                    prop_assert!(
+                        !p.insts()[i].is_terminator(),
+                        "terminator inside a block"
+                    );
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    /// Every CFG edge is justified by a branch target or fall-through, and
+    /// edge targets are block leaders.
+    #[test]
+    fn cfg_edges_are_sound(skels in arb_skeleton()) {
+        let p = materialize(skels);
+        let cfg = Cfg::build(&p);
+        for b in cfg.blocks() {
+            let last = b.insts.end - 1;
+            let inst = &p.insts()[last];
+            let mut expected: Vec<BlockId> = Vec::new();
+            if let Some(t) = inst.branch_target() {
+                expected.push(cfg.block_of_inst(t));
+                // targets must be leaders
+                prop_assert_eq!(cfg.block(cfg.block_of_inst(t)).insts.start, t);
+            }
+            if inst.falls_through() && b.insts.end < p.len() {
+                expected.push(cfg.block_of_inst(b.insts.end));
+            }
+            expected.sort_unstable();
+            expected.dedup();
+            let mut actual: Vec<BlockId> = cfg.succs(b.id).to_vec();
+            actual.sort_unstable();
+            prop_assert_eq!(actual, expected);
+        }
+    }
+
+    /// Back-edge removal always yields an acyclic graph (Kahn check).
+    #[test]
+    fn back_edge_removal_is_acyclic(skels in arb_skeleton()) {
+        let p = materialize(skels);
+        let cfg = Cfg::build(&p);
+        let dag = remove_back_edges(&cfg);
+        let n = dag.len();
+        let mut indeg = vec![0usize; n];
+        for u in 0..n {
+            for v in dag.succs(BlockId(u)) {
+                indeg[v.0] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for v in dag.succs(BlockId(u)) {
+                indeg[v.0] -= 1;
+                if indeg[v.0] == 0 {
+                    queue.push(v.0);
+                }
+            }
+        }
+        prop_assert_eq!(seen, n, "cycle survived back-edge removal");
+    }
+
+    /// Enumerated paths are genuine simple DAG paths with legal
+    /// intermediates.
+    #[test]
+    fn enumerated_paths_are_valid(skels in arb_skeleton(), forbidden_seed in 0usize..8) {
+        let p = materialize(skels);
+        let cfg = Cfg::build(&p);
+        let dag = remove_back_edges(&cfg);
+        let last = BlockId(cfg.len() - 1);
+        let forbidden: HashSet<BlockId> =
+            (0..cfg.len()).filter(|i| i % 7 == forbidden_seed).map(BlockId).collect();
+        for path in enumerate_paths(&dag, cfg.entry(), last, &forbidden, 50) {
+            prop_assert_eq!(path[0], cfg.entry());
+            prop_assert_eq!(*path.last().unwrap(), last);
+            for w in path.windows(2) {
+                prop_assert!(dag.succs(w[0]).contains(&w[1]), "non-edge in path");
+            }
+            if path.len() > 2 {
+                for mid in &path[1..path.len() - 1] {
+                    prop_assert!(!forbidden.contains(mid), "forbidden intermediate");
+                }
+            }
+            let unique: HashSet<_> = path.iter().collect();
+            prop_assert_eq!(unique.len(), path.len(), "path revisits a node");
+        }
+    }
+
+    /// The maximum spanning tree is a spanning forest: acyclic over the
+    /// touched nodes and connecting every connected component.
+    #[test]
+    fn mst_is_spanning_forest(
+        edges in proptest::collection::vec(
+            (0usize..12, 0usize..12, 0.0f64..100.0).prop_filter("no self loops", |(a, b, _)| a != b),
+            0..40,
+        )
+    ) {
+        let wedges: Vec<WeightedEdge> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b, w))| WeightedEdge {
+                a: BlockId(a),
+                b: BlockId(b),
+                weight: w,
+                payload: i,
+            })
+            .collect();
+        let chosen = max_spanning_tree(12, &wedges);
+        // acyclicity via union-find re-simulation
+        let mut parent: Vec<usize> = (0..12).collect();
+        fn find(p: &mut [usize], mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        for &idx in &chosen {
+            let e = &wedges[idx];
+            let (ra, rb) = (find(&mut parent, e.a.0), find(&mut parent, e.b.0));
+            prop_assert_ne!(ra, rb, "MST edge closes a cycle");
+            parent[ra] = rb;
+        }
+        // spanning: every input edge's endpoints are connected in the forest
+        for e in &wedges {
+            let (ra, rb) = (find(&mut parent, e.a.0), find(&mut parent, e.b.0));
+            prop_assert_eq!(ra, rb, "forest misses a connection");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The SCAGuard command-line tool: model programs, build and persist PoC
+//! repositories, and classify target programs — the paper's "security
+//! check before installing an untrusted program" deployment (Section V).
+//!
+//! ```sh
+//! # build a repository from the built-in attack PoCs:
+//! scaguard build-repo /tmp/pocs.repo
+//!
+//! # classify an assembly program against it:
+//! scaguard classify target.sasm --repo /tmp/pocs.repo --victim shared:3
+//!
+//! # inspect a program's attack behavior model:
+//! scaguard model target.sasm
+//! ```
+
+use std::error::Error;
+use std::fs;
+use std::process::ExitCode;
+
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::AttackFamily;
+use sca_cpu::Victim;
+use scaguard::{
+    build_model, explain_similarity, load_repository, save_repository, Detector,
+    ModelRepository, ModelingConfig,
+};
+
+const SHARED_BASE: u64 = 0x1000_0000;
+const CONFLICT_BASE: u64 = 0x5000_0000;
+const LINE: u64 = 64;
+
+fn usage() -> &'static str {
+    "usage:
+  scaguard build-repo <out-file>
+      model the built-in PoCs (one per attack type) and save the repository
+  scaguard classify <program.sasm> --repo <repo-file>
+          [--threshold <0..1>] [--victim none|shared:<secret>|conflict:<secret>]
+      classify an assembled program against a saved repository
+  scaguard model <program.sasm> [--victim ...]
+      print the program's CST-BBS attack behavior model
+  scaguard explain <program.sasm> --repo <repo-file> [--victim ...]
+      show the DTW alignment against the best-matching PoC model
+  scaguard asm <program.sasm>
+      assemble and disassemble a program (syntax check)"
+}
+
+fn parse_victim(spec: &str) -> Result<Victim, String> {
+    if spec == "none" {
+        return Ok(Victim::None);
+    }
+    let (kind, secret) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad victim spec `{spec}` (expected kind:secret)"))?;
+    let secret: u64 = secret
+        .parse()
+        .map_err(|e| format!("bad victim secret `{secret}`: {e}"))?;
+    match kind {
+        "shared" => Ok(Victim::shared_memory(SHARED_BASE, LINE, vec![secret])),
+        "conflict" => Ok(Victim::set_conflict(CONFLICT_BASE, LINE, vec![secret])),
+        other => Err(format!("unknown victim kind `{other}`")),
+    }
+}
+
+struct Options {
+    repo: Option<String>,
+    threshold: f64,
+    victim: Victim,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        repo: None,
+        threshold: Detector::DEFAULT_THRESHOLD,
+        victim: Victim::None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--repo" => opts.repo = Some(it.next().ok_or("--repo needs a path")?.clone()),
+            "--threshold" => {
+                opts.threshold = it
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?;
+            }
+            "--victim" => {
+                opts.victim = parse_victim(it.next().ok_or("--victim needs a spec")?)?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_program(path: &str) -> Result<sca_isa::Program, Box<dyn Error>> {
+    let source = fs::read_to_string(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program");
+    Ok(sca_isa::assemble(name, &source)?)
+}
+
+fn cmd_build_repo(out: &str) -> Result<(), Box<dyn Error>> {
+    let config = ModelingConfig::default();
+    let params = PocParams::default();
+    let mut repo = ModelRepository::new();
+    for family in AttackFamily::ALL {
+        let s = poc::representative(family, &params);
+        repo.add_poc(family, &s.program, &s.victim, &config)?;
+        eprintln!("modeled {} <- {}", family, s.name());
+    }
+    save_repository(&repo, out)?;
+    eprintln!("wrote {} models to {out}", repo.len());
+    Ok(())
+}
+
+fn cmd_classify(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
+    let repo_path = opts
+        .repo
+        .as_deref()
+        .ok_or("classify needs --repo (create one with `scaguard build-repo`)")?;
+    let repo = load_repository(repo_path)?;
+    let detector = Detector::new(repo, opts.threshold);
+    let program = load_program(path)?;
+    let detection = detector.classify(&program, &opts.victim, &ModelingConfig::default())?;
+    for (name, family, score) in &detection.scores {
+        println!("  vs {name:<22} ({family})  {:.2}%", score * 100.0);
+    }
+    println!("{detection}");
+    Ok(())
+}
+
+fn cmd_model(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
+    let program = load_program(path)?;
+    let outcome = build_model(&program, &opts.victim, &ModelingConfig::default())?;
+    println!(
+        "{}: {} blocks, {} potential, {} attack-relevant",
+        program.name(),
+        outcome.cfg.len(),
+        outcome.potential_bbs.len(),
+        outcome.relevant_bbs.len()
+    );
+    for step in outcome.cst_bbs.steps() {
+        let insts: Vec<String> = step.norm_insts.iter().map(|i| i.to_string()).collect();
+        println!(
+            "  {:#08x} t={:<8} P={:.4}  [{}]",
+            step.bb_addr,
+            step.first_seen,
+            step.cst.change(),
+            insts.join("; ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explain(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
+    let repo_path = opts
+        .repo
+        .as_deref()
+        .ok_or("explain needs --repo (create one with `scaguard build-repo`)")?;
+    let repo = load_repository(repo_path)?;
+    let program = load_program(path)?;
+    let outcome = build_model(&program, &opts.victim, &ModelingConfig::default())?;
+    let best = repo
+        .entries()
+        .iter()
+        .max_by(|a, b| {
+            scaguard::similarity_score(&outcome.cst_bbs, &a.model)
+                .partial_cmp(&scaguard::similarity_score(&outcome.cst_bbs, &b.model))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .ok_or("the repository is empty")?;
+    println!(
+        "best match: {} ({})
+{}",
+        best.name,
+        best.family,
+        explain_similarity(&outcome.cst_bbs, &best.model)
+    );
+    Ok(())
+}
+
+fn cmd_asm(path: &str) -> Result<(), Box<dyn Error>> {
+    let program = load_program(path)?;
+    print!("{}", program.disasm());
+    let stats = sca_isa::analysis::analyze(&program);
+    eprintln!("{stats}");
+    if stats.unreachable > 0 {
+        eprintln!("warning: {} unreachable instruction(s)", stats.unreachable);
+    }
+    let uninit = sca_isa::analysis::possibly_uninitialized_reads(&program);
+    if !uninit.is_empty() {
+        let regs: Vec<String> = uninit.iter().map(|r| r.to_string()).collect();
+        eprintln!(
+            "warning: registers possibly read before initialization: {}",
+            regs.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return Err(usage().into()),
+    };
+    match cmd {
+        "build-repo" => {
+            let out = rest.first().ok_or(usage())?;
+            cmd_build_repo(out)
+        }
+        "classify" => {
+            let path = rest.first().ok_or(usage())?;
+            let opts = parse_options(&rest[1..])?;
+            cmd_classify(path, &opts)
+        }
+        "model" => {
+            let path = rest.first().ok_or(usage())?;
+            let opts = parse_options(&rest[1..])?;
+            cmd_model(path, &opts)
+        }
+        "explain" => {
+            let path = rest.first().ok_or(usage())?;
+            let opts = parse_options(&rest[1..])?;
+            cmd_explain(path, &opts)
+        }
+        "asm" => {
+            let path = rest.first().ok_or(usage())?;
+            cmd_asm(path)
+        }
+        _ => Err(usage().into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

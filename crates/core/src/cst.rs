@@ -1,0 +1,143 @@
+//! CST-BBS: the attack behavior model (Definitions 4 and 5).
+
+use std::fmt;
+
+use sca_cache::CacheState;
+use sca_isa::NormInst;
+
+/// A cache state transition `S --b--> S'` (Definition 4).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cst {
+    /// The cache state before executing the block.
+    pub before: CacheState,
+    /// The cache state after executing the block.
+    pub after: CacheState,
+}
+
+impl Cst {
+    /// The magnitude of cache change across this transition:
+    /// `P = (|AO - AO'| + |IO - IO'|) / 2` (Section III-B.1).
+    pub fn change(&self) -> f64 {
+        self.before.change_to(&self.after)
+    }
+
+    /// The identity transition from the canonical measurement state
+    /// (no cache effect).
+    pub fn identity() -> Cst {
+        Cst {
+            before: CacheState::full_other(),
+            after: CacheState::full_other(),
+        }
+    }
+}
+
+impl fmt::Display for Cst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.before, self.after)
+    }
+}
+
+/// One step of a CST-BBS: a basic block with its normalized instruction
+/// sequence and measured cache state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CstStep {
+    /// Text address of the block's first instruction (for diagnostics).
+    pub bb_addr: u64,
+    /// The block's instructions after imm/mem/reg normalization.
+    pub norm_insts: Vec<NormInst>,
+    /// The block's measured cache state transition.
+    pub cst: Cst,
+    /// First cycle at which the block executed (`u64::MAX` if it comes
+    /// from a restored path and never ran).
+    pub first_seen: u64,
+}
+
+/// A cache state transition enhanced basic block sequence (Definition 5) —
+/// the attack behavior model SCAGuard builds per program and compares with
+/// dynamic time warping.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CstBbs {
+    steps: Vec<CstStep>,
+}
+
+impl CstBbs {
+    /// Build a model from steps; steps are kept in the order given
+    /// (callers sort by first-execution timestamp when flattening).
+    pub fn new(steps: Vec<CstStep>) -> CstBbs {
+        CstBbs { steps }
+    }
+
+    /// The steps in sequence order.
+    pub fn steps(&self) -> &[CstStep] {
+        &self.steps
+    }
+
+    /// Number of steps (basic blocks) in the model.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the model has no steps (no attack-relevant blocks found).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total instruction count across all steps.
+    pub fn inst_count(&self) -> usize {
+        self.steps.iter().map(|s| s.norm_insts.len()).sum()
+    }
+}
+
+impl fmt::Display for CstBbs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CST-BBS({} blocks, {} insts)",
+            self.len(),
+            self.inst_count()
+        )
+    }
+}
+
+impl FromIterator<CstStep> for CstBbs {
+    fn from_iter<I: IntoIterator<Item = CstStep>>(iter: I) -> CstBbs {
+        CstBbs {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_cache::CacheState;
+
+    #[test]
+    fn identity_cst_has_zero_change() {
+        assert_eq!(Cst::identity().change(), 0.0);
+    }
+
+    #[test]
+    fn change_magnitude() {
+        let c = Cst {
+            before: CacheState::full_other(),
+            after: CacheState::new(0.3, 0.7),
+        };
+        assert!((c.change() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cst_bbs_accessors() {
+        let step = CstStep {
+            bb_addr: 0x40_0000,
+            norm_insts: vec![],
+            cst: Cst::identity(),
+            first_seen: 0,
+        };
+        let m: CstBbs = vec![step.clone(), step].into_iter().collect();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.inst_count(), 0);
+        assert!(!m.is_empty());
+        assert!(CstBbs::default().is_empty());
+    }
+}

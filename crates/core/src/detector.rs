@@ -1,0 +1,273 @@
+//! The model repository and the similarity-based detector/classifier
+//! (Section III-B.3).
+
+use std::fmt;
+
+use sca_attacks::AttackFamily;
+use sca_cpu::Victim;
+use sca_isa::Program;
+
+use crate::cst::CstBbs;
+use crate::modeling::{build_model, ModelError, ModelingConfig};
+use crate::similarity::similarity_score;
+
+/// One PoC model in the repository.
+#[derive(Debug, Clone)]
+pub struct RepoEntry {
+    /// The attack family this PoC belongs to.
+    pub family: AttackFamily,
+    /// The PoC's name (e.g. `"FR-IAIK"`).
+    pub name: String,
+    /// Its attack behavior model.
+    pub model: CstBbs,
+}
+
+/// A repository of attack behavior models built from PoCs of known attacks.
+#[derive(Debug, Clone, Default)]
+pub struct ModelRepository {
+    entries: Vec<RepoEntry>,
+}
+
+impl ModelRepository {
+    /// An empty repository.
+    pub fn new() -> ModelRepository {
+        ModelRepository::default()
+    }
+
+    /// Add a prebuilt model.
+    pub fn add_model(&mut self, family: AttackFamily, name: impl Into<String>, model: CstBbs) {
+        self.entries.push(RepoEntry {
+            family,
+            name: name.into(),
+            model,
+        });
+    }
+
+    /// Model a PoC program and add the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the modeling pipeline.
+    pub fn add_poc(
+        &mut self,
+        family: AttackFamily,
+        program: &Program,
+        victim: &Victim,
+        config: &ModelingConfig,
+    ) -> Result<(), ModelError> {
+        let outcome = build_model(program, victim, config)?;
+        self.add_model(family, program.name(), outcome.cst_bbs);
+        Ok(())
+    }
+
+    /// The stored entries.
+    pub fn entries(&self) -> &[RepoEntry] {
+        &self.entries
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Extend<RepoEntry> for ModelRepository {
+    fn extend<I: IntoIterator<Item = RepoEntry>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+/// The outcome of classifying one target program.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Similarity score against every repository entry, in entry order.
+    pub scores: Vec<(String, AttackFamily, f64)>,
+    /// The best-scoring entry (name, family, score), if any entry exists.
+    pub best: Option<(String, AttackFamily, f64)>,
+    /// The detection threshold used.
+    pub threshold: f64,
+}
+
+impl Detection {
+    /// Whether the target is classified as an attack (best score clears the
+    /// threshold).
+    pub fn is_attack(&self) -> bool {
+        self.best
+            .as_ref()
+            .is_some_and(|(_, _, s)| *s >= self.threshold)
+    }
+
+    /// The predicted attack family, or `None` for benign.
+    pub fn family(&self) -> Option<AttackFamily> {
+        if self.is_attack() {
+            self.best.as_ref().map(|(_, f, _)| *f)
+        } else {
+            None
+        }
+    }
+
+    /// The best similarity score (0.0 for an empty repository).
+    pub fn best_score(&self) -> f64 {
+        self.best.as_ref().map_or(0.0, |(_, _, s)| *s)
+    }
+}
+
+impl fmt::Display for Detection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.family() {
+            Some(fam) => write!(f, "ATTACK {fam} (score {:.2}%)", self.best_score() * 100.0),
+            None => write!(f, "benign (best score {:.2}%)", self.best_score() * 100.0),
+        }
+    }
+}
+
+/// The SCAGuard detector: a model repository plus a similarity threshold.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    repo: ModelRepository,
+    threshold: f64,
+}
+
+impl Detector {
+    /// The default similarity threshold.
+    ///
+    /// The paper uses 45%, the middle of *its* Fig.-5 plateau (30%–60%).
+    /// On this reproduction's substrate the similarity scale is compressed
+    /// (models are tens of blocks rather than thousands of x86 blocks),
+    /// shifting the >90% plateau of the reproduced Fig. 5 to roughly
+    /// 20%–30%. The default sits at that plateau's lower edge, which keeps
+    /// recall on the far-variant tasks (E3/E4) where the compressed scale
+    /// bites hardest, at a benign false-positive rate (1.25% at paper
+    /// scale) below the 3.36% the paper reports; see EXPERIMENTS.md for
+    /// the sweep.
+    pub const DEFAULT_THRESHOLD: f64 = 0.20;
+
+    /// Create a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn new(repo: ModelRepository, threshold: f64) -> Detector {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold out of range: {threshold}"
+        );
+        Detector { repo, threshold }
+    }
+
+    /// The repository backing this detector.
+    pub fn repository(&self) -> &ModelRepository {
+        &self.repo
+    }
+
+    /// The detection threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Classify a prebuilt target model.
+    pub fn classify_model(&self, target: &CstBbs) -> Detection {
+        let scores: Vec<(String, AttackFamily, f64)> = self
+            .repo
+            .entries()
+            .iter()
+            .map(|e| (e.name.clone(), e.family, similarity_score(target, &e.model)))
+            .collect();
+        let best = scores
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+        Detection {
+            scores,
+            best,
+            threshold: self.threshold,
+        }
+    }
+
+    /// Model `program` and classify it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the modeling pipeline.
+    pub fn classify(
+        &self,
+        program: &Program,
+        victim: &Victim,
+        config: &ModelingConfig,
+    ) -> Result<Detection, ModelError> {
+        let outcome = build_model(program, victim, config)?;
+        Ok(self.classify_model(&outcome.cst_bbs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cst::{Cst, CstStep};
+
+    fn dummy_model(n: usize, marker: u64) -> CstBbs {
+        (0..n)
+            .map(|i| CstStep {
+                bb_addr: marker + i as u64,
+                norm_insts: vec![sca_isa::NormInst::nullary(if marker == 0 {
+                    "nop"
+                } else {
+                    "halt"
+                })],
+                cst: Cst::identity(),
+                first_seen: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_repo_classifies_benign() {
+        let d = Detector::new(ModelRepository::new(), 0.45);
+        let det = d.classify_model(&dummy_model(3, 0));
+        assert!(!det.is_attack());
+        assert_eq!(det.family(), None);
+        assert_eq!(det.best_score(), 0.0);
+    }
+
+    #[test]
+    fn identical_model_scores_one() {
+        let mut repo = ModelRepository::new();
+        repo.add_model(AttackFamily::FlushReload, "m", dummy_model(4, 0));
+        let d = Detector::new(repo, 0.45);
+        let det = d.classify_model(&dummy_model(4, 0));
+        assert!(det.is_attack());
+        assert_eq!(det.family(), Some(AttackFamily::FlushReload));
+        assert_eq!(det.best_score(), 1.0);
+    }
+
+    #[test]
+    fn dissimilar_model_is_benign() {
+        let mut repo = ModelRepository::new();
+        repo.add_model(AttackFamily::PrimeProbe, "m", dummy_model(20, 0));
+        let d = Detector::new(repo, 0.45);
+        let det = d.classify_model(&dummy_model(3, 1));
+        assert!(!det.is_attack(), "score {}", det.best_score());
+    }
+
+    #[test]
+    fn best_entry_wins_classification() {
+        let mut repo = ModelRepository::new();
+        repo.add_model(AttackFamily::PrimeProbe, "pp", dummy_model(10, 1));
+        repo.add_model(AttackFamily::FlushReload, "fr", dummy_model(4, 0));
+        let d = Detector::new(repo, 0.1);
+        let det = d.classify_model(&dummy_model(4, 0));
+        assert_eq!(det.family(), Some(AttackFamily::FlushReload));
+        assert_eq!(det.scores.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_threshold_panics() {
+        let _ = Detector::new(ModelRepository::new(), 1.5);
+    }
+}

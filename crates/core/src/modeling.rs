@@ -1,0 +1,495 @@
+//! Attack behavior modeling (Section III-A): attack-relevant BB
+//! identification, attack-relevant graph construction (Algorithm 1), CST
+//! measurement, and flattening into a CST-BBS.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use sca_cache::{Cache, CacheConfig, Owner};
+use sca_cfg::{
+    enumerate_paths, max_spanning_tree, remove_back_edges, BlockId, Cfg, WeightedEdge,
+};
+use sca_cpu::{CpuConfig, Machine, RunError, Trace, Victim};
+use sca_isa::{normalize_inst, Inst, Program};
+
+use crate::cst::{Cst, CstBbs, CstStep};
+
+/// A large-enough path weight standing in for the paper's `MAX` (the value
+/// given to directly-connected relevant-block pairs).
+const MAX_WEIGHT: f64 = 1e18;
+
+/// Configuration of the modeling pipeline.
+#[derive(Debug, Clone)]
+pub struct ModelingConfig {
+    /// Simulated-CPU configuration used to collect runtime data.
+    pub cpu: CpuConfig,
+    /// Cap on enumerated paths per relevant-block pair (Algorithm 1 path
+    /// enumeration can be exponential in pathological CFGs).
+    pub path_cap: usize,
+    /// Geometry of the CST-replay cache simulator.
+    ///
+    /// Deliberately *small* (the paper replays blocks through a compact
+    /// reference cache simulator, not the full LLC): a basic block touches
+    /// tens of lines, so occupancy changes are only measurable against a
+    /// cache of comparable capacity. Defaults to 16 sets × 4 ways (64
+    /// lines).
+    pub cst_cache: CacheConfig,
+}
+
+impl Default for ModelingConfig {
+    fn default() -> ModelingConfig {
+        ModelingConfig {
+            cst_cache: CacheConfig::new(16, 4, 64),
+            cpu: CpuConfig::default(),
+            path_cap: 64,
+        }
+    }
+}
+
+/// Errors from [`build_model`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The program failed to execute.
+    Run(RunError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Run(e) => write!(f, "trace collection failed: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Run(e) => Some(e),
+        }
+    }
+}
+
+impl From<RunError> for ModelError {
+    fn from(e: RunError) -> ModelError {
+        ModelError::Run(e)
+    }
+}
+
+/// Everything the modeling pipeline produces. The [`CstBbs`] is the model
+/// used for detection; the intermediate artifacts are exposed for the
+/// Table-IV accuracy evaluation and for ablation studies
+/// (C-INTERMEDIATE: callers get the intermediate results for free).
+#[derive(Debug, Clone)]
+pub struct ModelingOutcome {
+    /// The attack behavior model.
+    pub cst_bbs: CstBbs,
+    /// The CFG of the program.
+    pub cfg: Cfg,
+    /// Blocks with nonzero HPC value (after identification step 1).
+    pub potential_bbs: Vec<BlockId>,
+    /// Blocks surviving the cache-set-overlap filter (step 2).
+    pub overlap_bbs: Vec<BlockId>,
+    /// All nodes of the attack-relevant graph (the identified
+    /// attack-relevant blocks, #IAB in Table IV).
+    pub relevant_bbs: Vec<BlockId>,
+    /// Edges of the attack-relevant graph.
+    pub relevant_edges: Vec<(BlockId, BlockId)>,
+    /// The execution trace the model was built from.
+    pub trace: Trace,
+}
+
+impl ModelingOutcome {
+    /// Ground-truth attack-relevant blocks: blocks containing at least one
+    /// generator-tagged instruction (#TAB in Table IV).
+    pub fn ground_truth_bbs(program: &Program, cfg: &Cfg) -> BTreeSet<BlockId> {
+        program
+            .tags()
+            .map(|(i, _)| cfg.block_of_inst(i))
+            .collect()
+    }
+}
+
+/// Per-block HPC value: the sum over the block's instruction addresses of
+/// the 11 counted Table-I events (Section III-A.1).
+fn block_hpc_values(program: &Program, cfg: &Cfg, trace: &Trace) -> Vec<u64> {
+    cfg.blocks()
+        .iter()
+        .map(|b| b.inst_addrs(program).map(|a| trace.hpc_value_at(a)).sum())
+        .collect()
+}
+
+/// Per-block accessed LLC set indices (including flushed addresses).
+fn block_sets(
+    program: &Program,
+    cfg: &Cfg,
+    trace: &Trace,
+    llc: &CacheConfig,
+) -> Vec<BTreeSet<usize>> {
+    cfg.blocks()
+        .iter()
+        .map(|b| {
+            b.inst_addrs(program)
+                .flat_map(|a| trace.accesses_at(a).iter().map(|&m| llc.set_index(m)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Build the attack behavior model of `program` run against `victim`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Run`] if trace collection fails (e.g. the program
+/// is empty). A program with *no* attack-relevant blocks is not an error;
+/// it yields an empty [`CstBbs`], which no attack model resembles.
+pub fn build_model(
+    program: &Program,
+    victim: &Victim,
+    config: &ModelingConfig,
+) -> Result<ModelingOutcome, ModelError> {
+    // Step 0: runtime data collection (HPC + PT substitutes).
+    let mut machine = Machine::new(config.cpu.clone());
+    let trace = machine.run(program, victim)?;
+    let cfg = Cfg::build(program);
+
+    // Step 1: potential attack-relevant blocks — nonzero HPC value.
+    let hpc = block_hpc_values(program, &cfg, &trace);
+    let potential: Vec<BlockId> = cfg.ids().filter(|b| hpc[b.0] > 0).collect();
+
+    // Step 2: cache-set-overlap filtering — keep only blocks touching a
+    // cache set that at least one *other* block also touches.
+    let sets = block_sets(program, &cfg, &trace, &config.cpu.hierarchy.llc);
+    let mut set_users: HashMap<usize, u32> = HashMap::new();
+    for b in &potential {
+        for &s in &sets[b.0] {
+            *set_users.entry(s).or_insert(0) += 1;
+        }
+    }
+    let overlap: Vec<BlockId> = potential
+        .iter()
+        .copied()
+        .filter(|b| sets[b.0].iter().any(|s| set_users[s] >= 2))
+        .collect();
+
+    // Steps 3-5: Algorithm 1 — attack-relevant graph construction.
+    let (relevant, edges) = attack_relevant_graph(&cfg, &hpc, &overlap, config.path_cap);
+
+    // Steps 6-7: CST measurement per relevant block and flattening by
+    // first-execution timestamp (ties and never-executed restored blocks
+    // fall back to address order).
+    let cst_bbs = model_from_blocks(program, &cfg, &trace, &relevant, &config.cst_cache);
+
+    Ok(ModelingOutcome {
+        cst_bbs,
+        cfg,
+        potential_bbs: potential,
+        overlap_bbs: overlap,
+        relevant_bbs: relevant,
+        relevant_edges: edges,
+        trace,
+    })
+}
+
+/// Algorithm 1: build the attack-relevant graph.
+///
+/// Returns the graph's nodes (sorted) and edges. Nodes include every block
+/// in `relevant` plus any block on a restored most-probable path between
+/// two relevant blocks.
+fn attack_relevant_graph(
+    cfg: &Cfg,
+    hpc: &[u64],
+    relevant: &[BlockId],
+    path_cap: usize,
+) -> (Vec<BlockId>, Vec<(BlockId, BlockId)>) {
+    if relevant.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    if relevant.len() == 1 {
+        return (vec![relevant[0]], Vec::new());
+    }
+
+    // Line 1: make the CFG loop-free.
+    let dag = remove_back_edges(cfg);
+    let relevant_set: HashSet<BlockId> = relevant.iter().copied().collect();
+
+    // Lines 3-5: for each ordered pair, enumerate paths avoiding other
+    // relevant blocks and score them by mean intermediate HPC value.
+    let mut paths: Vec<Vec<BlockId>> = Vec::new();
+    let mut edges: Vec<WeightedEdge> = Vec::new();
+    for &vi in relevant {
+        for &vj in relevant {
+            if vi == vj {
+                continue;
+            }
+            for p in enumerate_paths(&dag, vi, vj, &relevant_set, path_cap) {
+                let weight = if p.len() == 2 {
+                    MAX_WEIGHT
+                } else {
+                    let inner = &p[1..p.len() - 1];
+                    inner.iter().map(|b| hpc[b.0] as f64).sum::<f64>() / inner.len() as f64
+                };
+                edges.push(WeightedEdge {
+                    a: vi,
+                    b: vj,
+                    weight,
+                    payload: paths.len(),
+                });
+                paths.push(p);
+            }
+        }
+    }
+
+    // Line 7: maximum spanning tree over the weighted path graph.
+    let chosen = max_spanning_tree(cfg.len(), &edges);
+
+    // Line 8+: restore the labeled paths of the chosen edges.
+    let mut nodes: BTreeSet<BlockId> = relevant.iter().copied().collect();
+    let mut graph_edges: BTreeSet<(BlockId, BlockId)> = BTreeSet::new();
+    for idx in chosen {
+        let p = &paths[edges[idx].payload];
+        for pair in p.windows(2) {
+            nodes.insert(pair[0]);
+            nodes.insert(pair[1]);
+            graph_edges.insert((pair[0], pair[1]));
+        }
+    }
+
+    (
+        nodes.into_iter().collect(),
+        graph_edges.into_iter().collect(),
+    )
+}
+
+/// Measure the CST of one block (Section III-A.3): start from a cache full
+/// of non-attacker data (`IO = 1, AO = 0`), feed the block's accessed
+/// memory addresses, observe the occupancy change.
+fn measure_cst(insts_with_accesses: &[(Inst, Vec<u64>)], cache_cfg: &CacheConfig) -> Cst {
+    let mut cache = Cache::new(*cache_cfg);
+    cache.prefill(Owner::Other);
+    let before = cache.state();
+    for (inst, accesses) in insts_with_accesses {
+        match inst {
+            Inst::Clflush { .. } => {
+                for &a in accesses {
+                    cache.displace(a);
+                }
+            }
+            Inst::Load { .. } | Inst::Store { .. } => {
+                for &a in accesses {
+                    cache.access(a, Owner::Attacker, matches!(inst, Inst::Store { .. }));
+                }
+            }
+            _ => {}
+        }
+    }
+    let after = cache.state();
+    Cst { before, after }
+}
+
+/// Build a CST-BBS directly from a chosen block set, bypassing
+/// Algorithm 1's graph construction (used by ablation studies comparing
+/// the attack-relevant graph against naive block selections).
+pub fn model_from_blocks(
+    program: &Program,
+    cfg: &Cfg,
+    trace: &Trace,
+    blocks: &[BlockId],
+    cst_cache: &CacheConfig,
+) -> CstBbs {
+    let mut steps = Vec::with_capacity(blocks.len());
+    for &b in blocks {
+        let block = cfg.block(b);
+        let insts = &program.insts()[block.insts.clone()];
+        let accesses: Vec<(Inst, Vec<u64>)> = block
+            .insts
+            .clone()
+            .map(|idx| {
+                let addr = program.addr_of(idx);
+                (program.insts()[idx], trace.accesses_at(addr).to_vec())
+            })
+            .collect();
+        let cst = measure_cst(&accesses, cst_cache);
+        let first_seen = block
+            .inst_addrs(program)
+            .filter_map(|a| trace.first_seen_at(a))
+            .min()
+            .unwrap_or(u64::MAX);
+        steps.push(CstStep {
+            bb_addr: block.start_addr(program),
+            norm_insts: insts.iter().map(normalize_inst).collect(),
+            cst,
+            first_seen,
+        });
+    }
+    steps.sort_by_key(|s| (s.first_seen, s.bb_addr));
+    CstBbs::new(steps)
+}
+
+/// Summary counters for the Table-IV evaluation of one program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BbIdentificationStats {
+    /// Total basic blocks (#BB).
+    pub total: usize,
+    /// Ground-truth attack-relevant blocks (#TAB).
+    pub ground_truth: usize,
+    /// Identified attack-relevant blocks (#IAB).
+    pub identified: usize,
+    /// Ground-truth blocks among the identified (#ITAB).
+    pub identified_truth: usize,
+}
+
+impl BbIdentificationStats {
+    /// Compute the Table-IV counters for one modeled program.
+    pub fn compute(program: &Program, outcome: &ModelingOutcome) -> BbIdentificationStats {
+        let truth = ModelingOutcome::ground_truth_bbs(program, &outcome.cfg);
+        let identified: BTreeSet<BlockId> = outcome.relevant_bbs.iter().copied().collect();
+        BbIdentificationStats {
+            total: outcome.cfg.len(),
+            ground_truth: truth.len(),
+            identified: identified.len(),
+            identified_truth: truth.intersection(&identified).count(),
+        }
+    }
+
+    /// Identification accuracy `#ITAB / #TAB` (1.0 when there is no ground
+    /// truth).
+    pub fn accuracy(&self) -> f64 {
+        if self.ground_truth == 0 {
+            1.0
+        } else {
+            self.identified_truth as f64 / self.ground_truth as f64
+        }
+    }
+
+    /// Merge counters across programs (for per-family rows).
+    pub fn merge(&mut self, other: &BbIdentificationStats) {
+        self.total += other.total;
+        self.ground_truth += other.ground_truth;
+        self.identified += other.identified;
+        self.identified_truth += other.identified_truth;
+    }
+}
+
+/// Convenience: build models for a whole batch, returning name-keyed
+/// results (used by the evaluation harness).
+pub fn build_models<'a>(
+    programs: impl IntoIterator<Item = (&'a Program, &'a Victim)>,
+    config: &ModelingConfig,
+) -> Result<BTreeMap<String, ModelingOutcome>, ModelError> {
+    let mut out = BTreeMap::new();
+    for (p, v) in programs {
+        out.insert(p.name().to_string(), build_model(p, v, config)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_attacks::poc::{self, PocParams};
+    use sca_attacks::benign::{self, Kind};
+
+    fn model_of(s: &sca_attacks::Sample) -> ModelingOutcome {
+        build_model(&s.program, &s.victim, &ModelingConfig::default()).expect("model")
+    }
+
+    #[test]
+    fn fr_model_is_nonempty_and_covers_ground_truth() {
+        let s = poc::flush_reload_iaik(&PocParams::default());
+        let out = model_of(&s);
+        assert!(!out.cst_bbs.is_empty());
+        let stats = BbIdentificationStats::compute(&s.program, &out);
+        assert!(stats.ground_truth > 0);
+        assert!(
+            stats.accuracy() >= 0.8,
+            "ground-truth coverage too low: {stats:?}"
+        );
+        assert!(
+            stats.identified < stats.total,
+            "some irrelevant blocks must be eliminated: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn identification_shrinks_block_set_progressively() {
+        let s = poc::prime_probe_iaik(&PocParams::default());
+        let out = model_of(&s);
+        assert!(out.potential_bbs.len() <= out.cfg.len());
+        assert!(out.overlap_bbs.len() <= out.potential_bbs.len());
+    }
+
+    #[test]
+    fn flush_blocks_have_io_decreasing_cst() {
+        let s = poc::flush_reload_iaik(&PocParams::default());
+        let out = model_of(&s);
+        // at least one step must show IO decreasing (the flush step)
+        assert!(
+            out.cst_bbs
+                .steps()
+                .iter()
+                .any(|st| st.cst.after.io < st.cst.before.io),
+            "no step decreases IO"
+        );
+        // and at least one step must show AO increasing (the reload step)
+        assert!(
+            out.cst_bbs
+                .steps()
+                .iter()
+                .any(|st| st.cst.after.ao > st.cst.before.ao),
+            "no step increases AO"
+        );
+    }
+
+    #[test]
+    fn steps_are_ordered_by_first_execution() {
+        let s = poc::flush_reload_iaik(&PocParams::default());
+        let out = model_of(&s);
+        let times: Vec<u64> = out.cst_bbs.steps().iter().map(|s| s.first_seen).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn modeling_is_deterministic() {
+        let s = poc::spectre_fr_v1(&PocParams::default());
+        let a = model_of(&s);
+        let b = model_of(&s);
+        assert_eq!(a.cst_bbs, b.cst_bbs);
+    }
+
+    #[test]
+    fn benign_programs_produce_smaller_or_dissimilar_models() {
+        let s = benign::generate(Kind::Leetcode, 3);
+        let out = build_model(&s.program, &s.victim, &ModelingConfig::default()).expect("model");
+        // benign programs have no ground-truth tags
+        let stats = BbIdentificationStats::compute(&s.program, &out);
+        assert_eq!(stats.ground_truth, 0);
+        assert_eq!(stats.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn relevant_graph_edges_connect_relevant_nodes() {
+        let s = poc::flush_reload_iaik(&PocParams::default());
+        let out = model_of(&s);
+        let nodes: HashSet<BlockId> = out.relevant_bbs.iter().copied().collect();
+        for (a, b) in &out.relevant_edges {
+            assert!(nodes.contains(a) && nodes.contains(b));
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let s = poc::flush_reload_iaik(&PocParams::default());
+        let out = model_of(&s);
+        assert_eq!(crate::similarity_score(&out.cst_bbs, &out.cst_bbs), 1.0);
+    }
+
+    #[test]
+    fn empty_program_is_a_run_error() {
+        let p = sca_isa::ProgramBuilder::new("e").build();
+        let r = build_model(&p, &Victim::None, &ModelingConfig::default());
+        assert!(matches!(r, Err(ModelError::Run(_))));
+    }
+}

@@ -1,0 +1,317 @@
+//! Model-repository persistence.
+//!
+//! The paper deploys SCAGuard "at the server cluster as a guard": PoCs are
+//! modeled once and the repository is reused for every security check.
+//! This module gives the repository a durable form — a line-oriented,
+//! versioned text format chosen over a binary one so repositories can be
+//! inspected and diffed:
+//!
+//! ```text
+//! scaguard-repo v1
+//! entry FR-F FR-IAIK
+//! step 401000 123 0.000000 1.000000 0.000000 0.750000
+//! inst mov reg, imm
+//! inst clflush mem
+//! ...
+//! end
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use sca_attacks::AttackFamily;
+use sca_cache::CacheState;
+use sca_isa::NormInst;
+
+use crate::cst::{Cst, CstBbs, CstStep};
+use crate::detector::ModelRepository;
+
+const MAGIC: &str = "scaguard-repo v1";
+
+/// Errors from loading a repository.
+#[derive(Debug)]
+pub enum LoadRepoError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The content is not a valid repository (with the offending 1-based
+    /// line and a description).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for LoadRepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadRepoError::Io(e) => write!(f, "cannot read repository: {e}"),
+            LoadRepoError::Parse { line, message } => {
+                write!(f, "bad repository at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for LoadRepoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadRepoError::Io(e) => Some(e),
+            LoadRepoError::Parse { .. } => None,
+        }
+    }
+}
+
+fn perr(line: usize, message: impl Into<String>) -> LoadRepoError {
+    LoadRepoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serialize a repository to the versioned text format.
+pub fn repository_to_string(repo: &ModelRepository) -> String {
+    let mut out = String::from(MAGIC);
+    out.push('\n');
+    for entry in repo.entries() {
+        out.push_str(&format!("entry {} {}\n", entry.family.abbrev(), entry.name));
+        for step in entry.model.steps() {
+            out.push_str(&format!(
+                "step {:x} {} {:.6} {:.6} {:.6} {:.6}\n",
+                step.bb_addr,
+                step.first_seen,
+                step.cst.before.ao,
+                step.cst.before.io,
+                step.cst.after.ao,
+                step.cst.after.io,
+            ));
+            for inst in &step.norm_insts {
+                out.push_str(&format!("inst {inst}\n"));
+            }
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parse a repository from the text format.
+///
+/// # Errors
+///
+/// Returns [`LoadRepoError::Parse`] with the offending line for any
+/// malformed content (wrong magic, unknown family, bad numbers, steps
+/// outside an entry, truncated entries).
+pub fn repository_from_str(text: &str) -> Result<ModelRepository, LoadRepoError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == MAGIC => {}
+        Some((_, first)) => return Err(perr(1, format!("expected `{MAGIC}`, got `{first}`"))),
+        None => return Err(perr(1, "empty file")),
+    }
+
+    let mut repo = ModelRepository::new();
+    let mut current: Option<(AttackFamily, String, Vec<CstStep>)> = None;
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match kind {
+            "entry" => {
+                if current.is_some() {
+                    return Err(perr(line_no, "entry inside an unterminated entry"));
+                }
+                let (abbrev, name) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| perr(line_no, "entry needs `<family> <name>`"))?;
+                let family = AttackFamily::from_abbrev(abbrev)
+                    .ok_or_else(|| perr(line_no, format!("unknown family `{abbrev}`")))?;
+                current = Some((family, name.to_string(), Vec::new()));
+            }
+            "step" => {
+                let (_, _, steps) = current
+                    .as_mut()
+                    .ok_or_else(|| perr(line_no, "step outside an entry"))?;
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                if fields.len() != 6 {
+                    return Err(perr(line_no, "step needs 6 fields"));
+                }
+                let bb_addr = u64::from_str_radix(fields[0], 16)
+                    .map_err(|e| perr(line_no, format!("bad address: {e}")))?;
+                let first_seen: u64 = fields[1]
+                    .parse()
+                    .map_err(|e| perr(line_no, format!("bad timestamp: {e}")))?;
+                let nums: Vec<f64> = fields[2..]
+                    .iter()
+                    .map(|f| f.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| perr(line_no, format!("bad occupancy: {e}")))?;
+                if nums.iter().any(|n| !(0.0..=1.0).contains(n)) {
+                    return Err(perr(line_no, "occupancy out of [0, 1]"));
+                }
+                steps.push(CstStep {
+                    bb_addr,
+                    first_seen,
+                    norm_insts: Vec::new(),
+                    cst: Cst {
+                        before: CacheState::new(nums[0], nums[1]),
+                        after: CacheState::new(nums[2], nums[3]),
+                    },
+                });
+            }
+            "inst" => {
+                let (_, _, steps) = current
+                    .as_mut()
+                    .ok_or_else(|| perr(line_no, "inst outside an entry"))?;
+                let step = steps
+                    .last_mut()
+                    .ok_or_else(|| perr(line_no, "inst before any step"))?;
+                let inst: NormInst = rest
+                    .parse()
+                    .map_err(|e| perr(line_no, format!("{e}")))?;
+                step.norm_insts.push(inst);
+            }
+            "end" => {
+                let (family, name, steps) = current
+                    .take()
+                    .ok_or_else(|| perr(line_no, "end outside an entry"))?;
+                repo.add_model(family, name, CstBbs::new(steps));
+            }
+            other => return Err(perr(line_no, format!("unknown record `{other}`"))),
+        }
+    }
+    if current.is_some() {
+        return Err(perr(text.lines().count(), "unterminated entry"));
+    }
+    Ok(repo)
+}
+
+/// Write a repository to `path`.
+///
+/// # Errors
+///
+/// Returns [`LoadRepoError::Io`] on filesystem errors.
+pub fn save_repository(repo: &ModelRepository, path: impl AsRef<Path>) -> Result<(), LoadRepoError> {
+    fs::write(path, repository_to_string(repo)).map_err(LoadRepoError::Io)
+}
+
+/// Read a repository from `path`.
+///
+/// # Errors
+///
+/// Returns [`LoadRepoError::Io`] on filesystem errors and
+/// [`LoadRepoError::Parse`] on malformed content.
+pub fn load_repository(path: impl AsRef<Path>) -> Result<ModelRepository, LoadRepoError> {
+    let text = fs::read_to_string(path).map_err(LoadRepoError::Io)?;
+    repository_from_str(&text)
+}
+
+impl ModelRepository {
+    /// Serialize to the versioned text format (see [`repository_to_string`]).
+    pub fn to_text(&self) -> String {
+        repository_to_string(self)
+    }
+
+    /// Parse from the versioned text format.
+    ///
+    /// # Errors
+    ///
+    /// See [`repository_from_str`].
+    pub fn from_text(text: &str) -> Result<ModelRepository, LoadRepoError> {
+        repository_from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_isa::NormOperand;
+
+    fn sample_repo() -> ModelRepository {
+        let step = |addr: u64, change: f64| CstStep {
+            bb_addr: addr,
+            first_seen: addr / 4,
+            norm_insts: vec![
+                NormInst::binary("mov", NormOperand::Reg, NormOperand::Imm),
+                NormInst::unary("clflush", NormOperand::Mem),
+                NormInst::nullary("vyield"),
+            ],
+            cst: Cst {
+                before: CacheState::full_other(),
+                after: CacheState::new(change, 1.0 - change),
+            },
+        };
+        let mut repo = ModelRepository::new();
+        repo.add_model(
+            AttackFamily::FlushReload,
+            "FR-IAIK",
+            CstBbs::new(vec![step(0x40_0000, 0.25), step(0x40_0040, 0.5)]),
+        );
+        repo.add_model(
+            AttackFamily::SpectrePrimeProbe,
+            "Spectre-PP-Trippel",
+            CstBbs::new(vec![step(0x40_0100, 0.125)]),
+        );
+        repo
+    }
+
+    fn entries_equal(a: &crate::RepoEntry, b: &crate::RepoEntry) -> bool {
+        a.family == b.family && a.name == b.name && a.model == b.model
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let repo = sample_repo();
+        let text = repo.to_text();
+        let loaded = ModelRepository::from_text(&text).expect("parse");
+        assert_eq!(repo.len(), loaded.len());
+        for (a, b) in repo.entries().iter().zip(loaded.entries()) {
+            assert!(entries_equal(a, b), "{} differs", a.name);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let repo = sample_repo();
+        let dir = std::env::temp_dir().join("scaguard-persist-test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("repo.txt");
+        save_repository(&repo, &path).expect("save");
+        let loaded = load_repository(&path).expect("load");
+        assert_eq!(loaded.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_content() {
+        assert!(ModelRepository::from_text("").is_err());
+        assert!(ModelRepository::from_text("not a repo\n").is_err());
+        let bad_family = format!("{MAGIC}\nentry XX-F name\nend\n");
+        assert!(ModelRepository::from_text(&bad_family).is_err());
+        let stray_step = format!("{MAGIC}\nstep 0 0 0 1 0 1\n");
+        assert!(ModelRepository::from_text(&stray_step).is_err());
+        let unterminated = format!("{MAGIC}\nentry FR-F x\n");
+        assert!(ModelRepository::from_text(&unterminated).is_err());
+        let bad_occupancy = format!("{MAGIC}\nentry FR-F x\nstep 0 0 2.0 0 0 1\nend\n");
+        assert!(ModelRepository::from_text(&bad_occupancy).is_err());
+        let bad_inst = format!("{MAGIC}\nentry FR-F x\nstep 0 0 0 1 0 1\ninst frob reg\nend\n");
+        assert!(ModelRepository::from_text(&bad_inst).is_err());
+    }
+
+    #[test]
+    fn loaded_repository_scores_identically() {
+        use crate::similarity_score;
+        let repo = sample_repo();
+        let loaded = ModelRepository::from_text(&repo.to_text()).expect("parse");
+        let target = &repo.entries()[0].model;
+        let s1 = similarity_score(target, &repo.entries()[1].model);
+        let s2 = similarity_score(target, &loaded.entries()[1].model);
+        assert_eq!(s1, s2);
+        assert_eq!(similarity_score(target, &loaded.entries()[0].model), 1.0);
+    }
+}

@@ -1,0 +1,388 @@
+//! Similarity comparison of CST-BBSes (Section III-B).
+//!
+//! The per-step distance between two CSTs averages two components:
+//!
+//! * `D_IS` — the normalized Levenshtein distance between the blocks'
+//!   imm/mem/reg-normalized instruction sequences;
+//! * `D_CSP` — the difference of the cache-change magnitudes of the two
+//!   transitions, `|P_2 - P_1|` with `P_i = (|AO_i-AO'_i| + |IO_i-IO'_i|)/2`.
+//!
+//! The sequence distance is computed by dynamic time warping with this
+//! per-step distance, and mapped to a similarity score in `[0, 1]` by
+//! `1 / (D + 1)`.
+
+use crate::cst::{CstBbs, CstStep};
+
+
+/// Levenshtein (edit) distance between two sequences.
+///
+/// ```
+/// assert_eq!(scaguard::levenshtein(b"kitten", b"sitting"), 3);
+/// ```
+pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, x) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, y) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(x != y);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized instruction-sequence distance
+/// `D_IS = Levenshtein(IS1, IS2) / max(len(IS1), len(IS2))`, in `[0, 1]`.
+/// Two empty sequences have distance 0.
+pub fn instruction_distance(a: &CstStep, b: &CstStep) -> f64 {
+    let denom = a.norm_insts.len().max(b.norm_insts.len());
+    if denom == 0 {
+        return 0.0;
+    }
+    levenshtein(&a.norm_insts, &b.norm_insts) as f64 / denom as f64
+}
+
+/// Cache-state-pair distance `D_CSP = |P_2 - P_1|`, in `[0, 1]`.
+pub fn csp_distance(a: &CstStep, b: &CstStep) -> f64 {
+    (a.cst.change() - b.cst.change()).abs()
+}
+
+/// The combined per-step distance
+/// `Distance(τ1, τ2) = (D_IS + D_CSP) / 2`, in `[0, 1]`.
+pub fn cst_distance(a: &CstStep, b: &CstStep) -> f64 {
+    (instruction_distance(a, b) + csp_distance(a, b)) / 2.0
+}
+
+/// Dynamic time warping distance between two step sequences under `dist`.
+///
+/// Standard DTW: `D(i,j) = dist(i,j) + min(D(i-1,j), D(i,j-1), D(i-1,j-1))`.
+/// If exactly one sequence is empty, every step of the other is unmatched
+/// at the maximum per-step cost (1.0); two empty sequences have distance 0.
+pub fn dtw<T>(a: &[T], b: &[T], mut dist: impl FnMut(&T, &T) -> f64) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return (a.len() + b.len()) as f64;
+    }
+    let m = b.len();
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for x in a {
+        cur[0] = f64::INFINITY;
+        for (j, y) in b.iter().enumerate() {
+            let d = dist(x, y);
+            let best = prev[j].min(prev[j + 1]).min(cur[j]);
+            cur[j + 1] = d + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// The DTW distance between two CST-BBS models under [`cst_distance`].
+pub fn model_distance(a: &CstBbs, b: &CstBbs) -> f64 {
+    dtw(a.steps(), b.steps(), cst_distance)
+}
+
+/// One matched pair on the optimal DTW warping path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alignment {
+    /// Step index in the first sequence.
+    pub a: usize,
+    /// Step index in the second sequence.
+    pub b: usize,
+    /// The per-step distance paid at this pair.
+    pub cost: f64,
+}
+
+/// Compute the optimal DTW warping path alongside the distance —
+/// the explanation of *which* blocks matched which.
+///
+/// Returns `(distance, path)`; the path is empty when either sequence is
+/// empty (the distance then counts every unmatched step at cost 1).
+///
+/// ```
+/// use scaguard::{dtw_with_path};
+/// let d = |x: &f64, y: &f64| (x - y).abs();
+/// let (dist, path) = dtw_with_path(&[1.0, 5.0], &[1.0, 1.0, 5.0], d);
+/// assert_eq!(dist, 0.0);
+/// assert_eq!(path.len(), 3);
+/// assert_eq!((path[2].a, path[2].b), (1, 2));
+/// ```
+pub fn dtw_with_path<T>(
+    a: &[T],
+    b: &[T],
+    mut dist: impl FnMut(&T, &T) -> f64,
+) -> (f64, Vec<Alignment>) {
+    if a.is_empty() || b.is_empty() {
+        return ((a.len() + b.len()) as f64 * f64::from(u8::from(!(a.is_empty() && b.is_empty()))), Vec::new());
+    }
+    let (n, m) = (a.len(), b.len());
+    let mut d = vec![f64::INFINITY; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    d[idx(0, 0)] = 0.0;
+    let mut cost = vec![0.0; n * m];
+    for (i, x) in a.iter().enumerate() {
+        for (j, y) in b.iter().enumerate() {
+            let c = dist(x, y);
+            cost[i * m + j] = c;
+            let best = d[idx(i, j)]
+                .min(d[idx(i, j + 1)])
+                .min(d[idx(i + 1, j)]);
+            d[idx(i + 1, j + 1)] = c + best;
+        }
+    }
+    // Traceback from (n, m).
+    let mut path = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        path.push(Alignment {
+            a: i - 1,
+            b: j - 1,
+            cost: cost[(i - 1) * m + (j - 1)],
+        });
+        let diag = d[idx(i - 1, j - 1)];
+        let up = d[idx(i - 1, j)];
+        let left = d[idx(i, j - 1)];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    path.reverse();
+    (d[idx(n, m)], path)
+}
+
+/// A human-readable explanation of a model comparison: the warping path
+/// with per-pair costs and the blocks' leading instructions.
+pub fn explain_similarity(target: &CstBbs, reference: &CstBbs) -> String {
+    let (distance, path) = dtw_with_path(target.steps(), reference.steps(), cst_distance);
+    let mut out = format!(
+        "DTW distance {distance:.3} (similarity {:.2}%) over {} aligned pairs\n",
+        100.0 / (distance + 1.0),
+        path.len()
+    );
+    for p in &path {
+        let ts = &target.steps()[p.a];
+        let rs = &reference.steps()[p.b];
+        let head = |s: &CstStep| {
+            s.norm_insts
+                .iter()
+                .take(3)
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
+        out.push_str(&format!(
+            "  target[{:>2}] {:#x} ({}) <-> ref[{:>2}] {:#x} ({})  cost {:.3}\n",
+            p.a,
+            ts.bb_addr,
+            head(ts),
+            p.b,
+            rs.bb_addr,
+            head(rs),
+            p.cost
+        ));
+    }
+    out
+}
+
+/// The similarity score between two models: `1 / (D + 1)` in `[0, 1]`,
+/// larger meaning more similar (Section III-B.2).
+///
+/// ```
+/// use scaguard::CstBbs;
+/// let empty = CstBbs::default();
+/// assert_eq!(scaguard::similarity_score(&empty, &empty), 1.0);
+/// ```
+pub fn similarity_score(a: &CstBbs, b: &CstBbs) -> f64 {
+    1.0 / (model_distance(a, b) + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cst::Cst;
+    use sca_cache::CacheState;
+    use sca_isa::{normalize_inst, Inst, MemRef, Reg};
+
+    fn step(insts: &[Inst], ao_after: f64) -> CstStep {
+        CstStep {
+            bb_addr: 0,
+            norm_insts: insts.iter().map(normalize_inst).collect(),
+            cst: Cst {
+                before: CacheState::full_other(),
+                after: CacheState::new(ao_after, 1.0 - ao_after),
+            },
+            first_seen: 0,
+        }
+    }
+
+    fn load() -> Inst {
+        Inst::Load {
+            dst: Reg::R1,
+            addr: MemRef::abs(0x1000),
+        }
+    }
+
+    fn flush() -> Inst {
+        Inst::Clflush {
+            addr: MemRef::abs(0x1000),
+        }
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein(b"abc", b"abc"), 0);
+        assert_eq!(levenshtein(b"abc", b""), 3);
+        assert_eq!(levenshtein(b"", b"xy"), 2);
+        assert_eq!(levenshtein(b"abc", b"axc"), 1);
+        assert_eq!(levenshtein(b"abc", b"cab"), 2);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein(b"kitten", b"sitting"), levenshtein(b"sitting", b"kitten"));
+    }
+
+    #[test]
+    fn identical_steps_have_zero_distance() {
+        let a = step(&[load(), flush()], 0.2);
+        assert_eq!(cst_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn instruction_distance_is_normalized() {
+        let a = step(&[load(), load(), load(), load()], 0.0);
+        let b = step(&[flush(), flush(), flush(), flush()], 0.0);
+        assert_eq!(instruction_distance(&a, &b), 1.0);
+        let c = step(&[load(), load(), flush(), flush()], 0.0);
+        assert_eq!(instruction_distance(&a, &c), 0.5);
+    }
+
+    #[test]
+    fn csp_distance_compares_change_magnitudes() {
+        let a = step(&[load()], 0.5); // change 0.5
+        let b = step(&[load()], 0.1); // change 0.1
+        assert!((csp_distance(&a, &b) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_variants_are_indistinguishable_after_normalization() {
+        let a = step(
+            &[Inst::Load {
+                dst: Reg::R1,
+                addr: MemRef::base(Reg::R2),
+            }],
+            0.3,
+        );
+        let b = step(
+            &[Inst::Load {
+                dst: Reg::R9,
+                addr: MemRef::base_disp(Reg::R4, 0x40),
+            }],
+            0.3,
+        );
+        assert_eq!(cst_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn dtw_identity_and_symmetry() {
+        let xs = [1.0f64, 2.0, 3.0];
+        let ys = [1.0f64, 2.5, 3.0];
+        let d = |a: &f64, b: &f64| (a - b).abs();
+        assert_eq!(dtw(&xs, &xs, d), 0.0);
+        assert!((dtw(&xs, &ys, d) - dtw(&ys, &xs, d)).abs() < 1e-12);
+        assert!(dtw(&xs, &ys, d) >= 0.0);
+    }
+
+    #[test]
+    fn dtw_warps_over_repeats() {
+        // a stretched version of the same pattern should be cheap
+        let a = [1.0f64, 5.0, 1.0];
+        let stretched = [1.0f64, 1.0, 5.0, 5.0, 5.0, 1.0];
+        let shuffled = [5.0f64, 1.0, 5.0];
+        let d = |x: &f64, y: &f64| (x - y).abs();
+        assert!(dtw(&a, &stretched, d) < dtw(&a, &shuffled, d));
+    }
+
+    #[test]
+    fn dtw_empty_cases() {
+        let d = |x: &f64, y: &f64| (x - y).abs();
+        assert_eq!(dtw::<f64>(&[], &[], d), 0.0);
+        assert_eq!(dtw(&[], &[1.0, 2.0], d), 2.0);
+        assert_eq!(dtw(&[1.0], &[], d), 1.0);
+    }
+
+    #[test]
+    fn dtw_path_matches_distance_and_is_monotone() {
+        let d = |x: &f64, y: &f64| (x - y).abs();
+        let a = [1.0, 5.0, 2.0, 8.0];
+        let b = [1.0, 1.0, 5.0, 2.5, 8.0];
+        let (dist, path) = dtw_with_path(&a, &b, d);
+        assert!((dist - dtw(&a, &b, d)).abs() < 1e-12, "path distance agrees");
+        // path cost sums to the distance
+        let sum: f64 = path.iter().map(|p| p.cost).sum();
+        assert!((sum - dist).abs() < 1e-9);
+        // endpoints and monotonicity
+        assert_eq!((path[0].a, path[0].b), (0, 0));
+        assert_eq!(
+            (path.last().unwrap().a, path.last().unwrap().b),
+            (a.len() - 1, b.len() - 1)
+        );
+        for w in path.windows(2) {
+            assert!(w[1].a >= w[0].a && w[1].b >= w[0].b);
+            assert!(w[1].a - w[0].a <= 1 && w[1].b - w[0].b <= 1);
+        }
+    }
+
+    #[test]
+    fn dtw_path_empty_cases() {
+        let d = |x: &f64, y: &f64| (x - y).abs();
+        let (dist, path) = dtw_with_path::<f64>(&[], &[], d);
+        assert_eq!(dist, 0.0);
+        assert!(path.is_empty());
+        let (dist, path) = dtw_with_path(&[], &[1.0, 2.0], d);
+        assert_eq!(dist, 2.0);
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn explanation_mentions_every_aligned_pair() {
+        let a: CstBbs = vec![step(&[load(), flush()], 0.2); 3].into_iter().collect();
+        let b: CstBbs = vec![step(&[load(), flush()], 0.2); 2].into_iter().collect();
+        let text = explain_similarity(&a, &b);
+        assert!(text.contains("DTW distance"));
+        assert!(text.contains("target[ 2]"), "{text}");
+        assert!(text.contains("ld reg, mem"));
+    }
+
+    #[test]
+    fn similarity_score_range_and_ordering() {
+        let a: CstBbs = vec![step(&[load(), flush()], 0.2); 4].into_iter().collect();
+        let near: CstBbs = vec![step(&[load(), flush()], 0.25); 4].into_iter().collect();
+        let far: CstBbs = vec![step(&[Inst::Nop, Inst::Nop, Inst::Nop], 0.9); 9]
+            .into_iter()
+            .collect();
+        let self_sim = similarity_score(&a, &a);
+        assert_eq!(self_sim, 1.0);
+        let near_sim = similarity_score(&a, &near);
+        let far_sim = similarity_score(&a, &far);
+        assert!(near_sim > far_sim);
+        assert!((0.0..=1.0).contains(&far_sim));
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `scaguard` command-line tool: build a PoC
+//! repository on disk, assemble real programs to `.sasm` files, and drive
+//! every subcommand the way a user would.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use sca_attacks::benign::{self, Kind};
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::AttackFamily;
+
+fn scaguard(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scaguard"))
+        .args(args)
+        .output()
+        .expect("spawn scaguard")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scaguard-cli-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn write_sasm(dir: &Path, name: &str, program: &sca_isa::Program) -> String {
+    let path = dir.join(format!("{name}.sasm"));
+    fs::write(&path, sca_isa::to_asm(program)).expect("write sasm");
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = scaguard(&[]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("usage:"), "usage must be printed: {text}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = scaguard(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn asm_roundtrips_a_poc() {
+    let dir = tmp_dir("asm");
+    let s = poc::representative(AttackFamily::FlushReload, &PocParams::default());
+    let path = write_sasm(&dir, "fr", &s.program);
+    let out = scaguard(&["asm", &path]);
+    assert!(
+        out.status.success(),
+        "asm failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rdtscp"), "disassembly shown: {text}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn build_classify_model_explain_pipeline() {
+    let dir = tmp_dir("pipeline");
+    let repo = dir.join("pocs.repo").to_string_lossy().into_owned();
+
+    // 1. build-repo writes a loadable repository
+    let out = scaguard(&["build-repo", &repo]);
+    assert!(
+        out.status.success(),
+        "build-repo failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(fs::metadata(&repo).expect("repo file").len() > 0);
+
+    // 2. classify an unseen FR implementation as an attack
+    let fr = poc::flush_reload_mastik(&PocParams::default());
+    let fr_path = write_sasm(&dir, "fr-mastik", &fr.program);
+    let out = scaguard(&[
+        "classify", &fr_path, "--repo", &repo, "--victim", "shared:3",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ATTACK"), "attack flagged: {text}");
+
+    // 3. classify a benign program as benign
+    let ben = benign::generate(Kind::Crypto, 7);
+    let ben_path = write_sasm(&dir, "benign", &ben.program);
+    let out = scaguard(&["classify", &ben_path, "--repo", &repo]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("benign"), "benign verdict: {text}");
+
+    // 4. model prints a CST-BBS
+    let out = scaguard(&["model", &fr_path, "--victim", "shared:3"]);
+    assert!(out.status.success());
+    assert!(!out.stdout.is_empty());
+
+    // 5. explain prints a DTW alignment against the best PoC
+    let out = scaguard(&[
+        "explain", &fr_path, "--repo", &repo, "--victim", "shared:3",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("FR") || text.contains("alignment") || !text.is_empty(),
+        "alignment evidence shown: {text}"
+    );
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn classify_without_repo_is_a_clear_error() {
+    let dir = tmp_dir("norepo");
+    let s = poc::representative(AttackFamily::FlushReload, &PocParams::default());
+    let path = write_sasm(&dir, "fr", &s.program);
+    let out = scaguard(&["classify", &path]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--repo"),
+        "error must point at the missing --repo"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_threshold_and_bad_victim_are_rejected() {
+    let out = scaguard(&["classify", "x.sasm", "--threshold", "nope"]);
+    assert!(!out.status.success());
+    let out = scaguard(&["classify", "x.sasm", "--victim", "wat"]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the similarity machinery: metric properties of
+//! Levenshtein, DTW, and the CST distance, plus score-range guarantees.
+
+use proptest::prelude::*;
+
+use sca_cache::CacheState;
+use sca_isa::NormInst;
+use scaguard::similarity::{csp_distance, instruction_distance};
+use scaguard::{cst_distance, dtw, levenshtein, similarity_score, Cst, CstBbs, CstStep};
+
+fn arb_norm_inst() -> impl Strategy<Value = NormInst> {
+    prop_oneof![
+        Just(NormInst::binary("mov", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Imm)),
+        Just(NormInst::binary("ld", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Mem)),
+        Just(NormInst::binary("st", sca_isa::NormOperand::Mem, sca_isa::NormOperand::Reg)),
+        Just(NormInst::binary("add", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Imm)),
+        Just(NormInst::unary("clflush", sca_isa::NormOperand::Mem)),
+        Just(NormInst::unary("rdtscp", sca_isa::NormOperand::Reg)),
+        Just(NormInst::nullary("nop")),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = CstStep> {
+    (
+        proptest::collection::vec(arb_norm_inst(), 0..12),
+        0.0f64..=0.5,
+        0.0f64..=0.5,
+        0u64..10_000,
+    )
+        .prop_map(|(norm_insts, ao, io, first_seen)| CstStep {
+            bb_addr: 0x40_0000,
+            norm_insts,
+            cst: Cst {
+                before: CacheState::full_other(),
+                after: CacheState::new(ao, io),
+            },
+            first_seen,
+        })
+}
+
+fn arb_model() -> impl Strategy<Value = CstBbs> {
+    proptest::collection::vec(arb_step(), 0..10).prop_map(CstBbs::new)
+}
+
+proptest! {
+    /// Levenshtein is a metric on sequences: identity, symmetry, triangle
+    /// inequality, and the standard bounds.
+    #[test]
+    fn levenshtein_is_a_metric(
+        a in proptest::collection::vec(0u8..5, 0..20),
+        b in proptest::collection::vec(0u8..5, 0..20),
+        c in proptest::collection::vec(0u8..5, 0..20),
+    ) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        let d = levenshtein(&a, &b);
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+        prop_assert!(d <= a.len().max(b.len()));
+        if d == 0 {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// Each distance component and the combined distance stay in [0, 1]
+    /// and are symmetric with zero self-distance.
+    #[test]
+    fn step_distances_are_bounded_symmetric(x in arb_step(), y in arb_step()) {
+        for d in [
+            instruction_distance(&x, &y),
+            csp_distance(&x, &y),
+            cst_distance(&x, &y),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&d), "distance {d} out of range");
+        }
+        prop_assert!((cst_distance(&x, &y) - cst_distance(&y, &x)).abs() < 1e-12);
+        prop_assert_eq!(cst_distance(&x, &x), 0.0);
+    }
+
+    /// DTW under the CST distance: zero on identity, symmetric,
+    /// non-negative, and bounded by the all-pairs worst case.
+    #[test]
+    fn dtw_properties(a in arb_model(), b in arb_model()) {
+        let dab = dtw(a.steps(), b.steps(), cst_distance);
+        let dba = dtw(b.steps(), a.steps(), cst_distance);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dba).abs() < 1e-9, "DTW must be symmetric");
+        prop_assert_eq!(dtw(a.steps(), a.steps(), cst_distance), 0.0);
+        // path length is at most len(a)+len(b), each step costing <= 1
+        prop_assert!(dab <= (a.len() + b.len()) as f64 + 1e-9);
+    }
+
+    /// Similarity scores live in [0, 1], reach 1 exactly on self, and are
+    /// symmetric.
+    #[test]
+    fn similarity_score_properties(a in arb_model(), b in arb_model()) {
+        let s = similarity_score(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(similarity_score(&a, &a), 1.0);
+        prop_assert!((s - similarity_score(&b, &a)).abs() < 1e-9);
+    }
+
+    /// Concatenating a common prefix to both sequences never increases the
+    /// DTW distance beyond the original (warping absorbs shared structure).
+    #[test]
+    fn shared_prefix_does_not_hurt(
+        prefix in proptest::collection::vec(arb_step(), 1..4),
+        a in proptest::collection::vec(arb_step(), 1..6),
+        b in proptest::collection::vec(arb_step(), 1..6),
+    ) {
+        let base = dtw(&a, &b, cst_distance);
+        let mut pa = prefix.clone();
+        pa.extend(a.clone());
+        let mut pb = prefix.clone();
+        pb.extend(b.clone());
+        let with_prefix = dtw(&pa, &pb, cst_distance);
+        prop_assert!(with_prefix <= base + 1e-9, "{with_prefix} > {base}");
+    }
+}

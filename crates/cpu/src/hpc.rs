@@ -1,0 +1,255 @@
+//! Hardware performance counter events (Table I of the paper).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The twelve HPC events of Table I.
+///
+/// The first eleven are *counted* events whose per-basic-block sum forms the
+/// "HPC value" used for attack-relevant BB identification; `Timestamp` is
+/// collected but excluded from that sum, exactly as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HpcEvent {
+    /// L1 data cache load miss.
+    L1dLoadMiss,
+    /// L1 data cache load hit.
+    L1dLoadHit,
+    /// L1 data cache store hit.
+    L1dStoreHit,
+    /// L1 instruction cache load miss.
+    L1iLoadMiss,
+    /// Last-level cache load miss.
+    LlcLoadMiss,
+    /// Last-level cache load hit.
+    LlcLoadHit,
+    /// Last-level cache store miss.
+    LlcStoreMiss,
+    /// Last-level cache store hit.
+    LlcStoreHit,
+    /// Branch misprediction.
+    BranchMiss,
+    /// Branch target buffer (BTB) load miss.
+    BranchLoadMiss,
+    /// Generic cache miss (any access missing the whole hierarchy).
+    CacheMiss,
+    /// Timestamp read (`rdtscp`); excluded from per-BB HPC sums.
+    Timestamp,
+}
+
+impl HpcEvent {
+    /// All events in Table I order.
+    pub const ALL: [HpcEvent; 12] = [
+        HpcEvent::L1dLoadMiss,
+        HpcEvent::L1dLoadHit,
+        HpcEvent::L1dStoreHit,
+        HpcEvent::L1iLoadMiss,
+        HpcEvent::LlcLoadMiss,
+        HpcEvent::LlcLoadHit,
+        HpcEvent::LlcStoreMiss,
+        HpcEvent::LlcStoreHit,
+        HpcEvent::BranchMiss,
+        HpcEvent::BranchLoadMiss,
+        HpcEvent::CacheMiss,
+        HpcEvent::Timestamp,
+    ];
+
+    /// The eleven counted events (everything but `Timestamp`).
+    pub const COUNTED: [HpcEvent; 11] = [
+        HpcEvent::L1dLoadMiss,
+        HpcEvent::L1dLoadHit,
+        HpcEvent::L1dStoreHit,
+        HpcEvent::L1iLoadMiss,
+        HpcEvent::LlcLoadMiss,
+        HpcEvent::LlcLoadHit,
+        HpcEvent::LlcStoreMiss,
+        HpcEvent::LlcStoreHit,
+        HpcEvent::BranchMiss,
+        HpcEvent::BranchLoadMiss,
+        HpcEvent::CacheMiss,
+    ];
+
+    /// Dense index of this event in `[0, 12)`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The Table-I scope column this event belongs to.
+    pub fn scope(self) -> &'static str {
+        match self {
+            HpcEvent::L1dLoadMiss
+            | HpcEvent::L1dLoadHit
+            | HpcEvent::L1dStoreHit
+            | HpcEvent::L1iLoadMiss => "L1 Cache",
+            HpcEvent::LlcLoadMiss
+            | HpcEvent::LlcLoadHit
+            | HpcEvent::LlcStoreMiss
+            | HpcEvent::LlcStoreHit => "LLC",
+            HpcEvent::BranchMiss
+            | HpcEvent::BranchLoadMiss
+            | HpcEvent::CacheMiss
+            | HpcEvent::Timestamp => "Others",
+        }
+    }
+
+    /// Human-readable event name matching Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            HpcEvent::L1dLoadMiss => "L1 Data Cache Load Miss",
+            HpcEvent::L1dLoadHit => "L1 Data Cache Load Hit",
+            HpcEvent::L1dStoreHit => "L1 Data Cache Store Hit",
+            HpcEvent::L1iLoadMiss => "L1 Instruction Cache Load Miss",
+            HpcEvent::LlcLoadMiss => "LLC Load Miss",
+            HpcEvent::LlcLoadHit => "LLC Load Hit",
+            HpcEvent::LlcStoreMiss => "LLC Store Miss",
+            HpcEvent::LlcStoreHit => "LLC Store Hit",
+            HpcEvent::BranchMiss => "Branch Miss",
+            HpcEvent::BranchLoadMiss => "Branch Load Miss",
+            HpcEvent::CacheMiss => "Cache Miss",
+            HpcEvent::Timestamp => "Timestamp",
+        }
+    }
+}
+
+impl fmt::Display for HpcEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A vector of counts, one per [`HpcEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounts([u64; 12]);
+
+impl EventCounts {
+    /// All-zero counts.
+    pub fn new() -> EventCounts {
+        EventCounts::default()
+    }
+
+    /// Increment `event` by one.
+    pub fn bump(&mut self, event: HpcEvent) {
+        self.0[event.index()] += 1;
+    }
+
+    /// Add `other` element-wise into `self`.
+    pub fn merge(&mut self, other: &EventCounts) {
+        for i in 0..12 {
+            self.0[i] += other.0[i];
+        }
+    }
+
+    /// Element-wise difference `self - other` (saturating).
+    pub fn delta_from(&self, other: &EventCounts) -> EventCounts {
+        let mut out = [0u64; 12];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a.saturating_sub(*b);
+        }
+        EventCounts(out)
+    }
+
+    /// Sum of the eleven counted events — the per-BB "HPC value" of
+    /// Section III-A.1 (timestamps excluded).
+    pub fn hpc_value(&self) -> u64 {
+        HpcEvent::COUNTED.iter().map(|e| self.0[e.index()]).sum()
+    }
+
+    /// The raw counts in Table-I order.
+    pub fn as_array(&self) -> &[u64; 12] {
+        &self.0
+    }
+
+    /// The eleven counted events as `f64`s (ML feature extraction).
+    pub fn counted_f64(&self) -> [f64; 11] {
+        let mut out = [0.0; 11];
+        for (i, e) in HpcEvent::COUNTED.iter().enumerate() {
+            out[i] = self.0[e.index()] as f64;
+        }
+        out
+    }
+
+    /// Whether every count is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&c| c == 0)
+    }
+}
+
+impl Index<HpcEvent> for EventCounts {
+    type Output = u64;
+
+    fn index(&self, event: HpcEvent) -> &u64 {
+        &self.0[event.index()]
+    }
+}
+
+impl IndexMut<HpcEvent> for EventCounts {
+    fn index_mut(&mut self, event: HpcEvent) -> &mut u64 {
+        &mut self.0[event.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_events_eleven_counted() {
+        assert_eq!(HpcEvent::ALL.len(), 12);
+        assert_eq!(HpcEvent::COUNTED.len(), 11);
+        assert!(!HpcEvent::COUNTED.contains(&HpcEvent::Timestamp));
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, e) in HpcEvent::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+
+    #[test]
+    fn hpc_value_excludes_timestamp() {
+        let mut c = EventCounts::new();
+        c.bump(HpcEvent::Timestamp);
+        c.bump(HpcEvent::Timestamp);
+        assert_eq!(c.hpc_value(), 0);
+        c.bump(HpcEvent::L1dLoadMiss);
+        c.bump(HpcEvent::LlcLoadHit);
+        assert_eq!(c.hpc_value(), 2);
+    }
+
+    #[test]
+    fn merge_and_delta_are_inverse() {
+        let mut a = EventCounts::new();
+        a.bump(HpcEvent::CacheMiss);
+        let mut b = a;
+        b.bump(HpcEvent::BranchMiss);
+        b.bump(HpcEvent::CacheMiss);
+        let d = b.delta_from(&a);
+        assert_eq!(d[HpcEvent::CacheMiss], 1);
+        assert_eq!(d[HpcEvent::BranchMiss], 1);
+        let mut a2 = a;
+        a2.merge(&d);
+        assert_eq!(a2, b);
+    }
+
+    #[test]
+    fn scopes_match_table_one() {
+        assert_eq!(HpcEvent::L1dLoadMiss.scope(), "L1 Cache");
+        assert_eq!(HpcEvent::LlcStoreHit.scope(), "LLC");
+        assert_eq!(HpcEvent::Timestamp.scope(), "Others");
+        let l1: Vec<_> = HpcEvent::ALL
+            .iter()
+            .filter(|e| e.scope() == "L1 Cache")
+            .collect();
+        assert_eq!(l1.len(), 4);
+    }
+
+    #[test]
+    fn counted_f64_matches_counts() {
+        let mut c = EventCounts::new();
+        c.bump(HpcEvent::L1dLoadHit);
+        c.bump(HpcEvent::L1dLoadHit);
+        let f = c.counted_f64();
+        assert_eq!(f[HpcEvent::L1dLoadHit.index()], 2.0);
+        assert_eq!(f.iter().sum::<f64>(), 2.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # sca-cpu — the simulated CPU substrate
+//!
+//! SCAGuard's attack-behavior modeling consumes three kinds of runtime
+//! information that the paper collects on real hardware:
+//!
+//! * **HPC events** (Table I, via `perf`): per-instruction-address counts of
+//!   11 cache/branch events plus the timestamp;
+//! * **memory-access traces** (via Intel PT): the addresses each basic block
+//!   accesses or flushes;
+//! * **execution timestamps**: when each basic block first runs, used to
+//!   flatten the attack-relevant graph into a sequence.
+//!
+//! This crate provides all three from a deterministic cycle-approximate
+//! interpreter for the [`sca_isa`] micro-ISA, attached to the
+//! [`sca_cache`] hierarchy. It also models the two microarchitectural
+//! mechanisms the attack families rely on:
+//!
+//! * a **timing channel**: loads, flushes, and fetches cost cycles that
+//!   depend on which cache level hits, and `rdtscp` exposes the cycle
+//!   counter to the program;
+//! * **speculative execution**: a 2-bit branch predictor plus a bounded
+//!   wrong-path window whose loads fill the caches before being squashed —
+//!   exactly the effect Spectre-style variants exploit.
+//!
+//! A co-located [`Victim`] runs whenever the program yields (`vyield`),
+//! touching secret-dependent addresses so that Flush+Reload, Evict+Reload,
+//! Flush+Flush and Prime+Probe actually observe something.
+
+mod hpc;
+mod machine;
+mod predictor;
+mod trace;
+mod victim;
+
+pub use hpc::{EventCounts, HpcEvent};
+pub use machine::{CpuConfig, LatencyModel, Machine, PrefetchPolicy, RunError};
+pub use predictor::BranchPredictor;
+pub use trace::{SetAccess, SetAccessKind, Trace};
+pub use victim::Victim;

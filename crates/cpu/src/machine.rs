@@ -1,0 +1,1173 @@
+//! The cycle-approximate interpreter with speculation and HPC collection.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use sca_cache::{Hierarchy, HierarchyConfig, Owner};
+use sca_isa::{FenceKind, Inst, MemRef, Operand, Program, Reg};
+
+use crate::hpc::{EventCounts, HpcEvent};
+use crate::predictor::BranchPredictor;
+use crate::trace::{SetAccess, SetAccessKind, Trace};
+use crate::victim::Victim;
+
+/// Cycle costs of the timing model.
+///
+/// The absolute values are synthetic but their *ordering* reproduces the
+/// channels every attack family measures: an L1 hit is far cheaper than a
+/// memory access, and flushing a cached line costs more than flushing an
+/// uncached one (the Flush+Flush channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Data access served by L1.
+    pub l1_hit: u64,
+    /// Data access served by the LLC.
+    pub llc_hit: u64,
+    /// Data access served by memory.
+    pub mem: u64,
+    /// Instruction fetch miss penalty per level (L1I miss adds `llc_hit`,
+    /// full miss adds `mem`); an L1I hit is free (pipelined).
+    pub fetch_l1_hit: u64,
+    /// `clflush` of a line that was cached.
+    pub flush_present: u64,
+    /// `clflush` of a line that was not cached.
+    pub flush_absent: u64,
+    /// `rdtscp` overhead.
+    pub rdtscp: u64,
+    /// Branch misprediction penalty.
+    pub branch_miss: u64,
+    /// Cost of a `vyield` context switch.
+    pub vyield: u64,
+    /// Base cost of any instruction.
+    pub base: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> LatencyModel {
+        LatencyModel {
+            l1_hit: 4,
+            llc_hit: 30,
+            mem: 120,
+            fetch_l1_hit: 0,
+            flush_present: 60,
+            flush_absent: 20,
+            rdtscp: 10,
+            branch_miss: 15,
+            vyield: 200,
+            base: 1,
+        }
+    }
+}
+
+/// Hardware-prefetcher models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchPolicy {
+    /// No prefetching (the default; cache attacks on real hardware usually
+    /// defeat the prefetcher with strided or randomized access patterns).
+    #[default]
+    None,
+    /// Next-line prefetch: every demand load that misses the whole
+    /// hierarchy also fills the following line. Adds realistic noise to
+    /// the timing channel and to the occupancy the attacks manipulate.
+    NextLine,
+}
+
+/// Configuration of the simulated CPU.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Cache hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Hardware prefetcher model.
+    pub prefetch: PrefetchPolicy,
+    /// Maximum number of wrong-path instructions executed after a
+    /// misprediction (the speculation window). `0` disables speculation.
+    pub spec_window: usize,
+    /// Commit-step budget before the run is cut off.
+    pub max_steps: u64,
+    /// HPC sampling period in cycles (for the ML baselines' time series).
+    pub sample_period: u64,
+    /// Preemptive scheduling interval for [`Machine::run_pair`]: when set,
+    /// the victim process additionally receives a quantum every N
+    /// committed attacker instructions, even without a `vyield` — the way
+    /// a real OS timeslices a spinning attacker. `None` (the default)
+    /// switches only at explicit yields.
+    pub preempt_interval: Option<u64>,
+    /// Cap on recorded LLC set-access events.
+    pub set_trace_cap: usize,
+    /// Timing model.
+    pub latency: LatencyModel,
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        CpuConfig {
+            hierarchy: HierarchyConfig::skylake_like(),
+            prefetch: PrefetchPolicy::None,
+            spec_window: 32,
+            max_steps: 2_000_000,
+            sample_period: 2_000,
+            preempt_interval: None,
+            set_trace_cap: 1 << 20,
+            latency: LatencyModel::default(),
+        }
+    }
+}
+
+/// Errors from [`Machine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The program contains no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::EmptyProgram => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// The simulated CPU.
+///
+/// One [`Machine`] can run many programs; every [`run`](Machine::run) starts
+/// from a cold microarchitectural state (empty caches, reset predictor), so
+/// runs are independent and deterministic.
+///
+/// ```
+/// use sca_cpu::{CpuConfig, Machine, Victim};
+/// use sca_isa::{ProgramBuilder, Reg, MemRef};
+///
+/// # fn main() -> Result<(), sca_cpu::RunError> {
+/// let mut b = ProgramBuilder::new("two-loads");
+/// b.mov_imm(Reg::R1, 0x1000);
+/// b.load(Reg::R2, MemRef::base(Reg::R1));
+/// b.load(Reg::R3, MemRef::base(Reg::R1));
+/// b.halt();
+/// let trace = Machine::new(CpuConfig::default()).run(&b.build(), &Victim::None)?;
+/// assert!(trace.halted);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: CpuConfig,
+    hier: Hierarchy,
+    pred: BranchPredictor,
+    regs: [u64; 16],
+    cmp: (u64, u64),
+    mem: HashMap<u64, u64>,
+    cycles: u64,
+    victim_proc: ProcState,
+}
+
+/// Architectural state of the co-scheduled victim process
+/// (see [`Machine::run_pair`]).
+#[derive(Debug, Clone, Default)]
+struct ProcState {
+    regs: [u64; 16],
+    cmp: (u64, u64),
+    pc: usize,
+}
+
+/// Trace-accumulation state for one run.
+struct Collector {
+    inst_events: HashMap<u64, EventCounts>,
+    inst_accesses: HashMap<u64, HashSet<u64>>,
+    first_seen: HashMap<u64, u64>,
+    totals: EventCounts,
+    samples: Vec<[f64; 11]>,
+    last_sample: EventCounts,
+    next_sample_at: u64,
+    set_trace: Vec<SetAccess>,
+    set_trace_truncated: bool,
+    set_trace_cap: usize,
+}
+
+impl Collector {
+    fn new(cfg: &CpuConfig) -> Collector {
+        Collector {
+            inst_events: HashMap::new(),
+            inst_accesses: HashMap::new(),
+            first_seen: HashMap::new(),
+            totals: EventCounts::new(),
+            samples: Vec::new(),
+            last_sample: EventCounts::new(),
+            next_sample_at: cfg.sample_period,
+            set_trace: Vec::new(),
+            set_trace_truncated: false,
+            set_trace_cap: cfg.set_trace_cap,
+        }
+    }
+
+    fn bump(&mut self, addr: u64, event: HpcEvent) {
+        self.inst_events.entry(addr).or_default().bump(event);
+        self.totals.bump(event);
+    }
+
+    fn record_access(&mut self, inst_addr: u64, line_addr: u64) {
+        self.inst_accesses
+            .entry(inst_addr)
+            .or_default()
+            .insert(line_addr);
+    }
+
+    fn record_set(
+        &mut self,
+        cycle: u64,
+        step: u64,
+        set: u32,
+        line: u64,
+        owner: Owner,
+        kind: SetAccessKind,
+    ) {
+        if self.set_trace.len() >= self.set_trace_cap {
+            self.set_trace_truncated = true;
+            return;
+        }
+        self.set_trace.push(SetAccess {
+            cycle,
+            step,
+            set,
+            line,
+            owner,
+            kind,
+        });
+    }
+
+    fn maybe_sample(&mut self, cycles: u64, period: u64) {
+        while cycles >= self.next_sample_at {
+            let delta = self.totals.delta_from(&self.last_sample);
+            self.samples.push(delta.counted_f64());
+            self.last_sample = self.totals;
+            self.next_sample_at += period;
+        }
+    }
+
+    fn finish(self, cycles: u64, steps: u64, halted: bool) -> Trace {
+        let mut inst_accesses: HashMap<u64, Vec<u64>> = HashMap::with_capacity(self.inst_accesses.len());
+        for (addr, set) in self.inst_accesses {
+            let mut v: Vec<u64> = set.into_iter().collect();
+            v.sort_unstable();
+            inst_accesses.insert(addr, v);
+        }
+        Trace {
+            inst_events: self.inst_events,
+            inst_accesses,
+            first_seen: self.first_seen,
+            totals: self.totals,
+            samples: self.samples,
+            set_trace: self.set_trace,
+            set_trace_truncated: self.set_trace_truncated,
+            cycles,
+            steps,
+            halted,
+        }
+    }
+}
+
+impl Machine {
+    /// Create a machine with the given configuration.
+    pub fn new(cfg: CpuConfig) -> Machine {
+        let hier = Hierarchy::new(cfg.hierarchy);
+        Machine {
+            cfg,
+            hier,
+            pred: BranchPredictor::new(),
+            regs: [0; 16],
+            cmp: (0, 0),
+            mem: HashMap::new(),
+            cycles: 0,
+            victim_proc: ProcState::default(),
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Read the 64-bit word at `addr` as it stands after the last run
+    /// (missing words read as 0). Lets callers inspect a program's results,
+    /// e.g. the secret guesses an attack PoC wrote to its result region.
+    pub fn read_word(&self, addr: u64) -> u64 {
+        self.mem_read(addr)
+    }
+
+    /// The register file as it stands after the last run.
+    pub fn registers(&self) -> &[u64; 16] {
+        &self.regs
+    }
+
+    fn reset(&mut self) {
+        self.hier = Hierarchy::new(self.cfg.hierarchy);
+        self.pred = BranchPredictor::new();
+        self.regs = [0; 16];
+        self.cmp = (0, 0);
+        self.mem.clear();
+        self.cycles = 0;
+        self.victim_proc = ProcState::default();
+    }
+
+    fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    fn effective_addr(regs: &[u64; 16], m: &MemRef) -> u64 {
+        let mut ea = m.disp as u64;
+        if let Some(b) = m.base {
+            ea = ea.wrapping_add(regs[b.index()]);
+        }
+        if let Some(i) = m.index {
+            ea = ea.wrapping_add(regs[i.index()].wrapping_mul(m.scale as u64));
+        }
+        ea
+    }
+
+    fn operand_value(regs: &[u64; 16], o: &Operand) -> u64 {
+        match o {
+            Operand::Reg(r) => regs[r.index()],
+            Operand::Imm(i) => *i as u64,
+        }
+    }
+
+    fn mem_read(&self, addr: u64) -> u64 {
+        *self.mem.get(&(addr & !7)).unwrap_or(&0)
+    }
+
+    fn mem_write(&mut self, addr: u64, value: u64) {
+        self.mem.insert(addr & !7, value);
+    }
+
+    /// Run `program` against `victim`, starting from cold state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::EmptyProgram`] if the program has no
+    /// instructions. A run that exhausts `max_steps` is *not* an error; the
+    /// returned trace has `halted == false`.
+    pub fn run(&mut self, program: &Program, victim: &Victim) -> Result<Trace, RunError> {
+        self.run_inner(program, victim, None)
+    }
+
+    /// Run `program` against a co-scheduled *victim program* sharing the
+    /// memory space and cache hierarchy, instead of a [`Victim`] model.
+    ///
+    /// Whenever the attacker yields (`vyield`), the victim process runs up
+    /// to `victim_quantum` committed instructions, resuming where it left
+    /// off; a halted victim restarts from its entry (a request-serving
+    /// loop). Victim activity fills the caches with [`Owner::Victim`]
+    /// attribution but is not traced — exactly the visibility a real
+    /// co-located attacker has. The victim's text is fetched at a disjoint
+    /// address range so the two processes do not alias in the I-cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::EmptyProgram`] if either program is empty.
+    pub fn run_pair(
+        &mut self,
+        program: &Program,
+        victim_program: &Program,
+        victim_quantum: u64,
+    ) -> Result<Trace, RunError> {
+        if victim_program.is_empty() {
+            return Err(RunError::EmptyProgram);
+        }
+        self.run_inner(program, &Victim::None, Some((victim_program, victim_quantum)))
+    }
+
+    fn run_inner(
+        &mut self,
+        program: &Program,
+        victim: &Victim,
+        victim_program: Option<(&Program, u64)>,
+    ) -> Result<Trace, RunError> {
+        if program.is_empty() {
+            return Err(RunError::EmptyProgram);
+        }
+        self.reset();
+        let mut col = Collector::new(&self.cfg);
+        let line = self.cfg.hierarchy.llc.line_size;
+        let mut pc = 0usize;
+        let mut steps = 0u64;
+        let mut halted = false;
+        let mut yields = 0u64;
+
+        while steps < self.cfg.max_steps {
+            let Some(&inst) = program.get(pc) else { break };
+            let inst_addr = program.addr_of(pc);
+            col.first_seen.entry(inst_addr).or_insert(self.cycles);
+            steps += 1;
+            self.cycles += self.cfg.latency.base;
+
+            // Instruction fetch.
+            let f = self.hier.fetch_inst(inst_addr, Owner::Attacker);
+            if f.l1i_hit {
+                self.cycles += self.cfg.latency.fetch_l1_hit;
+            } else {
+                col.bump(inst_addr, HpcEvent::L1iLoadMiss);
+                if f.llc_hit {
+                    self.cycles += self.cfg.latency.llc_hit;
+                } else {
+                    col.bump(inst_addr, HpcEvent::CacheMiss);
+                    self.cycles += self.cfg.latency.mem;
+                }
+            }
+
+            let mut next_pc = pc + 1;
+            match inst {
+                Inst::MovImm { dst, imm } => self.regs[dst.index()] = imm as u64,
+                Inst::MovReg { dst, src } => self.regs[dst.index()] = self.reg(src),
+                Inst::Load { dst, addr } => {
+                    let ea = Self::effective_addr(&self.regs, &addr);
+                    self.data_access(&mut col, inst_addr, ea, false, line, steps);
+                    self.regs[dst.index()] = self.mem_read(ea);
+                }
+                Inst::Store { src, addr } => {
+                    let ea = Self::effective_addr(&self.regs, &addr);
+                    self.data_access(&mut col, inst_addr, ea, true, line, steps);
+                    let v = self.reg(src);
+                    self.mem_write(ea, v);
+                }
+                Inst::Alu { op, dst, src } => {
+                    let v = Self::operand_value(&self.regs, &src);
+                    self.regs[dst.index()] = op.apply(self.reg(dst), v);
+                }
+                Inst::Cmp { lhs, rhs } => {
+                    self.cmp = (self.reg(lhs), Self::operand_value(&self.regs, &rhs));
+                }
+                Inst::Jmp { target } => {
+                    if !self.pred.btb_lookup(inst_addr) {
+                        col.bump(inst_addr, HpcEvent::BranchLoadMiss);
+                    }
+                    self.pred.update(inst_addr, true);
+                    next_pc = target;
+                }
+                Inst::Br { cond, target } => {
+                    if !self.pred.btb_lookup(inst_addr) {
+                        col.bump(inst_addr, HpcEvent::BranchLoadMiss);
+                    }
+                    let taken = cond.eval(self.cmp.0, self.cmp.1);
+                    let predicted = self.pred.predict(inst_addr);
+                    if predicted != taken {
+                        col.bump(inst_addr, HpcEvent::BranchMiss);
+                        self.cycles += self.cfg.latency.branch_miss;
+                        // Wrong-path (transient) execution: cache side
+                        // effects persist, architectural state is squashed.
+                        let wrong_pc = if predicted { target } else { pc + 1 };
+                        self.speculate(program, wrong_pc, &mut col, line);
+                    }
+                    self.pred.update(inst_addr, taken);
+                    next_pc = if taken { target } else { pc + 1 };
+                }
+                Inst::Clflush { addr } => {
+                    let ea = Self::effective_addr(&self.regs, &addr);
+                    let line_addr = ea & !(line - 1);
+                    let was_present = self.hier.flush(ea);
+                    self.cycles += if was_present {
+                        self.cfg.latency.flush_present
+                    } else {
+                        self.cfg.latency.flush_absent
+                    };
+                    col.record_access(inst_addr, line_addr);
+                    let set = self.cfg.hierarchy.llc.set_index(ea) as u32;
+                    col.record_set(
+                        self.cycles,
+                        steps,
+                        set,
+                        line_addr,
+                        Owner::Attacker,
+                        SetAccessKind::Flush,
+                    );
+                }
+                Inst::Rdtscp { dst } => {
+                    self.cycles += self.cfg.latency.rdtscp;
+                    self.regs[dst.index()] = self.cycles;
+                    col.bump(inst_addr, HpcEvent::Timestamp);
+                }
+                Inst::Fence { .. } => {
+                    self.cycles += self.cfg.latency.base;
+                }
+                Inst::VYield => {
+                    self.cycles += self.cfg.latency.vyield;
+                    match victim_program {
+                        Some((vp, quantum)) => self.step_victim(vp, quantum),
+                        None => victim.on_yield(&mut self.hier, yields),
+                    }
+                    yields += 1;
+                }
+                Inst::Nop => {}
+                Inst::Halt => {
+                    halted = true;
+                }
+            }
+
+            if let (Some((vp, quantum)), Some(interval)) =
+                (victim_program, self.cfg.preempt_interval)
+            {
+                if steps.is_multiple_of(interval) {
+                    self.step_victim(vp, quantum);
+                }
+            }
+            col.maybe_sample(self.cycles, self.cfg.sample_period);
+            if halted {
+                break;
+            }
+            pc = next_pc;
+        }
+
+        Ok(col.finish(self.cycles, steps, halted))
+    }
+
+    /// Execute up to `budget` committed victim-process instructions;
+    /// returns early on the victim's own `vyield` or after a restart at
+    /// `halt`.
+    fn step_victim(&mut self, program: &Program, budget: u64) {
+        /// Fetch offset keeping victim text disjoint from the attacker's.
+        const VICTIM_TEXT_OFFSET: u64 = 0x10_0000;
+        let mut state = std::mem::take(&mut self.victim_proc);
+        let mut steps = 0u64;
+        while steps < budget {
+            let Some(&inst) = program.get(state.pc) else {
+                state.pc = 0;
+                break;
+            };
+            steps += 1;
+            let fetch_addr = program.addr_of(state.pc) + VICTIM_TEXT_OFFSET;
+            self.hier.fetch_inst(fetch_addr, Owner::Victim);
+            let mut next_pc = state.pc + 1;
+            match inst {
+                Inst::MovImm { dst, imm } => state.regs[dst.index()] = imm as u64,
+                Inst::MovReg { dst, src } => state.regs[dst.index()] = state.regs[src.index()],
+                Inst::Load { dst, addr } => {
+                    let ea = Self::effective_addr(&state.regs, &addr);
+                    self.hier.access_data(ea, Owner::Victim, false);
+                    state.regs[dst.index()] = self.mem_read(ea);
+                }
+                Inst::Store { src, addr } => {
+                    let ea = Self::effective_addr(&state.regs, &addr);
+                    self.hier.access_data(ea, Owner::Victim, true);
+                    let v = state.regs[src.index()];
+                    self.mem_write(ea, v);
+                }
+                Inst::Alu { op, dst, src } => {
+                    let v = Self::operand_value(&state.regs, &src);
+                    state.regs[dst.index()] = op.apply(state.regs[dst.index()], v);
+                }
+                Inst::Cmp { lhs, rhs } => {
+                    state.cmp = (
+                        state.regs[lhs.index()],
+                        Self::operand_value(&state.regs, &rhs),
+                    );
+                }
+                Inst::Jmp { target } => next_pc = target,
+                Inst::Br { cond, target } => {
+                    if cond.eval(state.cmp.0, state.cmp.1) {
+                        next_pc = target;
+                    }
+                }
+                Inst::Clflush { addr } => {
+                    let ea = Self::effective_addr(&state.regs, &addr);
+                    self.hier.flush(ea);
+                }
+                Inst::Rdtscp { dst } => state.regs[dst.index()] = self.cycles + steps,
+                Inst::Fence { .. } | Inst::Nop => {}
+                Inst::VYield => {
+                    state.pc = next_pc;
+                    self.victim_proc = state;
+                    return;
+                }
+                Inst::Halt => {
+                    // request-serving loop: restart on completion
+                    state.pc = 0;
+                    self.victim_proc = state;
+                    return;
+                }
+            }
+            state.pc = next_pc;
+        }
+        self.victim_proc = state;
+    }
+
+    /// One committed data access: update hierarchy, HPC events, PT trace.
+    fn data_access(
+        &mut self,
+        col: &mut Collector,
+        inst_addr: u64,
+        ea: u64,
+        is_write: bool,
+        line: u64,
+        step: u64,
+    ) {
+        let out = self.hier.access_data(ea, Owner::Attacker, is_write);
+        if is_write {
+            if out.l1_hit {
+                col.bump(inst_addr, HpcEvent::L1dStoreHit);
+            } else if out.llc_hit {
+                col.bump(inst_addr, HpcEvent::LlcStoreHit);
+            } else {
+                col.bump(inst_addr, HpcEvent::LlcStoreMiss);
+                col.bump(inst_addr, HpcEvent::CacheMiss);
+            }
+        } else if out.l1_hit {
+            col.bump(inst_addr, HpcEvent::L1dLoadHit);
+        } else {
+            col.bump(inst_addr, HpcEvent::L1dLoadMiss);
+            if out.llc_hit {
+                col.bump(inst_addr, HpcEvent::LlcLoadHit);
+            } else {
+                col.bump(inst_addr, HpcEvent::LlcLoadMiss);
+                col.bump(inst_addr, HpcEvent::CacheMiss);
+            }
+        }
+        self.cycles += if out.l1_hit {
+            self.cfg.latency.l1_hit
+        } else if out.llc_hit {
+            self.cfg.latency.llc_hit
+        } else {
+            self.cfg.latency.mem
+        };
+        if self.cfg.prefetch == PrefetchPolicy::NextLine && out.full_miss() {
+            // Prefetches fill the hierarchy but are not demand accesses:
+            // no HPC events, no PT trace entry, no added latency.
+            self.hier
+                .access_data((ea & !(line - 1)).wrapping_add(line), Owner::Attacker, false);
+        }
+        col.record_access(inst_addr, ea & !(line - 1));
+        let set = self.cfg.hierarchy.llc.set_index(ea) as u32;
+        let kind = if is_write {
+            SetAccessKind::Store
+        } else {
+            SetAccessKind::Load
+        };
+        col.record_set(self.cycles, step, set, ea & !(line - 1), Owner::Attacker, kind);
+    }
+
+    /// Execute up to `spec_window` wrong-path instructions starting at
+    /// `pc`. Register/memory writes go to shadow state and are squashed;
+    /// cache fills and HPC events persist — the transient-execution leak.
+    fn speculate(&mut self, program: &Program, mut pc: usize, col: &mut Collector, line: u64) {
+        let mut shadow_regs = self.regs;
+        let mut shadow_cmp = self.cmp;
+        let mut shadow_mem: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..self.cfg.spec_window {
+            let Some(&inst) = program.get(pc) else { break };
+            let inst_addr = program.addr_of(pc);
+            let mut next_pc = pc + 1;
+            match inst {
+                Inst::MovImm { dst, imm } => shadow_regs[dst.index()] = imm as u64,
+                Inst::MovReg { dst, src } => shadow_regs[dst.index()] = shadow_regs[src.index()],
+                Inst::Load { dst, addr } => {
+                    let ea = Self::effective_addr(&shadow_regs, &addr);
+                    // The transient load fills the caches — the Spectre leak.
+                    let out = self.hier.access_data(ea, Owner::Attacker, false);
+                    if out.l1_hit {
+                        col.bump(inst_addr, HpcEvent::L1dLoadHit);
+                    } else {
+                        col.bump(inst_addr, HpcEvent::L1dLoadMiss);
+                        if out.llc_hit {
+                            col.bump(inst_addr, HpcEvent::LlcLoadHit);
+                        } else {
+                            col.bump(inst_addr, HpcEvent::LlcLoadMiss);
+                            col.bump(inst_addr, HpcEvent::CacheMiss);
+                        }
+                    }
+                    col.record_access(inst_addr, ea & !(line - 1));
+                    let v = shadow_mem
+                        .get(&(ea & !7))
+                        .copied()
+                        .unwrap_or_else(|| self.mem_read(ea));
+                    shadow_regs[dst.index()] = v;
+                }
+                Inst::Store { src, addr } => {
+                    // Stores do not commit transiently; buffered in the
+                    // shadow store queue, no cache effect.
+                    let ea = Self::effective_addr(&shadow_regs, &addr);
+                    shadow_mem.insert(ea & !7, shadow_regs[src.index()]);
+                }
+                Inst::Alu { op, dst, src } => {
+                    let v = Self::operand_value(&shadow_regs, &src);
+                    shadow_regs[dst.index()] = op.apply(shadow_regs[dst.index()], v);
+                }
+                Inst::Cmp { lhs, rhs } => {
+                    shadow_cmp = (
+                        shadow_regs[lhs.index()],
+                        Self::operand_value(&shadow_regs, &rhs),
+                    );
+                }
+                Inst::Jmp { target } => next_pc = target,
+                Inst::Br { cond, target } => {
+                    // Nested speculation: follow the predictor without
+                    // updating it.
+                    let predicted = self.pred.predict(inst_addr);
+                    let _ = cond;
+                    next_pc = if predicted { target } else { pc + 1 };
+                }
+                // Serializing or externally-visible operations end the
+                // transient window.
+                Inst::Clflush { .. }
+                | Inst::Rdtscp { .. }
+                | Inst::Fence {
+                    kind: FenceKind::Lfence,
+                }
+                | Inst::VYield
+                | Inst::Halt => break,
+                Inst::Fence {
+                    kind: FenceKind::Mfence,
+                } => {}
+                Inst::Nop => {}
+            }
+            pc = next_pc;
+        }
+        let _ = shadow_cmp;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cloned_machine_runs_identically() {
+        // Clone is a deep copy: an original and its clone executing the
+        // same program from the same state produce identical traces and
+        // final state.
+        let mut b = ProgramBuilder::new("clone-check");
+        b.mov_imm(Reg::R1, 7);
+        let top = b.here();
+        b.load(Reg::R2, MemRef::abs(0x9000));
+        b.alu(AluOp::Add, Reg::R2, Reg::R1);
+        b.store(Reg::R2, MemRef::abs(0x9000));
+        b.alu_imm(AluOp::Sub, Reg::R1, 1);
+        b.cmp_imm(Reg::R1, 0);
+        b.br(Cond::Gt, top);
+        b.halt();
+        let p = b.build();
+
+        let mut a = Machine::new(CpuConfig::default());
+        let mut c = a.clone();
+        let ta = a.run(&p, &Victim::None).expect("run a");
+        let tc = c.run(&p, &Victim::None).expect("run clone");
+        assert_eq!(ta.cycles, tc.cycles);
+        assert_eq!(a.registers(), c.registers());
+        assert_eq!(a.read_word(0x9000), c.read_word(0x9000));
+    }
+
+    use super::*;
+    use sca_cache::CacheConfig;
+    use sca_isa::{AluOp, Cond, ProgramBuilder};
+
+    fn machine() -> Machine {
+        Machine::new(CpuConfig {
+            hierarchy: HierarchyConfig::tiny(),
+            ..CpuConfig::default()
+        })
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let p = ProgramBuilder::new("empty").build();
+        let r = Machine::new(CpuConfig::default()).run(&p, &Victim::None);
+        assert!(matches!(r, Err(RunError::EmptyProgram)));
+    }
+
+    #[test]
+    fn halt_sets_halted() {
+        let mut b = ProgramBuilder::new("h");
+        b.halt();
+        let t = machine().run(&b.build(), &Victim::None).unwrap();
+        assert!(t.halted);
+        assert_eq!(t.steps, 1);
+    }
+
+    #[test]
+    fn step_limit_cuts_infinite_loop() {
+        let mut b = ProgramBuilder::new("loop");
+        let top = b.here();
+        b.jmp(top);
+        let mut m = Machine::new(CpuConfig {
+            max_steps: 100,
+            ..CpuConfig::default()
+        });
+        let t = m.run(&b.build(), &Victim::None).unwrap();
+        assert!(!t.halted);
+        assert_eq!(t.steps, 100);
+    }
+
+    #[test]
+    fn load_miss_then_hit_events() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R1, 0x1000);
+        let first = b.load(Reg::R2, MemRef::base(Reg::R1));
+        let second = b.load(Reg::R3, MemRef::base(Reg::R1));
+        b.halt();
+        let p = b.build();
+        let t = machine().run(&p, &Victim::None).unwrap();
+        let e1 = t.events_at(p.addr_of(first));
+        let e2 = t.events_at(p.addr_of(second));
+        assert_eq!(e1[HpcEvent::L1dLoadMiss], 1);
+        assert_eq!(e1[HpcEvent::LlcLoadMiss], 1);
+        assert_eq!(e1[HpcEvent::CacheMiss], 1);
+        assert_eq!(e2[HpcEvent::L1dLoadHit], 1);
+    }
+
+    #[test]
+    fn store_events() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R1, 0x2000);
+        let st = b.store(Reg::R0, MemRef::base(Reg::R1));
+        let st2 = b.store(Reg::R0, MemRef::base(Reg::R1));
+        b.halt();
+        let p = b.build();
+        let t = machine().run(&p, &Victim::None).unwrap();
+        assert_eq!(t.events_at(p.addr_of(st))[HpcEvent::LlcStoreMiss], 1);
+        assert_eq!(t.events_at(p.addr_of(st2))[HpcEvent::L1dStoreHit], 1);
+    }
+
+    #[test]
+    fn memory_is_word_addressed_and_persistent() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R1, 0x3000);
+        b.mov_imm(Reg::R2, 42);
+        b.store(Reg::R2, MemRef::base(Reg::R1));
+        b.load(Reg::R3, MemRef::base(Reg::R1));
+        b.cmp_imm(Reg::R3, 42);
+        let ok = b.new_label();
+        b.br(Cond::Eq, ok);
+        b.mov_imm(Reg::R0, 0); // not reached
+        b.bind(ok);
+        b.mov_imm(Reg::R0, 1);
+        b.halt();
+        let t = machine().run(&b.build(), &Victim::None).unwrap();
+        assert!(t.halted);
+    }
+
+    #[test]
+    fn rdtscp_counts_timestamp_and_advances() {
+        let mut b = ProgramBuilder::new("t");
+        let r1 = b.rdtscp(Reg::R1);
+        b.mov_imm(Reg::R3, 0x9000);
+        b.load(Reg::R4, MemRef::base(Reg::R3));
+        b.rdtscp(Reg::R2);
+        b.halt();
+        let p = b.build();
+        let t = machine().run(&p, &Victim::None).unwrap();
+        assert_eq!(t.events_at(p.addr_of(r1))[HpcEvent::Timestamp], 1);
+        assert_eq!(t.totals[HpcEvent::Timestamp], 2);
+        // timing channel: the cold load is visible in the timestamp delta
+        assert!(t.cycles > 0);
+    }
+
+    #[test]
+    fn timing_distinguishes_hit_from_miss() {
+        // measure cold (miss) and warm (hit) load latencies via rdtscp pairs
+        let run_delta = |warm: bool| {
+            let mut b = ProgramBuilder::new("t");
+            b.mov_imm(Reg::R1, 0x4000);
+            if warm {
+                b.load(Reg::R2, MemRef::base(Reg::R1));
+            }
+            b.rdtscp(Reg::R3);
+            b.load(Reg::R2, MemRef::base(Reg::R1));
+            b.rdtscp(Reg::R4);
+            // delta = R4 - R3 stored to memory for inspection
+            b.alu(AluOp::Sub, Reg::R4, Reg::R3);
+            b.halt();
+            let p = b.build();
+            let mut m = machine();
+            let _ = m.run(&p, &Victim::None).unwrap();
+            m.regs[Reg::R4.index()]
+        };
+        let cold = run_delta(false);
+        let warm = run_delta(true);
+        assert!(
+            cold > warm + 50,
+            "cold {cold} must be much slower than warm {warm}"
+        );
+    }
+
+    #[test]
+    fn branch_misprediction_counted_and_trains() {
+        // A loop taken many times: first iterations mispredict, later ones
+        // do not — total BranchMiss must be small relative to trip count.
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 0);
+        let top = b.here();
+        b.alu_imm(AluOp::Add, Reg::R0, 1);
+        b.cmp_imm(Reg::R0, 50);
+        let br = b.br(Cond::Lt, top);
+        b.halt();
+        let p = b.build();
+        let t = machine().run(&p, &Victim::None).unwrap();
+        let misses = t.events_at(p.addr_of(br))[HpcEvent::BranchMiss];
+        assert!(misses >= 1, "at least the first and last iterations");
+        assert!(misses <= 5, "predictor must learn the loop: {misses}");
+    }
+
+    #[test]
+    fn speculative_load_fills_cache() {
+        // Train a bounds-check branch taken, then flip the condition; the
+        // wrong-path load must leave its line in the cache even though the
+        // architectural path never loads it.
+        let probe = 0x8000i64;
+        let mut b = ProgramBuilder::new("spectre-ish");
+        b.mov_imm(Reg::R5, 0); // loop counter
+        let top = b.here();
+        b.cmp_imm(Reg::R5, 10);
+        let in_bounds = b.new_label();
+        let after = b.new_label();
+        b.br(Cond::Lt, in_bounds); // taken 10x (trains predictor), then not
+        b.jmp(after);
+        b.bind(in_bounds);
+        // gadget: architecturally executed while in bounds
+        b.load(Reg::R6, MemRef::abs(probe));
+        b.alu_imm(AluOp::Add, Reg::R5, 1);
+        b.jmp(top);
+        b.bind(after);
+        b.halt();
+        let p = b.build();
+        let mut m = machine();
+        let t = m.run(&p, &Victim::None).unwrap();
+        assert!(t.halted);
+        // On the exit iteration the predictor says "taken" (trained), actual
+        // is "not taken" -> misprediction with wrong-path load of `probe`.
+        assert!(t.totals[HpcEvent::BranchMiss] >= 1);
+        assert!(m.hier.probe_data(probe as u64));
+    }
+
+    #[test]
+    fn speculation_squashes_architectural_state() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R7, 123);
+        b.mov_imm(Reg::R0, 0);
+        b.cmp_imm(Reg::R0, 0);
+        let skip = b.new_label();
+        b.br(Cond::Ne, skip); // never taken; mispredicted? initially predicted not-taken = correct
+        b.nop();
+        b.bind(skip);
+        b.halt();
+        let p = b.build();
+        let mut m = machine();
+        let _ = m.run(&p, &Victim::None).unwrap();
+        assert_eq!(m.regs[Reg::R7.index()], 123);
+    }
+
+    #[test]
+    fn clflush_is_traced_and_timed_by_presence() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R1, 0x5000);
+        b.load(Reg::R2, MemRef::base(Reg::R1));
+        b.rdtscp(Reg::R3);
+        let fl = b.clflush(MemRef::base(Reg::R1)); // present: slow
+        b.rdtscp(Reg::R4);
+        b.clflush(MemRef::base(Reg::R1)); // absent: fast
+        b.rdtscp(Reg::R5);
+        b.halt();
+        let p = b.build();
+        let mut m = machine();
+        let t = m.run(&p, &Victim::None).unwrap();
+        assert_eq!(t.accesses_at(p.addr_of(fl)), &[0x5000]);
+        let present_cost = m.regs[Reg::R4.index()] - m.regs[Reg::R3.index()];
+        let absent_cost = m.regs[Reg::R5.index()] - m.regs[Reg::R4.index()];
+        assert!(
+            present_cost > absent_cost,
+            "flush-present ({present_cost}) must cost more than flush-absent ({absent_cost})"
+        );
+    }
+
+    #[test]
+    fn vyield_runs_victim() {
+        let mut b = ProgramBuilder::new("t");
+        b.vyield();
+        b.mov_imm(Reg::R1, 0x1_0000 + 3 * 64);
+        b.rdtscp(Reg::R2);
+        b.load(Reg::R3, MemRef::base(Reg::R1));
+        b.rdtscp(Reg::R4);
+        b.halt();
+        let p = b.build();
+        let victim = Victim::shared_memory(0x1_0000, 64, vec![3]);
+        let mut m = machine();
+        let _ = m.run(&p, &victim).unwrap();
+        // victim touched line 3, so the reload is LLC/L1 fast
+        let d = m.regs[Reg::R4.index()] - m.regs[Reg::R2.index()];
+        assert!(d < 100, "reload after victim access should be fast: {d}");
+    }
+
+    #[test]
+    fn first_seen_records_commit_order() {
+        let mut b = ProgramBuilder::new("t");
+        b.nop();
+        b.nop();
+        b.halt();
+        let p = b.build();
+        let t = machine().run(&p, &Victim::None).unwrap();
+        let f0 = t.first_seen_at(p.addr_of(0)).unwrap();
+        let f1 = t.first_seen_at(p.addr_of(1)).unwrap();
+        let f2 = t.first_seen_at(p.addr_of(2)).unwrap();
+        assert!(f0 < f1 && f1 < f2);
+    }
+
+    #[test]
+    fn samples_are_produced_for_long_runs() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 0);
+        let top = b.here();
+        b.mov_reg(Reg::R9, Reg::R0);
+        b.alu_imm(AluOp::Mul, Reg::R9, 64);
+        b.alu_imm(AluOp::Add, Reg::R9, 0x2_0000);
+        b.load(Reg::R2, MemRef::base(Reg::R9));
+        b.alu_imm(AluOp::Add, Reg::R0, 1);
+        b.cmp_imm(Reg::R0, 500);
+        b.br(Cond::Lt, top);
+        b.halt();
+        let t = machine().run(&b.build(), &Victim::None).unwrap();
+        assert!(!t.samples.is_empty());
+        let total: f64 = t.samples.iter().flat_map(|s| s.iter()).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn set_trace_cap_is_respected() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 0);
+        let top = b.here();
+        b.load(Reg::R2, MemRef::abs(0x2_0000));
+        b.alu_imm(AluOp::Add, Reg::R0, 1);
+        b.cmp_imm(Reg::R0, 100);
+        b.br(Cond::Lt, top);
+        b.halt();
+        let mut m = Machine::new(CpuConfig {
+            hierarchy: HierarchyConfig::tiny(),
+            set_trace_cap: 10,
+            ..CpuConfig::default()
+        });
+        let t = m.run(&b.build(), &Victim::None).unwrap();
+        assert_eq!(t.set_trace.len(), 10);
+        assert!(t.set_trace_truncated);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 0);
+        let top = b.here();
+        b.load(Reg::R2, MemRef::base_index(Reg::R0, Reg::R0, 8));
+        b.alu_imm(AluOp::Add, Reg::R0, 17);
+        b.cmp_imm(Reg::R0, 1000);
+        b.br(Cond::Lt, top);
+        b.halt();
+        let p = b.build();
+        let t1 = machine().run(&p, &Victim::None).unwrap();
+        let t2 = machine().run(&p, &Victim::None).unwrap();
+        assert_eq!(t1.cycles, t2.cycles);
+        assert_eq!(t1.totals, t2.totals);
+    }
+
+    #[test]
+    fn preemption_runs_the_victim_without_yields() {
+        // A spinning flush+reload that never yields: under preemptive
+        // scheduling the co-scheduled victim still gets timeslices, so the
+        // attacker still observes it.
+        let mut b = ProgramBuilder::new("spinner");
+        let shared = 0x1000i64;
+        b.mov_imm(Reg::R7, 0);
+        let top = b.here();
+        b.clflush(MemRef::abs(shared));
+        // spin instead of yielding
+        b.mov_imm(Reg::R1, 0);
+        let spin = b.here();
+        b.alu_imm(AluOp::Add, Reg::R1, 1);
+        b.cmp_imm(Reg::R1, 40);
+        b.br(Cond::Lt, spin);
+        b.rdtscp(Reg::R2);
+        b.load(Reg::R3, MemRef::abs(shared));
+        b.rdtscp(Reg::R4);
+        b.alu(AluOp::Sub, Reg::R4, Reg::R2);
+        b.cmp_imm(Reg::R4, 80);
+        let slow = b.new_label();
+        b.br(Cond::Ge, slow);
+        b.mov_imm(Reg::R5, 1);
+        b.store(Reg::R5, MemRef::abs(0x9000));
+        b.bind(slow);
+        b.alu_imm(AluOp::Add, Reg::R7, 1);
+        b.cmp_imm(Reg::R7, 6);
+        b.br(Cond::Lt, top);
+        b.halt();
+        let attacker = b.build();
+
+        // victim program: touch the shared line every quantum
+        let mut v = ProgramBuilder::new("toucher");
+        let vt = v.here();
+        v.load(Reg::R1, MemRef::abs(shared));
+        v.vyield();
+        v.jmp(vt);
+        let victim = v.build();
+
+        // without preemption the spinner never sees the victim
+        let mut m = Machine::new(CpuConfig {
+            hierarchy: HierarchyConfig::tiny(),
+            ..CpuConfig::default()
+        });
+        let _ = m.run_pair(&attacker, &victim, 16).unwrap();
+        assert_eq!(m.read_word(0x9000), 0, "no yields, no victim, no hits");
+
+        // with preemption the victim interleaves and the reload goes fast
+        let mut m = Machine::new(CpuConfig {
+            hierarchy: HierarchyConfig::tiny(),
+            preempt_interval: Some(20),
+            ..CpuConfig::default()
+        });
+        let _ = m.run_pair(&attacker, &victim, 16).unwrap();
+        assert_eq!(m.read_word(0x9000), 1, "preempted victim is observable");
+    }
+
+    #[test]
+    fn next_line_prefetch_fills_the_following_line() {
+        let mut b = ProgramBuilder::new("t");
+        b.load(Reg::R1, MemRef::abs(0x4000));
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(CpuConfig {
+            hierarchy: HierarchyConfig::tiny(),
+            prefetch: PrefetchPolicy::NextLine,
+            ..CpuConfig::default()
+        });
+        let t = m.run(&p, &Victim::None).unwrap();
+        assert!(m.hier.probe_data(0x4000));
+        assert!(m.hier.probe_data(0x4040), "next line must be prefetched");
+        // prefetch is not a demand access: one traced access only
+        assert_eq!(t.accesses_at(p.addr_of(0)), &[0x4000]);
+        assert_eq!(t.totals[HpcEvent::L1dLoadMiss], 1);
+    }
+
+    #[test]
+    fn prefetch_disabled_by_default() {
+        let mut b = ProgramBuilder::new("t");
+        b.load(Reg::R1, MemRef::abs(0x4000));
+        b.halt();
+        let mut m = machine();
+        let _ = m.run(&b.build(), &Victim::None).unwrap();
+        assert!(!m.hier.probe_data(0x4040));
+    }
+
+    #[test]
+    fn llc_geometry_drives_set_trace() {
+        let mut b = ProgramBuilder::new("t");
+        b.load(Reg::R1, MemRef::abs(0));
+        b.load(Reg::R2, MemRef::abs(64));
+        b.halt();
+        let mut m = Machine::new(CpuConfig {
+            hierarchy: HierarchyConfig {
+                l1d: CacheConfig::new(16, 4, 64),
+                l1i: CacheConfig::new(16, 4, 64),
+                llc: CacheConfig::new(64, 8, 64),
+                inclusive: true,
+            },
+            ..CpuConfig::default()
+        });
+        let t = m.run(&b.build(), &Victim::None).unwrap();
+        let sets: Vec<u32> = t.set_trace.iter().map(|a| a.set).collect();
+        assert_eq!(sets, vec![0, 1]);
+    }
+}

@@ -1,0 +1,127 @@
+//! A classic 2-bit saturating-counter branch predictor with a small BTB.
+
+/// Direction predictor (2-bit counters) plus a direct-mapped branch target
+/// buffer. The BTB exists to generate the `Branch Load Miss` HPC event of
+/// Table I; the direction counters drive both the `Branch Miss` event and
+/// the speculative wrong-path window in the [`Machine`](crate::Machine).
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    /// 2-bit saturating counters, indexed by branch address.
+    counters: Vec<u8>,
+    /// Direct-mapped BTB entries: tag (branch address) per slot.
+    btb: Vec<Option<u64>>,
+}
+
+impl BranchPredictor {
+    /// Default table size (entries); a power of two.
+    pub const DEFAULT_ENTRIES: usize = 1024;
+
+    /// A predictor with [`Self::DEFAULT_ENTRIES`] entries, initialized to
+    /// weakly-not-taken.
+    pub fn new() -> BranchPredictor {
+        BranchPredictor::with_entries(Self::DEFAULT_ENTRIES)
+    }
+
+    /// A predictor with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn with_entries(entries: usize) -> BranchPredictor {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        BranchPredictor {
+            counters: vec![1; entries], // weakly not-taken
+            btb: vec![None; entries],
+        }
+    }
+
+    fn slot(&self, addr: u64) -> usize {
+        // Instruction addresses are INST_SIZE-aligned; fold the alignment out.
+        ((addr >> 2) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predict the direction of the branch at `addr`.
+    pub fn predict(&self, addr: u64) -> bool {
+        self.counters[self.slot(addr)] >= 2
+    }
+
+    /// Look up the BTB for `addr`; returns `true` on a BTB hit.
+    pub fn btb_lookup(&self, addr: u64) -> bool {
+        self.btb[self.slot(addr)] == Some(addr)
+    }
+
+    /// Record the resolved outcome of the branch at `addr`.
+    pub fn update(&mut self, addr: u64, taken: bool) {
+        let s = self.slot(addr);
+        let c = &mut self.counters[s];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.btb[s] = Some(addr);
+    }
+}
+
+impl Default for BranchPredictor {
+    fn default() -> BranchPredictor {
+        BranchPredictor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initially_predicts_not_taken() {
+        let p = BranchPredictor::new();
+        assert!(!p.predict(0x40_0000));
+    }
+
+    #[test]
+    fn learns_taken_after_one_update_from_weak_state() {
+        let mut p = BranchPredictor::new();
+        // counters initialize weakly-not-taken (1); one taken outcome flips
+        // the prediction, a second saturates it
+        p.update(0x40_0000, true);
+        assert!(p.predict(0x40_0000));
+        p.update(0x40_0000, false);
+        assert!(!p.predict(0x40_0000));
+    }
+
+    #[test]
+    fn saturates_and_recovers() {
+        let mut p = BranchPredictor::new();
+        for _ in 0..10 {
+            p.update(0x40_0000, true);
+        }
+        p.update(0x40_0000, false);
+        assert!(p.predict(0x40_0000), "one not-taken cannot flip saturation");
+        p.update(0x40_0000, false);
+        assert!(!p.predict(0x40_0000));
+    }
+
+    #[test]
+    fn btb_misses_until_first_update() {
+        let mut p = BranchPredictor::new();
+        assert!(!p.btb_lookup(0x40_0010));
+        p.update(0x40_0010, true);
+        assert!(p.btb_lookup(0x40_0010));
+    }
+
+    #[test]
+    fn btb_conflicts_evict() {
+        let mut p = BranchPredictor::with_entries(4);
+        p.update(0x40_0000, true);
+        // Same slot (addr >> 2 differs by a multiple of 4): conflict.
+        p.update(0x40_0000 + 4 * 4, true);
+        assert!(!p.btb_lookup(0x40_0000));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        let _ = BranchPredictor::with_entries(3);
+    }
+}

@@ -1,0 +1,124 @@
+//! Execution traces: everything the modeling pipeline and the baseline
+//! detectors consume.
+
+use std::collections::HashMap;
+
+use sca_cache::Owner;
+
+use crate::hpc::EventCounts;
+
+/// What kind of cache-set touch a [`SetAccess`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetAccessKind {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+    /// A `clflush`.
+    Flush,
+}
+
+/// One LLC-set-granular access event, for rule-based detection (SCADET).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetAccess {
+    /// Cycle at which the access happened.
+    pub cycle: u64,
+    /// Committed-instruction index at which the access happened (rule-based
+    /// detectors window their patterns in instructions, not cycles).
+    pub step: u64,
+    /// LLC set index touched.
+    pub set: u32,
+    /// Line-aligned address of the access (distinct lines in one set are
+    /// what a prime phase fills).
+    pub line: u64,
+    /// Who performed the access.
+    pub owner: Owner,
+    /// Load, store, or flush.
+    pub kind: SetAccessKind,
+}
+
+/// The full record of one program execution.
+///
+/// Mirrors what the paper collects with `perf` (per-address HPC events),
+/// Intel PT (per-address memory accesses), and wall-clock sampling
+/// (windowed HPC vectors for the learning-based baselines).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Per-instruction-address HPC event counts.
+    pub inst_events: HashMap<u64, EventCounts>,
+    /// Per-instruction-address line-aligned data addresses accessed or
+    /// flushed (the paper's "accessed memory addresses (including flushed
+    /// addresses)").
+    pub inst_accesses: HashMap<u64, Vec<u64>>,
+    /// First cycle at which each instruction address committed.
+    pub first_seen: HashMap<u64, u64>,
+    /// Aggregate counts over the whole run.
+    pub totals: EventCounts,
+    /// Windowed HPC samples (one 11-element delta vector per sample period),
+    /// the input representation of the ML baselines.
+    pub samples: Vec<[f64; 11]>,
+    /// LLC set-access event stream (bounded; see `set_trace_truncated`).
+    pub set_trace: Vec<SetAccess>,
+    /// Whether `set_trace` hit its size cap and dropped events.
+    pub set_trace_truncated: bool,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed instruction count.
+    pub steps: u64,
+    /// Whether the program reached `halt` (vs. the step limit).
+    pub halted: bool,
+}
+
+impl Trace {
+    /// The HPC event counts attributed to instruction address `addr`.
+    pub fn events_at(&self, addr: u64) -> EventCounts {
+        self.inst_events.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// The per-address HPC value (sum of the 11 counted events).
+    pub fn hpc_value_at(&self, addr: u64) -> u64 {
+        self.events_at(addr).hpc_value()
+    }
+
+    /// Line-aligned data addresses accessed/flushed by the instruction at
+    /// `addr` (empty slice if none).
+    pub fn accesses_at(&self, addr: u64) -> &[u64] {
+        self.inst_accesses
+            .get(&addr)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The first commit cycle of the instruction at `addr`, if it ran.
+    pub fn first_seen_at(&self, addr: u64) -> Option<u64> {
+        self.first_seen.get(&addr).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpc::HpcEvent;
+
+    #[test]
+    fn default_trace_is_empty() {
+        let t = Trace::default();
+        assert!(t.events_at(0x40_0000).is_zero());
+        assert_eq!(t.hpc_value_at(0x40_0000), 0);
+        assert!(t.accesses_at(0x40_0000).is_empty());
+        assert_eq!(t.first_seen_at(0x40_0000), None);
+    }
+
+    #[test]
+    fn per_address_accessors() {
+        let mut t = Trace::default();
+        let mut e = EventCounts::new();
+        e.bump(HpcEvent::L1dLoadMiss);
+        t.inst_events.insert(0x40_0004, e);
+        t.inst_accesses.insert(0x40_0004, vec![0x1000, 0x1040]);
+        t.first_seen.insert(0x40_0004, 17);
+        assert_eq!(t.hpc_value_at(0x40_0004), 1);
+        assert_eq!(t.accesses_at(0x40_0004), &[0x1000, 0x1040]);
+        assert_eq!(t.first_seen_at(0x40_0004), Some(17));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the simulated CPU: trace bookkeeping
+//! consistency and determinism over arbitrary (bounded) programs.
+
+use proptest::prelude::*;
+
+use sca_cpu::{CpuConfig, HpcEvent, Machine, Victim};
+use sca_isa::{AluOp, Cond, Inst, MemRef, Operand, Program, Reg};
+
+/// Opcode skeletons; branch targets fixed up to stay in range.
+#[derive(Debug, Clone, Copy)]
+enum Skel {
+    MovImm(i16),
+    Load(u16),
+    Store(u16),
+    Alu(i16),
+    Cmp(i16),
+    Jmp(usize),
+    Br(usize),
+    Flush(u16),
+    Rdtscp,
+    Yield,
+    Nop,
+}
+
+fn arb_skeleton() -> impl Strategy<Value = Vec<Skel>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<i16>().prop_map(Skel::MovImm),
+            any::<u16>().prop_map(Skel::Load),
+            any::<u16>().prop_map(Skel::Store),
+            any::<i16>().prop_map(Skel::Alu),
+            any::<i16>().prop_map(Skel::Cmp),
+            (0usize..64).prop_map(Skel::Jmp),
+            (0usize..64).prop_map(Skel::Br),
+            any::<u16>().prop_map(Skel::Flush),
+            Just(Skel::Rdtscp),
+            Just(Skel::Yield),
+            Just(Skel::Nop),
+        ],
+        1..48,
+    )
+}
+
+fn materialize(skels: Vec<Skel>) -> Program {
+    let n = skels.len() + 1;
+    let insts: Vec<Inst> = skels
+        .into_iter()
+        .map(|s| match s {
+            Skel::MovImm(v) => Inst::MovImm {
+                dst: Reg::R1,
+                imm: i64::from(v),
+            },
+            Skel::Load(a) => Inst::Load {
+                dst: Reg::R2,
+                addr: MemRef::abs(i64::from(a) * 8),
+            },
+            Skel::Store(a) => Inst::Store {
+                src: Reg::R2,
+                addr: MemRef::abs(i64::from(a) * 8),
+            },
+            Skel::Alu(v) => Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg::R1,
+                src: Operand::Imm(i64::from(v)),
+            },
+            Skel::Cmp(v) => Inst::Cmp {
+                lhs: Reg::R1,
+                rhs: Operand::Imm(i64::from(v)),
+            },
+            Skel::Jmp(t) => Inst::Jmp { target: t % n },
+            Skel::Br(t) => Inst::Br {
+                cond: Cond::Lt,
+                target: t % n,
+            },
+            Skel::Flush(a) => Inst::Clflush {
+                addr: MemRef::abs(i64::from(a) * 8),
+            },
+            Skel::Rdtscp => Inst::Rdtscp { dst: Reg::R3 },
+            Skel::Yield => Inst::VYield,
+            Skel::Nop => Inst::Nop,
+        })
+        .chain(std::iter::once(Inst::Halt))
+        .collect();
+    Program::from_parts("prop", insts, Default::default())
+}
+
+fn bounded_cpu() -> CpuConfig {
+    CpuConfig {
+        max_steps: 4_000,
+        ..CpuConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Global event totals equal the sum of the per-address attributions.
+    #[test]
+    fn totals_equal_per_address_sums(skels in arb_skeleton()) {
+        let p = materialize(skels);
+        let t = Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
+        for e in HpcEvent::ALL {
+            let sum: u64 = t.inst_events.values().map(|c| c[e]).sum();
+            prop_assert_eq!(sum, t.totals[e], "event {} mismatch", e.name());
+        }
+    }
+
+    /// Every trace key refers to a real instruction of the program, and
+    /// cycles dominate committed steps.
+    #[test]
+    fn trace_keys_are_program_addresses(skels in arb_skeleton()) {
+        let p = materialize(skels);
+        let t = Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
+        for addr in t.inst_events.keys().chain(t.first_seen.keys()) {
+            prop_assert!(p.index_of_addr(*addr).is_some(), "alien address {:#x}", addr);
+        }
+        for addr in t.inst_accesses.keys() {
+            prop_assert!(p.index_of_addr(*addr).is_some());
+        }
+        prop_assert!(t.cycles >= t.steps, "each step costs at least one cycle");
+        prop_assert!(t.steps <= 4_000);
+    }
+
+    /// Execution is a pure function of (program, victim, config).
+    #[test]
+    fn runs_are_deterministic(skels in arb_skeleton()) {
+        let p = materialize(skels);
+        let run = || Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.totals, b.totals);
+        prop_assert_eq!(a.first_seen, b.first_seen);
+        prop_assert_eq!(a.samples, b.samples);
+    }
+
+    /// Traced data accesses are line-aligned (the PT substitute reports
+    /// lines, like the modeling pipeline expects).
+    #[test]
+    fn traced_accesses_are_line_aligned(skels in arb_skeleton()) {
+        let p = materialize(skels);
+        let t = Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
+        for accesses in t.inst_accesses.values() {
+            for a in accesses {
+                prop_assert_eq!(a % 64, 0, "unaligned traced access {:#x}", a);
+            }
+        }
+    }
+}

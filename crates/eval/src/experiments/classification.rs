@@ -1,0 +1,341 @@
+//! Table VI: the classification tasks E1–E4 across the five approaches.
+//!
+//! Protocol, following Section IV-D of the paper:
+//!
+//! * **SCAGuard** models *one PoC per known attack type* — it never sees
+//!   the mutated variants during "training";
+//! * the **learning-based** baselines train on labeled mutated variants of
+//!   the known types plus benign programs;
+//! * **SCADET** uses its fixed designated rules (armed only when the known
+//!   set contains a Prime+Probe-family attack).
+//!
+//! | Task | Known to the defender | Classified |
+//! |---|---|---|
+//! | E1 | all four types | held-out mutated variants |
+//! | E2 | FR-F, PP-F | Spectre-like variants (expected: their counterpart family) |
+//! | E3-1 | FR-F only | PP-F variants (attack-vs-benign) |
+//! | E3-2 | PP-F only | FR-F variants (attack-vs-benign) |
+//! | E4 | FR-F, PP-F (non-obfuscated) | obfuscated FR-F/PP-F variants |
+
+use sca_attacks::dataset::{mutated_family, obfuscated_family};
+use sca_attacks::mutate::MutationConfig;
+use sca_attacks::obfuscate::ObfuscationConfig;
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::{benign, AttackFamily, Label, Sample};
+use sca_baselines::{AttackDetector, DetectError, MlDetector, ScaGuardDetector, Scadet};
+
+use crate::metrics::{ConfusionMatrix, Scores};
+use crate::EvalConfig;
+
+/// The classification tasks of Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassTask {
+    /// E1: mutated variants of all four types.
+    E1,
+    /// E2: Spectre-like variants, knowing only their non-Spectre
+    /// counterparts.
+    E2,
+    /// E3-1: Prime+Probe family, knowing only Flush+Reload.
+    E3Pp,
+    /// E3-2: Flush+Reload family, knowing only Prime+Probe.
+    E3Fr,
+    /// E4: obfuscated variants, knowing only the non-obfuscated
+    /// counterparts.
+    E4,
+}
+
+impl ClassTask {
+    /// All tasks in Table VI column order.
+    pub const ALL: [ClassTask; 5] = [
+        ClassTask::E1,
+        ClassTask::E2,
+        ClassTask::E3Pp,
+        ClassTask::E3Fr,
+        ClassTask::E4,
+    ];
+
+    /// The Table-VI column header.
+    pub fn title(self) -> &'static str {
+        match self {
+            ClassTask::E1 => "E1: Mutated variants",
+            ClassTask::E2 => "E2: Spectre-like variants",
+            ClassTask::E3Pp => "E3-1: PP-F",
+            ClassTask::E3Fr => "E3-2: FR-F",
+            ClassTask::E4 => "E4: Obfuscated variants",
+        }
+    }
+
+    /// The attack families known to the defender in this task.
+    pub fn known_families(self) -> &'static [AttackFamily] {
+        match self {
+            ClassTask::E1 => &AttackFamily::ALL,
+            ClassTask::E2 | ClassTask::E4 => {
+                &[AttackFamily::FlushReload, AttackFamily::PrimeProbe]
+            }
+            ClassTask::E3Pp => &[AttackFamily::FlushReload],
+            ClassTask::E3Fr => &[AttackFamily::PrimeProbe],
+        }
+    }
+
+    /// Whether the task is scored attack-vs-benign only (the
+    /// generalizability tasks E3, where no classifier can know the true
+    /// family's label).
+    pub fn binary(self) -> bool {
+        matches!(self, ClassTask::E3Pp | ClassTask::E3Fr)
+    }
+}
+
+/// One Table-VI cell group: an approach's scores on one task.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// The task.
+    pub task: ClassTask,
+    /// Approach name (Table VI row).
+    pub approach: String,
+    /// Pooled precision/recall/F1.
+    pub scores: Scores,
+    /// Per-class confusion matrix (under the task's expected labels).
+    pub confusion: ConfusionMatrix,
+}
+
+/// Collapse any attack label to a canonical one for attack-vs-benign
+/// scoring.
+fn binarize(label: Label) -> Label {
+    if label.is_attack() {
+        Label::Attack(AttackFamily::FlushReload)
+    } else {
+        Label::Benign
+    }
+}
+
+/// The full task data: what each kind of approach trains on and what is
+/// classified, with per-sample expected labels.
+struct TaskData {
+    /// PoCs of the known families (SCAGuard + SCADET "training").
+    pocs: Vec<Sample>,
+    /// Labeled variants + benign for the learning-based approaches.
+    ml_train: Vec<Sample>,
+    /// Samples to classify, with the task's expected label.
+    test: Vec<(Sample, Label)>,
+}
+
+fn split<T: Clone>(items: &[T], even: bool) -> Vec<T> {
+    items
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| (i % 2 == 0) == even)
+        .map(|(_, s)| s.clone())
+        .collect()
+}
+
+fn task_data(task: ClassTask, cfg: &EvalConfig) -> TaskData {
+    let params = PocParams::default();
+    let mutation = MutationConfig::default();
+    let per_type = cfg.per_type;
+    let variants = |f: AttackFamily| mutated_family(f, per_type, cfg.seed, &mutation);
+    let benign_all = benign::generate_mix(cfg.benign_total, cfg.seed ^ 0xbe);
+    let benign_train = split(&benign_all, true);
+    let benign_test = split(&benign_all, false);
+
+    let pocs: Vec<Sample> = task
+        .known_families()
+        .iter()
+        .map(|&f| poc::representative(f, &params))
+        .collect();
+
+    let mut ml_train: Vec<Sample> = Vec::new();
+    for &f in task.known_families() {
+        ml_train.extend(split(&variants(f), true));
+    }
+    ml_train.extend(benign_train);
+
+    let mut test: Vec<(Sample, Label)> = Vec::new();
+    match task {
+        ClassTask::E1 => {
+            for f in AttackFamily::ALL {
+                for s in split(&variants(f), false) {
+                    test.push((s, Label::Attack(f)));
+                }
+            }
+        }
+        ClassTask::E2 => {
+            // Spectre variants, expected to classify as their non-Spectre
+            // counterpart family.
+            for s in split(&variants(AttackFamily::SpectreFlushReload), false) {
+                test.push((s, Label::Attack(AttackFamily::FlushReload)));
+            }
+            for s in split(&variants(AttackFamily::SpectrePrimeProbe), false) {
+                test.push((s, Label::Attack(AttackFamily::PrimeProbe)));
+            }
+        }
+        ClassTask::E3Pp => {
+            for s in split(&variants(AttackFamily::PrimeProbe), false) {
+                test.push((s, Label::Attack(AttackFamily::PrimeProbe)));
+            }
+        }
+        ClassTask::E3Fr => {
+            for s in split(&variants(AttackFamily::FlushReload), false) {
+                test.push((s, Label::Attack(AttackFamily::FlushReload)));
+            }
+        }
+        ClassTask::E4 => {
+            let obf = ObfuscationConfig::default();
+            for f in [AttackFamily::FlushReload, AttackFamily::PrimeProbe] {
+                for s in obfuscated_family(f, per_type, cfg.seed ^ 0x0bf, &obf) {
+                    test.push((s, Label::Attack(f)));
+                }
+            }
+        }
+    }
+    for s in benign_test {
+        test.push((s, Label::Benign));
+    }
+
+    TaskData {
+        pocs,
+        ml_train,
+        test,
+    }
+}
+
+fn score_detector(
+    detector: &mut dyn AttackDetector,
+    train: &[Sample],
+    test: &[(Sample, Label)],
+    binary: bool,
+) -> Result<(Scores, ConfusionMatrix), DetectError> {
+    let refs: Vec<&Sample> = train.iter().collect();
+    detector.train(&refs)?;
+    let mut scores = Scores::default();
+    let mut confusion = ConfusionMatrix::default();
+    for (sample, expected) in test {
+        let predicted = detector.classify(sample)?;
+        let (e, p) = if binary {
+            (binarize(*expected), binarize(predicted))
+        } else {
+            (*expected, predicted)
+        };
+        scores.record(e, p);
+        confusion.record(e, p);
+    }
+    Ok((scores, confusion))
+}
+
+/// Run one task across all five approaches.
+///
+/// # Errors
+///
+/// Propagates [`DetectError`] from any approach.
+pub fn run_task(task: ClassTask, cfg: &EvalConfig) -> Result<Vec<TaskResult>, DetectError> {
+    let data = task_data(task, cfg);
+    let cpu = cfg.modeling.cpu.clone();
+    let mut results = Vec::new();
+
+    // Learning-based approaches train on the labeled variant set.
+    let mut svm = MlDetector::svm_nw(cpu.clone());
+    let mut lr = MlDetector::lr_nw(cpu.clone());
+    let mut knn = MlDetector::knn_mlfm(cpu.clone());
+    for d in [
+        &mut svm as &mut dyn AttackDetector,
+        &mut lr as &mut dyn AttackDetector,
+        &mut knn as &mut dyn AttackDetector,
+    ] {
+        let (scores, confusion) = score_detector(d, &data.ml_train, &data.test, task.binary())?;
+        results.push(TaskResult {
+            task,
+            approach: d.name().to_string(),
+            scores,
+            confusion,
+        });
+    }
+
+    // SCADET arms its designated rules from the known-attack set.
+    let mut scadet = Scadet::new(cpu);
+    let (scores, confusion) = score_detector(&mut scadet, &data.pocs, &data.test, task.binary())?;
+    results.push(TaskResult {
+        task,
+        approach: scadet.name().to_string(),
+        scores,
+        confusion,
+    });
+
+    // SCAGuard models one PoC per known type.
+    let mut guard = ScaGuardDetector::with_threshold(cfg.modeling.clone(), cfg.threshold);
+    let (scores, confusion) = score_detector(&mut guard, &data.pocs, &data.test, task.binary())?;
+    results.push(TaskResult {
+        task,
+        approach: guard.name().to_string(),
+        scores,
+        confusion,
+    });
+
+    Ok(results)
+}
+
+/// Reproduce Table VI: every task, every approach.
+///
+/// # Errors
+///
+/// Propagates [`DetectError`] from any approach.
+pub fn classification(cfg: &EvalConfig) -> Result<Vec<TaskResult>, DetectError> {
+    let mut out = Vec::new();
+    for task in ClassTask::ALL {
+        out.extend(run_task(task, cfg)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores_of<'a>(
+        results: &'a [TaskResult],
+        task: ClassTask,
+        approach: &str,
+    ) -> &'a Scores {
+        &results
+            .iter()
+            .find(|r| r.task == task && r.approach == approach)
+            .expect("result present")
+            .scores
+    }
+
+    #[test]
+    fn e1_small_scale_shape() {
+        let cfg = EvalConfig::small(8);
+        let results = run_task(ClassTask::E1, &cfg).expect("E1");
+        assert_eq!(results.len(), 5);
+        let guard = scores_of(&results, ClassTask::E1, "SCAGuard");
+        assert!(
+            guard.f1() >= 0.85,
+            "SCAGuard E1 F1 {:.3} (p {:.3}, r {:.3})",
+            guard.f1(),
+            guard.precision(),
+            guard.recall()
+        );
+        let scadet = scores_of(&results, ClassTask::E1, "SCADET");
+        assert!(
+            guard.f1() > scadet.f1(),
+            "SCAGuard must beat SCADET on E1"
+        );
+    }
+
+    #[test]
+    fn e3_generalizability_shape() {
+        let cfg = EvalConfig::small(6);
+        let results = run_task(ClassTask::E3Pp, &cfg).expect("E3-1");
+        let guard = scores_of(&results, ClassTask::E3Pp, "SCAGuard");
+        assert!(
+            guard.recall() >= 0.8,
+            "SCAGuard must generalize across families: r {:.3}",
+            guard.recall()
+        );
+        let scadet = scores_of(&results, ClassTask::E3Pp, "SCADET");
+        assert_eq!(
+            scadet.recall(),
+            0.0,
+            "SCADET has no FR rules, detects nothing in E3-1"
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment drivers, one per table/figure of the paper's evaluation.
+
+mod bb_id;
+mod classification;
+mod robustness;
+mod scenarios;
+mod threshold;
+mod timing;
+
+pub use bb_id::{bb_identification, BbIdRow};
+pub use classification::{classification, run_task, ClassTask, TaskResult};
+pub use robustness::{noise_robustness, RobustnessRow};
+pub use scenarios::{scenario_similarities, ScenarioResult};
+pub use threshold::{threshold_sweep, ThresholdPoint};
+pub use timing::{timing, TimingRow};

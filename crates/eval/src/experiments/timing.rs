@@ -1,0 +1,101 @@
+//! Section V "Time cost": per-approach detection latency.
+//!
+//! The paper reports that SCAGuard (636.96 s) and SCADET (562.76 s) — both
+//! of which collect runtime information per target — are orders of
+//! magnitude slower than the pre-trained learning-based approaches
+//! (5.66–7.20 s), making them offline tools. In this reproduction every
+//! approach shares the same simulated-CPU substrate, so the *absolute*
+//! numbers shrink, but the structural claim that model-free approaches pay
+//! per-target modeling cost is preserved and measurable.
+
+use std::time::Instant;
+
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::{benign, AttackFamily, Sample};
+use sca_baselines::{AttackDetector, DetectError, MlDetector, ScaGuardDetector, Scadet};
+
+use crate::EvalConfig;
+
+/// One timing row: an approach's training and per-sample detection cost.
+#[derive(Debug, Clone)]
+pub struct TimingRow {
+    /// Approach name.
+    pub approach: String,
+    /// One-time training/modeling wall time (seconds).
+    pub train_secs: f64,
+    /// Mean per-sample detection wall time (seconds).
+    pub detect_secs: f64,
+}
+
+/// Measure training and per-sample detection time of every approach on a
+/// small representative workload.
+///
+/// # Errors
+///
+/// Propagates [`DetectError`] from any approach.
+pub fn timing(cfg: &EvalConfig) -> Result<Vec<TimingRow>, DetectError> {
+    let params = PocParams::default();
+    let pocs: Vec<Sample> = AttackFamily::ALL
+        .iter()
+        .map(|&f| poc::representative(f, &params))
+        .collect();
+    let mut ml_train = pocs.clone();
+    for seed in 0..4 {
+        ml_train.push(benign::generate(benign::Kind::Leetcode, seed));
+    }
+    let targets: Vec<Sample> = vec![
+        poc::flush_reload_mastik(&params),
+        poc::prime_probe_jzhang(&params),
+        benign::generate(benign::Kind::Crypto, cfg.seed),
+        benign::generate(benign::Kind::Spec, cfg.seed),
+    ];
+
+    let cpu = cfg.modeling.cpu.clone();
+    let mut rows = Vec::new();
+    let mut svm = MlDetector::svm_nw(cpu.clone());
+    let mut lr = MlDetector::lr_nw(cpu.clone());
+    let mut knn = MlDetector::knn_mlfm(cpu.clone());
+    let mut scadet = Scadet::new(cpu);
+    let mut guard = ScaGuardDetector::with_threshold(cfg.modeling.clone(), cfg.threshold);
+
+    let detectors: Vec<(&mut dyn AttackDetector, &[Sample])> = vec![
+        (&mut svm, &ml_train),
+        (&mut lr, &ml_train),
+        (&mut knn, &ml_train),
+        (&mut scadet, &pocs),
+        (&mut guard, &pocs),
+    ];
+    for (d, train) in detectors {
+        let refs: Vec<&Sample> = train.iter().collect();
+        let t0 = Instant::now();
+        d.train(&refs)?;
+        let train_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        for t in &targets {
+            let _ = d.classify(t)?;
+        }
+        let detect_secs = t1.elapsed().as_secs_f64() / targets.len() as f64;
+        rows.push(TimingRow {
+            approach: d.name().to_string(),
+            train_secs,
+            detect_secs,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_covers_all_five_approaches() {
+        let rows = timing(&EvalConfig::small(2)).expect("timing");
+        assert_eq!(rows.len(), 5);
+        let names: Vec<&str> = rows.iter().map(|r| r.approach.as_str()).collect();
+        assert_eq!(names, vec!["SVM-NW", "LR-NW", "KNN-MLFM", "SCADET", "SCAGuard"]);
+        for r in &rows {
+            assert!(r.detect_secs >= 0.0);
+        }
+    }
+}

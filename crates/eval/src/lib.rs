@@ -1,0 +1,65 @@
+//! # sca-eval — the paper's evaluation, reproduced
+//!
+//! One driver per table/figure of the paper:
+//!
+//! | Paper artifact | Driver | What it measures |
+//! |---|---|---|
+//! | Table I | [`report::hpc_events_table`] | the HPC events used |
+//! | Table II | [`report::attack_dataset_table`] | the attack dataset |
+//! | Table III | [`report::benign_dataset_table`] | the benign dataset |
+//! | Table IV | [`experiments::bb_identification`] | attack-relevant BB identification accuracy |
+//! | Table V | [`experiments::scenario_similarities`] | similarity of 5 typical scenarios |
+//! | Table VI | [`experiments::classification`] | E1–E4 vs the four baselines |
+//! | Fig. 5 | [`experiments::threshold_sweep`] | P/R/F1 vs similarity threshold |
+//! | §V | [`experiments::timing`] | per-approach detection time |
+//!
+//! Every driver takes an [`EvalConfig`] so the whole evaluation can run at
+//! reduced scale in tests and at paper scale (400 variants per type) from
+//! the `tables` binary.
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+
+/// Scale and seeding for the evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Mutated variants per attack type (the paper uses 400).
+    pub per_type: usize,
+    /// Benign programs (the paper uses 400).
+    pub benign_total: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// SCAGuard modeling configuration.
+    pub modeling: scaguard::ModelingConfig,
+    /// SCAGuard similarity threshold.
+    pub threshold: f64,
+}
+
+impl EvalConfig {
+    /// The paper's full scale.
+    pub fn paper_scale() -> EvalConfig {
+        EvalConfig {
+            per_type: 400,
+            benign_total: 400,
+            seed: 0x5ca6_0a2d,
+            modeling: scaguard::ModelingConfig::default(),
+            threshold: scaguard::Detector::DEFAULT_THRESHOLD,
+        }
+    }
+
+    /// A reduced scale for smoke tests and benches.
+    pub fn small(per_type: usize) -> EvalConfig {
+        EvalConfig {
+            per_type,
+            benign_total: per_type,
+            ..EvalConfig::paper_scale()
+        }
+    }
+}
+
+impl Default for EvalConfig {
+    fn default() -> EvalConfig {
+        EvalConfig::paper_scale()
+    }
+}

@@ -1,0 +1,261 @@
+//! Precision / recall / F1 metrics as the paper reports them.
+//!
+//! The paper pools detections across classes (micro-averaging): a *true
+//! positive* is an attack sample given exactly its expected attack label; a
+//! *false positive* is any attack-label prediction that does not match the
+//! sample's expected label (including alarms on benign samples); a *false
+//! negative* is an attack sample that did not receive its expected label.
+//! This reproduces the paper's SCADET row exactly (e.g. E1: the tool
+//! labels both PP-F and S-PP as Prime+Probe, yielding 50% precision and
+//! 25% recall — the paper reports 50%/27.5%).
+
+use sca_attacks::Label;
+
+/// Pooled (micro) precision/recall/F1 over labeled predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Scores {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives (benign correctly passed).
+    pub tn: usize,
+}
+
+impl Scores {
+    /// Accumulate one `(expected, predicted)` pair.
+    ///
+    /// `expected` is the task's ground-truth label for the sample (which
+    /// for tasks like E2 maps a Spectre variant to its non-Spectre
+    /// counterpart family).
+    pub fn record(&mut self, expected: Label, predicted: Label) {
+        match (expected.is_attack(), predicted.is_attack()) {
+            (true, true) => {
+                if expected == predicted {
+                    self.tp += 1;
+                } else {
+                    // wrong attack label: missed the expected one and
+                    // raised a spurious one
+                    self.fp += 1;
+                    self.fn_ += 1;
+                }
+            }
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Accumulate a batch of pairs.
+    pub fn record_all(&mut self, pairs: impl IntoIterator<Item = (Label, Label)>) {
+        for (e, p) in pairs {
+            self.record(e, p);
+        }
+    }
+
+    /// Pooled precision `TP / (TP + FP)` (0 when nothing was predicted).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Pooled recall `TP / (TP + FN)` (0 when there were no positives).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total samples scored.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp.max(self.fn_) + self.tn
+    }
+}
+
+/// A 5×5 confusion matrix over the four attack families plus benign,
+/// for per-class analysis beyond the pooled scores.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: [[usize; 5]; 5],
+}
+
+impl ConfusionMatrix {
+    /// Dense class index of a label (families in Table II order, benign 4).
+    fn class(label: Label) -> usize {
+        use sca_attacks::AttackFamily::*;
+        match label {
+            Label::Attack(FlushReload) => 0,
+            Label::Attack(PrimeProbe) => 1,
+            Label::Attack(SpectreFlushReload) => 2,
+            Label::Attack(SpectrePrimeProbe) => 3,
+            Label::Benign => 4,
+        }
+    }
+
+    /// The label of class index `c` (inverse of the internal indexing).
+    pub fn label_of(c: usize) -> Label {
+        use sca_attacks::AttackFamily::*;
+        match c {
+            0 => Label::Attack(FlushReload),
+            1 => Label::Attack(PrimeProbe),
+            2 => Label::Attack(SpectreFlushReload),
+            3 => Label::Attack(SpectrePrimeProbe),
+            _ => Label::Benign,
+        }
+    }
+
+    /// Record one `(expected, predicted)` pair.
+    pub fn record(&mut self, expected: Label, predicted: Label) {
+        self.counts[Self::class(expected)][Self::class(predicted)] += 1;
+    }
+
+    /// Count of samples with `expected` ground truth predicted as
+    /// `predicted`.
+    pub fn count(&self, expected: Label, predicted: Label) -> usize {
+        self.counts[Self::class(expected)][Self::class(predicted)]
+    }
+
+    /// Per-class recall: fraction of `label` samples predicted as `label`.
+    pub fn recall(&self, label: Label) -> f64 {
+        let row = self.counts[Self::class(label)];
+        let total: usize = row.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            row[Self::class(label)] as f64 / total as f64
+        }
+    }
+
+    /// Per-class precision: fraction of `label` predictions that were
+    /// correct.
+    pub fn precision(&self, label: Label) -> f64 {
+        let c = Self::class(label);
+        let predicted: usize = self.counts.iter().map(|row| row[c]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / predicted as f64
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..5).map(|c| self.counts[c][c]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_attacks::AttackFamily;
+
+    const FR: Label = Label::Attack(AttackFamily::FlushReload);
+    const PP: Label = Label::Attack(AttackFamily::PrimeProbe);
+    const SPP: Label = Label::Attack(AttackFamily::SpectrePrimeProbe);
+
+    #[test]
+    fn perfect_classification() {
+        let mut s = Scores::default();
+        s.record_all([(FR, FR), (PP, PP), (Label::Benign, Label::Benign)]);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn benign_false_alarm_hits_precision_only() {
+        let mut s = Scores::default();
+        s.record_all([(FR, FR), (Label::Benign, FR)]);
+        assert_eq!(s.precision(), 0.5);
+        assert_eq!(s.recall(), 1.0);
+    }
+
+    #[test]
+    fn missed_attack_hits_recall_only() {
+        let mut s = Scores::default();
+        s.record_all([(FR, FR), (PP, Label::Benign)]);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 0.5);
+    }
+
+    #[test]
+    fn scadet_e1_shape() {
+        // 400 PP-F -> PP (correct), 400 S-PP -> PP (wrong label),
+        // 800 FR-ish -> benign (missed), 400 benign -> benign.
+        let mut s = Scores::default();
+        for _ in 0..400 {
+            s.record(PP, PP);
+            s.record(SPP, PP);
+            s.record(FR, Label::Benign);
+            s.record(FR, Label::Benign);
+            s.record(Label::Benign, Label::Benign);
+        }
+        assert!((s.precision() - 0.5).abs() < 1e-9);
+        assert!((s.recall() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_scores_are_zero() {
+        let s = Scores::default();
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_per_class_metrics() {
+        let mut m = ConfusionMatrix::default();
+        // 3 FR correct, 1 FR -> PP, 2 benign correct, 1 benign -> FR
+        for _ in 0..3 {
+            m.record(FR, FR);
+        }
+        m.record(FR, PP);
+        m.record(Label::Benign, Label::Benign);
+        m.record(Label::Benign, Label::Benign);
+        m.record(Label::Benign, FR);
+        assert_eq!(m.count(FR, PP), 1);
+        assert!((m.recall(FR) - 0.75).abs() < 1e-12);
+        assert!((m.precision(FR) - 0.75).abs() < 1e-12);
+        assert!((m.recall(Label::Benign) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy() - 5.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.total(), 7);
+    }
+
+    #[test]
+    fn confusion_matrix_label_roundtrip() {
+        for c in 0..5 {
+            let l = ConfusionMatrix::label_of(c);
+            let mut m = ConfusionMatrix::default();
+            m.record(l, l);
+            assert_eq!(m.count(l, l), 1);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain-text rendering of the paper's tables.
+
+use sca_cpu::HpcEvent;
+
+/// Render a text table with a header row and aligned columns.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let mut out = format!("{title}\n{sep}\n{}\n{sep}\n", fmt_row(&header_cells));
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+/// Format a fraction as a percentage with two decimals (`"96.64%"`).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Table I: the HPC events used in this work.
+pub fn hpc_events_table() -> String {
+    let mut rows = Vec::new();
+    for scope in ["L1 Cache", "LLC", "Others"] {
+        let events: Vec<&str> = HpcEvent::ALL
+            .iter()
+            .filter(|e| e.scope() == scope)
+            .map(|e| e.name())
+            .collect();
+        rows.push(vec![scope.to_string(), events.join(", ")]);
+    }
+    render_table(
+        "TABLE I: HPC events used in this work",
+        &["Scope", "Event"],
+        &rows,
+    )
+}
+
+/// Table II: the attack dataset.
+pub fn attack_dataset_table(per_type: usize) -> String {
+    let rows = vec![
+        vec![
+            "FR-F".into(),
+            "Flush+Reload (FR) Family".into(),
+            "FR-IAIK, FR-Mastik, FR-Nepoche, FR-Calibrated, FF-IAIK, ER-IAIK".into(),
+            "6".into(),
+            per_type.to_string(),
+        ],
+        vec![
+            "PP-F".into(),
+            "Prime+Probe (PP) Family".into(),
+            "PP-IAIK, PP-Jzhang, PP-Percival".into(),
+            "3".into(),
+            per_type.to_string(),
+        ],
+        vec![
+            "S-FR".into(),
+            "Spectre-like Variants of FR".into(),
+            "Spectre-FR-v1/v2/v3".into(),
+            "3".into(),
+            per_type.to_string(),
+        ],
+        vec![
+            "S-PP".into(),
+            "Spectre-like Variants of PP".into(),
+            "Spectre-PP-Trippel".into(),
+            "1".into(),
+            per_type.to_string(),
+        ],
+    ];
+    render_table(
+        "TABLE II: the attack dataset",
+        &["Abbr.", "Type", "Samples", "#C", "#M"],
+        &rows,
+    )
+}
+
+/// Table III: the benign dataset.
+pub fn benign_dataset_table(total: usize) -> String {
+    use sca_attacks::benign::Kind;
+    let rows: Vec<Vec<String>> = Kind::ALL
+        .iter()
+        .map(|k| {
+            let share = k.table_iii_count() * total / 400;
+            let desc = match k {
+                Kind::Spec => "SPEC2006-like streaming kernels",
+                Kind::Leetcode => "LeetCode-style algorithm kernels",
+                Kind::Crypto => "crypto-system kernels (AES-like, RSA-like, stream)",
+                Kind::Server => "server request-dispatch / hash-table loops",
+            };
+            vec![format!("{k:?}"), desc.to_string(), share.to_string()]
+        })
+        .collect();
+    render_table(
+        "TABLE III: the benign dataset",
+        &["Type", "Description", "Number"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let t = render_table(
+            "T",
+            &["a", "bbbb"],
+            &[vec!["xx".into(), "y".into()], vec!["z".into(), "wwwww".into()]],
+        );
+        assert!(t.contains("T\n"));
+        assert!(t.contains("xx"));
+        let lines: Vec<&str> = t.lines().collect();
+        // all data lines have the same width
+        let widths: std::collections::HashSet<usize> =
+            lines[1..].iter().map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1, "{t}");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9664), "96.64%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+
+    #[test]
+    fn table_one_lists_all_twelve_events() {
+        let t = hpc_events_table();
+        for e in HpcEvent::ALL {
+            assert!(t.contains(e.name()), "missing {}", e.name());
+        }
+    }
+
+    #[test]
+    fn dataset_tables_render() {
+        let t2 = attack_dataset_table(400);
+        assert!(t2.contains("FR-F") && t2.contains("400"));
+        let t3 = benign_dataset_table(400);
+        assert!(t3.contains("230"), "{t3}");
+    }
+}

@@ -1,0 +1,332 @@
+//! Static program analysis utilities: reachability, instruction
+//! statistics, and memory-footprint estimation.
+//!
+//! These serve the `scaguard asm` CLI (sanity-checking hand-written
+//! programs) and the dataset generators' self-checks; none of them are
+//! part of the detection pipeline itself.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::inst::{Inst, MemRef};
+use crate::program::Program;
+
+/// Summary statistics of a program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramStats {
+    /// Total instructions.
+    pub instructions: usize,
+    /// Memory-touching instructions (loads, stores, flushes).
+    pub memory_ops: usize,
+    /// Control-transfer instructions (jumps and branches).
+    pub branches: usize,
+    /// Timestamp reads.
+    pub rdtscps: usize,
+    /// `clflush` instructions.
+    pub flushes: usize,
+    /// Victim-yield points.
+    pub yields: usize,
+    /// Instructions unreachable from the entry.
+    pub unreachable: usize,
+    /// Distinct absolute memory regions referenced (see
+    /// [`absolute_footprint`]).
+    pub absolute_regions: usize,
+}
+
+impl fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insts ({} mem, {} branch, {} rdtscp, {} flush, {} yield); {} unreachable; {} regions",
+            self.instructions,
+            self.memory_ops,
+            self.branches,
+            self.rdtscps,
+            self.flushes,
+            self.yields,
+            self.unreachable,
+            self.absolute_regions
+        )
+    }
+}
+
+/// Instruction indices reachable from the entry by following fall-through
+/// and branch edges.
+pub fn reachable(program: &Program) -> BTreeSet<usize> {
+    let mut seen = BTreeSet::new();
+    if program.is_empty() {
+        return seen;
+    }
+    let mut stack = vec![0usize];
+    while let Some(i) = stack.pop() {
+        if i >= program.len() || !seen.insert(i) {
+            continue;
+        }
+        let inst = &program.insts()[i];
+        if let Some(t) = inst.branch_target() {
+            stack.push(t);
+        }
+        if inst.falls_through() {
+            stack.push(i + 1);
+        }
+    }
+    seen
+}
+
+/// Distinct 64 KiB-aligned absolute memory regions a program references
+/// through absolute (`base == None`) memory operands — a rough footprint
+/// that flags typos in hand-written address constants.
+pub fn absolute_footprint(program: &Program) -> BTreeSet<u64> {
+    const REGION: u64 = 1 << 16;
+    let mut out = BTreeSet::new();
+    let note = |m: &MemRef, out: &mut BTreeSet<u64>| {
+        if m.base.is_none() && m.index.is_none() {
+            out.insert((m.disp as u64) / REGION * REGION);
+        }
+    };
+    for inst in program.insts() {
+        match inst {
+            Inst::Load { addr, .. } | Inst::Store { addr, .. } | Inst::Clflush { addr } => {
+                note(addr, &mut out)
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Compute [`ProgramStats`] for a program.
+pub fn analyze(program: &Program) -> ProgramStats {
+    let reach = reachable(program);
+    let mut stats = ProgramStats {
+        instructions: program.len(),
+        unreachable: program.len() - reach.len(),
+        absolute_regions: absolute_footprint(program).len(),
+        ..ProgramStats::default()
+    };
+    for inst in program.insts() {
+        if inst.is_memory_op() {
+            stats.memory_ops += 1;
+        }
+        match inst {
+            Inst::Jmp { .. } | Inst::Br { .. } => stats.branches += 1,
+            Inst::Rdtscp { .. } => stats.rdtscps += 1,
+            Inst::Clflush { .. } => stats.flushes += 1,
+            Inst::VYield => stats.yields += 1,
+            _ => {}
+        }
+    }
+    stats
+}
+
+/// Registers that may be read before any write on some path from the
+/// entry — the classic hand-written-assembly bug (all registers start at
+/// zero in the simulator, so this is a lint, not an error).
+///
+/// Conservative forward dataflow: a register counts as initialized at a
+/// program point only if it is written on *every* path reaching it.
+pub fn possibly_uninitialized_reads(program: &Program) -> BTreeSet<crate::inst::Reg> {
+    use crate::inst::{Operand, Reg};
+    let n = program.len();
+    if n == 0 {
+        return BTreeSet::new();
+    }
+    // bitmask of definitely-initialized registers at entry of each inst
+    const UNVISITED: u32 = u32::MAX;
+    let mut init_in: Vec<u32> = vec![UNVISITED; n];
+    let mut flagged: BTreeSet<Reg> = BTreeSet::new();
+    let reads_of = |inst: &Inst| -> Vec<Reg> {
+        let mut out = Vec::new();
+        let mem = |m: &MemRef, out: &mut Vec<Reg>| out.extend(m.regs());
+        match inst {
+            Inst::MovReg { src, .. } => out.push(*src),
+            Inst::Load { addr, .. } => mem(addr, &mut out),
+            Inst::Store { src, addr } => {
+                out.push(*src);
+                mem(addr, &mut out);
+            }
+            Inst::Alu { dst, src, .. } => {
+                out.push(*dst);
+                if let Operand::Reg(r) = src {
+                    out.push(*r);
+                }
+            }
+            Inst::Cmp { lhs, rhs } => {
+                out.push(*lhs);
+                if let Operand::Reg(r) = rhs {
+                    out.push(*r);
+                }
+            }
+            Inst::Clflush { addr } => mem(addr, &mut out),
+            _ => {}
+        }
+        out
+    };
+    let writes_of = |inst: &Inst| -> Option<Reg> {
+        match inst {
+            Inst::MovImm { dst, .. }
+            | Inst::MovReg { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Alu { dst, .. }
+            | Inst::Rdtscp { dst } => Some(*dst),
+            _ => None,
+        }
+    };
+    // worklist dataflow (meet = intersection)
+    let mut work = vec![0usize];
+    init_in[0] = 0;
+    while let Some(i) = work.pop() {
+        let inst = &program.insts()[i];
+        let mask = init_in[i];
+        for r in reads_of(inst) {
+            if mask & (1 << r.index()) == 0 {
+                flagged.insert(r);
+            }
+        }
+        let out_mask = match writes_of(inst) {
+            Some(r) => mask | (1 << r.index()),
+            None => mask,
+        };
+        let push = |t: usize, init_in: &mut Vec<u32>, work: &mut Vec<usize>| {
+            if t >= n {
+                return;
+            }
+            let merged = if init_in[t] == UNVISITED {
+                out_mask
+            } else {
+                init_in[t] & out_mask
+            };
+            if merged != init_in[t] {
+                init_in[t] = merged;
+                work.push(t);
+            }
+        };
+        if let Some(t) = inst.branch_target() {
+            push(t, &mut init_in, &mut work);
+        }
+        if inst.falls_through() {
+            push(i + 1, &mut init_in, &mut work);
+        }
+    }
+    flagged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Cond, Reg};
+    use crate::program::ProgramBuilder;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R1, 0x1000);
+        b.load(Reg::R2, MemRef::abs(0x1_0000));
+        b.clflush(MemRef::abs(0x2_0000));
+        b.rdtscp(Reg::R3);
+        b.vyield();
+        b.cmp_imm(Reg::R2, 0);
+        let l = b.new_label();
+        b.br(Cond::Eq, l);
+        b.bind(l);
+        b.halt();
+        b.nop(); // unreachable tail
+        b.build()
+    }
+
+    #[test]
+    fn stats_count_instruction_classes() {
+        let s = analyze(&sample());
+        assert_eq!(s.instructions, 9);
+        assert_eq!(s.memory_ops, 2);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.rdtscps, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.yields, 1);
+        assert_eq!(s.unreachable, 1);
+        assert_eq!(s.absolute_regions, 2);
+        assert!(s.to_string().contains("9 insts"));
+    }
+
+    #[test]
+    fn reachability_follows_both_branch_edges() {
+        let mut b = ProgramBuilder::new("t");
+        b.cmp_imm(Reg::R0, 0);
+        let t = b.new_label();
+        b.br(Cond::Eq, t);
+        b.nop(); // fall-through arm
+        b.bind(t);
+        b.halt();
+        let p = b.build();
+        assert_eq!(reachable(&p).len(), p.len());
+    }
+
+    #[test]
+    fn code_after_unconditional_jump_is_unreachable() {
+        let mut b = ProgramBuilder::new("t");
+        let end = b.new_label();
+        b.jmp(end);
+        b.nop();
+        b.nop();
+        b.bind(end);
+        b.halt();
+        let p = b.build();
+        let r = reachable(&p);
+        assert!(!r.contains(&1));
+        assert!(!r.contains(&2));
+        assert_eq!(analyze(&p).unreachable, 2);
+    }
+
+    #[test]
+    fn uninitialized_read_is_flagged() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R1, 1);
+        b.alu(crate::inst::AluOp::Add, Reg::R1, Reg::R2); // R2 never written
+        b.halt();
+        let flagged = possibly_uninitialized_reads(&b.build());
+        assert!(flagged.contains(&Reg::R2));
+        assert!(!flagged.contains(&Reg::R1));
+    }
+
+    #[test]
+    fn initialized_on_all_paths_is_clean() {
+        let mut b = ProgramBuilder::new("t");
+        b.cmp_imm(Reg::R0, 0);
+        let other = b.new_label();
+        let join = b.new_label();
+        b.br(Cond::Eq, other);
+        b.mov_imm(Reg::R1, 1);
+        b.jmp(join);
+        b.bind(other);
+        b.mov_imm(Reg::R1, 2);
+        b.bind(join);
+        b.mov_reg(Reg::R2, Reg::R1); // R1 written on both arms
+        b.halt();
+        let flagged = possibly_uninitialized_reads(&b.build());
+        assert!(!flagged.contains(&Reg::R1), "{flagged:?}");
+    }
+
+    #[test]
+    fn one_armed_initialization_is_flagged() {
+        let mut b = ProgramBuilder::new("t");
+        b.cmp_imm(Reg::R0, 0);
+        let skip = b.new_label();
+        b.br(Cond::Eq, skip);
+        b.mov_imm(Reg::R1, 1); // only on one arm
+        b.bind(skip);
+        b.mov_reg(Reg::R2, Reg::R1);
+        b.halt();
+        let flagged = possibly_uninitialized_reads(&b.build());
+        assert!(flagged.contains(&Reg::R1));
+    }
+
+    #[test]
+    fn footprint_merges_same_region() {
+        let mut b = ProgramBuilder::new("t");
+        b.load(Reg::R1, MemRef::abs(0x1_0000));
+        b.load(Reg::R2, MemRef::abs(0x1_0040));
+        b.store(Reg::R1, MemRef::abs(0x9_0000));
+        b.halt();
+        let p = b.build();
+        assert_eq!(absolute_footprint(&p).len(), 2);
+    }
+}

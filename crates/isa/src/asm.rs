@@ -1,0 +1,509 @@
+//! A textual assembler for the micro-ISA.
+//!
+//! The syntax is the same as [`Program::disasm`] output, minus the address
+//! prefixes, plus labels — so disassembly round-trips and users can write
+//! programs by hand:
+//!
+//! ```text
+//! ; classic flush+reload core
+//!         mov r1, 0x10000000
+//! loop:   clflush [r1]
+//!         vyield
+//!         rdtscp r2
+//!         ld r3, [r1]
+//!         rdtscp r4
+//!         sub r4, r2
+//!         cmp r4, 80
+//!         bge loop
+//!         halt
+//! ```
+//!
+//! Grammar per line: `[label:] [instruction] [; comment]`. Operands:
+//! registers `r0`–`r15`, immediates (decimal or `0x` hex, optionally
+//! negative), memory references `[base + index*scale + disp]` with any
+//! subset of the three parts, and label names as branch targets.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{AluOp, Cond, FenceKind, Inst, MemRef, Operand, Reg};
+use crate::program::Program;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseAsmError> {
+    let rest = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
+    let idx: usize = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    if idx >= 16 {
+        return Err(err(line, format!("register index out of range: `{tok}`")));
+    }
+    Ok(Reg::from_index(idx))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseAsmError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let magnitude: u128 = if let Some(hex) = body.strip_prefix("0x") {
+        u128::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    let signed = if neg {
+        -(i128::try_from(magnitude).map_err(|_| err(line, format!("immediate overflow `{tok}`")))?)
+    } else {
+        i128::try_from(magnitude).map_err(|_| err(line, format!("immediate overflow `{tok}`")))?
+    };
+    i64::try_from(signed).map_err(|_| err(line, format!("immediate overflow `{tok}`")))
+}
+
+/// Parse `[base + index*scale + disp]` with any subset of parts present.
+fn parse_mem(tok: &str, line: usize) -> Result<MemRef, ParseAsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected memory reference, got `{tok}`")))?;
+    let mut m = MemRef {
+        base: None,
+        index: None,
+        scale: 1,
+        disp: 0,
+    };
+    // split on '+' but keep '-' attached to the following term
+    let normalized = inner.replace('-', "+-").replace(' ', "");
+    for term in normalized.split('+').filter(|t| !t.is_empty()) {
+        if let Some((reg, scale)) = term.split_once('*') {
+            if m.index.is_some() {
+                return Err(err(line, "duplicate index register"));
+            }
+            m.index = Some(parse_reg(reg, line)?);
+            let s = parse_imm(scale, line)?;
+            m.scale = u8::try_from(s)
+                .map_err(|_| err(line, format!("bad scale `{scale}`")))?;
+        } else if term.starts_with('r') {
+            if m.base.is_none() {
+                m.base = Some(parse_reg(term, line)?);
+            } else if m.index.is_none() {
+                m.index = Some(parse_reg(term, line)?);
+            } else {
+                return Err(err(line, "too many registers in memory reference"));
+            }
+        } else {
+            m.disp = m
+                .disp
+                .checked_add(parse_imm(term, line)?)
+                .ok_or_else(|| err(line, "displacement overflow"))?;
+        }
+    }
+    Ok(m)
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseAsmError> {
+    if tok.starts_with('r') && !tok.starts_with("r0x") {
+        Ok(Operand::Reg(parse_reg(tok, line)?))
+    } else {
+        Ok(Operand::Imm(parse_imm(tok, line)?))
+    }
+}
+
+fn cond_of(mnemonic: &str) -> Option<Cond> {
+    Some(match mnemonic {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "ble" => Cond::Le,
+        "bgt" => Cond::Gt,
+        "bge" => Cond::Ge,
+        _ => return None,
+    })
+}
+
+fn alu_of(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        _ => return None,
+    })
+}
+
+/// A pending branch awaiting label resolution.
+enum Pending {
+    Jmp(String, usize),
+    Br(Cond, String, usize),
+}
+
+/// Assemble a textual program.
+///
+/// # Errors
+///
+/// Returns a [`ParseAsmError`] carrying the offending source line for
+/// syntax errors, unknown mnemonics, malformed operands, duplicate or
+/// undefined labels.
+///
+/// ```
+/// use sca_isa::assemble;
+///
+/// # fn main() -> Result<(), sca_isa::ParseAsmError> {
+/// let p = assemble(
+///     "demo",
+///     "mov r1, 0x1000\nld r2, [r1]\nhalt\n",
+/// )?;
+/// assert_eq!(p.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(name: &str, source: &str) -> Result<Program, ParseAsmError> {
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut pendings: Vec<(usize, Pending)> = Vec::new();
+
+    for (line_idx, raw) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let mut text = raw;
+        if let Some(i) = text.find(';') {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        // labels (possibly several on one line)
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break; // not a label — let operand parsing report it
+            }
+            if labels.insert(label.to_string(), insts.len()).is_some() {
+                return Err(err(line_no, format!("duplicate label `{label}`")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let operands: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let arity = |n: usize| -> Result<(), ParseAsmError> {
+            if operands.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line_no,
+                    format!("`{mnemonic}` takes {n} operand(s), got {}", operands.len()),
+                ))
+            }
+        };
+
+        let inst = match mnemonic {
+            "mov" => {
+                arity(2)?;
+                let dst = parse_reg(operands[0], line_no)?;
+                match parse_operand(operands[1], line_no)? {
+                    Operand::Reg(src) => Inst::MovReg { dst, src },
+                    Operand::Imm(imm) => Inst::MovImm { dst, imm },
+                }
+            }
+            "ld" => {
+                arity(2)?;
+                Inst::Load {
+                    dst: parse_reg(operands[0], line_no)?,
+                    addr: parse_mem(operands[1], line_no)?,
+                }
+            }
+            "st" => {
+                arity(2)?;
+                Inst::Store {
+                    addr: parse_mem(operands[0], line_no)?,
+                    src: parse_reg(operands[1], line_no)?,
+                }
+            }
+            "cmp" => {
+                arity(2)?;
+                Inst::Cmp {
+                    lhs: parse_reg(operands[0], line_no)?,
+                    rhs: parse_operand(operands[1], line_no)?,
+                }
+            }
+            "clflush" => {
+                arity(1)?;
+                Inst::Clflush {
+                    addr: parse_mem(operands[0], line_no)?,
+                }
+            }
+            "rdtscp" => {
+                arity(1)?;
+                Inst::Rdtscp {
+                    dst: parse_reg(operands[0], line_no)?,
+                }
+            }
+            "lfence" => {
+                arity(0)?;
+                Inst::Fence {
+                    kind: FenceKind::Lfence,
+                }
+            }
+            "mfence" => {
+                arity(0)?;
+                Inst::Fence {
+                    kind: FenceKind::Mfence,
+                }
+            }
+            "vyield" => {
+                arity(0)?;
+                Inst::VYield
+            }
+            "nop" => {
+                arity(0)?;
+                Inst::Nop
+            }
+            "halt" => {
+                arity(0)?;
+                Inst::Halt
+            }
+            "jmp" => {
+                arity(1)?;
+                pendings.push((
+                    insts.len(),
+                    Pending::Jmp(label_token(operands[0]), line_no),
+                ));
+                Inst::Jmp { target: 0 }
+            }
+            m => {
+                if let Some(cond) = cond_of(m) {
+                    arity(1)?;
+                    pendings.push((
+                        insts.len(),
+                        Pending::Br(cond, label_token(operands[0]), line_no),
+                    ));
+                    Inst::Br { cond, target: 0 }
+                } else if let Some(op) = alu_of(m) {
+                    arity(2)?;
+                    Inst::Alu {
+                        op,
+                        dst: parse_reg(operands[0], line_no)?,
+                        src: parse_operand(operands[1], line_no)?,
+                    }
+                } else {
+                    return Err(err(line_no, format!("unknown mnemonic `{m}`")));
+                }
+            }
+        };
+        insts.push(inst);
+    }
+
+    // resolve labels
+    for (idx, pending) in pendings {
+        let (label, cond, line_no) = match &pending {
+            Pending::Jmp(l, n) => (l, None, *n),
+            Pending::Br(c, l, n) => (l, Some(*c), *n),
+        };
+        // `@N` form (disassembler output) targets an absolute index
+        let target = if let Some(n) = label.strip_prefix('@') {
+            n.parse::<usize>()
+                .map_err(|_| err(line_no, format!("bad target `{label}`")))?
+        } else {
+            *labels
+                .get(label.as_str())
+                .ok_or_else(|| err(line_no, format!("undefined label `{label}`")))?
+        };
+        if target >= insts.len() {
+            return Err(err(line_no, format!("target `{label}` out of range")));
+        }
+        insts[idx] = match cond {
+            None => Inst::Jmp { target },
+            Some(cond) => Inst::Br { cond, target },
+        };
+    }
+
+    if insts.is_empty() {
+        return Err(err(0, "empty program"));
+    }
+    Ok(Program::from_parts(name, insts, Default::default()))
+}
+
+fn label_token(tok: &str) -> String {
+    tok.trim().to_string()
+}
+
+/// Render a program as assemblable text (labels synthesized for branch
+/// targets), such that `assemble(name, &to_asm(&p))` reproduces `p`'s
+/// instructions.
+pub fn to_asm(program: &Program) -> String {
+    use std::collections::BTreeSet;
+    let targets: BTreeSet<usize> = program
+        .insts()
+        .iter()
+        .filter_map(|i| i.branch_target())
+        .collect();
+    let mut out = String::new();
+    for (i, inst) in program.insts().iter().enumerate() {
+        if targets.contains(&i) {
+            out.push_str(&format!("L{i}:\n"));
+        }
+        let text = match inst {
+            Inst::Jmp { target } => format!("jmp L{target}"),
+            Inst::Br { cond, target } => format!("{} L{target}", cond.mnemonic()),
+            other => other.to_string(),
+        };
+        out.push_str("    ");
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn assembles_a_basic_program() {
+        let p = assemble(
+            "t",
+            "mov r1, 0x1000\nld r2, [r1]\nst [r1 + 8], r2\nhalt\n",
+        )
+        .expect("assemble");
+        assert_eq!(p.len(), 4);
+        assert_eq!(
+            p.insts()[2],
+            Inst::Store {
+                src: Reg::R2,
+                addr: MemRef::base_disp(Reg::R1, 8)
+            }
+        );
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let src = "\
+            mov r0, 0\n\
+            loop: add r0, 1\n\
+            cmp r0, 3\n\
+            blt loop\n\
+            beq done\n\
+            nop\n\
+            done: halt\n";
+        let p = assemble("t", src).expect("assemble");
+        assert_eq!(p.insts()[3].branch_target(), Some(1));
+        assert_eq!(p.insts()[4].branch_target(), Some(6));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("t", "; header\n\n  nop ; trailing\nhalt\n").expect("assemble");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn full_memref_syntax() {
+        let p = assemble("t", "ld r1, [r2 + r3*8 + -0x10]\nhalt\n").expect("assemble");
+        assert_eq!(
+            p.insts()[0],
+            Inst::Load {
+                dst: Reg::R1,
+                addr: MemRef::full(Reg::R2, Reg::R3, 8, -16)
+            }
+        );
+        let q = assemble("t", "ld r1, [0x2000]\nhalt\n").expect("assemble");
+        assert_eq!(
+            q.insts()[0],
+            Inst::Load {
+                dst: Reg::R1,
+                addr: MemRef::abs(0x2000)
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("t", "nop\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("t", "jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+
+        let e = assemble("t", "x: nop\nx: nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+
+        let e = assemble("t", "mov r1\n").unwrap_err();
+        assert!(e.message.contains("takes 2 operand"));
+
+        let e = assemble("t", "mov r99, 1\n").unwrap_err();
+        assert!(e.message.contains("out of range") || e.message.contains("bad register"));
+    }
+
+    #[test]
+    fn to_asm_roundtrips_a_builder_program() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 0);
+        let top = b.here();
+        b.alu_imm(AluOp::Add, Reg::R0, 1);
+        b.load(Reg::R1, MemRef::base_index(Reg::R0, Reg::R0, 8));
+        b.cmp_imm(Reg::R0, 10);
+        b.br(Cond::Lt, top);
+        b.clflush(MemRef::abs(0x1000));
+        b.rdtscp(Reg::R2);
+        b.vyield();
+        b.lfence();
+        b.halt();
+        let p = b.build();
+        let text = to_asm(&p);
+        let q = assemble("t", &text).expect("reassemble");
+        assert_eq!(p.insts(), q.insts());
+    }
+
+    #[test]
+    fn disasm_at_targets_parse() {
+        // `jmp @3` absolute-index form, as in builder-level dumps
+        let p = assemble("t", "nop\nnop\njmp @0\nhalt\n").expect("assemble");
+        assert_eq!(p.insts()[2].branch_target(), Some(0));
+    }
+
+    #[test]
+    fn empty_source_is_an_error() {
+        assert!(assemble("t", "; only comments\n").is_err());
+    }
+}

@@ -1,0 +1,505 @@
+//! Instruction and operand definitions for the micro-ISA.
+
+use std::fmt;
+
+/// A general-purpose register.
+///
+/// Sixteen registers, mirroring the width of the x86-64 GPR file the paper's
+/// PoCs use. `R0` conventionally holds return values; there is no stack in
+/// the micro-ISA so no register is reserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The register file index of this register (0..16).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The register with file index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    pub fn from_index(i: usize) -> Reg {
+        Reg::ALL[i]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// A memory reference: `[base + index * scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register, if any.
+    pub index: Option<Reg>,
+    /// Scale applied to the index register (1, 2, 4, or 8 by convention).
+    pub scale: u8,
+    /// Constant displacement.
+    pub disp: i64,
+}
+
+impl MemRef {
+    /// A reference through a single base register: `[base]`.
+    pub fn base(base: Reg) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp: 0,
+        }
+    }
+
+    /// An absolute reference: `[disp]`.
+    pub fn abs(disp: i64) -> MemRef {
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp,
+        }
+    }
+
+    /// `[base + disp]`.
+    pub fn base_disp(base: Reg, disp: i64) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
+    }
+
+    /// `[base + index * scale]`.
+    pub fn base_index(base: Reg, index: Reg, scale: u8) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp: 0,
+        }
+    }
+
+    /// `[base + index * scale + disp]`.
+    pub fn full(base: Reg, index: Reg, scale: u8, disp: i64) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+        }
+    }
+
+    /// Registers read when computing this reference's effective address.
+    pub fn regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.base.iter().chain(self.index.iter()).copied()
+    }
+}
+
+/// Format an immediate as signed hexadecimal (`0x2a`, `-0x10`), the form
+/// the assembler parses back.
+pub(crate) fn fmt_imm(v: i64) -> String {
+    if v < 0 {
+        format!("-{:#x}", v.unsigned_abs())
+    } else {
+        format!("{v:#x}")
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{}", self.scale)?;
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if !first && self.disp >= 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{}", fmt_imm(self.disp))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A source operand: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{}", fmt_imm(*i)),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Operand {
+        Operand::Imm(i)
+    }
+}
+
+/// Arithmetic/logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 64).
+    Shr,
+}
+
+impl AluOp {
+    /// The assembler mnemonic of this operation.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        }
+    }
+
+    /// Apply this operation to two 64-bit values.
+    pub fn apply(self, lhs: u64, rhs: u64) -> u64 {
+        match self {
+            AluOp::Add => lhs.wrapping_add(rhs),
+            AluOp::Sub => lhs.wrapping_sub(rhs),
+            AluOp::Mul => lhs.wrapping_mul(rhs),
+            AluOp::And => lhs & rhs,
+            AluOp::Or => lhs | rhs,
+            AluOp::Xor => lhs ^ rhs,
+            AluOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+            AluOp::Shr => lhs.wrapping_shr((rhs & 63) as u32),
+        }
+    }
+}
+
+/// Branch conditions, evaluated against the flags set by the last `cmp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal (`lhs == rhs`).
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Unsigned greater-than.
+    Gt,
+    /// Unsigned greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// The branch mnemonic (`beq`, `bne`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Le => "ble",
+            Cond::Gt => "bgt",
+            Cond::Ge => "bge",
+        }
+    }
+
+    /// Evaluate the condition for compared values `lhs` and `rhs`.
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => lhs < rhs,
+            Cond::Le => lhs <= rhs,
+            Cond::Gt => lhs > rhs,
+            Cond::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The negation of this condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+/// Memory fence kinds. In the simulated CPU, `Lfence` additionally acts as a
+/// speculation barrier, mirroring its use in Spectre PoCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FenceKind {
+    /// Load fence / speculation barrier.
+    Lfence,
+    /// Full memory fence.
+    Mfence,
+}
+
+/// One micro-ISA instruction.
+///
+/// Branch targets are *instruction indices* into the owning
+/// [`Program`](crate::Program); the assembler resolves symbolic labels to
+/// indices at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `dst <- imm`
+    MovImm { dst: Reg, imm: i64 },
+    /// `dst <- src`
+    MovReg { dst: Reg, src: Reg },
+    /// `dst <- mem[ea(addr)]`
+    Load { dst: Reg, addr: MemRef },
+    /// `mem[ea(addr)] <- src`
+    Store { src: Reg, addr: MemRef },
+    /// `dst <- dst op src`
+    Alu { op: AluOp, dst: Reg, src: Operand },
+    /// Compare `lhs` with `rhs`, setting the flags used by `Br`.
+    Cmp { lhs: Reg, rhs: Operand },
+    /// Unconditional jump to instruction index `target`.
+    Jmp { target: usize },
+    /// Conditional branch to instruction index `target`.
+    Br { cond: Cond, target: usize },
+    /// Flush the cache line containing `ea(addr)` from the whole hierarchy.
+    Clflush { addr: MemRef },
+    /// Read the timestamp counter into `dst` (serializing, like `rdtscp`).
+    Rdtscp { dst: Reg },
+    /// Memory fence.
+    Fence { kind: FenceKind },
+    /// Yield to the victim process (models the victim-scheduling window
+    /// a real attacker creates with `sched_yield`/busy waiting).
+    VYield,
+    /// No operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+impl Inst {
+    /// Whether this instruction ends a basic block (branch, jump, or halt).
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Jmp { .. } | Inst::Br { .. } | Inst::Halt)
+    }
+
+    /// The branch target, if this is a `Jmp` or `Br`.
+    pub fn branch_target(&self) -> Option<usize> {
+        match self {
+            Inst::Jmp { target } | Inst::Br { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Whether control can fall through to the next instruction.
+    pub fn falls_through(&self) -> bool {
+        !matches!(self, Inst::Jmp { .. } | Inst::Halt)
+    }
+
+    /// Whether this instruction touches the data cache (load, store, flush).
+    pub fn is_memory_op(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::Clflush { .. }
+        )
+    }
+
+    /// Rewrite branch targets with `f`; non-branch instructions are returned
+    /// unchanged. Used by program transformers (mutation, obfuscation).
+    pub fn map_target(self, f: impl FnOnce(usize) -> usize) -> Inst {
+        match self {
+            Inst::Jmp { target } => Inst::Jmp { target: f(target) },
+            Inst::Br { cond, target } => Inst::Br {
+                cond,
+                target: f(target),
+            },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::MovImm { dst, imm } => write!(f, "mov {dst}, {}", fmt_imm(*imm)),
+            Inst::MovReg { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::Load { dst, addr } => write!(f, "ld {dst}, {addr}"),
+            Inst::Store { src, addr } => write!(f, "st {addr}, {src}"),
+            Inst::Alu { op, dst, src } => write!(f, "{} {dst}, {src}", op.mnemonic()),
+            Inst::Cmp { lhs, rhs } => write!(f, "cmp {lhs}, {rhs}"),
+            Inst::Jmp { target } => write!(f, "jmp @{target}"),
+            Inst::Br { cond, target } => write!(f, "{} @{target}", cond.mnemonic()),
+            Inst::Clflush { addr } => write!(f, "clflush {addr}"),
+            Inst::Rdtscp { dst } => write!(f, "rdtscp {dst}"),
+            Inst::Fence { kind } => match kind {
+                FenceKind::Lfence => write!(f, "lfence"),
+                FenceKind::Mfence => write!(f, "mfence"),
+            },
+            Inst::VYield => write!(f, "vyield"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_index_roundtrip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn alu_apply_matches_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(3, 5), 15);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(16, 4), 1);
+        // shift modulo 64
+        assert_eq!(AluOp::Shl.apply(1, 64), 1);
+    }
+
+    #[test]
+    fn cond_eval_and_negate() {
+        let cases = [(Cond::Eq, 1u64, 1u64, true), (Cond::Ne, 1, 1, false)];
+        for (c, l, r, expect) in cases {
+            assert_eq!(c.eval(l, r), expect);
+            assert_eq!(c.negate().eval(l, r), !expect);
+        }
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            for (l, r) in [(0u64, 1u64), (1, 0), (7, 7)] {
+                assert_eq!(c.negate().eval(l, r), !c.eval(l, r), "{c:?} {l} {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Inst::Halt.is_terminator());
+        assert!(Inst::Jmp { target: 0 }.is_terminator());
+        assert!(Inst::Br {
+            cond: Cond::Eq,
+            target: 0
+        }
+        .is_terminator());
+        assert!(!Inst::Nop.is_terminator());
+        assert!(Inst::Br {
+            cond: Cond::Eq,
+            target: 0
+        }
+        .falls_through());
+        assert!(!Inst::Jmp { target: 0 }.falls_through());
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Inst::Load {
+            dst: Reg::R2,
+            addr: MemRef::full(Reg::R1, Reg::R3, 8, 0x40),
+        };
+        assert_eq!(i.to_string(), "ld r2, [r1+r3*8+0x40]");
+        let j = Inst::Store {
+            src: Reg::R0,
+            addr: MemRef::abs(0x2000),
+        };
+        assert_eq!(j.to_string(), "st [0x2000], r0");
+    }
+
+    #[test]
+    fn map_target_rewrites_branches_only() {
+        let j = Inst::Jmp { target: 3 }.map_target(|t| t + 10);
+        assert_eq!(j.branch_target(), Some(13));
+        let n = Inst::Nop.map_target(|t| t + 10);
+        assert_eq!(n, Inst::Nop);
+    }
+}

@@ -1,0 +1,49 @@
+//! # sca-isa — the micro-ISA substrate
+//!
+//! SCAGuard analyses *binary* programs: it builds a CFG, maps hardware
+//! performance counter (HPC) events onto basic blocks, and normalizes
+//! instruction sequences for similarity comparison. The paper operates on
+//! x86 ELF binaries lifted with Angr; this reproduction substitutes a
+//! compact RISC-like micro-ISA that expresses everything a cache
+//! side-channel attack (and a realistic benign workload) needs:
+//!
+//! * register/immediate ALU operations,
+//! * loads and stores through `base + index*scale + disp` addressing,
+//! * conditional and unconditional branches,
+//! * `clflush` (line flush), `rdtscp` (timestamp read), and fences,
+//! * a `vyield` instruction that hands the (simulated) core to the victim,
+//!   standing in for the victim-scheduling gap that real PoCs create with
+//!   busy-wait loops.
+//!
+//! Programs are flat instruction vectors; every instruction occupies
+//! [`INST_SIZE`] bytes of a synthetic text segment so instruction
+//! *addresses* behave like the ones Intel PT reports.
+//!
+//! ```
+//! use sca_isa::{ProgramBuilder, Reg, MemRef};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! b.mov_imm(Reg::R1, 0x1000);
+//! b.load(Reg::R2, MemRef::base(Reg::R1));
+//! b.halt();
+//! let prog = b.build();
+//! assert_eq!(prog.len(), 3);
+//! ```
+
+pub mod analysis;
+
+mod asm;
+mod inst;
+mod normalize;
+mod program;
+
+pub use asm::{assemble, to_asm, ParseAsmError};
+pub use inst::{AluOp, Cond, FenceKind, Inst, MemRef, Operand, Reg};
+pub use normalize::{normalize_inst, NormInst, NormOperand, ParseNormInstError};
+pub use program::{InstTag, Label, Program, ProgramBuilder, TEXT_BASE};
+
+/// Size in bytes of one encoded instruction in the synthetic text segment.
+///
+/// Every instruction is fixed-width, so the instruction at index `i` of a
+/// [`Program`] lives at address `TEXT_BASE + i * INST_SIZE`.
+pub const INST_SIZE: u64 = 4;

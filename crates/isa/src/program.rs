@@ -1,0 +1,466 @@
+//! Programs, labels, instruction tags, and the assembler/builder.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::inst::{AluOp, Cond, FenceKind, Inst, MemRef, Operand, Reg};
+use crate::INST_SIZE;
+
+/// Base address of the synthetic text segment.
+///
+/// Chosen to be disjoint from the data regions the attack/benign program
+/// generators use (which start at `0x1000_0000`).
+pub const TEXT_BASE: u64 = 0x40_0000;
+
+/// A symbolic label produced by [`ProgramBuilder::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Semantic tag attached to an instruction by a program generator.
+///
+/// Tags record which *attack step* an instruction implements; basic blocks
+/// containing tagged instructions form the ground truth ("manually
+/// identified attack-relevant BBs", #TAB in Table IV) against which
+/// SCAGuard's automatic identification is scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstTag {
+    /// Flush step of a Flush+Reload / Flush+Flush attack.
+    Flush,
+    /// Reload step (timed re-access over shared memory).
+    Reload,
+    /// Prime step of Prime+Probe (filling a cache set).
+    Prime,
+    /// Probe step of Prime+Probe (timed re-access of the primed set).
+    Probe,
+    /// Eviction-set traversal (Evict+Reload).
+    Evict,
+    /// Timing measurement (`rdtscp` pairs and the latency arithmetic).
+    Time,
+    /// Speculative-execution setup (branch training, out-of-bounds access).
+    Speculate,
+    /// Secret-recovery bookkeeping (threshold compare, result store).
+    Recover,
+}
+
+/// A complete micro-ISA program plus generator-provided metadata.
+///
+/// The metadata (`tags`) never influences detection — SCAGuard only sees the
+/// instructions and the runtime trace — it is used exclusively as ground
+/// truth when scoring attack-relevant-BB identification (Table IV).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    tags: BTreeMap<usize, InstTag>,
+}
+
+impl Program {
+    /// Create a program directly from parts. Prefer [`ProgramBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch target is out of range.
+    pub fn from_parts(
+        name: impl Into<String>,
+        insts: Vec<Inst>,
+        tags: BTreeMap<usize, InstTag>,
+    ) -> Program {
+        let n = insts.len();
+        for (i, inst) in insts.iter().enumerate() {
+            if let Some(t) = inst.branch_target() {
+                assert!(t < n, "instruction {i} branches to out-of-range {t}");
+            }
+        }
+        Program {
+            name: name.into(),
+            insts,
+            tags,
+        }
+    }
+
+    /// The program's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instructions, in address order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at index `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Inst> {
+        self.insts.get(i)
+    }
+
+    /// The text-segment address of the instruction at index `i`.
+    pub fn addr_of(&self, i: usize) -> u64 {
+        TEXT_BASE + i as u64 * INST_SIZE
+    }
+
+    /// The instruction index for text-segment address `addr`, if it falls in
+    /// this program.
+    pub fn index_of_addr(&self, addr: u64) -> Option<usize> {
+        if addr < TEXT_BASE || !(addr - TEXT_BASE).is_multiple_of(INST_SIZE) {
+            return None;
+        }
+        let i = ((addr - TEXT_BASE) / INST_SIZE) as usize;
+        (i < self.insts.len()).then_some(i)
+    }
+
+    /// The semantic tag on instruction `i`, if any.
+    pub fn tag(&self, i: usize) -> Option<InstTag> {
+        self.tags.get(&i).copied()
+    }
+
+    /// All `(index, tag)` pairs in address order.
+    pub fn tags(&self) -> impl Iterator<Item = (usize, InstTag)> + '_ {
+        self.tags.iter().map(|(&i, &t)| (i, t))
+    }
+
+    /// Whether any instruction carries an attack-step tag.
+    pub fn has_attack_tags(&self) -> bool {
+        !self.tags.is_empty()
+    }
+
+    /// Render the program as annotated assembly text.
+    pub fn disasm(&self) -> String {
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let tag = self
+                .tags
+                .get(&i)
+                .map(|t| format!("  ; {t:?}"))
+                .unwrap_or_default();
+            out.push_str(&format!("{:#08x}: {inst}{tag}\n", self.addr_of(i)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} insts)", self.name, self.insts.len())
+    }
+}
+
+/// Incremental assembler for [`Program`]s with forward-label support.
+///
+/// ```
+/// use sca_isa::{ProgramBuilder, Reg, Cond};
+///
+/// let mut b = ProgramBuilder::new("count-to-ten");
+/// b.mov_imm(Reg::R0, 0);
+/// let top = b.here();
+/// b.alu_imm(sca_isa::AluOp::Add, Reg::R0, 1);
+/// b.cmp_imm(Reg::R0, 10);
+/// b.br(Cond::Lt, top);
+/// b.halt();
+/// let p = b.build();
+/// assert_eq!(p.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    tags: BTreeMap<usize, InstTag>,
+    /// label id -> resolved instruction index
+    labels: Vec<Option<usize>>,
+    /// (instruction index, label id) pairs awaiting resolution
+    fixups: Vec<(usize, usize)>,
+    pending_tag: Option<InstTag>,
+}
+
+impl ProgramBuilder {
+    /// Start building a program called `name`.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            tags: BTreeMap::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            pending_tag: None,
+        }
+    }
+
+    /// Allocate an unbound label for forward references.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice at instruction {}",
+            self.insts.len()
+        );
+        self.labels[label.0] = Some(self.insts.len());
+    }
+
+    /// A label bound to the current position (for backward branches).
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Tag the *next* emitted instruction with `tag`.
+    pub fn tag_next(&mut self, tag: InstTag) -> &mut Self {
+        self.pending_tag = Some(tag);
+        self
+    }
+
+    /// Run `f` with every instruction it emits tagged `tag`.
+    pub fn tagged(&mut self, tag: InstTag, f: impl FnOnce(&mut Self)) {
+        let start = self.insts.len();
+        f(self);
+        for i in start..self.insts.len() {
+            self.tags.entry(i).or_insert(tag);
+        }
+    }
+
+    /// Append a raw instruction; returns its index.
+    pub fn push(&mut self, inst: Inst) -> usize {
+        let i = self.insts.len();
+        self.insts.push(inst);
+        if let Some(tag) = self.pending_tag.take() {
+            self.tags.insert(i, tag);
+        }
+        i
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instruction has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    // ---- instruction helpers ------------------------------------------
+
+    /// `mov dst, imm`
+    pub fn mov_imm(&mut self, dst: Reg, imm: i64) -> usize {
+        self.push(Inst::MovImm { dst, imm })
+    }
+
+    /// `mov dst, src`
+    pub fn mov_reg(&mut self, dst: Reg, src: Reg) -> usize {
+        self.push(Inst::MovReg { dst, src })
+    }
+
+    /// `ld dst, addr`
+    pub fn load(&mut self, dst: Reg, addr: MemRef) -> usize {
+        self.push(Inst::Load { dst, addr })
+    }
+
+    /// `st addr, src`
+    pub fn store(&mut self, src: Reg, addr: MemRef) -> usize {
+        self.push(Inst::Store { src, addr })
+    }
+
+    /// `op dst, src` with a register source.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, src: Reg) -> usize {
+        self.push(Inst::Alu {
+            op,
+            dst,
+            src: Operand::Reg(src),
+        })
+    }
+
+    /// `op dst, imm` with an immediate source.
+    pub fn alu_imm(&mut self, op: AluOp, dst: Reg, imm: i64) -> usize {
+        self.push(Inst::Alu {
+            op,
+            dst,
+            src: Operand::Imm(imm),
+        })
+    }
+
+    /// `cmp lhs, rhs`
+    pub fn cmp(&mut self, lhs: Reg, rhs: Reg) -> usize {
+        self.push(Inst::Cmp {
+            lhs,
+            rhs: Operand::Reg(rhs),
+        })
+    }
+
+    /// `cmp lhs, imm`
+    pub fn cmp_imm(&mut self, lhs: Reg, imm: i64) -> usize {
+        self.push(Inst::Cmp {
+            lhs,
+            rhs: Operand::Imm(imm),
+        })
+    }
+
+    /// `jmp label`
+    pub fn jmp(&mut self, label: Label) -> usize {
+        let i = self.push(Inst::Jmp { target: usize::MAX });
+        self.fixups.push((i, label.0));
+        i
+    }
+
+    /// Conditional branch to `label`.
+    pub fn br(&mut self, cond: Cond, label: Label) -> usize {
+        let i = self.push(Inst::Br {
+            cond,
+            target: usize::MAX,
+        });
+        self.fixups.push((i, label.0));
+        i
+    }
+
+    /// `clflush addr`
+    pub fn clflush(&mut self, addr: MemRef) -> usize {
+        self.push(Inst::Clflush { addr })
+    }
+
+    /// `rdtscp dst`
+    pub fn rdtscp(&mut self, dst: Reg) -> usize {
+        self.push(Inst::Rdtscp { dst })
+    }
+
+    /// `lfence`
+    pub fn lfence(&mut self) -> usize {
+        self.push(Inst::Fence {
+            kind: FenceKind::Lfence,
+        })
+    }
+
+    /// `mfence`
+    pub fn mfence(&mut self) -> usize {
+        self.push(Inst::Fence {
+            kind: FenceKind::Mfence,
+        })
+    }
+
+    /// `vyield` — hand the core to the victim.
+    pub fn vyield(&mut self) -> usize {
+        self.push(Inst::VYield)
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) -> usize {
+        self.push(Inst::Nop)
+    }
+
+    /// `halt`
+    pub fn halt(&mut self) -> usize {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolve labels and produce the final [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn build(mut self) -> Program {
+        for (inst_idx, label_id) in self.fixups.drain(..) {
+            let target = self.labels[label_id]
+                .unwrap_or_else(|| panic!("label {label_id} referenced but never bound"));
+            self.insts[inst_idx] = self.insts[inst_idx].map_target(|_| target);
+        }
+        Program::from_parts(self.name, self.insts, self.tags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_resolves_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new("t");
+        let end = b.new_label();
+        b.mov_imm(Reg::R0, 0);
+        let top = b.here();
+        b.alu_imm(AluOp::Add, Reg::R0, 1);
+        b.cmp_imm(Reg::R0, 3);
+        b.br(Cond::Ge, end);
+        b.jmp(top);
+        b.bind(end);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.get(3).unwrap().branch_target(), Some(5));
+        assert_eq!(p.get(4).unwrap().branch_target(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.new_label();
+        b.jmp(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_target_panics() {
+        let _ = Program::from_parts("t", vec![Inst::Jmp { target: 5 }], BTreeMap::new());
+    }
+
+    #[test]
+    fn addr_index_roundtrip() {
+        let mut b = ProgramBuilder::new("t");
+        for _ in 0..10 {
+            b.nop();
+        }
+        b.halt();
+        let p = b.build();
+        for i in 0..p.len() {
+            assert_eq!(p.index_of_addr(p.addr_of(i)), Some(i));
+        }
+        assert_eq!(p.index_of_addr(TEXT_BASE + 1), None);
+        assert_eq!(p.index_of_addr(TEXT_BASE - INST_SIZE), None);
+        assert_eq!(p.index_of_addr(p.addr_of(p.len())), None);
+    }
+
+    #[test]
+    fn tags_attach_to_next_instruction_and_blocks() {
+        let mut b = ProgramBuilder::new("t");
+        b.tag_next(InstTag::Flush);
+        b.clflush(MemRef::abs(0x1000));
+        b.tagged(InstTag::Reload, |b| {
+            b.load(Reg::R1, MemRef::abs(0x1000));
+            b.rdtscp(Reg::R2);
+        });
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.tag(0), Some(InstTag::Flush));
+        assert_eq!(p.tag(1), Some(InstTag::Reload));
+        assert_eq!(p.tag(2), Some(InstTag::Reload));
+        assert_eq!(p.tag(3), None);
+        assert!(p.has_attack_tags());
+    }
+
+    #[test]
+    fn disasm_contains_every_instruction() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 7);
+        b.halt();
+        let p = b.build();
+        let d = p.disasm();
+        assert!(d.contains("mov r0, 0x7"));
+        assert!(d.contains("halt"));
+    }
+}

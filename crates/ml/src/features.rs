@@ -1,0 +1,94 @@
+//! Feature extraction from HPC sample windows.
+//!
+//! NIGHTs-WATCH and KNN-MLFM consume periodic HPC samples. Each program run
+//! yields a time series of 11-event windows (`sca_cpu::Trace::samples`);
+//! we summarize it per program as mean, standard deviation, and maximum of
+//! each event across windows, plus the whole-run event totals normalized
+//! by cycle count — 44 features total.
+
+/// Number of features produced by [`features_from_trace`].
+pub const FEATURE_LEN: usize = 44;
+
+/// Extract the 44-element feature vector of one trace.
+///
+/// Traces too short to produce any sample window fall back to treating the
+/// run totals as a single window.
+pub fn features_from_trace(trace: &sca_cpu::Trace) -> Vec<f64> {
+    let totals = trace.totals.counted_f64();
+    let fallback = [totals];
+    let windows: &[[f64; 11]] = if trace.samples.is_empty() {
+        &fallback
+    } else {
+        &trace.samples
+    };
+
+    let n = windows.len() as f64;
+    let mut mean = [0.0f64; 11];
+    let mut max = [0.0f64; 11];
+    for w in windows {
+        for i in 0..11 {
+            mean[i] += w[i];
+            if w[i] > max[i] {
+                max[i] = w[i];
+            }
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut std = [0.0f64; 11];
+    for w in windows {
+        for i in 0..11 {
+            std[i] += (w[i] - mean[i]) * (w[i] - mean[i]);
+        }
+    }
+    for s in &mut std {
+        *s = (*s / n).sqrt();
+    }
+
+    let cycles = trace.cycles.max(1) as f64;
+    let mut out = Vec::with_capacity(FEATURE_LEN);
+    out.extend_from_slice(&mean);
+    out.extend_from_slice(&std);
+    out.extend_from_slice(&max);
+    out.extend(totals.iter().map(|t| t / cycles * 1000.0));
+    debug_assert_eq!(out.len(), FEATURE_LEN);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_cpu::Trace;
+
+    #[test]
+    fn empty_trace_yields_zero_vector_of_right_length() {
+        let f = features_from_trace(&Trace::default());
+        assert_eq!(f.len(), FEATURE_LEN);
+        assert!(f.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn windows_aggregate_correctly() {
+        let t = Trace {
+            samples: vec![
+                {
+                    let mut w = [0.0; 11];
+                    w[0] = 2.0;
+                    w
+                },
+                {
+                    let mut w = [0.0; 11];
+                    w[0] = 4.0;
+                    w
+                },
+            ],
+            cycles: 1000,
+            ..Trace::default()
+        };
+        let f = features_from_trace(&t);
+        assert_eq!(f[0], 3.0, "mean of event 0");
+        assert_eq!(f[11], 1.0, "std of event 0");
+        assert_eq!(f[22], 4.0, "max of event 0");
+    }
+}

@@ -1,0 +1,140 @@
+//! k-fold cross-validation (the paper tunes the learning-based baselines
+//! with 10-fold CV).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Classifier;
+
+/// Produce `k` folds of indices over `n` samples, shuffled by `seed`.
+/// Every index appears in exactly one fold; fold sizes differ by at most 1.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k > 0, "k must be nonzero");
+    assert!(k <= n, "more folds than samples");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = vec![Vec::new(); k];
+    for (i, v) in idx.into_iter().enumerate() {
+        folds[i % k].push(v);
+    }
+    folds
+}
+
+/// Run k-fold cross-validation of a classifier factory over `(x, y)`,
+/// returning the mean held-out accuracy.
+pub fn cross_validate<C: Classifier>(
+    mut make: impl FnMut() -> C,
+    x: &[Vec<f64>],
+    y: &[usize],
+    k: usize,
+    seed: u64,
+) -> f64 {
+    let folds = kfold_indices(x.len(), k, seed);
+    let mut acc_sum = 0.0;
+    for held in &folds {
+        let held_set: std::collections::HashSet<usize> = held.iter().copied().collect();
+        let mut tx = Vec::new();
+        let mut ty = Vec::new();
+        for i in 0..x.len() {
+            if !held_set.contains(&i) {
+                tx.push(x[i].clone());
+                ty.push(y[i]);
+            }
+        }
+        let mut clf = make();
+        clf.fit(&tx, &ty);
+        let correct = held.iter().filter(|&&i| clf.predict(&x[i]) == y[i]).count();
+        acc_sum += correct as f64 / held.len().max(1) as f64;
+    }
+    acc_sum / k as f64
+}
+
+/// Select the best `k` for k-NN by `folds`-fold cross-validation (the
+/// paper tunes its baselines with 10-fold CV). Ties prefer the smaller
+/// `k`. Returns the chosen `k` and its CV accuracy.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or `folds` exceeds the sample count.
+pub fn tune_knn(
+    x: &[Vec<f64>],
+    y: &[usize],
+    candidates: &[usize],
+    folds: usize,
+    seed: u64,
+) -> (usize, f64) {
+    assert!(!candidates.is_empty(), "no candidate k values");
+    let mut best = (candidates[0], f64::MIN);
+    for &k in candidates {
+        let acc = cross_validate(|| crate::Knn::new(k), x, y, folds, seed);
+        if acc > best.1 {
+            best = (k, acc);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Knn;
+
+    #[test]
+    fn folds_partition_everything() {
+        let folds = kfold_indices(23, 5, 1);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert!((4..=5).contains(&f.len()));
+        }
+    }
+
+    #[test]
+    fn folds_are_seed_deterministic() {
+        assert_eq!(kfold_indices(10, 3, 7), kfold_indices(10, 3, 7));
+        assert_ne!(kfold_indices(10, 3, 7), kfold_indices(10, 3, 8));
+    }
+
+    #[test]
+    fn cv_accuracy_high_on_separable_data() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            x.push(vec![i as f64 * 0.01]);
+            y.push(0);
+            x.push(vec![100.0 + i as f64 * 0.01]);
+            y.push(1);
+        }
+        let acc = cross_validate(|| Knn::new(3), &x, &y, 10, 42);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than samples")]
+    fn too_many_folds_panics() {
+        let _ = kfold_indices(3, 5, 0);
+    }
+
+    #[test]
+    fn tune_knn_picks_a_sane_k() {
+        // two tight, well-separated blobs: any small k is perfect; the
+        // tie-break keeps the smallest candidate
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            x.push(vec![i as f64 * 0.01]);
+            y.push(0);
+            x.push(vec![50.0 + i as f64 * 0.01]);
+            y.push(1);
+        }
+        let (k, acc) = tune_knn(&x, &y, &[1, 3, 5, 7], 10, 3);
+        assert_eq!(k, 1);
+        assert!(acc > 0.95);
+    }
+}

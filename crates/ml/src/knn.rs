@@ -1,0 +1,119 @@
+//! k-nearest-neighbors (the KNN-MLFM baseline).
+
+use crate::{Classifier, Scaler};
+
+/// k-nearest-neighbors with Euclidean distance and majority vote
+/// (ties broken toward the nearer neighbor's class).
+#[derive(Debug, Clone)]
+pub struct Knn {
+    /// Number of neighbors consulted.
+    pub k: usize,
+    scaler: Scaler,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+}
+
+impl Knn {
+    /// A k-NN classifier with the given `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Knn {
+        assert!(k > 0, "k must be nonzero");
+        Knn {
+            k,
+            scaler: Scaler::default(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    fn dist2(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        self.scaler = Scaler::fit(x);
+        self.x = x.iter().map(|r| self.scaler.transform(r)).collect();
+        self.y = y.to_vec();
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        assert!(!self.x.is_empty(), "predict before fit");
+        let q = self.scaler.transform(x);
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| (Self::dist2(xi, &q), yi))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let k = self.k.min(dists.len());
+        let n_classes = self.y.iter().copied().max().unwrap_or(0) + 1;
+        let mut votes = vec![0usize; n_classes];
+        for (_, yi) in &dists[..k] {
+            votes[*yi] += 1;
+        }
+        let best_votes = *votes.iter().max().expect("nonempty");
+        // tie-break: nearest neighbor among tied classes
+        dists[..k]
+            .iter()
+            .find(|(_, yi)| votes[*yi] == best_votes)
+            .map(|(_, yi)| *yi)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbor_wins() {
+        let x = vec![vec![0.0], vec![10.0]];
+        let y = vec![0, 1];
+        let mut knn = Knn::new(1);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[1.0]), 0);
+        assert_eq!(knn.predict(&[9.0]), 1);
+    }
+
+    #[test]
+    fn majority_vote_with_k3() {
+        let x = vec![vec![0.0], vec![0.2], vec![0.4], vec![10.0]];
+        let y = vec![0, 0, 0, 1];
+        let mut knn = Knn::new(3);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[0.3]), 0);
+    }
+
+    #[test]
+    fn tie_breaks_to_nearest() {
+        let x = vec![vec![0.0], vec![2.0]];
+        let y = vec![0, 1];
+        let mut knn = Knn::new(2);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[0.5]), 0);
+        assert_eq!(knn.predict(&[1.5]), 1);
+    }
+
+    #[test]
+    fn k_larger_than_training_set_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 0];
+        let mut knn = Knn::new(10);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[0.5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be nonzero")]
+    fn zero_k_panics() {
+        let _ = Knn::new(0);
+    }
+}

@@ -1,0 +1,124 @@
+//! # sca-ml — from-scratch classifiers for the learning-based baselines
+//!
+//! The paper compares SCAGuard against three learning-based detectors:
+//!
+//! * **SVM-NW** — the support-vector-machine detector of NIGHTs-WATCH
+//!   (Mushtaq et al., HASP 2018),
+//! * **LR-NW** — its linear/logistic-regression detector,
+//! * **KNN-MLFM** — the k-nearest-neighbors malicious-loop finder
+//!   (Allaf et al., UKCI 2017).
+//!
+//! All three consume hardware-performance-counter time series. This crate
+//! reproduces them with small, dependency-free implementations: a linear
+//! SVM trained by SGD on the hinge loss, one-vs-rest logistic regression,
+//! and plain k-NN — plus the feature extraction from HPC sample windows
+//! and the 10-fold cross-validation harness the paper uses for tuning.
+//!
+//! ```
+//! use sca_ml::{Classifier, Knn};
+//!
+//! let x = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 4.9]];
+//! let y = vec![0, 0, 1, 1];
+//! let mut knn = Knn::new(1);
+//! knn.fit(&x, &y);
+//! assert_eq!(knn.predict(&[4.8, 5.2]), 1);
+//! ```
+
+mod features;
+mod kfold;
+mod knn;
+mod logreg;
+mod svm;
+
+pub use features::{features_from_trace, FEATURE_LEN};
+pub use kfold::{cross_validate, kfold_indices, tune_knn};
+pub use knn::Knn;
+pub use logreg::LogisticRegression;
+pub use svm::LinearSvm;
+
+/// A multi-class classifier over dense feature vectors.
+///
+/// Labels are dense class indices `0..n_classes`. Implementations
+/// standardize features internally during [`fit`](Classifier::fit).
+pub trait Classifier {
+    /// Train on feature matrix `x` (rows are samples) with labels `y`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` and `y` lengths differ or `x` is empty.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]);
+
+    /// Predict the class of one feature vector.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Predict a batch.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// Per-feature standardization parameters (fit on training data).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    pub(crate) fn fit(x: &[Vec<f64>]) -> Scaler {
+        let n = x.len() as f64;
+        let d = x[0].len();
+        let mut mean = vec![0.0; d];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; d];
+        for row in x {
+            for ((s, v), m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Scaler { mean, std }
+    }
+
+    pub(crate) fn transform(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_standardizes() {
+        let x = vec![vec![1.0, 10.0], vec![3.0, 30.0]];
+        let s = Scaler::fit(&x);
+        let t = s.transform(&[2.0, 20.0]);
+        assert!(t.iter().all(|v| v.abs() < 1e-9), "{t:?}");
+        let t2 = s.transform(&[3.0, 30.0]);
+        assert!((t2[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaler_handles_constant_features() {
+        let x = vec![vec![5.0], vec![5.0]];
+        let s = Scaler::fit(&x);
+        assert_eq!(s.transform(&[5.0]), vec![0.0]);
+    }
+}

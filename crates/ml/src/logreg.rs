@@ -1,0 +1,154 @@
+//! One-vs-rest logistic regression trained by full-batch gradient descent
+//! (the LR-NW baseline — NIGHTs-WATCH's regression-based detector).
+
+use crate::{Classifier, Scaler};
+
+/// One-vs-rest logistic regression.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// L2 regularization strength.
+    pub lambda: f64,
+    scaler: Scaler,
+    weights: Vec<Vec<f64>>,
+    n_classes: usize,
+}
+
+impl LogisticRegression {
+    /// Defaults used by the baseline reproduction.
+    pub fn new() -> LogisticRegression {
+        LogisticRegression {
+            learning_rate: 0.1,
+            iterations: 200,
+            lambda: 1e-4,
+            scaler: Scaler::default(),
+            weights: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    fn sigmoid(z: f64) -> f64 {
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    fn logit(w: &[f64], x: &[f64]) -> f64 {
+        let mut z = w[w.len() - 1];
+        for (wi, xi) in w.iter().zip(x) {
+            z += wi * xi;
+        }
+        z
+    }
+
+    /// The per-class probabilities for one sample (softmax-free OvR
+    /// sigmoid scores; not normalized).
+    pub fn scores(&self, x: &[f64]) -> Vec<f64> {
+        let xs = self.scaler.transform(x);
+        self.weights
+            .iter()
+            .map(|w| Self::sigmoid(Self::logit(w, &xs)))
+            .collect()
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> LogisticRegression {
+        LogisticRegression::new()
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        self.scaler = Scaler::fit(x);
+        let xs: Vec<Vec<f64>> = x.iter().map(|r| self.scaler.transform(r)).collect();
+        self.n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+        let d = xs[0].len();
+        let n = xs.len() as f64;
+        self.weights = vec![vec![0.0; d + 1]; self.n_classes];
+
+        for (class, w) in self.weights.iter_mut().enumerate() {
+            for _ in 0..self.iterations {
+                let mut grad = vec![0.0; d + 1];
+                for (xi, &yi) in xs.iter().zip(y) {
+                    let target = f64::from(yi == class);
+                    let err = Self::sigmoid(Self::logit(w, xi)) - target;
+                    for (g, v) in grad.iter_mut().zip(xi) {
+                        *g += err * v;
+                    }
+                    grad[d] += err;
+                }
+                for j in 0..d {
+                    w[j] -= self.learning_rate * (grad[j] / n + self.lambda * w[j]);
+                }
+                w[d] -= self.learning_rate * grad[d] / n;
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let s = self.scores(x);
+        s.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let j = i as f64 * 0.05;
+            x.push(vec![j, 0.0]);
+            y.push(0);
+            x.push(vec![10.0 - j, 10.0]);
+            y.push(1);
+        }
+        let mut lr = LogisticRegression::new();
+        lr.fit(&x, &y);
+        assert_eq!(lr.predict(&[0.5, 0.1]), 0);
+        assert_eq!(lr.predict(&[9.0, 9.5]), 1);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let x = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut lr = LogisticRegression::new();
+        lr.fit(&x, &y);
+        for s in lr.scores(&[5.0]) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn three_classes() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let j = i as f64 * 0.02;
+            x.push(vec![j, 0.0]);
+            y.push(0);
+            x.push(vec![5.0 + j, 5.0]);
+            y.push(1);
+            x.push(vec![0.0, 9.0 + j]);
+            y.push(2);
+        }
+        let mut lr = LogisticRegression::new();
+        lr.fit(&x, &y);
+        assert_eq!(lr.predict(&[0.1, 0.0]), 0);
+        assert_eq!(lr.predict(&[5.1, 5.0]), 1);
+        assert_eq!(lr.predict(&[0.0, 9.5]), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Linear SVM trained by stochastic gradient descent on the hinge loss,
+//! extended to multi-class by one-vs-rest (the SVM-NW baseline).
+
+use crate::{Classifier, Scaler};
+
+/// One-vs-rest linear support vector machine.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// L2 regularization strength.
+    pub lambda: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    scaler: Scaler,
+    /// Per-class weight vectors (with bias as the last element).
+    weights: Vec<Vec<f64>>,
+    n_classes: usize,
+}
+
+impl LinearSvm {
+    /// An SVM with the defaults the baseline reproduction uses
+    /// (`lambda = 1e-4`, 80 epochs).
+    pub fn new() -> LinearSvm {
+        LinearSvm {
+            lambda: 1e-4,
+            epochs: 80,
+            scaler: Scaler::default(),
+            weights: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    fn margin(w: &[f64], x: &[f64]) -> f64 {
+        let mut m = w[w.len() - 1]; // bias
+        for (wi, xi) in w.iter().zip(x) {
+            m += wi * xi;
+        }
+        m
+    }
+}
+
+impl Default for LinearSvm {
+    fn default() -> LinearSvm {
+        LinearSvm::new()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        self.scaler = Scaler::fit(x);
+        let xs: Vec<Vec<f64>> = x.iter().map(|r| self.scaler.transform(r)).collect();
+        self.n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+        let d = xs[0].len();
+        self.weights = vec![vec![0.0; d + 1]; self.n_classes];
+
+        // Pegasos-style SGD, deterministic order with a fixed stride walk.
+        for (class, w) in self.weights.iter_mut().enumerate() {
+            let mut t = 0usize;
+            for epoch in 0..self.epochs {
+                for step in 0..xs.len() {
+                    // deterministic pseudo-shuffle
+                    let i = (step * 7919 + epoch * 104729) % xs.len();
+                    t += 1;
+                    let eta = 1.0 / (self.lambda * t as f64);
+                    let yi = if y[i] == class { 1.0 } else { -1.0 };
+                    let m = Self::margin(w, &xs[i]);
+                    // L2 shrink (weights only, not bias)
+                    let shrink = 1.0 - eta * self.lambda;
+                    for wi in w.iter_mut().take(d) {
+                        *wi *= shrink;
+                    }
+                    if yi * m < 1.0 {
+                        for (wi, xi) in w.iter_mut().zip(&xs[i]) {
+                            *wi += eta * yi * xi;
+                        }
+                        w[d] += eta * yi;
+                    }
+                }
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let xs = self.scaler.transform(x);
+        let mut best = 0;
+        let mut best_m = f64::NEG_INFINITY;
+        for (c, w) in self.weights.iter().enumerate() {
+            let m = Self::margin(w, &xs);
+            if m > best_m {
+                best_m = m;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let j = i as f64 * 0.01;
+            x.push(vec![j, j]);
+            y.push(0);
+            x.push(vec![5.0 + j, 5.0 - j]);
+            y.push(1);
+            x.push(vec![-5.0 - j, 5.0 + j]);
+            y.push(2);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separable_blobs_are_classified() {
+        let (x, y) = blobs();
+        let mut svm = LinearSvm::new();
+        svm.fit(&x, &y);
+        assert_eq!(svm.predict(&[0.2, -0.1]), 0);
+        assert_eq!(svm.predict(&[5.2, 4.9]), 1);
+        assert_eq!(svm.predict(&[-4.9, 5.3]), 2);
+    }
+
+    #[test]
+    fn training_accuracy_is_high() {
+        let (x, y) = blobs();
+        let mut svm = LinearSvm::new();
+        svm.fit(&x, &y);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| svm.predict(xi) == yi)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_fit_panics() {
+        LinearSvm::new().fit(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let _ = LinearSvm::new().predict(&[1.0]);
+    }
+}

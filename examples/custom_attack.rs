@@ -1,0 +1,93 @@
+//! Write an attack in micro-ISA assembly text, assemble it, classify it,
+//! and get an explanation of the verdict — the full user-facing workflow
+//! without touching a builder API.
+//!
+//! ```sh
+//! cargo run --release --example custom_attack
+//! ```
+
+use scaguard_repro::attacks::poc::{self, PocParams};
+use scaguard_repro::attacks::AttackFamily;
+use scaguard_repro::core::{explain_similarity, Detector, ModelRepository, ModelingConfig};
+use scaguard_repro::cpu::Victim;
+use scaguard_repro::isa::assemble;
+
+const FLUSH_RELOAD_SASM: &str = r"
+; A hand-written, stripped-down Flush+Reload nobody has modeled: flush the
+; monitored shared lines, let the victim run, reload each line with timing
+; and record the fast ones. Shared region at 0x10000000.
+        mov r7, 0              ; round
+round:  mov r2, 0              ; line index
+flush:  mov r3, r2
+        shl r3, 6
+        add r3, 0x10000000
+        clflush [r3]
+        add r2, 1
+        cmp r2, 16
+        blt flush
+        vyield                 ; victim slot
+        mov r2, 0
+reload: mov r3, r2
+        shl r3, 6
+        add r3, 0x10000000
+        rdtscp r4
+        ld r6, [r3]            ; timed reload
+        rdtscp r5
+        sub r5, r4
+        cmp r5, 80
+        bge slow
+        mov r4, r2             ; fast -> record the hot line
+        shl r4, 3
+        add r4, 0x30000000
+        mov r5, 1
+        st [r4], r5
+slow:   add r2, 1
+        cmp r2, 16
+        blt reload
+        add r7, 1
+        cmp r7, 4
+        blt round
+        halt
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = assemble("my-flush-reload", FLUSH_RELOAD_SASM)?;
+    println!(
+        "assembled {} ({} instructions)",
+        program.name(),
+        program.len()
+    );
+
+    // Repository of known PoCs (one per family).
+    let config = ModelingConfig::default();
+    let params = PocParams::default();
+    let mut repo = ModelRepository::new();
+    for family in AttackFamily::ALL {
+        let s = poc::representative(family, &params);
+        repo.add_poc(family, &s.program, &s.victim, &config)?;
+    }
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+
+    // The hand-written attack runs against a shared-memory victim. Note
+    // that a *stripped-down* attack without the calibration/reporting
+    // scaffolding real PoCs share scores lower than the modeled families —
+    // this one clears the threshold on the strength of its flush/reload
+    // core alone.
+    let victim = Victim::shared_memory(0x1000_0000, 64, vec![5]);
+    let detection = detector.classify(&program, &victim, &config)?;
+    println!("verdict: {detection}");
+    assert!(detection.is_attack(), "the hand-written attack is caught");
+
+    // Explain the verdict: the DTW alignment against the best match.
+    if let Some((name, _, _)) = &detection.best {
+        let target = scaguard_repro::core::build_model(&program, &victim, &config)?;
+        let reference = detector
+            .repository()
+            .entries()
+            .iter()
+            .find(|e| &e.name == name)
+            .expect("best entry exists");
+        print!("{}", explain_similarity(&target.cst_bbs, &reference.model));
+    }
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! The paper's headline claim, live: detect *new* variants — mutated,
+//! Spectre-like, cross-family, and obfuscated — from a repository that has
+//! only ever seen one clean PoC per family.
+//!
+//! ```sh
+//! cargo run --release --example detect_variants
+//! ```
+
+use scaguard_repro::attacks::dataset::{mutated_family, obfuscated_family};
+use scaguard_repro::attacks::mutate::MutationConfig;
+use scaguard_repro::attacks::obfuscate::ObfuscationConfig;
+use scaguard_repro::attacks::poc::{self, PocParams};
+use scaguard_repro::attacks::{AttackFamily, Sample};
+use scaguard_repro::core::{Detector, ModelRepository, ModelingConfig};
+
+fn classify_batch(
+    detector: &Detector,
+    config: &ModelingConfig,
+    label: &str,
+    samples: &[Sample],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut detected = 0;
+    for s in samples {
+        let d = detector.classify(&s.program, &s.victim, config)?;
+        if d.is_attack() {
+            detected += 1;
+        }
+    }
+    println!(
+        "  {label:<28} {detected}/{} flagged as attacks",
+        samples.len()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ModelingConfig::default();
+    let params = PocParams::default();
+
+    // Repository: the defender knows only FR and PP (not the Spectre
+    // variants, not the mutants, not the obfuscations).
+    let mut repo = ModelRepository::new();
+    for family in [AttackFamily::FlushReload, AttackFamily::PrimeProbe] {
+        let poc = poc::representative(family, &params);
+        repo.add_poc(family, &poc.program, &poc.victim, &config)?;
+    }
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+
+    let n = 8;
+    let mutation = MutationConfig::default();
+    let obf = ObfuscationConfig::default();
+
+    println!("known to the defender: one FR PoC, one PP PoC\n");
+    classify_batch(
+        &detector,
+        &config,
+        "mutated FR variants",
+        &mutated_family(AttackFamily::FlushReload, n, 1, &mutation),
+    )?;
+    classify_batch(
+        &detector,
+        &config,
+        "mutated PP variants",
+        &mutated_family(AttackFamily::PrimeProbe, n, 2, &mutation),
+    )?;
+    classify_batch(
+        &detector,
+        &config,
+        "Spectre-like FR variants",
+        &mutated_family(AttackFamily::SpectreFlushReload, n, 3, &mutation),
+    )?;
+    classify_batch(
+        &detector,
+        &config,
+        "Spectre-like PP variants",
+        &mutated_family(AttackFamily::SpectrePrimeProbe, n, 4, &mutation),
+    )?;
+    classify_batch(
+        &detector,
+        &config,
+        "obfuscated FR variants",
+        &obfuscated_family(AttackFamily::FlushReload, n, 5, &obf),
+    )?;
+    classify_batch(
+        &detector,
+        &config,
+        "obfuscated PP variants",
+        &obfuscated_family(AttackFamily::PrimeProbe, n, 6, &obf),
+    )?;
+    classify_batch(
+        &detector,
+        &config,
+        "benign programs",
+        &scaguard_repro::attacks::benign::generate_mix(2 * n, 7),
+    )?;
+    Ok(())
+}

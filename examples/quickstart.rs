@@ -1,0 +1,44 @@
+//! Quickstart: build a model repository from known attack PoCs and
+//! classify a handful of programs the defender has never seen.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use scaguard_repro::attacks::benign::{self, Kind};
+use scaguard_repro::attacks::poc::{self, PocParams};
+use scaguard_repro::attacks::AttackFamily;
+use scaguard_repro::core::{Detector, ModelRepository, ModelingConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ModelingConfig::default();
+    let params = PocParams::default();
+
+    // 1. The defender models one PoC per known attack type.
+    println!("modeling one PoC per attack type...");
+    let mut repo = ModelRepository::new();
+    for family in AttackFamily::ALL {
+        let poc = poc::representative(family, &params);
+        repo.add_poc(family, &poc.program, &poc.victim, &config)?;
+        println!("  {} <- {}", family, poc.name());
+    }
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+
+    // 2. Classify unseen programs: attack variants the repository has
+    //    never seen, plus benign programs.
+    let targets = vec![
+        poc::flush_reload_mastik(&params), // unseen FR implementation
+        poc::flush_flush_iaik(&params),    // unseen FR-family variant
+        poc::prime_probe_jzhang(&params),  // unseen PP implementation
+        poc::spectre_fr_v2(&params),       // unseen Spectre variant
+        benign::generate(Kind::Crypto, 7), // AES-like benign kernel
+        benign::generate(Kind::Leetcode, 7),
+    ];
+
+    println!("\nclassifying {} unseen programs:", targets.len());
+    for target in &targets {
+        let detection = detector.classify(&target.program, &target.victim, &config)?;
+        println!("  {:<22} -> {}", target.name(), detection);
+    }
+    Ok(())
+}

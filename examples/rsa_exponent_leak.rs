@@ -1,0 +1,161 @@
+//! End-to-end RSA exponent recovery: Flush+Reload against a running
+//! square-and-multiply service — the classic attack the paper's
+//! introduction motivates.
+//!
+//! The victim (`victim_programs::rsa_service`) processes one exponent bit
+//! per scheduling quantum: the "square" routine touches shared line 0
+//! every bit, the "multiply" routine touches shared line 1 only when the
+//! bit is set. The attacker flushes both lines, yields one quantum, and
+//! reloads them with timing — a fast multiply-line reload means the bit
+//! was 1. Repeating this across quanta reads the exponent out bit by bit.
+//!
+//! ```sh
+//! cargo run --release --example rsa_exponent_leak
+//! ```
+
+use scaguard_repro::attacks::layout::{CALIBRATION_BASE, LINE, RESULT_BASE, SHARED_BASE};
+use scaguard_repro::attacks::poc::{self, PocParams};
+use scaguard_repro::attacks::victim_programs::rsa_service;
+use scaguard_repro::attacks::{AttackFamily, Sample};
+use scaguard_repro::core::{Detector, ModelRepository, ModelingConfig};
+use scaguard_repro::cpu::{CpuConfig, Machine, Victim};
+use scaguard_repro::isa::{AluOp, Cond, MemRef, Program, ProgramBuilder, Reg};
+
+const EXPONENT_BITS: u32 = 16;
+
+/// Build the per-bit Flush+Reload attacker: round `r` flushes both
+/// code-path lines, yields one quantum, and records which lines reload
+/// fast. Slot `2r` holds the square line's flag, slot `2r + 1` the
+/// multiply line's — the multiply flag *is* exponent bit `r`.
+///
+/// Like every real PoC it starts by calibrating load latency against a
+/// few scratch lines (the same utility the stock PoCs share).
+fn build_attacker(rounds: i64, reload_threshold: i64) -> Program {
+    let mut b = ProgramBuilder::new("FR-rsa-bits");
+    let (round, addr, t0, t1, slot, i, mark) =
+        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+
+    // latency calibration: time a cold load then a warm reload of a few
+    // scratch lines
+    b.mov_imm(i, 0);
+    let cal_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, CALIBRATION_BASE as i64);
+    b.rdtscp(t0);
+    b.load(t1, MemRef::base(addr));
+    b.rdtscp(t1);
+    b.rdtscp(t0);
+    b.load(t1, MemRef::base(addr));
+    b.rdtscp(t1);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, 4);
+    b.br(Cond::Lt, cal_top);
+
+    b.mov_imm(mark, 1);
+    b.mov_imm(round, 0);
+    let top = b.here();
+    // evict both shared code-path lines
+    b.mov_imm(i, 0);
+    let flush_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.clflush(MemRef::base(addr));
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, 2);
+    b.br(Cond::Lt, flush_top);
+    // let the service process exactly one exponent bit
+    b.vyield();
+    // timed reload of each monitored line
+    b.mov_imm(i, 0);
+    let reload_top = b.here();
+    b.mov_reg(addr, i);
+    b.alu_imm(AluOp::Shl, addr, 6);
+    b.alu_imm(AluOp::Add, addr, SHARED_BASE as i64);
+    b.rdtscp(t0);
+    b.load(t1, MemRef::base(addr));
+    b.rdtscp(t1);
+    b.alu(AluOp::Sub, t1, t0);
+    // record hit at RESULT_BASE + (round * 2 + i) * 8
+    b.cmp_imm(t1, reload_threshold);
+    let miss = b.new_label();
+    b.br(Cond::Ge, miss);
+    b.mov_reg(slot, round);
+    b.alu_imm(AluOp::Shl, slot, 1);
+    b.alu(AluOp::Add, slot, i);
+    b.alu_imm(AluOp::Shl, slot, 3);
+    b.alu_imm(AluOp::Add, slot, RESULT_BASE as i64);
+    b.store(mark, MemRef::base(slot));
+    b.bind(miss);
+    b.alu_imm(AluOp::Add, i, 1);
+    b.cmp_imm(i, 2);
+    b.br(Cond::Lt, reload_top);
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, rounds);
+    b.br(Cond::Lt, top);
+    b.halt();
+    b.build()
+}
+
+fn main() {
+    let secret_exponent: u64 = 0b1101_0010_1011_0110;
+    let params = PocParams::default();
+    let rounds = i64::from(EXPONENT_BITS) * 2; // read the exponent twice
+
+    let attacker = build_attacker(rounds, params.reload_threshold);
+    let victim = rsa_service(secret_exponent, EXPONENT_BITS);
+
+    let mut m = Machine::new(CpuConfig::default());
+    let trace = m.run_pair(&attacker, &victim, 64).expect("run_pair");
+    assert!(trace.halted, "attacker must run to completion");
+
+    // Quantum r processed exponent bit r (mod EXPONENT_BITS); the
+    // multiply-line flag of round r lives in slot 2r + 1.
+    let multiply_hit =
+        |r: u64| m.read_word(RESULT_BASE + (r * 2 + 1) * 8) != 0;
+    let square_hits = (0..rounds as u64)
+        .filter(|&r| m.read_word(RESULT_BASE + r * 2 * 8) != 0)
+        .count();
+    let mut recovered: u64 = 0;
+    for bit in 0..u64::from(EXPONENT_BITS) {
+        if multiply_hit(bit) {
+            recovered |= 1 << bit;
+        }
+    }
+    let second_read: u64 = (0..u64::from(EXPONENT_BITS))
+        .filter(|&bit| multiply_hit(bit + u64::from(EXPONENT_BITS)))
+        .fold(0, |acc, bit| acc | (1 << bit));
+    assert_eq!(
+        square_hits,
+        rounds as usize,
+        "the square routine runs every bit — sanity check on alignment"
+    );
+
+    println!("secret exponent : {secret_exponent:#018b}");
+    println!("recovered (1st) : {recovered:#018b}");
+    println!("recovered (2nd) : {second_read:#018b}");
+    assert_eq!(recovered, secret_exponent, "first read must match");
+    assert_eq!(second_read, secret_exponent, "second read must match");
+    println!("full {EXPONENT_BITS}-bit exponent recovered through the cache, twice.");
+
+    // And SCAGuard, knowing only the stock PoCs, flags this custom tool.
+    let mut repo = ModelRepository::new();
+    let config = ModelingConfig::default();
+    for family in AttackFamily::ALL {
+        let s = poc::representative(family, &params);
+        repo.add_poc(family, &s.program, &s.victim, &config)
+            .expect("model PoC");
+    }
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+    let sample = Sample::new(
+        attacker,
+        Victim::shared_memory(SHARED_BASE, LINE, vec![0]),
+        scaguard_repro::attacks::Label::Attack(AttackFamily::FlushReload),
+    );
+    let verdict = detector
+        .classify(&sample.program, &sample.victim, &config)
+        .expect("classify");
+    println!("SCAGuard verdict on the attacker: {verdict}");
+    assert!(verdict.is_attack(), "the exfiltration tool must be flagged");
+}

@@ -1,0 +1,41 @@
+//! Reproduce Fig. 5: sweep the similarity threshold and print the
+//! precision/recall/F1 curves, with the >90% plateau highlighted.
+//!
+//! ```sh
+//! cargo run --release --example threshold_sweep [per_type]
+//! ```
+
+use scaguard_repro::eval::experiments::threshold_sweep;
+use scaguard_repro::eval::EvalConfig;
+
+fn bar(x: f64) -> String {
+    let filled = (x * 40.0).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(40 - filled))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let per_type: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let cfg = EvalConfig::small(per_type);
+    println!("Fig. 5 reproduction ({per_type} variants per type)\n");
+    println!("{:>6} {:>8} {:>8} {:>8}  F1", "thresh", "P", "R", "F1");
+    for p in threshold_sweep(&cfg)? {
+        let plateau = if p.precision > 0.9 && p.recall > 0.9 && p.f1 > 0.9 {
+            " <- plateau"
+        } else {
+            ""
+        };
+        println!(
+            "{:>5.0}% {:>7.1}% {:>7.1}% {:>7.1}%  {}{}",
+            p.threshold * 100.0,
+            p.precision * 100.0,
+            p.recall * 100.0,
+            p.f1 * 100.0,
+            bar(p.f1),
+            plateau
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # scaguard-repro — umbrella crate for the SCAGuard reproduction
+//!
+//! A full reproduction of *SCAGuard: Detection and Classification of Cache
+//! Side-Channel Attacks via Attack Behavior Modeling and Similarity
+//! Comparison* (Wang, Bu, Song — DAC 2023), including every substrate the
+//! paper depends on. This crate re-exports the workspace so downstream
+//! users (and the runnable examples under `examples/`) need a single
+//! dependency:
+//!
+//! * [`isa`] — the micro-ISA programs are written in;
+//! * [`cache`] — the set-associative cache model and hierarchy;
+//! * [`cpu`] — the simulated CPU (HPC events, speculation, victims);
+//! * [`cfg`](mod@cfg) — control-flow graphs and Algorithm 1's graph primitives;
+//! * [`attacks`] — attack PoCs, benign workloads, mutation, obfuscation;
+//! * [`core`] — SCAGuard itself: CST-BBS modeling, DTW similarity,
+//!   detection and classification;
+//! * [`ml`] — the learning-based baseline classifiers;
+//! * [`baselines`] — all five detection approaches behind one trait;
+//! * [`eval`] — the paper's tables and figures as experiment drivers.
+//!
+//! ```no_run
+//! use scaguard_repro::attacks::poc::{self, PocParams};
+//! use scaguard_repro::attacks::AttackFamily;
+//! use scaguard_repro::core::{Detector, ModelRepository, ModelingConfig};
+//!
+//! # fn main() -> Result<(), scaguard_repro::core::ModelError> {
+//! let config = ModelingConfig::default();
+//! let mut repo = ModelRepository::new();
+//! for family in AttackFamily::ALL {
+//!     let poc = poc::representative(family, &PocParams::default());
+//!     repo.add_poc(family, &poc.program, &poc.victim, &config)?;
+//! }
+//! let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+//! let target = poc::flush_flush_iaik(&PocParams::default());
+//! let verdict = detector.classify(&target.program, &target.victim, &config)?;
+//! println!("{verdict}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use sca_attacks as attacks;
+pub use sca_baselines as baselines;
+pub use sca_cache as cache;
+pub use sca_cfg as cfg;
+pub use sca_cpu as cpu;
+pub use sca_eval as eval;
+pub use sca_isa as isa;
+pub use sca_ml as ml;
+pub use scaguard as core;

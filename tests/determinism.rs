@@ -1,0 +1,73 @@
+//! Reproducibility integration: the entire stack — dataset generation,
+//! simulation, modeling, scoring — is a pure function of its seeds.
+
+use scaguard_repro::attacks::poc::{self, PocParams};
+use scaguard_repro::attacks::{Dataset, DatasetConfig};
+use scaguard_repro::core::{build_model, similarity_score, ModelingConfig};
+use scaguard_repro::cpu::{CpuConfig, Machine};
+
+#[test]
+fn dataset_generation_is_bit_for_bit_reproducible() {
+    let a = Dataset::build(&DatasetConfig::small(4));
+    let b = Dataset::build(&DatasetConfig::small(4));
+    assert_eq!(a.attacks.len(), b.attacks.len());
+    for (x, y) in a.attacks.iter().zip(&b.attacks) {
+        assert_eq!(x.program.insts(), y.program.insts(), "{}", x.name());
+        assert_eq!(x.label, y.label);
+    }
+    for (x, y) in a.benign.iter().zip(&b.benign) {
+        assert_eq!(x.program.insts(), y.program.insts());
+    }
+}
+
+#[test]
+fn execution_traces_are_deterministic() {
+    let s = poc::prime_probe_iaik(&PocParams::default());
+    let run = || {
+        let mut m = Machine::new(CpuConfig::default());
+        m.run(&s.program, &s.victim).expect("run")
+    };
+    let (t1, t2) = (run(), run());
+    assert_eq!(t1.cycles, t2.cycles);
+    assert_eq!(t1.steps, t2.steps);
+    assert_eq!(t1.totals, t2.totals);
+    assert_eq!(t1.set_trace.len(), t2.set_trace.len());
+    assert_eq!(t1.samples, t2.samples);
+}
+
+#[test]
+fn models_and_scores_are_deterministic() {
+    let config = ModelingConfig::default();
+    let params = PocParams::default();
+    let a = poc::flush_reload_iaik(&params);
+    let b = poc::spectre_fr_v1(&params);
+    let model = |s: &scaguard_repro::attacks::Sample| {
+        build_model(&s.program, &s.victim, &config)
+            .expect("model")
+            .cst_bbs
+    };
+    let (ma1, ma2) = (model(&a), model(&a));
+    assert_eq!(ma1, ma2);
+    let (mb1, mb2) = (model(&b), model(&b));
+    let s1 = similarity_score(&ma1, &mb1);
+    let s2 = similarity_score(&ma2, &mb2);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn different_seeds_give_different_datasets() {
+    let a = Dataset::build(&DatasetConfig {
+        seed: 1,
+        ..DatasetConfig::small(3)
+    });
+    let b = Dataset::build(&DatasetConfig {
+        seed: 2,
+        ..DatasetConfig::small(3)
+    });
+    let differs = a
+        .attacks
+        .iter()
+        .zip(&b.attacks)
+        .any(|(x, y)| x.program.insts() != y.program.insts());
+    assert!(differs, "seeds must influence generation");
+}

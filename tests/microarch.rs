@@ -1,0 +1,223 @@
+//! Microarchitectural regression tests for the Prime+Probe traversal
+//! disciplines (see DESIGN.md §8 and the `sca_attacks::poc::prime_probe`
+//! module docs).
+//!
+//! These lock in three hard-won findings about running eviction-set
+//! attacks on an out-of-order core:
+//!
+//! 1. an *unmasked, forward-probing* traversal destroys its own signal
+//!    (wrong-path loop-exit loads evict primed lines, and the forward
+//!    scan cascades the resulting misses across every way);
+//! 2. the shipped PoCs (masked + zig-zag) recover exactly the victim's
+//!    set — a differential signal, not an all-slow scan;
+//! 3. the obfuscation engine never pads measured timing windows, so
+//!    rewritten attacks remain *functional*.
+
+use scaguard_repro::attacks::layout::{
+    prime_addr, LINE, LLC_SETS, MONITOR_SET_BASE, RESULT_BASE, VICTIM_CONFLICT_BASE,
+};
+use scaguard_repro::attacks::obfuscate::{obfuscate, ObfuscationConfig};
+use scaguard_repro::attacks::poc::{self, PocParams};
+use scaguard_repro::cpu::{CpuConfig, Machine, Victim};
+use scaguard_repro::isa::{AluOp, Cond, Inst, MemRef, Program, ProgramBuilder, Reg};
+
+fn slow_sets(program: &Program, victim: &Victim, sets: u64) -> Vec<u64> {
+    let mut m = Machine::new(CpuConfig::default());
+    let t = m.run(program, victim).expect("run");
+    assert!(t.halted, "PoC must halt");
+    (0..sets)
+        .filter(|s| m.read_word(RESULT_BASE + s * 8) != 0)
+        .collect()
+}
+
+fn conflict_victim(secrets: Vec<u64>) -> Victim {
+    Victim::set_conflict(
+        VICTIM_CONFLICT_BASE + MONITOR_SET_BASE * LINE,
+        LINE,
+        secrets,
+    )
+}
+
+/// A deliberately naive Prime+Probe: no way-index mask, forward probe
+/// order (same direction as prime). This is the "textbook" loop a first
+/// implementation writes.
+fn naive_prime_probe(sets: i64, ways: i64, rounds: i64, threshold: i64) -> Program {
+    let mut b = ProgramBuilder::new("PP-naive");
+    let (s, w, addr, t0, t1, v, round) = (
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R8,
+        Reg::R7,
+    );
+    let stride = (LLC_SETS * LINE) as i64;
+    b.mov_imm(round, 0);
+    let round_top = b.here();
+
+    // prime, ways ascending, no mask
+    b.mov_imm(s, 0);
+    let pst = b.here();
+    b.mov_imm(w, 0);
+    let pwt = b.here();
+    b.mov_reg(addr, w);
+    b.alu_imm(AluOp::Mul, addr, stride);
+    b.mov_reg(v, s);
+    b.alu_imm(AluOp::Shl, v, 6);
+    b.alu(AluOp::Add, addr, v);
+    b.alu_imm(AluOp::Add, addr, prime_addr(MONITOR_SET_BASE, 0) as i64);
+    b.load(v, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, w, 1);
+    b.cmp_imm(w, ways);
+    b.br(Cond::Lt, pwt);
+    b.alu_imm(AluOp::Add, s, 1);
+    b.cmp_imm(s, sets);
+    b.br(Cond::Lt, pst);
+
+    b.vyield();
+
+    // probe, ways ascending too (the naive mistake), no mask
+    b.mov_imm(s, 0);
+    let qst = b.here();
+    b.rdtscp(t0);
+    b.mov_imm(w, 0);
+    let qwt = b.here();
+    b.mov_reg(addr, w);
+    b.alu_imm(AluOp::Mul, addr, stride);
+    b.mov_reg(v, s);
+    b.alu_imm(AluOp::Shl, v, 6);
+    b.alu(AluOp::Add, addr, v);
+    b.alu_imm(AluOp::Add, addr, prime_addr(MONITOR_SET_BASE, 0) as i64);
+    b.load(v, MemRef::base(addr));
+    b.alu_imm(AluOp::Add, w, 1);
+    b.cmp_imm(w, ways);
+    b.br(Cond::Lt, qwt);
+    b.rdtscp(t1);
+    b.alu(AluOp::Sub, t1, t0);
+    b.cmp_imm(t1, threshold);
+    let fast = b.new_label();
+    b.br(Cond::Lt, fast);
+    b.mov_reg(addr, s);
+    b.alu_imm(AluOp::Shl, addr, 3);
+    b.alu_imm(AluOp::Add, addr, RESULT_BASE as i64);
+    b.store(round, MemRef::base(addr));
+    b.bind(fast);
+    b.alu_imm(AluOp::Add, s, 1);
+    b.cmp_imm(s, sets);
+    b.br(Cond::Lt, qst);
+
+    b.alu_imm(AluOp::Add, round, 1);
+    b.cmp_imm(round, rounds);
+    b.br(Cond::Lt, round_top);
+    b.halt();
+    b.build()
+}
+
+#[test]
+fn naive_forward_probe_has_no_differential_signal() {
+    // Whatever the threshold, the naive traversal either flags everything
+    // (the wrong-path/cascade floor is above it) or nothing (it is below
+    // the all-miss plateau) — it never isolates the victim's set.
+    let victim = conflict_victim(vec![3, 3, 3]);
+    for threshold in (300..2600).step_by(100) {
+        let p = naive_prime_probe(8, 16, 3, threshold);
+        let slow = slow_sets(&p, &victim, 8);
+        assert!(
+            slow.len() == 8 || slow.is_empty(),
+            "naive PP unexpectedly found a differential at threshold \
+             {threshold}: {slow:?} — if this starts passing, the machine's \
+             speculation model changed and the PoC docs need revisiting"
+        );
+    }
+}
+
+#[test]
+fn shipped_pocs_recover_exactly_the_victim_set_for_every_secret() {
+    for secret in 0..8u64 {
+        let params = PocParams::default().with_secrets(vec![secret; 4]);
+        for (name, s) in [
+            ("PP-IAIK", poc::prime_probe_iaik(&params)),
+            ("PP-Jzhang", poc::prime_probe_jzhang(&params)),
+            ("PP-Percival", poc::prime_probe_percival(&params)),
+        ] {
+            let slow = slow_sets(&s.program, &s.victim, params.prime_sets);
+            assert_eq!(
+                slow,
+                vec![secret],
+                "{name} must isolate set {secret}"
+            );
+        }
+    }
+}
+
+#[test]
+fn spectre_pp_flags_the_trained_and_secret_sets_only() {
+    let params = PocParams::default();
+    let s = poc::spectre_pp_trippel(&params);
+    let slow = slow_sets(&s.program, &s.victim, params.probe_lines);
+    // Set 0 is the gadget's in-bounds training value (array1[x] == 0), an
+    // authentic artifact of every Spectre PoC; the other hot set is the
+    // transiently-leaked secret.
+    assert_eq!(
+        slow,
+        vec![0, params.spectre_secret],
+        "S-PP must flag exactly the trained-value set and the secret set"
+    );
+}
+
+/// Committed instructions inside measured timing windows (between the
+/// first and second `rdtscp` of each pair, by parity scan).
+fn measured_inst_count(p: &Program) -> usize {
+    let mut inside = false;
+    let mut n = 0;
+    for inst in p.insts() {
+        if matches!(inst, Inst::Rdtscp { .. }) {
+            inside = !inside;
+            continue;
+        }
+        if inside {
+            n += 1;
+        }
+    }
+    n
+}
+
+#[test]
+fn obfuscation_never_pads_measured_timing_windows() {
+    let params = PocParams::default();
+    let cfg = ObfuscationConfig::default();
+    for (sample, _) in poc::all_pocs(&params) {
+        let before = measured_inst_count(&sample.program);
+        for seed in 0..6u64 {
+            let obf = obfuscate(&sample.program, seed, &cfg);
+            assert_eq!(
+                measured_inst_count(&obf),
+                before,
+                "{} seed {seed}: junk landed inside a timing window",
+                sample.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn obfuscated_pp_attacks_remain_functional() {
+    let params = PocParams::default().with_secrets(vec![6, 6, 6, 6]);
+    let cfg = ObfuscationConfig::default();
+    for (name, s) in [
+        ("PP-IAIK", poc::prime_probe_iaik(&params)),
+        ("PP-Jzhang", poc::prime_probe_jzhang(&params)),
+        ("PP-Percival", poc::prime_probe_percival(&params)),
+    ] {
+        for seed in 0..6u64 {
+            let obf = obfuscate(&s.program, seed, &cfg);
+            let slow = slow_sets(&obf, &s.victim, params.prime_sets);
+            assert_eq!(
+                slow,
+                vec![6],
+                "{name} seed {seed}: obfuscation broke the differential"
+            );
+        }
+    }
+}

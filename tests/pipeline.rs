@@ -1,0 +1,117 @@
+//! End-to-end pipeline integration: PoC generation → simulated execution →
+//! CFG → attack-relevant identification → CST-BBS → similarity.
+
+use scaguard_repro::attacks::poc::{self, PocParams};
+use scaguard_repro::attacks::AttackFamily;
+use scaguard_repro::cfg::Cfg;
+use scaguard_repro::core::{build_model, similarity_score, ModelingConfig};
+use scaguard_repro::cpu::{CpuConfig, Machine};
+
+#[test]
+fn every_poc_flows_through_the_whole_pipeline() {
+    let config = ModelingConfig::default();
+    for (sample, family) in poc::all_pocs(&PocParams::default()) {
+        // execution
+        let mut machine = Machine::new(CpuConfig::default());
+        let trace = machine
+            .run(&sample.program, &sample.victim)
+            .expect("trace collection");
+        assert!(trace.halted, "{} must halt", sample.name());
+        assert!(
+            trace.totals.hpc_value() > 0,
+            "{} must produce HPC events",
+            sample.name()
+        );
+
+        // static analysis
+        let cfg = Cfg::build(&sample.program);
+        assert!(cfg.len() > 5, "{} has a nontrivial CFG", sample.name());
+
+        // modeling
+        let outcome = build_model(&sample.program, &sample.victim, &config).expect("model");
+        assert!(
+            !outcome.cst_bbs.is_empty(),
+            "{} ({family}) must yield a nonempty model",
+            sample.name()
+        );
+        assert!(
+            outcome.relevant_bbs.len() < outcome.cfg.len(),
+            "{} must eliminate some blocks",
+            sample.name()
+        );
+        // every model block is attack-relevant per the outcome
+        assert_eq!(outcome.cst_bbs.len(), outcome.relevant_bbs.len());
+    }
+}
+
+#[test]
+fn self_similarity_is_perfect_and_table_v_ordering_holds() {
+    let config = ModelingConfig::default();
+    let params = PocParams::default();
+    let model = |s: &scaguard_repro::attacks::Sample| {
+        build_model(&s.program, &s.victim, &config)
+            .expect("model")
+            .cst_bbs
+    };
+    let fr = model(&poc::flush_reload_iaik(&params));
+    assert_eq!(similarity_score(&fr, &fr), 1.0);
+
+    let s1 = similarity_score(&fr, &model(&poc::flush_reload_mastik(&params)));
+    let s2 = similarity_score(&fr, &model(&poc::evict_reload_iaik(&params)));
+    let s3 = similarity_score(&fr, &model(&poc::prime_probe_iaik(&params)));
+    let s5 = similarity_score(
+        &fr,
+        &model(&scaguard_repro::attacks::benign::generate(
+            scaguard_repro::attacks::benign::Kind::Crypto,
+            3,
+        )),
+    );
+    assert!(s1 > s3, "same-family beats cross-family: {s1:.3} vs {s3:.3}");
+    assert!(s2 > s5, "variants beat benign: {s2:.3} vs {s5:.3}");
+    assert!(s3 > s5, "cross-family beats benign: {s3:.3} vs {s5:.3}");
+}
+
+#[test]
+fn spectre_models_depend_on_speculation() {
+    // With speculation disabled, the transient gadget never fills the
+    // cache, so the Spectre PoC's model loses its leak-specific blocks.
+    let params = PocParams::default();
+    let s = poc::spectre_fr_v1(&params);
+    let with_spec = build_model(&s.program, &s.victim, &ModelingConfig::default())
+        .expect("model")
+        .cst_bbs;
+    let no_spec_cfg = ModelingConfig {
+        cpu: CpuConfig {
+            spec_window: 0,
+            ..CpuConfig::default()
+        },
+        ..ModelingConfig::default()
+    };
+    let without_spec = build_model(&s.program, &s.victim, &no_spec_cfg)
+        .expect("model")
+        .cst_bbs;
+    // both model fine, but they are measurably different programs
+    assert!(!with_spec.is_empty() && !without_spec.is_empty());
+    assert!(
+        similarity_score(&with_spec, &without_spec) < 1.0,
+        "speculation must leave a visible trace in the model"
+    );
+}
+
+#[test]
+fn ground_truth_coverage_is_high_for_all_families() {
+    use scaguard_repro::core::modeling::BbIdentificationStats;
+    let config = ModelingConfig::default();
+    let mut total = BbIdentificationStats::default();
+    for (sample, _) in poc::all_pocs(&PocParams::default()) {
+        let outcome = build_model(&sample.program, &sample.victim, &config).expect("model");
+        let stats = BbIdentificationStats::compute(&sample.program, &outcome);
+        total.merge(&stats);
+    }
+    assert!(
+        total.accuracy() >= 0.95,
+        "aggregate #ITAB/#TAB accuracy {:.3} (paper: 97.06%)",
+        total.accuracy()
+    );
+    let _ = AttackFamily::ALL;
+}
