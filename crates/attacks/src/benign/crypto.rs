@@ -5,8 +5,7 @@
 //! data-dependent table lookups, but they lack the flush/evict + timed
 //! re-access structure that defines a CSCA.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sca_isa::rng::SmallRng;
 
 use sca_isa::{AluOp, Cond, MemRef, ProgramBuilder, Reg};
 
@@ -17,7 +16,7 @@ const SBOX: u64 = BENIGN_BASE + 0x40000;
 const STATE_OUT: u64 = BENIGN_BASE + 0x50000;
 
 /// Pick and emit one crypto kernel.
-pub fn generate(rng: &mut StdRng) -> Sample {
+pub fn generate(rng: &mut SmallRng) -> Sample {
     match rng.gen_range(0..4u32) {
         0 => aes_like(
             rng.gen_range(6..14),
@@ -193,13 +192,12 @@ fn stream_cipher(len: i64, key: i64) -> Sample {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sca_cpu::{CpuConfig, Machine, Victim};
 
     #[test]
     fn all_crypto_kernels_halt() {
         for seed in 0..12u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
             let s = generate(&mut rng);
             let mut m = Machine::new(CpuConfig::default());
             let t = m.run(&s.program, &Victim::None).expect("run");

@@ -1,7 +1,6 @@
 //! LeetCode-style benign kernels: sorts, searches, dynamic programming.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sca_isa::rng::SmallRng;
 
 use sca_isa::{AluOp, Cond, MemRef, ProgramBuilder, Reg};
 
@@ -29,7 +28,7 @@ pub(crate) fn emit_array_init(b: &mut ProgramBuilder, base: u64, n: i64, mul: i6
 }
 
 /// Pick and emit one of the LeetCode-style kernels.
-pub fn generate(rng: &mut StdRng) -> Sample {
+pub fn generate(rng: &mut SmallRng) -> Sample {
     let kernel = rng.gen_range(0..14u32);
     let n = rng.gen_range(24..96i64);
     let mul = rng.gen_range(3..9i64) * 2 + 1;
@@ -760,13 +759,12 @@ fn tokenizer(len: i64, mul: i64, add: i64) -> Sample {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sca_cpu::{CpuConfig, Machine, Victim};
 
     #[test]
     fn all_kernels_halt() {
         for seed in 0..16u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
             let s = generate(&mut rng);
             let mut m = Machine::new(CpuConfig::default());
             let t = m.run(&s.program, &Victim::None).expect("run");

@@ -20,8 +20,7 @@ mod leetcode;
 mod server;
 mod spec;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sca_isa::rng::SmallRng;
 
 use crate::sample::Sample;
 
@@ -56,7 +55,7 @@ impl Kind {
 /// Generate one benign sample of `kind` from `seed`. Distinct seeds vary
 /// the kernel selected within the category and its sizes/constants.
 pub fn generate(kind: Kind, seed: u64) -> Sample {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xbe_0196);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xbe_0196);
     match kind {
         Kind::Spec => spec::generate(&mut rng),
         Kind::Leetcode => leetcode::generate(&mut rng),
@@ -74,7 +73,7 @@ pub fn generate_mix(total: usize, seed: u64) -> Vec<Sample> {
         .collect();
     let table_total: usize = weights.iter().map(|(_, c)| c).sum();
     let mut out = Vec::with_capacity(total);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     for i in 0..total {
         // Proportional allocation matching Table III (exact at total=400).
         let slot = (i * table_total) / total;

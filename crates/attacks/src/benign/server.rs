@@ -2,8 +2,7 @@
 //! hash tables and per-type counters (the SQLite/OpenSSH/thttpd row of
 //! Table III).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sca_isa::rng::SmallRng;
 
 use sca_isa::{AluOp, Cond, MemRef, ProgramBuilder, Reg};
 
@@ -15,7 +14,7 @@ const COUNTERS: u64 = BENIGN_BASE + 0x210000;
 const BUCKETS: u64 = BENIGN_BASE + 0x220000;
 
 /// Pick and emit one server kernel.
-pub fn generate(rng: &mut StdRng) -> Sample {
+pub fn generate(rng: &mut SmallRng) -> Sample {
     match rng.gen_range(0..4u32) {
         0 => dispatch_loop(rng.gen_range(64..256), rng.gen_range(3..7)),
         1 => connection_cache(rng.gen_range(48..160), 1 << rng.gen_range(3..5u32)),
@@ -302,13 +301,12 @@ mod tests {
     }
 
     use super::*;
-    use rand::SeedableRng;
     use sca_cpu::{CpuConfig, Machine, Victim};
 
     #[test]
     fn all_server_kernels_halt() {
         for seed in 0..8u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
             let s = generate(&mut rng);
             let mut m = Machine::new(CpuConfig::default());
             let t = m.run(&s.program, &Victim::None).expect("run");

@@ -1,7 +1,6 @@
 //! SPEC2006-like streaming kernels: regular, high-volume memory traffic.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sca_isa::rng::SmallRng;
 
 use sca_isa::{AluOp, Cond, MemRef, ProgramBuilder, Reg};
 
@@ -12,7 +11,7 @@ const SRC: u64 = BENIGN_BASE + 0x100000;
 const DST: u64 = BENIGN_BASE + 0x180000;
 
 /// Pick and emit one streaming kernel.
-pub fn generate(rng: &mut StdRng) -> Sample {
+pub fn generate(rng: &mut SmallRng) -> Sample {
     match rng.gen_range(0..4u32) {
         0 => stream_copy(rng.gen_range(128..512), rng.gen_range(1..4)),
         1 => strided_sum(rng.gen_range(128..512), rng.gen_range(1..9)),
@@ -147,13 +146,12 @@ fn stencil3(n: i64) -> Sample {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sca_cpu::{CpuConfig, Machine, Victim};
 
     #[test]
     fn all_spec_kernels_halt_with_traffic() {
         for seed in 0..9u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
             let s = generate(&mut rng);
             let mut m = Machine::new(CpuConfig::default());
             let t = m.run(&s.program, &Victim::None).expect("run");

@@ -1,8 +1,7 @@
 //! Dataset assembly (Tables II and III): mutated attack variants per
 //! family, the benign mix, and obfuscated variants for E4.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sca_isa::rng::SmallRng;
 
 use crate::benign;
 use crate::mutate::{mutate, MutationConfig};
@@ -56,7 +55,7 @@ impl Default for DatasetConfig {
 /// Draw a parameter variation for one mutant: the paper's mutation operates
 /// on PoC source code, which perturbs loop bounds and constants as well as
 /// instructions; we mirror that by varying the generator parameters.
-fn vary_params(rng: &mut StdRng) -> PocParams {
+fn vary_params(rng: &mut SmallRng) -> PocParams {
     let probe_lines = rng.gen_range(8..24u64);
     let prime_sets = rng.gen_range(6..12u64);
     let max_secret = probe_lines.min(prime_sets);
@@ -82,7 +81,7 @@ pub fn mutated_family(
     seed: u64,
     mutation: &MutationConfig,
 ) -> Vec<Sample> {
-    let mut rng = StdRng::seed_from_u64(seed ^ family as u64);
+    let mut rng = SmallRng::seed_from_u64(seed ^ family as u64);
     let mut out = Vec::with_capacity(count);
     let bases: Vec<fn(&PocParams) -> Sample> = match family {
         AttackFamily::FlushReload => vec![
@@ -120,7 +119,7 @@ pub fn obfuscated_family(
     seed: u64,
     obf: &ObfuscationConfig,
 ) -> Vec<Sample> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bf5 ^ family as u64);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0bf5 ^ family as u64);
     let mut out = Vec::with_capacity(count);
     let mutation = MutationConfig {
         rename_regs: false,

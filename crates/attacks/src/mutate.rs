@@ -14,9 +14,7 @@
 //! 5. **independent-instruction reordering** — adjacent instructions with
 //!    no register, flag, memory, or control dependence swap places.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use sca_isa::rng::{Shuffle, SmallRng};
 
 use sca_isa::{AluOp, Inst, MemRef, Operand, Program, Reg};
 
@@ -133,7 +131,7 @@ fn independent(a: &Inst, b: &Inst) -> bool {
 /// Swap eligible independent adjacent pairs with probability `prob`,
 /// skipping positions that are branch targets (their indices are
 /// observable through control flow).
-fn reorder_pass(program: &Program, rng: &mut StdRng, prob: f64) -> Program {
+fn reorder_pass(program: &Program, rng: &mut SmallRng, prob: f64) -> Program {
     use std::collections::BTreeSet;
     let targets: BTreeSet<usize> = program
         .insts()
@@ -277,7 +275,7 @@ pub fn used_regs(program: &Program) -> [bool; 16] {
 
 /// Produce a junk instruction sequence that only touches `scratch`
 /// registers (dead in the host program) and never the flags.
-fn junk_seq(rng: &mut StdRng, scratch: &[Reg]) -> Vec<Inst> {
+fn junk_seq(rng: &mut SmallRng, scratch: &[Reg]) -> Vec<Inst> {
     let mut out = Vec::new();
     let n = rng.gen_range(1..3usize);
     for _ in 0..n {
@@ -307,7 +305,7 @@ fn junk_seq(rng: &mut StdRng, scratch: &[Reg]) -> Vec<Inst> {
 }
 
 /// Substitute an equivalent form for ALU/immediate instructions.
-fn substitute(inst: &Inst, rng: &mut StdRng) -> Option<Inst> {
+fn substitute(inst: &Inst, rng: &mut SmallRng) -> Option<Inst> {
     match *inst {
         // add r, k  <->  sub r, -k  (wrapping arithmetic makes these equal)
         Inst::Alu {
@@ -356,7 +354,7 @@ fn substitute(inst: &Inst, rng: &mut StdRng) -> Option<Inst> {
 /// memory and flush operations, and (for attack programs) retains the
 /// attack functionality.
 pub fn mutate(program: &Program, seed: u64, cfg: &MutationConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca9_ad01);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5ca9_ad01);
 
     // Register permutation: keep it a bijection over all 16 registers.
     let mut perm = Reg::ALL;
@@ -518,7 +516,7 @@ mod tests {
         b.store(Reg::R1, MemRef::abs(0x9000));
         b.halt();
         let p = b.build();
-        let mut rng = rand::SeedableRng::seed_from_u64(1);
+        let mut rng = SmallRng::seed_from_u64(1);
         let q = reorder_pass(&p, &mut rng, 1.0);
         // the first pair swapped; the dependent add stayed put
         assert_eq!(
@@ -539,7 +537,7 @@ mod tests {
         let p = checksum_program();
         let expected = result_of(&p);
         for seed in 0..10 {
-            let mut rng = rand::SeedableRng::seed_from_u64(seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
             let q = reorder_pass(&p, &mut rng, 0.8);
             assert_eq!(result_of(&q), expected, "seed {seed}");
         }

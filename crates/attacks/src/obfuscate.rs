@@ -23,8 +23,7 @@
 
 use std::collections::BTreeSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sca_isa::rng::SmallRng;
 
 use sca_cfg::{remove_back_edges, Cfg};
 use sca_isa::{AluOp, Cond, Inst, Operand, Program, Reg};
@@ -128,7 +127,7 @@ fn loop_body_insts(program: &Program, cfg: &Cfg) -> Vec<bool> {
 /// The result is semantically equivalent: opaque branches are never taken,
 /// and junk only writes registers the original program never reads.
 pub fn obfuscate(program: &Program, seed: u64, cfg: &ObfuscationConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bf5_ca7e);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0bf5_ca7e);
     let cfg_graph = Cfg::build(program);
     let original_bbs = cfg_graph.len();
     // Every opaque predicate adds ~2 blocks (the branch split + the decoy
@@ -176,7 +175,7 @@ pub fn obfuscate(program: &Program, seed: u64, cfg: &ObfuscationConfig) -> Progr
             .collect()
     };
 
-    fn junk_inst(rng: &mut StdRng, scratch: &[Reg]) -> Inst {
+    fn junk_inst(rng: &mut SmallRng, scratch: &[Reg]) -> Inst {
         if scratch.is_empty() || rng.gen_bool(0.4) {
             Inst::Nop
         } else {

@@ -1,13 +1,15 @@
 //! Property-based tests: the mutation and obfuscation engines preserve
 //! program semantics on arbitrary (bounded) generated programs, not just
-//! the hand-picked fixtures.
-
-use proptest::prelude::*;
+//! the hand-picked fixtures. Randomized inputs come from seeded
+//! [`SmallRng`] loops so runs are deterministic.
 
 use sca_attacks::mutate::{mutate, MutationConfig};
 use sca_attacks::obfuscate::{obfuscate, ObfuscationConfig};
 use sca_cpu::{CpuConfig, Machine, Victim};
+use sca_isa::rng::SmallRng;
 use sca_isa::{AluOp, Cond, Inst, MemRef, Operand, Program, Reg};
+
+const CASES: usize = 48;
 
 /// Committed instructions inside measured timing windows (between the
 /// first and second `rdtscp` of each pair, by parity scan).
@@ -26,70 +28,69 @@ fn measured_inst_count(p: &Program) -> usize {
     n
 }
 
+fn arb_body_inst(rng: &mut SmallRng) -> Inst {
+    let reg = |rng: &mut SmallRng| Reg::from_index(rng.gen_range(0..6usize));
+    let slot = |rng: &mut SmallRng| MemRef::abs(0x5000 + i64::from(rng.gen_range(0..64u16)) * 8);
+    match rng.gen_range(0..7u32) {
+        0 => Inst::MovImm {
+            dst: reg(rng),
+            imm: rng.gen_range(-50i64..50),
+        },
+        1 => Inst::MovReg {
+            dst: reg(rng),
+            src: reg(rng),
+        },
+        2 => Inst::Load {
+            dst: reg(rng),
+            addr: slot(rng),
+        },
+        3 => Inst::Store {
+            src: reg(rng),
+            addr: slot(rng),
+        },
+        4 => Inst::Alu {
+            op: AluOp::Add,
+            dst: reg(rng),
+            src: Operand::Imm(rng.gen_range(-9i64..9)),
+        },
+        5 => Inst::Alu {
+            op: AluOp::Xor,
+            dst: reg(rng),
+            src: Operand::Reg(reg(rng)),
+        },
+        _ => Inst::Clflush { addr: slot(rng) },
+    }
+}
+
 /// Structured random programs: a loop skeleton filled with arithmetic and
 /// memory traffic, always terminating, storing observable results.
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        proptest::collection::vec(
-            prop_oneof![
-                (0usize..6, -50i64..50).prop_map(|(r, v)| Inst::MovImm {
-                    dst: Reg::from_index(r),
-                    imm: v
-                }),
-                (0usize..6, 0usize..6).prop_map(|(a, b)| Inst::MovReg {
-                    dst: Reg::from_index(a),
-                    src: Reg::from_index(b)
-                }),
-                (0usize..6, 0u16..64).prop_map(|(r, a)| Inst::Load {
-                    dst: Reg::from_index(r),
-                    addr: MemRef::abs(0x5000 + i64::from(a) * 8)
-                }),
-                (0usize..6, 0u16..64).prop_map(|(r, a)| Inst::Store {
-                    src: Reg::from_index(r),
-                    addr: MemRef::abs(0x5000 + i64::from(a) * 8)
-                }),
-                (0usize..6, -9i64..9).prop_map(|(r, v)| Inst::Alu {
-                    op: AluOp::Add,
-                    dst: Reg::from_index(r),
-                    src: Operand::Imm(v)
-                }),
-                (0usize..6, 0usize..6).prop_map(|(a, b)| Inst::Alu {
-                    op: AluOp::Xor,
-                    dst: Reg::from_index(a),
-                    src: Operand::Reg(Reg::from_index(b))
-                }),
-                (0u16..64).prop_map(|a| Inst::Clflush {
-                    addr: MemRef::abs(0x5000 + i64::from(a) * 8)
-                }),
-            ],
-            3..24,
-        ),
-        1i64..6,
-    )
-        .prop_map(|(body, trips)| {
-            // wrap the body in a counted loop using R7 as the counter
-            let mut insts = vec![Inst::MovImm {
-                dst: Reg::R7,
-                imm: 0,
-            }];
-            let top = insts.len();
-            insts.extend(body);
-            insts.push(Inst::Alu {
-                op: AluOp::Add,
-                dst: Reg::R7,
-                src: Operand::Imm(1),
-            });
-            insts.push(Inst::Cmp {
-                lhs: Reg::R7,
-                rhs: Operand::Imm(trips),
-            });
-            insts.push(Inst::Br {
-                cond: Cond::Lt,
-                target: top,
-            });
-            insts.push(Inst::Halt);
-            Program::from_parts("prop", insts, Default::default())
-        })
+fn arb_program(rng: &mut SmallRng) -> Program {
+    let body: Vec<Inst> = (0..rng.gen_range(3..24usize))
+        .map(|_| arb_body_inst(rng))
+        .collect();
+    let trips = rng.gen_range(1i64..6);
+    // wrap the body in a counted loop using R7 as the counter
+    let mut insts = vec![Inst::MovImm {
+        dst: Reg::R7,
+        imm: 0,
+    }];
+    let top = insts.len();
+    insts.extend(body);
+    insts.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R7,
+        src: Operand::Imm(1),
+    });
+    insts.push(Inst::Cmp {
+        lhs: Reg::R7,
+        rhs: Operand::Imm(trips),
+    });
+    insts.push(Inst::Br {
+        cond: Cond::Lt,
+        target: top,
+    });
+    insts.push(Inst::Halt);
+    Program::from_parts("prop", insts, Default::default())
 }
 
 /// Observable state after a run: the register file plus the program's
@@ -110,14 +111,15 @@ fn used_mask(p: &Program) -> Vec<bool> {
     sca_attacks::mutate::used_regs(p).to_vec()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Mutation (without register renaming, so registers stay comparable)
-    /// preserves the observable state: used registers and the memory
-    /// footprint.
-    #[test]
-    fn mutation_preserves_observable_state(p in arb_program(), seed in 0u64..1000) {
+/// Mutation (without register renaming, so registers stay comparable)
+/// preserves the observable state: used registers and the memory
+/// footprint.
+#[test]
+fn mutation_preserves_observable_state() {
+    let mut rng = SmallRng::seed_from_u64(0xa77_001);
+    for _ in 0..CASES {
+        let p = arb_program(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let cfg = MutationConfig {
             rename_regs: false,
             ..MutationConfig::default()
@@ -125,51 +127,60 @@ proptest! {
         let q = mutate(&p, seed, &cfg);
         let (regs_p, mem_p) = observe(&p);
         let (regs_q, mem_q) = observe(&q);
-        prop_assert_eq!(mem_p, mem_q, "memory footprint must match");
+        assert_eq!(mem_p, mem_q, "memory footprint must match");
         for (i, used) in used_mask(&p).iter().enumerate() {
             if *used {
-                prop_assert_eq!(
-                    regs_p[i], regs_q[i],
-                    "r{} diverged under mutation", i
-                );
+                assert_eq!(regs_p[i], regs_q[i], "r{i} diverged under mutation");
             }
         }
     }
+}
 
-    /// Obfuscation preserves the observable state exactly (it never renames
-    /// registers and its junk only touches dead ones).
-    #[test]
-    fn obfuscation_preserves_observable_state(p in arb_program(), seed in 0u64..1000) {
+/// Obfuscation preserves the observable state exactly (it never renames
+/// registers and its junk only touches dead ones).
+#[test]
+fn obfuscation_preserves_observable_state() {
+    let mut rng = SmallRng::seed_from_u64(0xa77_002);
+    for _ in 0..CASES {
+        let p = arb_program(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let q = obfuscate(&p, seed, &ObfuscationConfig::default());
         let (regs_p, mem_p) = observe(&p);
         let (regs_q, mem_q) = observe(&q);
-        prop_assert_eq!(mem_p, mem_q, "memory footprint must match");
+        assert_eq!(mem_p, mem_q, "memory footprint must match");
         for (i, used) in used_mask(&p).iter().enumerate() {
             if *used {
-                prop_assert_eq!(
-                    regs_p[i], regs_q[i],
-                    "r{} diverged under obfuscation", i
-                );
+                assert_eq!(regs_p[i], regs_q[i], "r{i} diverged under obfuscation");
             }
         }
     }
+}
 
-    /// Mutation with renaming still preserves the memory footprint (the
-    /// register file is permuted, so only memory is comparable).
-    #[test]
-    fn renaming_mutation_preserves_memory(p in arb_program(), seed in 0u64..1000) {
+/// Mutation with renaming still preserves the memory footprint (the
+/// register file is permuted, so only memory is comparable).
+#[test]
+fn renaming_mutation_preserves_memory() {
+    let mut rng = SmallRng::seed_from_u64(0xa77_003);
+    for _ in 0..CASES {
+        let p = arb_program(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let q = mutate(&p, seed, &MutationConfig::default());
         let (_, mem_p) = observe(&p);
         let (_, mem_q) = observe(&q);
-        prop_assert_eq!(mem_p, mem_q);
+        assert_eq!(mem_p, mem_q);
     }
+}
 
-    /// The obfuscator never pads a measured timing window: wrap each
-    /// generated loop body in an `rdtscp` pair and check the number of
-    /// instructions between the pair is unchanged by obfuscation. (An
-    /// attacker obfuscating their own PoC preserves the timing channel.)
-    #[test]
-    fn obfuscation_leaves_timed_windows_untouched(p in arb_program(), seed in 0u64..1000) {
+/// The obfuscator never pads a measured timing window: wrap each
+/// generated loop body in an `rdtscp` pair and check the number of
+/// instructions between the pair is unchanged by obfuscation. (An
+/// attacker obfuscating their own PoC preserves the timing channel.)
+#[test]
+fn obfuscation_leaves_timed_windows_untouched() {
+    let mut rng = SmallRng::seed_from_u64(0xa77_004);
+    for _ in 0..CASES {
+        let p = arb_program(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         // splice an rdtscp pair around the loop body (after the counter
         // init, before the halt) so the program has a measured window
         let mut insts: Vec<Inst> = p.insts().to_vec();
@@ -185,7 +196,7 @@ proptest! {
         }
         let timed = Program::from_parts("prop-timed", insts, Default::default());
         let q = obfuscate(&timed, seed, &ObfuscationConfig::default());
-        prop_assert_eq!(
+        assert_eq!(
             measured_inst_count(&q),
             measured_inst_count(&timed),
             "junk landed inside the rdtscp window"

@@ -1,109 +1,107 @@
 //! Per-component performance benches: the cache model, the simulated CPU,
 //! CFG construction, and the similarity machinery.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
 
 use sca_attacks::benign::{self, Kind};
 use sca_attacks::poc;
+use sca_bench::harness::{bench, group};
 use sca_bench::{fixture_model_pair, fixture_params};
 use sca_cache::{Cache, CacheConfig, Hierarchy, HierarchyConfig, Owner};
 use sca_cfg::Cfg;
 use sca_cpu::{CpuConfig, Machine, Victim};
 use scaguard::{build_model, dtw, levenshtein, similarity_score, ModelingConfig};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.bench_function("access_hit", |b| {
+fn bench_cache() {
+    group("cache");
+    {
         let mut cache = Cache::new(CacheConfig::new(64, 8, 64));
         cache.access(0x1000, Owner::Attacker, false);
-        b.iter(|| cache.access(std::hint::black_box(0x1000), Owner::Attacker, false))
+        bench("cache/access_hit", || {
+            black_box(cache.access(black_box(0x1000), Owner::Attacker, false));
+        });
+    }
+    bench("cache/access_stream_64k", || {
+        let mut cache = Cache::new(CacheConfig::new(1024, 16, 64));
+        for i in 0..65_536u64 {
+            cache.access(i * 64, Owner::Attacker, false);
+        }
+        black_box(&cache);
     });
-    g.bench_function("access_stream_64k", |b| {
-        b.iter_batched(
-            || Cache::new(CacheConfig::new(1024, 16, 64)),
-            |mut cache| {
-                for i in 0..65_536u64 {
-                    cache.access(i * 64, Owner::Attacker, false);
-                }
-                cache
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("hierarchy_access", |b| {
+    {
         let mut h = Hierarchy::new(HierarchyConfig::skylake_like());
         let mut i = 0u64;
-        b.iter(|| {
+        bench("cache/hierarchy_access", || {
             i = (i + 1) & 0xffff;
-            h.access_data(i * 64, Owner::Attacker, false)
-        })
-    });
-    g.finish();
+            black_box(h.access_data(i * 64, Owner::Attacker, false));
+        });
+    }
 }
 
-fn bench_cpu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cpu");
+fn bench_cpu() {
+    group("cpu");
     let params = fixture_params();
     let fr = poc::flush_reload_iaik(&params);
-    g.bench_function("run_flush_reload_poc", |b| {
+    {
         let mut m = Machine::new(CpuConfig::default());
-        b.iter(|| m.run(&fr.program, &fr.victim).expect("run"))
-    });
+        bench("cpu/run_flush_reload_poc", || {
+            black_box(m.run(&fr.program, &fr.victim).expect("run"));
+        });
+    }
     let benign = benign::generate(Kind::Crypto, 1);
-    g.bench_function("run_benign_crypto", |b| {
+    {
         let mut m = Machine::new(CpuConfig::default());
-        b.iter(|| m.run(&benign.program, &Victim::None).expect("run"))
-    });
-    g.finish();
+        bench("cpu/run_benign_crypto", || {
+            black_box(m.run(&benign.program, &Victim::None).expect("run"));
+        });
+    }
 }
 
-fn bench_cfg(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cfg");
+fn bench_cfg() {
+    group("cfg");
     let params = fixture_params();
     let pp = poc::prime_probe_iaik(&params);
-    g.bench_function("build_poc_cfg", |b| b.iter(|| Cfg::build(&pp.program)));
-    g.finish();
+    bench("cfg/build_poc_cfg", || {
+        black_box(Cfg::build(&pp.program));
+    });
 }
 
-fn bench_similarity(c: &mut Criterion) {
-    let mut g = c.benchmark_group("similarity");
-    g.bench_function("levenshtein_32x32", |b| {
-        let x: Vec<u32> = (0..32).collect();
-        let y: Vec<u32> = (0..32).map(|i| i * 7 % 32).collect();
-        b.iter(|| levenshtein(&x, &y))
+fn bench_similarity() {
+    group("similarity");
+    let x: Vec<u32> = (0..32).collect();
+    let y: Vec<u32> = (0..32).map(|i| i * 7 % 32).collect();
+    bench("similarity/levenshtein_32x32", || {
+        black_box(levenshtein(&x, &y));
     });
     let (ma, mb) = fixture_model_pair();
-    g.bench_function("dtw_models", |b| {
-        b.iter(|| dtw(ma.steps(), mb.steps(), scaguard::cst_distance))
+    bench("similarity/dtw_models", || {
+        black_box(dtw(ma.steps(), mb.steps(), scaguard::cst_distance));
     });
-    g.bench_function("similarity_score", |b| b.iter(|| similarity_score(&ma, &mb)));
-    g.finish();
+    bench("similarity/similarity_score", || {
+        black_box(similarity_score(&ma, &mb));
+    });
 }
 
-fn bench_modeling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("modeling");
-    g.sample_size(20);
+fn bench_modeling() {
+    group("modeling");
     let params = fixture_params();
     let cfg = ModelingConfig::default();
     for (name, sample) in [
-        ("flush_reload", poc::flush_reload_iaik(&params)),
-        ("prime_probe", poc::prime_probe_iaik(&params)),
-        ("spectre_fr", poc::spectre_fr_v1(&params)),
-        ("benign_leetcode", benign::generate(Kind::Leetcode, 1)),
+        ("modeling/flush_reload", poc::flush_reload_iaik(&params)),
+        ("modeling/prime_probe", poc::prime_probe_iaik(&params)),
+        ("modeling/spectre_fr", poc::spectre_fr_v1(&params)),
+        ("modeling/benign_leetcode", benign::generate(Kind::Leetcode, 1)),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| build_model(&sample.program, &sample.victim, &cfg).expect("model"))
+        bench(name, || {
+            black_box(build_model(&sample.program, &sample.victim, &cfg).expect("model"));
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_cpu,
-    bench_cfg,
-    bench_similarity,
-    bench_modeling
-);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_cpu();
+    bench_cfg();
+    bench_similarity();
+    bench_modeling();
+}

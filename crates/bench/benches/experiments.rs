@@ -2,8 +2,9 @@
 //! paper, at reduced scale (the `tables` binary regenerates the full
 //! numbers; these track how expensive each experiment driver is).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
+use sca_bench::harness::{bench_n, group};
 use sca_eval::experiments::{
     bb_identification, run_task, scenario_similarities, threshold_sweep, timing, ClassTask,
 };
@@ -13,57 +14,31 @@ fn cfg() -> EvalConfig {
     EvalConfig::small(2)
 }
 
-fn bench_table_iv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table_iv");
-    g.sample_size(10);
-    g.bench_function("bb_identification", |b| {
-        b.iter(|| bb_identification(&cfg()).expect("table iv"))
+fn main() {
+    group("table_iv");
+    bench_n("table_iv/bb_identification", 3, || {
+        black_box(bb_identification(&cfg()).expect("table iv"));
     });
-    g.finish();
-}
 
-fn bench_table_v(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table_v");
-    g.sample_size(10);
-    g.bench_function("scenario_similarities", |b| {
-        b.iter(|| scenario_similarities(&cfg()).expect("table v"))
+    group("table_v");
+    bench_n("table_v/scenario_similarities", 3, || {
+        black_box(scenario_similarities(&cfg()).expect("table v"));
     });
-    g.finish();
-}
 
-fn bench_table_vi(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table_vi");
-    g.sample_size(10);
+    group("table_vi");
     for task in [ClassTask::E1, ClassTask::E3Pp] {
-        g.bench_function(format!("{task:?}"), |b| {
-            b.iter(|| run_task(task, &cfg()).expect("table vi task"))
+        bench_n(&format!("table_vi/{task:?}"), 3, || {
+            black_box(run_task(task, &cfg()).expect("table vi task"));
         });
     }
-    g.finish();
-}
 
-fn bench_figure_5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figure_5");
-    g.sample_size(10);
-    g.bench_function("threshold_sweep", |b| {
-        b.iter(|| threshold_sweep(&cfg()).expect("figure 5"))
+    group("figure_5");
+    bench_n("figure_5/threshold_sweep", 3, || {
+        black_box(threshold_sweep(&cfg()).expect("figure 5"));
     });
-    g.finish();
-}
 
-fn bench_timing_section(c: &mut Criterion) {
-    let mut g = c.benchmark_group("section_v_timing");
-    g.sample_size(10);
-    g.bench_function("timing", |b| b.iter(|| timing(&cfg()).expect("timing")));
-    g.finish();
+    group("section_v_timing");
+    bench_n("section_v_timing/timing", 3, || {
+        black_box(timing(&cfg()).expect("timing"));
+    });
 }
-
-criterion_group!(
-    benches,
-    bench_table_iv,
-    bench_table_v,
-    bench_table_vi,
-    bench_figure_5,
-    bench_timing_section
-);
-criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! A tiny std-only benchmark harness.
+//!
+//! The offline build environment has no criterion, so bench targets
+//! (`harness = false` binaries) drive themselves: [`bench`] calibrates an
+//! iteration count to a small wall-time budget, runs a few measured
+//! rounds, and reports the median ns/iter. Deterministic output format,
+//! one line per benchmark:
+//!
+//! ```text
+//! cache/access_hit                                   12 ns/iter  (x5 rounds of 1638400)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Wall-time budget per calibration/measurement round.
+const ROUND_BUDGET: Duration = Duration::from_millis(25);
+/// Measured rounds per benchmark (median is reported).
+const ROUNDS: usize = 5;
+
+/// Measure `f` and print one result line. The closure should perform one
+/// logical operation per call; wrap inputs in [`std::hint::black_box`] to
+/// keep the optimizer honest.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    // Calibrate: grow the per-round iteration count until one round
+    // fills the budget.
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= ROUND_BUDGET || iters >= 1 << 24 {
+            break;
+        }
+        let per_iter = elapsed.as_nanos().max(1) as u64 / iters;
+        let want = ROUND_BUDGET.as_nanos() as u64 / per_iter.max(1);
+        iters = want.clamp(iters + 1, iters.saturating_mul(128));
+    }
+
+    let mut samples: Vec<u64> = (0..ROUNDS)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as u64 / iters
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!("{name:<48} {median:>12} ns/iter  (x{ROUNDS} rounds of {iters})");
+}
+
+/// Like [`bench`], but with a fixed iteration count — for expensive
+/// experiment drivers where calibration would take minutes.
+pub fn bench_n(name: &str, iters: u64, mut f: impl FnMut()) {
+    let mut samples: Vec<u64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as u64 / iters.max(1)
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!("{name:<48} {median:>12} ns/iter  (x3 rounds of {iters})");
+}
+
+/// Print a group header.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

@@ -2,15 +2,18 @@
 //!
 //! Two kinds of artifacts live here:
 //!
-//! * **Criterion benches** (`benches/`): per-component performance
-//!   (`components`) and per-experiment wall time at reduced scale
-//!   (`experiments`) — one bench group per table/figure of the paper.
+//! * **Benches** (`benches/`, driven by the std-only [`harness`]):
+//!   per-component performance (`components`) and per-experiment wall
+//!   time at reduced scale (`experiments`) — one bench group per
+//!   table/figure of the paper.
 //! * **Ablation binaries** (`src/bin/ablations.rs`): quality comparisons
 //!   for the design choices DESIGN.md calls out — the CST distance
 //!   components, DTW vs lock-step alignment, the attack-relevant graph vs
 //!   naive block selection, and CST-replay cache policy sensitivity.
 //!
 //! The helpers below build the standard fixtures both share.
+
+pub mod harness;
 
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{AttackFamily, Sample};

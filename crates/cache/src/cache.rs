@@ -44,6 +44,37 @@ const INVALID_LINE: Line = Line {
     stamp: 0,
 };
 
+/// Demand-access and flush counters for one [`Cache`].
+///
+/// `hits + misses` equals the number of [`Cache::access`] calls since the
+/// cache was created (or [`Cache::reset_stats`] was called) — inclusive
+/// fills via [`Cache::fill`] are not counted, matching their
+/// non-demand-access semantics. `flushes` counts lines actually removed by
+/// [`Cache::invalidate`] or [`Cache::displace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Demand accesses that found their line resident.
+    pub hits: u64,
+    /// Demand accesses that filled on a miss.
+    pub misses: u64,
+    /// Lines removed by flush operations.
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Add `other`'s counts into `self` (aggregating across caches).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.flushes += other.flushes;
+    }
+
+    /// Total demand accesses, `hits + misses`.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
 /// One set-associative cache level.
 ///
 /// Addresses are byte addresses; the cache operates on line granularity.
@@ -57,6 +88,7 @@ pub struct Cache {
     plru: Vec<u64>,
     tick: u64,
     rng: u64,
+    stats: CacheStats,
 }
 
 impl Cache {
@@ -68,12 +100,24 @@ impl Cache {
             plru: vec![0; cfg.sets],
             tick: 0,
             rng: cfg.seed | 1,
+            stats: CacheStats::default(),
         }
     }
 
     /// The configuration this cache was built with.
     pub fn config(&self) -> &CacheConfig {
         &self.cfg
+    }
+
+    /// Hit/miss/flush counters accumulated since creation or the last
+    /// [`reset_stats`](Cache::reset_stats).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zero the hit/miss/flush counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
     }
 
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
@@ -123,6 +167,16 @@ impl Cache {
     /// `is_write` only matters for bookkeeping symmetry with real caches
     /// (write-allocate, no write-back modelling is needed for timing).
     pub fn access(&mut self, addr: u64, owner: Owner, is_write: bool) -> AccessOutcome {
+        let out = self.access_uncounted(addr, owner, is_write);
+        if out.hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        out
+    }
+
+    fn access_uncounted(&mut self, addr: u64, owner: Owner, is_write: bool) -> AccessOutcome {
         let _ = is_write; // write-allocate: identical fill path
         let set = self.cfg.set_index(addr);
         let tag = self.tag_of(addr);
@@ -172,7 +226,7 @@ impl Cache {
     /// Fill `addr` for `owner` without counting as a demand access
     /// (used when propagating inclusive fills between levels).
     pub fn fill(&mut self, addr: u64, owner: Owner) -> Option<(u64, Owner)> {
-        let out = self.access(addr, owner, false);
+        let out = self.access_uncounted(addr, owner, false);
         out.evicted
     }
 
@@ -185,6 +239,7 @@ impl Cache {
         for idx in range {
             if self.lines[idx].valid && self.lines[idx].tag == tag {
                 self.lines[idx] = INVALID_LINE;
+                self.stats.flushes += 1;
                 return true;
             }
         }
@@ -213,6 +268,7 @@ impl Cache {
             return false;
         }
         self.lines[idx] = INVALID_LINE;
+        self.stats.flushes += 1;
         true
     }
 
@@ -585,5 +641,35 @@ mod tests {
         assert_eq!(c.lines_valid(), 0);
         let s = c.state();
         assert_eq!((s.ao, s.io), (0.0, 0.0));
+    }
+
+    #[test]
+    fn stats_count_demand_accesses_and_flushes() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        assert_eq!(c.stats(), CacheStats::default());
+        c.access(addr(0, 1), Owner::Attacker, false); // miss
+        c.access(addr(0, 1), Owner::Attacker, false); // hit
+        c.access(addr(1, 1), Owner::Attacker, true); // miss
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses), (1, 2));
+        assert_eq!(st.accesses(), 3);
+
+        assert!(c.invalidate(addr(0, 1)));
+        assert!(!c.invalidate(addr(0, 1))); // already gone: not a flush
+        assert!(c.displace(addr(1, 1))); // present: flush
+        assert!(!c.displace(addr(0, 7))); // empty set: nothing to displace
+        assert_eq!(c.stats().flushes, 2);
+
+        // inclusive fills are not demand accesses
+        c.fill(addr(2, 1), Owner::Victim);
+        assert_eq!(c.stats().accesses(), 3);
+
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+
+        let mut total = CacheStats::default();
+        total.merge(&st);
+        total.merge(&st);
+        assert_eq!(total.accesses(), 6);
     }
 }

@@ -31,7 +31,7 @@ mod config;
 mod hierarchy;
 mod state;
 
-pub use cache::{AccessOutcome, Cache, Owner};
+pub use cache::{AccessOutcome, Cache, CacheStats, Owner};
 pub use config::{CacheConfig, HierarchyConfig, ReplacementPolicy};
 pub use hierarchy::{DataOutcome, FetchOutcome, Hierarchy};
 pub use state::CacheState;

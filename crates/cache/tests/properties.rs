@@ -1,9 +1,12 @@
 //! Property-based tests for the cache model: occupancy invariants under
 //! arbitrary operation sequences, presence semantics, and geometry.
+//! Randomized inputs come from seeded [`SmallRng`] loops so runs are
+//! deterministic.
 
-use proptest::prelude::*;
-
-use sca_cache::{Cache, CacheConfig, CacheState, Hierarchy, HierarchyConfig, Owner, ReplacementPolicy};
+use sca_cache::{
+    Cache, CacheConfig, CacheState, Hierarchy, HierarchyConfig, Owner, ReplacementPolicy,
+};
+use sca_isa::rng::SmallRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,40 +15,40 @@ enum Op {
     Displace(u64),
 }
 
-fn arb_owner() -> impl Strategy<Value = Owner> {
-    prop_oneof![Just(Owner::Attacker), Just(Owner::Victim), Just(Owner::Other)]
+fn arb_owner(rng: &mut SmallRng) -> Owner {
+    *rng.choose(&[Owner::Attacker, Owner::Victim, Owner::Other]).unwrap()
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let addr = 0u64..0x8000;
-    prop_oneof![
-        (addr.clone(), arb_owner(), any::<bool>()).prop_map(|(a, o, w)| Op::Access(a, o, w)),
-        addr.clone().prop_map(Op::Flush),
-        addr.prop_map(Op::Displace),
-    ]
+fn arb_op(rng: &mut SmallRng) -> Op {
+    let addr = rng.gen_range(0u64..0x8000);
+    match rng.gen_range(0..3u32) {
+        0 => Op::Access(addr, arb_owner(rng), rng.gen_bool(0.5)),
+        1 => Op::Flush(addr),
+        _ => Op::Displace(addr),
+    }
 }
 
-fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
-    prop_oneof![
-        Just(ReplacementPolicy::Lru),
-        Just(ReplacementPolicy::Fifo),
-        Just(ReplacementPolicy::TreePlru),
-        Just(ReplacementPolicy::Random),
-    ]
+fn arb_policy(rng: &mut SmallRng) -> ReplacementPolicy {
+    *rng.choose(&[
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::TreePlru,
+        ReplacementPolicy::Random,
+    ])
+    .unwrap()
 }
 
-proptest! {
-    /// Definition 3's invariant: `AO + IO <= 1` and both rates in `[0, 1]`,
-    /// no matter what sequence of operations runs.
-    #[test]
-    fn occupancy_invariant_holds(
-        policy in arb_policy(),
-        ops in proptest::collection::vec(arb_op(), 0..200),
-    ) {
+/// Definition 3's invariant: `AO + IO <= 1` and both rates in `[0, 1]`,
+/// no matter what sequence of operations runs.
+#[test]
+fn occupancy_invariant_holds() {
+    let mut rng = SmallRng::seed_from_u64(0xca_001);
+    for _ in 0..64 {
+        let policy = arb_policy(&mut rng);
         let mut c = Cache::new(CacheConfig::new(8, 2, 64).with_policy(policy));
         c.prefill(Owner::Other);
-        for op in ops {
-            match op {
+        for _ in 0..rng.gen_range(0..200usize) {
+            match arb_op(&mut rng) {
                 Op::Access(a, o, w) => {
                     c.access(a, o, w);
                 }
@@ -57,85 +60,99 @@ proptest! {
                 }
             }
             let s = c.state();
-            prop_assert!((0.0..=1.0).contains(&s.ao));
-            prop_assert!((0.0..=1.0).contains(&s.io));
-            prop_assert!(s.ao + s.io <= 1.0 + 1e-9);
-            prop_assert!(c.lines_valid() <= c.config().lines());
+            assert!((0.0..=1.0).contains(&s.ao));
+            assert!((0.0..=1.0).contains(&s.io));
+            assert!(s.ao + s.io <= 1.0 + 1e-9);
+            assert!(c.lines_valid() <= c.config().lines());
         }
     }
+}
 
-    /// An accessed line is present until invalidated, then absent.
-    #[test]
-    fn access_probe_invalidate_semantics(addr in 0u64..0x8000, policy in arb_policy()) {
-        let mut c = Cache::new(CacheConfig::new(16, 4, 64).with_policy(policy));
-        prop_assert!(!c.probe(addr));
+/// An accessed line is present until invalidated, then absent.
+#[test]
+fn access_probe_invalidate_semantics() {
+    let mut rng = SmallRng::seed_from_u64(0xca_002);
+    for _ in 0..128 {
+        let addr = rng.gen_range(0u64..0x8000);
+        let mut c = Cache::new(CacheConfig::new(16, 4, 64).with_policy(arb_policy(&mut rng)));
+        assert!(!c.probe(addr));
         c.access(addr, Owner::Attacker, false);
-        prop_assert!(c.probe(addr));
-        prop_assert_eq!(c.owner_of(addr), Some(Owner::Attacker));
-        prop_assert!(c.invalidate(addr));
-        prop_assert!(!c.probe(addr));
-        prop_assert!(!c.invalidate(addr));
+        assert!(c.probe(addr));
+        assert_eq!(c.owner_of(addr), Some(Owner::Attacker));
+        assert!(c.invalidate(addr));
+        assert!(!c.probe(addr));
+        assert!(!c.invalidate(addr));
     }
+}
 
-    /// Occupancy counts decompose by owner: AO and IO track exactly the
-    /// attacker/non-attacker valid-line counts.
-    #[test]
-    fn occupancy_decomposes_by_owner(
-        ops in proptest::collection::vec((0u64..0x2000, arb_owner()), 1..100),
-    ) {
+/// Occupancy counts decompose by owner: AO and IO track exactly the
+/// attacker/non-attacker valid-line counts.
+#[test]
+fn occupancy_decomposes_by_owner() {
+    let mut rng = SmallRng::seed_from_u64(0xca_003);
+    for _ in 0..128 {
         let mut c = Cache::new(CacheConfig::new(8, 4, 64));
-        for (a, o) in ops {
+        for _ in 0..rng.gen_range(1..100usize) {
+            let a = rng.gen_range(0u64..0x2000);
+            let o = arb_owner(&mut rng);
             c.access(a, o, false);
         }
         let total = c.config().lines() as f64;
         let s = c.state();
         let attacker = c.lines_owned_by(Owner::Attacker);
         let other = c.lines_valid() - attacker;
-        prop_assert!((s.ao - attacker as f64 / total).abs() < 1e-12);
-        prop_assert!((s.io - other as f64 / total).abs() < 1e-12);
+        assert!((s.ao - attacker as f64 / total).abs() < 1e-12);
+        assert!((s.io - other as f64 / total).abs() < 1e-12);
     }
+}
 
-    /// Set index is always in range and line-aligned addresses of one line
-    /// map to the same set.
-    #[test]
-    fn set_index_in_range(addr in 0u64..u64::MAX - 64) {
+/// Set index is always in range and line-aligned addresses of one line
+/// map to the same set.
+#[test]
+fn set_index_in_range() {
+    let mut rng = SmallRng::seed_from_u64(0xca_004);
+    for _ in 0..512 {
+        let addr = rng.gen_range(0u64..u64::MAX - 64);
         let cfg = CacheConfig::new(64, 8, 64);
         let set = cfg.set_index(addr);
-        prop_assert!(set < cfg.sets);
+        assert!(set < cfg.sets);
         // every byte offset within the line maps to the same set
-        prop_assert_eq!(set, cfg.set_index(cfg.line_addr(addr)));
-        prop_assert_eq!(set, cfg.set_index(cfg.line_addr(addr) + 63));
+        assert_eq!(set, cfg.set_index(cfg.line_addr(addr)));
+        assert_eq!(set, cfg.set_index(cfg.line_addr(addr) + 63));
     }
+}
 
-    /// The hierarchy preserves inclusion: after any access sequence, every
-    /// L1-resident line is LLC-resident.
-    #[test]
-    fn hierarchy_inclusion(
-        ops in proptest::collection::vec((0u64..0x10000, any::<bool>()), 0..300),
-    ) {
+/// The hierarchy preserves inclusion: after any access sequence, every
+/// L1-resident line is LLC-resident.
+#[test]
+fn hierarchy_inclusion() {
+    let mut rng = SmallRng::seed_from_u64(0xca_005);
+    for _ in 0..32 {
         let mut h = Hierarchy::new(HierarchyConfig::tiny());
         let mut touched = Vec::new();
-        for (a, w) in ops {
-            h.access_data(a, Owner::Attacker, w);
+        for _ in 0..rng.gen_range(0..300usize) {
+            let a = rng.gen_range(0u64..0x10000);
+            h.access_data(a, Owner::Attacker, rng.gen_bool(0.5));
             touched.push(a);
         }
         for a in touched {
             if h.l1d().probe(a) {
-                prop_assert!(h.llc().probe(a), "inclusion violated at {a:#x}");
+                assert!(h.llc().probe(a), "inclusion violated at {a:#x}");
             }
         }
     }
+}
 
-    /// CacheState change magnitude is symmetric and bounded by 1.
-    #[test]
-    fn state_change_bounded(
-        ao1 in 0.0f64..=0.5, io1 in 0.0f64..=0.5,
-        ao2 in 0.0f64..=0.5, io2 in 0.0f64..=0.5,
-    ) {
-        let a = CacheState::new(ao1, io1);
-        let b = CacheState::new(ao2, io2);
+/// CacheState change magnitude is symmetric and bounded by 1.
+#[test]
+fn state_change_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0xca_006);
+    let unit_half = |rng: &mut SmallRng| rng.gen_range(0..=500_000u64) as f64 / 1_000_000.0;
+    for _ in 0..256 {
+        let a = CacheState::new(unit_half(&mut rng), unit_half(&mut rng));
+        let b = CacheState::new(unit_half(&mut rng), unit_half(&mut rng));
         let d = a.change_to(&b);
-        prop_assert!((0.0..=1.0).contains(&d));
-        prop_assert!((d - b.change_to(&a)).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d));
+        assert!((d - b.change_to(&a)).abs() < 1e-12);
     }
 }

@@ -1,11 +1,11 @@
 //! Property-based tests for CFG construction and the Algorithm-1 graph
-//! primitives, over randomly generated (valid) programs.
+//! primitives, over randomly generated (valid) programs. Randomized
+//! inputs come from seeded [`SmallRng`] loops so runs are deterministic.
 
 use std::collections::HashSet;
 
-use proptest::prelude::*;
-
 use sca_cfg::{enumerate_paths, max_spanning_tree, remove_back_edges, BlockId, Cfg, WeightedEdge};
+use sca_isa::rng::SmallRng;
 use sca_isa::{AluOp, Cond, Inst, Operand, Program, Reg};
 
 /// Opcode skeletons for random program generation; branch targets are
@@ -20,18 +20,18 @@ enum Skel {
     Nop,
 }
 
-fn arb_skeleton() -> impl Strategy<Value = Vec<Skel>> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just(Skel::Mov),
-            Just(Skel::Alu),
-            Just(Skel::Cmp),
-            (0usize..1000).prop_map(Skel::Jmp),
-            (0usize..1000).prop_map(Skel::Br),
-            Just(Skel::Nop),
-        ],
-        1..60,
-    )
+fn arb_skeleton(rng: &mut SmallRng) -> Vec<Skel> {
+    let n = rng.gen_range(1..60usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..6u32) {
+            0 => Skel::Mov,
+            1 => Skel::Alu,
+            2 => Skel::Cmp,
+            3 => Skel::Jmp(rng.gen_range(0..1000usize)),
+            4 => Skel::Br(rng.gen_range(0..1000usize)),
+            _ => Skel::Nop,
+        })
+        .collect()
 }
 
 fn materialize(skels: Vec<Skel>) -> Program {
@@ -64,35 +64,36 @@ fn materialize(skels: Vec<Skel>) -> Program {
     Program::from_parts("prop", insts, Default::default())
 }
 
-proptest! {
-    /// Every instruction belongs to exactly one basic block, blocks are
-    /// contiguous, and only block-final instructions are terminators.
-    #[test]
-    fn cfg_partitions_instructions(skels in arb_skeleton()) {
-        let p = materialize(skels);
+/// Every instruction belongs to exactly one basic block, blocks are
+/// contiguous, and only block-final instructions are terminators.
+#[test]
+fn cfg_partitions_instructions() {
+    let mut rng = SmallRng::seed_from_u64(0xcf6_001);
+    for _ in 0..128 {
+        let p = materialize(arb_skeleton(&mut rng));
         let cfg = Cfg::build(&p);
         let mut covered = vec![0u32; p.len()];
         for b in cfg.blocks() {
-            prop_assert!(!b.is_empty());
+            assert!(!b.is_empty());
             for i in b.insts.clone() {
                 covered[i] += 1;
-                prop_assert_eq!(cfg.block_of_inst(i), b.id);
+                assert_eq!(cfg.block_of_inst(i), b.id);
                 if i + 1 < b.insts.end {
-                    prop_assert!(
-                        !p.insts()[i].is_terminator(),
-                        "terminator inside a block"
-                    );
+                    assert!(!p.insts()[i].is_terminator(), "terminator inside a block");
                 }
             }
         }
-        prop_assert!(covered.iter().all(|&c| c == 1));
+        assert!(covered.iter().all(|&c| c == 1));
     }
+}
 
-    /// Every CFG edge is justified by a branch target or fall-through, and
-    /// edge targets are block leaders.
-    #[test]
-    fn cfg_edges_are_sound(skels in arb_skeleton()) {
-        let p = materialize(skels);
+/// Every CFG edge is justified by a branch target or fall-through, and
+/// edge targets are block leaders.
+#[test]
+fn cfg_edges_are_sound() {
+    let mut rng = SmallRng::seed_from_u64(0xcf6_002);
+    for _ in 0..128 {
+        let p = materialize(arb_skeleton(&mut rng));
         let cfg = Cfg::build(&p);
         for b in cfg.blocks() {
             let last = b.insts.end - 1;
@@ -101,7 +102,7 @@ proptest! {
             if let Some(t) = inst.branch_target() {
                 expected.push(cfg.block_of_inst(t));
                 // targets must be leaders
-                prop_assert_eq!(cfg.block(cfg.block_of_inst(t)).insts.start, t);
+                assert_eq!(cfg.block(cfg.block_of_inst(t)).insts.start, t);
             }
             if inst.falls_through() && b.insts.end < p.len() {
                 expected.push(cfg.block_of_inst(b.insts.end));
@@ -110,14 +111,17 @@ proptest! {
             expected.dedup();
             let mut actual: Vec<BlockId> = cfg.succs(b.id).to_vec();
             actual.sort_unstable();
-            prop_assert_eq!(actual, expected);
+            assert_eq!(actual, expected);
         }
     }
+}
 
-    /// Back-edge removal always yields an acyclic graph (Kahn check).
-    #[test]
-    fn back_edge_removal_is_acyclic(skels in arb_skeleton()) {
-        let p = materialize(skels);
+/// Back-edge removal always yields an acyclic graph (Kahn check).
+#[test]
+fn back_edge_removal_is_acyclic() {
+    let mut rng = SmallRng::seed_from_u64(0xcf6_003);
+    for _ in 0..128 {
+        let p = materialize(arb_skeleton(&mut rng));
         let cfg = Cfg::build(&p);
         let dag = remove_back_edges(&cfg);
         let n = dag.len();
@@ -138,44 +142,58 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(seen, n, "cycle survived back-edge removal");
+        assert_eq!(seen, n, "cycle survived back-edge removal");
     }
+}
 
-    /// Enumerated paths are genuine simple DAG paths with legal
-    /// intermediates.
-    #[test]
-    fn enumerated_paths_are_valid(skels in arb_skeleton(), forbidden_seed in 0usize..8) {
-        let p = materialize(skels);
+/// Enumerated paths are genuine simple DAG paths with legal
+/// intermediates.
+#[test]
+fn enumerated_paths_are_valid() {
+    let mut rng = SmallRng::seed_from_u64(0xcf6_004);
+    for _ in 0..96 {
+        let p = materialize(arb_skeleton(&mut rng));
+        let forbidden_seed = rng.gen_range(0..8usize);
         let cfg = Cfg::build(&p);
         let dag = remove_back_edges(&cfg);
         let last = BlockId(cfg.len() - 1);
-        let forbidden: HashSet<BlockId> =
-            (0..cfg.len()).filter(|i| i % 7 == forbidden_seed).map(BlockId).collect();
+        let forbidden: HashSet<BlockId> = (0..cfg.len())
+            .filter(|i| i % 7 == forbidden_seed)
+            .map(BlockId)
+            .collect();
         for path in enumerate_paths(&dag, cfg.entry(), last, &forbidden, 50) {
-            prop_assert_eq!(path[0], cfg.entry());
-            prop_assert_eq!(*path.last().unwrap(), last);
+            assert_eq!(path[0], cfg.entry());
+            assert_eq!(*path.last().unwrap(), last);
             for w in path.windows(2) {
-                prop_assert!(dag.succs(w[0]).contains(&w[1]), "non-edge in path");
+                assert!(dag.succs(w[0]).contains(&w[1]), "non-edge in path");
             }
             if path.len() > 2 {
                 for mid in &path[1..path.len() - 1] {
-                    prop_assert!(!forbidden.contains(mid), "forbidden intermediate");
+                    assert!(!forbidden.contains(mid), "forbidden intermediate");
                 }
             }
             let unique: HashSet<_> = path.iter().collect();
-            prop_assert_eq!(unique.len(), path.len(), "path revisits a node");
+            assert_eq!(unique.len(), path.len(), "path revisits a node");
         }
     }
+}
 
-    /// The maximum spanning tree is a spanning forest: acyclic over the
-    /// touched nodes and connecting every connected component.
-    #[test]
-    fn mst_is_spanning_forest(
-        edges in proptest::collection::vec(
-            (0usize..12, 0usize..12, 0.0f64..100.0).prop_filter("no self loops", |(a, b, _)| a != b),
-            0..40,
-        )
-    ) {
+/// The maximum spanning tree is a spanning forest: acyclic over the
+/// touched nodes and connecting every connected component.
+#[test]
+fn mst_is_spanning_forest() {
+    let mut rng = SmallRng::seed_from_u64(0xcf6_005);
+    for _ in 0..128 {
+        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+        for _ in 0..rng.gen_range(0..40usize) {
+            let a = rng.gen_range(0..12usize);
+            let b = rng.gen_range(0..12usize);
+            if a == b {
+                continue; // no self loops
+            }
+            let w = rng.gen_range(0..100_000u64) as f64 / 1000.0;
+            edges.push((a, b, w));
+        }
         let wedges: Vec<WeightedEdge> = edges
             .iter()
             .enumerate()
@@ -199,13 +217,13 @@ proptest! {
         for &idx in &chosen {
             let e = &wedges[idx];
             let (ra, rb) = (find(&mut parent, e.a.0), find(&mut parent, e.b.0));
-            prop_assert_ne!(ra, rb, "MST edge closes a cycle");
+            assert_ne!(ra, rb, "MST edge closes a cycle");
             parent[ra] = rb;
         }
         // spanning: every input edge's endpoints are connected in the forest
         for e in &wedges {
             let (ra, rb) = (find(&mut parent, e.a.0), find(&mut parent, e.b.0));
-            prop_assert_eq!(ra, rb, "forest misses a connection");
+            assert_eq!(ra, rb, "forest misses a connection");
         }
     }
 }

@@ -13,6 +13,7 @@
 //! scaguard model target.sasm
 //! ```
 
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fs;
 use std::process::ExitCode;
@@ -20,6 +21,7 @@ use std::process::ExitCode;
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::AttackFamily;
 use sca_cpu::Victim;
+use sca_telemetry::{Json, Record};
 use scaguard::{
     build_model, explain_similarity, load_repository, save_repository, Detector,
     ModelRepository, ModelingConfig,
@@ -31,17 +33,26 @@ const LINE: u64 = 64;
 
 fn usage() -> &'static str {
     "usage:
-  scaguard build-repo <out-file>
+  scaguard build-repo <out-file> [--telemetry <out.jsonl>]
       model the built-in PoCs (one per attack type) and save the repository
   scaguard classify <program.sasm> --repo <repo-file>
           [--threshold <0..1>] [--victim none|shared:<secret>|conflict:<secret>]
-      classify an assembled program against a saved repository
-  scaguard model <program.sasm> [--victim ...]
+          [--json] [--telemetry <out.jsonl>]
+      classify an assembled program against a saved repository;
+      --json emits the full detection (verdict, family, per-PoC scores,
+      threshold) as a single JSON object on stdout
+  scaguard model <program.sasm> [--victim ...] [--telemetry <out.jsonl>]
       print the program's CST-BBS attack behavior model
   scaguard explain <program.sasm> --repo <repo-file> [--victim ...]
       show the DTW alignment against the best-matching PoC model
+  scaguard stats <telemetry.jsonl>
+      summarize a telemetry trace written by --telemetry (per-stage span
+      timings, counters, histogram percentiles)
   scaguard asm <program.sasm>
-      assemble and disassemble a program (syntax check)"
+      assemble and disassemble a program (syntax check)
+
+  --telemetry <out.jsonl> records pipeline spans/counters during the
+  command and writes them as JSON Lines (inspect with `scaguard stats`)"
 }
 
 fn parse_victim(spec: &str) -> Result<Victim, String> {
@@ -65,6 +76,8 @@ struct Options {
     repo: Option<String>,
     threshold: f64,
     victim: Victim,
+    telemetry: Option<String>,
+    json: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -72,6 +85,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         repo: None,
         threshold: Detector::DEFAULT_THRESHOLD,
         victim: Victim::None,
+        telemetry: None,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,10 +102,32 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--victim" => {
                 opts.victim = parse_victim(it.next().ok_or("--victim needs a spec")?)?;
             }
+            "--telemetry" => {
+                opts.telemetry = Some(it.next().ok_or("--telemetry needs a path")?.clone());
+            }
+            "--json" => opts.json = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(opts)
+}
+
+/// Write the collected telemetry as JSONL, if `--telemetry` was given.
+fn finish_telemetry(opts: &Options) -> Result<(), Box<dyn Error>> {
+    let Some(path) = &opts.telemetry else {
+        return Ok(());
+    };
+    let snap = sca_telemetry::snapshot();
+    let mut buf = Vec::new();
+    sca_telemetry::write_jsonl(&snap, &mut buf)?;
+    fs::write(path, buf)?;
+    eprintln!(
+        "telemetry: {} spans, {} counters, {} histograms -> {path}",
+        snap.spans.len(),
+        snap.counters.len(),
+        snap.histograms.len()
+    );
+    Ok(())
 }
 
 fn load_program(path: &str) -> Result<sca_isa::Program, Box<dyn Error>> {
@@ -125,10 +162,109 @@ fn cmd_classify(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
     let detector = Detector::new(repo, opts.threshold);
     let program = load_program(path)?;
     let detection = detector.classify(&program, &opts.victim, &ModelingConfig::default())?;
+    if opts.json {
+        println!("{}", detection_json(program.name(), &detection));
+        return Ok(());
+    }
     for (name, family, score) in &detection.scores {
         println!("  vs {name:<22} ({family})  {:.2}%", score * 100.0);
     }
     println!("{detection}");
+    Ok(())
+}
+
+/// The full detection as one JSON object (the `--json` output mode).
+fn detection_json(program: &str, detection: &scaguard::Detection) -> Json {
+    let scores = detection
+        .scores
+        .iter()
+        .map(|(name, family, score)| {
+            Json::Obj(vec![
+                ("poc".into(), Json::Str(name.clone())),
+                ("family".into(), Json::Str(family.to_string())),
+                ("score".into(), Json::Num(*score)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("program".into(), Json::Str(program.to_string())),
+        ("attack".into(), Json::Bool(detection.is_attack())),
+        (
+            "family".into(),
+            match detection.family() {
+                Some(f) => Json::Str(f.to_string()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "best_poc".into(),
+            match &detection.best {
+                Some((name, _, _)) => Json::Str(name.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("best_score".into(), Json::Num(detection.best_score())),
+        ("threshold".into(), Json::Num(detection.threshold)),
+        ("scores".into(), Json::Arr(scores)),
+    ])
+}
+
+/// Summarize a `--telemetry` JSONL trace: span timings grouped by name,
+/// histogram percentiles, counter totals.
+fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    let mut spans: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut hists: Vec<(String, u64, u64, u64, u64)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = sca_telemetry::parse_line(line)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        match record {
+            Record::Span(s) => {
+                let entry = spans.entry(s.name).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += s.duration_ns;
+            }
+            Record::Counter { name, value } => counters.push((name, value)),
+            Record::Histogram {
+                name,
+                count,
+                p50,
+                p90,
+                p99,
+                ..
+            } => hists.push((name, count, p50, p90, p99)),
+        }
+    }
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!("spans ({}):", path);
+    println!("  {:<32} {:>6} {:>12} {:>12}", "name", "count", "total ms", "mean ms");
+    for (name, (count, total)) in &spans {
+        println!(
+            "  {name:<32} {count:>6} {:>12.3} {:>12.3}",
+            ms(*total),
+            ms(*total) / *count as f64
+        );
+    }
+    if !hists.is_empty() {
+        println!("histograms (ns):");
+        println!(
+            "  {:<32} {:>6} {:>12} {:>12} {:>12}",
+            "name", "count", "p50", "p90", "p99"
+        );
+        for (name, count, p50, p90, p99) in &hists {
+            println!("  {name:<32} {count:>6} {p50:>12} {p90:>12} {p99:>12}");
+        }
+    }
+    if !counters.is_empty() {
+        println!("counters:");
+        for (name, value) in &counters {
+            println!("  {name:<32} {value}");
+        }
+    }
     Ok(())
 }
 
@@ -207,32 +343,26 @@ fn run() -> Result<(), Box<dyn Error>> {
         Some((c, r)) => (c.as_str(), r),
         None => return Err(usage().into()),
     };
-    match cmd {
-        "build-repo" => {
-            let out = rest.first().ok_or(usage())?;
-            cmd_build_repo(out)
-        }
-        "classify" => {
-            let path = rest.first().ok_or(usage())?;
-            let opts = parse_options(&rest[1..])?;
-            cmd_classify(path, &opts)
-        }
-        "model" => {
-            let path = rest.first().ok_or(usage())?;
-            let opts = parse_options(&rest[1..])?;
-            cmd_model(path, &opts)
-        }
-        "explain" => {
-            let path = rest.first().ok_or(usage())?;
-            let opts = parse_options(&rest[1..])?;
-            cmd_explain(path, &opts)
-        }
-        "asm" => {
-            let path = rest.first().ok_or(usage())?;
-            cmd_asm(path)
-        }
-        _ => Err(usage().into()),
+    let path = rest.first().ok_or(usage())?;
+    if cmd == "asm" {
+        return cmd_asm(path);
     }
+    if cmd == "stats" {
+        return cmd_stats(path);
+    }
+    let opts = parse_options(&rest[1..])?;
+    if opts.telemetry.is_some() {
+        sca_telemetry::set_enabled(true);
+    }
+    let result = match cmd {
+        "build-repo" => cmd_build_repo(path),
+        "classify" => cmd_classify(path, &opts),
+        "model" => cmd_model(path, &opts),
+        "explain" => cmd_explain(path, &opts),
+        _ => Err(usage().into()),
+    };
+    finish_telemetry(&opts)?;
+    result
 }
 
 fn main() -> ExitCode {

@@ -176,7 +176,20 @@ impl Detector {
             .repo
             .entries()
             .iter()
-            .map(|e| (e.name.clone(), e.family, similarity_score(target, &e.model)))
+            .map(|e| {
+                let mut sp = sca_telemetry::span("pipeline.compare.dtw");
+                let score = similarity_score(target, &e.model);
+                if sp.is_recording() {
+                    let cells = (target.len() * e.model.len()) as u64;
+                    sp.attr("poc", e.name.as_str());
+                    sp.attr("family", format!("{:?}", e.family));
+                    sp.attr("cells", cells);
+                    sp.attr("score", score);
+                    sca_telemetry::counter("dtw.comparisons", 1);
+                    sca_telemetry::counter("dtw.cells", cells);
+                }
+                (e.name.clone(), e.family, score)
+            })
             .collect();
         let best = scores
             .iter()
@@ -200,8 +213,35 @@ impl Detector {
         victim: &Victim,
         config: &ModelingConfig,
     ) -> Result<Detection, ModelError> {
+        let mut sp = sca_telemetry::span("detect");
+        sp.attr("program", program.name());
+        sp.attr("threshold", self.threshold);
         let outcome = build_model(program, victim, config)?;
-        Ok(self.classify_model(&outcome.cst_bbs))
+        let detection = self.classify_model(&outcome.cst_bbs);
+        if sp.is_recording() {
+            sp.attr(
+                "verdict",
+                if detection.is_attack() { "attack" } else { "benign" },
+            );
+            if let Some((name, family, score)) = &detection.best {
+                sp.attr("best_poc", name.as_str());
+                sp.attr("best_family", format!("{family:?}"));
+                sp.attr("best_score", *score);
+            }
+            // Best score per family, one attribute each.
+            for family in AttackFamily::ALL {
+                let best = detection
+                    .scores
+                    .iter()
+                    .filter(|(_, f, _)| *f == family)
+                    .map(|(_, _, s)| *s)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if best.is_finite() {
+                    sp.attr(&format!("score.{family:?}"), best);
+                }
+            }
+        }
+        Ok(detection)
     }
 }
 

@@ -6,7 +6,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
-use sca_cache::{Cache, CacheConfig, Owner};
+use sca_cache::{Cache, CacheConfig, CacheStats, Owner};
 use sca_cfg::{
     enumerate_paths, max_spanning_tree, remove_back_edges, BlockId, Cfg, WeightedEdge,
 };
@@ -148,32 +148,57 @@ pub fn build_model(
     victim: &Victim,
     config: &ModelingConfig,
 ) -> Result<ModelingOutcome, ModelError> {
-    // Step 0: runtime data collection (HPC + PT substitutes).
+    // Step 0: runtime data collection (HPC + PT substitutes). The machine
+    // itself emits the `pipeline.execute` span; `pipeline.collect` covers
+    // turning the raw trace into per-block aggregates.
     let mut machine = Machine::new(config.cpu.clone());
     let trace = machine.run(program, victim)?;
-    let cfg = Cfg::build(program);
+    let (cfg, hpc, sets) = {
+        let mut sp = sca_telemetry::span("pipeline.collect");
+        let cfg = Cfg::build(program);
+        let hpc = block_hpc_values(program, &cfg, &trace);
+        let sets = block_sets(program, &cfg, &trace, &config.cpu.hierarchy.llc);
+        sp.attr("blocks", cfg.len());
+        sp.attr("hpc_total", trace.totals.hpc_value());
+        sp.attr("set_trace_len", trace.set_trace.len());
+        (cfg, hpc, sets)
+    };
 
-    // Step 1: potential attack-relevant blocks — nonzero HPC value.
-    let hpc = block_hpc_values(program, &cfg, &trace);
-    let potential: Vec<BlockId> = cfg.ids().filter(|b| hpc[b.0] > 0).collect();
+    // Steps 1-2: relevant-BB identification.
+    let (potential, overlap) = {
+        let mut sp = sca_telemetry::span("pipeline.model.relevant_bb");
 
-    // Step 2: cache-set-overlap filtering — keep only blocks touching a
-    // cache set that at least one *other* block also touches.
-    let sets = block_sets(program, &cfg, &trace, &config.cpu.hierarchy.llc);
-    let mut set_users: HashMap<usize, u32> = HashMap::new();
-    for b in &potential {
-        for &s in &sets[b.0] {
-            *set_users.entry(s).or_insert(0) += 1;
+        // Step 1: potential attack-relevant blocks — nonzero HPC value.
+        let potential: Vec<BlockId> = cfg.ids().filter(|b| hpc[b.0] > 0).collect();
+
+        // Step 2: cache-set-overlap filtering — keep only blocks touching a
+        // cache set that at least one *other* block also touches.
+        let mut set_users: HashMap<usize, u32> = HashMap::new();
+        for b in &potential {
+            for &s in &sets[b.0] {
+                *set_users.entry(s).or_insert(0) += 1;
+            }
         }
-    }
-    let overlap: Vec<BlockId> = potential
-        .iter()
-        .copied()
-        .filter(|b| sets[b.0].iter().any(|s| set_users[s] >= 2))
-        .collect();
+        let overlap: Vec<BlockId> = potential
+            .iter()
+            .copied()
+            .filter(|b| sets[b.0].iter().any(|s| set_users[s] >= 2))
+            .collect();
+
+        sp.attr("potential", potential.len());
+        sp.attr("kept", overlap.len());
+        sp.attr("dropped", cfg.len() - overlap.len());
+        (potential, overlap)
+    };
 
     // Steps 3-5: Algorithm 1 — attack-relevant graph construction.
-    let (relevant, edges) = attack_relevant_graph(&cfg, &hpc, &overlap, config.path_cap);
+    let (relevant, edges) = {
+        let mut sp = sca_telemetry::span("pipeline.model.graph");
+        let (relevant, edges) = attack_relevant_graph(&cfg, &hpc, &overlap, config.path_cap);
+        sp.attr("nodes", relevant.len());
+        sp.attr("edges", edges.len());
+        (relevant, edges)
+    };
 
     // Steps 6-7: CST measurement per relevant block and flattening by
     // first-execution timestamp (ties and never-executed restored blocks
@@ -210,7 +235,10 @@ fn attack_relevant_graph(
     }
 
     // Line 1: make the CFG loop-free.
-    let dag = remove_back_edges(cfg);
+    let dag = {
+        let _sp = sca_telemetry::span("pipeline.model.graph.back_edges");
+        remove_back_edges(cfg)
+    };
     let relevant_set: HashSet<BlockId> = relevant.iter().copied().collect();
 
     // Lines 3-5: for each ordered pair, enumerate paths avoiding other
@@ -241,7 +269,11 @@ fn attack_relevant_graph(
     }
 
     // Line 7: maximum spanning tree over the weighted path graph.
-    let chosen = max_spanning_tree(cfg.len(), &edges);
+    let chosen = {
+        let mut sp = sca_telemetry::span("pipeline.model.graph.mst");
+        sp.attr("candidate_edges", edges.len());
+        max_spanning_tree(cfg.len(), &edges)
+    };
 
     // Line 8+: restore the labeled paths of the chosen edges.
     let mut nodes: BTreeSet<BlockId> = relevant.iter().copied().collect();
@@ -264,9 +296,13 @@ fn attack_relevant_graph(
 /// Measure the CST of one block (Section III-A.3): start from a cache full
 /// of non-attacker data (`IO = 1, AO = 0`), feed the block's accessed
 /// memory addresses, observe the occupancy change.
-fn measure_cst(insts_with_accesses: &[(Inst, Vec<u64>)], cache_cfg: &CacheConfig) -> Cst {
+fn measure_cst(
+    insts_with_accesses: &[(Inst, Vec<u64>)],
+    cache_cfg: &CacheConfig,
+) -> (Cst, CacheStats) {
     let mut cache = Cache::new(*cache_cfg);
     cache.prefill(Owner::Other);
+    cache.reset_stats();
     let before = cache.state();
     for (inst, accesses) in insts_with_accesses {
         match inst {
@@ -284,7 +320,7 @@ fn measure_cst(insts_with_accesses: &[(Inst, Vec<u64>)], cache_cfg: &CacheConfig
         }
     }
     let after = cache.state();
-    Cst { before, after }
+    (Cst { before, after }, cache.stats())
 }
 
 /// Build a CST-BBS directly from a chosen block set, bypassing
@@ -297,6 +333,11 @@ pub fn model_from_blocks(
     blocks: &[BlockId],
     cst_cache: &CacheConfig,
 ) -> CstBbs {
+    let mut sp = sca_telemetry::span("pipeline.model.cst_replay");
+    let mut stats = CacheStats::default();
+    // Addresses fed through loads/stores, counted independently of the
+    // replay cache so its hit+miss bookkeeping is cross-checkable.
+    let mut replayed = 0u64;
     let mut steps = Vec::with_capacity(blocks.len());
     for &b in blocks {
         let block = cfg.block(b);
@@ -309,7 +350,13 @@ pub fn model_from_blocks(
                 (program.insts()[idx], trace.accesses_at(addr).to_vec())
             })
             .collect();
-        let cst = measure_cst(&accesses, cst_cache);
+        replayed += accesses
+            .iter()
+            .filter(|(i, _)| matches!(i, Inst::Load { .. } | Inst::Store { .. }))
+            .map(|(_, a)| a.len() as u64)
+            .sum::<u64>();
+        let (cst, block_stats) = measure_cst(&accesses, cst_cache);
+        stats.merge(&block_stats);
         let first_seen = block
             .inst_addrs(program)
             .filter_map(|a| trace.first_seen_at(a))
@@ -323,6 +370,16 @@ pub fn model_from_blocks(
         });
     }
     steps.sort_by_key(|s| (s.first_seen, s.bb_addr));
+    if sp.is_recording() {
+        sp.attr("blocks", blocks.len());
+        sp.attr("cache_hits", stats.hits);
+        sp.attr("cache_misses", stats.misses);
+        sp.attr("cache_flushes", stats.flushes);
+        sp.attr("replayed_accesses", replayed);
+        sca_telemetry::counter("cst_replay.cache_hits", stats.hits);
+        sca_telemetry::counter("cst_replay.cache_misses", stats.misses);
+        sca_telemetry::counter("cst_replay.cache_flushes", stats.flushes);
+    }
     CstBbs::new(steps)
 }
 

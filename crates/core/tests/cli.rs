@@ -132,3 +132,75 @@ fn bad_threshold_and_bad_victim_are_rejected() {
     let out = scaguard(&["classify", "x.sasm", "--victim", "wat"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn json_and_telemetry_outputs() {
+    let dir = tmp_dir("telemetry");
+    let repo = dir.join("pocs.repo").to_string_lossy().into_owned();
+    assert!(scaguard(&["build-repo", &repo]).status.success());
+
+    let fr = poc::flush_reload_mastik(&PocParams::default());
+    let fr_path = write_sasm(&dir, "fr-mastik", &fr.program);
+    let jsonl = dir.join("run.jsonl").to_string_lossy().into_owned();
+
+    // --json emits one parseable object with the full detection
+    let out = scaguard(&[
+        "classify", &fr_path, "--repo", &repo, "--victim", "shared:3",
+        "--json", "--telemetry", &jsonl,
+    ]);
+    assert!(
+        out.status.success(),
+        "classify --json failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let obj = sca_telemetry::Json::parse(stdout.trim()).expect("valid JSON object");
+    assert_eq!(obj.get("attack").map(|v| v == &sca_telemetry::Json::Bool(true)), Some(true));
+    assert!(obj.get("family").and_then(|v| v.as_str()).is_some());
+    assert!(obj.get("best_score").and_then(|v| v.as_f64()).is_some());
+    match obj.get("scores") {
+        Some(sca_telemetry::Json::Arr(scores)) => assert_eq!(scores.len(), 4),
+        other => panic!("scores must be an array: {other:?}"),
+    }
+
+    // --telemetry wrote valid JSONL with a root detect span and all six
+    // pipeline stages under it
+    let text = fs::read_to_string(&jsonl).expect("telemetry file");
+    let mut span_names = Vec::new();
+    let mut detect_root = false;
+    for line in text.lines() {
+        match sca_telemetry::parse_line(line).expect("every line parses") {
+            sca_telemetry::Record::Span(s) => {
+                if s.name == "detect" && s.parent.is_none() {
+                    detect_root = true;
+                }
+                assert!(s.duration_ns > 0, "span {} has zero duration", s.name);
+                span_names.push(s.name);
+            }
+            _ => {}
+        }
+    }
+    assert!(detect_root, "root detect span present");
+    for stage in [
+        "pipeline.execute",
+        "pipeline.collect",
+        "pipeline.model.relevant_bb",
+        "pipeline.model.graph",
+        "pipeline.model.cst_replay",
+        "pipeline.compare.dtw",
+    ] {
+        assert!(
+            span_names.iter().any(|n| n == stage),
+            "stage {stage} missing from telemetry trace"
+        );
+    }
+
+    // stats summarizes the trace
+    let out = scaguard(&["stats", &jsonl]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("detect"), "stats lists the detect span: {text}");
+    assert!(text.contains("counters"), "stats lists counters: {text}");
+
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,119 +1,148 @@
 //! Property-based tests for the similarity machinery: metric properties of
 //! Levenshtein, DTW, and the CST distance, plus score-range guarantees.
-
-use proptest::prelude::*;
+//! Randomized inputs come from seeded [`SmallRng`] loops so runs are
+//! deterministic.
 
 use sca_cache::CacheState;
+use sca_isa::rng::SmallRng;
 use sca_isa::NormInst;
 use scaguard::similarity::{csp_distance, instruction_distance};
 use scaguard::{cst_distance, dtw, levenshtein, similarity_score, Cst, CstBbs, CstStep};
 
-fn arb_norm_inst() -> impl Strategy<Value = NormInst> {
-    prop_oneof![
-        Just(NormInst::binary("mov", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Imm)),
-        Just(NormInst::binary("ld", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Mem)),
-        Just(NormInst::binary("st", sca_isa::NormOperand::Mem, sca_isa::NormOperand::Reg)),
-        Just(NormInst::binary("add", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Imm)),
-        Just(NormInst::unary("clflush", sca_isa::NormOperand::Mem)),
-        Just(NormInst::unary("rdtscp", sca_isa::NormOperand::Reg)),
-        Just(NormInst::nullary("nop")),
-    ]
+const CASES: usize = 128;
+
+fn arb_norm_inst(rng: &mut SmallRng) -> NormInst {
+    match rng.gen_range(0..7u32) {
+        0 => NormInst::binary("mov", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Imm),
+        1 => NormInst::binary("ld", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Mem),
+        2 => NormInst::binary("st", sca_isa::NormOperand::Mem, sca_isa::NormOperand::Reg),
+        3 => NormInst::binary("add", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Imm),
+        4 => NormInst::unary("clflush", sca_isa::NormOperand::Mem),
+        5 => NormInst::unary("rdtscp", sca_isa::NormOperand::Reg),
+        _ => NormInst::nullary("nop"),
+    }
 }
 
-fn arb_step() -> impl Strategy<Value = CstStep> {
-    (
-        proptest::collection::vec(arb_norm_inst(), 0..12),
-        0.0f64..=0.5,
-        0.0f64..=0.5,
-        0u64..10_000,
-    )
-        .prop_map(|(norm_insts, ao, io, first_seen)| CstStep {
-            bb_addr: 0x40_0000,
-            norm_insts,
-            cst: Cst {
-                before: CacheState::full_other(),
-                after: CacheState::new(ao, io),
-            },
-            first_seen,
-        })
+fn unit_half(rng: &mut SmallRng) -> f64 {
+    rng.gen_range(0..=500_000u64) as f64 / 1_000_000.0
 }
 
-fn arb_model() -> impl Strategy<Value = CstBbs> {
-    proptest::collection::vec(arb_step(), 0..10).prop_map(CstBbs::new)
+fn arb_step(rng: &mut SmallRng) -> CstStep {
+    let norm_insts = (0..rng.gen_range(0..12usize))
+        .map(|_| arb_norm_inst(rng))
+        .collect();
+    let (ao, io) = (unit_half(rng), unit_half(rng));
+    CstStep {
+        bb_addr: 0x40_0000,
+        norm_insts,
+        cst: Cst {
+            before: CacheState::full_other(),
+            after: CacheState::new(ao, io),
+        },
+        first_seen: rng.gen_range(0u64..10_000),
+    }
 }
 
-proptest! {
-    /// Levenshtein is a metric on sequences: identity, symmetry, triangle
-    /// inequality, and the standard bounds.
-    #[test]
-    fn levenshtein_is_a_metric(
-        a in proptest::collection::vec(0u8..5, 0..20),
-        b in proptest::collection::vec(0u8..5, 0..20),
-        c in proptest::collection::vec(0u8..5, 0..20),
-    ) {
-        prop_assert_eq!(levenshtein(&a, &a), 0);
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+fn arb_steps(rng: &mut SmallRng, lo: usize, hi: usize) -> Vec<CstStep> {
+    (0..rng.gen_range(lo..hi)).map(|_| arb_step(rng)).collect()
+}
+
+fn arb_model(rng: &mut SmallRng) -> CstBbs {
+    CstBbs::new(arb_steps(rng, 0, 10))
+}
+
+/// Levenshtein is a metric on sequences: identity, symmetry, triangle
+/// inequality, and the standard bounds.
+#[test]
+fn levenshtein_is_a_metric() {
+    let mut rng = SmallRng::seed_from_u64(0xc02e_001);
+    let seq = |rng: &mut SmallRng| -> Vec<u8> {
+        (0..rng.gen_range(0..20usize))
+            .map(|_| rng.gen_range(0u8..5))
+            .collect()
+    };
+    for _ in 0..CASES {
+        let (a, b, c) = (seq(&mut rng), seq(&mut rng), seq(&mut rng));
+        assert_eq!(levenshtein(&a, &a), 0);
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
         let d = levenshtein(&a, &b);
-        prop_assert!(d >= a.len().abs_diff(b.len()));
-        prop_assert!(d <= a.len().max(b.len()));
+        assert!(d >= a.len().abs_diff(b.len()));
+        assert!(d <= a.len().max(b.len()));
         if d == 0 {
-            prop_assert_eq!(&a, &b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    /// Each distance component and the combined distance stay in [0, 1]
-    /// and are symmetric with zero self-distance.
-    #[test]
-    fn step_distances_are_bounded_symmetric(x in arb_step(), y in arb_step()) {
+/// Each distance component and the combined distance stay in [0, 1]
+/// and are symmetric with zero self-distance.
+#[test]
+fn step_distances_are_bounded_symmetric() {
+    let mut rng = SmallRng::seed_from_u64(0xc02e_002);
+    for _ in 0..CASES {
+        let x = arb_step(&mut rng);
+        let y = arb_step(&mut rng);
         for d in [
             instruction_distance(&x, &y),
             csp_distance(&x, &y),
             cst_distance(&x, &y),
         ] {
-            prop_assert!((0.0..=1.0).contains(&d), "distance {d} out of range");
+            assert!((0.0..=1.0).contains(&d), "distance {d} out of range");
         }
-        prop_assert!((cst_distance(&x, &y) - cst_distance(&y, &x)).abs() < 1e-12);
-        prop_assert_eq!(cst_distance(&x, &x), 0.0);
+        assert!((cst_distance(&x, &y) - cst_distance(&y, &x)).abs() < 1e-12);
+        assert_eq!(cst_distance(&x, &x), 0.0);
     }
+}
 
-    /// DTW under the CST distance: zero on identity, symmetric,
-    /// non-negative, and bounded by the all-pairs worst case.
-    #[test]
-    fn dtw_properties(a in arb_model(), b in arb_model()) {
+/// DTW under the CST distance: zero on identity, symmetric,
+/// non-negative, and bounded by the all-pairs worst case.
+#[test]
+fn dtw_properties() {
+    let mut rng = SmallRng::seed_from_u64(0xc02e_003);
+    for _ in 0..CASES {
+        let a = arb_model(&mut rng);
+        let b = arb_model(&mut rng);
         let dab = dtw(a.steps(), b.steps(), cst_distance);
         let dba = dtw(b.steps(), a.steps(), cst_distance);
-        prop_assert!(dab >= 0.0);
-        prop_assert!((dab - dba).abs() < 1e-9, "DTW must be symmetric");
-        prop_assert_eq!(dtw(a.steps(), a.steps(), cst_distance), 0.0);
+        assert!(dab >= 0.0);
+        assert!((dab - dba).abs() < 1e-9, "DTW must be symmetric");
+        assert_eq!(dtw(a.steps(), a.steps(), cst_distance), 0.0);
         // path length is at most len(a)+len(b), each step costing <= 1
-        prop_assert!(dab <= (a.len() + b.len()) as f64 + 1e-9);
+        assert!(dab <= (a.len() + b.len()) as f64 + 1e-9);
     }
+}
 
-    /// Similarity scores live in [0, 1], reach 1 exactly on self, and are
-    /// symmetric.
-    #[test]
-    fn similarity_score_properties(a in arb_model(), b in arb_model()) {
+/// Similarity scores live in [0, 1], reach 1 exactly on self, and are
+/// symmetric.
+#[test]
+fn similarity_score_properties() {
+    let mut rng = SmallRng::seed_from_u64(0xc02e_004);
+    for _ in 0..CASES {
+        let a = arb_model(&mut rng);
+        let b = arb_model(&mut rng);
         let s = similarity_score(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert_eq!(similarity_score(&a, &a), 1.0);
-        prop_assert!((s - similarity_score(&b, &a)).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(similarity_score(&a, &a), 1.0);
+        assert!((s - similarity_score(&b, &a)).abs() < 1e-9);
     }
+}
 
-    /// Concatenating a common prefix to both sequences never increases the
-    /// DTW distance beyond the original (warping absorbs shared structure).
-    #[test]
-    fn shared_prefix_does_not_hurt(
-        prefix in proptest::collection::vec(arb_step(), 1..4),
-        a in proptest::collection::vec(arb_step(), 1..6),
-        b in proptest::collection::vec(arb_step(), 1..6),
-    ) {
+/// Concatenating a common prefix to both sequences never increases the
+/// DTW distance beyond the original (warping absorbs shared structure).
+#[test]
+fn shared_prefix_does_not_hurt() {
+    let mut rng = SmallRng::seed_from_u64(0xc02e_005);
+    for _ in 0..CASES {
+        let prefix = arb_steps(&mut rng, 1, 4);
+        let a = arb_steps(&mut rng, 1, 6);
+        let b = arb_steps(&mut rng, 1, 6);
         let base = dtw(&a, &b, cst_distance);
         let mut pa = prefix.clone();
         pa.extend(a.clone());
-        let mut pb = prefix.clone();
+        let mut pb = prefix;
         pb.extend(b.clone());
         let with_prefix = dtw(&pa, &pb, cst_distance);
-        prop_assert!(with_prefix <= base + 1e-9, "{with_prefix} > {base}");
+        assert!(with_prefix <= base + 1e-9, "{with_prefix} > {base}");
     }
 }

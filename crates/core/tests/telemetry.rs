@@ -1,0 +1,142 @@
+//! End-to-end telemetry integration: a `Detector::classify` run over one
+//! PoC and one benign program must emit spans for all six pipeline stages
+//! (execute, collect, relevant-BB filter, attack-relevant graph, CST
+//! replay, DTW compare) under a root `detect` span, with nonzero durations
+//! and consistent cache counters.
+
+use std::collections::HashMap;
+
+use sca_attacks::benign::{self, Kind};
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::AttackFamily;
+use scaguard::{Detector, ModelRepository, ModelingConfig};
+
+const STAGES: [&str; 6] = [
+    "pipeline.execute",
+    "pipeline.collect",
+    "pipeline.model.relevant_bb",
+    "pipeline.model.graph",
+    "pipeline.model.cst_replay",
+    "pipeline.compare.dtw",
+];
+
+fn built_detector(config: &ModelingConfig) -> Detector {
+    let params = PocParams::default();
+    let mut repo = ModelRepository::new();
+    for family in AttackFamily::ALL {
+        let s = poc::representative(family, &params);
+        repo.add_poc(family, &s.program, &s.victim, config)
+            .expect("poc models");
+    }
+    Detector::new(repo, Detector::DEFAULT_THRESHOLD)
+}
+
+#[test]
+fn classify_emits_all_six_stage_spans() {
+    let config = ModelingConfig::default();
+    let detector = built_detector(&config);
+    let attack = poc::flush_reload_iaik(&PocParams::default());
+    let benign = benign::generate(Kind::Leetcode, 1);
+
+    let ((attack_det, _benign_det), snap) = sca_telemetry::collect(|| {
+        let a = detector
+            .classify(&attack.program, &attack.victim, &config)
+            .expect("classify poc");
+        let b = detector
+            .classify(&benign.program, &benign.victim, &config)
+            .expect("classify benign");
+        (a, b)
+    });
+
+    // One root `detect` span per classification, each a tree root.
+    let detects: Vec<_> = snap.spans_named("detect").collect();
+    assert_eq!(detects.len(), 2);
+    for d in &detects {
+        assert_eq!(d.parent, None, "detect must be a root span");
+        assert!(d.duration_ns > 0);
+        assert!(d.attr("verdict").is_some());
+        assert!(d.attr("best_score").is_some());
+    }
+    // The FR PoC is in the repository itself: verdict must be attack.
+    let poc_detect = detects
+        .iter()
+        .find(|d| d.attr("program").and_then(|v| v.as_str()) == Some(attack.program.name()))
+        .expect("poc detect span");
+    assert_eq!(
+        poc_detect.attr("verdict").and_then(|v| v.as_str()),
+        Some("attack")
+    );
+    assert!(attack_det.is_attack());
+
+    // Walk parents to find each span's root.
+    let by_id: HashMap<u64, &sca_telemetry::SpanRecord> =
+        snap.spans.iter().map(|s| (s.id, s)).collect();
+    let root_of = |mut id: u64| -> u64 {
+        while let Some(parent) = by_id[&id].parent {
+            id = parent;
+        }
+        id
+    };
+
+    for stage in STAGES {
+        let spans: Vec<_> = snap.spans_named(stage).collect();
+        // every stage ran for both classifications (dtw once per repo entry)
+        assert!(
+            spans.len() >= 2,
+            "stage {stage}: expected >= 2 spans, got {}",
+            spans.len()
+        );
+        for s in &spans {
+            assert!(s.duration_ns > 0, "stage {stage} has a zero duration");
+            let root = by_id[&root_of(s.id)];
+            assert_eq!(root.name, "detect", "stage {stage} not under detect");
+        }
+    }
+
+    // Stage durations are aggregated into histograms under the span name.
+    for stage in STAGES {
+        assert!(snap.histograms[stage].count() >= 2, "no histogram for {stage}");
+    }
+
+    // CST-replay cache bookkeeping: hits + misses equals the number of
+    // replayed load/store accesses (counted independently).
+    for s in snap.spans_named("pipeline.model.cst_replay") {
+        let get = |k: &str| s.attr(k).and_then(|v| v.as_u64()).expect("cst attr");
+        assert_eq!(
+            get("cache_hits") + get("cache_misses"),
+            get("replayed_accesses"),
+            "cache hit+miss must equal the replayed access count"
+        );
+    }
+    // The FR PoC flushes lines during replay; at least one replay saw them.
+    let total_flushes: u64 = snap
+        .spans_named("pipeline.model.cst_replay")
+        .map(|s| s.attr("cache_flushes").and_then(|v| v.as_u64()).unwrap_or(0))
+        .sum();
+    assert!(total_flushes > 0, "FR replay must flush lines");
+
+    // Execute-stage counters reached the registry.
+    assert!(snap.counters["cpu.instructions_retired"] > 0);
+    assert!(snap.counters["dtw.comparisons"] >= 2);
+}
+
+#[test]
+fn disabled_telemetry_leaves_classification_unchanged() {
+    let config = ModelingConfig::default();
+    let detector = built_detector(&config);
+    let s = poc::prime_probe_iaik(&PocParams::default());
+
+    let quiet = detector
+        .classify(&s.program, &s.victim, &config)
+        .expect("disabled classify");
+    let ((instrumented, _), snap) = sca_telemetry::collect(|| {
+        let det = detector
+            .classify(&s.program, &s.victim, &config)
+            .expect("enabled classify");
+        (det, ())
+    });
+
+    assert_eq!(quiet.is_attack(), instrumented.is_attack());
+    assert_eq!(quiet.best_score(), instrumented.best_score());
+    assert!(!snap.spans.is_empty());
+}

@@ -388,6 +388,7 @@ impl Machine {
         if program.is_empty() {
             return Err(RunError::EmptyProgram);
         }
+        let mut sp = sca_telemetry::span("pipeline.execute");
         self.reset();
         let mut col = Collector::new(&self.cfg);
         let line = self.cfg.hierarchy.llc.line_size;
@@ -519,7 +520,22 @@ impl Machine {
             pc = next_pc;
         }
 
-        Ok(col.finish(self.cycles, steps, halted))
+        let trace = col.finish(self.cycles, steps, halted);
+        if sp.is_recording() {
+            sp.attr("program", program.name());
+            sp.attr("steps", steps);
+            sp.attr("cycles", self.cycles);
+            sp.attr("halted", halted);
+            sp.attr("set_trace_len", trace.set_trace.len());
+            sca_telemetry::counter("cpu.instructions_retired", steps);
+            for e in HpcEvent::ALL {
+                let n = trace.totals[e];
+                if n > 0 {
+                    sca_telemetry::counter(&format!("cpu.hpc.{e:?}"), n);
+                }
+            }
+        }
+        Ok(trace)
     }
 
     /// Execute up to `budget` committed victim-process instructions;

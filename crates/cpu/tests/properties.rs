@@ -1,9 +1,10 @@
 //! Property-based tests for the simulated CPU: trace bookkeeping
 //! consistency and determinism over arbitrary (bounded) programs.
-
-use proptest::prelude::*;
+//! Randomized inputs come from seeded [`SmallRng`] loops so runs are
+//! deterministic.
 
 use sca_cpu::{CpuConfig, HpcEvent, Machine, Victim};
+use sca_isa::rng::SmallRng;
 use sca_isa::{AluOp, Cond, Inst, MemRef, Operand, Program, Reg};
 
 /// Opcode skeletons; branch targets fixed up to stay in range.
@@ -22,23 +23,23 @@ enum Skel {
     Nop,
 }
 
-fn arb_skeleton() -> impl Strategy<Value = Vec<Skel>> {
-    proptest::collection::vec(
-        prop_oneof![
-            any::<i16>().prop_map(Skel::MovImm),
-            any::<u16>().prop_map(Skel::Load),
-            any::<u16>().prop_map(Skel::Store),
-            any::<i16>().prop_map(Skel::Alu),
-            any::<i16>().prop_map(Skel::Cmp),
-            (0usize..64).prop_map(Skel::Jmp),
-            (0usize..64).prop_map(Skel::Br),
-            any::<u16>().prop_map(Skel::Flush),
-            Just(Skel::Rdtscp),
-            Just(Skel::Yield),
-            Just(Skel::Nop),
-        ],
-        1..48,
-    )
+fn arb_skeleton(rng: &mut SmallRng) -> Vec<Skel> {
+    let n = rng.gen_range(1..48usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..11u32) {
+            0 => Skel::MovImm(rng.gen()),
+            1 => Skel::Load(rng.gen()),
+            2 => Skel::Store(rng.gen()),
+            3 => Skel::Alu(rng.gen()),
+            4 => Skel::Cmp(rng.gen()),
+            5 => Skel::Jmp(rng.gen_range(0..64usize)),
+            6 => Skel::Br(rng.gen_range(0..64usize)),
+            7 => Skel::Flush(rng.gen()),
+            8 => Skel::Rdtscp,
+            9 => Skel::Yield,
+            _ => Skel::Nop,
+        })
+        .collect()
 }
 
 fn materialize(skels: Vec<Skel>) -> Program {
@@ -91,58 +92,66 @@ fn bounded_cpu() -> CpuConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Global event totals equal the sum of the per-address attributions.
-    #[test]
-    fn totals_equal_per_address_sums(skels in arb_skeleton()) {
-        let p = materialize(skels);
+/// Global event totals equal the sum of the per-address attributions.
+#[test]
+fn totals_equal_per_address_sums() {
+    let mut rng = SmallRng::seed_from_u64(0xc_b0_001);
+    for _ in 0..64 {
+        let p = materialize(arb_skeleton(&mut rng));
         let t = Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
         for e in HpcEvent::ALL {
             let sum: u64 = t.inst_events.values().map(|c| c[e]).sum();
-            prop_assert_eq!(sum, t.totals[e], "event {} mismatch", e.name());
+            assert_eq!(sum, t.totals[e], "event {} mismatch", e.name());
         }
     }
+}
 
-    /// Every trace key refers to a real instruction of the program, and
-    /// cycles dominate committed steps.
-    #[test]
-    fn trace_keys_are_program_addresses(skels in arb_skeleton()) {
-        let p = materialize(skels);
+/// Every trace key refers to a real instruction of the program, and
+/// cycles dominate committed steps.
+#[test]
+fn trace_keys_are_program_addresses() {
+    let mut rng = SmallRng::seed_from_u64(0xc_b0_002);
+    for _ in 0..64 {
+        let p = materialize(arb_skeleton(&mut rng));
         let t = Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
         for addr in t.inst_events.keys().chain(t.first_seen.keys()) {
-            prop_assert!(p.index_of_addr(*addr).is_some(), "alien address {:#x}", addr);
+            assert!(p.index_of_addr(*addr).is_some(), "alien address {addr:#x}");
         }
         for addr in t.inst_accesses.keys() {
-            prop_assert!(p.index_of_addr(*addr).is_some());
+            assert!(p.index_of_addr(*addr).is_some());
         }
-        prop_assert!(t.cycles >= t.steps, "each step costs at least one cycle");
-        prop_assert!(t.steps <= 4_000);
+        assert!(t.cycles >= t.steps, "each step costs at least one cycle");
+        assert!(t.steps <= 4_000);
     }
+}
 
-    /// Execution is a pure function of (program, victim, config).
-    #[test]
-    fn runs_are_deterministic(skels in arb_skeleton()) {
-        let p = materialize(skels);
+/// Execution is a pure function of (program, victim, config).
+#[test]
+fn runs_are_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0xc_b0_003);
+    for _ in 0..64 {
+        let p = materialize(arb_skeleton(&mut rng));
         let run = || Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
         let (a, b) = (run(), run());
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(a.steps, b.steps);
-        prop_assert_eq!(a.totals, b.totals);
-        prop_assert_eq!(a.first_seen, b.first_seen);
-        prop_assert_eq!(a.samples, b.samples);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.first_seen, b.first_seen);
+        assert_eq!(a.samples, b.samples);
     }
+}
 
-    /// Traced data accesses are line-aligned (the PT substitute reports
-    /// lines, like the modeling pipeline expects).
-    #[test]
-    fn traced_accesses_are_line_aligned(skels in arb_skeleton()) {
-        let p = materialize(skels);
+/// Traced data accesses are line-aligned (the PT substitute reports
+/// lines, like the modeling pipeline expects).
+#[test]
+fn traced_accesses_are_line_aligned() {
+    let mut rng = SmallRng::seed_from_u64(0xc_b0_004);
+    for _ in 0..64 {
+        let p = materialize(arb_skeleton(&mut rng));
         let t = Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
         for accesses in t.inst_accesses.values() {
             for a in accesses {
-                prop_assert_eq!(a % 64, 0, "unaligned traced access {:#x}", a);
+                assert_eq!(a % 64, 0, "unaligned traced access {a:#x}");
             }
         }
     }

@@ -7,8 +7,11 @@
 //! approach shares the same simulated-CPU substrate, so the *absolute*
 //! numbers shrink, but the structural claim that model-free approaches pay
 //! per-target modeling cost is preserved and measurable.
-
-use std::time::Instant;
+//!
+//! Latencies are measured through the `sca-telemetry` registry (spans
+//! `eval.train` / `eval.detect`, one per train call / target) rather than
+//! ad-hoc `Instant::now()` pairs, so these rows and `scaguard stats`
+//! derive from the same clocks.
 
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{benign, AttackFamily, Sample};
@@ -67,18 +70,28 @@ pub fn timing(cfg: &EvalConfig) -> Result<Vec<TimingRow>, DetectError> {
     ];
     for (d, train) in detectors {
         let refs: Vec<&Sample> = train.iter().collect();
-        let t0 = Instant::now();
-        d.train(&refs)?;
-        let train_secs = t0.elapsed().as_secs_f64();
-        let t1 = Instant::now();
-        for t in &targets {
-            let _ = d.classify(t)?;
-        }
-        let detect_secs = t1.elapsed().as_secs_f64() / targets.len() as f64;
+        let approach = d.name().to_string();
+        let (result, snap) = sca_telemetry::collect(|| -> Result<(), DetectError> {
+            {
+                let mut sp = sca_telemetry::span("eval.train");
+                sp.attr("approach", approach.as_str());
+                d.train(&refs)?;
+            }
+            for t in &targets {
+                let mut sp = sca_telemetry::span("eval.detect");
+                sp.attr("approach", approach.as_str());
+                let _ = d.classify(t)?;
+            }
+            Ok(())
+        });
+        result?;
+        let span_secs = |name: &str| {
+            snap.spans_named(name).map(|s| s.duration_ns).sum::<u64>() as f64 / 1e9
+        };
         rows.push(TimingRow {
-            approach: d.name().to_string(),
-            train_secs,
-            detect_secs,
+            approach,
+            train_secs: span_secs("eval.train"),
+            detect_secs: span_secs("eval.detect") / targets.len() as f64,
         });
     }
     Ok(rows)
@@ -95,7 +108,10 @@ mod tests {
         let names: Vec<&str> = rows.iter().map(|r| r.approach.as_str()).collect();
         assert_eq!(names, vec!["SVM-NW", "LR-NW", "KNN-MLFM", "SCADET", "SCAGuard"]);
         for r in &rows {
-            assert!(r.detect_secs >= 0.0);
+            // Registry-derived spans: every approach does real work, so
+            // both phases must have recorded nonzero wall time.
+            assert!(r.train_secs > 0.0, "{}: no train time", r.approach);
+            assert!(r.detect_secs > 0.0, "{}: no detect time", r.approach);
         }
     }
 }

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod analysis;
+pub mod rng;
 
 mod asm;
 mod inst;

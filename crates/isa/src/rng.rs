@@ -1,0 +1,275 @@
+//! Seeded, std-only pseudo-random numbers.
+//!
+//! The dataset generators, mutators, and property tests all need cheap
+//! deterministic randomness, but the build must work fully offline, so no
+//! external RNG crate is available. [`SmallRng`] is a splitmix64 stream —
+//! excellent statistical quality for generator/test workloads, one `u64`
+//! of state, and a stable output sequence per seed (results are
+//! reproducible across runs and platforms).
+//!
+//! The surface mirrors the subset of `rand` the workspace used:
+//! `seed_from_u64`, `gen`, `gen_range`, `gen_bool`, plus a [`Shuffle`]
+//! extension trait for slices.
+//!
+//! ```
+//! use sca_isa::rng::{SmallRng, Shuffle};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let k = rng.gen_range(8..32u64);
+//! assert!((8..32).contains(&k));
+//! let mut v = vec![1, 2, 3, 4];
+//! v.shuffle(&mut rng);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A small, fast, seedable PRNG (splitmix64). Not cryptographically
+/// secure — for dataset generation and tests only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Create an RNG whose output stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly random value of `T` (integers: full range).
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A uniform sample from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform index below `bound` via Lemire's multiply-shift.
+    fn index_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A random element of `slice`, or `None` if it is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index_below(slice.len() as u64) as usize])
+        }
+    }
+}
+
+/// Types producible uniformly from raw RNG bits.
+pub trait FromRng: Sized {
+    /// Draw one uniform value.
+    fn from_rng(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_from_rng {
+    ($($t:ty),*) => {$(
+        impl FromRng for $t {
+            fn from_rng(rng: &mut SmallRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_from_rng!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for bool {
+    fn from_rng(rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable as `gen_range` endpoints.
+pub trait RangeInt: Copy + PartialOrd {
+    /// `high - low` as a width-independent span (assumes `low <= high`).
+    fn span(low: Self, high: Self) -> u64;
+    /// `low + off` (assumes the result stays in range).
+    fn offset(low: Self, off: u64) -> Self;
+}
+
+macro_rules! impl_range_int_unsigned {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn span(low: $t, high: $t) -> u64 {
+                (high - low) as u64
+            }
+            fn offset(low: $t, off: u64) -> $t {
+                low + off as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_range_int_signed {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn span(low: $t, high: $t) -> u64 {
+                (high as i128 - low as i128) as u64
+            }
+            fn offset(low: $t, off: u64) -> $t {
+                (low as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int_unsigned!(u8, u16, u32, u64, usize);
+impl_range_int_signed!(i8, i16, i32, i64, isize);
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+impl<T: RangeInt> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut SmallRng) -> T {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        let span = T::span(self.start, self.end);
+        T::offset(self.start, rng.index_below(span))
+    }
+}
+
+impl<T: RangeInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut SmallRng) -> T {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "gen_range on an empty range");
+        let span = T::span(low, high);
+        if span == u64::MAX {
+            return T::offset(low, rng.next_u64());
+        }
+        T::offset(low, rng.index_below(span + 1))
+    }
+}
+
+/// Fisher–Yates shuffling for slices, mirroring `rand`'s `SliceRandom`
+/// call shape (`slice.shuffle(&mut rng)`).
+pub trait Shuffle {
+    /// Uniformly permute the elements in place.
+    fn shuffle(&mut self, rng: &mut SmallRng);
+}
+
+impl<T> Shuffle for [T] {
+    fn shuffle(&mut self, rng: &mut SmallRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.index_below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(9);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(9);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(10);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17u64);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+            let u = rng.gen_range(0..1usize);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_both_endpoints_inclusive() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..=3usize)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn gen_bool_extremes_are_exact() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_picks_existing_elements() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let v = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(v.contains(rng.choose(&v).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+    }
+}

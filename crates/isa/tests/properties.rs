@@ -1,188 +1,235 @@
 //! Property-based tests for the micro-ISA: normalization invariances,
-//! builder/address arithmetic, and operator semantics.
+//! builder/address arithmetic, and operator semantics. Randomized inputs
+//! come from seeded [`SmallRng`] loops so runs are deterministic.
 
-use proptest::prelude::*;
+use sca_isa::rng::SmallRng;
+use sca_isa::{
+    normalize_inst, AluOp, Cond, Inst, MemRef, Operand, Program, Reg, INST_SIZE, TEXT_BASE,
+};
 
-use sca_isa::{normalize_inst, AluOp, Cond, Inst, MemRef, Operand, Program, Reg, INST_SIZE, TEXT_BASE};
+const CASES: usize = 256;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0usize..16).prop_map(Reg::from_index)
+fn arb_reg(rng: &mut SmallRng) -> Reg {
+    Reg::from_index(rng.gen_range(0..16usize))
 }
 
-fn arb_mem() -> impl Strategy<Value = MemRef> {
-    (
-        proptest::option::of(arb_reg()),
-        proptest::option::of(arb_reg()),
-        prop_oneof![Just(1u8), Just(2), Just(4), Just(8), Just(64)],
-        -0x1_0000i64..0x1_0000,
-    )
-        .prop_map(|(base, index, scale, disp)| MemRef {
-            base,
-            // scale is only meaningful with an index register; keep the
-            // generated reference canonical so text round-trips compare equal
-            scale: if index.is_some() { scale } else { 1 },
-            index,
-            disp,
-        })
+fn arb_mem(rng: &mut SmallRng) -> MemRef {
+    let base = rng.gen_bool(0.5).then(|| arb_reg(rng));
+    let index = rng.gen_bool(0.5).then(|| arb_reg(rng));
+    let scale = *rng.choose(&[1u8, 2, 4, 8, 64]).unwrap();
+    MemRef {
+        base,
+        // scale is only meaningful with an index register; keep the
+        // generated reference canonical so text round-trips compare equal
+        scale: if index.is_some() { scale } else { 1 },
+        index,
+        disp: rng.gen_range(-0x1_0000i64..0x1_0000),
+    }
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-    ]
+fn arb_alu_op(rng: &mut SmallRng) -> AluOp {
+    *rng.choose(&[
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+    ])
+    .unwrap()
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::Lt),
-        Just(Cond::Le),
-        Just(Cond::Gt),
-        Just(Cond::Ge),
-    ]
+fn arb_cond(rng: &mut SmallRng) -> Cond {
+    *rng.choose(&[Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge])
+        .unwrap()
 }
 
 /// A non-branch instruction (branch targets need a program context).
-fn arb_straight_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
-        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::MovReg { dst, src }),
-        (arb_reg(), arb_mem()).prop_map(|(dst, addr)| Inst::Load { dst, addr }),
-        (arb_reg(), arb_mem()).prop_map(|(src, addr)| Inst::Store { src, addr }),
-        (arb_alu_op(), arb_reg(), arb_reg())
-            .prop_map(|(op, dst, src)| Inst::Alu {
-                op,
-                dst,
-                src: Operand::Reg(src)
-            }),
-        (arb_alu_op(), arb_reg(), any::<i64>())
-            .prop_map(|(op, dst, imm)| Inst::Alu {
-                op,
-                dst,
-                src: Operand::Imm(imm)
-            }),
-        (arb_reg(), arb_reg()).prop_map(|(lhs, rhs)| Inst::Cmp {
-            lhs,
-            rhs: Operand::Reg(rhs)
-        }),
-        arb_mem().prop_map(|addr| Inst::Clflush { addr }),
-        arb_reg().prop_map(|dst| Inst::Rdtscp { dst }),
-        Just(Inst::Nop),
-    ]
+fn arb_straight_inst(rng: &mut SmallRng) -> Inst {
+    match rng.gen_range(0..10u32) {
+        0 => Inst::MovImm {
+            dst: arb_reg(rng),
+            imm: rng.gen(),
+        },
+        1 => Inst::MovReg {
+            dst: arb_reg(rng),
+            src: arb_reg(rng),
+        },
+        2 => Inst::Load {
+            dst: arb_reg(rng),
+            addr: arb_mem(rng),
+        },
+        3 => Inst::Store {
+            src: arb_reg(rng),
+            addr: arb_mem(rng),
+        },
+        4 => Inst::Alu {
+            op: arb_alu_op(rng),
+            dst: arb_reg(rng),
+            src: Operand::Reg(arb_reg(rng)),
+        },
+        5 => Inst::Alu {
+            op: arb_alu_op(rng),
+            dst: arb_reg(rng),
+            src: Operand::Imm(rng.gen()),
+        },
+        6 => Inst::Cmp {
+            lhs: arb_reg(rng),
+            rhs: Operand::Reg(arb_reg(rng)),
+        },
+        7 => Inst::Clflush { addr: arb_mem(rng) },
+        8 => Inst::Rdtscp { dst: arb_reg(rng) },
+        _ => Inst::Nop,
+    }
 }
 
-proptest! {
-    /// Rule 3: register identities never survive normalization.
-    #[test]
-    fn normalization_erases_registers(
-        dst1 in arb_reg(), dst2 in arb_reg(), src1 in arb_reg(), src2 in arb_reg()
-    ) {
-        let a = Inst::MovReg { dst: dst1, src: src1 };
-        let b = Inst::MovReg { dst: dst2, src: src2 };
-        prop_assert_eq!(normalize_inst(&a), normalize_inst(&b));
+/// Rule 3: register identities never survive normalization.
+#[test]
+fn normalization_erases_registers() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_001);
+    for _ in 0..CASES {
+        let a = Inst::MovReg {
+            dst: arb_reg(&mut rng),
+            src: arb_reg(&mut rng),
+        };
+        let b = Inst::MovReg {
+            dst: arb_reg(&mut rng),
+            src: arb_reg(&mut rng),
+        };
+        assert_eq!(normalize_inst(&a), normalize_inst(&b));
     }
+}
 
-    /// Rule 1: immediate values never survive normalization.
-    #[test]
-    fn normalization_erases_immediates(r in arb_reg(), a in any::<i64>(), b in any::<i64>()) {
-        let x = Inst::MovImm { dst: r, imm: a };
-        let y = Inst::MovImm { dst: r, imm: b };
-        prop_assert_eq!(normalize_inst(&x), normalize_inst(&y));
+/// Rule 1: immediate values never survive normalization.
+#[test]
+fn normalization_erases_immediates() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_002);
+    for _ in 0..CASES {
+        let r = arb_reg(&mut rng);
+        let x = Inst::MovImm { dst: r, imm: rng.gen() };
+        let y = Inst::MovImm { dst: r, imm: rng.gen() };
+        assert_eq!(normalize_inst(&x), normalize_inst(&y));
     }
+}
 
-    /// Rule 2: memory addressing details never survive normalization.
-    #[test]
-    fn normalization_erases_memory_refs(r in arb_reg(), m1 in arb_mem(), m2 in arb_mem()) {
-        let x = Inst::Load { dst: r, addr: m1 };
-        let y = Inst::Load { dst: r, addr: m2 };
-        prop_assert_eq!(normalize_inst(&x), normalize_inst(&y));
+/// Rule 2: memory addressing details never survive normalization.
+#[test]
+fn normalization_erases_memory_refs() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_003);
+    for _ in 0..CASES {
+        let r = arb_reg(&mut rng);
+        let x = Inst::Load { dst: r, addr: arb_mem(&mut rng) };
+        let y = Inst::Load { dst: r, addr: arb_mem(&mut rng) };
+        assert_eq!(normalize_inst(&x), normalize_inst(&y));
     }
+}
 
-    /// Normalization is a pure function of the instruction.
-    #[test]
-    fn normalization_is_deterministic(inst in arb_straight_inst()) {
-        prop_assert_eq!(normalize_inst(&inst), normalize_inst(&inst));
+/// Normalization is a pure function of the instruction.
+#[test]
+fn normalization_is_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_004);
+    for _ in 0..CASES {
+        let inst = arb_straight_inst(&mut rng);
+        assert_eq!(normalize_inst(&inst), normalize_inst(&inst));
     }
+}
 
-    /// Address arithmetic roundtrips for every instruction of a program.
-    #[test]
-    fn addr_index_roundtrip(insts in proptest::collection::vec(arb_straight_inst(), 1..64)) {
+/// Address arithmetic roundtrips for every instruction of a program.
+#[test]
+fn addr_index_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_005);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..64usize);
+        let insts: Vec<Inst> = (0..n).map(|_| arb_straight_inst(&mut rng)).collect();
         let p = Program::from_parts("prop", insts, Default::default());
         for i in 0..p.len() {
             let addr = p.addr_of(i);
-            prop_assert_eq!(p.index_of_addr(addr), Some(i));
-            prop_assert_eq!(addr, TEXT_BASE + i as u64 * INST_SIZE);
+            assert_eq!(p.index_of_addr(addr), Some(i));
+            assert_eq!(addr, TEXT_BASE + i as u64 * INST_SIZE);
         }
-        prop_assert_eq!(p.index_of_addr(p.addr_of(p.len())), None);
+        assert_eq!(p.index_of_addr(p.addr_of(p.len())), None);
     }
+}
 
-    /// `Cond::negate` is an involution and complements `eval`.
-    #[test]
-    fn cond_negation_complements(c in arb_cond(), l in any::<u64>(), r in any::<u64>()) {
-        prop_assert_eq!(c.negate().negate(), c);
-        prop_assert_eq!(c.negate().eval(l, r), !c.eval(l, r));
+/// `Cond::negate` is an involution and complements `eval`.
+#[test]
+fn cond_negation_complements() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_006);
+    for _ in 0..CASES {
+        let c = arb_cond(&mut rng);
+        let (l, r): (u64, u64) = (rng.gen(), rng.gen());
+        assert_eq!(c.negate().negate(), c);
+        assert_eq!(c.negate().eval(l, r), !c.eval(l, r));
     }
+}
 
-    /// Add and Sub are wrapping inverses; Xor is self-inverse.
-    #[test]
-    fn alu_inverses(x in any::<u64>(), k in any::<u64>()) {
-        prop_assert_eq!(AluOp::Sub.apply(AluOp::Add.apply(x, k), k), x);
-        prop_assert_eq!(AluOp::Xor.apply(AluOp::Xor.apply(x, k), k), x);
+/// Add and Sub are wrapping inverses; Xor is self-inverse.
+#[test]
+fn alu_inverses() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_007);
+    for _ in 0..CASES {
+        let (x, k): (u64, u64) = (rng.gen(), rng.gen());
+        assert_eq!(AluOp::Sub.apply(AluOp::Add.apply(x, k), k), x);
+        assert_eq!(AluOp::Xor.apply(AluOp::Xor.apply(x, k), k), x);
     }
+}
 
-    /// `add r, k` equals `sub r, -k` under wrapping arithmetic — the
-    /// equivalence the mutation engine relies on.
-    #[test]
-    fn add_equals_sub_of_negation(x in any::<u64>(), k in any::<i64>()) {
+/// `add r, k` equals `sub r, -k` under wrapping arithmetic — the
+/// equivalence the mutation engine relies on.
+#[test]
+fn add_equals_sub_of_negation() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_008);
+    for _ in 0..CASES {
+        let x: u64 = rng.gen();
+        let k: i64 = rng.gen();
         let add = AluOp::Add.apply(x, k as u64);
         let sub = AluOp::Sub.apply(x, k.wrapping_neg() as u64);
-        prop_assert_eq!(add, sub);
-    }
-
-    /// Display of any instruction is nonempty and stable (C-DEBUG-NONEMPTY).
-    #[test]
-    fn display_nonempty(inst in arb_straight_inst()) {
-        prop_assert!(!inst.to_string().is_empty());
-        prop_assert_eq!(inst.to_string(), inst.to_string());
+        assert_eq!(add, sub);
     }
 }
 
-/// Branch-bearing random programs for assembler round-trip testing.
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        proptest::collection::vec(arb_straight_inst(), 1..40),
-        proptest::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>(), arb_cond(), any::<bool>()), 0..8),
-    )
-        .prop_map(|(mut insts, branches)| {
-            insts.push(Inst::Halt);
-            let n = insts.len();
-            for (at, target, cond, is_jmp) in branches {
-                let at = at.index(n - 1); // never replace the final halt
-                let target = target.index(n);
-                insts[at] = if is_jmp {
-                    Inst::Jmp { target }
-                } else {
-                    Inst::Br { cond, target }
-                };
+/// Display of any instruction is nonempty and stable (C-DEBUG-NONEMPTY).
+#[test]
+fn display_nonempty() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_009);
+    for _ in 0..CASES {
+        let inst = arb_straight_inst(&mut rng);
+        assert!(!inst.to_string().is_empty());
+        assert_eq!(inst.to_string(), inst.to_string());
+    }
+}
+
+/// Branch-bearing random program for assembler round-trip testing.
+fn arb_program(rng: &mut SmallRng) -> Program {
+    let n = rng.gen_range(1..40usize);
+    let mut insts: Vec<Inst> = (0..n).map(|_| arb_straight_inst(rng)).collect();
+    insts.push(Inst::Halt);
+    let n = insts.len();
+    for _ in 0..rng.gen_range(0..8usize) {
+        let at = rng.gen_range(0..n - 1); // never replace the final halt
+        let target = rng.gen_range(0..n);
+        insts[at] = if rng.gen_bool(0.5) {
+            Inst::Jmp { target }
+        } else {
+            Inst::Br {
+                cond: arb_cond(rng),
+                target,
             }
-            Program::from_parts("prop", insts, Default::default())
-        })
+        };
+    }
+    Program::from_parts("prop", insts, Default::default())
 }
 
-proptest! {
-    /// `assemble(to_asm(p))` reproduces any program's instructions exactly.
-    #[test]
-    fn assembler_roundtrip(p in arb_program()) {
+/// `assemble(to_asm(p))` reproduces any program's instructions exactly.
+#[test]
+fn assembler_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_00a);
+    for _ in 0..128 {
+        let p = arb_program(&mut rng);
         let text = sca_isa::to_asm(&p);
         let q = sca_isa::assemble("prop", &text).expect("reassemble");
-        prop_assert_eq!(p.insts(), q.insts());
+        assert_eq!(p.insts(), q.insts());
     }
 }

@@ -1,9 +1,7 @@
 //! k-fold cross-validation (the paper tunes the learning-based baselines
 //! with 10-fold CV).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sca_isa::rng::{Shuffle, SmallRng};
 
 use crate::Classifier;
 
@@ -17,7 +15,7 @@ pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
     assert!(k > 0, "k must be nonzero");
     assert!(k <= n, "more folds than samples");
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    idx.shuffle(&mut SmallRng::seed_from_u64(seed));
     let mut folds = vec![Vec::new(); k];
     for (i, v) in idx.into_iter().enumerate() {
         folds[i % k].push(v);

@@ -1,0 +1,197 @@
+//! JSONL export of snapshots and parse-back of exported lines.
+//!
+//! One record per line: spans first (completion order), then counters,
+//! then histogram summaries. Every line is a self-contained JSON object
+//! with a `"type"` discriminator, so consumers can stream-filter with
+//! line tools and [`parse_line`] can round-trip any line.
+
+use std::io::{self, Write};
+
+use crate::json::{Json, JsonError};
+use crate::{AttrValue, Snapshot, SpanRecord};
+
+fn attr_to_json(v: &AttrValue) -> Json {
+    match v {
+        AttrValue::Int(n) => Json::Num(*n as f64),
+        AttrValue::UInt(n) => Json::Num(*n as f64),
+        AttrValue::Float(n) => Json::Num(*n),
+        AttrValue::Str(s) => Json::Str(s.clone()),
+        AttrValue::Bool(b) => Json::Bool(*b),
+    }
+}
+
+fn json_to_attr(v: &Json) -> Option<AttrValue> {
+    match v {
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n < 9e15 => {
+            Some(AttrValue::UInt(*n as u64))
+        }
+        Json::Num(n) if n.fract() == 0.0 && *n < 0.0 && *n > -9e15 => {
+            Some(AttrValue::Int(*n as i64))
+        }
+        Json::Num(n) => Some(AttrValue::Float(*n)),
+        Json::Str(s) => Some(AttrValue::Str(s.clone())),
+        Json::Bool(b) => Some(AttrValue::Bool(*b)),
+        _ => None,
+    }
+}
+
+fn span_to_json(s: &SpanRecord) -> Json {
+    Json::Obj(vec![
+        ("type".into(), Json::Str("span".into())),
+        ("id".into(), Json::Num(s.id as f64)),
+        (
+            "parent".into(),
+            match s.parent {
+                Some(p) => Json::Num(p as f64),
+                None => Json::Null,
+            },
+        ),
+        ("name".into(), Json::Str(s.name.clone())),
+        ("start_ns".into(), Json::Num(s.start_ns as f64)),
+        ("duration_ns".into(), Json::Num(s.duration_ns as f64)),
+        (
+            "attrs".into(),
+            Json::Obj(
+                s.attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), attr_to_json(v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Write `snap` as JSONL: one JSON object per line.
+pub fn write_jsonl<W: Write>(snap: &Snapshot, w: &mut W) -> io::Result<()> {
+    for s in &snap.spans {
+        writeln!(w, "{}", span_to_json(s))?;
+    }
+    for (name, value) in &snap.counters {
+        let rec = Json::Obj(vec![
+            ("type".into(), Json::Str("counter".into())),
+            ("name".into(), Json::Str(name.clone())),
+            ("value".into(), Json::Num(*value as f64)),
+        ]);
+        writeln!(w, "{rec}")?;
+    }
+    for (name, h) in &snap.histograms {
+        let rec = Json::Obj(vec![
+            ("type".into(), Json::Str("histogram".into())),
+            ("name".into(), Json::Str(name.clone())),
+            ("count".into(), Json::Num(h.count() as f64)),
+            ("min".into(), Json::Num(h.min() as f64)),
+            ("max".into(), Json::Num(h.max() as f64)),
+            ("mean".into(), Json::Num(h.mean())),
+            ("p50".into(), Json::Num(h.percentile(50.0) as f64)),
+            ("p90".into(), Json::Num(h.percentile(90.0) as f64)),
+            ("p99".into(), Json::Num(h.percentile(99.0) as f64)),
+        ]);
+        writeln!(w, "{rec}")?;
+    }
+    Ok(())
+}
+
+/// One parsed JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A completed span.
+    Span(SpanRecord),
+    /// A counter total.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// A histogram summary.
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// Sample count.
+        count: u64,
+        /// Smallest sample.
+        min: u64,
+        /// Largest sample.
+        max: u64,
+        /// Mean sample.
+        mean: f64,
+        /// 50th percentile estimate.
+        p50: u64,
+        /// 90th percentile estimate.
+        p90: u64,
+        /// 99th percentile estimate.
+        p99: u64,
+    },
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, JsonError> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| JsonError {
+        message: format!("missing or non-integer field '{key}'"),
+        offset: 0,
+    })
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, JsonError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| JsonError {
+            message: format!("missing or non-string field '{key}'"),
+            offset: 0,
+        })
+}
+
+/// Parse one exported JSONL line back into a [`Record`].
+pub fn parse_line(line: &str) -> Result<Record, JsonError> {
+    let v = Json::parse(line)?;
+    let kind = field_str(&v, "type")?;
+    match kind.as_str() {
+        "span" => {
+            let parent = match v.get("parent") {
+                Some(Json::Null) | None => None,
+                Some(p) => Some(p.as_u64().ok_or_else(|| JsonError {
+                    message: "non-integer parent".into(),
+                    offset: 0,
+                })?),
+            };
+            let attrs = match v.get("attrs") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, val)| {
+                        json_to_attr(val).map(|a| (k.clone(), a)).ok_or_else(|| JsonError {
+                            message: format!("unsupported attr value for '{k}'"),
+                            offset: 0,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => Vec::new(),
+            };
+            Ok(Record::Span(SpanRecord {
+                id: field_u64(&v, "id")?,
+                parent,
+                name: field_str(&v, "name")?,
+                start_ns: field_u64(&v, "start_ns")?,
+                duration_ns: field_u64(&v, "duration_ns")?,
+                attrs,
+            }))
+        }
+        "counter" => Ok(Record::Counter {
+            name: field_str(&v, "name")?,
+            value: field_u64(&v, "value")?,
+        }),
+        "histogram" => Ok(Record::Histogram {
+            name: field_str(&v, "name")?,
+            count: field_u64(&v, "count")?,
+            min: field_u64(&v, "min")?,
+            max: field_u64(&v, "max")?,
+            mean: v.get("mean").and_then(Json::as_f64).unwrap_or(0.0),
+            p50: field_u64(&v, "p50")?,
+            p90: field_u64(&v, "p90")?,
+            p99: field_u64(&v, "p99")?,
+        }),
+        other => Err(JsonError {
+            message: format!("unknown record type '{other}'"),
+            offset: 0,
+        }),
+    }
+}

@@ -1,0 +1,353 @@
+//! # sca-telemetry — std-only pipeline telemetry
+//!
+//! Spans, counters, and histograms for the SCAGuard detection pipeline,
+//! with JSONL export. The build environment is offline, so this crate
+//! depends on nothing but `std`.
+//!
+//! * **Spans** ([`span`]) time a region of code with monotonic clocks and
+//!   nest via a thread-local stack: a span opened while another is live on
+//!   the same thread records it as its parent. Attributes (stage-specific
+//!   counters, verdicts) attach to the guard and land in the record when
+//!   it drops.
+//! * **Counters** ([`counter`]) are named monotonic sums, merged across
+//!   threads through the global registry.
+//! * **Histograms** ([`record`]) are bucketed distributions with
+//!   p50/p90/p99 estimation; every completed span also feeds a histogram
+//!   keyed by its name, so repeated stages aggregate automatically.
+//!
+//! The registry is **disabled by default**: every entry point checks one
+//! relaxed atomic load and returns immediately, so instrumented code pays
+//! no measurable cost until [`set_enabled`]`(true)` is called (the CLI
+//! does this when `--telemetry` is passed).
+//!
+//! ```
+//! sca_telemetry::set_enabled(true);
+//! {
+//!     let mut sp = sca_telemetry::span("pipeline.execute");
+//!     sp.attr("steps", 128u64);
+//!     sca_telemetry::counter("instructions_retired", 128);
+//! }
+//! let snap = sca_telemetry::snapshot();
+//! assert_eq!(snap.spans.len(), 1);
+//! sca_telemetry::set_enabled(false);
+//! sca_telemetry::reset();
+//! ```
+
+mod export;
+mod histogram;
+mod json;
+
+pub use export::{parse_line, write_jsonl, Record};
+pub use histogram::Histogram;
+pub use json::{Json, JsonError};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// A span/metric attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The value as `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            AttrValue::UInt(v) => Some(v),
+            AttrValue::Int(v) if v >= 0 => Some(v as u64),
+            AttrValue::Float(v) if v >= 0.0 && v.fract() == 0.0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            AttrValue::UInt(v) => Some(v as f64),
+            AttrValue::Int(v) => Some(v as f64),
+            AttrValue::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_attr_from {
+    ($($t:ty => $v:ident as $cast:ty),*) => {$(
+        impl From<$t> for AttrValue {
+            fn from(v: $t) -> AttrValue {
+                AttrValue::$v(v as $cast)
+            }
+        }
+    )*};
+}
+
+impl_attr_from!(
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64,
+    u64 => UInt as u64, usize => UInt as u64,
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+    f32 => Float as f64, f64 => Float as f64
+);
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id (process-wide, monotonically assigned).
+    pub id: u64,
+    /// Id of the span that was live on the same thread at open time.
+    pub parent: Option<u64>,
+    /// Span name, e.g. `pipeline.model.cst_replay`.
+    pub name: String,
+    /// Nanoseconds from the telemetry epoch to span open.
+    pub start_ns: u64,
+    /// Wall-clock nanoseconds between open and drop.
+    pub duration_ns: u64,
+    /// Stage-specific attributes, in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Look up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A point-in-time copy of everything the registry has collected.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Named monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Named histograms (span durations land under the span's name).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    const fn empty() -> Snapshot {
+        Snapshot {
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// All completed spans with the given name, in completion order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static STATE: Mutex<Snapshot> = Mutex::new(Snapshot::empty());
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn state() -> MutexGuard<'static, Snapshot> {
+    // A panic while holding the lock only interrupts metric bookkeeping;
+    // the data is still consistent, so poisoning is safe to ignore.
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether the registry is collecting.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn collection on or off. Spans opened while enabled still record on
+/// drop after a disable (their guard holds everything it needs).
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch(); // pin the epoch before the first span reads it
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Add `delta` to the named counter. No-op while disabled.
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state();
+    *st.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Record one sample into the named histogram. No-op while disabled.
+pub fn record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state();
+    st.histograms.entry(name.to_string()).or_default().record(value);
+}
+
+/// Open a span. The returned guard records the span into the registry on
+/// drop; attributes added via [`SpanGuard::attr`] are included. While the
+/// registry is disabled this is a no-op costing one atomic load.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    let start = Instant::now();
+    let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+    SpanGuard {
+        live: Some(LiveSpan {
+            id,
+            parent,
+            name: name.to_string(),
+            start,
+            start_ns,
+            attrs: Vec::new(),
+        }),
+    }
+}
+
+struct LiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: Instant,
+    start_ns: u64,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+/// RAII guard for an open span. Dropping it completes the span.
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl SpanGuard {
+    /// Whether this guard will record anything (i.e. telemetry was
+    /// enabled when the span opened).
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// Attach an attribute. No-op on a non-recording guard.
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if let Some(live) = &mut self.live {
+            live.attrs.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let duration_ns = live.start.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards normally drop in LIFO order; out-of-order drops
+            // (e.g. mem::drop of an outer guard) just unlink this id.
+            if stack.last() == Some(&live.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&x| x != live.id);
+            }
+        });
+        let mut st = state();
+        st.histograms
+            .entry(live.name.clone())
+            .or_default()
+            .record(duration_ns);
+        st.spans.push(SpanRecord {
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            start_ns: live.start_ns,
+            duration_ns,
+            attrs: live.attrs,
+        });
+    }
+}
+
+/// A copy of everything collected so far.
+pub fn snapshot() -> Snapshot {
+    state().clone()
+}
+
+/// Discard all collected spans, counters, and histograms. The enabled
+/// flag and span-id sequence are untouched.
+pub fn reset() {
+    let mut st = state();
+    st.spans.clear();
+    st.counters.clear();
+    st.histograms.clear();
+}
+
+/// Run `f` with telemetry enabled on a clean registry and return its
+/// result together with the snapshot collected during the call, restoring
+/// the previous enabled state afterwards.
+///
+/// Concurrent `collect` calls serialize on an internal lock so their
+/// snapshots never mix; prefer it in tests and experiment drivers over
+/// manual `set_enabled`/`reset` pairs.
+pub fn collect<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    static COLLECT_LOCK: Mutex<()> = Mutex::new(());
+    let _serialize = COLLECT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let was = enabled();
+    reset();
+    set_enabled(true);
+    let out = f();
+    let snap = snapshot();
+    set_enabled(was);
+    reset();
+    (out, snap)
+}
