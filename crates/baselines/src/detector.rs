@@ -98,6 +98,20 @@ pub trait AttackDetector {
     /// Returns [`DetectError`] if the sample cannot be analyzed or the
     /// detector has not been trained.
     fn classify(&self, sample: &Sample) -> Result<Label, DetectError>;
+
+    /// Classify many samples, with a hint of how many worker threads the
+    /// caller would like used. The default is a serial loop; approaches
+    /// with a thread-safe hot path (SCAGuard) override it to fan out.
+    /// Results are in `samples` order and identical to per-sample
+    /// [`AttackDetector::classify`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DetectError`] in sample order, like the
+    /// serial loop would.
+    fn classify_batch(&self, samples: &[&Sample], _jobs: usize) -> Result<Vec<Label>, DetectError> {
+        samples.iter().map(|s| self.classify(s)).collect()
+    }
 }
 
 #[cfg(test)]

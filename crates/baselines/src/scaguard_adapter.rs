@@ -72,6 +72,66 @@ impl AttackDetector for ScaGuardDetector {
             None => Label::Benign,
         })
     }
+
+    fn classify_batch(&self, samples: &[&Sample], jobs: usize) -> Result<Vec<Label>, DetectError> {
+        let detector = self.detector.as_ref().ok_or(DetectError::NotTrained)?;
+        // Model in parallel (modeling is pure and dominates the cost),
+        // then hand the batch to the similarity engine's worker pool.
+        let jobs = jobs.clamp(1, samples.len().max(1));
+        let models: Vec<Result<scaguard::CstBbs, DetectError>> = if jobs <= 1 {
+            samples
+                .iter()
+                .map(|s| {
+                    scaguard::build_model(&s.program, &s.victim, &self.config)
+                        .map(|o| o.cst_bbs)
+                        .map_err(DetectError::from)
+                })
+                .collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<Result<scaguard::CstBbs, DetectError>>>> =
+                samples.iter().map(|_| std::sync::Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..jobs {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= samples.len() {
+                            break;
+                        }
+                        let built = scaguard::build_model(
+                            &samples[i].program,
+                            &samples[i].victim,
+                            &self.config,
+                        )
+                        .map(|o| o.cst_bbs)
+                        .map_err(DetectError::from);
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(built);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .expect("every sample modeled")
+                })
+                .collect()
+        };
+        // First error in sample order, as the serial loop would report.
+        let mut built = Vec::with_capacity(models.len());
+        for m in models {
+            built.push(m?);
+        }
+        Ok(detector
+            .classify_batch(&built, jobs)
+            .into_iter()
+            .map(|det| match det.family() {
+                Some(f) => Label::Attack(f),
+                None => Label::Benign,
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,20 @@ fn bench_similarity() {
     bench("similarity/similarity_score", || {
         black_box(similarity_score(&ma, &mb));
     });
+    bench("similarity/engine_cold", || {
+        // Fresh engine per iteration: pays interning + every Levenshtein.
+        let mut engine = scaguard::SimilarityEngine::new();
+        let (pa, pb) = (engine.prepare(&ma), engine.prepare(&mb));
+        black_box(engine.distance(&pa, &pb));
+    });
+    {
+        let mut engine = scaguard::SimilarityEngine::new();
+        let (pa, pb) = (engine.prepare(&ma), engine.prepare(&mb));
+        bench("similarity/engine_warm", || {
+            // Persistent engine: every `D_IS` served from the pair cache.
+            black_box(engine.distance(black_box(&pa), black_box(&pb)));
+        });
+    }
 }
 
 fn bench_modeling() {

@@ -1,0 +1,218 @@
+//! The repo-scan classification bench: the naive full scan (PR 1's
+//! `classify_model`) vs the similarity engine (interning + lower bounds +
+//! early abandoning), on identical workloads.
+//!
+//! The workload mirrors deployment: a repository of one PoC model per
+//! attack family, and a batch of mutated attack variants plus benign
+//! programs to classify. Both scans are timed end to end, including
+//! detector construction, so the engine gets no free warm-up.
+//!
+//! * `cargo run -p sca-bench --release` — full run; writes
+//!   `BENCH_similarity.json` at the workspace root.
+//! * `cargo run -p sca-bench --release -- --smoke` — small workload,
+//!   exactness assertions, no JSON; the CI verify step runs this.
+
+use std::time::Instant;
+
+use sca_attacks::dataset::mutated_family;
+use sca_attacks::mutate::MutationConfig;
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::{benign, AttackFamily};
+use sca_telemetry::Json;
+use scaguard::{
+    build_model, similarity_score, CstBbs, Detector, ModelRepository, ModelingConfig,
+};
+
+const ROUNDS: usize = 5;
+const SEED: u64 = 0x5ca6_be9c;
+
+struct Workload {
+    repo: ModelRepository,
+    targets: Vec<CstBbs>,
+}
+
+fn build_workload(per_type: usize, benign_total: usize) -> Workload {
+    let params = PocParams::default();
+    let cfg = ModelingConfig::default();
+    let mutation = MutationConfig::default();
+    let mut repo = ModelRepository::new();
+    for family in AttackFamily::ALL {
+        let s = poc::representative(family, &params);
+        repo.add_poc(family, &s.program, &s.victim, &cfg)
+            .expect("PoC models");
+    }
+    let mut targets = Vec::new();
+    for family in AttackFamily::ALL {
+        for s in mutated_family(family, per_type, SEED, &mutation) {
+            let outcome = build_model(&s.program, &s.victim, &cfg).expect("variant models");
+            targets.push(outcome.cst_bbs);
+        }
+    }
+    for s in benign::generate_mix(benign_total, SEED ^ 0xbe) {
+        let outcome = build_model(&s.program, &s.victim, &cfg).expect("benign models");
+        targets.push(outcome.cst_bbs);
+    }
+    Workload { repo, targets }
+}
+
+/// The naive scan: every entry scored with the reference
+/// `similarity_score` (full DTW, Levenshtein per cell), best by `max_by`
+/// — exactly PR 1's `classify_model`.
+fn naive_scan(w: &Workload) -> Vec<f64> {
+    w.targets
+        .iter()
+        .map(|target| {
+            w.repo
+                .entries()
+                .iter()
+                .map(|e| similarity_score(target, &e.model))
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect()
+}
+
+/// The engine scan: a fresh detector (its engine pays interning from
+/// scratch) classifying the same batch serially.
+fn engine_scan(w: &Workload) -> Vec<f64> {
+    let detector = Detector::new(w.repo.clone(), Detector::DEFAULT_THRESHOLD);
+    detector
+        .classify_batch(&w.targets, 1)
+        .into_iter()
+        .map(|det| det.best_score())
+        .collect()
+}
+
+/// Median wall time of `f` over [`ROUNDS`] runs, in nanoseconds.
+fn time_median(mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..ROUNDS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// DTW cells the naive scan executes: `n·m` per comparison, no pruning.
+fn naive_cells(w: &Workload) -> u64 {
+    w.targets
+        .iter()
+        .map(|t| {
+            w.repo
+                .entries()
+                .iter()
+                .map(|e| (t.len() * e.model.len()) as u64)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+fn counter(snap: &sca_telemetry::Snapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (per_type, benign_total) = if smoke { (3, 4) } else { (24, 32) };
+    eprintln!(
+        "building workload: {per_type} variants/type + {benign_total} benign ..."
+    );
+    let w = build_workload(per_type, benign_total);
+    eprintln!(
+        "repo: {} models, targets: {}",
+        w.repo.len(),
+        w.targets.len()
+    );
+
+    // Exactness first: the engine's best scores must be bitwise naive.
+    let naive_scores = naive_scan(&w);
+    let engine_scores = engine_scan(&w);
+    assert_eq!(naive_scores.len(), engine_scores.len());
+    for (i, (n, e)) in naive_scores.iter().zip(&engine_scores).enumerate() {
+        assert_eq!(
+            e.to_bits(),
+            n.to_bits(),
+            "target {i}: engine best {e} != naive best {n}"
+        );
+    }
+    eprintln!("exactness: engine best scores bitwise-match naive on all targets");
+
+    // Wall clock, both paths, identical workload.
+    let naive_ns = time_median(|| {
+        std::hint::black_box(naive_scan(&w));
+    });
+    let engine_ns = time_median(|| {
+        std::hint::black_box(engine_scan(&w));
+    });
+    let speedup = naive_ns as f64 / engine_ns.max(1) as f64;
+
+    // Work accounting: one telemetry-instrumented engine pass.
+    let (_, snap) = sca_telemetry::collect(|| engine_scan(&w));
+    let cells_naive = naive_cells(&w);
+    let cells_engine = counter(&snap, "dtw.cells");
+    let cells_pruned = counter(&snap, "dtw.cells_pruned");
+    let lb_skips = counter(&snap, "dtw.lb_skips");
+    let cache_hits = counter(&snap, "simcache.hits");
+    let cache_misses = counter(&snap, "simcache.misses");
+
+    println!("repo-scan classification ({} targets x {} entries)", w.targets.len(), w.repo.len());
+    println!("  naive   {naive_ns:>12} ns/scan   {cells_naive:>10} dtw cells");
+    println!("  engine  {engine_ns:>12} ns/scan   {cells_engine:>10} dtw cells");
+    println!(
+        "  speedup {speedup:>11.2}x          {cells_pruned:>10} cells pruned, {lb_skips} lb skips"
+    );
+    println!("  simcache: {cache_hits} hits / {cache_misses} misses");
+
+    if smoke {
+        assert!(
+            speedup >= 1.0,
+            "smoke: engine slower than naive ({speedup:.2}x)"
+        );
+        assert!(cells_engine < cells_naive, "smoke: no cell reduction");
+        eprintln!("smoke OK");
+        return;
+    }
+
+    assert!(
+        speedup >= 3.0,
+        "full bench below the 3x acceptance floor: {speedup:.2}x"
+    );
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("repo-scan classification".into())),
+        (
+            "workload".into(),
+            Json::Obj(vec![
+                ("repo_entries".into(), Json::Num(w.repo.len() as f64)),
+                ("targets".into(), Json::Num(w.targets.len() as f64)),
+                ("variants_per_type".into(), Json::Num(per_type as f64)),
+                ("benign".into(), Json::Num(benign_total as f64)),
+                ("rounds".into(), Json::Num(ROUNDS as f64)),
+            ]),
+        ),
+        (
+            "naive".into(),
+            Json::Obj(vec![
+                ("wall_ns".into(), Json::Num(naive_ns as f64)),
+                ("dtw_cells".into(), Json::Num(cells_naive as f64)),
+            ]),
+        ),
+        (
+            "engine".into(),
+            Json::Obj(vec![
+                ("wall_ns".into(), Json::Num(engine_ns as f64)),
+                ("dtw_cells".into(), Json::Num(cells_engine as f64)),
+                ("dtw_cells_pruned".into(), Json::Num(cells_pruned as f64)),
+                ("dtw_lb_skips".into(), Json::Num(lb_skips as f64)),
+                ("simcache_hits".into(), Json::Num(cache_hits as f64)),
+                ("simcache_misses".into(), Json::Num(cache_misses as f64)),
+            ]),
+        ),
+        ("speedup".into(), Json::Num((speedup * 100.0).round() / 100.0)),
+        ("exact".into(), Json::Bool(true)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_similarity.json");
+    std::fs::write(out, format!("{json}\n")).expect("write BENCH_similarity.json");
+    eprintln!("wrote {out}");
+}

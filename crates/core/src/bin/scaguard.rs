@@ -37,10 +37,12 @@ fn usage() -> &'static str {
       model the built-in PoCs (one per attack type) and save the repository
   scaguard classify <program.sasm> --repo <repo-file>
           [--threshold <0..1>] [--victim none|shared:<secret>|conflict:<secret>]
-          [--json] [--telemetry <out.jsonl>]
+          [--jobs <n>] [--json] [--telemetry <out.jsonl>]
       classify an assembled program against a saved repository;
+      --jobs scans the repository with n worker threads;
       --json emits the full detection (verdict, family, per-PoC scores,
-      threshold) as a single JSON object on stdout
+      threshold) as a single JSON object on stdout; pruned comparisons
+      report a `<=` upper bound (\"exact\": false in JSON)
   scaguard model <program.sasm> [--victim ...] [--telemetry <out.jsonl>]
       print the program's CST-BBS attack behavior model
   scaguard explain <program.sasm> --repo <repo-file> [--victim ...]
@@ -78,6 +80,7 @@ struct Options {
     victim: Victim,
     telemetry: Option<String>,
     json: bool,
+    jobs: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -87,6 +90,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         victim: Victim::None,
         telemetry: None,
         json: false,
+        jobs: 1,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -106,6 +110,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.telemetry = Some(it.next().ok_or("--telemetry needs a path")?.clone());
             }
             "--json" => opts.json = true,
+            "--jobs" => {
+                opts.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad job count: {e}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -161,13 +175,21 @@ fn cmd_classify(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
     let repo = load_repository(repo_path)?;
     let detector = Detector::new(repo, opts.threshold);
     let program = load_program(path)?;
-    let detection = detector.classify(&program, &opts.victim, &ModelingConfig::default())?;
+    let detection =
+        detector.classify_jobs(&program, &opts.victim, &ModelingConfig::default(), opts.jobs)?;
     if opts.json {
         println!("{}", detection_json(program.name(), &detection));
         return Ok(());
     }
-    for (name, family, score) in &detection.scores {
-        println!("  vs {name:<22} ({family})  {:.2}%", score * 100.0);
+    for entry in &detection.scores {
+        // Pruned comparisons only have an upper bound on the score.
+        let relation = if entry.exact { "  " } else { "<=" };
+        println!(
+            "  vs {:<22} ({})  {relation} {:.2}%",
+            entry.poc,
+            entry.family,
+            entry.score * 100.0
+        );
     }
     println!("{detection}");
     Ok(())
@@ -178,11 +200,12 @@ fn detection_json(program: &str, detection: &scaguard::Detection) -> Json {
     let scores = detection
         .scores
         .iter()
-        .map(|(name, family, score)| {
+        .map(|entry| {
             Json::Obj(vec![
-                ("poc".into(), Json::Str(name.clone())),
-                ("family".into(), Json::Str(family.to_string())),
-                ("score".into(), Json::Num(*score)),
+                ("poc".into(), Json::Str(entry.poc.clone())),
+                ("family".into(), Json::Str(entry.family.to_string())),
+                ("score".into(), Json::Num(entry.score)),
+                ("exact".into(), Json::Bool(entry.exact)),
             ])
         })
         .collect();
@@ -198,8 +221,8 @@ fn detection_json(program: &str, detection: &scaguard::Detection) -> Json {
         ),
         (
             "best_poc".into(),
-            match &detection.best {
-                Some((name, _, _)) => Json::Str(name.clone()),
+            match detection.best_entry() {
+                Some(entry) => Json::Str(entry.poc.clone()),
                 None => Json::Null,
             },
         ),

@@ -1,15 +1,26 @@
 //! The model repository and the similarity-based detector/classifier
 //! (Section III-B.3).
+//!
+//! Classification is powered by the [`crate::engine`] similarity engine:
+//! the repository's models are prepared (interned) once per detector, a
+//! scan threads the best distance seen so far through the entries so
+//! later comparisons can be skipped by cheap lower bounds or abandoned
+//! mid-DTW, and batch workloads fan out over a std-only worker pool
+//! ([`Detector::classify_batch`]). The best score and verdict are always
+//! bitwise identical to the naive full scan; only comparisons that
+//! provably cannot win are cut short.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use sca_attacks::AttackFamily;
 use sca_cpu::Victim;
 use sca_isa::Program;
 
 use crate::cst::CstBbs;
+use crate::engine::{lb_csp_envelope, lb_length, Bounded, EngineStats, PreparedModel, SimilarityEngine};
 use crate::modeling::{build_model, ModelError, ModelingConfig};
-use crate::similarity::similarity_score;
 
 /// One PoC model in the repository.
 #[derive(Debug, Clone)]
@@ -82,30 +93,60 @@ impl Extend<RepoEntry> for ModelRepository {
     }
 }
 
+/// One repository entry's similarity to a classified target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryScore {
+    /// The PoC's name.
+    pub poc: String,
+    /// The PoC's attack family.
+    pub family: AttackFamily,
+    /// The similarity score in `[0, 1]`. Exact when [`exact`] is set;
+    /// otherwise an **upper bound**: the pruned scan proved the true
+    /// score is at most this value (and strictly below the best score),
+    /// without paying for the full comparison.
+    ///
+    /// [`exact`]: EntryScore::exact
+    pub score: f64,
+    /// Whether [`score`] is the exact similarity (`true`) or the upper
+    /// bound left behind by a pruned comparison (`false`).
+    ///
+    /// [`score`]: EntryScore::score
+    pub exact: bool,
+}
+
 /// The outcome of classifying one target program.
 #[derive(Debug, Clone)]
 pub struct Detection {
-    /// Similarity score against every repository entry, in entry order.
-    pub scores: Vec<(String, AttackFamily, f64)>,
-    /// The best-scoring entry (name, family, score), if any entry exists.
-    pub best: Option<(String, AttackFamily, f64)>,
+    /// Per-entry similarity, in repository entry order. Entries the
+    /// pruned scan skipped carry an upper bound (see [`EntryScore`]);
+    /// the best entry is always exact.
+    pub scores: Vec<EntryScore>,
+    /// Index of the best-scoring entry in [`scores`], if any entry
+    /// exists. Its score is exact and bitwise identical to what a naive
+    /// full scan would report.
+    ///
+    /// [`scores`]: Detection::scores
+    pub best: Option<usize>,
     /// The detection threshold used.
     pub threshold: f64,
 }
 
 impl Detection {
-    /// Whether the target is classified as an attack (best score clears the
-    /// threshold).
+    /// The best-scoring repository entry, if any.
+    pub fn best_entry(&self) -> Option<&EntryScore> {
+        self.best.map(|i| &self.scores[i])
+    }
+
+    /// Whether the target is classified as an attack (best score clears
+    /// the threshold).
     pub fn is_attack(&self) -> bool {
-        self.best
-            .as_ref()
-            .is_some_and(|(_, _, s)| *s >= self.threshold)
+        self.best_entry().is_some_and(|e| e.score >= self.threshold)
     }
 
     /// The predicted attack family, or `None` for benign.
     pub fn family(&self) -> Option<AttackFamily> {
         if self.is_attack() {
-            self.best.as_ref().map(|(_, f, _)| *f)
+            self.best_entry().map(|e| e.family)
         } else {
             None
         }
@@ -113,7 +154,7 @@ impl Detection {
 
     /// The best similarity score (0.0 for an empty repository).
     pub fn best_score(&self) -> f64 {
-        self.best.as_ref().map_or(0.0, |(_, _, s)| *s)
+        self.best_entry().map_or(0.0, |e| e.score)
     }
 }
 
@@ -126,11 +167,63 @@ impl fmt::Display for Detection {
     }
 }
 
-/// The SCAGuard detector: a model repository plus a similarity threshold.
+/// The prepared scan state a detector keeps behind a mutex: the engine
+/// (intern pool + `D_IS` cache) and the repository's prepared models.
 #[derive(Debug, Clone)]
+struct ScanState {
+    engine: SimilarityEngine,
+    prepared: Vec<PreparedModel>,
+}
+
+impl ScanState {
+    fn build(repo: &ModelRepository) -> ScanState {
+        let mut engine = SimilarityEngine::new();
+        let prepared = repo
+            .entries()
+            .iter()
+            .map(|e| engine.prepare(&e.model))
+            .collect();
+        ScanState { engine, prepared }
+    }
+}
+
+/// Pool-size limit after which a detector's persistent engine is rebuilt
+/// from the repository, bounding memory on long-lived detectors that
+/// classify an unbounded stream of targets.
+const POOL_LIMIT: usize = 1 << 16;
+
+/// The result of scanning one target against the prepared repository.
+struct ScanResult {
+    scores: Vec<EntryScore>,
+    best: Option<usize>,
+}
+
+/// A parallel-scan result slot: the entry's score and, when the
+/// comparison completed, its exact distance.
+type EntrySlot = Mutex<Option<(EntryScore, Option<f64>)>>;
+
+/// The SCAGuard detector: a model repository plus a similarity threshold.
+#[derive(Debug)]
 pub struct Detector {
     repo: ModelRepository,
     threshold: f64,
+    scan: Mutex<ScanState>,
+}
+
+impl Clone for Detector {
+    fn clone(&self) -> Detector {
+        Detector {
+            repo: self.repo.clone(),
+            threshold: self.threshold,
+            scan: Mutex::new(self.lock_scan().clone()),
+        }
+    }
+}
+
+/// Map a DTW distance to the similarity score `1 / (D + 1)` — the same
+/// expression [`crate::similarity::similarity_score`] uses.
+fn score_of(distance: f64) -> f64 {
+    1.0 / (distance + 1.0)
 }
 
 impl Detector {
@@ -147,7 +240,8 @@ impl Detector {
     /// the sweep.
     pub const DEFAULT_THRESHOLD: f64 = 0.20;
 
-    /// Create a detector.
+    /// Create a detector. The repository's models are interned into the
+    /// similarity engine once, here.
     ///
     /// # Panics
     ///
@@ -157,7 +251,12 @@ impl Detector {
             (0.0..=1.0).contains(&threshold),
             "threshold out of range: {threshold}"
         );
-        Detector { repo, threshold }
+        let scan = Mutex::new(ScanState::build(&repo));
+        Detector {
+            repo,
+            threshold,
+            scan,
+        }
     }
 
     /// The repository backing this detector.
@@ -170,34 +269,150 @@ impl Detector {
         self.threshold
     }
 
-    /// Classify a prebuilt target model.
+    fn lock_scan(&self) -> std::sync::MutexGuard<'_, ScanState> {
+        // The engine is pure bookkeeping; a panicked scan leaves it
+        // consistent, so poisoning is safe to ignore.
+        self.scan.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Classify a prebuilt target model with the pruned repo scan.
+    ///
+    /// The best entry, score, and verdict are bitwise identical to a
+    /// naive full scan; non-best entries may carry upper bounds (see
+    /// [`EntryScore::exact`]). Use [`Detector::classify_model_full`]
+    /// when every per-entry score must be exact.
     pub fn classify_model(&self, target: &CstBbs) -> Detection {
-        let scores: Vec<(String, AttackFamily, f64)> = self
-            .repo
-            .entries()
-            .iter()
-            .map(|e| {
-                let mut sp = sca_telemetry::span("pipeline.compare.dtw");
-                let score = similarity_score(target, &e.model);
-                if sp.is_recording() {
-                    let cells = (target.len() * e.model.len()) as u64;
-                    sp.attr("poc", e.name.as_str());
-                    sp.attr("family", format!("{:?}", e.family));
-                    sp.attr("cells", cells);
-                    sp.attr("score", score);
-                    sca_telemetry::counter("dtw.comparisons", 1);
-                    sca_telemetry::counter("dtw.cells", cells);
+        let mut state = self.lock_scan();
+        let result = scan_target(&mut state, &self.repo, target, true);
+        if state.engine.pool_len() > POOL_LIMIT {
+            *state = ScanState::build(&self.repo);
+        }
+        self.detection(result)
+    }
+
+    /// Classify a prebuilt target model with an exhaustive scan: every
+    /// entry's score is exact (still served by the interned engine).
+    pub fn classify_model_full(&self, target: &CstBbs) -> Detection {
+        let mut state = self.lock_scan();
+        let result = scan_target(&mut state, &self.repo, target, false);
+        if state.engine.pool_len() > POOL_LIMIT {
+            *state = ScanState::build(&self.repo);
+        }
+        self.detection(result)
+    }
+
+    /// Classify a prebuilt target model, scanning the repository with
+    /// `jobs` worker threads (std-only; `jobs <= 1` degrades to the
+    /// serial scan). Workers share the best-so-far distance through an
+    /// atomic, so pruning works across threads; the verdict is identical
+    /// to the serial scan's.
+    pub fn classify_model_jobs(&self, target: &CstBbs, jobs: usize) -> Detection {
+        let jobs = jobs.clamp(1, self.repo.len().max(1));
+        if jobs <= 1 {
+            return self.classify_model(target);
+        }
+        let seed = self.lock_scan().clone();
+        let next = AtomicUsize::new(0);
+        // Best distance so far, as bits: for non-negative IEEE floats the
+        // bit pattern orders exactly like the value, so `fetch_min` on
+        // bits is `fetch_min` on distances.
+        let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
+        let n = self.repo.len();
+        let slots: Vec<EntrySlot> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| {
+                    let mut state = seed.clone();
+                    let prepared_target = state.engine.prepare(target);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let cutoff = f64::from_bits(best_bits.load(Ordering::Relaxed));
+                        let entry = &self.repo.entries()[i];
+                        let (score, distance) = scan_one(
+                            &mut state.engine,
+                            &prepared_target,
+                            &state.prepared[i],
+                            entry,
+                            cutoff,
+                        );
+                        if let Some(d) = distance {
+                            best_bits.fetch_min(d.to_bits(), Ordering::Relaxed);
+                        }
+                        *slot_lock(&slots[i]) = Some((score, distance));
+                    }
+                });
+            }
+        });
+        let mut scores = Vec::with_capacity(n);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (score, distance) = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every entry scanned");
+            if let Some(d) = distance {
+                // Same tie rule as the serial scan: on equal scores the
+                // later entry wins, mirroring the naive `max_by`.
+                if best.is_none_or(|(_, bd)| score_of(d) >= score_of(bd)) {
+                    best = Some((i, d));
                 }
-                (e.name.clone(), e.family, score)
-            })
-            .collect();
-        let best = scores
-            .iter()
-            .cloned()
-            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
-        Detection {
+            }
+            scores.push(score);
+        }
+        self.detection(ScanResult {
             scores,
-            best,
+            best: best.map(|(i, _)| i),
+        })
+    }
+
+    /// Classify a batch of prebuilt target models over a std-only worker
+    /// pool (`jobs <= 1` degrades to a serial loop). Each worker owns a
+    /// clone of the prepared scan state, so the `D_IS` cache warms up
+    /// across that worker's share of the batch with no lock contention.
+    /// Results are in `targets` order and identical to serial
+    /// [`Detector::classify_model`] calls.
+    pub fn classify_batch(&self, targets: &[CstBbs], jobs: usize) -> Vec<Detection> {
+        let jobs = jobs.clamp(1, targets.len().max(1));
+        if jobs <= 1 {
+            return targets.iter().map(|t| self.classify_model(t)).collect();
+        }
+        let seed = self.lock_scan().clone();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Detection>>> =
+            targets.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| {
+                    let mut state = seed.clone();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= targets.len() {
+                            break;
+                        }
+                        let result =
+                            scan_target(&mut state, &self.repo, &targets[i], true);
+                        *slot_lock(&slots[i]) = Some(self.detection(result));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every target classified")
+            })
+            .collect()
+    }
+
+    fn detection(&self, result: ScanResult) -> Detection {
+        Detection {
+            scores: result.scores,
+            best: result.best,
             threshold: self.threshold,
         }
     }
@@ -213,28 +428,44 @@ impl Detector {
         victim: &Victim,
         config: &ModelingConfig,
     ) -> Result<Detection, ModelError> {
+        self.classify_jobs(program, victim, config, 1)
+    }
+
+    /// Model `program` and classify it, scanning the repository with
+    /// `jobs` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the modeling pipeline.
+    pub fn classify_jobs(
+        &self,
+        program: &Program,
+        victim: &Victim,
+        config: &ModelingConfig,
+        jobs: usize,
+    ) -> Result<Detection, ModelError> {
         let mut sp = sca_telemetry::span("detect");
         sp.attr("program", program.name());
         sp.attr("threshold", self.threshold);
         let outcome = build_model(program, victim, config)?;
-        let detection = self.classify_model(&outcome.cst_bbs);
+        let detection = self.classify_model_jobs(&outcome.cst_bbs, jobs);
         if sp.is_recording() {
             sp.attr(
                 "verdict",
                 if detection.is_attack() { "attack" } else { "benign" },
             );
-            if let Some((name, family, score)) = &detection.best {
-                sp.attr("best_poc", name.as_str());
-                sp.attr("best_family", format!("{family:?}"));
-                sp.attr("best_score", *score);
+            if let Some(best) = detection.best_entry() {
+                sp.attr("best_poc", best.poc.as_str());
+                sp.attr("best_family", format!("{:?}", best.family));
+                sp.attr("best_score", best.score);
             }
-            // Best score per family, one attribute each.
+            // Best (possibly bounded) score per family, one attribute each.
             for family in AttackFamily::ALL {
                 let best = detection
                     .scores
                     .iter()
-                    .filter(|(_, f, _)| *f == family)
-                    .map(|(_, _, s)| *s)
+                    .filter(|e| e.family == family)
+                    .map(|e| e.score)
                     .fold(f64::NEG_INFINITY, f64::max);
                 if best.is_finite() {
                     sp.attr(&format!("score.{family:?}"), best);
@@ -245,10 +476,133 @@ impl Detector {
     }
 }
 
+fn slot_lock<T>(slot: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Bridge an engine stats delta into the telemetry counters.
+fn flush_engine_stats(delta: EngineStats) {
+    if !sca_telemetry::enabled() {
+        return;
+    }
+    sca_telemetry::counter("dtw.cells", delta.cells);
+    sca_telemetry::counter("dtw.cells_pruned", delta.cells_pruned);
+    sca_telemetry::counter("dtw.lb_skips", delta.lb_skips);
+    sca_telemetry::counter("simcache.hits", delta.cache_hits);
+    sca_telemetry::counter("simcache.misses", delta.cache_misses);
+}
+
+/// Compare the target against one prepared entry under `cutoff`.
+///
+/// Returns the entry's [`EntryScore`] and, when the comparison ran to
+/// completion, the exact distance (`None` means pruned: the true score
+/// is strictly below `score_of(cutoff)`).
+fn scan_one(
+    engine: &mut SimilarityEngine,
+    target: &PreparedModel,
+    entry_model: &PreparedModel,
+    entry: &RepoEntry,
+    cutoff: f64,
+) -> (EntryScore, Option<f64>) {
+    let mut sp = sca_telemetry::span("pipeline.compare.dtw");
+    let before = engine.stats();
+    // Cascade: length-difference bound, then the CSP-only bound, then
+    // the early-abandoning full DTW. Each stage only runs if the
+    // previous one failed to disqualify the entry.
+    let lb1 = if cutoff.is_finite() {
+        lb_length(target, entry_model)
+    } else {
+        0.0
+    };
+    let outcome = if lb1 > cutoff {
+        engine.note_lb_skip(target, entry_model);
+        Bounded::AtLeast(lb1)
+    } else {
+        let lb2 = if cutoff.is_finite() {
+            lb_csp_envelope(target, entry_model)
+        } else {
+            0.0
+        };
+        if lb2 > cutoff {
+            engine.note_lb_skip(target, entry_model);
+            Bounded::AtLeast(lb2.max(lb1))
+        } else {
+            engine.distance_bounded(target, entry_model, cutoff)
+        }
+    };
+    let (score, distance) = match outcome {
+        Bounded::Exact(d) => (
+            EntryScore {
+                poc: entry.name.clone(),
+                family: entry.family,
+                score: score_of(d),
+                exact: true,
+            },
+            Some(d),
+        ),
+        Bounded::AtLeast(lb) => (
+            EntryScore {
+                poc: entry.name.clone(),
+                family: entry.family,
+                score: score_of(lb),
+                exact: false,
+            },
+            None,
+        ),
+    };
+    if sp.is_recording() {
+        let delta = engine.stats().since(&before);
+        sp.attr("poc", entry.name.as_str());
+        sp.attr("family", format!("{:?}", entry.family));
+        sp.attr("cells", delta.cells);
+        sp.attr("cells_pruned", delta.cells_pruned);
+        sp.attr("score", score.score);
+        sp.attr("exact", score.exact);
+        sca_telemetry::counter("dtw.comparisons", 1);
+        flush_engine_stats(delta);
+    }
+    (score, distance)
+}
+
+/// Scan the target against every repository entry, threading the best
+/// distance so far as the pruning cutoff (when `pruned`).
+fn scan_target(
+    state: &mut ScanState,
+    repo: &ModelRepository,
+    target: &CstBbs,
+    pruned: bool,
+) -> ScanResult {
+    let ScanState { engine, prepared } = state;
+    let prepared_target = engine.prepare(target);
+    let mut scores = Vec::with_capacity(repo.len());
+    let mut best: Option<(usize, f64)> = None;
+    for (i, (entry, entry_model)) in repo.entries().iter().zip(prepared.iter()).enumerate() {
+        let cutoff = if pruned {
+            best.map_or(f64::INFINITY, |(_, d)| d)
+        } else {
+            f64::INFINITY
+        };
+        let (score, distance) = scan_one(engine, &prepared_target, entry_model, entry, cutoff);
+        if let Some(d) = distance {
+            // `>=` so equal scores prefer the later entry — the same tie
+            // rule as the naive `max_by` over all scores.
+            if best.is_none_or(|(_, bd)| score_of(d) >= score_of(bd)) {
+                best = Some((i, d));
+            }
+        }
+        scores.push(score);
+    }
+    ScanResult {
+        scores,
+        best: best.map(|(i, _)| i),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cst::{Cst, CstStep};
+    use crate::similarity::similarity_score;
 
     fn dummy_model(n: usize, marker: u64) -> CstBbs {
         (0..n)
@@ -263,6 +617,15 @@ mod tests {
                 first_seen: i as u64,
             })
             .collect()
+    }
+
+    fn repo4() -> ModelRepository {
+        let mut repo = ModelRepository::new();
+        repo.add_model(AttackFamily::FlushReload, "fr", dummy_model(4, 0));
+        repo.add_model(AttackFamily::PrimeProbe, "pp", dummy_model(10, 1));
+        repo.add_model(AttackFamily::SpectreFlushReload, "sfr", dummy_model(7, 0));
+        repo.add_model(AttackFamily::SpectrePrimeProbe, "spp", dummy_model(2, 1));
+        repo
     }
 
     #[test]
@@ -303,6 +666,73 @@ mod tests {
         let det = d.classify_model(&dummy_model(4, 0));
         assert_eq!(det.family(), Some(AttackFamily::FlushReload));
         assert_eq!(det.scores.len(), 2);
+        assert_eq!(det.best_entry().map(|e| e.poc.as_str()), Some("fr"));
+    }
+
+    #[test]
+    fn pruned_scan_matches_naive_best() {
+        let repo = repo4();
+        let d = Detector::new(repo.clone(), 0.2);
+        let target = dummy_model(5, 0);
+        let naive_best = repo
+            .entries()
+            .iter()
+            .map(|e| similarity_score(&target, &e.model))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let det = d.classify_model(&target);
+        assert_eq!(det.best_score(), naive_best);
+        assert!(det.best_entry().unwrap().exact);
+        // Pruned entries report upper bounds at or above their true score.
+        for (e, repo_entry) in det.scores.iter().zip(repo.entries()) {
+            let true_score = similarity_score(&target, &repo_entry.model);
+            if e.exact {
+                assert_eq!(e.score, true_score);
+            } else {
+                assert!(e.score >= true_score);
+                assert!(e.score <= det.best_score());
+            }
+        }
+    }
+
+    #[test]
+    fn full_scan_is_exact_everywhere() {
+        let repo = repo4();
+        let d = Detector::new(repo.clone(), 0.2);
+        let target = dummy_model(5, 1);
+        let det = d.classify_model_full(&target);
+        for (e, repo_entry) in det.scores.iter().zip(repo.entries()) {
+            assert!(e.exact);
+            assert_eq!(e.score, similarity_score(&target, &repo_entry.model));
+        }
+    }
+
+    #[test]
+    fn jobs_scan_matches_serial() {
+        let d = Detector::new(repo4(), 0.2);
+        for n in [0, 1, 3, 5, 12] {
+            for marker in [0, 1] {
+                let target = dummy_model(n, marker);
+                let serial = d.classify_model(&target);
+                let parallel = d.classify_model_jobs(&target, 3);
+                assert_eq!(serial.best, parallel.best);
+                assert_eq!(serial.best_score(), parallel.best_score());
+                assert_eq!(serial.family(), parallel.family());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let d = Detector::new(repo4(), 0.2);
+        let targets: Vec<CstBbs> = (0..7).map(|i| dummy_model(i % 5 + 1, i as u64 % 2)).collect();
+        let serial: Vec<Detection> = targets.iter().map(|t| d.classify_model(t)).collect();
+        let batched = d.classify_batch(&targets, 4);
+        assert_eq!(serial.len(), batched.len());
+        for (s, b) in serial.iter().zip(&batched) {
+            assert_eq!(s.best, b.best);
+            assert_eq!(s.best_score(), b.best_score());
+            assert_eq!(s.family(), b.family());
+        }
     }
 
     #[test]

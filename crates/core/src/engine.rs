@@ -1,0 +1,622 @@
+//! The fast similarity engine: exact CST-BBS distances at a fraction of
+//! the naive cost.
+//!
+//! [`crate::similarity::model_distance`] recomputes a full Levenshtein
+//! (`O(p·q)`) inside *every* DTW cell, so one comparison costs
+//! `O(n·m·p·q)` and a repo scan multiplies that by the repository size.
+//! This module keeps the result **bitwise identical** while doing far
+//! less work:
+//!
+//! * **Interning** ([`SimilarityEngine::prepare`]): each step's
+//!   normalized instruction sequence is interned into a pool shared by
+//!   every model the engine has seen, so the expensive `D_IS` Levenshtein
+//!   is computed once per *distinct* sequence pair and looked up
+//!   thereafter. Basic blocks repeat heavily inside loops and across
+//!   mutated variants of the same PoC, so distinct pairs ≪ DTW cells.
+//! * **Early abandoning** ([`SimilarityEngine::distance_bounded`]):
+//!   accumulated DTW row minima are monotonically non-decreasing, so as
+//!   soon as every cell of the active row exceeds a caller-supplied
+//!   cutoff (the best distance seen so far in a repo scan) the
+//!   comparison is abandoned — the remaining cells can only make it
+//!   worse.
+//! * **Cascading lower bounds** ([`lb_length`], [`lb_csp`]): cheap,
+//!   provably admissible lower bounds on the true distance let a repo
+//!   scan skip an entry without touching a single Levenshtein. Both drop
+//!   a non-negative distance component, so they can never exceed the
+//!   true distance (see each function's admissibility argument).
+//!
+//! Exactness is load-bearing: the detector's scores must match the naive
+//! reference (`dtw(a, b, cst_distance)`) *bitwise*, which the engine
+//! guarantees by performing the identical floating-point operations in
+//! the identical order for every cell it does compute, and by only ever
+//! skipping work whose result provably cannot affect the outcome. The
+//! property tests in `tests/properties.rs` and the PoC cross-matrix test
+//! in `tests/engine_exactness.rs` assert this.
+
+use std::collections::HashMap;
+
+use sca_isa::NormInst;
+
+use crate::cst::CstBbs;
+use crate::similarity::levenshtein;
+
+/// Work counters the engine accumulates across comparisons.
+///
+/// Monotonic; read them with [`SimilarityEngine::stats`] and diff across
+/// calls to attribute work to one scan. The detector bridges these into
+/// the `sca-telemetry` counters `dtw.cells`, `dtw.cells_pruned`,
+/// `dtw.lb_skips`, `simcache.hits`, and `simcache.misses`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// DTW cells actually computed (per-step distance evaluated).
+    pub cells: u64,
+    /// DTW cells skipped by early abandoning (the rest of an abandoned
+    /// comparison) or by a lower-bound skip (the whole comparison).
+    pub cells_pruned: u64,
+    /// Comparisons skipped outright by a cheap lower bound.
+    pub lb_skips: u64,
+    /// `D_IS` lookups served from the interned-pair cache (including the
+    /// identical-sequence fast path).
+    pub cache_hits: u64,
+    /// `D_IS` values computed (one full Levenshtein each) and cached.
+    pub cache_misses: u64,
+}
+
+impl EngineStats {
+    /// `self - earlier`, counter-wise — the work done since `earlier`.
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            cells: self.cells - earlier.cells,
+            cells_pruned: self.cells_pruned - earlier.cells_pruned,
+            lb_skips: self.lb_skips - earlier.lb_skips,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+        }
+    }
+}
+
+/// A CST-BBS readied for fast comparison: interned sequence ids plus the
+/// per-step values and sorted aggregates the lower bounds need.
+///
+/// Prepared models are only meaningful with the engine that produced
+/// them (ids index that engine's pool).
+#[derive(Debug, Clone)]
+pub struct PreparedModel {
+    /// Interned id of each step's normalized instruction sequence.
+    ids: Vec<u32>,
+    /// Each step's cache-change magnitude `P` (precomputed once).
+    changes: Vec<f64>,
+    /// Each step's instruction-sequence length.
+    lens: Vec<u32>,
+    /// `lens`, sorted — binary-searched by the length-difference bound.
+    sorted_lens: Vec<u32>,
+    /// `changes`, sorted — binary-searched by the CSP envelope term.
+    sorted_changes: Vec<f64>,
+}
+
+impl PreparedModel {
+    /// Number of steps in the underlying model.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the underlying model has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// The outcome of a cutoff-bounded comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bounded {
+    /// The comparison ran to completion; this is the exact distance,
+    /// bitwise identical to the naive reference.
+    Exact(f64),
+    /// The comparison was abandoned: the true distance is **at least**
+    /// this value, which exceeds the cutoff.
+    AtLeast(f64),
+}
+
+impl Bounded {
+    /// The exact distance, if the comparison completed.
+    pub fn exact(self) -> Option<f64> {
+        match self {
+            Bounded::Exact(d) => Some(d),
+            Bounded::AtLeast(_) => None,
+        }
+    }
+
+    /// The distance if exact, else the lower bound — always a valid
+    /// lower bound on the true distance.
+    pub fn lower_bound(self) -> f64 {
+        match self {
+            Bounded::Exact(d) | Bounded::AtLeast(d) => d,
+        }
+    }
+}
+
+/// The reusable similarity engine: an instruction-sequence intern pool,
+/// a `D_IS` cache keyed by distinct sequence pairs, and work counters.
+///
+/// One engine serves any number of comparisons; the pool and cache
+/// persist across them, which is where the big wins come from when many
+/// targets are scanned against the same repository (mutated variants
+/// share most of their blocks). Memory grows with the number of
+/// *distinct* sequences and pairs actually compared — both tiny for
+/// CST-BBS workloads (blocks are short and heavily shared).
+///
+/// ```
+/// use scaguard::{dtw, cst_distance, CstBbs, SimilarityEngine};
+/// let mut engine = SimilarityEngine::new();
+/// let (a, b) = (CstBbs::default(), CstBbs::default());
+/// let (pa, pb) = (engine.prepare(&a), engine.prepare(&b));
+/// assert_eq!(engine.distance(&pa, &pb), dtw(a.steps(), b.steps(), cst_distance));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimilarityEngine {
+    /// Sequence -> interned id.
+    ids: HashMap<Vec<NormInst>, u32>,
+    /// Interned id -> sequence.
+    seqs: Vec<Vec<NormInst>>,
+    /// Dense `D_IS` cache for id pairs below [`DENSE_CAP`] (the common
+    /// case — pools stay tiny), `NaN` = not yet computed. A square
+    /// matrix of dimension `dense_n`, grown geometrically with the pool
+    /// so small engines stay cheap. One array load per DTW cell instead
+    /// of a hash lookup.
+    dense: Vec<f64>,
+    /// Current dimension of `dense` (`dense.len() == dense_n²`).
+    dense_n: usize,
+    /// `D_IS` spill for unordered pairs with an id at or above
+    /// [`DENSE_CAP`].
+    dis: HashMap<(u32, u32), f64>,
+    stats: EngineStats,
+}
+
+/// Ids below this use the dense `D_IS` matrix (at most `DENSE_CAP² × 8`
+/// bytes = 8 MiB once that many sequences are interned); rarer ids spill
+/// to the hash map.
+const DENSE_CAP: usize = 1024;
+
+impl SimilarityEngine {
+    /// An empty engine.
+    pub fn new() -> SimilarityEngine {
+        SimilarityEngine::default()
+    }
+
+    /// The cumulative work counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of distinct instruction sequences interned so far.
+    pub fn pool_len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    fn intern(&mut self, seq: &[NormInst]) -> u32 {
+        if let Some(&id) = self.ids.get(seq) {
+            return id;
+        }
+        let id = u32::try_from(self.seqs.len()).expect("intern pool overflow");
+        self.ids.insert(seq.to_vec(), id);
+        self.seqs.push(seq.to_vec());
+        id
+    }
+
+    /// Intern a model's sequences and precompute what comparisons need.
+    pub fn prepare(&mut self, model: &CstBbs) -> PreparedModel {
+        let steps = model.steps();
+        let ids: Vec<u32> = steps.iter().map(|s| self.intern(&s.norm_insts)).collect();
+        let changes: Vec<f64> = steps.iter().map(|s| s.cst.change()).collect();
+        let lens: Vec<u32> = steps
+            .iter()
+            .map(|s| u32::try_from(s.norm_insts.len()).expect("block too long"))
+            .collect();
+        let mut sorted_lens = lens.clone();
+        sorted_lens.sort_unstable();
+        let mut sorted_changes = changes.clone();
+        sorted_changes.sort_unstable_by(f64::total_cmp);
+        PreparedModel {
+            ids,
+            changes,
+            lens,
+            sorted_lens,
+            sorted_changes,
+        }
+    }
+
+    /// `D_IS` between two interned sequences: computed once per distinct
+    /// pair, served from the cache thereafter. Identical sequences share
+    /// an id and short-circuit to 0 without touching the cache.
+    #[inline]
+    fn instruction_distance(&mut self, ia: u32, ib: u32) -> f64 {
+        if ia == ib {
+            self.stats.cache_hits += 1;
+            return 0.0;
+        }
+        let (la, lb) = (ia as usize, ib as usize);
+        if la < DENSE_CAP && lb < DENSE_CAP {
+            let need = la.max(lb) + 1;
+            if need > self.dense_n {
+                self.grow_dense(need);
+            }
+            let n = self.dense_n;
+            let d = self.dense[la * n + lb];
+            if !d.is_nan() {
+                self.stats.cache_hits += 1;
+                return d;
+            }
+            let d = self.compute_dis(ia, ib);
+            self.dense[la * n + lb] = d;
+            self.dense[lb * n + la] = d;
+            return d;
+        }
+        let key = (ia.min(ib), ia.max(ib));
+        if let Some(&d) = self.dis.get(&key) {
+            self.stats.cache_hits += 1;
+            return d;
+        }
+        let d = self.compute_dis(ia, ib);
+        self.dis.insert(key, d);
+        d
+    }
+
+    /// Grow the dense matrix to at least `need × need`, remapping the
+    /// already-cached entries to the new row stride. Geometric growth
+    /// keeps the amortized cost per interned sequence constant.
+    fn grow_dense(&mut self, need: usize) {
+        let new_n = need.next_power_of_two().clamp(64, DENSE_CAP);
+        let mut grown = vec![f64::NAN; new_n * new_n];
+        for r in 0..self.dense_n {
+            let old_row = &self.dense[r * self.dense_n..(r + 1) * self.dense_n];
+            grown[r * new_n..r * new_n + self.dense_n].copy_from_slice(old_row);
+        }
+        self.dense = grown;
+        self.dense_n = new_n;
+    }
+
+    /// One full Levenshtein — the cache-miss path.
+    fn compute_dis(&mut self, ia: u32, ib: u32) -> f64 {
+        self.stats.cache_misses += 1;
+        let (a, b) = (&self.seqs[ia as usize], &self.seqs[ib as usize]);
+        let denom = a.len().max(b.len());
+        // denom > 0: two empty sequences intern to the same id.
+        levenshtein(a, b) as f64 / denom as f64
+    }
+
+    /// The exact DTW distance between two prepared models — bitwise
+    /// identical to `dtw(a.steps(), b.steps(), cst_distance)`.
+    pub fn distance(&mut self, a: &PreparedModel, b: &PreparedModel) -> f64 {
+        match self.distance_bounded(a, b, f64::INFINITY) {
+            Bounded::Exact(d) => d,
+            Bounded::AtLeast(_) => unreachable!("nothing exceeds an infinite cutoff"),
+        }
+    }
+
+    /// DTW with early abandoning: returns the exact distance, or
+    /// [`Bounded::AtLeast`] as soon as every cell of the active row
+    /// exceeds `cutoff`.
+    ///
+    /// Sound because accumulated row minima never decrease: every cell of
+    /// row `i` is some cell of row `i-1` (or an earlier cell of row `i`)
+    /// plus a non-negative per-step cost, and IEEE addition of
+    /// non-negative values is monotone — so once a whole row exceeds the
+    /// cutoff, the final distance (which extends some cell of that row)
+    /// must too. A comparison whose true distance *equals* the cutoff is
+    /// never abandoned, preserving the naive scan's tie behavior.
+    pub fn distance_bounded(&mut self, a: &PreparedModel, b: &PreparedModel, cutoff: f64) -> Bounded {
+        let (n, m) = (a.len(), b.len());
+        if n == 0 && m == 0 {
+            return Bounded::Exact(0.0);
+        }
+        if n == 0 || m == 0 {
+            // Same convention as the naive `dtw`: every unmatched step
+            // costs the per-step maximum of 1.
+            return Bounded::Exact((n + m) as f64);
+        }
+        let mut prev = vec![f64::INFINITY; m + 1];
+        let mut cur = vec![f64::INFINITY; m + 1];
+        prev[0] = 0.0;
+        for i in 0..n {
+            cur[0] = f64::INFINITY;
+            let mut row_min = f64::INFINITY;
+            let ida = a.ids[i];
+            let ca = a.changes[i];
+            for j in 0..m {
+                // Identical arithmetic, identical order to `cst_distance`:
+                // `(D_IS + D_CSP) / 2` per cell.
+                let dis = self.instruction_distance(ida, b.ids[j]);
+                let csp = (ca - b.changes[j]).abs();
+                let d = (dis + csp) / 2.0;
+                let best = prev[j].min(prev[j + 1]).min(cur[j]);
+                let cell = d + best;
+                cur[j + 1] = cell;
+                row_min = row_min.min(cell);
+            }
+            if row_min > cutoff {
+                let computed = ((i + 1) * m) as u64;
+                self.stats.cells += computed;
+                self.stats.cells_pruned += (n * m) as u64 - computed;
+                return Bounded::AtLeast(row_min);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        self.stats.cells += (n * m) as u64;
+        Bounded::Exact(prev[m])
+    }
+
+    /// Record a lower-bound skip of an `n × m` comparison in the stats.
+    pub(crate) fn note_lb_skip(&mut self, a: &PreparedModel, b: &PreparedModel) {
+        self.stats.lb_skips += 1;
+        self.stats.cells_pruned += (a.len() * b.len()) as u64;
+    }
+}
+
+/// `|p - q| / max(p, q)` — the length-difference floor of a normalized
+/// Levenshtein distance (0 when both lengths are 0).
+fn len_ratio(p: u32, q: u32) -> f64 {
+    let hi = p.max(q);
+    if hi == 0 {
+        0.0
+    } else {
+        f64::from(p.abs_diff(q)) / f64::from(hi)
+    }
+}
+
+/// The smallest `len_ratio(p, q)` over `q` in the sorted slice.
+///
+/// For `q <= p` the ratio `(p - q)/p` falls as `q` grows; for `q >= p`
+/// the ratio `1 - p/q` rises — so the minimum is attained at one of the
+/// two sorted neighbors of `p`.
+fn min_len_ratio(p: u32, sorted: &[u32]) -> f64 {
+    let at = sorted.partition_point(|&q| q < p);
+    let mut best = f64::INFINITY;
+    if at > 0 {
+        best = best.min(len_ratio(p, sorted[at - 1]));
+    }
+    if at < sorted.len() {
+        best = best.min(len_ratio(p, sorted[at]));
+    }
+    best
+}
+
+/// The smallest `|c - d|` over `d` in the sorted slice — attained at a
+/// sorted neighbor of `c`.
+fn min_change_gap(c: f64, sorted: &[f64]) -> f64 {
+    let at = sorted.partition_point(|&d| d < c);
+    let mut best = f64::INFINITY;
+    if at > 0 {
+        best = best.min((c - sorted[at - 1]).abs());
+    }
+    if at < sorted.len() {
+        best = best.min((c - sorted[at]).abs());
+    }
+    best
+}
+
+/// **Length-difference lower bound** on the DTW distance, `O(n log m)`.
+///
+/// Admissible: a warping path visits every step of each model at least
+/// once, and each visit costs `(D_IS + D_CSP)/2 ≥ D_IS/2` (since
+/// `D_CSP ≥ 0`), while `D_IS = lev/max(p,q) ≥ |p-q|/max(p,q)` (a
+/// Levenshtein distance is at least the length difference). Minimizing
+/// that floor over all steps the visit *could* have matched, summing
+/// over one model's steps, and taking the larger of the two sides
+/// therefore never exceeds the true distance. Exact (not just a bound)
+/// when either model is empty, mirroring the naive empty conventions.
+pub fn lb_length(a: &PreparedModel, b: &PreparedModel) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return if n == 0 && m == 0 { 0.0 } else { (n + m) as f64 };
+    }
+    let over_a: f64 = a
+        .lens
+        .iter()
+        .map(|&p| min_len_ratio(p, &b.sorted_lens) * 0.5)
+        .sum();
+    let over_b: f64 = b
+        .lens
+        .iter()
+        .map(|&q| min_len_ratio(q, &a.sorted_lens) * 0.5)
+        .sum();
+    over_a.max(over_b)
+}
+
+/// The envelope term of the CSP-only bound, `O(n log m)`: each step's
+/// halved gap to the other model's nearest change magnitude, summed, max
+/// of both sides. Admissible by the same per-visit argument as
+/// [`lb_length`], with the roles of the two components swapped
+/// (`D_IS ≥ 0` dropped instead of `D_CSP ≥ 0`). This is the stage the
+/// repo scan's skip cascade uses — unlike the full [`lb_csp`] it costs
+/// nothing quadratic when it fails to disqualify an entry.
+pub fn lb_csp_envelope(a: &PreparedModel, b: &PreparedModel) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return if n == 0 && m == 0 { 0.0 } else { (n + m) as f64 };
+    }
+    let over_a: f64 = a
+        .changes
+        .iter()
+        .map(|&c| min_change_gap(c, &b.sorted_changes) * 0.5)
+        .sum();
+    let over_b: f64 = b
+        .changes
+        .iter()
+        .map(|&c| min_change_gap(c, &a.sorted_changes) * 0.5)
+        .sum();
+    over_a.max(over_b)
+}
+
+/// **CSP-only lower bound** on the DTW distance, `O(n·m)` with trivial
+/// per-cell cost, early-abandoned at `cutoff`.
+///
+/// Admissible: dropping `D_IS ≥ 0` from every per-step distance leaves
+/// `D_CSP/2 = |P_a - P_b|/2 ≤ (D_IS + D_CSP)/2`, and DTW is monotone in
+/// its per-cell costs, so the CSP-only DTW never exceeds the true one.
+/// When abandoned early the returned row minimum is a lower bound on the
+/// CSP-only distance (row minima are non-decreasing), hence still a
+/// lower bound on the true distance. As a warm-up it also seeds the
+/// envelope term: each step's gap to the other model's nearest change
+/// magnitude, which lets most non-matches fail in `O(n log m)` before
+/// the quadratic part even starts.
+pub fn lb_csp(a: &PreparedModel, b: &PreparedModel, cutoff: f64) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return if n == 0 && m == 0 { 0.0 } else { (n + m) as f64 };
+    }
+    let envelope = lb_csp_envelope(a, b);
+    if envelope > cutoff {
+        return envelope;
+    }
+    // Full CSP-only DTW, early-abandoned like the real one.
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 0..n {
+        cur[0] = f64::INFINITY;
+        let mut row_min = f64::INFINITY;
+        for j in 0..m {
+            let d = (a.changes[i] - b.changes[j]).abs() / 2.0;
+            let best = prev[j].min(prev[j + 1]).min(cur[j]);
+            let cell = d + best;
+            cur[j + 1] = cell;
+            row_min = row_min.min(cell);
+        }
+        if row_min > cutoff {
+            return row_min.max(envelope);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m].max(envelope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cst::{Cst, CstStep};
+    use crate::similarity::{cst_distance, dtw};
+    use sca_cache::CacheState;
+    use sca_isa::{NormOperand};
+
+    fn step(insts: &[NormInst], ao: f64) -> CstStep {
+        CstStep {
+            bb_addr: 0,
+            norm_insts: insts.to_vec(),
+            cst: Cst {
+                before: CacheState::full_other(),
+                after: CacheState::new(ao, 1.0 - ao),
+            },
+            first_seen: 0,
+        }
+    }
+
+    fn ld() -> NormInst {
+        NormInst::binary("ld", NormOperand::Reg, NormOperand::Mem)
+    }
+
+    fn flush() -> NormInst {
+        NormInst::unary("clflush", NormOperand::Mem)
+    }
+
+    fn nop() -> NormInst {
+        NormInst::nullary("nop")
+    }
+
+    fn model(specs: &[(&[NormInst], f64)]) -> CstBbs {
+        specs.iter().map(|(insts, ao)| step(insts, *ao)).collect()
+    }
+
+    #[test]
+    fn engine_matches_naive_exactly() {
+        let a = model(&[
+            (&[ld(), flush(), ld()], 0.25),
+            (&[ld(), flush(), ld()], 0.25),
+            (&[nop()], 0.0),
+            (&[flush(), flush()], 0.5),
+        ]);
+        let b = model(&[
+            (&[ld(), flush()], 0.3),
+            (&[nop(), nop()], 0.1),
+            (&[ld(), flush(), ld()], 0.25),
+        ]);
+        let mut engine = SimilarityEngine::new();
+        let (pa, pb) = (engine.prepare(&a), engine.prepare(&b));
+        assert_eq!(engine.distance(&pa, &pb), dtw(a.steps(), b.steps(), cst_distance));
+        assert_eq!(engine.distance(&pa, &pa), 0.0);
+        // Repeated blocks share interned ids, so the cache hits.
+        let stats = engine.stats();
+        assert!(stats.cache_hits > 0, "{stats:?}");
+        assert!(stats.cache_misses > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn empty_conventions_match_naive() {
+        let empty = CstBbs::default();
+        let one = model(&[(&[ld()], 0.5)]);
+        let mut engine = SimilarityEngine::new();
+        let pe = engine.prepare(&empty);
+        let p1 = engine.prepare(&one);
+        assert_eq!(engine.distance(&pe, &pe), 0.0);
+        assert_eq!(engine.distance(&pe, &p1), 1.0);
+        assert_eq!(engine.distance(&p1, &pe), 1.0);
+        assert_eq!(lb_length(&pe, &p1), 1.0);
+        assert_eq!(lb_csp(&pe, &pe, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn early_abandoning_prunes_and_never_underreports() {
+        let a = model(&[(&[ld(); 4], 0.9), (&[ld(); 4], 0.9), (&[ld(); 4], 0.9)]);
+        let b = model(&[(&[nop()], 0.0), (&[nop()], 0.0), (&[nop()], 0.0)]);
+        let mut engine = SimilarityEngine::new();
+        let (pa, pb) = (engine.prepare(&a), engine.prepare(&b));
+        let true_d = engine.distance(&pa, &pb);
+        assert!(true_d > 0.5);
+        let before = engine.stats();
+        match engine.distance_bounded(&pa, &pb, 0.5) {
+            Bounded::AtLeast(lb) => {
+                assert!(lb > 0.5 && lb <= true_d);
+            }
+            Bounded::Exact(_) => panic!("distance {true_d} should exceed cutoff 0.5"),
+        }
+        let delta = engine.stats().since(&before);
+        assert!(delta.cells_pruned > 0, "{delta:?}");
+        assert_eq!(delta.cells + delta.cells_pruned, 9);
+    }
+
+    #[test]
+    fn cutoff_equal_to_distance_is_not_abandoned() {
+        let a = model(&[(&[ld()], 0.4), (&[flush()], 0.2)]);
+        let b = model(&[(&[nop()], 0.1)]);
+        let mut engine = SimilarityEngine::new();
+        let (pa, pb) = (engine.prepare(&a), engine.prepare(&b));
+        let d = engine.distance(&pa, &pb);
+        assert_eq!(engine.distance_bounded(&pa, &pb, d), Bounded::Exact(d));
+    }
+
+    #[test]
+    fn lower_bounds_are_admissible() {
+        let a = model(&[
+            (&[ld(), flush(), ld(), ld()], 0.45),
+            (&[nop()], 0.05),
+            (&[flush()], 0.3),
+        ]);
+        let b = model(&[(&[ld()], 0.5), (&[nop(), nop(), nop()], 0.0)]);
+        let mut engine = SimilarityEngine::new();
+        let (pa, pb) = (engine.prepare(&a), engine.prepare(&b));
+        let d = engine.distance(&pa, &pb);
+        assert!(lb_length(&pa, &pb) <= d);
+        assert!(lb_csp(&pa, &pb, f64::INFINITY) <= d);
+        assert!(lb_csp(&pa, &pb, 0.0) <= d, "abandoned bound must stay admissible");
+    }
+
+    #[test]
+    fn interning_is_shared_across_models() {
+        let a = model(&[(&[ld(), flush()], 0.2)]);
+        let b = model(&[(&[ld(), flush()], 0.7)]);
+        let mut engine = SimilarityEngine::new();
+        let pa = engine.prepare(&a);
+        let pb = engine.prepare(&b);
+        assert_eq!(engine.pool_len(), 1, "identical sequences share one entry");
+        assert_eq!(pa.ids, pb.ids);
+    }
+}

@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+pub mod engine;
 pub mod modeling;
 pub mod persist;
 pub mod similarity;
@@ -55,7 +56,8 @@ mod cst;
 mod detector;
 
 pub use cst::{Cst, CstBbs, CstStep};
-pub use detector::{Detection, Detector, ModelRepository, RepoEntry};
+pub use detector::{Detection, Detector, EntryScore, ModelRepository, RepoEntry};
+pub use engine::{Bounded, EngineStats, PreparedModel, SimilarityEngine};
 pub use modeling::{build_model, model_from_blocks, ModelError, ModelingConfig, ModelingOutcome};
 pub use persist::{load_repository, save_repository, LoadRepoError};
 pub use similarity::{

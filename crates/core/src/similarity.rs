@@ -16,10 +16,29 @@ use crate::cst::{CstBbs, CstStep};
 
 /// Levenshtein (edit) distance between two sequences.
 ///
+/// Identical sequences short-circuit to 0, and a shared prefix/suffix is
+/// trimmed before the `O(p·q)` dynamic program runs — edits inside the
+/// differing middle can never profit from touching matching ends, so the
+/// distance of the trimmed middle equals the distance of the full pair.
+///
 /// ```
 /// assert_eq!(scaguard::levenshtein(b"kitten", b"sitting"), 3);
+/// assert_eq!(scaguard::levenshtein(b"prefix-x-suffix", b"prefix-y-suffix"), 1);
 /// ```
 pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a == b {
+        return 0;
+    }
+    // Trim the common prefix and suffix; only the middle needs the DP.
+    let prefix = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+    let (a, b) = (&a[prefix..], &b[prefix..]);
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let (a, b) = (&a[..a.len() - suffix], &b[..b.len() - suffix]);
     if a.is_empty() {
         return b.len();
     }
@@ -118,14 +137,20 @@ pub struct Alignment {
 /// assert_eq!(dist, 0.0);
 /// assert_eq!(path.len(), 3);
 /// assert_eq!((path[2].a, path[2].b), (1, 2));
+/// let (dist, path) = dtw_with_path::<f64>(&[], &[], d);
+/// assert_eq!(dist, 0.0);
+/// assert!(path.is_empty());
 /// ```
 pub fn dtw_with_path<T>(
     a: &[T],
     b: &[T],
     mut dist: impl FnMut(&T, &T) -> f64,
 ) -> (f64, Vec<Alignment>) {
+    if a.is_empty() && b.is_empty() {
+        return (0.0, Vec::new());
+    }
     if a.is_empty() || b.is_empty() {
-        return ((a.len() + b.len()) as f64 * f64::from(u8::from(!(a.is_empty() && b.is_empty()))), Vec::new());
+        return ((a.len() + b.len()) as f64, Vec::new());
     }
     let (n, m) = (a.len(), b.len());
     let mut d = vec![f64::INFINITY; (n + 1) * (m + 1)];

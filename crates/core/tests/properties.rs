@@ -6,8 +6,12 @@
 use sca_cache::CacheState;
 use sca_isa::rng::SmallRng;
 use sca_isa::NormInst;
+use scaguard::engine::{lb_csp, lb_length};
 use scaguard::similarity::{csp_distance, instruction_distance};
-use scaguard::{cst_distance, dtw, levenshtein, similarity_score, Cst, CstBbs, CstStep};
+use scaguard::{
+    cst_distance, dtw, levenshtein, similarity_score, Bounded, Cst, CstBbs, CstStep,
+    SimilarityEngine,
+};
 
 const CASES: usize = 128;
 
@@ -125,6 +129,70 @@ fn similarity_score_properties() {
         assert!((0.0..=1.0).contains(&s));
         assert_eq!(similarity_score(&a, &a), 1.0);
         assert!((s - similarity_score(&b, &a)).abs() < 1e-9);
+    }
+}
+
+/// The optimized engine (interning + cached `D_IS`) returns **bitwise**
+/// identical distances to the naive `dtw(a, b, cst_distance)` reference,
+/// including the empty/singleton conventions, and one persistent engine
+/// stays exact across many unrelated model pairs.
+#[test]
+fn engine_matches_naive_bitwise() {
+    let mut rng = SmallRng::seed_from_u64(0xc02e_006);
+    let mut engine = SimilarityEngine::new();
+    for case in 0..CASES {
+        // Sweep empty and singleton models into the mix deterministically.
+        let a = match case % 8 {
+            0 => CstBbs::default(),
+            1 => CstBbs::new(arb_steps(&mut rng, 1, 2)),
+            _ => arb_model(&mut rng),
+        };
+        let b = match case % 5 {
+            0 => CstBbs::default(),
+            1 => CstBbs::new(arb_steps(&mut rng, 1, 2)),
+            _ => arb_model(&mut rng),
+        };
+        let naive = dtw(a.steps(), b.steps(), cst_distance);
+        let (pa, pb) = (engine.prepare(&a), engine.prepare(&b));
+        assert_eq!(
+            engine.distance(&pa, &pb).to_bits(),
+            naive.to_bits(),
+            "case {case}: engine disagrees with the naive reference"
+        );
+    }
+}
+
+/// A bounded comparison either reproduces the exact distance bitwise or
+/// abandons with a lower bound that (a) exceeds the cutoff and (b) never
+/// exceeds the true distance; the cheap lower bounds stay admissible.
+#[test]
+fn bounded_distance_and_lower_bounds_are_sound() {
+    let mut rng = SmallRng::seed_from_u64(0xc02e_007);
+    let mut engine = SimilarityEngine::new();
+    for case in 0..CASES {
+        let a = arb_model(&mut rng);
+        let b = arb_model(&mut rng);
+        let naive = dtw(a.steps(), b.steps(), cst_distance);
+        let (pa, pb) = (engine.prepare(&a), engine.prepare(&b));
+        // Cutoffs below, at, and above the true distance.
+        for cutoff in [naive * 0.5, naive, naive + 0.125, f64::INFINITY] {
+            match engine.distance_bounded(&pa, &pb, cutoff) {
+                Bounded::Exact(d) => assert_eq!(d.to_bits(), naive.to_bits()),
+                Bounded::AtLeast(lb) => {
+                    assert!(lb > cutoff, "case {case}: abandoned below the cutoff");
+                    assert!(lb <= naive, "case {case}: bound {lb} above true {naive}");
+                }
+            }
+        }
+        // A cutoff at the exact distance must never abandon (tie rule).
+        assert_eq!(
+            engine.distance_bounded(&pa, &pb, naive),
+            Bounded::Exact(naive)
+        );
+        assert!(lb_length(&pa, &pb) <= naive);
+        for cutoff in [0.0, naive, f64::INFINITY] {
+            assert!(lb_csp(&pa, &pb, cutoff) <= naive);
+        }
     }
 }
 

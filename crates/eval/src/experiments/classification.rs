@@ -203,13 +203,15 @@ fn score_detector(
     train: &[Sample],
     test: &[(Sample, Label)],
     binary: bool,
+    jobs: usize,
 ) -> Result<(Scores, ConfusionMatrix), DetectError> {
     let refs: Vec<&Sample> = train.iter().collect();
     detector.train(&refs)?;
+    let targets: Vec<&Sample> = test.iter().map(|(s, _)| s).collect();
+    let predictions = detector.classify_batch(&targets, jobs)?;
     let mut scores = Scores::default();
     let mut confusion = ConfusionMatrix::default();
-    for (sample, expected) in test {
-        let predicted = detector.classify(sample)?;
+    for ((_, expected), predicted) in test.iter().zip(predictions) {
         let (e, p) = if binary {
             (binarize(*expected), binarize(predicted))
         } else {
@@ -240,7 +242,7 @@ pub fn run_task(task: ClassTask, cfg: &EvalConfig) -> Result<Vec<TaskResult>, De
         &mut lr as &mut dyn AttackDetector,
         &mut knn as &mut dyn AttackDetector,
     ] {
-        let (scores, confusion) = score_detector(d, &data.ml_train, &data.test, task.binary())?;
+        let (scores, confusion) = score_detector(d, &data.ml_train, &data.test, task.binary(), cfg.jobs)?;
         results.push(TaskResult {
             task,
             approach: d.name().to_string(),
@@ -251,7 +253,7 @@ pub fn run_task(task: ClassTask, cfg: &EvalConfig) -> Result<Vec<TaskResult>, De
 
     // SCADET arms its designated rules from the known-attack set.
     let mut scadet = Scadet::new(cpu);
-    let (scores, confusion) = score_detector(&mut scadet, &data.pocs, &data.test, task.binary())?;
+    let (scores, confusion) = score_detector(&mut scadet, &data.pocs, &data.test, task.binary(), cfg.jobs)?;
     results.push(TaskResult {
         task,
         approach: scadet.name().to_string(),
@@ -261,7 +263,7 @@ pub fn run_task(task: ClassTask, cfg: &EvalConfig) -> Result<Vec<TaskResult>, De
 
     // SCAGuard models one PoC per known type.
     let mut guard = ScaGuardDetector::with_threshold(cfg.modeling.clone(), cfg.threshold);
-    let (scores, confusion) = score_detector(&mut guard, &data.pocs, &data.test, task.binary())?;
+    let (scores, confusion) = score_detector(&mut guard, &data.pocs, &data.test, task.binary(), cfg.jobs)?;
     results.push(TaskResult {
         task,
         approach: guard.name().to_string(),

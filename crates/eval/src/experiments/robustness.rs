@@ -46,6 +46,7 @@ fn evaluate(
     modeling: ModelingConfig,
     threshold: f64,
     test: &[(Sample, Label)],
+    jobs: usize,
 ) -> Result<Scores, DetectError> {
     let params = PocParams::default();
     let mut guard = ScaGuardDetector::with_threshold(modeling, threshold);
@@ -55,9 +56,11 @@ fn evaluate(
         .collect();
     let refs: Vec<&Sample> = pocs.iter().collect();
     guard.train(&refs)?;
+    let targets: Vec<&Sample> = test.iter().map(|(s, _)| s).collect();
+    let predictions = guard.classify_batch(&targets, jobs)?;
     let mut scores = Scores::default();
-    for (sample, expected) in test {
-        scores.record(*expected, guard.classify(sample)?);
+    for ((_, expected), predicted) in test.iter().zip(predictions) {
+        scores.record(*expected, predicted);
     }
     Ok(scores)
 }
@@ -84,7 +87,7 @@ pub fn noise_robustness(cfg: &EvalConfig) -> Result<Vec<RobustnessRow>, DetectEr
     // Baseline.
     rows.push(RobustnessRow {
         scenario: "baseline".into(),
-        scores: evaluate(cfg.modeling.clone(), cfg.threshold, &base_test)?,
+        scores: evaluate(cfg.modeling.clone(), cfg.threshold, &base_test, cfg.jobs)?,
     });
 
     // Next-line prefetcher on (both modeling and execution see it).
@@ -97,7 +100,7 @@ pub fn noise_robustness(cfg: &EvalConfig) -> Result<Vec<RobustnessRow>, DetectEr
     };
     rows.push(RobustnessRow {
         scenario: "next-line prefetcher".into(),
-        scores: evaluate(prefetch, cfg.threshold, &base_test)?,
+        scores: evaluate(prefetch, cfg.threshold, &base_test, cfg.jobs)?,
     });
 
     // 4x victim noise.
@@ -107,7 +110,7 @@ pub fn noise_robustness(cfg: &EvalConfig) -> Result<Vec<RobustnessRow>, DetectEr
         .collect();
     rows.push(RobustnessRow {
         scenario: "8 victim noise accesses/yield".into(),
-        scores: evaluate(cfg.modeling.clone(), cfg.threshold, &noisy_test)?,
+        scores: evaluate(cfg.modeling.clone(), cfg.threshold, &noisy_test, cfg.jobs)?,
     });
 
     Ok(rows)

@@ -46,21 +46,28 @@ pub fn threshold_sweep(cfg: &EvalConfig) -> Result<Vec<ThresholdPoint>, DetectEr
 
     // E1-style evaluation set: mutated variants of each type plus benign.
     let mutation = MutationConfig::default();
-    let mut evaluated: Vec<(Label, Option<AttackFamily>, f64)> = Vec::new();
+    let mut labels: Vec<Label> = Vec::new();
+    let mut models: Vec<scaguard::CstBbs> = Vec::new();
     for family in AttackFamily::ALL {
         for s in mutated_family(family, cfg.per_type, cfg.seed ^ 0xf16, &mutation) {
             let outcome = build_model(&s.program, &s.victim, &cfg.modeling)?;
-            let det = detector.classify_model(&outcome.cst_bbs);
-            let best = det.best.as_ref().map(|(_, f, _)| *f);
-            evaluated.push((Label::Attack(family), best, det.best_score()));
+            labels.push(Label::Attack(family));
+            models.push(outcome.cst_bbs);
         }
     }
     for s in benign::generate_mix(cfg.benign_total, cfg.seed ^ 0xbe) {
         let outcome = build_model(&s.program, &s.victim, &cfg.modeling)?;
-        let det = detector.classify_model(&outcome.cst_bbs);
-        let best = det.best.as_ref().map(|(_, f, _)| *f);
-        evaluated.push((Label::Benign, best, det.best_score()));
+        labels.push(Label::Benign);
+        models.push(outcome.cst_bbs);
     }
+    let evaluated: Vec<(Label, Option<AttackFamily>, f64)> = labels
+        .into_iter()
+        .zip(detector.classify_batch(&models, cfg.jobs))
+        .map(|(label, det)| {
+            let best = det.best_entry().map(|e| e.family);
+            (label, best, det.best_score())
+        })
+        .collect();
 
     let mut out = Vec::new();
     for step in 1..=19u32 {

@@ -34,6 +34,8 @@ pub struct EvalConfig {
     pub modeling: scaguard::ModelingConfig,
     /// SCAGuard similarity threshold.
     pub threshold: f64,
+    /// Worker threads for SCAGuard's batch classification (`1` = serial).
+    pub jobs: usize,
 }
 
 impl EvalConfig {
@@ -45,6 +47,7 @@ impl EvalConfig {
             seed: 0x5ca6_0a2d,
             modeling: scaguard::ModelingConfig::default(),
             threshold: scaguard::Detector::DEFAULT_THRESHOLD,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 

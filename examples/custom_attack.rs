@@ -79,13 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(detection.is_attack(), "the hand-written attack is caught");
 
     // Explain the verdict: the DTW alignment against the best match.
-    if let Some((name, _, _)) = &detection.best {
+    if let Some(best) = detection.best_entry() {
         let target = scaguard_repro::core::build_model(&program, &victim, &config)?;
         let reference = detector
             .repository()
             .entries()
             .iter()
-            .find(|e| &e.name == name)
+            .find(|e| e.name == best.poc)
             .expect("best entry exists");
         print!("{}", explain_similarity(&target.cst_bbs, &reference.model));
     }

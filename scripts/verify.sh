@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# One-shot verification gate. The workspace has zero external deps, so
+# everything runs --offline. Fails loudly on: build errors, test
+# failures, any clippy warning, or a similarity-engine perf/exactness
+# regression (the bench smoke asserts bitwise-exact scores and
+# engine >= naive speed on a small workload).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --workspace --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "==> similarity bench smoke"
+cargo run -p sca-bench --release --offline -- --smoke
+
+echo "verify: OK"
