@@ -1,7 +1,9 @@
 //! The SCAGuard approach behind the common [`AttackDetector`] interface.
 
+use std::sync::Arc;
+
 use sca_attacks::{Label, Sample};
-use scaguard::{Detector, ModelRepository, ModelingConfig};
+use scaguard::{Detector, ModelBuilder, ModelRepository, ModelingConfig};
 
 use crate::detector::{AttackDetector, DetectError};
 
@@ -10,11 +12,13 @@ use crate::detector::{AttackDetector, DetectError};
 /// Training expects the *PoC* samples the defender knows (the paper uses
 /// one PoC per known attack type); each is modeled once into the
 /// repository. Classification models the target and compares by DTW
-/// similarity.
+/// similarity. All modeling goes through a shared [`ModelBuilder`], so
+/// clones of the detector (and threshold re-trainings) reuse every model
+/// already built.
 #[derive(Debug, Clone)]
 pub struct ScaGuardDetector {
-    config: ModelingConfig,
     threshold: f64,
+    builder: Arc<ModelBuilder>,
     detector: Option<Detector>,
 }
 
@@ -27,8 +31,8 @@ impl ScaGuardDetector {
     /// A detector with an explicit similarity threshold.
     pub fn with_threshold(config: ModelingConfig, threshold: f64) -> ScaGuardDetector {
         ScaGuardDetector {
-            config,
             threshold,
+            builder: Arc::new(ModelBuilder::new(&config)),
             detector: None,
         }
     }
@@ -57,7 +61,7 @@ impl AttackDetector for ScaGuardDetector {
         let mut repo = ModelRepository::new();
         for s in samples {
             if let Label::Attack(family) = s.label {
-                repo.add_poc(family, &s.program, &s.victim, &self.config)?;
+                repo.add_poc_with(family, &s.program, &s.victim, &self.builder)?;
             }
         }
         self.detector = Some(Detector::new(repo, self.threshold));
@@ -66,7 +70,8 @@ impl AttackDetector for ScaGuardDetector {
 
     fn classify(&self, sample: &Sample) -> Result<Label, DetectError> {
         let detector = self.detector.as_ref().ok_or(DetectError::NotTrained)?;
-        let detection = detector.classify(&sample.program, &sample.victim, &self.config)?;
+        let detection =
+            detector.classify_with_builder(&sample.program, &sample.victim, &self.builder, 1)?;
         Ok(match detection.family() {
             Some(f) => Label::Attack(f),
             None => Label::Benign,
@@ -75,53 +80,14 @@ impl AttackDetector for ScaGuardDetector {
 
     fn classify_batch(&self, samples: &[&Sample], jobs: usize) -> Result<Vec<Label>, DetectError> {
         let detector = self.detector.as_ref().ok_or(DetectError::NotTrained)?;
-        // Model in parallel (modeling is pure and dominates the cost),
-        // then hand the batch to the similarity engine's worker pool.
-        let jobs = jobs.clamp(1, samples.len().max(1));
-        let models: Vec<Result<scaguard::CstBbs, DetectError>> = if jobs <= 1 {
-            samples
-                .iter()
-                .map(|s| {
-                    scaguard::build_model(&s.program, &s.victim, &self.config)
-                        .map(|o| o.cst_bbs)
-                        .map_err(DetectError::from)
-                })
-                .collect()
-        } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let slots: Vec<std::sync::Mutex<Option<Result<scaguard::CstBbs, DetectError>>>> =
-                samples.iter().map(|_| std::sync::Mutex::new(None)).collect();
-            std::thread::scope(|s| {
-                for _ in 0..jobs {
-                    s.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= samples.len() {
-                            break;
-                        }
-                        let built = scaguard::build_model(
-                            &samples[i].program,
-                            &samples[i].victim,
-                            &self.config,
-                        )
-                        .map(|o| o.cst_bbs)
-                        .map_err(DetectError::from);
-                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(built);
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|m| {
-                    m.into_inner()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .expect("every sample modeled")
-                })
-                .collect()
-        };
-        // First error in sample order, as the serial loop would report.
-        let mut built = Vec::with_capacity(models.len());
-        for m in models {
-            built.push(m?);
+        // Model in parallel through the shared builder (modeling is pure
+        // and dominates the cost), then hand the batch to the similarity
+        // engine's worker pool.
+        let targets: Vec<_> = samples.iter().map(|s| (&s.program, &s.victim)).collect();
+        // First error in sample order, as a serial loop would report.
+        let mut built = Vec::with_capacity(samples.len());
+        for m in self.builder.build_batch_cst_jobs(&targets, jobs) {
+            built.push((*m?).clone());
         }
         Ok(detector
             .classify_batch(&built, jobs)

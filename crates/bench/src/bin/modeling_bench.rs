@@ -1,0 +1,269 @@
+//! The model-construction bench: serial `build_models` (the reference
+//! front end) vs the parallel, content-addressed `ModelBuilder`, on an
+//! eval-scale workload of mutated attack variants plus benign programs.
+//!
+//! Byte-exactness is asserted **before** any timing: for every target and
+//! every job count in {1, 2, 4, 8}, warm cache and cold, the builder's
+//! model must render to exactly the same bytes as the serial pipeline's
+//! (and the intermediate artifacts must match structurally). Only then
+//! are the two paths timed.
+//!
+//! * `cargo run -p sca-bench --release --bin modeling_bench` — full run;
+//!   asserts a >= 2x end-to-end speedup on the sweep workload (repeated
+//!   modeling of one sample set, the shape of every eval experiment
+//!   loop) and writes `BENCH_modeling.json` at the workspace root.
+//! * `... -- --smoke` — small workload, exactness assertions only, no
+//!   timing floor; the CI verify step runs this.
+
+use std::time::Instant;
+
+use sca_attacks::dataset::mutated_family;
+use sca_attacks::mutate::MutationConfig;
+use sca_attacks::{benign, AttackFamily, Sample};
+use sca_telemetry::Json;
+use scaguard::{build_models, model_text, ModelBuilder, ModelingConfig, ModelingOutcome};
+
+const ROUNDS: usize = 5;
+/// Modeling passes per timed measurement: the sweep workload models the
+/// same samples this many times, the shape of `threshold.rs` (which
+/// re-models the full sample set per experiment round).
+const SWEEP_ROUNDS: usize = 4;
+const SEED: u64 = 0x5ca6_40de;
+const EXACTNESS_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+fn build_samples(per_type: usize, benign_total: usize) -> Vec<Sample> {
+    let mutation = MutationConfig::default();
+    let mut samples = Vec::new();
+    for family in AttackFamily::ALL {
+        samples.extend(mutated_family(family, per_type, SEED, &mutation));
+    }
+    samples.extend(benign::generate_mix(benign_total, SEED ^ 0xbe));
+    samples
+}
+
+/// Serial reference: `build_models` over the whole batch.
+fn serial_reference(
+    samples: &[Sample],
+    cfg: &ModelingConfig,
+) -> std::collections::BTreeMap<String, Result<ModelingOutcome, scaguard::ModelError>> {
+    build_models(samples.iter().map(|s| (&s.program, &s.victim)), cfg)
+}
+
+/// Assert one builder outcome is byte-identical to the serial one: the
+/// CST-BBS renders to the same bytes, and every intermediate artifact
+/// matches.
+fn assert_outcome_exact(context: &str, serial: &ModelingOutcome, built: &ModelingOutcome) {
+    assert_eq!(
+        model_text(&serial.cst_bbs),
+        model_text(&built.cst_bbs),
+        "{context}: model bytes differ"
+    );
+    assert_eq!(serial.cst_bbs, built.cst_bbs, "{context}: model differs");
+    assert_eq!(
+        serial.potential_bbs, built.potential_bbs,
+        "{context}: potential blocks differ"
+    );
+    assert_eq!(
+        serial.overlap_bbs, built.overlap_bbs,
+        "{context}: overlap blocks differ"
+    );
+    assert_eq!(
+        serial.relevant_bbs, built.relevant_bbs,
+        "{context}: relevant blocks differ"
+    );
+    assert_eq!(
+        serial.relevant_edges, built.relevant_edges,
+        "{context}: graph edges differ"
+    );
+}
+
+/// Median wall time of `f` over [`ROUNDS`] runs, in nanoseconds.
+fn time_median(mut f: impl FnMut()) -> u64 {
+    let mut times: Vec<u64> = (0..ROUNDS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn counter(snap: &sca_telemetry::Snapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (per_type, benign_total) = if smoke { (3, 4) } else { (24, 32) };
+    let cfg = ModelingConfig::default();
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("building workload: {per_type} variants/type + {benign_total} benign ...");
+    let samples = build_samples(per_type, benign_total);
+
+    // Serial reference, once; the workload's names are unique, so the
+    // name-keyed map covers every sample.
+    let reference = serial_reference(&samples, &cfg);
+    assert_eq!(
+        reference.len(),
+        samples.len(),
+        "workload program names must be unique"
+    );
+    eprintln!("targets: {} (serial reference built)", samples.len());
+
+    // Exactness first: any job count, cold cache then warm, every target
+    // byte-identical to the serial pipeline.
+    for jobs in EXACTNESS_JOBS {
+        let builder = ModelBuilder::new(&cfg).with_jobs(jobs);
+        for round in ["cold", "warm"] {
+            let built = builder.build_samples(&samples);
+            for (s, b) in samples.iter().zip(&built) {
+                let b = b.as_ref().expect("workload models");
+                let serial = reference[s.program.name()]
+                    .as_ref()
+                    .expect("serial workload models");
+                assert_outcome_exact(
+                    &format!("jobs={jobs} {round} {}", s.program.name()),
+                    serial,
+                    b,
+                );
+            }
+        }
+        let stats = builder.stats();
+        assert!(
+            stats.hits >= samples.len() as u64,
+            "jobs={jobs}: warm round must hit the model cache ({stats:?})"
+        );
+    }
+    eprintln!(
+        "exactness: builder output byte-identical to serial build_models \
+         (jobs in {EXACTNESS_JOBS:?}, cold + warm)"
+    );
+
+    if smoke {
+        eprintln!("smoke OK");
+        return;
+    }
+
+    // Wall clock. Two workload shapes:
+    //
+    // * **single pass** — one batch, cold cache: the builder pays the
+    //   same pipeline work and wins only what thread fan-out buys on
+    //   this machine.
+    // * **sweep** — [`SWEEP_ROUNDS`] passes over the same samples, the
+    //   shape of every eval experiment loop (threshold sweeps re-model
+    //   the full sample set per round): before this pipeline existed,
+    //   each pass re-ran `build_models` from scratch; the builder pays
+    //   one cold pass and serves the rest from the content-addressed
+    //   cache. The acceptance floor is asserted on this end-to-end
+    //   ratio, since a single-core machine (like CI) gets nothing from
+    //   fan-out.
+    let serial_ns = time_median(|| {
+        std::hint::black_box(serial_reference(&samples, &cfg));
+    });
+    let cold_ns = time_median(|| {
+        let builder = ModelBuilder::new(&cfg).with_jobs(jobs);
+        std::hint::black_box(builder.build_samples(&samples));
+    });
+    let serial_sweep_ns = time_median(|| {
+        for _ in 0..SWEEP_ROUNDS {
+            std::hint::black_box(serial_reference(&samples, &cfg));
+        }
+    });
+    let builder_sweep_ns = time_median(|| {
+        let builder = ModelBuilder::new(&cfg).with_jobs(jobs);
+        for _ in 0..SWEEP_ROUNDS {
+            std::hint::black_box(builder.build_samples(&samples));
+        }
+    });
+    let cold_speedup = serial_ns as f64 / cold_ns.max(1) as f64;
+    let speedup = serial_sweep_ns as f64 / builder_sweep_ns.max(1) as f64;
+
+    // Warm-cache round, telemetry-instrumented: every model must be
+    // served from the content-addressed cache.
+    let builder = ModelBuilder::new(&cfg).with_jobs(jobs);
+    builder.build_samples(&samples);
+    let warm_t = Instant::now();
+    let (_, snap) = sca_telemetry::collect(|| {
+        std::hint::black_box(builder.build_samples(&samples));
+    });
+    let warm_ns = warm_t.elapsed().as_nanos() as u64;
+    let warm_hits = counter(&snap, "modelcache.hits");
+    assert!(
+        warm_hits > 0,
+        "warm round must report modelcache.hits > 0 (got {warm_hits})"
+    );
+    let stats = builder.stats();
+
+    println!(
+        "model construction ({} targets, {jobs} workers, {SWEEP_ROUNDS}-round sweep)",
+        samples.len()
+    );
+    println!("  serial    {serial_ns:>13} ns/pass   {serial_sweep_ns:>13} ns/sweep");
+    println!("  builder   {cold_ns:>13} ns/pass   {builder_sweep_ns:>13} ns/sweep (cold start)");
+    println!("  warm      {warm_ns:>13} ns/pass   ({warm_hits} cache hits)");
+    println!("  speedup   {speedup:>12.2}x (sweep), {cold_speedup:.2}x (cold single pass), byte-exact");
+    println!(
+        "  builder: {} model hits / {} misses, {} stage hits, {} replays memoized / {} simulated",
+        stats.hits, stats.misses, stats.stage_hits, stats.replays_memoized, stats.replays_simulated
+    );
+
+    assert!(
+        speedup >= 2.0,
+        "full bench below the 2x acceptance floor: {speedup:.2}x"
+    );
+
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("parallel model construction".into())),
+        (
+            "workload".into(),
+            Json::Obj(vec![
+                ("targets".into(), Json::Num(samples.len() as f64)),
+                ("variants_per_type".into(), Json::Num(per_type as f64)),
+                ("benign".into(), Json::Num(benign_total as f64)),
+                ("rounds".into(), Json::Num(ROUNDS as f64)),
+                ("sweep_rounds".into(), Json::Num(SWEEP_ROUNDS as f64)),
+                ("jobs".into(), Json::Num(jobs as f64)),
+            ]),
+        ),
+        (
+            "serial".into(),
+            Json::Obj(vec![
+                ("wall_ns".into(), Json::Num(serial_ns as f64)),
+                ("sweep_wall_ns".into(), Json::Num(serial_sweep_ns as f64)),
+            ]),
+        ),
+        (
+            "builder".into(),
+            Json::Obj(vec![
+                ("cold_wall_ns".into(), Json::Num(cold_ns as f64)),
+                ("sweep_wall_ns".into(), Json::Num(builder_sweep_ns as f64)),
+                ("warm_wall_ns".into(), Json::Num(warm_ns as f64)),
+                ("modelcache_hits".into(), Json::Num(warm_hits as f64)),
+                ("stage_hits".into(), Json::Num(stats.stage_hits as f64)),
+                (
+                    "replays_memoized".into(),
+                    Json::Num(stats.replays_memoized as f64),
+                ),
+                (
+                    "replays_simulated".into(),
+                    Json::Num(stats.replays_simulated as f64),
+                ),
+            ]),
+        ),
+        ("speedup".into(), Json::Num((speedup * 100.0).round() / 100.0)),
+        (
+            "cold_speedup".into(),
+            Json::Num((cold_speedup * 100.0).round() / 100.0),
+        ),
+        (
+            "warm_speedup".into(),
+            Json::Num((serial_ns as f64 / warm_ns.max(1) as f64 * 100.0).round() / 100.0),
+        ),
+        ("byte_exact".into(), Json::Bool(true)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_modeling.json");
+    std::fs::write(out, format!("{json}\n")).expect("write BENCH_modeling.json");
+    eprintln!("wrote {out}");
+}

@@ -20,7 +20,7 @@ use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{benign, AttackFamily};
 use sca_telemetry::Json;
 use scaguard::{
-    build_model, similarity_score, CstBbs, Detector, ModelRepository, ModelingConfig,
+    similarity_score, CstBbs, Detector, ModelBuilder, ModelRepository, ModelingConfig,
 };
 
 const ROUNDS: usize = 5;
@@ -35,23 +35,24 @@ fn build_workload(per_type: usize, benign_total: usize) -> Workload {
     let params = PocParams::default();
     let cfg = ModelingConfig::default();
     let mutation = MutationConfig::default();
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let builder = ModelBuilder::new(&cfg).with_jobs(jobs);
     let mut repo = ModelRepository::new();
     for family in AttackFamily::ALL {
         let s = poc::representative(family, &params);
-        repo.add_poc(family, &s.program, &s.victim, &cfg)
+        repo.add_poc_with(family, &s.program, &s.victim, &builder)
             .expect("PoC models");
     }
-    let mut targets = Vec::new();
+    let mut samples = Vec::new();
     for family in AttackFamily::ALL {
-        for s in mutated_family(family, per_type, SEED, &mutation) {
-            let outcome = build_model(&s.program, &s.victim, &cfg).expect("variant models");
-            targets.push(outcome.cst_bbs);
-        }
+        samples.extend(mutated_family(family, per_type, SEED, &mutation));
     }
-    for s in benign::generate_mix(benign_total, SEED ^ 0xbe) {
-        let outcome = build_model(&s.program, &s.victim, &cfg).expect("benign models");
-        targets.push(outcome.cst_bbs);
-    }
+    samples.extend(benign::generate_mix(benign_total, SEED ^ 0xbe));
+    let targets = builder
+        .build_samples(&samples)
+        .into_iter()
+        .map(|r| r.expect("target models").cst_bbs.clone())
+        .collect();
     Workload { repo, targets }
 }
 

@@ -15,9 +15,11 @@
 
 pub mod harness;
 
+use std::sync::OnceLock;
+
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{AttackFamily, Sample};
-use scaguard::{build_model, CstBbs, ModelingConfig, ModelingOutcome};
+use scaguard::{CstBbs, ModelBuilder, ModelingConfig, ModelingOutcome};
 
 /// The default fixture parameters used by benches and ablations.
 pub fn fixture_params() -> PocParams {
@@ -33,14 +35,25 @@ pub fn fixture_pocs() -> Vec<(AttackFamily, Sample)> {
         .collect()
 }
 
-/// Model one sample with the default configuration.
+/// The process-wide fixture [`ModelBuilder`] (default configuration):
+/// bench groups and ablations that model the same PoCs share one
+/// content-addressed cache instead of re-running the pipeline.
+pub fn fixture_builder() -> &'static ModelBuilder {
+    static BUILDER: OnceLock<ModelBuilder> = OnceLock::new();
+    BUILDER.get_or_init(|| ModelBuilder::new(&ModelingConfig::default()))
+}
+
+/// Model one sample with the default configuration (served by
+/// [`fixture_builder`]).
 ///
 /// # Panics
 ///
 /// Panics if modeling fails (fixtures are known-good).
 pub fn fixture_model(sample: &Sample) -> ModelingOutcome {
-    build_model(&sample.program, &sample.victim, &ModelingConfig::default())
-        .expect("fixture models")
+    (*fixture_builder()
+        .build(&sample.program, &sample.victim)
+        .expect("fixture models"))
+    .clone()
 }
 
 /// A pair of CST-BBS models for similarity benches: two different

@@ -19,11 +19,11 @@ use std::fs;
 use std::process::ExitCode;
 
 use sca_attacks::poc::{self, PocParams};
-use sca_attacks::AttackFamily;
+use sca_attacks::{AttackFamily, Sample};
 use sca_cpu::Victim;
 use sca_telemetry::{Json, Record};
 use scaguard::{
-    build_model, explain_similarity, load_repository, save_repository, Detector,
+    explain_similarity, load_repository, save_repository, Detector, ModelBuilder,
     ModelRepository, ModelingConfig,
 };
 
@@ -33,17 +33,20 @@ const LINE: u64 = 64;
 
 fn usage() -> &'static str {
     "usage:
-  scaguard build-repo <out-file> [--telemetry <out.jsonl>]
-      model the built-in PoCs (one per attack type) and save the repository
+  scaguard build-repo <out-file> [--jobs <n>] [--model-cache <path>]
+          [--telemetry <out.jsonl>]
+      model the built-in PoCs (one per attack type) and save the repository;
+      --jobs models them with n worker threads
   scaguard classify <program.sasm> --repo <repo-file>
           [--threshold <0..1>] [--victim none|shared:<secret>|conflict:<secret>]
-          [--jobs <n>] [--json] [--telemetry <out.jsonl>]
+          [--jobs <n>] [--model-cache <path>] [--json] [--telemetry <out.jsonl>]
       classify an assembled program against a saved repository;
       --jobs scans the repository with n worker threads;
       --json emits the full detection (verdict, family, per-PoC scores,
       threshold) as a single JSON object on stdout; pruned comparisons
       report a `<=` upper bound (\"exact\": false in JSON)
-  scaguard model <program.sasm> [--victim ...] [--telemetry <out.jsonl>]
+  scaguard model <program.sasm> [--victim ...] [--model-cache <path>]
+          [--telemetry <out.jsonl>]
       print the program's CST-BBS attack behavior model
   scaguard explain <program.sasm> --repo <repo-file> [--victim ...]
       show the DTW alignment against the best-matching PoC model
@@ -53,6 +56,8 @@ fn usage() -> &'static str {
   scaguard asm <program.sasm>
       assemble and disassemble a program (syntax check)
 
+  --model-cache <path> persists built models content-addressed by
+  (program, victim, config), so repeated invocations skip modeling;
   --telemetry <out.jsonl> records pipeline spans/counters during the
   command and writes them as JSON Lines (inspect with `scaguard stats`)"
 }
@@ -81,6 +86,7 @@ struct Options {
     telemetry: Option<String>,
     json: bool,
     jobs: usize,
+    model_cache: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -91,6 +97,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         telemetry: None,
         json: false,
         jobs: 1,
+        model_cache: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -110,6 +117,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.telemetry = Some(it.next().ok_or("--telemetry needs a path")?.clone());
             }
             "--json" => opts.json = true,
+            "--model-cache" => {
+                opts.model_cache = Some(it.next().ok_or("--model-cache needs a path")?.clone());
+            }
             "--jobs" => {
                 opts.jobs = it
                     .next()
@@ -153,13 +163,30 @@ fn load_program(path: &str) -> Result<sca_isa::Program, Box<dyn Error>> {
     Ok(sca_isa::assemble(name, &source)?)
 }
 
-fn cmd_build_repo(out: &str) -> Result<(), Box<dyn Error>> {
-    let config = ModelingConfig::default();
+/// The command's [`ModelBuilder`]: `--jobs` workers, `--model-cache`
+/// persistence when given.
+fn make_builder(opts: &Options) -> Result<ModelBuilder, Box<dyn Error>> {
+    let mut builder = ModelBuilder::new(&ModelingConfig::default()).with_jobs(opts.jobs);
+    if let Some(path) = &opts.model_cache {
+        builder = builder.with_disk_cache(path)?;
+        if !builder.is_empty() {
+            eprintln!("model cache: {} entries from {path}", builder.len());
+        }
+    }
+    Ok(builder)
+}
+
+fn cmd_build_repo(out: &str, builder: &ModelBuilder) -> Result<(), Box<dyn Error>> {
     let params = PocParams::default();
+    let pocs: Vec<(AttackFamily, Sample)> = AttackFamily::ALL
+        .iter()
+        .map(|&f| (f, poc::representative(f, &params)))
+        .collect();
+    let targets: Vec<_> = pocs.iter().map(|(_, s)| (&s.program, &s.victim)).collect();
+    let models = builder.build_batch_cst(&targets);
     let mut repo = ModelRepository::new();
-    for family in AttackFamily::ALL {
-        let s = poc::representative(family, &params);
-        repo.add_poc(family, &s.program, &s.victim, &config)?;
+    for ((family, s), model) in pocs.iter().zip(models) {
+        repo.add_model(*family, s.name(), (*model?).clone());
         eprintln!("modeled {} <- {}", family, s.name());
     }
     save_repository(&repo, out)?;
@@ -167,7 +194,7 @@ fn cmd_build_repo(out: &str) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn cmd_classify(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
+fn cmd_classify(path: &str, opts: &Options, builder: &ModelBuilder) -> Result<(), Box<dyn Error>> {
     let repo_path = opts
         .repo
         .as_deref()
@@ -176,7 +203,7 @@ fn cmd_classify(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
     let detector = Detector::new(repo, opts.threshold);
     let program = load_program(path)?;
     let detection =
-        detector.classify_jobs(&program, &opts.victim, &ModelingConfig::default(), opts.jobs)?;
+        detector.classify_with_builder(&program, &opts.victim, builder, opts.jobs)?;
     if opts.json {
         println!("{}", detection_json(program.name(), &detection));
         return Ok(());
@@ -291,9 +318,9 @@ fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn cmd_model(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
+fn cmd_model(path: &str, opts: &Options, builder: &ModelBuilder) -> Result<(), Box<dyn Error>> {
     let program = load_program(path)?;
-    let outcome = build_model(&program, &opts.victim, &ModelingConfig::default())?;
+    let outcome = builder.build(&program, &opts.victim)?;
     println!(
         "{}: {} blocks, {} potential, {} attack-relevant",
         program.name(),
@@ -314,20 +341,20 @@ fn cmd_model(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn cmd_explain(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
+fn cmd_explain(path: &str, opts: &Options, builder: &ModelBuilder) -> Result<(), Box<dyn Error>> {
     let repo_path = opts
         .repo
         .as_deref()
         .ok_or("explain needs --repo (create one with `scaguard build-repo`)")?;
     let repo = load_repository(repo_path)?;
     let program = load_program(path)?;
-    let outcome = build_model(&program, &opts.victim, &ModelingConfig::default())?;
+    let model = builder.build_cst(&program, &opts.victim)?;
     let best = repo
         .entries()
         .iter()
         .max_by(|a, b| {
-            scaguard::similarity_score(&outcome.cst_bbs, &a.model)
-                .partial_cmp(&scaguard::similarity_score(&outcome.cst_bbs, &b.model))
+            scaguard::similarity_score(&model, &a.model)
+                .partial_cmp(&scaguard::similarity_score(&model, &b.model))
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
         .ok_or("the repository is empty")?;
@@ -336,7 +363,7 @@ fn cmd_explain(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
 {}",
         best.name,
         best.family,
-        explain_similarity(&outcome.cst_bbs, &best.model)
+        explain_similarity(&model, &best.model)
     );
     Ok(())
 }
@@ -377,13 +404,15 @@ fn run() -> Result<(), Box<dyn Error>> {
     if opts.telemetry.is_some() {
         sca_telemetry::set_enabled(true);
     }
+    let builder = make_builder(&opts)?;
     let result = match cmd {
-        "build-repo" => cmd_build_repo(path),
-        "classify" => cmd_classify(path, &opts),
-        "model" => cmd_model(path, &opts),
-        "explain" => cmd_explain(path, &opts),
+        "build-repo" => cmd_build_repo(path, &builder),
+        "classify" => cmd_classify(path, &opts, &builder),
+        "model" => cmd_model(path, &opts, &builder),
+        "explain" => cmd_explain(path, &opts, &builder),
         _ => Err(usage().into()),
     };
+    builder.save_disk_cache()?;
     finish_telemetry(&opts)?;
     result
 }

@@ -1,0 +1,668 @@
+//! Parallel, content-addressed model construction.
+//!
+//! PR 2 made the similarity back end the fast half of the pipeline; the
+//! front end still paid a full serial [`build_model`] pass per target, one
+//! program at a time, from every eval round, bench binary, and baseline
+//! adapter. Trace→model construction is embarrassingly parallel across
+//! targets and highly redundant across repeated configs (threshold sweeps
+//! re-model the same samples per round; mutated PoC variants share most of
+//! their basic blocks), so the [`ModelBuilder`] attacks both:
+//!
+//! - **Parallelism**: [`ModelBuilder::build_batch`] fans a batch out over
+//!   std-only `thread::scope` workers (mirroring `engine.rs` — no new
+//!   deps) with an index-ordered merge, so results come back in input
+//!   order and byte-identical to the serial path for any job count.
+//! - **Content-addressed caching**: every finished model is stored under a
+//!   [`ModelKey`] — a stable FNV-1a hash of a canonical rendering of
+//!   (program instructions, victim, [`ModelingConfig`]) — in a bounded
+//!   in-memory store with optional on-disk persistence (the
+//!   `scaguard-modelcache v1` text format of [`crate::persist`]).
+//! - **Stage memoization**: the trace + attack-relevant-graph stage (which
+//!   includes the capped path enumeration of Algorithm 1) is cached under
+//!   the key *minus* the CST-replay cache geometry, so configs differing
+//!   only in `cst_cache` (replay-policy ablations) reuse the expensive
+//!   execute/collect/graph work. Per-block CST replays are memoized in a
+//!   shared [`ReplayMemo`] keyed by the byte-exact replay input.
+//!
+//! ## Soundness
+//!
+//! Every cache layer keys on *everything* the stage it short-circuits
+//! reads, and nothing else:
+//!
+//! - `measure_cst` reads the per-instruction kind/access list and the full
+//!   replay [`sca_cache::CacheConfig`]; the [`ReplayMemo`] key encodes
+//!   exactly those bytes.
+//! - `collect_and_graph` reads the program's instructions, the victim, the
+//!   CPU configuration, and `path_cap`; the stage key renders exactly
+//!   those. Program *name* and generator *tags* are deliberately excluded:
+//!   no modeling stage reads them, so two differently-named but
+//!   instruction-identical programs share one cache entry.
+//! - `finish_model` additionally reads `cst_cache`; the full key appends
+//!   it.
+//!
+//! Hash collisions can never alias entries: stores bucket by hash but
+//! always compare the full canonical key before returning a value (see the
+//! collision tests below). Because every memoized stage is a pure function
+//! of its full key and the batch merge is index-ordered, builder output is
+//! byte-identical to serial [`build_models`] — warm or cold, any `jobs`.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use sca_attacks::Sample;
+use sca_cpu::Victim;
+use sca_isa::Program;
+
+use crate::cst::CstBbs;
+use crate::modeling::{
+    collect_and_graph, finish_model, fnv1a, ModelError, ModelingConfig, ModelingOutcome,
+    ReplayMemo, TraceGraph,
+};
+use crate::persist::{self, LoadRepoError};
+
+/// Default bound on each in-memory store (models and stages separately).
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// Content address of one model: a stable hash plus the canonical key it
+/// was computed from. The canonical key is a single-line rendering of
+/// everything the modeling pipeline reads — program instructions, victim,
+/// CPU config, path cap, and (for the full key) the CST-replay cache
+/// config. Lookups compare the canonical key byte-for-byte, never the
+/// hash alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelKey {
+    hash: u64,
+    canonical: String,
+}
+
+impl ModelKey {
+    /// The full key: everything [`build_model`] reads.
+    pub fn new(program: &Program, victim: &Victim, config: &ModelingConfig) -> ModelKey {
+        let canonical = format!(
+            "{} | cst_cache {:?}",
+            stage_canonical(program, victim, config),
+            config.cst_cache
+        );
+        ModelKey::from_canonical(canonical)
+    }
+
+    /// Rebuild a key from its canonical form (the hash is recomputed, so a
+    /// corrupted or foreign hash can never alias an entry).
+    fn from_canonical(canonical: String) -> ModelKey {
+        ModelKey {
+            hash: fnv1a(canonical.as_bytes()),
+            canonical,
+        }
+    }
+
+    /// The stable content hash.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The canonical key string.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// Test-only: a key with a forced hash, for exercising collision
+    /// handling.
+    #[cfg(test)]
+    fn with_forced_hash(hash: u64, canonical: &str) -> ModelKey {
+        ModelKey {
+            hash,
+            canonical: canonical.to_string(),
+        }
+    }
+}
+
+/// Canonical rendering of the *stage* inputs — everything
+/// `collect_and_graph` reads (no `cst_cache`). `Debug` for these types is
+/// single-line and structural, and the rendered fields are exactly the
+/// pipeline's inputs, so equal strings imply equal stage outputs.
+fn stage_canonical(program: &Program, victim: &Victim, config: &ModelingConfig) -> String {
+    format!(
+        "insts {:?} | victim {:?} | cpu {:?} | path_cap {}",
+        program.insts(),
+        victim,
+        config.cpu,
+        config.path_cap
+    )
+}
+
+/// A cached model: the detection model always, the full outcome when this
+/// process built it (disk-loaded entries carry the model only — the
+/// intermediate artifacts are not persisted).
+#[derive(Debug, Clone)]
+struct CachedModel {
+    outcome: Option<Arc<ModelingOutcome>>,
+    model: Arc<CstBbs>,
+}
+
+/// A bounded content-addressed store: hash buckets with full-canonical-key
+/// comparison and FIFO eviction.
+#[derive(Debug)]
+struct Store<V> {
+    map: HashMap<u64, Vec<(String, V)>>,
+    order: VecDeque<(u64, String)>,
+    capacity: usize,
+}
+
+impl<V: Clone> Store<V> {
+    fn new(capacity: usize) -> Store<V> {
+        Store {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, key: &ModelKey) -> Option<V> {
+        self.map.get(&key.hash)?.iter().find_map(|(k, v)| {
+            if *k == key.canonical {
+                Some(v.clone())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Insert (or replace) the value for `key`, evicting the oldest entry
+    /// when over capacity.
+    fn insert(&mut self, key: &ModelKey, value: V) {
+        let bucket = self.map.entry(key.hash).or_default();
+        if let Some(slot) = bucket.iter_mut().find(|(k, _)| *k == key.canonical) {
+            slot.1 = value;
+            return;
+        }
+        bucket.push((key.canonical.clone(), value));
+        self.order.push_back((key.hash, key.canonical.clone()));
+        while self.order.len() > self.capacity {
+            let (hash, canonical) = self.order.pop_front().expect("nonempty");
+            if let Some(bucket) = self.map.get_mut(&hash) {
+                bucket.retain(|(k, _)| *k != canonical);
+                if bucket.is_empty() {
+                    self.map.remove(&hash);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// All `(canonical key, value)` pairs in insertion order.
+    fn entries(&self) -> impl Iterator<Item = (&str, &V)> {
+        self.order.iter().filter_map(|(hash, canonical)| {
+            self.map.get(hash).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|(k, _)| k == canonical)
+                    .map(|(k, v)| (k.as_str(), v))
+            })
+        })
+    }
+}
+
+/// Cache-effectiveness counters of one [`ModelBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuilderStats {
+    /// Full-model cache hits (outcome or model served without rebuilding).
+    pub hits: u64,
+    /// Full-model cache misses.
+    pub misses: u64,
+    /// Trace+graph stage served from the stage cache.
+    pub stage_hits: u64,
+    /// Per-block CST replays served from the replay memo.
+    pub replays_memoized: u64,
+    /// Per-block CST replays actually simulated.
+    pub replays_simulated: u64,
+}
+
+/// Batch model-construction engine: parallel across targets, with
+/// content-addressed model/stage caches and a shared CST-replay memo. See
+/// the module docs for the soundness argument.
+///
+/// All methods take `&self`; the builder is internally synchronized and
+/// can be shared across threads (e.g. behind an [`Arc`]).
+#[derive(Debug)]
+pub struct ModelBuilder {
+    config: ModelingConfig,
+    jobs: usize,
+    models: Mutex<Store<CachedModel>>,
+    stages: Mutex<Store<Arc<TraceGraph>>>,
+    memo: ReplayMemo,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stage_hits: AtomicU64,
+    disk_path: Option<PathBuf>,
+    dirty: AtomicBool,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ModelBuilder {
+    /// A builder for `config` with a single worker and the default store
+    /// capacity.
+    pub fn new(config: &ModelingConfig) -> ModelBuilder {
+        ModelBuilder {
+            config: config.clone(),
+            jobs: 1,
+            models: Mutex::new(Store::new(DEFAULT_CAPACITY)),
+            stages: Mutex::new(Store::new(DEFAULT_CAPACITY)),
+            memo: ReplayMemo::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stage_hits: AtomicU64::new(0),
+            disk_path: None,
+            dirty: AtomicBool::new(false),
+        }
+    }
+
+    /// Set the worker count for batch builds (`0` and `1` both mean
+    /// serial).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> ModelBuilder {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Bound both in-memory stores at `capacity` entries (FIFO eviction).
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> ModelBuilder {
+        self.models = Mutex::new(Store::new(capacity));
+        self.stages = Mutex::new(Store::new(capacity));
+        self
+    }
+
+    /// Attach an on-disk cache file. If it exists its entries are loaded
+    /// (models only — intermediate artifacts are not persisted); a
+    /// missing file is an empty cache. [`ModelBuilder::save_disk_cache`]
+    /// writes the store back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadRepoError`] when the file exists but cannot be read
+    /// or parsed.
+    pub fn with_disk_cache(mut self, path: impl AsRef<Path>) -> Result<ModelBuilder, LoadRepoError> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            let entries = persist::load_model_cache(&path)?;
+            let mut models = lock(&self.models);
+            for (canonical, model) in entries {
+                let key = ModelKey::from_canonical(canonical);
+                models.insert(
+                    &key,
+                    CachedModel {
+                        outcome: None,
+                        model: Arc::new(model),
+                    },
+                );
+            }
+        }
+        drop(self.disk_path.replace(path));
+        Ok(self)
+    }
+
+    /// The modeling configuration all builds use.
+    pub fn config(&self) -> &ModelingConfig {
+        &self.config
+    }
+
+    /// The batch worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> BuilderStats {
+        let (memoized, simulated) = self.memo.counts();
+        BuilderStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stage_hits: self.stage_hits.load(Ordering::Relaxed),
+            replays_memoized: memoized,
+            replays_simulated: simulated,
+        }
+    }
+
+    /// Build (or recall) the full modeling outcome for one target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the pipeline. Errors are not
+    /// cached; a failing target is retried on every call.
+    pub fn build(
+        &self,
+        program: &Program,
+        victim: &Victim,
+    ) -> Result<Arc<ModelingOutcome>, ModelError> {
+        self.build_with(program, victim, &self.config)
+    }
+
+    /// [`ModelBuilder::build`] under a one-off configuration override.
+    /// The cache keys embed the config, so one builder safely serves many
+    /// configs — and configs differing only in `cst_cache` (the
+    /// replay-policy ablations) share stage-cache entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the pipeline.
+    pub fn build_with(
+        &self,
+        program: &Program,
+        victim: &Victim,
+        config: &ModelingConfig,
+    ) -> Result<Arc<ModelingOutcome>, ModelError> {
+        let mut sp = sca_telemetry::span("builder.build");
+        let key = ModelKey::new(program, victim, config);
+        let cached = lock(&self.models).get(&key);
+        if let Some(CachedModel {
+            outcome: Some(outcome),
+            ..
+        }) = cached
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if sp.is_recording() {
+                sp.attr("program", program.name());
+                sp.attr("cached", true);
+                sca_telemetry::counter("modelcache.hits", 1);
+            }
+            return Ok(outcome);
+        }
+        // A disk-loaded (model-only) entry cannot serve a full outcome:
+        // rebuild it — stage cache and replay memo still apply — and
+        // upgrade the entry.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = Arc::new(self.rebuild(program, victim, config)?);
+        let entry = CachedModel {
+            model: Arc::new(outcome.cst_bbs.clone()),
+            outcome: Some(Arc::clone(&outcome)),
+        };
+        lock(&self.models).insert(&key, entry);
+        self.dirty.store(true, Ordering::Relaxed);
+        if sp.is_recording() {
+            sp.attr("program", program.name());
+            sp.attr("cached", false);
+            sca_telemetry::counter("modelcache.misses", 1);
+        }
+        Ok(outcome)
+    }
+
+    /// Build (or recall) just the detection model for one target. Unlike
+    /// [`ModelBuilder::build`], this is served directly by disk-loaded
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the pipeline.
+    pub fn build_cst(
+        &self,
+        program: &Program,
+        victim: &Victim,
+    ) -> Result<Arc<CstBbs>, ModelError> {
+        let mut sp = sca_telemetry::span("builder.build");
+        let key = ModelKey::new(program, victim, &self.config);
+        if let Some(cached) = lock(&self.models).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if sp.is_recording() {
+                sp.attr("program", program.name());
+                sp.attr("cached", true);
+                sca_telemetry::counter("modelcache.hits", 1);
+            }
+            return Ok(cached.model);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = Arc::new(self.rebuild(program, victim, &self.config)?);
+        let model = Arc::new(outcome.cst_bbs.clone());
+        let entry = CachedModel {
+            model: Arc::clone(&model),
+            outcome: Some(outcome),
+        };
+        lock(&self.models).insert(&key, entry);
+        self.dirty.store(true, Ordering::Relaxed);
+        if sp.is_recording() {
+            sp.attr("program", program.name());
+            sp.attr("cached", false);
+            sca_telemetry::counter("modelcache.misses", 1);
+        }
+        Ok(model)
+    }
+
+    /// Run the pipeline for a cache miss, via the stage cache and the
+    /// shared replay memo.
+    fn rebuild(
+        &self,
+        program: &Program,
+        victim: &Victim,
+        config: &ModelingConfig,
+    ) -> Result<ModelingOutcome, ModelError> {
+        let stage_key = ModelKey::from_canonical(stage_canonical(program, victim, config));
+        // Bind the lookup first: a `match` scrutinee would keep the guard
+        // alive into the `None` arm and deadlock on the re-lock below.
+        let cached_stage = lock(&self.stages).get(&stage_key);
+        let tg = match cached_stage {
+            Some(tg) => {
+                self.stage_hits.fetch_add(1, Ordering::Relaxed);
+                tg
+            }
+            None => {
+                let tg = Arc::new(collect_and_graph(program, victim, config)?);
+                lock(&self.stages).insert(&stage_key, Arc::clone(&tg));
+                tg
+            }
+        };
+        Ok(finish_model(program, config, &tg, Some(&self.memo)))
+    }
+
+    /// Build a whole batch, fanning out over [`ModelBuilder::jobs`]
+    /// workers. Results are in `targets` order; each is byte-identical to
+    /// a serial [`build_model`] of the same target.
+    pub fn build_batch(
+        &self,
+        targets: &[(&Program, &Victim)],
+    ) -> Vec<Result<Arc<ModelingOutcome>, ModelError>> {
+        self.build_batch_jobs(targets, self.jobs)
+    }
+
+    /// [`ModelBuilder::build_batch`] with a one-off worker count.
+    pub fn build_batch_jobs(
+        &self,
+        targets: &[(&Program, &Victim)],
+        jobs: usize,
+    ) -> Vec<Result<Arc<ModelingOutcome>, ModelError>> {
+        self.batch(targets, jobs, |p, v| self.build(p, v))
+    }
+
+    /// [`ModelBuilder::build_batch`], returning just the detection
+    /// models.
+    pub fn build_batch_cst(
+        &self,
+        targets: &[(&Program, &Victim)],
+    ) -> Vec<Result<Arc<CstBbs>, ModelError>> {
+        self.build_batch_cst_jobs(targets, self.jobs)
+    }
+
+    /// [`ModelBuilder::build_batch_cst`] with a one-off worker count.
+    pub fn build_batch_cst_jobs(
+        &self,
+        targets: &[(&Program, &Victim)],
+        jobs: usize,
+    ) -> Vec<Result<Arc<CstBbs>, ModelError>> {
+        self.batch(targets, jobs, |p, v| self.build_cst(p, v))
+    }
+
+    /// Build every sample of an eval set (convenience over
+    /// [`ModelBuilder::build_batch`]).
+    pub fn build_samples(
+        &self,
+        samples: &[Sample],
+    ) -> Vec<Result<Arc<ModelingOutcome>, ModelError>> {
+        let targets: Vec<(&Program, &Victim)> =
+            samples.iter().map(|s| (&s.program, &s.victim)).collect();
+        self.build_batch(&targets)
+    }
+
+    /// The shared worker pool: index-claimed work, index-ordered merge
+    /// (the `detector.rs` / `engine.rs` pattern).
+    fn batch<T: Send>(
+        &self,
+        targets: &[(&Program, &Victim)],
+        jobs: usize,
+        build_one: impl Fn(&Program, &Victim) -> Result<T, ModelError> + Sync,
+    ) -> Vec<Result<T, ModelError>> {
+        let mut sp = sca_telemetry::span("builder.build_batch");
+        let jobs = jobs.clamp(1, targets.len().max(1));
+        if sp.is_recording() {
+            sp.attr("targets", targets.len());
+            sp.attr("jobs", jobs);
+            sca_telemetry::counter("builder.jobs", jobs as u64);
+        }
+        if jobs <= 1 {
+            return targets.iter().map(|(p, v)| build_one(p, v)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<T, ModelError>>>> =
+            targets.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= targets.len() {
+                        break;
+                    }
+                    let (p, v) = targets[i];
+                    *lock(&slots[i]) = Some(build_one(p, v));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every target built")
+            })
+            .collect()
+    }
+
+    /// Write the model store to the attached disk cache (no-op without
+    /// one, or when nothing changed since the last save/load).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadRepoError::Io`] on filesystem errors.
+    pub fn save_disk_cache(&self) -> Result<(), LoadRepoError> {
+        let Some(path) = &self.disk_path else {
+            return Ok(());
+        };
+        if !self.dirty.swap(false, Ordering::Relaxed) {
+            return Ok(());
+        }
+        let models = lock(&self.models);
+        let entries: Vec<(&str, &CstBbs)> = models
+            .entries()
+            .map(|(k, v)| (k, v.model.as_ref()))
+            .collect();
+        persist::save_model_cache(entries, path)
+    }
+
+    /// Number of cached models.
+    pub fn len(&self) -> usize {
+        lock(&self.models).len()
+    }
+
+    /// Whether the model store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_attacks::poc::{self, PocParams};
+
+    #[test]
+    fn store_collision_compares_full_key() {
+        let mut store: Store<u32> = Store::new(16);
+        let a = ModelKey::with_forced_hash(42, "alpha");
+        let b = ModelKey::with_forced_hash(42, "beta");
+        store.insert(&a, 1);
+        assert_eq!(store.get(&a), Some(1));
+        // Same hash, different canonical key: never served a stale value.
+        assert_eq!(store.get(&b), None);
+        store.insert(&b, 2);
+        assert_eq!(store.get(&a), Some(1));
+        assert_eq!(store.get(&b), Some(2));
+    }
+
+    #[test]
+    fn store_evicts_fifo_at_capacity() {
+        let mut store: Store<u32> = Store::new(2);
+        let keys: Vec<ModelKey> = (0..3)
+            .map(|i| ModelKey::from_canonical(format!("k{i}")))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            store.insert(k, i as u32);
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(&keys[0]), None, "oldest entry evicted");
+        assert_eq!(store.get(&keys[1]), Some(1));
+        assert_eq!(store.get(&keys[2]), Some(2));
+    }
+
+    #[test]
+    fn store_replaces_in_place() {
+        let mut store: Store<u32> = Store::new(4);
+        let k = ModelKey::from_canonical("k".into());
+        store.insert(&k, 1);
+        store.insert(&k, 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&k), Some(2));
+    }
+
+    #[test]
+    fn store_entries_iterate_in_insertion_order() {
+        let mut store: Store<u32> = Store::new(8);
+        for i in 0..4 {
+            store.insert(&ModelKey::from_canonical(format!("k{i}")), i);
+        }
+        let got: Vec<u32> = store.entries().map(|(_, v)| *v).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn keys_separate_configs_and_targets() {
+        let s1 = poc::flush_reload_iaik(&PocParams::default());
+        let s2 = poc::prime_probe_iaik(&PocParams::default());
+        let base = ModelingConfig::default();
+        let mut other_replay = base.clone();
+        other_replay.cst_cache.sets *= 2;
+        let mut other_cap = base.clone();
+        other_cap.path_cap += 1;
+
+        let k = |s: &sca_attacks::Sample, c: &ModelingConfig| {
+            ModelKey::new(&s.program, &s.victim, c)
+        };
+        assert_eq!(k(&s1, &base), k(&s1, &base));
+        assert_ne!(k(&s1, &base).canonical, k(&s2, &base).canonical);
+        assert_ne!(k(&s1, &base).canonical, k(&s1, &other_replay).canonical);
+        assert_ne!(k(&s1, &base).canonical, k(&s1, &other_cap).canonical);
+        // The stage key ignores the replay-cache geometry…
+        assert_eq!(
+            stage_canonical(&s1.program, &s1.victim, &base),
+            stage_canonical(&s1.program, &s1.victim, &other_replay)
+        );
+        // …but not the path cap.
+        assert_ne!(
+            stage_canonical(&s1.program, &s1.victim, &base),
+            stage_canonical(&s1.program, &s1.victim, &other_cap)
+        );
+    }
+}

@@ -18,6 +18,7 @@ use sca_attacks::AttackFamily;
 use sca_cpu::Victim;
 use sca_isa::Program;
 
+use crate::builder::ModelBuilder;
 use crate::cst::CstBbs;
 use crate::engine::{lb_csp_envelope, lb_length, Bounded, EngineStats, PreparedModel, SimilarityEngine};
 use crate::modeling::{build_model, ModelError, ModelingConfig};
@@ -68,6 +69,25 @@ impl ModelRepository {
     ) -> Result<(), ModelError> {
         let outcome = build_model(program, victim, config)?;
         self.add_model(family, program.name(), outcome.cst_bbs);
+        Ok(())
+    }
+
+    /// [`ModelRepository::add_poc`] through a [`ModelBuilder`], so
+    /// repeated repository builds (eval rounds, warm disk caches) model
+    /// each PoC exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the modeling pipeline.
+    pub fn add_poc_with(
+        &mut self,
+        family: AttackFamily,
+        program: &Program,
+        victim: &Victim,
+        builder: &ModelBuilder,
+    ) -> Result<(), ModelError> {
+        let model = builder.build_cst(program, victim)?;
+        self.add_model(family, program.name(), (*model).clone());
         Ok(())
     }
 
@@ -449,6 +469,36 @@ impl Detector {
         sp.attr("threshold", self.threshold);
         let outcome = build_model(program, victim, config)?;
         let detection = self.classify_model_jobs(&outcome.cst_bbs, jobs);
+        self.annotate(&mut sp, &detection);
+        Ok(detection)
+    }
+
+    /// [`Detector::classify_jobs`] with the target model served by a
+    /// [`ModelBuilder`] — repeated classifications of the same target
+    /// (or a warm disk cache) skip the modeling pass entirely. The
+    /// builder's configuration is used for modeling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the modeling pipeline.
+    pub fn classify_with_builder(
+        &self,
+        program: &Program,
+        victim: &Victim,
+        builder: &ModelBuilder,
+        jobs: usize,
+    ) -> Result<Detection, ModelError> {
+        let mut sp = sca_telemetry::span("detect");
+        sp.attr("program", program.name());
+        sp.attr("threshold", self.threshold);
+        let model = builder.build_cst(program, victim)?;
+        let detection = self.classify_model_jobs(&model, jobs);
+        self.annotate(&mut sp, &detection);
+        Ok(detection)
+    }
+
+    /// Attach the standard verdict attributes to a root `detect` span.
+    fn annotate(&self, sp: &mut sca_telemetry::SpanGuard, detection: &Detection) {
         if sp.is_recording() {
             sp.attr(
                 "verdict",
@@ -472,7 +522,6 @@ impl Detector {
                 }
             }
         }
-        Ok(detection)
     }
 }
 

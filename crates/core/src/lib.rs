@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+pub mod builder;
 pub mod engine;
 pub mod modeling;
 pub mod persist;
@@ -55,11 +56,17 @@ pub mod similarity;
 mod cst;
 mod detector;
 
+pub use builder::{BuilderStats, ModelBuilder, ModelKey};
 pub use cst::{Cst, CstBbs, CstStep};
 pub use detector::{Detection, Detector, EntryScore, ModelRepository, RepoEntry};
 pub use engine::{Bounded, EngineStats, PreparedModel, SimilarityEngine};
-pub use modeling::{build_model, model_from_blocks, ModelError, ModelingConfig, ModelingOutcome};
-pub use persist::{load_repository, save_repository, LoadRepoError};
+pub use modeling::{
+    build_model, build_models, model_from_blocks, ModelError, ModelingConfig, ModelingOutcome,
+};
+pub use persist::{
+    load_model_cache, load_repository, model_text, save_model_cache, save_repository,
+    LoadRepoError,
+};
 pub use similarity::{
     cst_distance, dtw, dtw_with_path, explain_similarity, levenshtein, similarity_score,
     Alignment,

@@ -5,6 +5,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use sca_cache::{Cache, CacheConfig, CacheStats, Owner};
 use sca_cfg::{
@@ -136,6 +138,22 @@ fn block_sets(
         .collect()
 }
 
+/// Everything `build_model` computes *before* CST replay: the trace and
+/// the attack-relevant graph. This stage depends on the program, the
+/// victim, the CPU configuration, and the path cap — but **not** on the
+/// CST-replay cache geometry — so [`crate::builder::ModelBuilder`] caches
+/// it separately and reuses it across configs that differ only in
+/// `cst_cache` (e.g. the replay-policy ablations).
+#[derive(Debug, Clone)]
+pub(crate) struct TraceGraph {
+    pub(crate) cfg: Cfg,
+    pub(crate) trace: Trace,
+    pub(crate) potential: Vec<BlockId>,
+    pub(crate) overlap: Vec<BlockId>,
+    pub(crate) relevant: Vec<BlockId>,
+    pub(crate) edges: Vec<(BlockId, BlockId)>,
+}
+
 /// Build the attack behavior model of `program` run against `victim`.
 ///
 /// # Errors
@@ -148,6 +166,17 @@ pub fn build_model(
     victim: &Victim,
     config: &ModelingConfig,
 ) -> Result<ModelingOutcome, ModelError> {
+    let tg = collect_and_graph(program, victim, config)?;
+    Ok(finish_model(program, config, &tg, None))
+}
+
+/// Steps 0–5 of the pipeline: execute, collect, identify relevant blocks,
+/// and construct the attack-relevant graph (Algorithm 1).
+pub(crate) fn collect_and_graph(
+    program: &Program,
+    victim: &Victim,
+    config: &ModelingConfig,
+) -> Result<TraceGraph, ModelError> {
     // Step 0: runtime data collection (HPC + PT substitutes). The machine
     // itself emits the `pipeline.execute` span; `pipeline.collect` covers
     // turning the raw trace into per-block aggregates.
@@ -200,20 +229,44 @@ pub fn build_model(
         (relevant, edges)
     };
 
-    // Steps 6-7: CST measurement per relevant block and flattening by
-    // first-execution timestamp (ties and never-executed restored blocks
-    // fall back to address order).
-    let cst_bbs = model_from_blocks(program, &cfg, &trace, &relevant, &config.cst_cache);
-
-    Ok(ModelingOutcome {
-        cst_bbs,
+    Ok(TraceGraph {
         cfg,
-        potential_bbs: potential,
-        overlap_bbs: overlap,
-        relevant_bbs: relevant,
-        relevant_edges: edges,
         trace,
+        potential,
+        overlap,
+        relevant,
+        edges,
     })
+}
+
+/// Steps 6-7: CST measurement per relevant block and flattening by
+/// first-execution timestamp (ties and never-executed restored blocks
+/// fall back to address order). Pure in `(program, config.cst_cache, tg)`,
+/// so a cached [`TraceGraph`] finishes into an outcome byte-identical to
+/// the uncached path.
+pub(crate) fn finish_model(
+    program: &Program,
+    config: &ModelingConfig,
+    tg: &TraceGraph,
+    memo: Option<&ReplayMemo>,
+) -> ModelingOutcome {
+    let cst_bbs = model_from_blocks_memo(
+        program,
+        &tg.cfg,
+        &tg.trace,
+        &tg.relevant,
+        &config.cst_cache,
+        memo,
+    );
+    ModelingOutcome {
+        cst_bbs,
+        cfg: tg.cfg.clone(),
+        potential_bbs: tg.potential.clone(),
+        overlap_bbs: tg.overlap.clone(),
+        relevant_bbs: tg.relevant.clone(),
+        relevant_edges: tg.edges.clone(),
+        trace: tg.trace.clone(),
+    }
 }
 
 /// Algorithm 1: build the attack-relevant graph.
@@ -323,6 +376,105 @@ fn measure_cst(
     (Cst { before, after }, cache.stats())
 }
 
+/// A memo of per-block CST replays, keyed by the replayed access sequence
+/// and the full replay-cache configuration.
+///
+/// [`measure_cst`] is a pure function of (a) the per-instruction kind and
+/// access list it replays and (b) the replay cache's configuration
+/// (geometry, policy, seed, partitioning) — nothing else reaches the
+/// simulator. The memo key is a byte-exact encoding of both, so a hit
+/// returns the identical `(Cst, CacheStats)` the replay would have
+/// produced. Blocks repeat heavily across mutated variants of the same
+/// PoC, which is where the savings come from. Collisions are handled by
+/// comparing the full key bytes, never the hash alone.
+#[derive(Debug, Default)]
+pub(crate) struct ReplayMemo {
+    map: Mutex<HashMap<u64, MemoBucket>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// One hash bucket: (full key bytes, memoized replay result) pairs.
+type MemoBucket = Vec<(Vec<u8>, (Cst, CacheStats))>;
+
+impl ReplayMemo {
+    /// Replays served from the memo / replays actually simulated.
+    pub(crate) fn counts(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The byte-exact memo key: replay-cache configuration, then one
+    /// record per instruction (kind tag + access addresses). Only the
+    /// fields [`measure_cst`] actually reads are encoded — and all of
+    /// them are.
+    fn key(insts_with_accesses: &[(Inst, Vec<u64>)], cache_cfg: &CacheConfig) -> Vec<u8> {
+        let mut key = Vec::with_capacity(64 + insts_with_accesses.len() * 16);
+        key.extend_from_slice(&(cache_cfg.sets as u64).to_le_bytes());
+        key.extend_from_slice(&(cache_cfg.ways as u64).to_le_bytes());
+        key.extend_from_slice(&cache_cfg.line_size.to_le_bytes());
+        key.push(cache_cfg.policy as u8);
+        key.extend_from_slice(&cache_cfg.seed.to_le_bytes());
+        key.extend_from_slice(&(cache_cfg.reserved_victim_ways as u64).to_le_bytes());
+        for (inst, accesses) in insts_with_accesses {
+            // The replay distinguishes exactly four instruction shapes.
+            key.push(match inst {
+                Inst::Clflush { .. } => 1,
+                Inst::Load { .. } => 2,
+                Inst::Store { .. } => 3,
+                _ => 0,
+            });
+            key.extend_from_slice(&(accesses.len() as u64).to_le_bytes());
+            for a in accesses {
+                key.extend_from_slice(&a.to_le_bytes());
+            }
+        }
+        key
+    }
+
+    /// Measure (or recall) one block's CST; the flag says whether the
+    /// memo served it.
+    fn measure(
+        &self,
+        insts_with_accesses: &[(Inst, Vec<u64>)],
+        cache_cfg: &CacheConfig,
+    ) -> ((Cst, CacheStats), bool) {
+        let key = ReplayMemo::key(insts_with_accesses, cache_cfg);
+        let hash = fnv1a(&key);
+        {
+            let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(bucket) = map.get(&hash) {
+                if let Some((_, v)) = bucket.iter().find(|(k, _)| *k == key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (*v, true);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = measure_cst(insts_with_accesses, cache_cfg);
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let bucket = map.entry(hash).or_default();
+        if !bucket.iter().any(|(k, _)| *k == key) {
+            bucket.push((key, v));
+        }
+        (v, false)
+    }
+}
+
+/// FNV-1a over raw bytes: stable across runs, platforms, and Rust
+/// versions (unlike [`std::hash::DefaultHasher`], whose output is
+/// explicitly unspecified), which on-disk cache addressing needs.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Build a CST-BBS directly from a chosen block set, bypassing
 /// Algorithm 1's graph construction (used by ablation studies comparing
 /// the attack-relevant graph against naive block selections).
@@ -333,11 +485,25 @@ pub fn model_from_blocks(
     blocks: &[BlockId],
     cst_cache: &CacheConfig,
 ) -> CstBbs {
+    model_from_blocks_memo(program, cfg, trace, blocks, cst_cache, None)
+}
+
+/// [`model_from_blocks`] with an optional replay memo shared across
+/// models (the [`crate::builder::ModelBuilder`] passes one in).
+pub(crate) fn model_from_blocks_memo(
+    program: &Program,
+    cfg: &Cfg,
+    trace: &Trace,
+    blocks: &[BlockId],
+    cst_cache: &CacheConfig,
+    memo: Option<&ReplayMemo>,
+) -> CstBbs {
     let mut sp = sca_telemetry::span("pipeline.model.cst_replay");
     let mut stats = CacheStats::default();
     // Addresses fed through loads/stores, counted independently of the
     // replay cache so its hit+miss bookkeeping is cross-checkable.
     let mut replayed = 0u64;
+    let mut memoized = 0u64;
     let mut steps = Vec::with_capacity(blocks.len());
     for &b in blocks {
         let block = cfg.block(b);
@@ -355,7 +521,14 @@ pub fn model_from_blocks(
             .filter(|(i, _)| matches!(i, Inst::Load { .. } | Inst::Store { .. }))
             .map(|(_, a)| a.len() as u64)
             .sum::<u64>();
-        let (cst, block_stats) = measure_cst(&accesses, cst_cache);
+        let (cst, block_stats) = match memo {
+            Some(m) => {
+                let (v, hit) = m.measure(&accesses, cst_cache);
+                memoized += u64::from(hit);
+                v
+            }
+            None => measure_cst(&accesses, cst_cache),
+        };
         stats.merge(&block_stats);
         let first_seen = block
             .inst_addrs(program)
@@ -376,9 +549,11 @@ pub fn model_from_blocks(
         sp.attr("cache_misses", stats.misses);
         sp.attr("cache_flushes", stats.flushes);
         sp.attr("replayed_accesses", replayed);
+        sp.attr("replays_memoized", memoized);
         sca_telemetry::counter("cst_replay.cache_hits", stats.hits);
         sca_telemetry::counter("cst_replay.cache_misses", stats.misses);
         sca_telemetry::counter("cst_replay.cache_flushes", stats.flushes);
+        sca_telemetry::counter("cst.replays_memoized", memoized);
     }
     CstBbs::new(steps)
 }
@@ -428,17 +603,19 @@ impl BbIdentificationStats {
     }
 }
 
-/// Convenience: build models for a whole batch, returning name-keyed
-/// results (used by the evaluation harness).
+/// Convenience: build models for a whole batch serially, returning
+/// name-keyed **per-program** results — one failing variant no longer
+/// aborts the rest of the batch; each program carries its own
+/// `Result`. This is the serial reference the parallel
+/// [`crate::builder::ModelBuilder`] is byte-exactness-checked against.
 pub fn build_models<'a>(
     programs: impl IntoIterator<Item = (&'a Program, &'a Victim)>,
     config: &ModelingConfig,
-) -> Result<BTreeMap<String, ModelingOutcome>, ModelError> {
-    let mut out = BTreeMap::new();
-    for (p, v) in programs {
-        out.insert(p.name().to_string(), build_model(p, v, config)?);
-    }
-    Ok(out)
+) -> BTreeMap<String, Result<ModelingOutcome, ModelError>> {
+    programs
+        .into_iter()
+        .map(|(p, v)| (p.name().to_string(), build_model(p, v, config)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ use crate::cst::{Cst, CstBbs, CstStep};
 use crate::detector::ModelRepository;
 
 const MAGIC: &str = "scaguard-repo v1";
+const CACHE_MAGIC: &str = "scaguard-modelcache v1";
 
 /// Errors from loading a repository.
 #[derive(Debug)]
@@ -72,26 +73,77 @@ fn perr(line: usize, message: impl Into<String>) -> LoadRepoError {
     }
 }
 
+/// Append one model's `step`/`inst` lines — the record body shared by the
+/// repository and model-cache formats.
+fn write_steps(out: &mut String, model: &CstBbs) {
+    for step in model.steps() {
+        out.push_str(&format!(
+            "step {:x} {} {:.6} {:.6} {:.6} {:.6}\n",
+            step.bb_addr,
+            step.first_seen,
+            step.cst.before.ao,
+            step.cst.before.io,
+            step.cst.after.ao,
+            step.cst.after.io,
+        ));
+        for inst in &step.norm_insts {
+            out.push_str(&format!("inst {inst}\n"));
+        }
+    }
+}
+
+/// One model's `step`/`inst` lines as text — a canonical, byte-stable
+/// rendering of a [`CstBbs`] (used by exactness tests and benches to
+/// compare models byte-for-byte).
+pub fn model_text(model: &CstBbs) -> String {
+    let mut out = String::new();
+    write_steps(&mut out, model);
+    out
+}
+
+/// Parse one `step` record body into a [`CstStep`] (instructions are
+/// appended by subsequent `inst` records).
+fn parse_step(rest: &str, line_no: usize) -> Result<CstStep, LoadRepoError> {
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    if fields.len() != 6 {
+        return Err(perr(line_no, "step needs 6 fields"));
+    }
+    let bb_addr = u64::from_str_radix(fields[0], 16)
+        .map_err(|e| perr(line_no, format!("bad address: {e}")))?;
+    let first_seen: u64 = fields[1]
+        .parse()
+        .map_err(|e| perr(line_no, format!("bad timestamp: {e}")))?;
+    let nums: Vec<f64> = fields[2..]
+        .iter()
+        .map(|f| f.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| perr(line_no, format!("bad occupancy: {e}")))?;
+    if nums.iter().any(|n| !(0.0..=1.0).contains(n)) {
+        return Err(perr(line_no, "occupancy out of [0, 1]"));
+    }
+    Ok(CstStep {
+        bb_addr,
+        first_seen,
+        norm_insts: Vec::new(),
+        cst: Cst {
+            before: CacheState::new(nums[0], nums[1]),
+            after: CacheState::new(nums[2], nums[3]),
+        },
+    })
+}
+
+/// Parse one `inst` record body.
+fn parse_inst(rest: &str, line_no: usize) -> Result<NormInst, LoadRepoError> {
+    rest.parse().map_err(|e| perr(line_no, format!("{e}")))
+}
+
 /// Serialize a repository to the versioned text format.
 pub fn repository_to_string(repo: &ModelRepository) -> String {
     let mut out = String::from(MAGIC);
     out.push('\n');
     for entry in repo.entries() {
         out.push_str(&format!("entry {} {}\n", entry.family.abbrev(), entry.name));
-        for step in entry.model.steps() {
-            out.push_str(&format!(
-                "step {:x} {} {:.6} {:.6} {:.6} {:.6}\n",
-                step.bb_addr,
-                step.first_seen,
-                step.cst.before.ao,
-                step.cst.before.io,
-                step.cst.after.ao,
-                step.cst.after.io,
-            ));
-            for inst in &step.norm_insts {
-                out.push_str(&format!("inst {inst}\n"));
-            }
-        }
+        write_steps(&mut out, &entry.model);
         out.push_str("end\n");
     }
     out
@@ -137,32 +189,7 @@ pub fn repository_from_str(text: &str) -> Result<ModelRepository, LoadRepoError>
                 let (_, _, steps) = current
                     .as_mut()
                     .ok_or_else(|| perr(line_no, "step outside an entry"))?;
-                let fields: Vec<&str> = rest.split_whitespace().collect();
-                if fields.len() != 6 {
-                    return Err(perr(line_no, "step needs 6 fields"));
-                }
-                let bb_addr = u64::from_str_radix(fields[0], 16)
-                    .map_err(|e| perr(line_no, format!("bad address: {e}")))?;
-                let first_seen: u64 = fields[1]
-                    .parse()
-                    .map_err(|e| perr(line_no, format!("bad timestamp: {e}")))?;
-                let nums: Vec<f64> = fields[2..]
-                    .iter()
-                    .map(|f| f.parse::<f64>())
-                    .collect::<Result<_, _>>()
-                    .map_err(|e| perr(line_no, format!("bad occupancy: {e}")))?;
-                if nums.iter().any(|n| !(0.0..=1.0).contains(n)) {
-                    return Err(perr(line_no, "occupancy out of [0, 1]"));
-                }
-                steps.push(CstStep {
-                    bb_addr,
-                    first_seen,
-                    norm_insts: Vec::new(),
-                    cst: Cst {
-                        before: CacheState::new(nums[0], nums[1]),
-                        after: CacheState::new(nums[2], nums[3]),
-                    },
-                });
+                steps.push(parse_step(rest, line_no)?);
             }
             "inst" => {
                 let (_, _, steps) = current
@@ -171,10 +198,7 @@ pub fn repository_from_str(text: &str) -> Result<ModelRepository, LoadRepoError>
                 let step = steps
                     .last_mut()
                     .ok_or_else(|| perr(line_no, "inst before any step"))?;
-                let inst: NormInst = rest
-                    .parse()
-                    .map_err(|e| perr(line_no, format!("{e}")))?;
-                step.norm_insts.push(inst);
+                step.norm_insts.push(parse_inst(rest, line_no)?);
             }
             "end" => {
                 let (family, name, steps) = current
@@ -209,6 +233,141 @@ pub fn save_repository(repo: &ModelRepository, path: impl AsRef<Path>) -> Result
 pub fn load_repository(path: impl AsRef<Path>) -> Result<ModelRepository, LoadRepoError> {
     let text = fs::read_to_string(path).map_err(LoadRepoError::Io)?;
     repository_from_str(&text)
+}
+
+/// Serialize a content-addressed model cache to the versioned text
+/// format. Each entry is a `(canonical key, model)` pair:
+///
+/// ```text
+/// scaguard-modelcache v1
+/// model
+/// key <canonical key, one line>
+/// step 401000 123 0.000000 1.000000 0.000000 0.750000
+/// inst clflush mem
+/// ...
+/// end
+/// ```
+///
+/// The content hash is NOT stored: loaders recompute it from the
+/// canonical key, so a file produced by a different (or corrupted)
+/// hasher can never alias a foreign entry.
+pub fn model_cache_to_string<'a>(
+    entries: impl IntoIterator<Item = (&'a str, &'a CstBbs)>,
+) -> String {
+    let mut out = String::from(CACHE_MAGIC);
+    out.push('\n');
+    for (key, model) in entries {
+        debug_assert!(!key.contains('\n'), "canonical keys are single-line");
+        out.push_str("model\nkey ");
+        out.push_str(key);
+        out.push('\n');
+        write_steps(&mut out, model);
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parse a model cache from the text format, returning
+/// `(canonical key, model)` pairs in file order.
+///
+/// # Errors
+///
+/// Returns [`LoadRepoError::Parse`] with the offending line for any
+/// malformed content (wrong magic, missing keys, bad numbers, records
+/// outside a `model` block, truncated blocks).
+pub fn model_cache_from_str(text: &str) -> Result<Vec<(String, CstBbs)>, LoadRepoError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == CACHE_MAGIC => {}
+        Some((_, first)) => {
+            return Err(perr(1, format!("expected `{CACHE_MAGIC}`, got `{first}`")))
+        }
+        None => return Err(perr(1, "empty file")),
+    }
+
+    let mut entries = Vec::new();
+    let mut current: Option<(Option<String>, Vec<CstStep>)> = None;
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match kind {
+            "model" => {
+                if current.is_some() {
+                    return Err(perr(line_no, "model inside an unterminated model"));
+                }
+                current = Some((None, Vec::new()));
+            }
+            "key" => {
+                let (key, steps) = current
+                    .as_mut()
+                    .ok_or_else(|| perr(line_no, "key outside a model"))?;
+                if key.is_some() {
+                    return Err(perr(line_no, "duplicate key"));
+                }
+                if !steps.is_empty() {
+                    return Err(perr(line_no, "key after steps"));
+                }
+                if rest.is_empty() {
+                    return Err(perr(line_no, "empty key"));
+                }
+                *key = Some(rest.to_string());
+            }
+            "step" => {
+                let (_, steps) = current
+                    .as_mut()
+                    .ok_or_else(|| perr(line_no, "step outside a model"))?;
+                steps.push(parse_step(rest, line_no)?);
+            }
+            "inst" => {
+                let (_, steps) = current
+                    .as_mut()
+                    .ok_or_else(|| perr(line_no, "inst outside a model"))?;
+                let step = steps
+                    .last_mut()
+                    .ok_or_else(|| perr(line_no, "inst before any step"))?;
+                step.norm_insts.push(parse_inst(rest, line_no)?);
+            }
+            "end" => {
+                let (key, steps) = current
+                    .take()
+                    .ok_or_else(|| perr(line_no, "end outside a model"))?;
+                let key = key.ok_or_else(|| perr(line_no, "model without a key"))?;
+                entries.push((key, CstBbs::new(steps)));
+            }
+            other => return Err(perr(line_no, format!("unknown record `{other}`"))),
+        }
+    }
+    if current.is_some() {
+        return Err(perr(text.lines().count(), "unterminated model"));
+    }
+    Ok(entries)
+}
+
+/// Write a model cache to `path`.
+///
+/// # Errors
+///
+/// Returns [`LoadRepoError::Io`] on filesystem errors.
+pub fn save_model_cache<'a>(
+    entries: impl IntoIterator<Item = (&'a str, &'a CstBbs)>,
+    path: impl AsRef<Path>,
+) -> Result<(), LoadRepoError> {
+    fs::write(path, model_cache_to_string(entries)).map_err(LoadRepoError::Io)
+}
+
+/// Read a model cache from `path`.
+///
+/// # Errors
+///
+/// Returns [`LoadRepoError::Io`] on filesystem errors and
+/// [`LoadRepoError::Parse`] on malformed content.
+pub fn load_model_cache(path: impl AsRef<Path>) -> Result<Vec<(String, CstBbs)>, LoadRepoError> {
+    let text = fs::read_to_string(path).map_err(LoadRepoError::Io)?;
+    model_cache_from_str(&text)
 }
 
 impl ModelRepository {
@@ -301,6 +460,40 @@ mod tests {
         assert!(ModelRepository::from_text(&bad_occupancy).is_err());
         let bad_inst = format!("{MAGIC}\nentry FR-F x\nstep 0 0 0 1 0 1\ninst frob reg\nend\n");
         assert!(ModelRepository::from_text(&bad_inst).is_err());
+    }
+
+    #[test]
+    fn model_cache_roundtrip() {
+        let repo = sample_repo();
+        let entries: Vec<(&str, &CstBbs)> = vec![
+            ("key-a | cfg {sets: 64}", &repo.entries()[0].model),
+            ("key-b | cfg {sets: 128}", &repo.entries()[1].model),
+        ];
+        let text = model_cache_to_string(entries.iter().copied());
+        let loaded = model_cache_from_str(&text).expect("parse");
+        assert_eq!(loaded.len(), 2);
+        for ((key, model), (lkey, lmodel)) in entries.iter().zip(&loaded) {
+            assert_eq!(*key, lkey);
+            assert_eq!(*model, lmodel);
+        }
+    }
+
+    #[test]
+    fn model_cache_rejects_malformed_content() {
+        assert!(model_cache_from_str("").is_err());
+        assert!(model_cache_from_str("not a cache\n").is_err());
+        let no_key = format!("{CACHE_MAGIC}\nmodel\nend\n");
+        assert!(model_cache_from_str(&no_key).is_err());
+        let stray_step = format!("{CACHE_MAGIC}\nstep 0 0 0 1 0 1\n");
+        assert!(model_cache_from_str(&stray_step).is_err());
+        let unterminated = format!("{CACHE_MAGIC}\nmodel\nkey k\n");
+        assert!(model_cache_from_str(&unterminated).is_err());
+        let dup_key = format!("{CACHE_MAGIC}\nmodel\nkey a\nkey b\nend\n");
+        assert!(model_cache_from_str(&dup_key).is_err());
+        let key_after_step = format!("{CACHE_MAGIC}\nmodel\nstep 0 0 0 1 0 1\nkey a\nend\n");
+        assert!(model_cache_from_str(&key_after_step).is_err());
+        let empty = model_cache_from_str(CACHE_MAGIC).expect("empty cache ok");
+        assert!(empty.is_empty());
     }
 
     #[test]

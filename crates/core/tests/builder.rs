@@ -1,0 +1,185 @@
+//! Acceptance tests for the parallel, content-addressed [`ModelBuilder`]:
+//!
+//! * **Determinism** — builder output at any job count, cold cache or
+//!   warm, is byte-identical to the serial `build_model`/`build_models`
+//!   pipeline over the full PoC + benign sample set.
+//! * **Cache correctness** — a cached entry is only ever served for a
+//!   request whose program, victim, and *complete* `ModelingConfig`
+//!   (including the CST-replay cache geometry) match; near-miss requests
+//!   get freshly correct models, never stale ones.
+//! * **Disk persistence** — a cache saved to disk serves byte-identical
+//!   models in a fresh process-equivalent builder.
+
+use sca_cache::CacheConfig;
+use sca_cpu::Victim;
+
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::{benign, AttackFamily, Sample};
+use scaguard::{build_model, build_models, model_text, ModelBuilder, ModelingConfig};
+
+/// The full determinism workload: every built-in PoC representative, a
+/// held-out implementation, and a benign mix.
+fn workload() -> Vec<Sample> {
+    let params = PocParams::default();
+    let mut samples: Vec<Sample> = AttackFamily::ALL
+        .iter()
+        .map(|&f| poc::representative(f, &params))
+        .collect();
+    samples.push(poc::flush_reload_mastik(&params));
+    samples.extend(benign::generate_mix(6, 0xb0));
+    samples
+}
+
+#[test]
+fn parallel_builder_is_byte_identical_to_serial() {
+    let cfg = ModelingConfig::default();
+    let samples = workload();
+    // Serial references: per-sample `build_model` (order-based) and the
+    // batch `build_models` map (name-keyed; names are unique here).
+    let serial: Vec<_> = samples
+        .iter()
+        .map(|s| build_model(&s.program, &s.victim, &cfg).expect("serial model"))
+        .collect();
+    let map = build_models(samples.iter().map(|s| (&s.program, &s.victim)), &cfg);
+    assert_eq!(map.len(), samples.len(), "workload names must be unique");
+
+    for jobs in [1, 2, 4, 8] {
+        let builder = ModelBuilder::new(&cfg).with_jobs(jobs);
+        for round in ["cold", "warm"] {
+            let built = builder.build_samples(&samples);
+            assert_eq!(built.len(), samples.len());
+            for ((s, reference), b) in samples.iter().zip(&serial).zip(&built) {
+                let b = b.as_ref().expect("builder model");
+                let ctx = format!("jobs={jobs} {round} {}", s.program.name());
+                assert_eq!(
+                    model_text(&reference.cst_bbs),
+                    model_text(&b.cst_bbs),
+                    "{ctx}: model bytes differ from serial build_model"
+                );
+                assert_eq!(reference.cst_bbs, b.cst_bbs, "{ctx}");
+                assert_eq!(reference.relevant_bbs, b.relevant_bbs, "{ctx}");
+                assert_eq!(reference.relevant_edges, b.relevant_edges, "{ctx}");
+                let from_map = map[s.program.name()].as_ref().expect("map model");
+                assert_eq!(
+                    from_map.cst_bbs, b.cst_bbs,
+                    "{ctx}: differs from build_models"
+                );
+            }
+        }
+        let stats = builder.stats();
+        assert!(
+            stats.hits >= samples.len() as u64,
+            "jobs={jobs}: warm round must be served by the cache ({stats:?})"
+        );
+    }
+}
+
+#[test]
+fn cache_distinguishes_cst_cache_geometry() {
+    let params = PocParams::default();
+    let s = poc::representative(AttackFamily::FlushReload, &params);
+    let small = ModelingConfig::default();
+    let big = ModelingConfig {
+        cst_cache: CacheConfig::new(64, 8, 64),
+        ..ModelingConfig::default()
+    };
+    assert_ne!(small.cst_cache.sets, big.cst_cache.sets);
+
+    // One builder serves both configs; each request must get the model
+    // the serial pipeline produces for *its* config, even with both
+    // entries resident.
+    let builder = ModelBuilder::new(&small);
+    for _ in 0..2 {
+        for cfg in [&small, &big] {
+            let built = builder
+                .build_with(&s.program, &s.victim, cfg)
+                .expect("model");
+            let reference = build_model(&s.program, &s.victim, cfg).expect("serial");
+            assert_eq!(
+                model_text(&reference.cst_bbs),
+                model_text(&built.cst_bbs),
+                "geometry {:?} must map to its own cache entry",
+                cfg.cst_cache
+            );
+        }
+    }
+    // The execute/graph stage does not read the replay geometry, so the
+    // second config reuses the first's stage entry.
+    let stats = builder.stats();
+    assert!(stats.stage_hits > 0, "stage cache must be shared: {stats:?}");
+    assert_eq!(stats.misses, 2, "one rebuild per distinct config");
+}
+
+#[test]
+fn cache_distinguishes_program_and_victim() {
+    let params = PocParams::default();
+    let cfg = ModelingConfig::default();
+    let a = poc::representative(AttackFamily::FlushReload, &params);
+    let b = poc::representative(AttackFamily::PrimeProbe, &params);
+    let silent = Victim::None;
+
+    let builder = ModelBuilder::new(&cfg);
+    // Interleave requests so every later one could be served stale if
+    // keys under-discriminated.
+    for _ in 0..2 {
+        for (program, victim, what) in [
+            (&a.program, &a.victim, "fr"),
+            (&b.program, &b.victim, "pp"),
+            (&a.program, &silent, "fr-silent"),
+        ] {
+            let built = builder.build(program, victim).expect("model");
+            let reference = build_model(program, victim, &cfg).expect("serial");
+            assert_eq!(
+                model_text(&reference.cst_bbs),
+                model_text(&built.cst_bbs),
+                "{what}: cached model must match its own serial reference"
+            );
+        }
+    }
+    let stats = builder.stats();
+    assert_eq!(stats.misses, 3, "three distinct keys: {stats:?}");
+    assert_eq!(stats.hits, 3, "second pass fully cached: {stats:?}");
+}
+
+#[test]
+fn disk_cache_round_trips_byte_identical_models() {
+    let cfg = ModelingConfig::default();
+    let params = PocParams::default();
+    let samples: Vec<Sample> = AttackFamily::ALL
+        .iter()
+        .map(|&f| poc::representative(f, &params))
+        .collect();
+    let path = std::env::temp_dir().join(format!(
+        "scaguard-builder-disk-test-{}.cache",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let writer = ModelBuilder::new(&cfg)
+        .with_disk_cache(&path)
+        .expect("fresh disk cache");
+    assert!(writer.is_empty());
+    for s in &samples {
+        writer.build(&s.program, &s.victim).expect("model");
+    }
+    writer.save_disk_cache().expect("persist");
+
+    let reader = ModelBuilder::new(&cfg)
+        .with_disk_cache(&path)
+        .expect("load disk cache");
+    assert_eq!(reader.len(), samples.len(), "all entries persisted");
+    for s in &samples {
+        let from_disk = reader.build_cst(&s.program, &s.victim).expect("model");
+        let reference = build_model(&s.program, &s.victim, &cfg).expect("serial");
+        assert_eq!(
+            model_text(&reference.cst_bbs),
+            model_text(&from_disk),
+            "{}: disk-served model must match serial",
+            s.program.name()
+        );
+    }
+    let stats = reader.stats();
+    assert_eq!(stats.misses, 0, "reader never rebuilds: {stats:?}");
+    assert_eq!(stats.hits, samples.len() as u64);
+    let _ = std::fs::remove_file(&path);
+}

@@ -3,7 +3,7 @@
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::AttackFamily;
 use scaguard::modeling::BbIdentificationStats;
-use scaguard::{build_model, ModelError};
+use scaguard::{ModelBuilder, ModelError};
 
 use crate::EvalConfig;
 
@@ -33,16 +33,20 @@ impl BbIdRow {
 /// Propagates [`ModelError`] from the modeling pipeline.
 pub fn bb_identification(cfg: &EvalConfig) -> Result<Vec<BbIdRow>, ModelError> {
     let params = PocParams::default();
+    let pocs = poc::all_pocs(&params);
+    let builder = ModelBuilder::new(&cfg.modeling).with_jobs(cfg.jobs);
+    let samples: Vec<_> = pocs.iter().map(|(s, _)| s.clone()).collect();
+    let outcomes = builder.build_samples(&samples);
     let mut rows = Vec::new();
     let mut avg = BbIdentificationStats::default();
     for family in AttackFamily::ALL {
         let mut fam_stats = BbIdentificationStats::default();
-        for (sample, f) in poc::all_pocs(&params) {
-            if f != family {
+        for ((sample, f), outcome) in pocs.iter().zip(&outcomes) {
+            if *f != family {
                 continue;
             }
-            let outcome = build_model(&sample.program, &sample.victim, &cfg.modeling)?;
-            let s = BbIdentificationStats::compute(&sample.program, &outcome);
+            let outcome = outcome.as_ref().map_err(Clone::clone)?;
+            let s = BbIdentificationStats::compute(&sample.program, outcome);
             fam_stats.merge(&s);
         }
         avg.merge(&fam_stats);

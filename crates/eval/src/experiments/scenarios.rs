@@ -2,7 +2,7 @@
 
 use sca_attacks::benign::{self, Kind};
 use sca_attacks::poc::{self, PocParams};
-use scaguard::{build_model, similarity_score, CstBbs, ModelError};
+use scaguard::{similarity_score, CstBbs, ModelBuilder, ModelError};
 
 use crate::EvalConfig;
 
@@ -19,8 +19,8 @@ pub struct ScenarioResult {
     pub score: f64,
 }
 
-fn model_of(s: &sca_attacks::Sample, cfg: &EvalConfig) -> Result<CstBbs, ModelError> {
-    Ok(build_model(&s.program, &s.victim, &cfg.modeling)?.cst_bbs)
+fn model_of(s: &sca_attacks::Sample, builder: &ModelBuilder) -> Result<CstBbs, ModelError> {
+    Ok((*builder.build_cst(&s.program, &s.victim)?).clone())
 }
 
 /// Reproduce Table V: Flush+Reload compared against another FR
@@ -32,7 +32,8 @@ fn model_of(s: &sca_attacks::Sample, cfg: &EvalConfig) -> Result<CstBbs, ModelEr
 /// Propagates [`ModelError`] from the modeling pipeline.
 pub fn scenario_similarities(cfg: &EvalConfig) -> Result<Vec<ScenarioResult>, ModelError> {
     let params = PocParams::default();
-    let fr = model_of(&poc::flush_reload_iaik(&params), cfg)?;
+    let builder = ModelBuilder::new(&cfg.modeling).with_jobs(cfg.jobs);
+    let fr = model_of(&poc::flush_reload_iaik(&params), &builder)?;
     let cases: [(&'static str, &'static str, sca_attacks::Sample); 5] = [
         (
             "S1",
@@ -62,7 +63,7 @@ pub fn scenario_similarities(cfg: &EvalConfig) -> Result<Vec<ScenarioResult>, Mo
     ];
     let mut out = Vec::with_capacity(5);
     for (id, description, other) in cases {
-        let m = model_of(&other, cfg)?;
+        let m = model_of(&other, &builder)?;
         out.push(ScenarioResult {
             id,
             pair: format!("FR-IAIK vs {}", other.name()),

@@ -4,8 +4,8 @@
 use sca_attacks::dataset::mutated_family;
 use sca_attacks::mutate::MutationConfig;
 use sca_attacks::poc::{self, PocParams};
-use sca_attacks::{benign, AttackFamily, Label};
-use scaguard::{build_model, Detector, ModelRepository};
+use sca_attacks::{benign, AttackFamily, Label, Sample};
+use scaguard::{Detector, ModelBuilder, ModelRepository};
 use sca_baselines::DetectError;
 
 use crate::metrics::Scores;
@@ -36,10 +36,11 @@ pub struct ThresholdPoint {
 /// Propagates [`DetectError`] from the modeling pipeline.
 pub fn threshold_sweep(cfg: &EvalConfig) -> Result<Vec<ThresholdPoint>, DetectError> {
     let params = PocParams::default();
+    let builder = ModelBuilder::new(&cfg.modeling).with_jobs(cfg.jobs);
     let mut repo = ModelRepository::new();
     for family in AttackFamily::ALL {
         let s = poc::representative(family, &params);
-        repo.add_poc(family, &s.program, &s.victim, &cfg.modeling)?;
+        repo.add_poc_with(family, &s.program, &s.victim, &builder)?;
     }
     // Threshold is irrelevant here: we read raw best scores.
     let detector = Detector::new(repo, 0.5);
@@ -47,18 +48,21 @@ pub fn threshold_sweep(cfg: &EvalConfig) -> Result<Vec<ThresholdPoint>, DetectEr
     // E1-style evaluation set: mutated variants of each type plus benign.
     let mutation = MutationConfig::default();
     let mut labels: Vec<Label> = Vec::new();
-    let mut models: Vec<scaguard::CstBbs> = Vec::new();
+    let mut samples: Vec<Sample> = Vec::new();
     for family in AttackFamily::ALL {
         for s in mutated_family(family, cfg.per_type, cfg.seed ^ 0xf16, &mutation) {
-            let outcome = build_model(&s.program, &s.victim, &cfg.modeling)?;
             labels.push(Label::Attack(family));
-            models.push(outcome.cst_bbs);
+            samples.push(s);
         }
     }
     for s in benign::generate_mix(cfg.benign_total, cfg.seed ^ 0xbe) {
-        let outcome = build_model(&s.program, &s.victim, &cfg.modeling)?;
         labels.push(Label::Benign);
-        models.push(outcome.cst_bbs);
+        samples.push(s);
+    }
+    let targets: Vec<_> = samples.iter().map(|s| (&s.program, &s.victim)).collect();
+    let mut models: Vec<scaguard::CstBbs> = Vec::with_capacity(samples.len());
+    for built in builder.build_batch_cst(&targets) {
+        models.push((*built?).clone());
     }
     let evaluated: Vec<(Label, Option<AttackFamily>, f64)> = labels
         .into_iter()

@@ -34,7 +34,9 @@ pub struct EvalConfig {
     pub modeling: scaguard::ModelingConfig,
     /// SCAGuard similarity threshold.
     pub threshold: f64,
-    /// Worker threads for SCAGuard's batch classification (`1` = serial).
+    /// Worker threads for SCAGuard's batch *modeling* (via
+    /// [`scaguard::ModelBuilder`]) and batch classification (`1` =
+    /// serial). Results are byte-identical at any value.
     pub jobs: usize,
 }
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # One-shot verification gate. The workspace has zero external deps, so
 # everything runs --offline. Fails loudly on: build errors, test
-# failures, any clippy warning, or a similarity-engine perf/exactness
+# failures, any clippy warning, a similarity-engine perf/exactness
 # regression (the bench smoke asserts bitwise-exact scores and
-# engine >= naive speed on a small workload).
+# engine >= naive speed on a small workload), or a ModelBuilder
+# exactness regression (the modeling smoke asserts builder output is
+# byte-identical to serial build_models at several job counts).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,5 +21,8 @@ cargo clippy --workspace --offline -- -D warnings
 
 echo "==> similarity bench smoke"
 cargo run -p sca-bench --release --offline -- --smoke
+
+echo "==> modeling bench smoke"
+cargo run -p sca-bench --release --offline --bin modeling_bench -- --smoke
 
 echo "verify: OK"
