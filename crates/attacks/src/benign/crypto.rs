@@ -84,8 +84,7 @@ fn emit_sbox_init(b: &mut ProgramBuilder, c: i64) {
 fn aes_like(rounds: i64, blocks: i64, key: i64) -> Sample {
     let mut b = ProgramBuilder::new(format!("crypto-aes-{rounds}-{blocks}-{key}"));
     emit_sbox_init(&mut b, key & 0xff);
-    let (r, blk, state, byte, addr, acc) =
-        (Reg::R1, Reg::R2, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (r, blk, state, byte, addr, acc) = (Reg::R1, Reg::R2, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
     // state starts as blk * 0x9e3779b9 ^ key
     b.mov_imm(r, 0);
     let round_top = b.here();

@@ -194,8 +194,15 @@ fn lru_sim(n_requests: i64, ways: i64, mul: i64, add: i64) -> Sample {
     let mut b = ProgramBuilder::new(format!("leet-lru-{n_requests}-{ways}-{mul}"));
     emit_array_init(&mut b, BENIGN_BASE, n_requests, mul, add);
     let slots = (BENIGN_BASE + 0x40000) as i64;
-    let (i, key, w, addr, v, hits, tmp) =
-        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (i, key, w, addr, v, hits, tmp) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    );
     b.mov_imm(hits, 0);
     b.mov_imm(i, 0);
     let top = b.here();
@@ -335,8 +342,15 @@ fn binary_search(n: i64, mul: i64, add: i64, target: i64) -> Sample {
 fn two_sum(n: i64, mul: i64, add: i64, target: i64) -> Sample {
     let mut b = ProgramBuilder::new(format!("leet-twosum-{n}-{mul}-{target}"));
     emit_array_init(&mut b, BENIGN_BASE, n, mul, add);
-    let (i, j, ai, aj, va, vb, sum) =
-        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (i, j, ai, aj, va, vb, sum) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    );
     b.mov_imm(i, 0);
     let outer = b.here();
     b.mov_reg(j, i);
@@ -506,7 +520,10 @@ fn rolling_hash(n: i64, mul: i64, add: i64) -> Sample {
 /// an adjacency array, with an explicit in-memory queue and visited map —
 /// irregular, data-dependent pointer-ish traffic no other kernel has.
 fn graph_bfs(nodes: i64, mul: i64, add: i64) -> Sample {
-    assert!(nodes.count_ones() == 1, "graph_bfs needs a power-of-two node count");
+    assert!(
+        nodes.count_ones() == 1,
+        "graph_bfs needs a power-of-two node count"
+    );
     let mut b = ProgramBuilder::new(format!("leet-bfs-{nodes}-{mul}-{add}"));
     let adj = BENIGN_BASE as i64; // adj[2i], adj[2i+1]
     let visited = (BENIGN_BASE + 0x10000) as i64;
@@ -850,7 +867,9 @@ mod tests {
         let t = m.run(&s.program, &Victim::None).expect("run");
         assert!(t.halted);
         // two LSD passes over 16-bit keys end back in the source buffer
-        let vals: Vec<u64> = (0..n as u64).map(|i| m.read_word(BENIGN_BASE + i * 8)).collect();
+        let vals: Vec<u64> = (0..n as u64)
+            .map(|i| m.read_word(BENIGN_BASE + i * 8))
+            .collect();
         let mut sorted = vals.clone();
         sorted.sort_unstable();
         assert_eq!(vals, sorted, "radix output must be sorted");
@@ -873,7 +892,11 @@ mod tests {
         let table: Vec<u64> = (0..16)
             .map(|i| {
                 let (cls, st) = (i % 4, i / 4);
-                if cls == 0 { 0 } else { (st + cls + 1) & 3 }
+                if cls == 0 {
+                    0
+                } else {
+                    (st + cls + 1) & 3
+                }
             })
             .collect();
         let mut state = 0u64;

@@ -138,10 +138,22 @@ mod tests {
     fn mix_has_all_categories_at_scale_400() {
         let samples = generate_mix(400, 42);
         assert_eq!(samples.len(), 400);
-        let spec = samples.iter().filter(|s| s.name().starts_with("spec")).count();
-        let leet = samples.iter().filter(|s| s.name().starts_with("leet")).count();
-        let crypto = samples.iter().filter(|s| s.name().starts_with("crypto")).count();
-        let server = samples.iter().filter(|s| s.name().starts_with("server")).count();
+        let spec = samples
+            .iter()
+            .filter(|s| s.name().starts_with("spec"))
+            .count();
+        let leet = samples
+            .iter()
+            .filter(|s| s.name().starts_with("leet"))
+            .count();
+        let crypto = samples
+            .iter()
+            .filter(|s| s.name().starts_with("crypto"))
+            .count();
+        let server = samples
+            .iter()
+            .filter(|s| s.name().starts_with("server"))
+            .count();
         assert_eq!(spec, 12);
         assert_eq!(leet, 230);
         assert_eq!(crypto, 150);

@@ -18,7 +18,11 @@ pub fn generate(rng: &mut SmallRng) -> Sample {
     match rng.gen_range(0..4u32) {
         0 => dispatch_loop(rng.gen_range(64..256), rng.gen_range(3..7)),
         1 => connection_cache(rng.gen_range(48..160), 1 << rng.gen_range(3..5u32)),
-        2 => rate_limiter(rng.gen_range(64..200), 1 << rng.gen_range(2..4u32), 1 << rng.gen_range(1..3u32)),
+        2 => rate_limiter(
+            rng.gen_range(64..200),
+            1 << rng.gen_range(2..4u32),
+            1 << rng.gen_range(1..3u32),
+        ),
         _ => hash_table_server(rng.gen_range(64..256), rng.gen_range(16..64)),
     }
 }
@@ -83,7 +87,7 @@ fn hash_table_server(n_requests: i64, extra_buckets: i64) -> Sample {
     b.alu_imm(AluOp::Add, addr, REQUESTS as i64);
     b.load(key, MemRef::base(addr));
     b.alu_imm(AluOp::Or, key, 1); // keys are nonzero
-    // slot = (key * 2654435761) & (n_buckets - 1)
+                                  // slot = (key * 2654435761) & (n_buckets - 1)
     b.mov_reg(slot, key);
     b.alu_imm(AluOp::Mul, slot, 2654435761);
     b.alu_imm(AluOp::And, slot, n_buckets - 1);

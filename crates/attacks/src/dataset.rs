@@ -195,12 +195,7 @@ mod tests {
 
     #[test]
     fn mutants_are_distinct_programs() {
-        let samples = mutated_family(
-            AttackFamily::FlushReload,
-            8,
-            7,
-            &MutationConfig::default(),
-        );
+        let samples = mutated_family(AttackFamily::FlushReload, 8, 7, &MutationConfig::default());
         for i in 0..samples.len() {
             for j in (i + 1)..samples.len() {
                 assert_ne!(

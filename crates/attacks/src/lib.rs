@@ -30,9 +30,9 @@ pub mod layout;
 pub mod mutate;
 pub mod obfuscate;
 pub mod poc;
-pub mod victim_programs;
 mod rewrite;
 mod sample;
+pub mod victim_programs;
 
 pub use dataset::{Dataset, DatasetConfig};
 pub use sample::{AttackFamily, Label, Sample};

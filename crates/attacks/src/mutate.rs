@@ -98,10 +98,7 @@ fn independent(a: &Inst, b: &Inst) -> bool {
         i.is_terminator()
             || matches!(
                 i,
-                Inst::Cmp { .. }
-                    | Inst::Rdtscp { .. }
-                    | Inst::VYield
-                    | Inst::Fence { .. }
+                Inst::Cmp { .. } | Inst::Rdtscp { .. } | Inst::VYield | Inst::Fence { .. }
             )
     };
     if pinned(a) || pinned(b) {
@@ -521,11 +518,17 @@ mod tests {
         // the first pair swapped; the dependent add stayed put
         assert_eq!(
             q.insts()[0],
-            Inst::MovImm { dst: Reg::R2, imm: 2 }
+            Inst::MovImm {
+                dst: Reg::R2,
+                imm: 2
+            }
         );
         assert_eq!(
             q.insts()[1],
-            Inst::MovImm { dst: Reg::R1, imm: 1 }
+            Inst::MovImm {
+                dst: Reg::R1,
+                imm: 1
+            }
         );
         assert!(matches!(q.insts()[2], Inst::Alu { .. }));
         // semantics unchanged
@@ -546,10 +549,7 @@ mod tests {
     #[test]
     fn used_regs_detects_all_reference_kinds() {
         let mut b = ProgramBuilder::new("t");
-        b.load(
-            Reg::R1,
-            MemRef::base_index(Reg::R2, Reg::R3, 8),
-        );
+        b.load(Reg::R1, MemRef::base_index(Reg::R2, Reg::R3, 8));
         b.cmp(Reg::R4, Reg::R5);
         b.halt();
         let used = used_regs(&b.build());

@@ -195,32 +195,36 @@ pub fn obfuscate(program: &Program, seed: u64, cfg: &ObfuscationConfig) -> Progr
         }
     }
 
-    expand_program(program, format!("{}+obf{seed:x}", program.name()), |i, inst| {
-        let mut out = Vec::new();
-        if sites.contains(&i) {
-            // Bogus control flow (cold code only): `cmp r, r` is always
-            // equal, so the `beq` always skips the junk — the junk block
-            // exists statically (inflating the CFG) but never executes.
-            out.push(Inst::Cmp {
-                lhs: pred_reg,
-                rhs: Operand::Reg(pred_reg),
-            });
-            out.push(Inst::Br {
-                cond: Cond::Eq,
-                // Lands on the original instruction, past the junk.
-                target: EXPANSION_END,
-            });
-            for _ in 0..rng.gen_range(2..=max_junk) {
+    expand_program(
+        program,
+        format!("{}+obf{seed:x}", program.name()),
+        |i, inst| {
+            let mut out = Vec::new();
+            if sites.contains(&i) {
+                // Bogus control flow (cold code only): `cmp r, r` is always
+                // equal, so the `beq` always skips the junk — the junk block
+                // exists statically (inflating the CFG) but never executes.
+                out.push(Inst::Cmp {
+                    lhs: pred_reg,
+                    rhs: Operand::Reg(pred_reg),
+                });
+                out.push(Inst::Br {
+                    cond: Cond::Eq,
+                    // Lands on the original instruction, past the junk.
+                    target: EXPANSION_END,
+                });
+                for _ in 0..rng.gen_range(2..=max_junk) {
+                    out.push(junk_inst(&mut rng, &scratch));
+                }
+            } else if hot_dead[i] && rng.gen_bool(cfg.hot_junk_prob) {
+                // Plain padding inside loop bodies: one junk instruction per
+                // site — no new blocks, just a diluted instruction stream.
                 out.push(junk_inst(&mut rng, &scratch));
             }
-        } else if hot_dead[i] && rng.gen_bool(cfg.hot_junk_prob) {
-            // Plain padding inside loop bodies: one junk instruction per
-            // site — no new blocks, just a diluted instruction stream.
-            out.push(junk_inst(&mut rng, &scratch));
-        }
-        out.push(*inst);
-        out
-    })
+            out.push(*inst);
+            out
+        },
+    )
 }
 
 /// The relative basic-block inflation of `obf` over `orig`.
@@ -310,12 +314,7 @@ mod tests {
     fn junk_adds_no_memory_operations() {
         let s = flush_reload_iaik(&PocParams::default());
         let q = obfuscate(&s.program, 2, &ObfuscationConfig::default());
-        let count = |p: &Program| {
-            p.insts()
-                .iter()
-                .filter(|i| i.is_memory_op())
-                .count()
-        };
+        let count = |p: &Program| p.insts().iter().filter(|i| i.is_memory_op()).count();
         assert_eq!(count(&s.program), count(&q), "NOP-style junk only");
     }
 

@@ -94,11 +94,7 @@ mod tests {
         let s = flush_flush_iaik(&PocParams::default());
         for inst in s.program.insts() {
             if let sca_isa::Inst::Load { addr, .. } = inst {
-                assert_ne!(
-                    addr.base,
-                    None,
-                    "no absolute loads from the shared region"
-                );
+                assert_ne!(addr.base, None, "no absolute loads from the shared region");
             }
         }
         let flushes = s

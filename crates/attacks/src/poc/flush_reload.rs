@@ -90,8 +90,15 @@ pub fn flush_reload_iaik(params: &PocParams) -> Sample {
 pub fn flush_reload_mastik(params: &PocParams) -> Sample {
     let mut b = ProgramBuilder::new("FR-Mastik");
     crate::poc::emit_load_calibration(&mut b);
-    let (base, i, off, t0, t1, d, round) =
-        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (base, i, off, t0, t1, d, round) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    );
     let res = Reg::R8;
 
     b.mov_imm(base, SHARED_BASE as i64);
@@ -449,8 +456,7 @@ mod tests {
     #[test]
     fn all_attack_steps_are_tagged() {
         let s = flush_reload_iaik(&PocParams::default());
-        let tags: std::collections::BTreeSet<_> =
-            s.program.tags().map(|(_, t)| t).collect();
+        let tags: std::collections::BTreeSet<_> = s.program.tags().map(|(_, t)| t).collect();
         assert!(tags.contains(&InstTag::Flush));
         assert!(tags.contains(&InstTag::Reload));
         assert!(tags.contains(&InstTag::Time));

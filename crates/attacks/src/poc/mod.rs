@@ -101,7 +101,10 @@ pub(crate) fn emit_report(b: &mut ProgramBuilder, slots: u64) {
     b.br(Cond::Lt, top);
     // Final answer write-out — output bookkeeping (a real PoC's printf),
     // deliberately untagged: it is not part of the cache-attack behavior.
-    b.store(best, MemRef::abs((crate::layout::RESULT_BASE + 0x1000) as i64));
+    b.store(
+        best,
+        MemRef::abs((crate::layout::RESULT_BASE + 0x1000) as i64),
+    );
 }
 
 /// Shared parameters of every PoC generator.

@@ -30,7 +30,9 @@
 use sca_cpu::Victim;
 use sca_isa::{AluOp, Cond, InstTag, MemRef, ProgramBuilder, Reg};
 
-use crate::layout::{prime_addr, LINE, LLC_SETS, MONITOR_SET_BASE, RESULT_BASE, VICTIM_CONFLICT_BASE};
+use crate::layout::{
+    prime_addr, LINE, LLC_SETS, MONITOR_SET_BASE, RESULT_BASE, VICTIM_CONFLICT_BASE,
+};
 use crate::poc::PocParams;
 use crate::sample::{AttackFamily, Label, Sample};
 

@@ -93,10 +93,7 @@ mod tests {
         let p = looped();
         let q = expand_program(&p, "t2", |_, inst| vec![*inst]);
         assert_eq!(p.insts(), q.insts());
-        assert_eq!(
-            p.tags().collect::<Vec<_>>(),
-            q.tags().collect::<Vec<_>>()
-        );
+        assert_eq!(p.tags().collect::<Vec<_>>(), q.tags().collect::<Vec<_>>());
     }
 
     #[test]
@@ -145,11 +142,7 @@ mod tests {
                 vec![*inst]
             }
         });
-        let br_targets: Vec<usize> = q
-            .insts()
-            .iter()
-            .filter_map(|i| i.branch_target())
-            .collect();
+        let br_targets: Vec<usize> = q.insts().iter().filter_map(|i| i.branch_target()).collect();
         // loop branch (old target 1 -> 1) and opaque branch (old 5 -> 7)
         assert!(br_targets.contains(&7), "{br_targets:?}");
     }

@@ -146,7 +146,10 @@ mod tests {
                 detected += 1;
             }
         }
-        assert!(detected >= 8, "attacks should look anomalous: {detected}/13");
+        assert!(
+            detected >= 8,
+            "attacks should look anomalous: {detected}/13"
+        );
     }
 
     #[test]

@@ -138,6 +138,9 @@ mod tests {
     fn names_match_table_vi() {
         assert_eq!(MlDetector::svm_nw(CpuConfig::default()).name(), "SVM-NW");
         assert_eq!(MlDetector::lr_nw(CpuConfig::default()).name(), "LR-NW");
-        assert_eq!(MlDetector::knn_mlfm(CpuConfig::default()).name(), "KNN-MLFM");
+        assert_eq!(
+            MlDetector::knn_mlfm(CpuConfig::default()).name(),
+            "KNN-MLFM"
+        );
     }
 }

@@ -278,10 +278,7 @@ mod tests {
         assert_eq!(d.qualifying_sets(&per_set), 1);
         // same lines but stretched to 40 instructions apart: window broken
         let mut stretched: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
-        stretched.insert(
-            3,
-            (0..24u64).map(|i| (i * 40, (i % 12) * 64)).collect(),
-        );
+        stretched.insert(3, (0..24u64).map(|i| (i * 40, (i % 12) * 64)).collect());
         assert_eq!(d.qualifying_sets(&stretched), 0);
     }
 }

@@ -143,8 +143,7 @@ mod tests {
         // reports ~3% false positives); assert the rate, not perfection.
         let mut false_alarms = 0;
         for seed in 0..8 {
-            let benign =
-                sca_attacks::benign::generate(sca_attacks::benign::Kind::Leetcode, seed);
+            let benign = sca_attacks::benign::generate(sca_attacks::benign::Kind::Leetcode, seed);
             if d.classify(&benign).expect("classify") != Label::Benign {
                 false_alarms += 1;
             }

@@ -104,7 +104,10 @@ fn bench_modeling() {
         ("modeling/flush_reload", poc::flush_reload_iaik(&params)),
         ("modeling/prime_probe", poc::prime_probe_iaik(&params)),
         ("modeling/spectre_fr", poc::spectre_fr_v1(&params)),
-        ("modeling/benign_leetcode", benign::generate(Kind::Leetcode, 1)),
+        (
+            "modeling/benign_leetcode",
+            benign::generate(Kind::Leetcode, 1),
+        ),
     ] {
         bench(name, || {
             black_box(build_model(&sample.program, &sample.victim, &cfg).expect("model"));

@@ -22,9 +22,9 @@ use sca_attacks::layout::{prime_addr, LINE, LLC_SETS, MONITOR_SET_BASE, VICTIM_C
 use sca_attacks::mutate::MutationConfig;
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{AttackFamily, Sample};
+use sca_bench::fixture_builder;
 use sca_cache::{CacheConfig, ReplacementPolicy};
 use sca_cpu::{CpuConfig, Machine, Victim};
-use sca_bench::fixture_builder;
 use sca_isa::{AluOp, Cond, MemRef, ProgramBuilder, Reg};
 use scaguard::similarity::{csp_distance, instruction_distance};
 use scaguard::{cst_distance, dtw, model_from_blocks, CstBbs, CstStep, ModelingConfig};
@@ -62,7 +62,10 @@ fn build_fixture(config: &ModelingConfig) -> Fixture {
             attacks.push(model(&s));
         }
     }
-    let benign = benign::generate_mix(N_BENIGN, 12).iter().map(model).collect();
+    let benign = benign::generate_mix(N_BENIGN, 12)
+        .iter()
+        .map(model)
+        .collect();
     Fixture {
         repo,
         attacks,
@@ -83,10 +86,7 @@ fn best_score(
         .fold(0.0, f64::max)
 }
 
-fn separation(
-    fixture: &Fixture,
-    score: impl Fn(&CstBbs) -> f64,
-) -> (f64, f64, f64) {
+fn separation(fixture: &Fixture, score: impl Fn(&CstBbs) -> f64) -> (f64, f64, f64) {
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     let attack: Vec<f64> = fixture.attacks.iter().map(&score).collect();
     let ben: Vec<f64> = fixture.benign.iter().map(&score).collect();
@@ -110,7 +110,9 @@ fn distance_ablation(fixture: &Fixture) {
     );
     print_row(
         "instructions only",
-        separation(fixture, |t| best_score(&fixture.repo, t, instruction_distance)),
+        separation(fixture, |t| {
+            best_score(&fixture.repo, t, instruction_distance)
+        }),
     );
     print_row(
         "cache states only",
@@ -187,7 +189,10 @@ fn graph_ablation() {
                 attacks.push(model(&s));
             }
         }
-        let ben: Vec<CstBbs> = benign::generate_mix(N_BENIGN, 12).iter().map(model).collect();
+        let ben: Vec<CstBbs> = benign::generate_mix(N_BENIGN, 12)
+            .iter()
+            .map(model)
+            .collect();
         let fixture = Fixture {
             repo,
             attacks,
@@ -228,8 +233,10 @@ fn anomaly_related_work() {
     use sca_baselines::{AnomalyDetector, AttackDetector, ScaGuardDetector};
     use sca_cpu::CpuConfig;
 
-    println!("
-== related work: benign-profile anomaly detection (paper ref. [32]) ==");
+    println!(
+        "
+== related work: benign-profile anomaly detection (paper ref. [32]) =="
+    );
     let train: Vec<Sample> = benign::generate_mix(24, 5);
     let refs: Vec<&Sample> = train.iter().collect();
     let mut anomaly = AnomalyDetector::new(CpuConfig::default());
@@ -373,7 +380,9 @@ fn traversal_ablation() {
         let p = build(masked, zigzag);
         let mut m = Machine::new(CpuConfig::default());
         m.run(&p, &victim).expect("run");
-        let times: Vec<u64> = (0..sets as u64).map(|s| m.read_word(0x3000_0000 + s * 8)).collect();
+        let times: Vec<u64> = (0..sets as u64)
+            .map(|s| m.read_word(0x3000_0000 + s * 8))
+            .collect();
         let victim_t = times[3];
         let others: Vec<u64> = times
             .iter()

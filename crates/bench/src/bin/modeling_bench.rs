@@ -203,7 +203,9 @@ fn main() {
     println!("  serial    {serial_ns:>13} ns/pass   {serial_sweep_ns:>13} ns/sweep");
     println!("  builder   {cold_ns:>13} ns/pass   {builder_sweep_ns:>13} ns/sweep (cold start)");
     println!("  warm      {warm_ns:>13} ns/pass   ({warm_hits} cache hits)");
-    println!("  speedup   {speedup:>12.2}x (sweep), {cold_speedup:.2}x (cold single pass), byte-exact");
+    println!(
+        "  speedup   {speedup:>12.2}x (sweep), {cold_speedup:.2}x (cold single pass), byte-exact"
+    );
     println!(
         "  builder: {} model hits / {} misses, {} stage hits, {} replays memoized / {} simulated",
         stats.hits, stats.misses, stats.stage_hits, stats.replays_memoized, stats.replays_simulated
@@ -215,7 +217,10 @@ fn main() {
     );
 
     let json = Json::Obj(vec![
-        ("bench".into(), Json::Str("parallel model construction".into())),
+        (
+            "bench".into(),
+            Json::Str("parallel model construction".into()),
+        ),
         (
             "workload".into(),
             Json::Obj(vec![
@@ -252,7 +257,10 @@ fn main() {
                 ),
             ]),
         ),
-        ("speedup".into(), Json::Num((speedup * 100.0).round() / 100.0)),
+        (
+            "speedup".into(),
+            Json::Num((speedup * 100.0).round() / 100.0),
+        ),
         (
             "cold_speedup".into(),
             Json::Num((cold_speedup * 100.0).round() / 100.0),

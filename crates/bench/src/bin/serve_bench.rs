@@ -1,0 +1,324 @@
+//! The resident-service bench: `sca-serve` under concurrent client load
+//! vs the single-shot pipeline every offline `scaguard classify` pays.
+//!
+//! Byte-exactness is asserted **before** any timing: for every target in
+//! the workload, the detection object coming back over the wire must
+//! render to exactly the bytes `detection_json` produces for the offline
+//! pipeline on the same inputs. Only then are the two paths timed.
+//!
+//! The baseline is the *single-shot* cost of one classification the way
+//! the offline CLI runs it: one OS process per request (the bench
+//! re-executes itself in `--one-shot` mode), each loading the repository
+//! from disk, constructing the detector (interning the repository into a
+//! fresh similarity engine), building the target model with a cold
+//! builder, and scanning — exactly the work a resident server amortizes:
+//! process startup happens once, the builder cache stays warm, and the
+//! detector stays prepared across requests.
+//!
+//! * `cargo run -p sca-bench --release --bin serve_bench` — full run;
+//!   asserts the served throughput at `--workers 4` is >= 4x the
+//!   single-shot baseline and writes `BENCH_serve.json` at the workspace
+//!   root with throughput and p50/p99 latencies.
+//! * `... -- --smoke` — tiny workload, exactness assertions only, no
+//!   timing floor; the CI verify step runs this.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use sca_attacks::dataset::mutated_family;
+use sca_attacks::mutate::MutationConfig;
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::AttackFamily;
+use sca_serve::{spawn, Client, ServeConfig};
+use sca_telemetry::Json;
+use scaguard::{
+    detection_json, load_repository, save_repository, Detector, ModelBuilder, ModelRepository,
+    ModelingConfig,
+};
+
+const SEED: u64 = 0x5e47_e000;
+
+/// One workload item: a named assembly source to classify.
+struct Target {
+    name: String,
+    source: String,
+}
+
+/// The victim spec every request uses (same mapping as the CLI).
+const VICTIM: &str = "shared:3";
+
+fn build_repo(path: &PathBuf) {
+    let cfg = ModelingConfig::default();
+    let params = PocParams::default();
+    let mut repo = ModelRepository::new();
+    for family in AttackFamily::ALL {
+        let s = poc::representative(family, &params);
+        repo.add_poc(family, &s.program, &s.victim, &cfg)
+            .expect("model poc");
+    }
+    save_repository(&repo, path).expect("save repo");
+}
+
+fn build_targets(per_family: usize) -> Vec<Target> {
+    let mutation = MutationConfig::default();
+    let mut targets = Vec::new();
+    for family in AttackFamily::ALL {
+        for sample in mutated_family(family, per_family, SEED, &mutation) {
+            targets.push(Target {
+                name: sample.program.name().to_string(),
+                source: sample.program.disasm(),
+            });
+        }
+    }
+    targets
+}
+
+/// The in-process work of one offline classification, exactly as
+/// `scaguard classify` runs it: cold repository, cold detector, cold
+/// builder.
+fn single_shot(repo_path: &PathBuf, name: &str, source: &str) -> String {
+    let repo = load_repository(repo_path).expect("load repo");
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+    let builder = ModelBuilder::new(&ModelingConfig::default());
+    let program = sca_isa::assemble(name, source).expect("assemble");
+    let victim = sca_serve::protocol::parse_victim(VICTIM).expect("victim");
+    let model = builder.build_cst(&program, &victim).expect("model");
+    detection_json(name, &detector.classify_model(&model)).to_string()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // Child mode: the work of one offline `scaguard classify`, one
+    // process per classification (see the module docs).
+    if args.get(1).map(String::as_str) == Some("--one-shot") {
+        let repo_path = PathBuf::from(&args[2]);
+        let sasm = &args[3];
+        let source = std::fs::read_to_string(sasm).expect("read sasm");
+        let name = std::path::Path::new(sasm)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("sasm name");
+        println!("{}", single_shot(&repo_path, name, &source));
+        return;
+    }
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (per_family, clients, requests_per_client, baseline_shots) =
+        if smoke { (1, 2, 3, 2) } else { (4, 4, 24, 10) };
+
+    let dir = std::env::temp_dir().join(format!("sca-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let repo_path = dir.join("pocs.repo");
+    eprintln!("modeling PoC repository ...");
+    build_repo(&repo_path);
+    let targets = Arc::new(build_targets(per_family));
+    // Each target as a `.sasm` file for the one-shot children.
+    let sasm_paths: Vec<String> = targets
+        .iter()
+        .map(|t| {
+            let p = dir.join(format!("{}.sasm", t.name));
+            std::fs::write(&p, &t.source).expect("write sasm");
+            p.to_string_lossy().into_owned()
+        })
+        .collect();
+    eprintln!("targets: {}", targets.len());
+
+    let mut config = ServeConfig::new(&repo_path);
+    config.workers = 4;
+    let handle = spawn(config).expect("spawn server");
+    let addr = handle.addr();
+
+    // Exactness first: every target's wire detection must be
+    // byte-identical to the offline pipeline's rendering.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        for target in targets.iter() {
+            let resp = client
+                .classify(&target.name, &target.source, VICTIM)
+                .expect("classify");
+            assert!(
+                sca_serve::protocol::is_ok(&resp),
+                "{}: server refused: {resp}",
+                target.name
+            );
+            let wire = resp.get("detection").expect("detection").to_string();
+            let offline = single_shot(&repo_path, &target.name, &target.source);
+            assert_eq!(wire, offline, "{}: wire and offline diverge", target.name);
+        }
+    }
+    eprintln!(
+        "exactness: wire detections byte-identical to offline classify ({} targets)",
+        targets.len()
+    );
+
+    if smoke {
+        handle.shutdown();
+        handle.join();
+        std::fs::remove_dir_all(&dir).ok();
+        eprintln!("smoke OK");
+        return;
+    }
+
+    // Baseline: one OS process per classification, sequential — the
+    // offline CLI's deployment shape. Each child re-runs this binary in
+    // `--one-shot` mode; its detection output doubles as a
+    // process-isolated exactness check against the wire.
+    let exe = std::env::current_exe().expect("current exe");
+    let repo_arg = repo_path.to_string_lossy().into_owned();
+    let mut wire_checks = Vec::new();
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        for i in 0..baseline_shots {
+            let t = &targets[i % targets.len()];
+            let resp = client
+                .classify(&t.name, &t.source, VICTIM)
+                .expect("classify");
+            wire_checks.push(resp.get("detection").expect("detection").to_string());
+        }
+    }
+    let baseline_t = Instant::now();
+    let mut child_outputs = Vec::new();
+    for i in 0..baseline_shots {
+        let out = std::process::Command::new(&exe)
+            .args(["--one-shot", &repo_arg, &sasm_paths[i % targets.len()]])
+            .output()
+            .expect("spawn one-shot child");
+        assert!(out.status.success(), "one-shot child failed");
+        child_outputs.push(String::from_utf8_lossy(&out.stdout).trim().to_string());
+    }
+    let baseline_ns = baseline_t.elapsed().as_nanos() as u64;
+    for (wire, child) in wire_checks.iter().zip(&child_outputs) {
+        assert_eq!(wire, child, "wire and one-shot child diverge");
+    }
+    let baseline_per_req_ns = baseline_ns / baseline_shots as u64;
+    let baseline_rps = 1e9 / baseline_per_req_ns.max(1) as f64;
+
+    // In-process pipeline cost, for context in the report: the one-shot
+    // cost minus process startup.
+    let in_process_t = Instant::now();
+    for i in 0..baseline_shots {
+        let t = &targets[i % targets.len()];
+        std::hint::black_box(single_shot(&repo_path, &t.name, &t.source));
+    }
+    let in_process_per_req_ns = (in_process_t.elapsed().as_nanos() as u64) / baseline_shots as u64;
+
+    // Served: N concurrent clients, each issuing its share of requests
+    // over TCP against the resident (and by now warm) server.
+    let total_requests = clients * requests_per_client;
+    let served_t = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let targets = Arc::clone(&targets);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(requests_per_client);
+                for r in 0..requests_per_client {
+                    let target = &targets[(c * requests_per_client + r) % targets.len()];
+                    let t = Instant::now();
+                    let resp = client
+                        .classify(&target.name, &target.source, VICTIM)
+                        .expect("classify");
+                    latencies.push(t.elapsed().as_nanos() as u64);
+                    assert!(sca_serve::protocol::is_ok(&resp), "refused: {resp}");
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread"))
+        .collect();
+    let served_ns = served_t.elapsed().as_nanos() as u64;
+    latencies.sort_unstable();
+    let served_rps = total_requests as f64 / (served_ns as f64 / 1e9);
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let speedup = served_rps / baseline_rps;
+
+    let stats = handle.stats();
+    assert_eq!(stats.shed, 0, "bench load must not shed: {stats:?}");
+    handle.shutdown();
+    handle.join();
+
+    println!(
+        "resident service ({} targets, {clients} clients x {requests_per_client} requests, 4 workers)",
+        targets.len()
+    );
+    println!(
+        "  single-shot {baseline_per_req_ns:>13} ns/request   {baseline_rps:>10.2} req/s (one process per request; {in_process_per_req_ns} ns of that in-pipeline)"
+    );
+    println!(
+        "  served      {:>13} ns/request   {served_rps:>10.2} req/s (wall), p50 {p50} ns, p99 {p99} ns",
+        served_ns / total_requests as u64
+    );
+    println!("  speedup     {speedup:>12.2}x throughput, byte-exact");
+
+    assert!(
+        speedup >= 4.0,
+        "full bench below the 4x acceptance floor: {speedup:.2}x"
+    );
+
+    let round2 = |v: f64| (v * 100.0).round() / 100.0;
+    let json = Json::Obj(vec![
+        (
+            "bench".into(),
+            Json::Str("resident detection service".into()),
+        ),
+        (
+            "workload".into(),
+            Json::Obj(vec![
+                ("targets".into(), Json::Num(targets.len() as f64)),
+                ("clients".into(), Json::Num(clients as f64)),
+                (
+                    "requests_per_client".into(),
+                    Json::Num(requests_per_client as f64),
+                ),
+                ("total_requests".into(), Json::Num(total_requests as f64)),
+                ("workers".into(), Json::Num(4.0)),
+                ("baseline_shots".into(), Json::Num(baseline_shots as f64)),
+            ]),
+        ),
+        (
+            "single_shot".into(),
+            Json::Obj(vec![
+                (
+                    "per_request_ns".into(),
+                    Json::Num(baseline_per_req_ns as f64),
+                ),
+                ("requests_per_sec".into(), Json::Num(round2(baseline_rps))),
+                (
+                    "in_process_per_request_ns".into(),
+                    Json::Num(in_process_per_req_ns as f64),
+                ),
+            ]),
+        ),
+        (
+            "served".into(),
+            Json::Obj(vec![
+                ("wall_ns".into(), Json::Num(served_ns as f64)),
+                ("requests_per_sec".into(), Json::Num(round2(served_rps))),
+                ("latency_p50_ns".into(), Json::Num(p50 as f64)),
+                ("latency_p99_ns".into(), Json::Num(p99 as f64)),
+                ("shed".into(), Json::Num(stats.shed as f64)),
+                ("completed".into(), Json::Num(stats.completed as f64)),
+            ]),
+        ),
+        ("throughput_speedup".into(), Json::Num(round2(speedup))),
+        ("byte_exact".into(), Json::Bool(true)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, format!("{json}\n")).expect("write BENCH_serve.json");
+    eprintln!("wrote {out}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -19,9 +19,7 @@ use sca_attacks::mutate::MutationConfig;
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{benign, AttackFamily};
 use sca_telemetry::Json;
-use scaguard::{
-    similarity_score, CstBbs, Detector, ModelBuilder, ModelRepository, ModelingConfig,
-};
+use scaguard::{similarity_score, CstBbs, Detector, ModelBuilder, ModelRepository, ModelingConfig};
 
 const ROUNDS: usize = 5;
 const SEED: u64 = 0x5ca6_be9c;
@@ -117,9 +115,7 @@ fn counter(snap: &sca_telemetry::Snapshot, name: &str) -> u64 {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (per_type, benign_total) = if smoke { (3, 4) } else { (24, 32) };
-    eprintln!(
-        "building workload: {per_type} variants/type + {benign_total} benign ..."
-    );
+    eprintln!("building workload: {per_type} variants/type + {benign_total} benign ...");
     let w = build_workload(per_type, benign_total);
     eprintln!(
         "repo: {} models, targets: {}",
@@ -158,7 +154,11 @@ fn main() {
     let cache_hits = counter(&snap, "simcache.hits");
     let cache_misses = counter(&snap, "simcache.misses");
 
-    println!("repo-scan classification ({} targets x {} entries)", w.targets.len(), w.repo.len());
+    println!(
+        "repo-scan classification ({} targets x {} entries)",
+        w.targets.len(),
+        w.repo.len()
+    );
     println!("  naive   {naive_ns:>12} ns/scan   {cells_naive:>10} dtw cells");
     println!("  engine  {engine_ns:>12} ns/scan   {cells_engine:>10} dtw cells");
     println!(
@@ -210,7 +210,10 @@ fn main() {
                 ("simcache_misses".into(), Json::Num(cache_misses as f64)),
             ]),
         ),
-        ("speedup".into(), Json::Num((speedup * 100.0).round() / 100.0)),
+        (
+            "speedup".into(),
+            Json::Num((speedup * 100.0).round() / 100.0),
+        ),
         ("exact".into(), Json::Bool(true)),
     ]);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_similarity.json");

@@ -16,7 +16,8 @@ enum Op {
 }
 
 fn arb_owner(rng: &mut SmallRng) -> Owner {
-    *rng.choose(&[Owner::Attacker, Owner::Victim, Owner::Other]).unwrap()
+    *rng.choose(&[Owner::Attacker, Owner::Victim, Owner::Other])
+        .unwrap()
 }
 
 fn arb_op(rng: &mut SmallRng) -> Op {

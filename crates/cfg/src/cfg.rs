@@ -67,7 +67,10 @@ impl Cfg {
     ///
     /// Panics if `program` is empty.
     pub fn build(program: &Program) -> Cfg {
-        assert!(!program.is_empty(), "cannot build a CFG of an empty program");
+        assert!(
+            !program.is_empty(),
+            "cannot build a CFG of an empty program"
+        );
         let n = program.len();
         let mut leader = vec![false; n];
         leader[0] = true;
@@ -93,7 +96,10 @@ impl Cfg {
             if is_leader {
                 let id = BlockId(blocks.len());
                 block_of_inst[start..i].fill(id);
-                blocks.push(BasicBlock { id, insts: start..i });
+                blocks.push(BasicBlock {
+                    id,
+                    insts: start..i,
+                });
                 start = i;
             }
         }
@@ -101,7 +107,10 @@ impl Cfg {
         let m = blocks.len();
         let mut succs = vec![Vec::new(); m];
         let mut preds = vec![Vec::new(); m];
-        let add_edge = |succs: &mut Vec<Vec<BlockId>>, preds: &mut Vec<Vec<BlockId>>, a: BlockId, b: BlockId| {
+        let add_edge = |succs: &mut Vec<Vec<BlockId>>,
+                        preds: &mut Vec<Vec<BlockId>>,
+                        a: BlockId,
+                        b: BlockId| {
             if !succs[a.0].contains(&b) {
                 succs[a.0].push(b);
                 preds[b.0].push(a);

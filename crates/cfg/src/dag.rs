@@ -137,10 +137,7 @@ mod tests {
         let cfg = Cfg::build(&b.build());
         let dag = remove_back_edges(&cfg);
         assert!(dag.removed_edges().is_empty());
-        assert_eq!(
-            dag.succs(cfg.entry()).len(),
-            cfg.succs(cfg.entry()).len()
-        );
+        assert_eq!(dag.succs(cfg.entry()).len(), cfg.succs(cfg.entry()).len());
     }
 
     #[test]

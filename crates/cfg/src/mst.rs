@@ -116,10 +116,10 @@ mod tests {
         // (weights 3 and MAX) and a-e edges; MST keeps the heaviest.
         const MAX: f64 = f64::MAX;
         let edges = [
-            e(0, 1, 3.0, 0),   // a->b->c path
-            e(0, 1, MAX, 1),   // direct a->c
-            e(0, 2, 4.0, 2),   // a->b->e path
-            e(1, 2, 2.0, 3),   // c->d->e path
+            e(0, 1, 3.0, 0), // a->b->c path
+            e(0, 1, MAX, 1), // direct a->c
+            e(0, 2, 4.0, 2), // a->b->e path
+            e(1, 2, 2.0, 3), // c->d->e path
         ];
         let mst = max_spanning_tree(3, &edges);
         assert_eq!(mst, vec![1, 2], "direct a-c edge and heavier a-e path");

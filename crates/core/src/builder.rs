@@ -289,7 +289,10 @@ impl ModelBuilder {
     ///
     /// Returns [`LoadRepoError`] when the file exists but cannot be read
     /// or parsed.
-    pub fn with_disk_cache(mut self, path: impl AsRef<Path>) -> Result<ModelBuilder, LoadRepoError> {
+    pub fn with_disk_cache(
+        mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<ModelBuilder, LoadRepoError> {
         let path = path.as_ref().to_path_buf();
         if path.exists() {
             let entries = persist::load_model_cache(&path)?;
@@ -401,11 +404,7 @@ impl ModelBuilder {
     /// # Errors
     ///
     /// Propagates [`ModelError`] from the pipeline.
-    pub fn build_cst(
-        &self,
-        program: &Program,
-        victim: &Victim,
-    ) -> Result<Arc<CstBbs>, ModelError> {
+    pub fn build_cst(&self, program: &Program, victim: &Victim) -> Result<Arc<CstBbs>, ModelError> {
         let mut sp = sca_telemetry::span("builder.build");
         let key = ModelKey::new(program, victim, &self.config);
         if let Some(cached) = lock(&self.models).get(&key) {
@@ -647,9 +646,8 @@ mod tests {
         let mut other_cap = base.clone();
         other_cap.path_cap += 1;
 
-        let k = |s: &sca_attacks::Sample, c: &ModelingConfig| {
-            ModelKey::new(&s.program, &s.victim, c)
-        };
+        let k =
+            |s: &sca_attacks::Sample, c: &ModelingConfig| ModelKey::new(&s.program, &s.victim, c);
         assert_eq!(k(&s1, &base), k(&s1, &base));
         assert_ne!(k(&s1, &base).canonical, k(&s2, &base).canonical);
         assert_ne!(k(&s1, &base).canonical, k(&s1, &other_replay).canonical);

@@ -13,14 +13,19 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use sca_attacks::AttackFamily;
 use sca_cpu::Victim;
 use sca_isa::Program;
+use sca_telemetry::Json;
 
 use crate::builder::ModelBuilder;
 use crate::cst::CstBbs;
-use crate::engine::{lb_csp_envelope, lb_length, Bounded, EngineStats, PreparedModel, SimilarityEngine};
+use crate::engine::{
+    lb_csp_envelope, lb_length, Bounded, DeadlineExceeded, EngineStats, PreparedModel,
+    SimilarityEngine,
+};
 use crate::modeling::{build_model, ModelError, ModelingConfig};
 
 /// One PoC model in the repository.
@@ -187,6 +192,45 @@ impl fmt::Display for Detection {
     }
 }
 
+/// The full detection as one JSON object — the canonical machine-facing
+/// rendering shared by `scaguard classify --json` and the `sca-serve`
+/// wire protocol, so the two are byte-identical for the same detection.
+pub fn detection_json(program: &str, detection: &Detection) -> Json {
+    let scores = detection
+        .scores
+        .iter()
+        .map(|entry| {
+            Json::Obj(vec![
+                ("poc".into(), Json::Str(entry.poc.clone())),
+                ("family".into(), Json::Str(entry.family.to_string())),
+                ("score".into(), Json::Num(entry.score)),
+                ("exact".into(), Json::Bool(entry.exact)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("program".into(), Json::Str(program.to_string())),
+        ("attack".into(), Json::Bool(detection.is_attack())),
+        (
+            "family".into(),
+            match detection.family() {
+                Some(f) => Json::Str(f.to_string()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "best_poc".into(),
+            match detection.best_entry() {
+                Some(entry) => Json::Str(entry.poc.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("best_score".into(), Json::Num(detection.best_score())),
+        ("threshold".into(), Json::Num(detection.threshold)),
+        ("scores".into(), Json::Arr(scores)),
+    ])
+}
+
 /// The prepared scan state a detector keeps behind a mutex: the engine
 /// (intern pool + `D_IS` cache) and the repository's prepared models.
 #[derive(Debug, Clone)]
@@ -303,18 +347,44 @@ impl Detector {
     /// when every per-entry score must be exact.
     pub fn classify_model(&self, target: &CstBbs) -> Detection {
         let mut state = self.lock_scan();
-        let result = scan_target(&mut state, &self.repo, target, true);
+        let result =
+            scan_target(&mut state, &self.repo, target, true, None).expect("no deadline was given");
         if state.engine.pool_len() > POOL_LIMIT {
             *state = ScanState::build(&self.repo);
         }
         self.detection(result)
     }
 
+    /// [`Detector::classify_model`] under a wall-clock deadline,
+    /// propagated into the engine's bounded-DTW hook: the scan checks the
+    /// deadline before each repository entry and once per DTW row, so a
+    /// request that runs out of time aborts within microseconds instead
+    /// of finishing an arbitrarily large scan. A detection that *does*
+    /// come back is bitwise identical to [`Detector::classify_model`] —
+    /// the deadline only ever aborts, it never alters cutoffs or scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] when `deadline` passes mid-scan.
+    pub fn classify_model_deadline(
+        &self,
+        target: &CstBbs,
+        deadline: Instant,
+    ) -> Result<Detection, DeadlineExceeded> {
+        let mut state = self.lock_scan();
+        let result = scan_target(&mut state, &self.repo, target, true, Some(deadline))?;
+        if state.engine.pool_len() > POOL_LIMIT {
+            *state = ScanState::build(&self.repo);
+        }
+        Ok(self.detection(result))
+    }
+
     /// Classify a prebuilt target model with an exhaustive scan: every
     /// entry's score is exact (still served by the interned engine).
     pub fn classify_model_full(&self, target: &CstBbs) -> Detection {
         let mut state = self.lock_scan();
-        let result = scan_target(&mut state, &self.repo, target, false);
+        let result = scan_target(&mut state, &self.repo, target, false, None)
+            .expect("no deadline was given");
         if state.engine.pool_len() > POOL_LIMIT {
             *state = ScanState::build(&self.repo);
         }
@@ -357,7 +427,9 @@ impl Detector {
                             &state.prepared[i],
                             entry,
                             cutoff,
-                        );
+                            None,
+                        )
+                        .expect("no deadline was given");
                         if let Some(d) = distance {
                             best_bits.fetch_min(d.to_bits(), Ordering::Relaxed);
                         }
@@ -412,8 +484,8 @@ impl Detector {
                         if i >= targets.len() {
                             break;
                         }
-                        let result =
-                            scan_target(&mut state, &self.repo, &targets[i], true);
+                        let result = scan_target(&mut state, &self.repo, &targets[i], true, None)
+                            .expect("no deadline was given");
                         *slot_lock(&slots[i]) = Some(self.detection(result));
                     }
                 });
@@ -502,7 +574,11 @@ impl Detector {
         if sp.is_recording() {
             sp.attr(
                 "verdict",
-                if detection.is_attack() { "attack" } else { "benign" },
+                if detection.is_attack() {
+                    "attack"
+                } else {
+                    "benign"
+                },
             );
             if let Some(best) = detection.best_entry() {
                 sp.attr("best_poc", best.poc.as_str());
@@ -541,18 +617,24 @@ fn flush_engine_stats(delta: EngineStats) {
     sca_telemetry::counter("simcache.misses", delta.cache_misses);
 }
 
-/// Compare the target against one prepared entry under `cutoff`.
+/// Compare the target against one prepared entry under `cutoff` and an
+/// optional wall-clock deadline.
 ///
 /// Returns the entry's [`EntryScore`] and, when the comparison ran to
 /// completion, the exact distance (`None` means pruned: the true score
 /// is strictly below `score_of(cutoff)`).
+///
+/// # Errors
+///
+/// Returns [`DeadlineExceeded`] when `deadline` passes mid-comparison.
 fn scan_one(
     engine: &mut SimilarityEngine,
     target: &PreparedModel,
     entry_model: &PreparedModel,
     entry: &RepoEntry,
     cutoff: f64,
-) -> (EntryScore, Option<f64>) {
+    deadline: Option<Instant>,
+) -> Result<(EntryScore, Option<f64>), DeadlineExceeded> {
     let mut sp = sca_telemetry::span("pipeline.compare.dtw");
     let before = engine.stats();
     // Cascade: length-difference bound, then the CSP-only bound, then
@@ -576,7 +658,7 @@ fn scan_one(
             engine.note_lb_skip(target, entry_model);
             Bounded::AtLeast(lb2.max(lb1))
         } else {
-            engine.distance_bounded(target, entry_model, cutoff)
+            engine.distance_bounded_until(target, entry_model, cutoff, deadline)?
         }
     };
     let (score, distance) = match outcome {
@@ -610,28 +692,46 @@ fn scan_one(
         sca_telemetry::counter("dtw.comparisons", 1);
         flush_engine_stats(delta);
     }
-    (score, distance)
+    Ok((score, distance))
 }
 
 /// Scan the target against every repository entry, threading the best
-/// distance so far as the pruning cutoff (when `pruned`).
+/// distance so far as the pruning cutoff (when `pruned`), under an
+/// optional wall-clock deadline checked before every entry.
+///
+/// # Errors
+///
+/// Returns [`DeadlineExceeded`] when `deadline` passes mid-scan.
 fn scan_target(
     state: &mut ScanState,
     repo: &ModelRepository,
     target: &CstBbs,
     pruned: bool,
-) -> ScanResult {
+    deadline: Option<Instant>,
+) -> Result<ScanResult, DeadlineExceeded> {
     let ScanState { engine, prepared } = state;
     let prepared_target = engine.prepare(target);
     let mut scores = Vec::with_capacity(repo.len());
     let mut best: Option<(usize, f64)> = None;
     for (i, (entry, entry_model)) in repo.entries().iter().zip(prepared.iter()).enumerate() {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Err(DeadlineExceeded);
+            }
+        }
         let cutoff = if pruned {
             best.map_or(f64::INFINITY, |(_, d)| d)
         } else {
             f64::INFINITY
         };
-        let (score, distance) = scan_one(engine, &prepared_target, entry_model, entry, cutoff);
+        let (score, distance) = scan_one(
+            engine,
+            &prepared_target,
+            entry_model,
+            entry,
+            cutoff,
+            deadline,
+        )?;
         if let Some(d) = distance {
             // `>=` so equal scores prefer the later entry — the same tie
             // rule as the naive `max_by` over all scores.
@@ -641,10 +741,10 @@ fn scan_target(
         }
         scores.push(score);
     }
-    ScanResult {
+    Ok(ScanResult {
         scores,
         best: best.map(|(i, _)| i),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -773,7 +873,9 @@ mod tests {
     #[test]
     fn batch_matches_serial() {
         let d = Detector::new(repo4(), 0.2);
-        let targets: Vec<CstBbs> = (0..7).map(|i| dummy_model(i % 5 + 1, i as u64 % 2)).collect();
+        let targets: Vec<CstBbs> = (0..7)
+            .map(|i| dummy_model(i % 5 + 1, i as u64 % 2))
+            .collect();
         let serial: Vec<Detection> = targets.iter().map(|t| d.classify_model(t)).collect();
         let batched = d.classify_batch(&targets, 4);
         assert_eq!(serial.len(), batched.len());
@@ -788,5 +890,44 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_threshold_panics() {
         let _ = Detector::new(ModelRepository::new(), 1.5);
+    }
+
+    #[test]
+    fn deadline_scan_matches_serial_or_aborts() {
+        let d = Detector::new(repo4(), 0.2);
+        let target = dummy_model(5, 0);
+        // A generous deadline yields the exact same detection.
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let serial = d.classify_model(&target);
+        let timed = d.classify_model_deadline(&target, far).expect("in time");
+        assert_eq!(serial.best, timed.best);
+        assert_eq!(serial.best_score(), timed.best_score());
+        assert_eq!(serial.scores, timed.scores);
+        // An already-passed deadline aborts before any entry.
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(
+            d.classify_model_deadline(&target, past).err(),
+            Some(DeadlineExceeded)
+        );
+        // The detector still works after an aborted scan.
+        let again = d.classify_model(&target);
+        assert_eq!(serial.best_score(), again.best_score());
+    }
+
+    #[test]
+    fn detection_json_is_stable_and_complete() {
+        let d = Detector::new(repo4(), 0.2);
+        let det = d.classify_model(&dummy_model(4, 0));
+        let json = detection_json("target", &det);
+        let text = json.to_string();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed, json, "rendering round-trips");
+        assert_eq!(parsed.get("program").and_then(Json::as_str), Some("target"));
+        assert!(parsed.get("attack").is_some());
+        assert!(parsed.get("threshold").and_then(Json::as_f64).is_some());
+        match parsed.get("scores") {
+            Some(Json::Arr(scores)) => assert_eq!(scores.len(), det.scores.len()),
+            other => panic!("scores must be an array: {other:?}"),
+        }
     }
 }

@@ -34,6 +34,9 @@
 //! in `tests/engine_exactness.rs` assert this.
 
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
 
 use sca_isa::NormInst;
 
@@ -105,6 +108,23 @@ impl PreparedModel {
         self.ids.is_empty()
     }
 }
+
+/// A deadline-aware comparison ran out of time before completing.
+///
+/// Raised by [`SimilarityEngine::distance_bounded_until`] (and the
+/// detector's deadline-propagating scans built on it) when the supplied
+/// deadline passes mid-comparison. The engine's caches and counters stay
+/// consistent; only the in-flight comparison is abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "similarity scan deadline exceeded")
+    }
+}
+
+impl Error for DeadlineExceeded {}
 
 /// The outcome of a cutoff-bounded comparison.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -304,20 +324,58 @@ impl SimilarityEngine {
     /// cutoff, the final distance (which extends some cell of that row)
     /// must too. A comparison whose true distance *equals* the cutoff is
     /// never abandoned, preserving the naive scan's tie behavior.
-    pub fn distance_bounded(&mut self, a: &PreparedModel, b: &PreparedModel, cutoff: f64) -> Bounded {
+    pub fn distance_bounded(
+        &mut self,
+        a: &PreparedModel,
+        b: &PreparedModel,
+        cutoff: f64,
+    ) -> Bounded {
+        match self.distance_bounded_until(a, b, cutoff, None) {
+            Ok(outcome) => outcome,
+            Err(DeadlineExceeded) => unreachable!("no deadline was given"),
+        }
+    }
+
+    /// [`SimilarityEngine::distance_bounded`] with an optional wall-clock
+    /// deadline — the hook resident services use to cap per-request
+    /// similarity work. The deadline is checked once per DTW row (rows
+    /// are tens of cells for CST-BBS workloads, so the granularity is
+    /// microseconds); when it passes, the comparison is abandoned with
+    /// [`DeadlineExceeded`] and the already-computed cells are accounted
+    /// as pruned. A `None` deadline is exactly [`SimilarityEngine::distance_bounded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] when `deadline` passes before the
+    /// comparison completes or is abandoned by the cutoff.
+    pub fn distance_bounded_until(
+        &mut self,
+        a: &PreparedModel,
+        b: &PreparedModel,
+        cutoff: f64,
+        deadline: Option<Instant>,
+    ) -> Result<Bounded, DeadlineExceeded> {
         let (n, m) = (a.len(), b.len());
         if n == 0 && m == 0 {
-            return Bounded::Exact(0.0);
+            return Ok(Bounded::Exact(0.0));
         }
         if n == 0 || m == 0 {
             // Same convention as the naive `dtw`: every unmatched step
             // costs the per-step maximum of 1.
-            return Bounded::Exact((n + m) as f64);
+            return Ok(Bounded::Exact((n + m) as f64));
         }
         let mut prev = vec![f64::INFINITY; m + 1];
         let mut cur = vec![f64::INFINITY; m + 1];
         prev[0] = 0.0;
         for i in 0..n {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    let computed = (i * m) as u64;
+                    self.stats.cells += computed;
+                    self.stats.cells_pruned += (n * m) as u64 - computed;
+                    return Err(DeadlineExceeded);
+                }
+            }
             cur[0] = f64::INFINITY;
             let mut row_min = f64::INFINITY;
             let ida = a.ids[i];
@@ -337,12 +395,12 @@ impl SimilarityEngine {
                 let computed = ((i + 1) * m) as u64;
                 self.stats.cells += computed;
                 self.stats.cells_pruned += (n * m) as u64 - computed;
-                return Bounded::AtLeast(row_min);
+                return Ok(Bounded::AtLeast(row_min));
             }
             std::mem::swap(&mut prev, &mut cur);
         }
         self.stats.cells += (n * m) as u64;
-        Bounded::Exact(prev[m])
+        Ok(Bounded::Exact(prev[m]))
     }
 
     /// Record a lower-bound skip of an `n × m` comparison in the stats.
@@ -407,7 +465,11 @@ fn min_change_gap(c: f64, sorted: &[f64]) -> f64 {
 pub fn lb_length(a: &PreparedModel, b: &PreparedModel) -> f64 {
     let (n, m) = (a.len(), b.len());
     if n == 0 || m == 0 {
-        return if n == 0 && m == 0 { 0.0 } else { (n + m) as f64 };
+        return if n == 0 && m == 0 {
+            0.0
+        } else {
+            (n + m) as f64
+        };
     }
     let over_a: f64 = a
         .lens
@@ -432,7 +494,11 @@ pub fn lb_length(a: &PreparedModel, b: &PreparedModel) -> f64 {
 pub fn lb_csp_envelope(a: &PreparedModel, b: &PreparedModel) -> f64 {
     let (n, m) = (a.len(), b.len());
     if n == 0 || m == 0 {
-        return if n == 0 && m == 0 { 0.0 } else { (n + m) as f64 };
+        return if n == 0 && m == 0 {
+            0.0
+        } else {
+            (n + m) as f64
+        };
     }
     let over_a: f64 = a
         .changes
@@ -462,7 +528,11 @@ pub fn lb_csp_envelope(a: &PreparedModel, b: &PreparedModel) -> f64 {
 pub fn lb_csp(a: &PreparedModel, b: &PreparedModel, cutoff: f64) -> f64 {
     let (n, m) = (a.len(), b.len());
     if n == 0 || m == 0 {
-        return if n == 0 && m == 0 { 0.0 } else { (n + m) as f64 };
+        return if n == 0 && m == 0 {
+            0.0
+        } else {
+            (n + m) as f64
+        };
     }
     let envelope = lb_csp_envelope(a, b);
     if envelope > cutoff {
@@ -496,7 +566,7 @@ mod tests {
     use crate::cst::{Cst, CstStep};
     use crate::similarity::{cst_distance, dtw};
     use sca_cache::CacheState;
-    use sca_isa::{NormOperand};
+    use sca_isa::NormOperand;
 
     fn step(insts: &[NormInst], ao: f64) -> CstStep {
         CstStep {
@@ -541,7 +611,10 @@ mod tests {
         ]);
         let mut engine = SimilarityEngine::new();
         let (pa, pb) = (engine.prepare(&a), engine.prepare(&b));
-        assert_eq!(engine.distance(&pa, &pb), dtw(a.steps(), b.steps(), cst_distance));
+        assert_eq!(
+            engine.distance(&pa, &pb),
+            dtw(a.steps(), b.steps(), cst_distance)
+        );
         assert_eq!(engine.distance(&pa, &pa), 0.0);
         // Repeated blocks share interned ids, so the cache hits.
         let stats = engine.stats();
@@ -606,7 +679,34 @@ mod tests {
         let d = engine.distance(&pa, &pb);
         assert!(lb_length(&pa, &pb) <= d);
         assert!(lb_csp(&pa, &pb, f64::INFINITY) <= d);
-        assert!(lb_csp(&pa, &pb, 0.0) <= d, "abandoned bound must stay admissible");
+        assert!(
+            lb_csp(&pa, &pb, 0.0) <= d,
+            "abandoned bound must stay admissible"
+        );
+    }
+
+    #[test]
+    fn deadline_aborts_and_generous_deadline_is_exact() {
+        let a = model(&[(&[ld(), flush(), ld()], 0.5), (&[flush()], 0.2)]);
+        let b = model(&[(&[nop()], 0.1), (&[ld()], 0.7)]);
+        let mut engine = SimilarityEngine::new();
+        let (pa, pb) = (engine.prepare(&a), engine.prepare(&b));
+        let before = engine.stats();
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(
+            engine.distance_bounded_until(&pa, &pb, f64::INFINITY, Some(past)),
+            Err(DeadlineExceeded)
+        );
+        // The abandoned comparison accounts all its cells as pruned.
+        let delta = engine.stats().since(&before);
+        assert_eq!(delta.cells + delta.cells_pruned, 4);
+        // A generous deadline changes nothing: bitwise-identical result.
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let d = engine.distance(&pa, &pb);
+        assert_eq!(
+            engine.distance_bounded_until(&pa, &pb, f64::INFINITY, Some(far)),
+            Ok(Bounded::Exact(d))
+        );
     }
 
     #[test]

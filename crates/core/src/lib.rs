@@ -58,16 +58,14 @@ mod detector;
 
 pub use builder::{BuilderStats, ModelBuilder, ModelKey};
 pub use cst::{Cst, CstBbs, CstStep};
-pub use detector::{Detection, Detector, EntryScore, ModelRepository, RepoEntry};
-pub use engine::{Bounded, EngineStats, PreparedModel, SimilarityEngine};
+pub use detector::{detection_json, Detection, Detector, EntryScore, ModelRepository, RepoEntry};
+pub use engine::{Bounded, DeadlineExceeded, EngineStats, PreparedModel, SimilarityEngine};
 pub use modeling::{
     build_model, build_models, model_from_blocks, ModelError, ModelingConfig, ModelingOutcome,
 };
 pub use persist::{
-    load_model_cache, load_repository, model_text, save_model_cache, save_repository,
-    LoadRepoError,
+    load_model_cache, load_repository, model_text, save_model_cache, save_repository, LoadRepoError,
 };
 pub use similarity::{
-    cst_distance, dtw, dtw_with_path, explain_similarity, levenshtein, similarity_score,
-    Alignment,
+    cst_distance, dtw, dtw_with_path, explain_similarity, levenshtein, similarity_score, Alignment,
 };

@@ -9,9 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use sca_cache::{Cache, CacheConfig, CacheStats, Owner};
-use sca_cfg::{
-    enumerate_paths, max_spanning_tree, remove_back_edges, BlockId, Cfg, WeightedEdge,
-};
+use sca_cfg::{enumerate_paths, max_spanning_tree, remove_back_edges, BlockId, Cfg, WeightedEdge};
 use sca_cpu::{CpuConfig, Machine, RunError, Trace, Victim};
 use sca_isa::{normalize_inst, Inst, Program};
 
@@ -105,10 +103,7 @@ impl ModelingOutcome {
     /// Ground-truth attack-relevant blocks: blocks containing at least one
     /// generator-tagged instruction (#TAB in Table IV).
     pub fn ground_truth_bbs(program: &Program, cfg: &Cfg) -> BTreeSet<BlockId> {
-        program
-            .tags()
-            .map(|(i, _)| cfg.block_of_inst(i))
-            .collect()
+        program.tags().map(|(i, _)| cfg.block_of_inst(i)).collect()
     }
 }
 
@@ -621,8 +616,8 @@ pub fn build_models<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sca_attacks::poc::{self, PocParams};
     use sca_attacks::benign::{self, Kind};
+    use sca_attacks::poc::{self, PocParams};
 
     fn model_of(s: &sca_attacks::Sample) -> ModelingOutcome {
         build_model(&s.program, &s.victim, &ModelingConfig::default()).expect("model")

@@ -19,7 +19,7 @@
 use std::error::Error;
 use std::fmt;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use sca_attacks::AttackFamily;
 use sca_cache::CacheState;
@@ -31,14 +31,28 @@ use crate::detector::ModelRepository;
 const MAGIC: &str = "scaguard-repo v1";
 const CACHE_MAGIC: &str = "scaguard-modelcache v1";
 
-/// Errors from loading a repository.
+/// Errors from loading or saving a repository / model-cache file.
+///
+/// Both variants carry the file's path whenever the failure came through
+/// one of the filesystem entry points ([`load_repository`],
+/// [`save_repository`], [`load_model_cache`], [`save_model_cache`]), so a
+/// truncated or corrupted file reports *which* file broke, the 1-based
+/// line, and the reason. Parsing from a string (e.g.
+/// [`ModelRepository::from_text`]) has no path to report.
 #[derive(Debug)]
 pub enum LoadRepoError {
-    /// The file could not be read.
-    Io(std::io::Error),
-    /// The content is not a valid repository (with the offending 1-based
-    /// line and a description).
+    /// The file could not be read or written.
+    Io {
+        /// The file involved, when known.
+        path: Option<PathBuf>,
+        /// The underlying filesystem error.
+        error: std::io::Error,
+    },
+    /// The content is not a valid repository / model cache (with the
+    /// offending 1-based line and a description).
     Parse {
+        /// The file involved, when known.
+        path: Option<PathBuf>,
         /// 1-based line number.
         line: usize,
         /// What went wrong.
@@ -46,13 +60,65 @@ pub enum LoadRepoError {
     },
 }
 
+impl LoadRepoError {
+    /// Attach the originating file to an error that does not have one
+    /// yet (string-level parse errors bubbling out of a file load).
+    fn with_path(self, p: &Path) -> LoadRepoError {
+        match self {
+            LoadRepoError::Io { path: None, error } => LoadRepoError::Io {
+                path: Some(p.to_path_buf()),
+                error,
+            },
+            LoadRepoError::Parse {
+                path: None,
+                line,
+                message,
+            } => LoadRepoError::Parse {
+                path: Some(p.to_path_buf()),
+                line,
+                message,
+            },
+            already_annotated => already_annotated,
+        }
+    }
+
+    /// The offending 1-based line, for parse errors.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            LoadRepoError::Parse { line, .. } => Some(*line),
+            LoadRepoError::Io { .. } => None,
+        }
+    }
+
+    /// The file involved, when the error came through a filesystem entry
+    /// point.
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            LoadRepoError::Io { path, .. } | LoadRepoError::Parse { path, .. } => path.as_deref(),
+        }
+    }
+}
+
 impl fmt::Display for LoadRepoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LoadRepoError::Io(e) => write!(f, "cannot read repository: {e}"),
-            LoadRepoError::Parse { line, message } => {
-                write!(f, "bad repository at line {line}: {message}")
+            LoadRepoError::Io {
+                path: Some(p),
+                error,
+            } => write!(f, "cannot access `{}`: {error}", p.display()),
+            LoadRepoError::Io { path: None, error } => {
+                write!(f, "cannot read repository: {error}")
             }
+            LoadRepoError::Parse {
+                path: Some(p),
+                line,
+                message,
+            } => write!(f, "{}:{line}: {message}", p.display()),
+            LoadRepoError::Parse {
+                path: None,
+                line,
+                message,
+            } => write!(f, "bad repository at line {line}: {message}"),
         }
     }
 }
@@ -60,7 +126,7 @@ impl fmt::Display for LoadRepoError {
 impl Error for LoadRepoError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            LoadRepoError::Io(e) => Some(e),
+            LoadRepoError::Io { error, .. } => Some(error),
             LoadRepoError::Parse { .. } => None,
         }
     }
@@ -68,6 +134,7 @@ impl Error for LoadRepoError {
 
 fn perr(line: usize, message: impl Into<String>) -> LoadRepoError {
     LoadRepoError::Parse {
+        path: None,
         line,
         message: message.into(),
     }
@@ -220,8 +287,15 @@ pub fn repository_from_str(text: &str) -> Result<ModelRepository, LoadRepoError>
 /// # Errors
 ///
 /// Returns [`LoadRepoError::Io`] on filesystem errors.
-pub fn save_repository(repo: &ModelRepository, path: impl AsRef<Path>) -> Result<(), LoadRepoError> {
-    fs::write(path, repository_to_string(repo)).map_err(LoadRepoError::Io)
+pub fn save_repository(
+    repo: &ModelRepository,
+    path: impl AsRef<Path>,
+) -> Result<(), LoadRepoError> {
+    let path = path.as_ref();
+    fs::write(path, repository_to_string(repo)).map_err(|error| LoadRepoError::Io {
+        path: Some(path.to_path_buf()),
+        error,
+    })
 }
 
 /// Read a repository from `path`.
@@ -229,10 +303,16 @@ pub fn save_repository(repo: &ModelRepository, path: impl AsRef<Path>) -> Result
 /// # Errors
 ///
 /// Returns [`LoadRepoError::Io`] on filesystem errors and
-/// [`LoadRepoError::Parse`] on malformed content.
+/// [`LoadRepoError::Parse`] on malformed content. Both carry `path`, so
+/// a truncated or corrupted file names the file, the line, and the
+/// reason.
 pub fn load_repository(path: impl AsRef<Path>) -> Result<ModelRepository, LoadRepoError> {
-    let text = fs::read_to_string(path).map_err(LoadRepoError::Io)?;
-    repository_from_str(&text)
+    let path = path.as_ref();
+    let text = fs::read_to_string(path).map_err(|error| LoadRepoError::Io {
+        path: Some(path.to_path_buf()),
+        error,
+    })?;
+    repository_from_str(&text).map_err(|e| e.with_path(path))
 }
 
 /// Serialize a content-addressed model cache to the versioned text
@@ -356,7 +436,11 @@ pub fn save_model_cache<'a>(
     entries: impl IntoIterator<Item = (&'a str, &'a CstBbs)>,
     path: impl AsRef<Path>,
 ) -> Result<(), LoadRepoError> {
-    fs::write(path, model_cache_to_string(entries)).map_err(LoadRepoError::Io)
+    let path = path.as_ref();
+    fs::write(path, model_cache_to_string(entries)).map_err(|error| LoadRepoError::Io {
+        path: Some(path.to_path_buf()),
+        error,
+    })
 }
 
 /// Read a model cache from `path`.
@@ -364,10 +448,16 @@ pub fn save_model_cache<'a>(
 /// # Errors
 ///
 /// Returns [`LoadRepoError::Io`] on filesystem errors and
-/// [`LoadRepoError::Parse`] on malformed content.
+/// [`LoadRepoError::Parse`] on malformed content. Both carry `path`, so
+/// a truncated or corrupted cache names the file, the line, and the
+/// reason.
 pub fn load_model_cache(path: impl AsRef<Path>) -> Result<Vec<(String, CstBbs)>, LoadRepoError> {
-    let text = fs::read_to_string(path).map_err(LoadRepoError::Io)?;
-    model_cache_from_str(&text)
+    let path = path.as_ref();
+    let text = fs::read_to_string(path).map_err(|error| LoadRepoError::Io {
+        path: Some(path.to_path_buf()),
+        error,
+    })?;
+    model_cache_from_str(&text).map_err(|e| e.with_path(path))
 }
 
 impl ModelRepository {
@@ -494,6 +584,93 @@ mod tests {
         assert!(model_cache_from_str(&key_after_step).is_err());
         let empty = model_cache_from_str(CACHE_MAGIC).expect("empty cache ok");
         assert!(empty.is_empty());
+    }
+
+    /// Load each corrupt body from a real file and assert the error names
+    /// the file, the 1-based line, and the reason.
+    fn assert_file_error(
+        tag: &str,
+        body: &str,
+        want_line: usize,
+        want_reason: &str,
+        load: impl Fn(&Path) -> Option<LoadRepoError>,
+    ) {
+        let dir = std::env::temp_dir().join(format!("scaguard-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join(format!("{tag}.txt"));
+        std::fs::write(&path, body).expect("write corrupt file");
+        let err = load(&path).unwrap_or_else(|| panic!("{tag}: corrupt file must not load"));
+        assert_eq!(
+            err.path(),
+            Some(path.as_path()),
+            "{tag}: error names the file"
+        );
+        assert_eq!(
+            err.line(),
+            Some(want_line),
+            "{tag}: error names the line: {err}"
+        );
+        let text = err.to_string();
+        assert!(
+            text.contains(&path.display().to_string()),
+            "{tag}: display includes the path: {text}"
+        );
+        assert!(
+            text.contains(&format!(":{want_line}:")),
+            "{tag}: display includes the line: {text}"
+        );
+        assert!(
+            text.contains(want_reason),
+            "{tag}: display includes the reason `{want_reason}`: {text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_repository_files_report_file_line_and_reason() {
+        let load = |p: &Path| load_repository(p).err();
+        // Corrupted header.
+        assert_file_error("repo-header", "scaguard-repo v999\n", 1, "expected", load);
+        // Short record: a step line missing fields.
+        let short = format!("{MAGIC}\nentry FR-F x\nstep 0 0 0 1\nend\n");
+        assert_file_error("repo-short-step", &short, 3, "step needs 6 fields", load);
+        // Bad integer in a step.
+        let bad_int = format!("{MAGIC}\nentry FR-F x\nstep zz!! 0 0 1 0 1\nend\n");
+        assert_file_error("repo-bad-int", &bad_int, 3, "bad address", load);
+        let bad_ts = format!("{MAGIC}\nentry FR-F x\nstep 0 -4 0 1 0 1\nend\n");
+        assert_file_error("repo-bad-ts", &bad_ts, 3, "bad timestamp", load);
+        // Truncated file: entry never terminated.
+        let truncated = format!("{MAGIC}\nentry FR-F x\nstep 0 0 0 1 0 1\n");
+        assert_file_error("repo-truncated", &truncated, 3, "unterminated entry", load);
+    }
+
+    #[test]
+    fn corrupt_model_cache_files_report_file_line_and_reason() {
+        let load = |p: &Path| load_model_cache(p).err();
+        assert_file_error(
+            "cache-header",
+            "scaguard-modelcache v9\n",
+            1,
+            "expected",
+            load,
+        );
+        let short = format!("{CACHE_MAGIC}\nmodel\nkey k\nstep 0 0\nend\n");
+        assert_file_error("cache-short-step", &short, 4, "step needs 6 fields", load);
+        let bad_occ = format!("{CACHE_MAGIC}\nmodel\nkey k\nstep 0 0 0 1 0 nine\nend\n");
+        assert_file_error("cache-bad-num", &bad_occ, 4, "bad occupancy", load);
+        let truncated = format!("{CACHE_MAGIC}\nmodel\nkey k\n");
+        assert_file_error("cache-truncated", &truncated, 3, "unterminated model", load);
+    }
+
+    #[test]
+    fn missing_file_error_names_the_file() {
+        let path = Path::new("/nonexistent/scaguard-no-such-file.repo");
+        let err = load_repository(path).expect_err("missing file");
+        assert_eq!(err.path(), Some(path));
+        assert!(err.to_string().contains("scaguard-no-such-file"));
+        // String-level parsing has no path to report.
+        let err = ModelRepository::from_text("nope").expect_err("bad text");
+        assert_eq!(err.path(), None);
     }
 
     #[test]

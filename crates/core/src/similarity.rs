@@ -13,7 +13,6 @@
 
 use crate::cst::{CstBbs, CstStep};
 
-
 /// Levenshtein (edit) distance between two sequences.
 ///
 /// Identical sequences short-circuit to 0, and a shared prefix/suffix is
@@ -161,9 +160,7 @@ pub fn dtw_with_path<T>(
         for (j, y) in b.iter().enumerate() {
             let c = dist(x, y);
             cost[i * m + j] = c;
-            let best = d[idx(i, j)]
-                .min(d[idx(i, j + 1)])
-                .min(d[idx(i + 1, j)]);
+            let best = d[idx(i, j)].min(d[idx(i, j + 1)]).min(d[idx(i + 1, j)]);
             d[idx(i + 1, j + 1)] = c + best;
         }
     }
@@ -281,7 +278,10 @@ mod tests {
 
     #[test]
     fn levenshtein_is_symmetric() {
-        assert_eq!(levenshtein(b"kitten", b"sitting"), levenshtein(b"sitting", b"kitten"));
+        assert_eq!(
+            levenshtein(b"kitten", b"sitting"),
+            levenshtein(b"sitting", b"kitten")
+        );
     }
 
     #[test]
@@ -359,7 +359,10 @@ mod tests {
         let a = [1.0, 5.0, 2.0, 8.0];
         let b = [1.0, 1.0, 5.0, 2.5, 8.0];
         let (dist, path) = dtw_with_path(&a, &b, d);
-        assert!((dist - dtw(&a, &b, d)).abs() < 1e-12, "path distance agrees");
+        assert!(
+            (dist - dtw(&a, &b, d)).abs() < 1e-12,
+            "path distance agrees"
+        );
         // path cost sums to the distance
         let sum: f64 = path.iter().map(|p| p.cost).sum();
         assert!((sum - dist).abs() < 1e-9);
@@ -399,7 +402,9 @@ mod tests {
     #[test]
     fn similarity_score_range_and_ordering() {
         let a: CstBbs = vec![step(&[load(), flush()], 0.2); 4].into_iter().collect();
-        let near: CstBbs = vec![step(&[load(), flush()], 0.25); 4].into_iter().collect();
+        let near: CstBbs = vec![step(&[load(), flush()], 0.25); 4]
+            .into_iter()
+            .collect();
         let far: CstBbs = vec![step(&[Inst::Nop, Inst::Nop, Inst::Nop], 0.9); 9]
             .into_iter()
             .collect();

@@ -106,7 +106,10 @@ fn cache_distinguishes_cst_cache_geometry() {
     // The execute/graph stage does not read the replay geometry, so the
     // second config reuses the first's stage entry.
     let stats = builder.stats();
-    assert!(stats.stage_hits > 0, "stage cache must be shared: {stats:?}");
+    assert!(
+        stats.stage_hits > 0,
+        "stage cache must be shared: {stats:?}"
+    );
     assert_eq!(stats.misses, 2, "one rebuild per distinct config");
 }
 

@@ -95,7 +95,10 @@ fn classify_emits_all_six_stage_spans() {
 
     // Stage durations are aggregated into histograms under the span name.
     for stage in STAGES {
-        assert!(snap.histograms[stage].count() >= 2, "no histogram for {stage}");
+        assert!(
+            snap.histograms[stage].count() >= 2,
+            "no histogram for {stage}"
+        );
     }
 
     // CST-replay cache bookkeeping: hits + misses equals the number of
@@ -111,7 +114,11 @@ fn classify_emits_all_six_stage_spans() {
     // The FR PoC flushes lines during replay; at least one replay saw them.
     let total_flushes: u64 = snap
         .spans_named("pipeline.model.cst_replay")
-        .map(|s| s.attr("cache_flushes").and_then(|v| v.as_u64()).unwrap_or(0))
+        .map(|s| {
+            s.attr("cache_flushes")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+        })
         .sum();
     assert!(total_flushes > 0, "FR replay must flush lines");
 

@@ -248,7 +248,8 @@ impl Collector {
     }
 
     fn finish(self, cycles: u64, steps: u64, halted: bool) -> Trace {
-        let mut inst_accesses: HashMap<u64, Vec<u64>> = HashMap::with_capacity(self.inst_accesses.len());
+        let mut inst_accesses: HashMap<u64, Vec<u64>> =
+            HashMap::with_capacity(self.inst_accesses.len());
         for (addr, set) in self.inst_accesses {
             let mut v: Vec<u64> = set.into_iter().collect();
             v.sort_unstable();
@@ -376,7 +377,11 @@ impl Machine {
         if victim_program.is_empty() {
             return Err(RunError::EmptyProgram);
         }
-        self.run_inner(program, &Victim::None, Some((victim_program, victim_quantum)))
+        self.run_inner(
+            program,
+            &Victim::None,
+            Some((victim_program, victim_quantum)),
+        )
     }
 
     fn run_inner(
@@ -649,8 +654,11 @@ impl Machine {
         if self.cfg.prefetch == PrefetchPolicy::NextLine && out.full_miss() {
             // Prefetches fill the hierarchy but are not demand accesses:
             // no HPC events, no PT trace entry, no added latency.
-            self.hier
-                .access_data((ea & !(line - 1)).wrapping_add(line), Owner::Attacker, false);
+            self.hier.access_data(
+                (ea & !(line - 1)).wrapping_add(line),
+                Owner::Attacker,
+                false,
+            );
         }
         col.record_access(inst_addr, ea & !(line - 1));
         let set = self.cfg.hierarchy.llc.set_index(ea) as u32;
@@ -659,7 +667,14 @@ impl Machine {
         } else {
             SetAccessKind::Load
         };
-        col.record_set(self.cycles, step, set, ea & !(line - 1), Owner::Attacker, kind);
+        col.record_set(
+            self.cycles,
+            step,
+            set,
+            ea & !(line - 1),
+            Owner::Attacker,
+            kind,
+        );
     }
 
     /// Execute up to `spec_window` wrong-path instructions starting at

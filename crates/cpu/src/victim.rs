@@ -19,8 +19,7 @@
 use sca_cache::{Hierarchy, Owner};
 
 /// A deterministic victim model.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub enum Victim {
     /// No victim: yields are no-ops. Benign programs run with this.
     #[default]
@@ -118,7 +117,6 @@ impl Victim {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

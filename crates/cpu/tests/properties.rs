@@ -98,7 +98,9 @@ fn totals_equal_per_address_sums() {
     let mut rng = SmallRng::seed_from_u64(0xc_b0_001);
     for _ in 0..64 {
         let p = materialize(arb_skeleton(&mut rng));
-        let t = Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
+        let t = Machine::new(bounded_cpu())
+            .run(&p, &Victim::None)
+            .expect("run");
         for e in HpcEvent::ALL {
             let sum: u64 = t.inst_events.values().map(|c| c[e]).sum();
             assert_eq!(sum, t.totals[e], "event {} mismatch", e.name());
@@ -113,7 +115,9 @@ fn trace_keys_are_program_addresses() {
     let mut rng = SmallRng::seed_from_u64(0xc_b0_002);
     for _ in 0..64 {
         let p = materialize(arb_skeleton(&mut rng));
-        let t = Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
+        let t = Machine::new(bounded_cpu())
+            .run(&p, &Victim::None)
+            .expect("run");
         for addr in t.inst_events.keys().chain(t.first_seen.keys()) {
             assert!(p.index_of_addr(*addr).is_some(), "alien address {addr:#x}");
         }
@@ -131,7 +135,11 @@ fn runs_are_deterministic() {
     let mut rng = SmallRng::seed_from_u64(0xc_b0_003);
     for _ in 0..64 {
         let p = materialize(arb_skeleton(&mut rng));
-        let run = || Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
+        let run = || {
+            Machine::new(bounded_cpu())
+                .run(&p, &Victim::None)
+                .expect("run")
+        };
         let (a, b) = (run(), run());
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.steps, b.steps);
@@ -148,7 +156,9 @@ fn traced_accesses_are_line_aligned() {
     let mut rng = SmallRng::seed_from_u64(0xc_b0_004);
     for _ in 0..64 {
         let p = materialize(arb_skeleton(&mut rng));
-        let t = Machine::new(bounded_cpu()).run(&p, &Victim::None).expect("run");
+        let t = Machine::new(bounded_cpu())
+            .run(&p, &Victim::None)
+            .expect("run");
         for accesses in t.inst_accesses.values() {
             for a in accesses {
                 assert_eq!(a % 64, 0, "unaligned traced access {a:#x}");

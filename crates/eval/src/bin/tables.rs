@@ -11,8 +11,8 @@
 use std::process::ExitCode;
 
 use sca_eval::experiments::{
-    bb_identification, classification, noise_robustness, scenario_similarities,
-    threshold_sweep, timing, ClassTask, TaskResult,
+    bb_identification, classification, noise_robustness, scenario_similarities, threshold_sweep,
+    timing, ClassTask, TaskResult,
 };
 use sca_eval::report::{self, pct, render_table};
 use sca_eval::EvalConfig;
@@ -88,7 +88,9 @@ fn print_table_iv(cfg: &EvalConfig) -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|r| {
             vec![
-                r.family.map(|f| f.abbrev().to_string()).unwrap_or_else(|| "Avg.".into()),
+                r.family
+                    .map(|f| f.abbrev().to_string())
+                    .unwrap_or_else(|| "Avg.".into()),
                 r.stats.total.to_string(),
                 r.stats.ground_truth.to_string(),
                 r.stats.identified.to_string(),
@@ -226,7 +228,13 @@ fn print_figure_5(cfg: &EvalConfig) -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         render_table(
             "FIG. 5: classification results of SCAGuard by varying the threshold",
-            &["Threshold", "Precision", "Recall", "F1-Score", ">90% plateau"],
+            &[
+                "Threshold",
+                "Precision",
+                "Recall",
+                "F1-Score",
+                ">90% plateau"
+            ],
             &body,
         )
     );

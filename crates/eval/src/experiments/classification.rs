@@ -69,9 +69,7 @@ impl ClassTask {
     pub fn known_families(self) -> &'static [AttackFamily] {
         match self {
             ClassTask::E1 => &AttackFamily::ALL,
-            ClassTask::E2 | ClassTask::E4 => {
-                &[AttackFamily::FlushReload, AttackFamily::PrimeProbe]
-            }
+            ClassTask::E2 | ClassTask::E4 => &[AttackFamily::FlushReload, AttackFamily::PrimeProbe],
             ClassTask::E3Pp => &[AttackFamily::FlushReload],
             ClassTask::E3Fr => &[AttackFamily::PrimeProbe],
         }
@@ -242,7 +240,8 @@ pub fn run_task(task: ClassTask, cfg: &EvalConfig) -> Result<Vec<TaskResult>, De
         &mut lr as &mut dyn AttackDetector,
         &mut knn as &mut dyn AttackDetector,
     ] {
-        let (scores, confusion) = score_detector(d, &data.ml_train, &data.test, task.binary(), cfg.jobs)?;
+        let (scores, confusion) =
+            score_detector(d, &data.ml_train, &data.test, task.binary(), cfg.jobs)?;
         results.push(TaskResult {
             task,
             approach: d.name().to_string(),
@@ -253,7 +252,8 @@ pub fn run_task(task: ClassTask, cfg: &EvalConfig) -> Result<Vec<TaskResult>, De
 
     // SCADET arms its designated rules from the known-attack set.
     let mut scadet = Scadet::new(cpu);
-    let (scores, confusion) = score_detector(&mut scadet, &data.pocs, &data.test, task.binary(), cfg.jobs)?;
+    let (scores, confusion) =
+        score_detector(&mut scadet, &data.pocs, &data.test, task.binary(), cfg.jobs)?;
     results.push(TaskResult {
         task,
         approach: scadet.name().to_string(),
@@ -263,7 +263,8 @@ pub fn run_task(task: ClassTask, cfg: &EvalConfig) -> Result<Vec<TaskResult>, De
 
     // SCAGuard models one PoC per known type.
     let mut guard = ScaGuardDetector::with_threshold(cfg.modeling.clone(), cfg.threshold);
-    let (scores, confusion) = score_detector(&mut guard, &data.pocs, &data.test, task.binary(), cfg.jobs)?;
+    let (scores, confusion) =
+        score_detector(&mut guard, &data.pocs, &data.test, task.binary(), cfg.jobs)?;
     results.push(TaskResult {
         task,
         approach: guard.name().to_string(),
@@ -291,11 +292,7 @@ pub fn classification(cfg: &EvalConfig) -> Result<Vec<TaskResult>, DetectError> 
 mod tests {
     use super::*;
 
-    fn scores_of<'a>(
-        results: &'a [TaskResult],
-        task: ClassTask,
-        approach: &str,
-    ) -> &'a Scores {
+    fn scores_of<'a>(results: &'a [TaskResult], task: ClassTask, approach: &str) -> &'a Scores {
         &results
             .iter()
             .find(|r| r.task == task && r.approach == approach)
@@ -317,10 +314,7 @@ mod tests {
             guard.recall()
         );
         let scadet = scores_of(&results, ClassTask::E1, "SCADET");
-        assert!(
-            guard.f1() > scadet.f1(),
-            "SCAGuard must beat SCADET on E1"
-        );
+        assert!(guard.f1() > scadet.f1(), "SCAGuard must beat SCADET on E1");
     }
 
     #[test]

@@ -104,10 +104,8 @@ pub fn noise_robustness(cfg: &EvalConfig) -> Result<Vec<RobustnessRow>, DetectEr
     });
 
     // 4x victim noise.
-    let noisy_test: Vec<(Sample, Label)> = base_test
-        .iter()
-        .map(|(s, l)| (noisy(s, 8), *l))
-        .collect();
+    let noisy_test: Vec<(Sample, Label)> =
+        base_test.iter().map(|(s, l)| (noisy(s, 8), *l)).collect();
     rows.push(RobustnessRow {
         scenario: "8 victim noise accesses/yield".into(),
         scores: evaluate(cfg.modeling.clone(), cfg.threshold, &noisy_test, cfg.jobs)?,

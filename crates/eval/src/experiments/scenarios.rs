@@ -88,7 +88,12 @@ mod tests {
         let s: Vec<f64> = rows.iter().map(|r| r.score).collect();
         assert!(s[0] > s[1], "S1 {:.3} must beat S2 {:.3}", s[0], s[1]);
         assert!(s[1] > s[2], "S2 {:.3} must beat S3 {:.3}", s[1], s[2]);
-        assert!(s[2] >= s[3] - 0.05, "S3 {:.3} must not trail S4 {:.3}", s[2], s[3]);
+        assert!(
+            s[2] >= s[3] - 0.05,
+            "S3 {:.3} must not trail S4 {:.3}",
+            s[2],
+            s[3]
+        );
         assert!(s[3] > s[4], "S4 {:.3} must beat S5 {:.3}", s[3], s[4]);
         let threshold = scaguard::Detector::DEFAULT_THRESHOLD;
         assert!(

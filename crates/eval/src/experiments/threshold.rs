@@ -5,8 +5,8 @@ use sca_attacks::dataset::mutated_family;
 use sca_attacks::mutate::MutationConfig;
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{benign, AttackFamily, Label, Sample};
-use scaguard::{Detector, ModelBuilder, ModelRepository};
 use sca_baselines::DetectError;
+use scaguard::{Detector, ModelBuilder, ModelRepository};
 
 use crate::metrics::Scores;
 use crate::EvalConfig;

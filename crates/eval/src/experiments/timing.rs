@@ -85,9 +85,8 @@ pub fn timing(cfg: &EvalConfig) -> Result<Vec<TimingRow>, DetectError> {
             Ok(())
         });
         result?;
-        let span_secs = |name: &str| {
-            snap.spans_named(name).map(|s| s.duration_ns).sum::<u64>() as f64 / 1e9
-        };
+        let span_secs =
+            |name: &str| snap.spans_named(name).map(|s| s.duration_ns).sum::<u64>() as f64 / 1e9;
         rows.push(TimingRow {
             approach,
             train_secs: span_secs("eval.train"),
@@ -106,7 +105,10 @@ mod tests {
         let rows = timing(&EvalConfig::small(2)).expect("timing");
         assert_eq!(rows.len(), 5);
         let names: Vec<&str> = rows.iter().map(|r| r.approach.as_str()).collect();
-        assert_eq!(names, vec!["SVM-NW", "LR-NW", "KNN-MLFM", "SCADET", "SCAGuard"]);
+        assert_eq!(
+            names,
+            vec!["SVM-NW", "LR-NW", "KNN-MLFM", "SCADET", "SCAGuard"]
+        );
         for r in &rows {
             // Registry-derived spans: every approach does real work, so
             // both phases must have recorded nonzero wall time.

@@ -128,14 +128,16 @@ mod tests {
         let t = render_table(
             "T",
             &["a", "bbbb"],
-            &[vec!["xx".into(), "y".into()], vec!["z".into(), "wwwww".into()]],
+            &[
+                vec!["xx".into(), "y".into()],
+                vec!["z".into(), "wwwww".into()],
+            ],
         );
         assert!(t.contains("T\n"));
         assert!(t.contains("xx"));
         let lines: Vec<&str> = t.lines().collect();
         // all data lines have the same width
-        let widths: std::collections::HashSet<usize> =
-            lines[1..].iter().map(|l| l.len()).collect();
+        let widths: std::collections::HashSet<usize> = lines[1..].iter().map(|l| l.len()).collect();
         assert_eq!(widths.len(), 1, "{t}");
     }
 

@@ -79,7 +79,8 @@ fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseAsmError> {
     }
     .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
     let signed = if neg {
-        -(i128::try_from(magnitude).map_err(|_| err(line, format!("immediate overflow `{tok}`")))?)
+        -(i128::try_from(magnitude)
+            .map_err(|_| err(line, format!("immediate overflow `{tok}`")))?)
     } else {
         i128::try_from(magnitude).map_err(|_| err(line, format!("immediate overflow `{tok}`")))?
     };
@@ -107,8 +108,7 @@ fn parse_mem(tok: &str, line: usize) -> Result<MemRef, ParseAsmError> {
             }
             m.index = Some(parse_reg(reg, line)?);
             let s = parse_imm(scale, line)?;
-            m.scale = u8::try_from(s)
-                .map_err(|_| err(line, format!("bad scale `{scale}`")))?;
+            m.scale = u8::try_from(s).map_err(|_| err(line, format!("bad scale `{scale}`")))?;
         } else if term.starts_with('r') {
             if m.base.is_none() {
                 m.base = Some(parse_reg(term, line)?);
@@ -303,10 +303,7 @@ pub fn assemble(name: &str, source: &str) -> Result<Program, ParseAsmError> {
             }
             "jmp" => {
                 arity(1)?;
-                pendings.push((
-                    insts.len(),
-                    Pending::Jmp(label_token(operands[0]), line_no),
-                ));
+                pendings.push((insts.len(), Pending::Jmp(label_token(operands[0]), line_no)));
                 Inst::Jmp { target: 0 }
             }
             m => {
@@ -400,11 +397,8 @@ mod tests {
 
     #[test]
     fn assembles_a_basic_program() {
-        let p = assemble(
-            "t",
-            "mov r1, 0x1000\nld r2, [r1]\nst [r1 + 8], r2\nhalt\n",
-        )
-        .expect("assemble");
+        let p = assemble("t", "mov r1, 0x1000\nld r2, [r1]\nst [r1 + 8], r2\nhalt\n")
+            .expect("assemble");
         assert_eq!(p.len(), 4);
         assert_eq!(
             p.insts()[2],

@@ -279,14 +279,35 @@ mod tests {
     fn parse_roundtrips_display() {
         use crate::inst::{AluOp, Cond, MemRef, Operand, Reg};
         let insts = [
-            Inst::MovImm { dst: Reg::R1, imm: 3 },
-            Inst::Load { dst: Reg::R1, addr: MemRef::abs(0) },
-            Inst::Store { src: Reg::R1, addr: MemRef::abs(0) },
-            Inst::Alu { op: AluOp::Shr, dst: Reg::R1, src: Operand::Reg(Reg::R2) },
-            Inst::Cmp { lhs: Reg::R1, rhs: Operand::Imm(1) },
+            Inst::MovImm {
+                dst: Reg::R1,
+                imm: 3,
+            },
+            Inst::Load {
+                dst: Reg::R1,
+                addr: MemRef::abs(0),
+            },
+            Inst::Store {
+                src: Reg::R1,
+                addr: MemRef::abs(0),
+            },
+            Inst::Alu {
+                op: AluOp::Shr,
+                dst: Reg::R1,
+                src: Operand::Reg(Reg::R2),
+            },
+            Inst::Cmp {
+                lhs: Reg::R1,
+                rhs: Operand::Imm(1),
+            },
             Inst::Jmp { target: 0 },
-            Inst::Br { cond: Cond::Le, target: 0 },
-            Inst::Clflush { addr: MemRef::abs(0) },
+            Inst::Br {
+                cond: Cond::Le,
+                target: 0,
+            },
+            Inst::Clflush {
+                addr: MemRef::abs(0),
+            },
             Inst::Rdtscp { dst: Reg::R0 },
             Inst::VYield,
             Inst::Nop,

@@ -108,8 +108,14 @@ fn normalization_erases_immediates() {
     let mut rng = SmallRng::seed_from_u64(0x15a_002);
     for _ in 0..CASES {
         let r = arb_reg(&mut rng);
-        let x = Inst::MovImm { dst: r, imm: rng.gen() };
-        let y = Inst::MovImm { dst: r, imm: rng.gen() };
+        let x = Inst::MovImm {
+            dst: r,
+            imm: rng.gen(),
+        };
+        let y = Inst::MovImm {
+            dst: r,
+            imm: rng.gen(),
+        };
         assert_eq!(normalize_inst(&x), normalize_inst(&y));
     }
 }
@@ -120,8 +126,14 @@ fn normalization_erases_memory_refs() {
     let mut rng = SmallRng::seed_from_u64(0x15a_003);
     for _ in 0..CASES {
         let r = arb_reg(&mut rng);
-        let x = Inst::Load { dst: r, addr: arb_mem(&mut rng) };
-        let y = Inst::Load { dst: r, addr: arb_mem(&mut rng) };
+        let x = Inst::Load {
+            dst: r,
+            addr: arb_mem(&mut rng),
+        };
+        let y = Inst::Load {
+            dst: r,
+            addr: arb_mem(&mut rng),
+        };
         assert_eq!(normalize_inst(&x), normalize_inst(&y));
     }
 }

@@ -1,0 +1,127 @@
+//! A blocking client for the `sca-serve` wire protocol.
+//!
+//! One [`Client`] is one connection; requests are answered in order, so
+//! a client is also the simplest way to script a server from tests or
+//! from `scaguard submit`.
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sca_telemetry::Json;
+
+use crate::protocol::{read_frame, write_frame, Request};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one raw frame and read the response frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, an unexpectedly closed connection, or a
+    /// response that is not valid JSON.
+    pub fn request(&mut self, frame: &Json) -> io::Result<Json> {
+        write_frame(&mut self.writer, frame)?;
+        let line = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Json::parse(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Send one [`Request`] and read the response frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn send(&mut self, request: &Request) -> io::Result<Json> {
+        self.request(&request.to_json())
+    }
+
+    /// Classify `program` (assembly source) against the loaded repository.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn classify(&mut self, name: &str, program: &str, victim: &str) -> io::Result<Json> {
+        self.send(&Request::Classify {
+            name: name.into(),
+            program: program.into(),
+            victim: victim.into(),
+            threshold: None,
+            deadline_ms: None,
+            debug_sleep_ms: 0,
+        })
+    }
+
+    /// Build and fetch `program`'s CST-BBS model text.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn model(&mut self, name: &str, program: &str, victim: &str) -> io::Result<Json> {
+        self.send(&Request::Model {
+            name: name.into(),
+            program: program.into(),
+            victim: victim.into(),
+            deadline_ms: None,
+            debug_sleep_ms: 0,
+        })
+    }
+
+    /// Fetch server statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.send(&Request::Stats)
+    }
+
+    /// Reload the repository (from `path`, or the server's own file).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn reload_repo(&mut self, path: Option<&str>) -> io::Result<Json> {
+        self.send(&Request::ReloadRepo {
+            path: path.map(str::to_string),
+        })
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn ping(&mut self) -> io::Result<Json> {
+        self.send(&Request::Ping)
+    }
+
+    /// Ask the server to stop.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.send(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,38 @@
+//! # sca-serve — a resident SCAGuard detection service
+//!
+//! The offline `scaguard classify` pays the full pipeline on every
+//! invocation: process startup, repository load, model build, similarity
+//! engine preparation. This crate keeps all of that resident in one
+//! process — a warm content-addressed [`ModelBuilder`] and a prepared
+//! [`Detector`] — behind a small TCP protocol of newline-delimited JSON
+//! frames, so repeated classifications pay only the incremental work.
+//!
+//! The server is std-only (threads, `TcpListener`, `Mutex`/`Condvar`)
+//! and built from three pieces:
+//!
+//! - [`protocol`] — the wire format: requests, response frames, error
+//!   kinds, and frame I/O. Detections on the wire are rendered by
+//!   [`scaguard::detection_json`], byte-identical to
+//!   `scaguard classify --json`.
+//! - [`queue`] — a bounded admission queue. Full queue ⇒ the request is
+//!   shed with an explicit `overloaded` response (admission control,
+//!   never unbounded backlog).
+//! - [`server`] — the acceptor, per-connection handlers, and the fixed
+//!   worker pool; plus hot repository reload (atomic `Arc` swap — each
+//!   request is answered by exactly one repository generation) and
+//!   deadline propagation into the engine's bounded-DTW hook.
+//!
+//! [`client`] is the matching blocking client, used by `scaguard
+//! submit`, the integration tests, and the serve benchmark.
+//!
+//! [`ModelBuilder`]: scaguard::ModelBuilder
+//! [`Detector`]: scaguard::Detector
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{Request, PROTOCOL_VERSION};
+pub use server::{spawn, ServeConfig, ServeError, ServerHandle, StatsSnapshot};

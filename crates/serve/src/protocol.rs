@@ -1,0 +1,395 @@
+//! The `sca-serve` wire protocol: newline-delimited JSON frames.
+//!
+//! Every request and every response is one JSON object on one line
+//! (NDJSON), so any language with a socket and a JSON parser can talk to
+//! the server, and transcripts can be replayed with `nc`. Requests carry
+//! a `"cmd"` discriminator; responses carry `"ok"` plus either the
+//! result fields or an `"error"` object with a machine-readable `kind`:
+//!
+//! ```text
+//! -> {"cmd":"classify","name":"fr","program":"  mov r1, 7\n  halt\n","victim":"shared:3"}
+//! <- {"ok":true,"repo":{"generation":1,"entries":4},"detection":{...}}
+//! -> {"cmd":"stats"}
+//! <- {"ok":true,"stats":{"received":2,"completed":1,...}}
+//! -> nonsense
+//! <- {"ok":false,"error":{"kind":"bad_request","message":"invalid JSON frame: ..."}}
+//! ```
+//!
+//! Malformed frames always get a structured `bad_request` error instead
+//! of a dropped connection; the connection stays usable for the next
+//! frame. The `detection` object of a `classify` response is rendered by
+//! [`scaguard::detection_json`] — byte-identical to what the offline
+//! `scaguard classify --json` prints for the same target.
+
+use std::io::{self, BufRead, Write};
+
+use sca_cpu::Victim;
+use sca_telemetry::Json;
+
+/// Protocol version reported by `ping`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Base address of the shared victim region (matches the CLI).
+pub const SHARED_BASE: u64 = 0x1000_0000;
+/// Base address of the set-conflict victim region (matches the CLI).
+pub const CONFLICT_BASE: u64 = 0x5000_0000;
+/// Cache-line size victims are laid out on.
+pub const CACHE_LINE: u64 = 64;
+
+/// `kind` of the error returned for unparseable or invalid frames.
+pub const KIND_BAD_REQUEST: &str = "bad_request";
+/// `kind` of the error returned when the admission queue is full.
+pub const KIND_OVERLOADED: &str = "overloaded";
+/// `kind` of the error returned when a request's deadline passes.
+pub const KIND_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+/// `kind` of the error returned when the modeling pipeline fails.
+pub const KIND_MODEL_ERROR: &str = "model_error";
+/// `kind` of the error returned when a repository reload fails.
+pub const KIND_RELOAD_FAILED: &str = "reload_failed";
+/// `kind` of the error returned for work submitted during shutdown.
+pub const KIND_SHUTTING_DOWN: &str = "shutting_down";
+
+/// Parse a victim spec (`none`, `shared:<secret>`, `conflict:<secret>`)
+/// into a [`Victim`] — the same mapping the CLI uses, so a spec means
+/// the same thing over the wire and on the command line.
+///
+/// # Errors
+///
+/// Returns a description of the malformed spec.
+pub fn parse_victim(spec: &str) -> Result<Victim, String> {
+    if spec == "none" {
+        return Ok(Victim::None);
+    }
+    let (kind, secret) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad victim spec `{spec}` (expected kind:secret)"))?;
+    let secret: u64 = secret
+        .parse()
+        .map_err(|e| format!("bad victim secret `{secret}`: {e}"))?;
+    match kind {
+        "shared" => Ok(Victim::shared_memory(SHARED_BASE, CACHE_LINE, vec![secret])),
+        "conflict" => Ok(Victim::set_conflict(
+            CONFLICT_BASE,
+            CACHE_LINE,
+            vec![secret],
+        )),
+        other => Err(format!("unknown victim kind `{other}`")),
+    }
+}
+
+/// One request frame, parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Classify an assembly program against the loaded repository.
+    Classify {
+        /// Program name (reported back in the detection).
+        name: String,
+        /// The program's assembly source.
+        program: String,
+        /// Victim spec (see [`parse_victim`]).
+        victim: String,
+        /// Per-request threshold override.
+        threshold: Option<f64>,
+        /// Per-request deadline in milliseconds (overrides the server
+        /// default).
+        deadline_ms: Option<u64>,
+        /// Load-generator hook: sleep this long on the worker before
+        /// doing any work. Used by tests and the bench to create
+        /// controlled backlogs; zero in production traffic.
+        debug_sleep_ms: u64,
+    },
+    /// Build and return a program's CST-BBS model (canonical text form).
+    Model {
+        /// Program name.
+        name: String,
+        /// The program's assembly source.
+        program: String,
+        /// Victim spec.
+        victim: String,
+        /// Per-request deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Load-generator hook, as in [`Request::Classify`].
+        debug_sleep_ms: u64,
+    },
+    /// Atomically swap in a repository from disk (the server's own path
+    /// when `path` is `None`).
+    ReloadRepo {
+        /// Path to load; defaults to the currently loaded file.
+        path: Option<String>,
+    },
+    /// Server statistics.
+    Stats,
+    /// Liveness / version probe.
+    Ping,
+    /// Stop accepting work and exit.
+    Shutdown,
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => j
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => j
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a number")),
+    }
+}
+
+impl Request {
+    /// Parse one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of what is malformed; the
+    /// server wraps it in a [`KIND_BAD_REQUEST`] error frame.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("invalid JSON frame: {e}"))?;
+        let cmd = req_str(&v, "cmd")?;
+        match cmd.as_str() {
+            "classify" => Ok(Request::Classify {
+                name: req_str(&v, "name").unwrap_or_else(|_| "program".into()),
+                program: req_str(&v, "program")?,
+                victim: req_str(&v, "victim").unwrap_or_else(|_| "none".into()),
+                threshold: opt_f64(&v, "threshold")?,
+                deadline_ms: opt_u64(&v, "deadline_ms")?,
+                debug_sleep_ms: opt_u64(&v, "debug_sleep_ms")?.unwrap_or(0),
+            }),
+            "model" => Ok(Request::Model {
+                name: req_str(&v, "name").unwrap_or_else(|_| "program".into()),
+                program: req_str(&v, "program")?,
+                victim: req_str(&v, "victim").unwrap_or_else(|_| "none".into()),
+                deadline_ms: opt_u64(&v, "deadline_ms")?,
+                debug_sleep_ms: opt_u64(&v, "debug_sleep_ms")?.unwrap_or(0),
+            }),
+            "reload-repo" => Ok(Request::ReloadRepo {
+                path: v.get("path").and_then(Json::as_str).map(str::to_string),
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd `{other}`")),
+        }
+    }
+
+    /// Render the request as its wire frame (the client side of
+    /// [`Request::parse`]).
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        let push_opt_u64 = |fields: &mut Vec<(String, Json)>, k: &str, v: Option<u64>| {
+            if let Some(v) = v {
+                fields.push((k.into(), Json::Num(v as f64)));
+            }
+        };
+        match self {
+            Request::Classify {
+                name,
+                program,
+                victim,
+                threshold,
+                deadline_ms,
+                debug_sleep_ms,
+            } => {
+                fields.push(("cmd".into(), Json::Str("classify".into())));
+                fields.push(("name".into(), Json::Str(name.clone())));
+                fields.push(("program".into(), Json::Str(program.clone())));
+                fields.push(("victim".into(), Json::Str(victim.clone())));
+                if let Some(t) = threshold {
+                    fields.push(("threshold".into(), Json::Num(*t)));
+                }
+                push_opt_u64(&mut fields, "deadline_ms", *deadline_ms);
+                if *debug_sleep_ms > 0 {
+                    push_opt_u64(&mut fields, "debug_sleep_ms", Some(*debug_sleep_ms));
+                }
+            }
+            Request::Model {
+                name,
+                program,
+                victim,
+                deadline_ms,
+                debug_sleep_ms,
+            } => {
+                fields.push(("cmd".into(), Json::Str("model".into())));
+                fields.push(("name".into(), Json::Str(name.clone())));
+                fields.push(("program".into(), Json::Str(program.clone())));
+                fields.push(("victim".into(), Json::Str(victim.clone())));
+                push_opt_u64(&mut fields, "deadline_ms", *deadline_ms);
+                if *debug_sleep_ms > 0 {
+                    push_opt_u64(&mut fields, "debug_sleep_ms", Some(*debug_sleep_ms));
+                }
+            }
+            Request::ReloadRepo { path } => {
+                fields.push(("cmd".into(), Json::Str("reload-repo".into())));
+                if let Some(p) = path {
+                    fields.push(("path".into(), Json::Str(p.clone())));
+                }
+            }
+            Request::Stats => fields.push(("cmd".into(), Json::Str("stats".into()))),
+            Request::Ping => fields.push(("cmd".into(), Json::Str("ping".into()))),
+            Request::Shutdown => fields.push(("cmd".into(), Json::Str("shutdown".into()))),
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A `{"ok":false,"error":{"kind":...,"message":...}}` frame.
+pub fn error_frame(kind: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str(kind.into())),
+                ("message".into(), Json::Str(message.into())),
+            ]),
+        ),
+    ])
+}
+
+/// A `{"ok":true, ...fields}` frame.
+pub fn ok_frame(fields: Vec<(String, Json)>) -> Json {
+    let mut obj = vec![("ok".into(), Json::Bool(true))];
+    obj.extend(fields);
+    Json::Obj(obj)
+}
+
+/// The `kind` of an error frame, if `frame` is one.
+pub fn error_kind(frame: &Json) -> Option<&str> {
+    if frame.get("ok") == Some(&Json::Bool(false)) {
+        frame.get("error")?.get("kind")?.as_str()
+    } else {
+        None
+    }
+}
+
+/// Whether `frame` reports success.
+pub fn is_ok(frame: &Json) -> bool {
+    frame.get("ok") == Some(&Json::Bool(true))
+}
+
+/// Read one newline-terminated frame; `None` at end of stream.
+///
+/// # Errors
+///
+/// Propagates transport errors from the reader.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Write one frame followed by a newline and flush.
+///
+/// # Errors
+///
+/// Propagates transport errors from the writer.
+pub fn write_frame(w: &mut impl Write, frame: &Json) -> io::Result<()> {
+    // Render the whole frame first: formatting straight into an
+    // unbuffered socket turns every `Display` fragment into a syscall
+    // (and with TCP_NODELAY, potentially a packet).
+    let mut line = frame.to_string();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_round_trips_through_the_wire_format() {
+        let req = Request::Classify {
+            name: "fr-mastik".into(),
+            program: "  mov r1, 7\n  halt\n".into(),
+            victim: "shared:3".into(),
+            threshold: Some(0.25),
+            deadline_ms: Some(500),
+            debug_sleep_ms: 10,
+        };
+        let line = req.to_json().to_string();
+        assert_eq!(Request::parse(&line), Ok(req));
+    }
+
+    #[test]
+    fn every_control_request_round_trips() {
+        for req in [
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+            Request::ReloadRepo { path: None },
+            Request::ReloadRepo {
+                path: Some("/tmp/x.repo".into()),
+            },
+            Request::Model {
+                name: "m".into(),
+                program: "  halt\n".into(),
+                victim: "none".into(),
+                deadline_ms: None,
+                debug_sleep_ms: 0,
+            },
+        ] {
+            let line = req.to_json().to_string();
+            assert_eq!(Request::parse(&line), Ok(req));
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_described() {
+        assert!(Request::parse("not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
+        assert!(Request::parse("{}").unwrap_err().contains("`cmd`"));
+        assert!(Request::parse("{\"cmd\":\"nope\"}")
+            .unwrap_err()
+            .contains("unknown cmd"));
+        assert!(Request::parse("{\"cmd\":\"classify\"}")
+            .unwrap_err()
+            .contains("`program`"));
+        assert!(
+            Request::parse("{\"cmd\":\"classify\",\"program\":\"x\",\"deadline_ms\":-4}")
+                .unwrap_err()
+                .contains("deadline_ms")
+        );
+    }
+
+    #[test]
+    fn victim_specs_parse_like_the_cli() {
+        assert!(matches!(parse_victim("none"), Ok(Victim::None)));
+        assert!(parse_victim("shared:3").is_ok());
+        assert!(parse_victim("conflict:7").is_ok());
+        assert!(parse_victim("wat").is_err());
+        assert!(parse_victim("shared:x").is_err());
+    }
+
+    #[test]
+    fn frames_helpers() {
+        let err = error_frame(KIND_OVERLOADED, "queue full");
+        assert!(!is_ok(&err));
+        assert_eq!(error_kind(&err), Some(KIND_OVERLOADED));
+        let ok = ok_frame(vec![("pong".into(), Json::Bool(true))]);
+        assert!(is_ok(&ok));
+        assert_eq!(error_kind(&ok), None);
+    }
+}

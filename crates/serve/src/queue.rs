@@ -1,0 +1,156 @@
+//! A bounded MPMC admission queue built on `Mutex` + `Condvar`.
+//!
+//! Producers (connection handlers) never block: [`BoundedQueue::try_push`]
+//! either admits the item or hands it straight back, which is what lets
+//! the server shed load with an explicit `overloaded` response instead of
+//! building an unbounded backlog. Consumers (workers) block in
+//! [`BoundedQueue::pop`] until work arrives or the queue is closed and
+//! drained.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A fixed-capacity queue with non-blocking admission and blocking pop.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // Queue state is a plain VecDeque + flag; a panicked holder
+        // cannot leave it torn, so poisoning is safe to ignore.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admit `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Hands `item` back when the queue is full or closed; the caller
+    /// sheds it. On success returns the queue depth *after* admission
+    /// (for telemetry).
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut inner = self.lock();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available or the queue is closed and
+    /// drained (`None`). Items already admitted before [`close`] are
+    /// still handed out, so closing never drops accepted work.
+    ///
+    /// [`close`]: BoundedQueue::close
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Refuse new admissions and wake every blocked consumer once the
+    /// remaining items drain.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_until_full_then_shed() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_admitted_items_then_returns_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err("c"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.try_push(7u32).unwrap();
+        q.close();
+        let got: Vec<Option<u32>> = consumers.into_iter().map(|c| c.join().unwrap()).collect();
+        assert_eq!(got.iter().filter(|g| g.is_some()).count(), 1);
+        assert_eq!(got.iter().filter(|g| g.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Err(2));
+    }
+}

@@ -1,0 +1,606 @@
+//! The resident detection server.
+//!
+//! One process owns the expensive state — a warm [`ModelBuilder`] whose
+//! content-addressed cache persists across requests, and a [`Detector`]
+//! whose similarity engine keeps the repository's models interned — and
+//! serves classification over TCP. The offline CLI pays the full
+//! pipeline (repository load, model build, engine preparation) on every
+//! invocation; the server pays it once.
+//!
+//! Architecture:
+//!
+//! ```text
+//! acceptor ──> handler (one per connection)
+//!                │  control frames (ping/stats/reload/shutdown): inline
+//!                │  work frames (classify/model): admission queue
+//!                ▼
+//!        BoundedQueue ──> worker pool ──> reply channel ──> handler
+//! ```
+//!
+//! - **Admission control**: the queue is bounded; when it is full the
+//!   handler sheds the request with an explicit `overloaded` error
+//!   instead of queueing unboundedly or stalling the connection.
+//! - **Deadline propagation**: a request deadline (per-request
+//!   `deadline_ms` or the server default) is fixed at admission and
+//!   propagated into the engine's bounded-DTW hook, so an expired
+//!   request aborts mid-scan. The deadline only ever aborts — a
+//!   detection that comes back is bitwise identical to the offline one.
+//! - **Hot reload**: `reload-repo` builds the new [`Detector`] off to
+//!   the side and swaps it in atomically (an `Arc` swap under a brief
+//!   mutex). Workers snapshot the `Arc` at admission, so every response
+//!   is computed against exactly one repository generation and in-flight
+//!   work is never drained or mixed.
+
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use sca_telemetry::Json;
+use scaguard::persist::LoadRepoError;
+use scaguard::{
+    detection_json, load_repository, model_text, Detector, ModelBuilder, ModelingConfig,
+};
+
+use crate::protocol::{
+    self, error_frame, ok_frame, parse_victim, read_frame, write_frame, Request, KIND_BAD_REQUEST,
+    KIND_DEADLINE_EXCEEDED, KIND_MODEL_ERROR, KIND_OVERLOADED, KIND_RELOAD_FAILED,
+    KIND_SHUTTING_DOWN, PROTOCOL_VERSION,
+};
+use crate::queue::BoundedQueue;
+
+/// Server configuration; see the field docs for defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` by default: loopback, ephemeral
+    /// port — read the bound address from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker-pool size (default 4).
+    pub workers: usize,
+    /// Admission-queue capacity (default 64); requests beyond it are
+    /// shed with an `overloaded` response.
+    pub queue_depth: usize,
+    /// Default per-request deadline; `None` (the default) means no
+    /// deadline unless the request carries its own `deadline_ms`.
+    pub deadline_ms: Option<u64>,
+    /// Detection threshold (default [`Detector::DEFAULT_THRESHOLD`]).
+    pub threshold: f64,
+    /// The repository file to load (and to re-read on `reload-repo`
+    /// without an explicit path).
+    pub repo_path: PathBuf,
+}
+
+impl ServeConfig {
+    /// A default configuration serving `repo_path`.
+    pub fn new(repo_path: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            deadline_ms: None,
+            threshold: Detector::DEFAULT_THRESHOLD,
+            repo_path: repo_path.into(),
+        }
+    }
+}
+
+/// Failure to start the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket setup failed.
+    Io(io::Error),
+    /// The repository file could not be loaded.
+    Repo(LoadRepoError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "cannot start server: {e}"),
+            ServeError::Repo(e) => write!(f, "cannot load repository: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Repo(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+impl From<LoadRepoError> for ServeError {
+    fn from(e: LoadRepoError) -> ServeError {
+        ServeError::Repo(e)
+    }
+}
+
+/// One loaded repository: the detector plus its provenance. Immutable
+/// once published; `reload-repo` publishes a *new* `RepoState` and
+/// in-flight work keeps its admission-time snapshot.
+struct RepoState {
+    generation: u64,
+    path: PathBuf,
+    detector: Detector,
+}
+
+impl RepoState {
+    fn json(&self) -> Json {
+        Json::Obj(vec![
+            ("generation".into(), Json::Num(self.generation as f64)),
+            (
+                "entries".into(),
+                Json::Num(self.detector.repository().len() as f64),
+            ),
+            ("path".into(), Json::Str(self.path.display().to_string())),
+        ])
+    }
+}
+
+/// Monotonic server counters (lock-free; read by `stats`).
+#[derive(Debug, Default)]
+struct Counters {
+    received: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    errors: AtomicU64,
+    reloads: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Work requests admitted or shed (classify + model).
+    pub received: u64,
+    /// Work requests answered with a detection or model.
+    pub completed: u64,
+    /// Work requests shed because the admission queue was full.
+    pub shed: u64,
+    /// Work requests that ran out of deadline (before or during the scan).
+    pub deadline_exceeded: u64,
+    /// Work requests answered with `bad_request` / `model_error`.
+    pub errors: u64,
+    /// Successful `reload-repo` commands.
+    pub reloads: u64,
+}
+
+/// One admitted unit of work. The `repo` snapshot is taken at admission:
+/// whatever generation was live when the request was accepted is the
+/// generation that answers it, regardless of concurrent reloads.
+struct Job {
+    request: Request,
+    repo: Arc<RepoState>,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Json>,
+}
+
+/// State shared by the acceptor, handlers, and workers.
+struct Shared {
+    config: ServeConfig,
+    builder: ModelBuilder,
+    repo: Mutex<Arc<RepoState>>,
+    queue: BoundedQueue<Job>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn repo_snapshot(&self) -> Arc<RepoState> {
+        Arc::clone(&self.repo.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            received: self.counters.received.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.counters.deadline_exceeded.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            reloads: self.counters.reloads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Begin shutdown: refuse new work, let queued work drain, wake the
+    /// acceptor with a self-connection.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // The acceptor blocks in `accept`; a throwaway connection wakes
+        // it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server: its bound address plus the thread handles.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A snapshot of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats()
+    }
+
+    /// Ask the server to stop: no new work is admitted, queued work
+    /// drains, then the pool exits. Follow with [`ServerHandle::join`].
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the acceptor and every worker to exit.
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Start a server for `config`: load the repository, bind the listener,
+/// spawn the worker pool and the acceptor. Returns as soon as the
+/// server is ready to accept connections.
+///
+/// # Errors
+///
+/// [`ServeError::Repo`] when the repository file cannot be loaded
+/// (the error names the file, line, and reason); [`ServeError::Io`]
+/// when the listen address cannot be bound.
+pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    let repo = load_repository(&config.repo_path)?;
+    let detector = Detector::new(repo, config.threshold);
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        builder: ModelBuilder::new(&ModelingConfig::default()),
+        repo: Mutex::new(Arc::new(RepoState {
+            generation: 1,
+            path: config.repo_path.clone(),
+            detector,
+        })),
+        queue: BoundedQueue::new(config.queue_depth),
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+        addr,
+        config,
+    });
+
+    let pool: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("sca-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("sca-serve-acceptor".into())
+            .spawn(move || acceptor_loop(&listener, &shared))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+        workers: pool,
+    })
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Without NODELAY, Nagle + delayed ACK adds ~40ms to every
+        // small response frame.
+        let _ = stream.set_nodelay(true);
+        let shared = Arc::clone(shared);
+        // Handlers are detached: they die with their connection, and
+        // shutdown only needs the acceptor + workers to stop.
+        let _ = thread::Builder::new()
+            .name("sca-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &shared);
+            });
+    }
+}
+
+/// Serve one connection: read frames until EOF, answering each one.
+/// Malformed frames get a structured `bad_request` response and the
+/// connection stays open — a client typo never costs the session.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(line) = read_frame(&mut reader)? {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = match Request::parse(&line) {
+            Err(e) => error_frame(KIND_BAD_REQUEST, &e),
+            // Acknowledge shutdown *before* initiating it: once the
+            // worker pool unwinds the whole process may exit (CLI
+            // `serve`), and a detached handler must not race its reply
+            // against that exit.
+            Ok(Request::Shutdown) => {
+                write_frame(
+                    &mut writer,
+                    &ok_frame(vec![("stopping".into(), Json::Bool(true))]),
+                )?;
+                shared.begin_shutdown();
+                continue;
+            }
+            Ok(req) => dispatch(req, shared),
+        };
+        write_frame(&mut writer, &frame)?;
+    }
+    Ok(())
+}
+
+/// Answer one request: control commands inline, work through the queue.
+fn dispatch(request: Request, shared: &Arc<Shared>) -> Json {
+    match request {
+        Request::Ping => ok_frame(vec![
+            ("pong".into(), Json::Bool(true)),
+            ("protocol".into(), Json::Num(PROTOCOL_VERSION as f64)),
+        ]),
+        Request::Stats => stats_frame(shared),
+        Request::ReloadRepo { path } => reload_repo(shared, path.as_deref()),
+        // Intercepted by the connection handler (the ack must be written
+        // before shutdown begins); kept for completeness.
+        Request::Shutdown => ok_frame(vec![("stopping".into(), Json::Bool(true))]),
+        work @ (Request::Classify { .. } | Request::Model { .. }) => submit(work, shared),
+    }
+}
+
+fn stats_frame(shared: &Arc<Shared>) -> Json {
+    let s = shared.stats();
+    let repo = shared.repo_snapshot();
+    let num = |v: u64| Json::Num(v as f64);
+    ok_frame(vec![
+        (
+            "stats".into(),
+            Json::Obj(vec![
+                ("received".into(), num(s.received)),
+                ("completed".into(), num(s.completed)),
+                ("shed".into(), num(s.shed)),
+                ("deadline_exceeded".into(), num(s.deadline_exceeded)),
+                ("errors".into(), num(s.errors)),
+                ("reloads".into(), num(s.reloads)),
+                ("queue_depth".into(), num(shared.queue.depth() as u64)),
+                ("queue_capacity".into(), num(shared.queue.capacity() as u64)),
+                ("workers".into(), num(shared.config.workers.max(1) as u64)),
+                (
+                    "model_cache_entries".into(),
+                    num(shared.builder.len() as u64),
+                ),
+            ]),
+        ),
+        ("repo".into(), repo.json()),
+    ])
+}
+
+/// Load a repository (the configured path unless the request named one)
+/// and atomically publish it as the next generation. On failure the
+/// current repository stays live and the error — with file, line, and
+/// reason — goes back to the client.
+fn reload_repo(shared: &Arc<Shared>, path: Option<&str>) -> Json {
+    let current = shared.repo_snapshot();
+    let path: PathBuf = path.map_or_else(|| current.path.clone(), PathBuf::from);
+    let repo = match load_repository(&path) {
+        Ok(repo) => repo,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return error_frame(KIND_RELOAD_FAILED, &e.to_string());
+        }
+    };
+    let detector = Detector::new(repo, shared.config.threshold);
+    let mut slot = shared.repo.lock().unwrap_or_else(|e| e.into_inner());
+    let next = Arc::new(RepoState {
+        generation: slot.generation + 1,
+        path,
+        detector,
+    });
+    *slot = Arc::clone(&next);
+    drop(slot);
+    shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
+    sca_telemetry::counter("serve.reloads", 1);
+    ok_frame(vec![("repo".into(), next.json())])
+}
+
+/// Admit a work request onto the queue (or shed it) and wait for the
+/// worker's reply.
+fn submit(request: Request, shared: &Arc<Shared>) -> Json {
+    shared.counters.received.fetch_add(1, Ordering::Relaxed);
+    sca_telemetry::counter("serve.requests", 1);
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return error_frame(KIND_SHUTTING_DOWN, "server is shutting down");
+    }
+    let deadline_ms = match &request {
+        Request::Classify { deadline_ms, .. } | Request::Model { deadline_ms, .. } => {
+            deadline_ms.or(shared.config.deadline_ms)
+        }
+        _ => None,
+    };
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        request,
+        repo: shared.repo_snapshot(),
+        deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        enqueued: Instant::now(),
+        reply: tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => sca_telemetry::record("serve.queue_depth", depth as u64),
+        Err(_) => {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            sca_telemetry::counter("serve.shed", 1);
+            return error_frame(
+                KIND_OVERLOADED,
+                &format!(
+                    "admission queue full ({} queued); retry later",
+                    shared.queue.capacity()
+                ),
+            );
+        }
+    }
+    match rx.recv() {
+        Ok(frame) => frame,
+        // The worker pool exited with the job still queued (shutdown
+        // race): the sender side was dropped without an answer.
+        Err(_) => error_frame(KIND_SHUTTING_DOWN, "server is shutting down"),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let mut sp = sca_telemetry::span("serve.request");
+        sca_telemetry::record(
+            "serve.queue_wait_ns",
+            job.enqueued.elapsed().as_nanos() as u64,
+        );
+        let frame = execute(shared, &job);
+        if sp.is_recording() {
+            sp.attr("ok", protocol::is_ok(&frame));
+        }
+        sca_telemetry::record("serve.latency_ns", job.enqueued.elapsed().as_nanos() as u64);
+        // A handler that hung up (client disconnect) makes this a no-op.
+        let _ = job.reply.send(frame);
+    }
+}
+
+/// Run one admitted job to an answer frame. Counter bookkeeping for the
+/// terminal states (completed / deadline / error) happens here so the
+/// `stats` command reflects worker outcomes, not admission outcomes.
+fn execute(shared: &Arc<Shared>, job: &Job) -> Json {
+    let fail = |kind: &str, message: &str| {
+        let c = if kind == KIND_DEADLINE_EXCEEDED {
+            &shared.counters.deadline_exceeded
+        } else {
+            &shared.counters.errors
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+        if kind == KIND_DEADLINE_EXCEEDED {
+            sca_telemetry::counter("serve.deadline_exceeded", 1);
+        }
+        error_frame(kind, message)
+    };
+
+    let expired = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
+    if expired(job.deadline) {
+        return fail(KIND_DEADLINE_EXCEEDED, "deadline passed while queued");
+    }
+
+    let (name, source, victim_spec, sleep_ms) = match &job.request {
+        Request::Classify {
+            name,
+            program,
+            victim,
+            debug_sleep_ms,
+            ..
+        }
+        | Request::Model {
+            name,
+            program,
+            victim,
+            debug_sleep_ms,
+            ..
+        } => (name, program, victim, *debug_sleep_ms),
+        // Control requests are answered inline by the handler and never
+        // reach the queue.
+        _ => return fail(KIND_BAD_REQUEST, "not a work request"),
+    };
+
+    if sleep_ms > 0 {
+        thread::sleep(Duration::from_millis(sleep_ms));
+        if expired(job.deadline) {
+            return fail(KIND_DEADLINE_EXCEEDED, "deadline passed during debug sleep");
+        }
+    }
+
+    let victim = match parse_victim(victim_spec) {
+        Ok(v) => v,
+        Err(e) => return fail(KIND_BAD_REQUEST, &e),
+    };
+    let program = match sca_isa::assemble(name, source) {
+        Ok(p) => p,
+        Err(e) => return fail(KIND_BAD_REQUEST, &format!("assembly failed: {e}")),
+    };
+    let model = match shared.builder.build_cst(&program, &victim) {
+        Ok(m) => m,
+        Err(e) => return fail(KIND_MODEL_ERROR, &e.to_string()),
+    };
+
+    let frame = match &job.request {
+        Request::Model { .. } => ok_frame(vec![
+            ("repo".into(), job.repo.json()),
+            ("model".into(), Json::Str(model_text(&model))),
+            ("steps".into(), Json::Num(model.steps().len() as f64)),
+        ]),
+        Request::Classify { threshold, .. } => {
+            if let Some(t) = threshold {
+                if !(0.0..=1.0).contains(t) {
+                    return fail(KIND_BAD_REQUEST, &format!("threshold out of range: {t}"));
+                }
+            }
+            let detection = match job.deadline {
+                Some(d) => match job.repo.detector.classify_model_deadline(&model, d) {
+                    Ok(detection) => detection,
+                    Err(_) => {
+                        return fail(
+                            KIND_DEADLINE_EXCEEDED,
+                            "deadline passed during similarity scan",
+                        )
+                    }
+                },
+                None => job.repo.detector.classify_model(&model),
+            };
+            let mut detection = detection;
+            if let Some(t) = threshold {
+                // The threshold gates only the verdict, never the scan:
+                // scores are identical for every threshold, so a
+                // per-request override is exact.
+                detection.threshold = *t;
+            }
+            ok_frame(vec![
+                ("repo".into(), job.repo.json()),
+                ("detection".into(), detection_json(name, &detection)),
+            ])
+        }
+        _ => unreachable!("filtered above"),
+    };
+    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    sca_telemetry::counter("serve.completed", 1);
+    frame
+}

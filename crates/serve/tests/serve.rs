@@ -1,0 +1,438 @@
+//! End-to-end tests for the resident detection service: wire/offline
+//! byte-identity, admission control under load, deadline enforcement,
+//! atomic hot reload, and protocol robustness.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::{AttackFamily, Sample};
+use sca_serve::protocol::{
+    self, error_kind, is_ok, Request, KIND_BAD_REQUEST, KIND_DEADLINE_EXCEEDED, KIND_OVERLOADED,
+};
+use sca_serve::{spawn, Client, ServeConfig};
+use sca_telemetry::Json;
+use scaguard::{
+    detection_json, load_repository, save_repository, Detector, ModelBuilder, ModelRepository,
+    ModelingConfig,
+};
+
+/// Shared on-disk fixtures: a repository of all four PoC families and a
+/// target program's assembly source.
+struct Fixture {
+    dir: PathBuf,
+    repo_all: PathBuf,
+    target_src: String,
+    pocs: Vec<(AttackFamily, Sample)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("sca-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let params = PocParams::default();
+        let pocs: Vec<(AttackFamily, Sample)> = AttackFamily::ALL
+            .iter()
+            .map(|&f| (f, poc::representative(f, &params)))
+            .collect();
+        let repo_all = dir.join("all.repo");
+        save_pocs(&pocs, &repo_all);
+        let target_src = poc::flush_reload_iaik(&params).program.disasm();
+        Fixture {
+            dir,
+            repo_all,
+            target_src,
+            pocs,
+        }
+    })
+}
+
+fn save_pocs(pocs: &[(AttackFamily, Sample)], path: &Path) {
+    let cfg = ModelingConfig::default();
+    let mut repo = ModelRepository::new();
+    for (family, sample) in pocs {
+        repo.add_poc(*family, &sample.program, &sample.victim, &cfg)
+            .expect("model poc");
+    }
+    save_repository(&repo, path).expect("save repo");
+}
+
+fn classify_request(name: &str, sleep_ms: u64, deadline_ms: Option<u64>) -> Request {
+    let fx = fixture();
+    Request::Classify {
+        name: name.into(),
+        program: fx.target_src.clone(),
+        victim: "shared:3".into(),
+        threshold: None,
+        deadline_ms,
+        debug_sleep_ms: sleep_ms,
+    }
+}
+
+/// The set of PoC names a detection response scored against.
+fn score_pocs(frame: &Json) -> BTreeSet<String> {
+    let scores = frame
+        .get("detection")
+        .and_then(|d| d.get("scores"))
+        .expect("detection.scores");
+    match scores {
+        Json::Arr(items) => items
+            .iter()
+            .map(|s| s.get("poc").and_then(Json::as_str).unwrap().to_string())
+            .collect(),
+        _ => panic!("scores is not an array"),
+    }
+}
+
+fn generation(frame: &Json) -> u64 {
+    frame
+        .get("repo")
+        .and_then(|r| r.get("generation"))
+        .and_then(Json::as_u64)
+        .expect("repo.generation")
+}
+
+#[test]
+fn wire_detection_is_byte_identical_to_offline_json() {
+    let fx = fixture();
+    let handle = spawn(ServeConfig::new(&fx.repo_all)).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let resp = client
+        .classify("target", &fx.target_src, "shared:3")
+        .expect("classify");
+    assert!(is_ok(&resp), "unexpected failure: {resp}");
+    let wire = resp.get("detection").expect("detection field").to_string();
+
+    // The offline path: fresh builder, fresh detector, same inputs —
+    // exactly what `scaguard classify --json` runs.
+    let repo = load_repository(&fx.repo_all).expect("load repo");
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+    let builder = ModelBuilder::new(&ModelingConfig::default());
+    let program = sca_isa::assemble("target", &fx.target_src).expect("assemble");
+    let victim = protocol::parse_victim("shared:3").expect("victim");
+    let model = builder.build_cst(&program, &victim).expect("model");
+    let offline = detection_json("target", &detector.classify_model(&model)).to_string();
+
+    assert_eq!(wire, offline, "wire and offline detections diverge");
+    // Sanity: the Flush+Reload variant is detected as an attack.
+    assert_eq!(
+        resp.get("detection").unwrap().get("attack"),
+        Some(&Json::Bool(true))
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn repeated_classifications_hit_the_resident_model_cache() {
+    let fx = fixture();
+    let handle = spawn(ServeConfig::new(&fx.repo_all)).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let first = client
+        .classify("target", &fx.target_src, "shared:3")
+        .expect("first");
+    let second = client
+        .classify("target", &fx.target_src, "shared:3")
+        .expect("second");
+    assert_eq!(first.to_string(), second.to_string());
+
+    let stats = client.stats().expect("stats");
+    let cached = stats
+        .get("stats")
+        .and_then(|s| s.get("model_cache_entries"))
+        .and_then(Json::as_u64)
+        .expect("model_cache_entries");
+    assert!(cached >= 1, "resident builder cached nothing");
+    assert_eq!(handle.stats().completed, 2);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn full_queue_sheds_excess_requests_with_overloaded() {
+    let fx = fixture();
+    let mut cfg = ServeConfig::new(&fx.repo_all);
+    cfg.workers = 1;
+    cfg.queue_depth = 1;
+    let handle = spawn(cfg).expect("spawn server");
+    let addr = handle.addr();
+
+    // Occupy the single worker for long enough that the burst below
+    // arrives while it is busy.
+    let blocker = thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.send(&classify_request("blocker", 900, None))
+            .expect("blocker reply")
+    });
+    thread::sleep(Duration::from_millis(200));
+
+    let burst: Vec<_> = (0..4)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.send(&classify_request(&format!("burst-{i}"), 300, None))
+                    .expect("burst reply")
+            })
+        })
+        .collect();
+    let responses: Vec<Json> = burst.into_iter().map(|t| t.join().unwrap()).collect();
+
+    // Every request was answered (nothing hung); with one worker busy
+    // and one queue slot, at least one of the four must have been shed.
+    let shed = responses
+        .iter()
+        .filter(|r| error_kind(r) == Some(KIND_OVERLOADED))
+        .count();
+    let served = responses.iter().filter(|r| is_ok(r)).count();
+    assert!(shed >= 1, "no request was shed: {responses:?}");
+    assert_eq!(shed + served, 4, "unexpected outcome mix: {responses:?}");
+    assert!(is_ok(&blocker.join().unwrap()));
+    assert!(handle.stats().shed >= 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn deadlines_abort_requests_without_altering_results() {
+    let fx = fixture();
+    let handle = spawn(ServeConfig::new(&fx.repo_all)).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // An expired deadline (1 ms budget, 80 ms of work) aborts with a
+    // structured error, not a hang or a dropped connection.
+    let expired = client
+        .send(&classify_request("late", 80, Some(1)))
+        .expect("reply");
+    assert_eq!(error_kind(&expired), Some(KIND_DEADLINE_EXCEEDED));
+    assert!(handle.stats().deadline_exceeded >= 1);
+
+    // A generous deadline changes nothing: byte-identical detection.
+    let with = client
+        .send(&classify_request("target", 0, Some(60_000)))
+        .expect("reply");
+    let without = client
+        .send(&classify_request("target", 0, None))
+        .expect("reply");
+    assert!(is_ok(&with), "generous deadline failed: {with}");
+    assert_eq!(
+        with.get("detection").unwrap().to_string(),
+        without.get("detection").unwrap().to_string()
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn hot_reload_swaps_repositories_atomically_mid_traffic() {
+    let fx = fixture();
+    let set_a: Vec<_> = fx.pocs[..2].to_vec();
+    let set_b: Vec<_> = fx.pocs[2..].to_vec();
+    let names_a: BTreeSet<String> = set_a.iter().map(|(_, s)| s.name().to_string()).collect();
+    let names_b: BTreeSet<String> = set_b.iter().map(|(_, s)| s.name().to_string()).collect();
+    let hot = fx.dir.join("hot.repo");
+    save_pocs(&set_a, &hot);
+
+    let handle = spawn(ServeConfig::new(&hot)).expect("spawn server");
+    let addr = handle.addr();
+
+    // Background traffic classifying as fast as it can while the swap
+    // happens. Every response must be computed against exactly one
+    // repository generation: generation 1 scores only set A, generation
+    // 2 scores only set B — never a mixture.
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic: Vec<_> = (0..2)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let resp = c
+                        .send(&classify_request(&format!("traffic-{i}"), 0, None))
+                        .expect("reply");
+                    assert!(is_ok(&resp), "traffic request failed: {resp}");
+                    seen.push((generation(&resp), score_pocs(&resp)));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(150));
+    save_pocs(&set_b, &hot);
+    let mut control = Client::connect(addr).expect("connect");
+    let reload = control.reload_repo(None).expect("reload");
+    assert!(is_ok(&reload), "reload failed: {reload}");
+    assert_eq!(generation(&reload), 2);
+    thread::sleep(Duration::from_millis(150));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut saw = BTreeSet::new();
+    for t in traffic {
+        for (generation, pocs) in t.join().unwrap() {
+            match generation {
+                1 => assert_eq!(pocs, names_a, "generation 1 answered with wrong entries"),
+                2 => assert_eq!(pocs, names_b, "generation 2 answered with wrong entries"),
+                g => panic!("unexpected generation {g}"),
+            }
+            saw.insert(generation);
+        }
+    }
+    assert!(saw.contains(&1), "no pre-reload response observed");
+
+    // After the acknowledged reload, answers come from set B.
+    let after = control
+        .send(&classify_request("after", 0, None))
+        .expect("reply");
+    assert_eq!(generation(&after), 2);
+    assert_eq!(score_pocs(&after), names_b);
+    assert_eq!(handle.stats().reloads, 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn reload_failure_keeps_current_repository_live() {
+    let fx = fixture();
+    let handle = spawn(ServeConfig::new(&fx.repo_all)).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let missing = fx.dir.join("nope.repo");
+    let resp = client
+        .reload_repo(Some(missing.to_str().unwrap()))
+        .expect("reply");
+    assert_eq!(error_kind(&resp), Some("reload_failed"));
+    let message = resp
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap();
+    assert!(
+        message.contains("nope.repo"),
+        "error does not name the file: {message}"
+    );
+
+    // Still generation 1, still serving.
+    let resp = client
+        .send(&classify_request("target", 0, None))
+        .expect("reply");
+    assert!(is_ok(&resp));
+    assert_eq!(generation(&resp), 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_and_the_connection_survives() {
+    let fx = fixture();
+    let handle = spawn(ServeConfig::new(&fx.repo_all)).expect("spawn server");
+
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut roundtrip = |frame: &str| -> Json {
+        writeln!(writer, "{frame}").expect("write");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        Json::parse(line.trim_end()).expect("response is JSON")
+    };
+
+    for bad in [
+        "this is not json",
+        "{\"cmd\":\"wat\"}",
+        "{\"cmd\":\"classify\"}",
+        "{\"cmd\":\"classify\",\"program\":\"  halt\\n\",\"deadline_ms\":-1}",
+        "[1,2,3]",
+    ] {
+        let resp = roundtrip(bad);
+        assert_eq!(
+            error_kind(&resp),
+            Some(KIND_BAD_REQUEST),
+            "frame {bad:?} got {resp}"
+        );
+        let message = resp
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(!message.is_empty());
+    }
+
+    // A work request with an unknown victim kind fails in the worker
+    // with the same structured shape.
+    let resp = roundtrip(
+        "{\"cmd\":\"classify\",\"name\":\"x\",\"program\":\"  halt\\n\",\"victim\":\"wat:1\"}",
+    );
+    assert_eq!(error_kind(&resp), Some(KIND_BAD_REQUEST));
+
+    // The connection is still good.
+    let resp = roundtrip("{\"cmd\":\"ping\"}");
+    assert!(is_ok(&resp));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn stats_reports_counters_and_shutdown_joins_cleanly() {
+    let fx = fixture();
+    let mut cfg = ServeConfig::new(&fx.repo_all);
+    cfg.workers = 2;
+    cfg.queue_depth = 8;
+    let handle = spawn(cfg).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let pong = client.ping().expect("ping");
+    assert!(is_ok(&pong));
+    assert_eq!(
+        pong.get("protocol").and_then(Json::as_u64),
+        Some(sca_serve::PROTOCOL_VERSION)
+    );
+
+    client
+        .send(&classify_request("target", 0, None))
+        .expect("classify");
+    let resp = client
+        .model("target", &fixture().target_src, "shared:3")
+        .expect("model");
+    assert!(is_ok(&resp));
+    assert!(resp
+        .get("model")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("step"));
+
+    let stats = client.stats().expect("stats");
+    let s = stats.get("stats").expect("stats object");
+    assert_eq!(s.get("received").and_then(Json::as_u64), Some(2));
+    assert_eq!(s.get("completed").and_then(Json::as_u64), Some(2));
+    assert_eq!(s.get("workers").and_then(Json::as_u64), Some(2));
+    assert_eq!(s.get("queue_capacity").and_then(Json::as_u64), Some(8));
+    assert_eq!(
+        stats
+            .get("repo")
+            .and_then(|r| r.get("entries"))
+            .and_then(Json::as_u64),
+        Some(4)
+    );
+
+    let resp = client.shutdown().expect("shutdown");
+    assert!(is_ok(&resp));
+    handle.join();
+}

@@ -158,10 +158,12 @@ pub fn parse_line(line: &str) -> Result<Record, JsonError> {
                 Some(Json::Obj(pairs)) => pairs
                     .iter()
                     .map(|(k, val)| {
-                        json_to_attr(val).map(|a| (k.clone(), a)).ok_or_else(|| JsonError {
-                            message: format!("unsupported attr value for '{k}'"),
-                            offset: 0,
-                        })
+                        json_to_attr(val)
+                            .map(|a| (k.clone(), a))
+                            .ok_or_else(|| JsonError {
+                                message: format!("unsupported attr value for '{k}'"),
+                                offset: 0,
+                            })
                     })
                     .collect::<Result<Vec<_>, _>>()?,
                 _ => Vec::new(),

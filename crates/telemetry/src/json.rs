@@ -279,11 +279,10 @@ impl<'a> Parser<'a> {
                             if self.pos + 5 > self.bytes.len() {
                                 return Err(self.err("truncated \\u escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .ok()
-                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                    .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
                             // Surrogate pairs are not produced by our writer;
                             // map lone surrogates to the replacement char.
                             out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));

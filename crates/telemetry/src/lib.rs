@@ -225,7 +225,10 @@ pub fn record(name: &str, value: u64) {
         return;
     }
     let mut st = state();
-    st.histograms.entry(name.to_string()).or_default().record(value);
+    st.histograms
+        .entry(name.to_string())
+        .or_default()
+        .record(value);
 }
 
 /// Open a span. The returned guard records the span into the registry on

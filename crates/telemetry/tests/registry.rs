@@ -6,7 +6,9 @@
 //! [`sca_telemetry::collect`], which serializes concurrent collections, so
 //! the suite is safe under parallel test execution.
 
-use sca_telemetry::{collect, counter, parse_line, record, set_enabled, span, write_jsonl, AttrValue, Record};
+use sca_telemetry::{
+    collect, counter, parse_line, record, set_enabled, span, write_jsonl, AttrValue, Record,
+};
 
 #[test]
 fn counters_merge_across_threads() {
@@ -119,7 +121,16 @@ fn jsonl_round_trips_every_line() {
         match parse_line(line).expect("every exported line parses back") {
             Record::Span(s) => spans.push(s),
             Record::Counter { name, value } => counters.push((name, value)),
-            Record::Histogram { name, count, min, max, p50, p90, p99, .. } => {
+            Record::Histogram {
+                name,
+                count,
+                min,
+                max,
+                p50,
+                p90,
+                p99,
+                ..
+            } => {
                 hists.push((name, count, min, max, p50, p90, p99));
             }
         }

@@ -49,15 +49,19 @@ fn main() {
             },
             &params,
         ),
-        ("CAT way partitioning", {
-            let mut h = HierarchyConfig::skylake_like();
-            h.llc = h.llc.with_reserved_victim_ways(4);
-            h.l1d = h.l1d.with_reserved_victim_ways(2);
-            CpuConfig {
-                hierarchy: h,
-                ..CpuConfig::default()
-            }
-        }, &params),
+        (
+            "CAT way partitioning",
+            {
+                let mut h = HierarchyConfig::skylake_like();
+                h.llc = h.llc.with_reserved_victim_ways(4);
+                h.l1d = h.l1d.with_reserved_victim_ways(2);
+                CpuConfig {
+                    hierarchy: h,
+                    ..CpuConfig::default()
+                }
+            },
+            &params,
+        ),
         (
             "speculation disabled",
             CpuConfig {

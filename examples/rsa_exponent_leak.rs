@@ -32,8 +32,15 @@ const EXPONENT_BITS: u32 = 16;
 /// few scratch lines (the same utility the stock PoCs share).
 fn build_attacker(rounds: i64, reload_threshold: i64) -> Program {
     let mut b = ProgramBuilder::new("FR-rsa-bits");
-    let (round, addr, t0, t1, slot, i, mark) =
-        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (round, addr, t0, t1, slot, i, mark) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    );
 
     // latency calibration: time a cold load then a warm reload of a few
     // scratch lines
@@ -112,8 +119,7 @@ fn main() {
 
     // Quantum r processed exponent bit r (mod EXPONENT_BITS); the
     // multiply-line flag of round r lives in slot 2r + 1.
-    let multiply_hit =
-        |r: u64| m.read_word(RESULT_BASE + (r * 2 + 1) * 8) != 0;
+    let multiply_hit = |r: u64| m.read_word(RESULT_BASE + (r * 2 + 1) * 8) != 0;
     let square_hits = (0..rounds as u64)
         .filter(|&r| m.read_word(RESULT_BASE + r * 2 * 8) != 0)
         .count();
@@ -127,8 +133,7 @@ fn main() {
         .filter(|&bit| multiply_hit(bit + u64::from(EXPONENT_BITS)))
         .fold(0, |acc, bit| acc | (1 << bit));
     assert_eq!(
-        square_hits,
-        rounds as usize,
+        square_hits, rounds as usize,
         "the square routine runs every bit — sanity check on alignment"
     );
 

@@ -1,14 +1,19 @@
 #!/usr/bin/env sh
 # One-shot verification gate. The workspace has zero external deps, so
-# everything runs --offline. Fails loudly on: build errors, test
-# failures, any clippy warning, a similarity-engine perf/exactness
-# regression (the bench smoke asserts bitwise-exact scores and
-# engine >= naive speed on a small workload), or a ModelBuilder
+# everything runs --offline. Fails loudly on: formatting drift, build
+# errors, test failures, any clippy warning, a similarity-engine
+# perf/exactness regression (the bench smoke asserts bitwise-exact
+# scores and engine >= naive speed on a small workload), a ModelBuilder
 # exactness regression (the modeling smoke asserts builder output is
-# byte-identical to serial build_models at several job counts).
+# byte-identical to serial build_models at several job counts), or a
+# served-detection exactness regression (the serve smoke asserts wire
+# responses byte-identical to the offline pipeline).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
 
 echo "==> cargo build --workspace --release --offline"
 cargo build --workspace --release --offline
@@ -24,5 +29,8 @@ cargo run -p sca-bench --release --offline -- --smoke
 
 echo "==> modeling bench smoke"
 cargo run -p sca-bench --release --offline --bin modeling_bench -- --smoke
+
+echo "==> serve bench smoke"
+cargo run -p sca-bench --release --offline --bin serve_bench -- --smoke
 
 echo "verify: OK"

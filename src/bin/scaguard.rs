@@ -1,6 +1,7 @@
 //! The SCAGuard command-line tool: model programs, build and persist PoC
-//! repositories, and classify target programs — the paper's "security
-//! check before installing an untrusted program" deployment (Section V).
+//! repositories, classify target programs — the paper's "security check
+//! before installing an untrusted program" deployment (Section V) — and
+//! run or talk to the resident detection service.
 //!
 //! ```sh
 //! # build a repository from the built-in attack PoCs:
@@ -9,27 +10,27 @@
 //! # classify an assembly program against it:
 //! scaguard classify target.sasm --repo /tmp/pocs.repo --victim shared:3
 //!
-//! # inspect a program's attack behavior model:
-//! scaguard model target.sasm
+//! # or keep the pipeline resident and classify over the wire:
+//! scaguard serve /tmp/pocs.repo --addr 127.0.0.1:4815 &
+//! scaguard submit target.sasm --addr 127.0.0.1:4815 --victim shared:3
 //! ```
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fs;
+use std::io::Write;
 use std::process::ExitCode;
 
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{AttackFamily, Sample};
 use sca_cpu::Victim;
+use sca_serve::protocol::{self, Request};
+use sca_serve::{Client, ServeConfig};
 use sca_telemetry::{Json, Record};
 use scaguard::{
-    explain_similarity, load_repository, save_repository, Detector, ModelBuilder,
+    detection_json, explain_similarity, load_repository, save_repository, Detector, ModelBuilder,
     ModelRepository, ModelingConfig,
 };
-
-const SHARED_BASE: u64 = 0x1000_0000;
-const CONFLICT_BASE: u64 = 0x5000_0000;
-const LINE: u64 = 64;
 
 fn usage() -> &'static str {
     "usage:
@@ -50,11 +51,26 @@ fn usage() -> &'static str {
       print the program's CST-BBS attack behavior model
   scaguard explain <program.sasm> --repo <repo-file> [--victim ...]
       show the DTW alignment against the best-matching PoC model
+  scaguard serve <repo-file> [--addr <host:port>] [--workers <n>]
+          [--queue-depth <n>] [--deadline-ms <n>] [--threshold <0..1>]
+      run the resident detection service on the repository: newline-
+      delimited JSON over TCP (classify, model, reload-repo, stats,
+      shutdown), bounded admission queue, fixed worker pool; prints
+      `listening on <addr>` once ready and runs until a client sends
+      `shutdown`; --addr defaults to 127.0.0.1:0 (ephemeral port)
+  scaguard submit <program.sasm> --addr <host:port> [--victim ...]
+          [--threshold <0..1>] [--deadline-ms <n>] [--json]
+      classify a program against a running `scaguard serve`; --json
+      output is byte-identical to offline `classify --json`
   scaguard stats <telemetry.jsonl>
       summarize a telemetry trace written by --telemetry (per-stage span
       timings, counters, histogram percentiles)
   scaguard asm <program.sasm>
       assemble and disassemble a program (syntax check)
+  scaguard --help | -h | help
+      print this usage
+  scaguard --version | -V
+      print the version
 
   --model-cache <path> persists built models content-addressed by
   (program, victim, config), so repeated invocations skip modeling;
@@ -62,42 +78,37 @@ fn usage() -> &'static str {
   command and writes them as JSON Lines (inspect with `scaguard stats`)"
 }
 
-fn parse_victim(spec: &str) -> Result<Victim, String> {
-    if spec == "none" {
-        return Ok(Victim::None);
-    }
-    let (kind, secret) = spec
-        .split_once(':')
-        .ok_or_else(|| format!("bad victim spec `{spec}` (expected kind:secret)"))?;
-    let secret: u64 = secret
-        .parse()
-        .map_err(|e| format!("bad victim secret `{secret}`: {e}"))?;
-    match kind {
-        "shared" => Ok(Victim::shared_memory(SHARED_BASE, LINE, vec![secret])),
-        "conflict" => Ok(Victim::set_conflict(CONFLICT_BASE, LINE, vec![secret])),
-        other => Err(format!("unknown victim kind `{other}`")),
-    }
-}
-
 struct Options {
     repo: Option<String>,
     threshold: f64,
+    threshold_set: bool,
     victim: Victim,
+    victim_spec: String,
     telemetry: Option<String>,
     json: bool,
     jobs: usize,
     model_cache: Option<String>,
+    addr: Option<String>,
+    workers: usize,
+    queue_depth: usize,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         repo: None,
         threshold: Detector::DEFAULT_THRESHOLD,
+        threshold_set: false,
         victim: Victim::None,
+        victim_spec: "none".into(),
         telemetry: None,
         json: false,
         jobs: 1,
         model_cache: None,
+        addr: None,
+        workers: 4,
+        queue_depth: 64,
+        deadline_ms: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -109,9 +120,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or("--threshold needs a value")?
                     .parse()
                     .map_err(|e| format!("bad threshold: {e}"))?;
+                opts.threshold_set = true;
             }
             "--victim" => {
-                opts.victim = parse_victim(it.next().ok_or("--victim needs a spec")?)?;
+                let spec = it.next().ok_or("--victim needs a spec")?;
+                opts.victim = protocol::parse_victim(spec)?;
+                opts.victim_spec = spec.clone();
             }
             "--telemetry" => {
                 opts.telemetry = Some(it.next().ok_or("--telemetry needs a path")?.clone());
@@ -129,6 +143,35 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 if opts.jobs == 0 {
                     return Err("--jobs must be at least 1".into());
                 }
+            }
+            "--addr" => opts.addr = Some(it.next().ok_or("--addr needs host:port")?.clone()),
+            "--workers" => {
+                opts.workers = it
+                    .next()
+                    .ok_or("--workers needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--queue-depth" => {
+                opts.queue_depth = it
+                    .next()
+                    .ok_or("--queue-depth needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad queue depth: {e}"))?;
+                if opts.queue_depth == 0 {
+                    return Err("--queue-depth must be at least 1".into());
+                }
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    it.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad deadline: {e}"))?,
+                );
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -202,8 +245,7 @@ fn cmd_classify(path: &str, opts: &Options, builder: &ModelBuilder) -> Result<()
     let repo = load_repository(repo_path)?;
     let detector = Detector::new(repo, opts.threshold);
     let program = load_program(path)?;
-    let detection =
-        detector.classify_with_builder(&program, &opts.victim, builder, opts.jobs)?;
+    let detection = detector.classify_with_builder(&program, &opts.victim, builder, opts.jobs)?;
     if opts.json {
         println!("{}", detection_json(program.name(), &detection));
         return Ok(());
@@ -222,41 +264,90 @@ fn cmd_classify(path: &str, opts: &Options, builder: &ModelBuilder) -> Result<()
     Ok(())
 }
 
-/// The full detection as one JSON object (the `--json` output mode).
-fn detection_json(program: &str, detection: &scaguard::Detection) -> Json {
-    let scores = detection
-        .scores
-        .iter()
-        .map(|entry| {
-            Json::Obj(vec![
-                ("poc".into(), Json::Str(entry.poc.clone())),
-                ("family".into(), Json::Str(entry.family.to_string())),
-                ("score".into(), Json::Num(entry.score)),
-                ("exact".into(), Json::Bool(entry.exact)),
-            ])
-        })
-        .collect();
-    Json::Obj(vec![
-        ("program".into(), Json::Str(program.to_string())),
-        ("attack".into(), Json::Bool(detection.is_attack())),
-        (
-            "family".into(),
-            match detection.family() {
-                Some(f) => Json::Str(f.to_string()),
-                None => Json::Null,
-            },
-        ),
-        (
-            "best_poc".into(),
-            match detection.best_entry() {
-                Some(entry) => Json::Str(entry.poc.clone()),
-                None => Json::Null,
-            },
-        ),
-        ("best_score".into(), Json::Num(detection.best_score())),
-        ("threshold".into(), Json::Num(detection.threshold)),
-        ("scores".into(), Json::Arr(scores)),
-    ])
+/// Run the resident detection service until a client sends `shutdown`.
+fn cmd_serve(repo: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
+    let mut config = ServeConfig::new(repo);
+    if let Some(addr) = &opts.addr {
+        config.addr = addr.clone();
+    }
+    config.workers = opts.workers;
+    config.queue_depth = opts.queue_depth;
+    config.deadline_ms = opts.deadline_ms;
+    config.threshold = opts.threshold;
+    let handle = sca_serve::spawn(config)?;
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush()?;
+    handle.join();
+    eprintln!("server stopped");
+    Ok(())
+}
+
+/// Classify a program against a running `scaguard serve` instance.
+fn cmd_submit(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
+    let addr = opts
+        .addr
+        .as_deref()
+        .ok_or("submit needs --addr <host:port> of a running `scaguard serve`")?;
+    let source = fs::read_to_string(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program")
+        .to_string();
+    let mut client = Client::connect(addr)?;
+    let response = client.send(&Request::Classify {
+        name,
+        program: source,
+        victim: opts.victim_spec.clone(),
+        threshold: opts.threshold_set.then_some(opts.threshold),
+        deadline_ms: opts.deadline_ms,
+        debug_sleep_ms: 0,
+    })?;
+    if let Some(kind) = protocol::error_kind(&response) {
+        let message = response
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("(no message)");
+        return Err(format!("server refused the request ({kind}): {message}").into());
+    }
+    let detection = response
+        .get("detection")
+        .ok_or("malformed response: no detection")?;
+    if opts.json {
+        println!("{detection}");
+        return Ok(());
+    }
+    print_remote_detection(detection)
+}
+
+/// Render a wire detection the way offline `classify` renders its own.
+fn print_remote_detection(detection: &Json) -> Result<(), Box<dyn Error>> {
+    let scores = match detection.get("scores") {
+        Some(Json::Arr(scores)) => scores,
+        _ => return Err("malformed response: no scores".into()),
+    };
+    for entry in scores {
+        let get_str = |k: &str| entry.get(k).and_then(Json::as_str).unwrap_or("?");
+        let score = entry.get("score").and_then(Json::as_f64).unwrap_or(0.0);
+        let exact = entry.get("exact") == Some(&Json::Bool(true));
+        let relation = if exact { "  " } else { "<=" };
+        println!(
+            "  vs {:<22} ({})  {relation} {:.2}%",
+            get_str("poc"),
+            get_str("family"),
+            score * 100.0
+        );
+    }
+    let best = detection
+        .get("best_score")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    match detection.get("family").and_then(Json::as_str) {
+        Some(family) => println!("ATTACK {family} (score {:.2}%)", best * 100.0),
+        None => println!("benign (best score {:.2}%)", best * 100.0),
+    }
+    Ok(())
 }
 
 /// Summarize a `--telemetry` JSONL trace: span timings grouped by name,
@@ -270,8 +361,8 @@ fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
         if line.trim().is_empty() {
             continue;
         }
-        let record = sca_telemetry::parse_line(line)
-            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let record =
+            sca_telemetry::parse_line(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         match record {
             Record::Span(s) => {
                 let entry = spans.entry(s.name).or_insert((0, 0));
@@ -291,7 +382,10 @@ fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
     }
     let ms = |ns: u64| ns as f64 / 1e6;
     println!("spans ({}):", path);
-    println!("  {:<32} {:>6} {:>12} {:>12}", "name", "count", "total ms", "mean ms");
+    println!(
+        "  {:<32} {:>6} {:>12} {:>12}",
+        "name", "count", "total ms", "mean ms"
+    );
     for (name, (count, total)) in &spans {
         println!(
             "  {name:<32} {count:>6} {:>12.3} {:>12.3}",
@@ -389,6 +483,15 @@ fn cmd_asm(path: &str) -> Result<(), Box<dyn Error>> {
 
 fn run() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.first().is_some_and(|a| a == "help")
+    {
+        println!("{}", usage());
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("scaguard {}", env!("CARGO_PKG_VERSION"));
+        return Ok(());
+    }
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => return Err(usage().into()),
@@ -401,6 +504,12 @@ fn run() -> Result<(), Box<dyn Error>> {
         return cmd_stats(path);
     }
     let opts = parse_options(&rest[1..])?;
+    if cmd == "serve" {
+        return cmd_serve(path, &opts);
+    }
+    if cmd == "submit" {
+        return cmd_submit(path, &opts);
+    }
     if opts.telemetry.is_some() {
         sca_telemetry::set_enabled(true);
     }

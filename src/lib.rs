@@ -16,7 +16,9 @@
 //!   detection and classification;
 //! * [`ml`] — the learning-based baseline classifiers;
 //! * [`baselines`] — all five detection approaches behind one trait;
-//! * [`eval`] — the paper's tables and figures as experiment drivers.
+//! * [`eval`] — the paper's tables and figures as experiment drivers;
+//! * [`serve`] — the resident TCP detection service (`scaguard serve`)
+//!   and its client.
 //!
 //! ```no_run
 //! use scaguard_repro::attacks::poc::{self, PocParams};
@@ -46,4 +48,5 @@ pub use sca_cpu as cpu;
 pub use sca_eval as eval;
 pub use sca_isa as isa;
 pub use sca_ml as ml;
+pub use sca_serve as serve;
 pub use scaguard as core;

@@ -38,6 +38,110 @@ fn no_args_prints_usage_and_fails() {
 }
 
 #[test]
+fn help_exits_zero_with_usage_on_stdout() {
+    for args in [&["--help"][..], &["-h"], &["help"], &["classify", "--help"]] {
+        let out = scaguard(args);
+        assert!(out.status.success(), "{args:?} must exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("usage:"), "{args:?} stdout: {text}");
+        // Every subcommand is documented.
+        for cmd in [
+            "build-repo",
+            "classify",
+            "model",
+            "explain",
+            "serve",
+            "submit",
+            "stats",
+            "asm",
+        ] {
+            assert!(
+                text.contains(&format!("scaguard {cmd}")),
+                "usage must list `{cmd}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn version_exits_zero_on_stdout() {
+    for args in [&["--version"][..], &["-V"]] {
+        let out = scaguard(args);
+        assert!(out.status.success(), "{args:?} must exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.trim().starts_with("scaguard ") && text.contains(env!("CARGO_PKG_VERSION")),
+            "{args:?} stdout: {text}"
+        );
+    }
+}
+
+#[test]
+fn serve_and_submit_round_trip_matches_offline_classify() {
+    use std::io::BufRead;
+
+    let dir = tmp_dir("serve");
+    let repo = dir.join("pocs.repo").to_string_lossy().into_owned();
+    assert!(scaguard(&["build-repo", &repo]).status.success());
+    let fr = poc::flush_reload_mastik(&PocParams::default());
+    let fr_path = write_sasm(&dir, "fr-mastik", &fr.program);
+
+    // The offline ground truth.
+    let offline = scaguard(&[
+        "classify", &fr_path, "--repo", &repo, "--victim", "shared:3", "--json",
+    ]);
+    assert!(offline.status.success());
+    let offline_json = String::from_utf8_lossy(&offline.stdout).trim().to_string();
+
+    // A server on an ephemeral port; it announces the bound address.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_scaguard"))
+        .args(["serve", &repo, "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut first_line = String::new();
+    std::io::BufReader::new(server.stdout.take().expect("stdout"))
+        .read_line(&mut first_line)
+        .expect("read announcement");
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("announcement format")
+        .to_string();
+
+    // `submit --json` must be byte-identical to offline `classify --json`.
+    let remote = scaguard(&[
+        "submit", &fr_path, "--addr", &addr, "--victim", "shared:3", "--json",
+    ]);
+    assert!(
+        remote.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&remote.stderr)
+    );
+    let remote_json = String::from_utf8_lossy(&remote.stdout).trim().to_string();
+    assert_eq!(remote_json, offline_json, "wire and offline output diverge");
+
+    // The human-readable mode prints the verdict too.
+    let remote = scaguard(&["submit", &fr_path, "--addr", &addr, "--victim", "shared:3"]);
+    assert!(remote.status.success());
+    assert!(String::from_utf8_lossy(&remote.stdout).contains("ATTACK"));
+
+    // submit against a dead port is a clear error, not a hang.
+    let out = scaguard(&["submit", &fr_path]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"));
+
+    // Shut the server down over the protocol and reap it.
+    let mut client = scaguard_repro::serve::Client::connect(&*addr).expect("connect");
+    let resp = client.shutdown().expect("shutdown");
+    assert!(sca_serve::protocol::is_ok(&resp));
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "serve exited with {status:?}");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = scaguard(&["frobnicate"]);
     assert!(!out.status.success());
@@ -98,9 +202,7 @@ fn build_classify_model_explain_pipeline() {
     assert!(!out.stdout.is_empty());
 
     // 5. explain prints a DTW alignment against the best PoC
-    let out = scaguard(&[
-        "explain", &fr_path, "--repo", &repo, "--victim", "shared:3",
-    ]);
+    let out = scaguard(&["explain", &fr_path, "--repo", &repo, "--victim", "shared:3"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(
@@ -145,8 +247,15 @@ fn json_and_telemetry_outputs() {
 
     // --json emits one parseable object with the full detection
     let out = scaguard(&[
-        "classify", &fr_path, "--repo", &repo, "--victim", "shared:3",
-        "--json", "--telemetry", &jsonl,
+        "classify",
+        &fr_path,
+        "--repo",
+        &repo,
+        "--victim",
+        "shared:3",
+        "--json",
+        "--telemetry",
+        &jsonl,
     ]);
     assert!(
         out.status.success(),
@@ -155,7 +264,11 @@ fn json_and_telemetry_outputs() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let obj = sca_telemetry::Json::parse(stdout.trim()).expect("valid JSON object");
-    assert_eq!(obj.get("attack").map(|v| v == &sca_telemetry::Json::Bool(true)), Some(true));
+    assert_eq!(
+        obj.get("attack")
+            .map(|v| v == &sca_telemetry::Json::Bool(true)),
+        Some(true)
+    );
     assert!(obj.get("family").and_then(|v| v.as_str()).is_some());
     assert!(obj.get("best_score").and_then(|v| v.as_f64()).is_some());
     match obj.get("scores") {
@@ -199,7 +312,10 @@ fn json_and_telemetry_outputs() {
     let out = scaguard(&["stats", &jsonl]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("detect"), "stats lists the detect span: {text}");
+    assert!(
+        text.contains("detect"),
+        "stats lists the detect span: {text}"
+    );
     assert!(text.contains("counters"), "stats lists counters: {text}");
 
     fs::remove_dir_all(&dir).ok();

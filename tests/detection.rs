@@ -223,8 +223,12 @@ fn persisted_repository_classifies_identically() {
         benign::generate(Kind::Crypto, 9),
     ];
     for t in &targets {
-        let a = d1.classify(&t.program, &t.victim, &config).expect("classify");
-        let b = d2.classify(&t.program, &t.victim, &config).expect("classify");
+        let a = d1
+            .classify(&t.program, &t.victim, &config)
+            .expect("classify");
+        let b = d2
+            .classify(&t.program, &t.victim, &config)
+            .expect("classify");
         assert_eq!(a.family(), b.family(), "{}", t.name());
         assert_eq!(a.best_score(), b.best_score(), "{}", t.name());
     }

@@ -142,11 +142,7 @@ fn shipped_pocs_recover_exactly_the_victim_set_for_every_secret() {
             ("PP-Percival", poc::prime_probe_percival(&params)),
         ] {
             let slow = slow_sets(&s.program, &s.victim, params.prime_sets);
-            assert_eq!(
-                slow,
-                vec![secret],
-                "{name} must isolate set {secret}"
-            );
+            assert_eq!(slow, vec![secret], "{name} must isolate set {secret}");
         }
     }
 }

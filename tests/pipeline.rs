@@ -66,7 +66,10 @@ fn self_similarity_is_perfect_and_table_v_ordering_holds() {
             3,
         )),
     );
-    assert!(s1 > s3, "same-family beats cross-family: {s1:.3} vs {s3:.3}");
+    assert!(
+        s1 > s3,
+        "same-family beats cross-family: {s1:.3} vs {s3:.3}"
+    );
     assert!(s2 > s5, "variants beat benign: {s2:.3} vs {s5:.3}");
     assert!(s3 > s5, "cross-family beats benign: {s3:.3} vs {s5:.3}");
 }
