@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use sca_attacks::{AttackFamily, Label, Sample};
-use scaguard::ModelError;
+use scaguard::{InvalidThreshold, ModelError};
 
 /// Number of classification classes: four attack families plus benign.
 pub const N_CLASSES: usize = 5;
@@ -43,6 +43,8 @@ pub enum DetectError {
     Model(ModelError),
     /// The detector was asked to classify before being trained.
     NotTrained,
+    /// The configured similarity threshold is outside `[0, 1]`.
+    Threshold(InvalidThreshold),
 }
 
 impl fmt::Display for DetectError {
@@ -50,6 +52,7 @@ impl fmt::Display for DetectError {
         match self {
             DetectError::Model(e) => write!(f, "modeling failed: {e}"),
             DetectError::NotTrained => write!(f, "detector used before training"),
+            DetectError::Threshold(e) => write!(f, "bad configuration: {e}"),
         }
     }
 }
@@ -59,6 +62,7 @@ impl Error for DetectError {
         match self {
             DetectError::Model(e) => Some(e),
             DetectError::NotTrained => None,
+            DetectError::Threshold(e) => Some(e),
         }
     }
 }
@@ -66,6 +70,12 @@ impl Error for DetectError {
 impl From<ModelError> for DetectError {
     fn from(e: ModelError) -> DetectError {
         DetectError::Model(e)
+    }
+}
+
+impl From<InvalidThreshold> for DetectError {
+    fn from(e: InvalidThreshold) -> DetectError {
+        DetectError::Threshold(e)
     }
 }
 

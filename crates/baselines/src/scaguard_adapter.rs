@@ -43,12 +43,32 @@ impl ScaGuardDetector {
     }
 
     /// Change the threshold (keeps the trained repository).
-    pub fn set_threshold(&mut self, threshold: f64) {
-        self.threshold = threshold;
-        if let Some(d) = self.detector.take() {
-            let repo = d.repository().clone();
-            self.detector = Some(Detector::new(repo, threshold));
+    ///
+    /// # Errors
+    ///
+    /// Rejects thresholds outside `[0, 1]` and leaves the detector
+    /// unchanged.
+    pub fn set_threshold(&mut self, threshold: f64) -> Result<(), DetectError> {
+        match self.detector.take() {
+            Some(d) => {
+                let repo = d.repository().clone();
+                match Detector::new(repo, threshold) {
+                    Ok(next) => self.detector = Some(next),
+                    Err(e) => {
+                        // Keep the previous detector live on a bad input.
+                        self.detector = Some(d);
+                        return Err(e.into());
+                    }
+                }
+            }
+            None => {
+                if !(0.0..=1.0).contains(&threshold) {
+                    return Err(scaguard::InvalidThreshold(threshold).into());
+                }
+            }
         }
+        self.threshold = threshold;
+        Ok(())
     }
 }
 
@@ -64,7 +84,7 @@ impl AttackDetector for ScaGuardDetector {
                 repo.add_poc_with(family, &s.program, &s.victim, &self.builder)?;
             }
         }
-        self.detector = Some(Detector::new(repo, self.threshold));
+        self.detector = Some(Detector::new(repo, self.threshold)?);
         Ok(())
     }
 

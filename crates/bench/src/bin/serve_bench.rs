@@ -80,7 +80,7 @@ fn build_targets(per_family: usize) -> Vec<Target> {
 /// builder.
 fn single_shot(repo_path: &PathBuf, name: &str, source: &str) -> String {
     let repo = load_repository(repo_path).expect("load repo");
-    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold in range");
     let builder = ModelBuilder::new(&ModelingConfig::default());
     let program = sca_isa::assemble(name, source).expect("assemble");
     let victim = sca_serve::protocol::parse_victim(VICTIM).expect("victim");
@@ -214,7 +214,13 @@ fn main() {
 
     // Served: N concurrent clients, each issuing its share of requests
     // over TCP against the resident (and by now warm) server.
+    //
+    // Counters are reported as deltas over this phase only: the
+    // exactness sweep and the baseline's wire checks above also ran
+    // through the server, and folding them in used to make `completed`
+    // exceed `total_requests` in the report.
     let total_requests = clients * requests_per_client;
+    let before = handle.stats();
     let served_t = Instant::now();
     let workers: Vec<_> = (0..clients)
         .map(|c| {
@@ -247,7 +253,15 @@ fn main() {
     let speedup = served_rps / baseline_rps;
 
     let stats = handle.stats();
+    let served_completed = stats.completed - before.completed;
+    let served_shed = stats.shed - before.shed;
     assert_eq!(stats.shed, 0, "bench load must not shed: {stats:?}");
+    assert_eq!(stats.panics, 0, "bench load must not panic: {stats:?}");
+    assert_eq!(stats.timeouts, 0, "bench load must not stall: {stats:?}");
+    assert_eq!(
+        served_completed, total_requests as u64,
+        "served phase completed {served_completed} of {total_requests} requests"
+    );
     handle.shutdown();
     handle.join();
 
@@ -310,8 +324,8 @@ fn main() {
                 ("requests_per_sec".into(), Json::Num(round2(served_rps))),
                 ("latency_p50_ns".into(), Json::Num(p50 as f64)),
                 ("latency_p99_ns".into(), Json::Num(p99 as f64)),
-                ("shed".into(), Json::Num(stats.shed as f64)),
-                ("completed".into(), Json::Num(stats.completed as f64)),
+                ("shed".into(), Json::Num(served_shed as f64)),
+                ("completed".into(), Json::Num(served_completed as f64)),
             ]),
         ),
         ("throughput_speedup".into(), Json::Num(round2(speedup))),

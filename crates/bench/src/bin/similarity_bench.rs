@@ -73,7 +73,8 @@ fn naive_scan(w: &Workload) -> Vec<f64> {
 /// The engine scan: a fresh detector (its engine pays interning from
 /// scratch) classifying the same batch serially.
 fn engine_scan(w: &Workload) -> Vec<f64> {
-    let detector = Detector::new(w.repo.clone(), Detector::DEFAULT_THRESHOLD);
+    let detector =
+        Detector::new(w.repo.clone(), Detector::DEFAULT_THRESHOLD).expect("threshold in range");
     detector
         .classify_batch(&w.targets, 1)
         .into_iter()

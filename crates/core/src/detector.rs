@@ -290,6 +290,26 @@ fn score_of(distance: f64) -> f64 {
     1.0 / (distance + 1.0)
 }
 
+/// A detection threshold outside `[0, 1]` (or not a number at all).
+///
+/// Thresholds arrive from untrusted places — CLI flags, wire requests,
+/// service configuration — so an invalid one must surface as an error
+/// the caller can render, never as a panic inside the detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidThreshold(pub f64);
+
+impl fmt::Display for InvalidThreshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "threshold {} out of range (similarity thresholds must be within [0, 1])",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidThreshold {}
+
 impl Detector {
     /// The default similarity threshold.
     ///
@@ -307,20 +327,21 @@ impl Detector {
     /// Create a detector. The repository's models are interned into the
     /// similarity engine once, here.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `threshold` is outside `[0, 1]`.
-    pub fn new(repo: ModelRepository, threshold: f64) -> Detector {
-        assert!(
-            (0.0..=1.0).contains(&threshold),
-            "threshold out of range: {threshold}"
-        );
+    /// Returns [`InvalidThreshold`] when `threshold` is outside `[0, 1]`
+    /// (NaN included). Thresholds reach this constructor from CLI flags
+    /// and wire requests, so a bad one is a rejected input, not a panic.
+    pub fn new(repo: ModelRepository, threshold: f64) -> Result<Detector, InvalidThreshold> {
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(InvalidThreshold(threshold));
+        }
         let scan = Mutex::new(ScanState::build(&repo));
-        Detector {
+        Ok(Detector {
             repo,
             threshold,
             scan,
-        }
+        })
     }
 
     /// The repository backing this detector.
@@ -779,7 +800,7 @@ mod tests {
 
     #[test]
     fn empty_repo_classifies_benign() {
-        let d = Detector::new(ModelRepository::new(), 0.45);
+        let d = Detector::new(ModelRepository::new(), 0.45).unwrap();
         let det = d.classify_model(&dummy_model(3, 0));
         assert!(!det.is_attack());
         assert_eq!(det.family(), None);
@@ -790,7 +811,7 @@ mod tests {
     fn identical_model_scores_one() {
         let mut repo = ModelRepository::new();
         repo.add_model(AttackFamily::FlushReload, "m", dummy_model(4, 0));
-        let d = Detector::new(repo, 0.45);
+        let d = Detector::new(repo, 0.45).unwrap();
         let det = d.classify_model(&dummy_model(4, 0));
         assert!(det.is_attack());
         assert_eq!(det.family(), Some(AttackFamily::FlushReload));
@@ -801,7 +822,7 @@ mod tests {
     fn dissimilar_model_is_benign() {
         let mut repo = ModelRepository::new();
         repo.add_model(AttackFamily::PrimeProbe, "m", dummy_model(20, 0));
-        let d = Detector::new(repo, 0.45);
+        let d = Detector::new(repo, 0.45).unwrap();
         let det = d.classify_model(&dummy_model(3, 1));
         assert!(!det.is_attack(), "score {}", det.best_score());
     }
@@ -811,7 +832,7 @@ mod tests {
         let mut repo = ModelRepository::new();
         repo.add_model(AttackFamily::PrimeProbe, "pp", dummy_model(10, 1));
         repo.add_model(AttackFamily::FlushReload, "fr", dummy_model(4, 0));
-        let d = Detector::new(repo, 0.1);
+        let d = Detector::new(repo, 0.1).unwrap();
         let det = d.classify_model(&dummy_model(4, 0));
         assert_eq!(det.family(), Some(AttackFamily::FlushReload));
         assert_eq!(det.scores.len(), 2);
@@ -821,7 +842,7 @@ mod tests {
     #[test]
     fn pruned_scan_matches_naive_best() {
         let repo = repo4();
-        let d = Detector::new(repo.clone(), 0.2);
+        let d = Detector::new(repo.clone(), 0.2).unwrap();
         let target = dummy_model(5, 0);
         let naive_best = repo
             .entries()
@@ -846,7 +867,7 @@ mod tests {
     #[test]
     fn full_scan_is_exact_everywhere() {
         let repo = repo4();
-        let d = Detector::new(repo.clone(), 0.2);
+        let d = Detector::new(repo.clone(), 0.2).unwrap();
         let target = dummy_model(5, 1);
         let det = d.classify_model_full(&target);
         for (e, repo_entry) in det.scores.iter().zip(repo.entries()) {
@@ -857,7 +878,7 @@ mod tests {
 
     #[test]
     fn jobs_scan_matches_serial() {
-        let d = Detector::new(repo4(), 0.2);
+        let d = Detector::new(repo4(), 0.2).unwrap();
         for n in [0, 1, 3, 5, 12] {
             for marker in [0, 1] {
                 let target = dummy_model(n, marker);
@@ -872,7 +893,7 @@ mod tests {
 
     #[test]
     fn batch_matches_serial() {
-        let d = Detector::new(repo4(), 0.2);
+        let d = Detector::new(repo4(), 0.2).unwrap();
         let targets: Vec<CstBbs> = (0..7)
             .map(|i| dummy_model(i % 5 + 1, i as u64 % 2))
             .collect();
@@ -887,14 +908,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_threshold_panics() {
-        let _ = Detector::new(ModelRepository::new(), 1.5);
+    fn bad_threshold_is_rejected_not_a_panic() {
+        for t in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = Detector::new(ModelRepository::new(), t)
+                .err()
+                .unwrap_or_else(|| panic!("threshold {t} must be rejected"));
+            assert!(err.to_string().contains("out of range"), "{err}");
+        }
+        assert!(Detector::new(ModelRepository::new(), 0.0).is_ok());
+        assert!(Detector::new(ModelRepository::new(), 1.0).is_ok());
     }
 
     #[test]
     fn deadline_scan_matches_serial_or_aborts() {
-        let d = Detector::new(repo4(), 0.2);
+        let d = Detector::new(repo4(), 0.2).unwrap();
         let target = dummy_model(5, 0);
         // A generous deadline yields the exact same detection.
         let far = Instant::now() + std::time::Duration::from_secs(3600);
@@ -916,7 +943,7 @@ mod tests {
 
     #[test]
     fn detection_json_is_stable_and_complete() {
-        let d = Detector::new(repo4(), 0.2);
+        let d = Detector::new(repo4(), 0.2).unwrap();
         let det = d.classify_model(&dummy_model(4, 0));
         let json = detection_json("target", &det);
         let text = json.to_string();

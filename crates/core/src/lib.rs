@@ -39,7 +39,7 @@
 //!     let poc = poc::representative(family, &PocParams::default());
 //!     repo.add_poc(family, &poc.program, &poc.victim, &cfg)?;
 //! }
-//! let detector = Detector::new(repo, 0.45);
+//! let detector = Detector::new(repo, 0.45).expect("threshold in range");
 //! let target = poc::flush_reload_mastik(&PocParams::default());
 //! let detection = detector.classify(&target.program, &target.victim, &cfg)?;
 //! assert!(detection.is_attack());
@@ -58,7 +58,9 @@ mod detector;
 
 pub use builder::{BuilderStats, ModelBuilder, ModelKey};
 pub use cst::{Cst, CstBbs, CstStep};
-pub use detector::{detection_json, Detection, Detector, EntryScore, ModelRepository, RepoEntry};
+pub use detector::{
+    detection_json, Detection, Detector, EntryScore, InvalidThreshold, ModelRepository, RepoEntry,
+};
 pub use engine::{Bounded, DeadlineExceeded, EngineStats, PreparedModel, SimilarityEngine};
 pub use modeling::{
     build_model, build_models, model_from_blocks, ModelError, ModelingConfig, ModelingOutcome,

@@ -54,7 +54,8 @@ fn detector_scores_match_naive_on_poc_cross_matrix() {
     for (family, (name, model)) in AttackFamily::ALL.iter().zip(&models) {
         repo.add_model(*family, name.clone(), model.clone());
     }
-    let detector = Detector::new(repo.clone(), Detector::DEFAULT_THRESHOLD);
+    let detector =
+        Detector::new(repo.clone(), Detector::DEFAULT_THRESHOLD).expect("threshold in range");
     for (name, target) in &models {
         let naive_best = repo
             .entries()

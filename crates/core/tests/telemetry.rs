@@ -28,7 +28,7 @@ fn built_detector(config: &ModelingConfig) -> Detector {
         repo.add_poc(family, &s.program, &s.victim, config)
             .expect("poc models");
     }
-    Detector::new(repo, Detector::DEFAULT_THRESHOLD)
+    Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold in range")
 }
 
 #[test]

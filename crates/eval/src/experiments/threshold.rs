@@ -43,7 +43,7 @@ pub fn threshold_sweep(cfg: &EvalConfig) -> Result<Vec<ThresholdPoint>, DetectEr
         repo.add_poc_with(family, &s.program, &s.victim, &builder)?;
     }
     // Threshold is irrelevant here: we read raw best scores.
-    let detector = Detector::new(repo, 0.5);
+    let detector = Detector::new(repo, 0.5).expect("threshold in range");
 
     // E1-style evaluation set: mutated variants of each type plus benign.
     let mutation = MutationConfig::default();

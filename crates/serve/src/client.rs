@@ -3,32 +3,125 @@
 //! One [`Client`] is one connection; requests are answered in order, so
 //! a client is also the simplest way to script a server from tests or
 //! from `scaguard submit`.
+//!
+//! The client is hardened against a hostile or degenerate *server* the
+//! same way the server is hardened against clients: connects and reads
+//! are bounded by timeouts ([`ClientConfig`]), response frames are
+//! length-capped, and [`Client::send_retry`] retries with jittered
+//! exponential backoff — but **only** on [`ErrorKind::Overloaded`], the
+//! one error the taxonomy guarantees was shed before admission. A
+//! response that was admitted (or any transport error after the request
+//! was written) is never retried automatically: the work may already
+//! have run, and a blind retry would duplicate it.
 
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, SystemTime};
 
 use sca_telemetry::Json;
 
-use crate::protocol::{read_frame, write_frame, Request};
+use crate::protocol::{
+    error_kind, read_frame_limited, write_frame, ErrorKind, Request, MAX_FRAME_LEN,
+};
+
+/// Connection and retry policy for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout (default 5s). `None` blocks indefinitely.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read/write timeout per response (default 30s) — a server
+    /// that accepts the connection and then never answers costs a
+    /// bounded wait, not a hung client. `None` blocks indefinitely.
+    pub io_timeout: Option<Duration>,
+    /// Maximum *additional* attempts after an `overloaded` response
+    /// (default 0: shed responses surface immediately). Retries never
+    /// apply to admitted requests or transport errors.
+    pub retries: u32,
+    /// Base delay of the exponential backoff between retries (default
+    /// 10ms): attempt `k` sleeps `base * 2^k` plus up to 50% jitter so
+    /// shed clients do not re-arrive in lockstep.
+    pub backoff_base: Duration,
+    /// Cap on one response frame's length (default
+    /// [`MAX_FRAME_LEN`]), so a garbage-spewing server cannot buffer
+    /// the client to death.
+    pub max_frame_len: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            io_timeout: Some(Duration::from_secs(30)),
+            retries: 0,
+            backoff_base: Duration::from_millis(10),
+            max_frame_len: MAX_FRAME_LEN,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// This configuration with `retries` additional attempts on
+    /// `overloaded`.
+    pub fn with_retries(mut self, retries: u32) -> ClientConfig {
+        self.retries = retries;
+        self
+    }
+}
 
 /// A connected protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server with the default [`ClientConfig`].
     ///
     /// # Errors
     ///
     /// Propagates connection errors.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect to a running server with an explicit policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors; times out after
+    /// [`ClientConfig::connect_timeout`] per resolved address.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let mut last_err = None;
+        let mut stream = None;
+        for resolved in addr.to_socket_addrs()? {
+            let attempt = match config.connect_timeout {
+                Some(t) => TcpStream::connect_timeout(&resolved, t),
+                None => TcpStream::connect(resolved),
+            };
+            match attempt {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = match stream {
+            Some(s) => s,
+            None => {
+                return Err(last_err.unwrap_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                }))
+            }
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.io_timeout)?;
+        stream.set_write_timeout(config.io_timeout)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            config,
         })
     }
 
@@ -36,13 +129,16 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport errors, an unexpectedly closed connection, or a
-    /// response that is not valid JSON.
+    /// Transport errors (including a read timeout if the server goes
+    /// silent), an unexpectedly closed connection, or a response that
+    /// is not valid JSON.
     pub fn request(&mut self, frame: &Json) -> io::Result<Json> {
         write_frame(&mut self.writer, frame)?;
-        let line = read_frame(&mut self.reader)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
-        })?;
+        let line = read_frame_limited(&mut self.reader, self.config.max_frame_len)
+            .map_err(io::Error::from)?
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+            })?;
         Json::parse(&line)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
     }
@@ -54,6 +150,36 @@ impl Client {
     /// As [`Client::request`].
     pub fn send(&mut self, request: &Request) -> io::Result<Json> {
         self.request(&request.to_json())
+    }
+
+    /// Send one [`Request`], retrying with jittered exponential backoff
+    /// when — and only when — the server sheds it with `overloaded`.
+    ///
+    /// An `overloaded` response is the taxonomy's proof the request was
+    /// never admitted, so a retry cannot duplicate work. Every other
+    /// outcome (success, any other error kind, any transport error) is
+    /// returned as-is after the first attempt: once a request *may*
+    /// have been admitted, retrying is the caller's decision.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; the final `overloaded` response (not an
+    /// `Err`) is returned when every retry was shed.
+    pub fn send_retry(&mut self, request: &Request) -> io::Result<Json> {
+        let frame = request.to_json();
+        let mut attempt = 0u32;
+        loop {
+            let response = self.request(&frame)?;
+            let shed = error_kind(&response)
+                .and_then(ErrorKind::parse)
+                .is_some_and(ErrorKind::is_retryable);
+            if !shed || attempt >= self.config.retries {
+                return Ok(response);
+            }
+            std::thread::sleep(backoff_delay(self.config.backoff_base, attempt));
+            attempt += 1;
+            sca_telemetry::counter("client.retries", 1);
+        }
     }
 
     /// Classify `program` (assembly source) against the loaded repository.
@@ -69,6 +195,7 @@ impl Client {
             threshold: None,
             deadline_ms: None,
             debug_sleep_ms: 0,
+            debug_panic: false,
         })
     }
 
@@ -123,5 +250,38 @@ impl Client {
     /// As [`Client::request`].
     pub fn shutdown(&mut self) -> io::Result<Json> {
         self.send(&Request::Shutdown)
+    }
+}
+
+/// Backoff before retry `attempt` (0-based): `base * 2^attempt`, plus
+/// up to 50% jitter so clients shed together do not retry together.
+fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
+    // The jitter source only needs to decorrelate concurrent clients;
+    // sub-microsecond clock bits are plenty.
+    let seed = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64)
+        ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let jitter_num = seed % 512; // up to ~50% of 1024ths
+    exp + exp.mul_f64(jitter_num as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let base = Duration::from_millis(10);
+        for attempt in 0..4u32 {
+            let d = backoff_delay(base, attempt);
+            let floor = base * (1 << attempt);
+            assert!(d >= floor, "attempt {attempt}: {d:?} < {floor:?}");
+            assert!(
+                d <= floor + floor.mul_f64(0.5),
+                "attempt {attempt}: {d:?} jitter above 50%"
+            );
+        }
     }
 }

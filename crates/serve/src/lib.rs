@@ -33,6 +33,6 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::Client;
-pub use protocol::{Request, PROTOCOL_VERSION};
+pub use client::{Client, ClientConfig};
+pub use protocol::{ErrorKind, Request, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use server::{spawn, ServeConfig, ServeError, ServerHandle, StatsSnapshot};

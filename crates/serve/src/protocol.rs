@@ -21,6 +21,7 @@
 //! [`scaguard::detection_json`] — byte-identical to what the offline
 //! `scaguard classify --json` prints for the same target.
 
+use std::fmt;
 use std::io::{self, BufRead, Write};
 
 use sca_cpu::Victim;
@@ -36,18 +37,103 @@ pub const CONFLICT_BASE: u64 = 0x5000_0000;
 /// Cache-line size victims are laid out on.
 pub const CACHE_LINE: u64 = 64;
 
+/// The error taxonomy shared by the server, the client, and the wire
+/// format: every `{"ok":false}` frame carries exactly one of these as
+/// its `error.kind`.
+///
+/// The taxonomy encodes the one retry-safety fact a client needs: an
+/// error is **retryable** only when the server guarantees the request
+/// was *never admitted* — retrying anything else risks duplicate work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame was unparseable, oversized, or semantically invalid
+    /// (unknown command, bad victim spec, out-of-range threshold,
+    /// assembly failure). The request never ran.
+    BadRequest,
+    /// The admission queue was full; the request was shed before any
+    /// work happened. The only retryable kind.
+    Overloaded,
+    /// The request's deadline passed while queued or mid-scan.
+    DeadlineExceeded,
+    /// The modeling pipeline failed on an admitted request.
+    ModelError,
+    /// A `reload-repo` failed; the previous repository stays live.
+    ReloadFailed,
+    /// The server is draining and refused new work.
+    ShuttingDown,
+    /// A worker panicked while serving the request. The request may
+    /// have had partial effect on caches (never on results), so it is
+    /// not retryable automatically.
+    InternalError,
+}
+
+impl ErrorKind {
+    /// Every kind, for exhaustive tests.
+    pub const ALL: [ErrorKind; 7] = [
+        ErrorKind::BadRequest,
+        ErrorKind::Overloaded,
+        ErrorKind::DeadlineExceeded,
+        ErrorKind::ModelError,
+        ErrorKind::ReloadFailed,
+        ErrorKind::ShuttingDown,
+        ErrorKind::InternalError,
+    ];
+
+    /// The wire spelling of this kind.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::ModelError => "model_error",
+            ErrorKind::ReloadFailed => "reload_failed",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::InternalError => "internal_error",
+        }
+    }
+
+    /// Parse a wire spelling.
+    pub fn parse(s: &str) -> Option<ErrorKind> {
+        ErrorKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+
+    /// Whether a client may safely retry a request answered with this
+    /// kind: true only when admission provably never happened, so a
+    /// retry can never duplicate work.
+    pub const fn is_retryable(self) -> bool {
+        matches!(self, ErrorKind::Overloaded)
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// `kind` of the error returned for unparseable or invalid frames.
-pub const KIND_BAD_REQUEST: &str = "bad_request";
+pub const KIND_BAD_REQUEST: &str = ErrorKind::BadRequest.as_str();
 /// `kind` of the error returned when the admission queue is full.
-pub const KIND_OVERLOADED: &str = "overloaded";
+pub const KIND_OVERLOADED: &str = ErrorKind::Overloaded.as_str();
 /// `kind` of the error returned when a request's deadline passes.
-pub const KIND_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+pub const KIND_DEADLINE_EXCEEDED: &str = ErrorKind::DeadlineExceeded.as_str();
 /// `kind` of the error returned when the modeling pipeline fails.
-pub const KIND_MODEL_ERROR: &str = "model_error";
+pub const KIND_MODEL_ERROR: &str = ErrorKind::ModelError.as_str();
 /// `kind` of the error returned when a repository reload fails.
-pub const KIND_RELOAD_FAILED: &str = "reload_failed";
+pub const KIND_RELOAD_FAILED: &str = ErrorKind::ReloadFailed.as_str();
 /// `kind` of the error returned for work submitted during shutdown.
-pub const KIND_SHUTTING_DOWN: &str = "shutting_down";
+pub const KIND_SHUTTING_DOWN: &str = ErrorKind::ShuttingDown.as_str();
+/// `kind` of the error returned when a worker panics serving a request.
+pub const KIND_INTERNAL_ERROR: &str = ErrorKind::InternalError.as_str();
+
+/// Hard cap on one frame's length in bytes (newline excluded).
+///
+/// `read_line` on an attacker-fed socket would otherwise buffer an
+/// endless `\n`-less line until the process dies of memory exhaustion;
+/// every reader in this crate goes through [`read_frame_limited`],
+/// which refuses past this limit. 1 MiB comfortably fits the largest
+/// legitimate frame (a full assembly program plus the JSON envelope).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
 
 /// Parse a victim spec (`none`, `shared:<secret>`, `conflict:<secret>`)
 /// into a [`Victim`] — the same mapping the CLI uses, so a spec means
@@ -97,6 +183,11 @@ pub enum Request {
         /// doing any work. Used by tests and the bench to create
         /// controlled backlogs; zero in production traffic.
         debug_sleep_ms: u64,
+        /// Fault-injection hook: panic on the worker instead of doing
+        /// the work. Used by the chaos harness to prove panic isolation
+        /// (structured `internal_error`, pool stays at full strength);
+        /// false in production traffic.
+        debug_panic: bool,
     },
     /// Build and return a program's CST-BBS model (canonical text form).
     Model {
@@ -142,6 +233,14 @@ fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
+fn opt_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("field `{key}` must be a boolean")),
+    }
+}
+
 fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
     match v.get(key) {
         None | Some(Json::Null) => Ok(None),
@@ -170,6 +269,7 @@ impl Request {
                 threshold: opt_f64(&v, "threshold")?,
                 deadline_ms: opt_u64(&v, "deadline_ms")?,
                 debug_sleep_ms: opt_u64(&v, "debug_sleep_ms")?.unwrap_or(0),
+                debug_panic: opt_bool(&v, "debug_panic")?,
             }),
             "model" => Ok(Request::Model {
                 name: req_str(&v, "name").unwrap_or_else(|_| "program".into()),
@@ -205,6 +305,7 @@ impl Request {
                 threshold,
                 deadline_ms,
                 debug_sleep_ms,
+                debug_panic,
             } => {
                 fields.push(("cmd".into(), Json::Str("classify".into())));
                 fields.push(("name".into(), Json::Str(name.clone())));
@@ -216,6 +317,9 @@ impl Request {
                 push_opt_u64(&mut fields, "deadline_ms", *deadline_ms);
                 if *debug_sleep_ms > 0 {
                     push_opt_u64(&mut fields, "debug_sleep_ms", Some(*debug_sleep_ms));
+                }
+                if *debug_panic {
+                    fields.push(("debug_panic".into(), Json::Bool(true)));
                 }
             }
             Request::Model {
@@ -283,20 +387,137 @@ pub fn is_ok(frame: &Json) -> bool {
     frame.get("ok") == Some(&Json::Bool(true))
 }
 
+/// Failure to read one frame off the transport.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The underlying reader failed (includes socket read timeouts,
+    /// surfaced as [`io::ErrorKind::WouldBlock`] / `TimedOut`).
+    Io(io::Error),
+    /// The peer sent more than `limit` bytes without a newline. The
+    /// stream is mid-frame and cannot be resynchronized; the caller
+    /// should report the limit and close the connection.
+    TooLong {
+        /// The configured frame cap that was exceeded.
+        limit: usize,
+    },
+}
+
+impl FrameReadError {
+    /// Whether this is a socket read timeout (idle or stalled peer).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameReadError::Io(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
+    }
+}
+
+impl fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "transport error: {e}"),
+            FrameReadError::TooLong { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameReadError::Io(e) => Some(e),
+            FrameReadError::TooLong { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameReadError {
+    fn from(e: io::Error) -> FrameReadError {
+        FrameReadError::Io(e)
+    }
+}
+
+impl From<FrameReadError> for io::Error {
+    fn from(e: FrameReadError) -> io::Error {
+        match e {
+            FrameReadError::Io(e) => e,
+            e @ FrameReadError::TooLong { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+            }
+        }
+    }
+}
+
 /// Read one newline-terminated frame; `None` at end of stream.
+///
+/// Equivalent to [`read_frame_limited`] at [`MAX_FRAME_LEN`].
 ///
 /// # Errors
 ///
-/// Propagates transport errors from the reader.
-pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
-    let mut line = String::new();
-    if r.read_line(&mut line)? == 0 {
-        return Ok(None);
+/// Propagates transport errors; rejects frames over [`MAX_FRAME_LEN`].
+pub fn read_frame(r: &mut impl BufRead) -> Result<Option<String>, FrameReadError> {
+    read_frame_limited(r, MAX_FRAME_LEN)
+}
+
+/// Read one newline-terminated frame of at most `limit` bytes; `None`
+/// at end of stream.
+///
+/// Unlike `BufRead::read_line`, this never buffers more than `limit`
+/// bytes no matter how long the peer keeps streaming without a newline
+/// — the unbounded `read_line` was a remote memory-exhaustion vector.
+/// Bytes that are not valid UTF-8 are replaced (U+FFFD) rather than
+/// failing the transport: a garbled frame then fails JSON parsing and
+/// gets a structured `bad_request`, keeping the connection usable.
+///
+/// # Errors
+///
+/// [`FrameReadError::TooLong`] once more than `limit` bytes arrive with
+/// no newline (the stream cannot be resynchronized afterwards);
+/// [`FrameReadError::Io`] on transport errors, including read timeouts.
+pub fn read_frame_limited(
+    r: &mut impl BufRead,
+    limit: usize,
+) -> Result<Option<String>, FrameReadError> {
+    let mut frame: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match r.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameReadError::Io(e)),
+        };
+        if chunk.is_empty() {
+            // EOF: a final unterminated line is still a frame, matching
+            // `read_line`; nothing buffered means end of stream.
+            if frame.is_empty() {
+                return Ok(None);
+            }
+            break;
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if frame.len() + pos > limit {
+                    return Err(FrameReadError::TooLong { limit });
+                }
+                frame.extend_from_slice(&chunk[..pos]);
+                r.consume(pos + 1);
+                break;
+            }
+            None => {
+                let n = chunk.len();
+                if frame.len() + n > limit {
+                    return Err(FrameReadError::TooLong { limit });
+                }
+                frame.extend_from_slice(chunk);
+                r.consume(n);
+            }
+        }
     }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
+    while frame.last() == Some(&b'\r') {
+        frame.pop();
     }
-    Ok(Some(line))
+    Ok(Some(String::from_utf8_lossy(&frame).into_owned()))
 }
 
 /// Write one frame followed by a newline and flush.
@@ -327,6 +548,7 @@ mod tests {
             threshold: Some(0.25),
             deadline_ms: Some(500),
             debug_sleep_ms: 10,
+            debug_panic: true,
         };
         let line = req.to_json().to_string();
         assert_eq!(Request::parse(&line), Ok(req));
@@ -391,5 +613,101 @@ mod tests {
         let ok = ok_frame(vec![("pong".into(), Json::Bool(true))]);
         assert!(is_ok(&ok));
         assert_eq!(error_kind(&ok), None);
+    }
+
+    #[test]
+    fn error_taxonomy_round_trips_and_only_overloaded_retries() {
+        for kind in ErrorKind::ALL {
+            assert_eq!(ErrorKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(kind.to_string(), kind.as_str());
+            assert_eq!(kind.is_retryable(), kind == ErrorKind::Overloaded);
+        }
+        assert_eq!(ErrorKind::parse("wat"), None);
+    }
+
+    fn read_all_frames(bytes: &[u8], limit: usize) -> Result<Vec<String>, FrameReadError> {
+        let mut r = io::BufReader::new(bytes);
+        let mut frames = Vec::new();
+        while let Some(f) = read_frame_limited(&mut r, limit)? {
+            frames.push(f);
+        }
+        Ok(frames)
+    }
+
+    #[test]
+    fn read_frame_matches_read_line_on_well_formed_input() {
+        let frames = read_all_frames(b"one\ntwo\r\n\nfour", 64).expect("read");
+        assert_eq!(frames, ["one", "two", "", "four"]);
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_at_the_limit() {
+        // Exactly at the limit passes; one byte over fails, with or
+        // without a newline ever arriving.
+        assert_eq!(
+            read_all_frames(b"12345678\n", 8).expect("read"),
+            ["12345678"]
+        );
+        for endless in [&b"123456789\n"[..], &b"123456789"[..]] {
+            match read_all_frames(endless, 8) {
+                Err(FrameReadError::TooLong { limit: 8 }) => {}
+                other => panic!("expected TooLong, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_garbled_empty_and_oversized_frames_never_panic() {
+        // Property-style: random mutations of a valid frame — truncated
+        // at every byte, garbled bytes (including invalid UTF-8), empty
+        // lines, and oversized padding — must yield Ok or a structured
+        // error from both the reader and the parser, never a panic or
+        // unbounded buffering.
+        let valid = Request::Classify {
+            name: "fr".into(),
+            program: "  mov r1, 7\n  halt\n".into(),
+            victim: "shared:3".into(),
+            threshold: None,
+            deadline_ms: None,
+            debug_sleep_ms: 0,
+            debug_panic: false,
+        }
+        .to_json()
+        .to_string();
+        let limit = valid.len() + 64;
+        let mut rng = sca_isa::rng::SmallRng::seed_from_u64(0x0c4a05);
+        for case in 0..512u32 {
+            let mut bytes = valid.clone().into_bytes();
+            match case % 4 {
+                0 => {
+                    // Truncate at a random byte.
+                    let cut = (rng.gen_range(0..bytes.len() as u64 + 1)) as usize;
+                    bytes.truncate(cut);
+                }
+                1 => {
+                    // Garble a handful of bytes (may break UTF-8/JSON).
+                    for _ in 0..4 {
+                        let i = rng.gen_range(0..bytes.len() as u64) as usize;
+                        bytes[i] = rng.gen_range(0..256u64) as u8;
+                    }
+                }
+                2 => bytes.clear(),
+                _ => {
+                    // Pad past the limit with non-newline noise.
+                    bytes.extend(std::iter::repeat_n(b'x', limit + 1));
+                }
+            }
+            bytes.push(b'\n');
+            match read_all_frames(&bytes, limit) {
+                Ok(frames) => {
+                    for f in frames {
+                        // Parse may succeed or fail; it must not panic.
+                        let _ = Request::parse(&f);
+                    }
+                }
+                Err(FrameReadError::TooLong { .. }) => assert_eq!(case % 4, 3),
+                Err(FrameReadError::Io(e)) => panic!("in-memory reader failed: {e}"),
+            }
+        }
     }
 }

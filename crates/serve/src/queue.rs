@@ -147,6 +147,57 @@ mod tests {
     }
 
     #[test]
+    fn close_racing_try_push_never_loses_or_duplicates_items() {
+        // Producers race `close()`: whatever interleaving happens, every
+        // push either returned Ok (and the item must drain exactly once)
+        // or handed the item back — nothing is lost or duplicated.
+        use std::collections::BTreeSet;
+        use std::sync::Barrier;
+        for _ in 0..50 {
+            let q = Arc::new(BoundedQueue::new(64));
+            let barrier = Arc::new(Barrier::new(5));
+            let pushers: Vec<_> = (0..4u32)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    let barrier = Arc::clone(&barrier);
+                    thread::spawn(move || {
+                        barrier.wait();
+                        let mut admitted = Vec::new();
+                        for i in 0..16u32 {
+                            if q.try_push((t, i)).is_ok() {
+                                admitted.push((t, i));
+                            }
+                        }
+                        admitted
+                    })
+                })
+                .collect();
+            let closer = {
+                let q = Arc::clone(&q);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    q.close();
+                })
+            };
+            let admitted: BTreeSet<(u32, u32)> = pushers
+                .into_iter()
+                .flat_map(|p| p.join().unwrap())
+                .collect();
+            closer.join().unwrap();
+            let mut drained = BTreeSet::new();
+            while let Some(item) = q.pop() {
+                assert!(drained.insert(item), "item {item:?} drained twice");
+            }
+            assert_eq!(
+                drained, admitted,
+                "admitted items and drained items diverge"
+            );
+            assert!(q.try_push((9, 9)).is_err(), "closed queue admitted an item");
+        }
+    }
+
+    #[test]
     fn capacity_floor_is_one() {
         let q = BoundedQueue::new(0);
         assert_eq!(q.capacity(), 1);

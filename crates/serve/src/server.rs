@@ -43,13 +43,14 @@ use std::time::{Duration, Instant};
 use sca_telemetry::Json;
 use scaguard::persist::LoadRepoError;
 use scaguard::{
-    detection_json, load_repository, model_text, Detector, ModelBuilder, ModelingConfig,
+    detection_json, load_repository, model_text, Detector, InvalidThreshold, ModelBuilder,
+    ModelingConfig,
 };
 
 use crate::protocol::{
-    self, error_frame, ok_frame, parse_victim, read_frame, write_frame, Request, KIND_BAD_REQUEST,
-    KIND_DEADLINE_EXCEEDED, KIND_MODEL_ERROR, KIND_OVERLOADED, KIND_RELOAD_FAILED,
-    KIND_SHUTTING_DOWN, PROTOCOL_VERSION,
+    self, error_frame, ok_frame, parse_victim, read_frame_limited, write_frame, FrameReadError,
+    Request, KIND_BAD_REQUEST, KIND_DEADLINE_EXCEEDED, KIND_INTERNAL_ERROR, KIND_MODEL_ERROR,
+    KIND_OVERLOADED, KIND_RELOAD_FAILED, KIND_SHUTTING_DOWN, PROTOCOL_VERSION,
 };
 use crate::queue::BoundedQueue;
 
@@ -72,6 +73,16 @@ pub struct ServeConfig {
     /// The repository file to load (and to re-read on `reload-repo`
     /// without an explicit path).
     pub repo_path: PathBuf,
+    /// Per-connection socket read/write timeout (default 30s). A client
+    /// that stalls mid-frame, goes idle forever, or never drains its
+    /// responses is disconnected instead of pinning a handler thread
+    /// for the life of the process. `None` disables the timeouts.
+    pub io_timeout_ms: Option<u64>,
+    /// Hard cap on one request frame's length in bytes (default
+    /// [`protocol::MAX_FRAME_LEN`]). An oversized frame is answered
+    /// with a `bad_request` naming the limit and the connection is
+    /// closed — the stream cannot be resynchronized mid-frame.
+    pub max_frame_len: usize,
 }
 
 impl ServeConfig {
@@ -84,6 +95,8 @@ impl ServeConfig {
             deadline_ms: None,
             threshold: Detector::DEFAULT_THRESHOLD,
             repo_path: repo_path.into(),
+            io_timeout_ms: Some(30_000),
+            max_frame_len: protocol::MAX_FRAME_LEN,
         }
     }
 }
@@ -95,6 +108,8 @@ pub enum ServeError {
     Io(io::Error),
     /// The repository file could not be loaded.
     Repo(LoadRepoError),
+    /// The configured detection threshold is outside `[0, 1]`.
+    Threshold(InvalidThreshold),
 }
 
 impl fmt::Display for ServeError {
@@ -102,6 +117,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Io(e) => write!(f, "cannot start server: {e}"),
             ServeError::Repo(e) => write!(f, "cannot load repository: {e}"),
+            ServeError::Threshold(e) => write!(f, "cannot start server: {e}"),
         }
     }
 }
@@ -111,6 +127,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Io(e) => Some(e),
             ServeError::Repo(e) => Some(e),
+            ServeError::Threshold(e) => Some(e),
         }
     }
 }
@@ -124,6 +141,12 @@ impl From<io::Error> for ServeError {
 impl From<LoadRepoError> for ServeError {
     fn from(e: LoadRepoError) -> ServeError {
         ServeError::Repo(e)
+    }
+}
+
+impl From<InvalidThreshold> for ServeError {
+    fn from(e: InvalidThreshold) -> ServeError {
+        ServeError::Threshold(e)
     }
 }
 
@@ -158,6 +181,8 @@ struct Counters {
     deadline_exceeded: AtomicU64,
     errors: AtomicU64,
     reloads: AtomicU64,
+    panics: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 /// A point-in-time copy of the server counters.
@@ -175,6 +200,11 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Successful `reload-repo` commands.
     pub reloads: u64,
+    /// Worker panics caught and answered with `internal_error` (the
+    /// pool stays at full strength; this counter is how you notice).
+    pub panics: u64,
+    /// Connections dropped by the per-connection socket timeout.
+    pub timeouts: u64,
 }
 
 /// One admitted unit of work. The `repo` snapshot is taken at admission:
@@ -212,6 +242,8 @@ impl Shared {
             deadline_exceeded: self.counters.deadline_exceeded.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
             reloads: self.counters.reloads.load(Ordering::Relaxed),
+            panics: self.counters.panics.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
         }
     }
 
@@ -274,7 +306,7 @@ impl ServerHandle {
 /// when the listen address cannot be bound.
 pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     let repo = load_repository(&config.repo_path)?;
-    let detector = Detector::new(repo, config.threshold);
+    let detector = Detector::new(repo, config.threshold)?;
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
@@ -340,10 +372,43 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 /// Serve one connection: read frames until EOF, answering each one.
 /// Malformed frames get a structured `bad_request` response and the
 /// connection stays open — a client typo never costs the session.
+///
+/// The connection is *closed* (never left hanging) in exactly three
+/// hostile cases: a socket timeout (stalled, idle-forever, or
+/// never-reading peer — counted in `timeouts`), an oversized frame
+/// (answered with a `bad_request` naming the limit first; the stream
+/// cannot be resynchronized mid-frame), and a transport error.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    let io_timeout = shared
+        .config
+        .io_timeout_ms
+        .map(|ms| Duration::from_millis(ms.max(1)));
+    stream.set_read_timeout(io_timeout)?;
+    stream.set_write_timeout(io_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    while let Some(line) = read_frame(&mut reader)? {
+    loop {
+        let line = match read_frame_limited(&mut reader, shared.config.max_frame_len) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(FrameReadError::TooLong { limit }) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    &mut writer,
+                    &error_frame(
+                        KIND_BAD_REQUEST,
+                        &format!("frame exceeds the {limit}-byte limit; closing connection"),
+                    ),
+                );
+                break;
+            }
+            Err(e) if e.is_timeout() => {
+                shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                sca_telemetry::counter("serve.timeouts", 1);
+                break;
+            }
+            Err(FrameReadError::Io(e)) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -363,7 +428,20 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
             }
             Ok(req) => dispatch(req, shared),
         };
-        write_frame(&mut writer, &frame)?;
+        if let Err(e) = write_frame(&mut writer, &frame) {
+            // A peer that stops draining its socket stalls the write;
+            // with the write timeout set, that surfaces here and costs
+            // the peer its connection instead of pinning this thread.
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                sca_telemetry::counter("serve.timeouts", 1);
+                break;
+            }
+            return Err(e);
+        }
     }
     Ok(())
 }
@@ -398,6 +476,8 @@ fn stats_frame(shared: &Arc<Shared>) -> Json {
                 ("deadline_exceeded".into(), num(s.deadline_exceeded)),
                 ("errors".into(), num(s.errors)),
                 ("reloads".into(), num(s.reloads)),
+                ("panics".into(), num(s.panics)),
+                ("timeouts".into(), num(s.timeouts)),
                 ("queue_depth".into(), num(shared.queue.depth() as u64)),
                 ("queue_capacity".into(), num(shared.queue.capacity() as u64)),
                 ("workers".into(), num(shared.config.workers.max(1) as u64)),
@@ -425,7 +505,16 @@ fn reload_repo(shared: &Arc<Shared>, path: Option<&str>) -> Json {
             return error_frame(KIND_RELOAD_FAILED, &e.to_string());
         }
     };
-    let detector = Detector::new(repo, shared.config.threshold);
+    // The threshold was validated when the server started; re-check
+    // instead of unwrapping so a future config path can never panic a
+    // handler thread.
+    let detector = match Detector::new(repo, shared.config.threshold) {
+        Ok(d) => d,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return error_frame(KIND_RELOAD_FAILED, &e.to_string());
+        }
+    };
     let mut slot = shared.repo.lock().unwrap_or_else(|e| e.into_inner());
     let next = Arc::new(RepoState {
         generation: slot.generation + 1,
@@ -490,7 +579,29 @@ fn worker_loop(shared: &Arc<Shared>) {
             "serve.queue_wait_ns",
             job.enqueued.elapsed().as_nanos() as u64,
         );
-        let frame = execute(shared, &job);
+        // Panic isolation: a panic anywhere in the classify/model work
+        // must cost exactly one request, not a pool slot. Without the
+        // catch, the panicking worker thread dies silently, the pool
+        // shrinks forever, and the request's handler blocks on a reply
+        // channel whose sender was dropped mid-unwind. `Shared` state
+        // crossing the boundary is lock-protected with explicit
+        // poison-recovery (queue, repo slot, builder shards) or atomic,
+        // so observing it after an unwind is sound.
+        let frame =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, &job)))
+                .unwrap_or_else(|payload| {
+                    shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                    sca_telemetry::counter("serve.panics", 1);
+                    let what = payload
+                        .downcast_ref::<&str>()
+                        .copied()
+                        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                        .unwrap_or("<non-string panic payload>");
+                    error_frame(
+                        KIND_INTERNAL_ERROR,
+                        &format!("worker panicked serving the request: {what}"),
+                    )
+                });
         if sp.is_recording() {
             sp.attr("ok", protocol::is_ok(&frame));
         }
@@ -547,6 +658,18 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> Json {
         if expired(job.deadline) {
             return fail(KIND_DEADLINE_EXCEEDED, "deadline passed during debug sleep");
         }
+    }
+
+    // Fault-injection hook: stand in for any unexpected panic in the
+    // pipeline below, at the point where the real work would start.
+    // The catch_unwind in `worker_loop` must turn this into a
+    // structured `internal_error` with the pool intact — the chaos
+    // harness asserts exactly that.
+    if let Request::Classify {
+        debug_panic: true, ..
+    } = &job.request
+    {
+        panic!("debug_panic requested by the client");
     }
 
     let victim = match parse_victim(victim_spec) {

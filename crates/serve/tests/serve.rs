@@ -73,6 +73,7 @@ fn classify_request(name: &str, sleep_ms: u64, deadline_ms: Option<u64>) -> Requ
         threshold: None,
         deadline_ms,
         debug_sleep_ms: sleep_ms,
+        debug_panic: false,
     }
 }
 
@@ -114,7 +115,7 @@ fn wire_detection_is_byte_identical_to_offline_json() {
     // The offline path: fresh builder, fresh detector, same inputs —
     // exactly what `scaguard classify --json` runs.
     let repo = load_repository(&fx.repo_all).expect("load repo");
-    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold in range");
     let builder = ModelBuilder::new(&ModelingConfig::default());
     let program = sca_isa::assemble("target", &fx.target_src).expect("assemble");
     let victim = protocol::parse_victim("shared:3").expect("victim");

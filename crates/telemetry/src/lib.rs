@@ -219,6 +219,14 @@ pub fn counter(name: &str, delta: u64) {
     *st.counters.entry(name.to_string()).or_insert(0) += delta;
 }
 
+/// The current value of the named counter (0 if it never fired). Reads
+/// whatever the registry holds, so it works while enabled or after a
+/// disable — handy for asserting on fault counters (`serve.panics`,
+/// `serve.timeouts`, `client.retries`) without taking a full snapshot.
+pub fn counter_value(name: &str) -> u64 {
+    state().counters.get(name).copied().unwrap_or(0)
+}
+
 /// Record one sample into the named histogram. No-op while disabled.
 pub fn record(name: &str, value: u64) {
     if !enabled() {

@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let s = poc::representative(family, &params);
         repo.add_poc(family, &s.program, &s.victim, &config)?;
     }
-    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold in range");
     let verdict = detector.classify(&attacker.program, &victim, &config)?;
     println!("SCAGuard verdict on the attacker: {verdict}");
     assert!(verdict.is_attack());

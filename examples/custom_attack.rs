@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let s = poc::representative(family, &params);
         repo.add_poc(family, &s.program, &s.victim, &config)?;
     }
-    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold in range");
 
     // The hand-written attack runs against a shared-memory victim. Note
     // that a *stripped-down* attack without the calibration/reporting

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let poc = poc::representative(family, &params);
         repo.add_poc(family, &poc.program, &poc.victim, &config)?;
     }
-    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold in range");
 
     let n = 8;
     let mutation = MutationConfig::default();

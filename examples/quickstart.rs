@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         repo.add_poc(family, &poc.program, &poc.victim, &config)?;
         println!("  {} <- {}", family, poc.name());
     }
-    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold in range");
 
     // 2. Classify unseen programs: attack variants the repository has
     //    never seen, plus benign programs.

@@ -152,7 +152,7 @@ fn main() {
         repo.add_poc(family, &s.program, &s.victim, &config)
             .expect("model PoC");
     }
-    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold in range");
     let sample = Sample::new(
         attacker,
         Victim::shared_memory(SHARED_BASE, LINE, vec![0]),

@@ -5,9 +5,12 @@
 # perf/exactness regression (the bench smoke asserts bitwise-exact
 # scores and engine >= naive speed on a small workload), a ModelBuilder
 # exactness regression (the modeling smoke asserts builder output is
-# byte-identical to serial build_models at several job counts), or a
+# byte-identical to serial build_models at several job counts), a
 # served-detection exactness regression (the serve smoke asserts wire
-# responses byte-identical to the offline pipeline).
+# responses byte-identical to the offline pipeline), or a
+# fault-tolerance regression (the chaos smoke replays the
+# fault-injection suite — delayed/truncated/garbled/dropped/oversized
+# traffic and worker panics — against a release server).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,5 +35,8 @@ cargo run -p sca-bench --release --offline --bin modeling_bench -- --smoke
 
 echo "==> serve bench smoke"
 cargo run -p sca-bench --release --offline --bin serve_bench -- --smoke
+
+echo "==> chaos fault-injection smoke"
+cargo test -p sca-serve --release --offline -q --test chaos
 
 echo "verify: OK"

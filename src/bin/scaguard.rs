@@ -25,7 +25,7 @@ use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{AttackFamily, Sample};
 use sca_cpu::Victim;
 use sca_serve::protocol::{self, Request};
-use sca_serve::{Client, ServeConfig};
+use sca_serve::{Client, ClientConfig, ServeConfig};
 use sca_telemetry::{Json, Record};
 use scaguard::{
     detection_json, explain_similarity, load_repository, save_repository, Detector, ModelBuilder,
@@ -53,15 +53,20 @@ fn usage() -> &'static str {
       show the DTW alignment against the best-matching PoC model
   scaguard serve <repo-file> [--addr <host:port>] [--workers <n>]
           [--queue-depth <n>] [--deadline-ms <n>] [--threshold <0..1>]
+          [--io-timeout-ms <n>]
       run the resident detection service on the repository: newline-
       delimited JSON over TCP (classify, model, reload-repo, stats,
       shutdown), bounded admission queue, fixed worker pool; prints
       `listening on <addr>` once ready and runs until a client sends
-      `shutdown`; --addr defaults to 127.0.0.1:0 (ephemeral port)
+      `shutdown`; --addr defaults to 127.0.0.1:0 (ephemeral port);
+      --io-timeout-ms disconnects a client that stalls mid-frame or
+      never drains responses (default 30000; 0 disables)
   scaguard submit <program.sasm> --addr <host:port> [--victim ...]
-          [--threshold <0..1>] [--deadline-ms <n>] [--json]
+          [--threshold <0..1>] [--deadline-ms <n>] [--retries <n>] [--json]
       classify a program against a running `scaguard serve`; --json
-      output is byte-identical to offline `classify --json`
+      output is byte-identical to offline `classify --json`;
+      --retries re-sends with jittered backoff when the server sheds
+      the request as `overloaded` (never after it was admitted)
   scaguard stats <telemetry.jsonl>
       summarize a telemetry trace written by --telemetry (per-stage span
       timings, counters, histogram percentiles)
@@ -92,6 +97,8 @@ struct Options {
     workers: usize,
     queue_depth: usize,
     deadline_ms: Option<u64>,
+    io_timeout_ms: Option<u64>,
+    retries: u32,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -109,6 +116,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         workers: 4,
         queue_depth: 64,
         deadline_ms: None,
+        io_timeout_ms: Some(30_000),
+        retries: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -172,6 +181,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .parse()
                         .map_err(|e| format!("bad deadline: {e}"))?,
                 );
+            }
+            "--io-timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--io-timeout-ms needs a value (0 disables the timeout)")?
+                    .parse()
+                    .map_err(|e| format!("bad io timeout: {e}"))?;
+                opts.io_timeout_ms = (ms > 0).then_some(ms);
+            }
+            "--retries" => {
+                opts.retries = it
+                    .next()
+                    .ok_or("--retries needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad retry count: {e}"))?;
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -243,7 +267,7 @@ fn cmd_classify(path: &str, opts: &Options, builder: &ModelBuilder) -> Result<()
         .as_deref()
         .ok_or("classify needs --repo (create one with `scaguard build-repo`)")?;
     let repo = load_repository(repo_path)?;
-    let detector = Detector::new(repo, opts.threshold);
+    let detector = Detector::new(repo, opts.threshold)?;
     let program = load_program(path)?;
     let detection = detector.classify_with_builder(&program, &opts.victim, builder, opts.jobs)?;
     if opts.json {
@@ -274,6 +298,7 @@ fn cmd_serve(repo: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
     config.queue_depth = opts.queue_depth;
     config.deadline_ms = opts.deadline_ms;
     config.threshold = opts.threshold;
+    config.io_timeout_ms = opts.io_timeout_ms;
     let handle = sca_serve::spawn(config)?;
     println!("listening on {}", handle.addr());
     std::io::stdout().flush()?;
@@ -294,14 +319,16 @@ fn cmd_submit(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
         .and_then(|s| s.to_str())
         .unwrap_or("program")
         .to_string();
-    let mut client = Client::connect(addr)?;
-    let response = client.send(&Request::Classify {
+    let mut client =
+        Client::connect_with(addr, ClientConfig::default().with_retries(opts.retries))?;
+    let response = client.send_retry(&Request::Classify {
         name,
         program: source,
         victim: opts.victim_spec.clone(),
         threshold: opts.threshold_set.then_some(opts.threshold),
         deadline_ms: opts.deadline_ms,
         debug_sleep_ms: 0,
+        debug_panic: false,
     })?;
     if let Some(kind) = protocol::error_kind(&response) {
         let message = response

@@ -32,7 +32,7 @@
 //!     let poc = poc::representative(family, &PocParams::default());
 //!     repo.add_poc(family, &poc.program, &poc.victim, &config)?;
 //! }
-//! let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD);
+//! let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold in range");
 //! let target = poc::flush_flush_iaik(&PocParams::default());
 //! let verdict = detector.classify(&target.program, &target.victim, &config)?;
 //! println!("{verdict}");

@@ -214,8 +214,8 @@ fn persisted_repository_classifies_identically() {
     }
     let text = repo.to_text();
     let loaded = ModelRepository::from_text(&text).expect("parse");
-    let d1 = Detector::new(repo, 0.21);
-    let d2 = Detector::new(loaded, 0.21);
+    let d1 = Detector::new(repo, 0.21).expect("threshold in range");
+    let d2 = Detector::new(loaded, 0.21).expect("threshold in range");
 
     let targets = [
         poc::flush_reload_mastik(&params),
