@@ -18,7 +18,9 @@
 //! * `cargo run -p sca-bench --release --bin serve_bench` — full run;
 //!   asserts the served throughput at `--workers 4` is >= 4x the
 //!   single-shot baseline and writes `BENCH_serve.json` at the workspace
-//!   root with throughput and p50/p99 latencies.
+//!   root with throughput and p50/p90/p99/max latencies, computed with
+//!   the same `sca_telemetry::Histogram` the server exposes over the
+//!   `metrics` command.
 //! * `... -- --smoke` — tiny workload, exactness assertions only, no
 //!   timing floor; the CI verify step runs this.
 
@@ -86,14 +88,6 @@ fn single_shot(repo_path: &PathBuf, name: &str, source: &str) -> String {
     let victim = sca_serve::protocol::parse_victim(VICTIM).expect("victim");
     let model = builder.build_cst(&program, &victim).expect("model");
     detection_json(name, &detector.classify_model(&model)).to_string()
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
 }
 
 fn main() {
@@ -241,15 +235,22 @@ fn main() {
             })
         })
         .collect();
-    let mut latencies: Vec<u64> = workers
+    let latencies: Vec<u64> = workers
         .into_iter()
         .flat_map(|w| w.join().expect("client thread"))
         .collect();
     let served_ns = served_t.elapsed().as_nanos() as u64;
-    latencies.sort_unstable();
     let served_rps = total_requests as f64 / (served_ns as f64 / 1e9);
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
+    // The same log-bucketed histogram the server exposes over `metrics`
+    // (~6% relative quantile error), so bench numbers and live numbers
+    // are directly comparable.
+    let mut latency_hist = sca_telemetry::Histogram::new();
+    for &l in &latencies {
+        latency_hist.record(l);
+    }
+    let p50 = latency_hist.percentile(50.0);
+    let p90 = latency_hist.percentile(90.0);
+    let p99 = latency_hist.percentile(99.0);
     let speedup = served_rps / baseline_rps;
 
     let stats = handle.stats();
@@ -273,7 +274,7 @@ fn main() {
         "  single-shot {baseline_per_req_ns:>13} ns/request   {baseline_rps:>10.2} req/s (one process per request; {in_process_per_req_ns} ns of that in-pipeline)"
     );
     println!(
-        "  served      {:>13} ns/request   {served_rps:>10.2} req/s (wall), p50 {p50} ns, p99 {p99} ns",
+        "  served      {:>13} ns/request   {served_rps:>10.2} req/s (wall), p50 {p50} ns, p90 {p90} ns, p99 {p99} ns",
         served_ns / total_requests as u64
     );
     println!("  speedup     {speedup:>12.2}x throughput, byte-exact");
@@ -323,7 +324,12 @@ fn main() {
                 ("wall_ns".into(), Json::Num(served_ns as f64)),
                 ("requests_per_sec".into(), Json::Num(round2(served_rps))),
                 ("latency_p50_ns".into(), Json::Num(p50 as f64)),
+                ("latency_p90_ns".into(), Json::Num(p90 as f64)),
                 ("latency_p99_ns".into(), Json::Num(p99 as f64)),
+                (
+                    "latency_max_ns".into(),
+                    Json::Num(latency_hist.max() as f64),
+                ),
                 ("shed".into(), Json::Num(served_shed as f64)),
                 ("completed".into(), Json::Num(served_completed as f64)),
             ]),

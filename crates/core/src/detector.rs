@@ -367,13 +367,16 @@ impl Detector {
     /// [`EntryScore::exact`]). Use [`Detector::classify_model_full`]
     /// when every per-entry score must be exact.
     pub fn classify_model(&self, target: &CstBbs) -> Detection {
+        let mut sp = sca_telemetry::span("detect.scan");
         let mut state = self.lock_scan();
         let result =
             scan_target(&mut state, &self.repo, target, true, None).expect("no deadline was given");
         if state.engine.pool_len() > POOL_LIMIT {
             *state = ScanState::build(&self.repo);
         }
-        self.detection(result)
+        let detection = self.detection(result);
+        self.annotate(&mut sp, &detection);
+        detection
     }
 
     /// [`Detector::classify_model`] under a wall-clock deadline,
@@ -392,24 +395,36 @@ impl Detector {
         target: &CstBbs,
         deadline: Instant,
     ) -> Result<Detection, DeadlineExceeded> {
+        let mut sp = sca_telemetry::span("detect.scan");
         let mut state = self.lock_scan();
-        let result = scan_target(&mut state, &self.repo, target, true, Some(deadline))?;
+        let result = match scan_target(&mut state, &self.repo, target, true, Some(deadline)) {
+            Ok(r) => r,
+            Err(e) => {
+                sp.attr("deadline_exceeded", true);
+                return Err(e);
+            }
+        };
         if state.engine.pool_len() > POOL_LIMIT {
             *state = ScanState::build(&self.repo);
         }
-        Ok(self.detection(result))
+        let detection = self.detection(result);
+        self.annotate(&mut sp, &detection);
+        Ok(detection)
     }
 
     /// Classify a prebuilt target model with an exhaustive scan: every
     /// entry's score is exact (still served by the interned engine).
     pub fn classify_model_full(&self, target: &CstBbs) -> Detection {
+        let mut sp = sca_telemetry::span("detect.scan");
         let mut state = self.lock_scan();
         let result = scan_target(&mut state, &self.repo, target, false, None)
             .expect("no deadline was given");
         if state.engine.pool_len() > POOL_LIMIT {
             *state = ScanState::build(&self.repo);
         }
-        self.detection(result)
+        let detection = self.detection(result);
+        self.annotate(&mut sp, &detection);
+        detection
     }
 
     /// Classify a prebuilt target model, scanning the repository with
@@ -590,7 +605,8 @@ impl Detector {
         Ok(detection)
     }
 
-    /// Attach the standard verdict attributes to a root `detect` span.
+    /// Attach the standard verdict attributes to a `detect` or
+    /// `detect.scan` span.
     fn annotate(&self, sp: &mut sca_telemetry::SpanGuard, detection: &Detection) {
         if sp.is_recording() {
             sp.attr(

@@ -21,7 +21,8 @@ use std::time::{Duration, SystemTime};
 use sca_telemetry::Json;
 
 use crate::protocol::{
-    error_kind, read_frame_limited, write_frame, ErrorKind, Request, MAX_FRAME_LEN,
+    error_kind, read_frame_limited, with_timings_flag, write_frame, ErrorKind, Request,
+    MAX_FRAME_LEN,
 };
 
 /// Connection and retry policy for a [`Client`].
@@ -152,6 +153,17 @@ impl Client {
         self.request(&request.to_json())
     }
 
+    /// Send one [`Request`] with the envelope's `timings` flag set, so
+    /// the response carries a stage-timing breakdown (see
+    /// [`crate::protocol::timings`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn send_timed(&mut self, request: &Request) -> io::Result<Json> {
+        self.request(&with_timings_flag(request))
+    }
+
     /// Send one [`Request`], retrying with jittered exponential backoff
     /// when — and only when — the server sheds it with `overloaded`.
     ///
@@ -166,10 +178,20 @@ impl Client {
     /// As [`Client::request`]; the final `overloaded` response (not an
     /// `Err`) is returned when every retry was shed.
     pub fn send_retry(&mut self, request: &Request) -> io::Result<Json> {
-        let frame = request.to_json();
+        self.request_retry(&request.to_json())
+    }
+
+    /// [`Client::send_retry`] over an already-rendered frame, for
+    /// callers that decorate the envelope (e.g. the `timings` flag)
+    /// before sending.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::send_retry`].
+    pub fn request_retry(&mut self, frame: &Json) -> io::Result<Json> {
         let mut attempt = 0u32;
         loop {
-            let response = self.request(&frame)?;
+            let response = self.request(frame)?;
             let shed = error_kind(&response)
                 .and_then(ErrorKind::parse)
                 .is_some_and(ErrorKind::is_retryable);
@@ -221,6 +243,25 @@ impl Client {
     /// As [`Client::request`].
     pub fn stats(&mut self) -> io::Result<Json> {
         self.send(&Request::Stats)
+    }
+
+    /// Fetch the full telemetry snapshot (counters, gauges, histogram
+    /// summaries).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn metrics(&mut self) -> io::Result<Json> {
+        self.send(&Request::Metrics)
+    }
+
+    /// Fetch the flight recorder's resident request summaries.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn flight(&mut self) -> io::Result<Json> {
+        self.send(&Request::Flight)
     }
 
     /// Reload the repository (from `path`, or the server's own file).

@@ -25,6 +25,15 @@
 //! [`client`] is the matching blocking client, used by `scaguard
 //! submit`, the integration tests, and the serve benchmark.
 //!
+//! Every response frame carries a `trace_id` (see
+//! [`protocol::trace_id`]); requests flagged with `"timings": true` on
+//! the envelope additionally get a stage-timing breakdown
+//! ([`protocol::timings`]). The `metrics` command exposes the full
+//! telemetry snapshot on the wire, and a fixed-size flight recorder
+//! ([`sca_telemetry::FlightRecorder`]) keeps the last N request
+//! summaries resident for post-hoc triage — including shed, timed-out,
+//! and panicked requests that never produced a detection.
+//!
 //! [`ModelBuilder`]: scaguard::ModelBuilder
 //! [`Detector`]: scaguard::Detector
 
@@ -34,5 +43,7 @@ pub mod queue;
 pub mod server;
 
 pub use client::{Client, ClientConfig};
-pub use protocol::{ErrorKind, Request, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use protocol::{
+    timings, trace_id, with_timings_flag, ErrorKind, Request, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
 pub use server::{spawn, ServeConfig, ServeError, ServerHandle, StatsSnapshot};

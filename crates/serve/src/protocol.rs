@@ -3,23 +3,28 @@
 //! Every request and every response is one JSON object on one line
 //! (NDJSON), so any language with a socket and a JSON parser can talk to
 //! the server, and transcripts can be replayed with `nc`. Requests carry
-//! a `"cmd"` discriminator; responses carry `"ok"` plus either the
-//! result fields or an `"error"` object with a machine-readable `kind`:
+//! a `"cmd"` discriminator; responses carry `"ok"`, a server-assigned
+//! `trace_id`, and either the result fields or an `"error"` object with
+//! a machine-readable `kind`:
 //!
 //! ```text
 //! -> {"cmd":"classify","name":"fr","program":"  mov r1, 7\n  halt\n","victim":"shared:3"}
-//! <- {"ok":true,"repo":{"generation":1,"entries":4},"detection":{...}}
+//! <- {"ok":true,"trace_id":7,"repo":{"generation":1,"entries":4},"detection":{...}}
 //! -> {"cmd":"stats"}
-//! <- {"ok":true,"stats":{"received":2,"completed":1,...}}
+//! <- {"ok":true,"trace_id":8,"stats":{"received":2,"completed":1,...}}
 //! -> nonsense
-//! <- {"ok":false,"error":{"kind":"bad_request","message":"invalid JSON frame: ..."}}
+//! <- {"ok":false,"trace_id":9,"error":{"kind":"bad_request","message":"invalid JSON frame: ..."}}
 //! ```
 //!
 //! Malformed frames always get a structured `bad_request` error instead
 //! of a dropped connection; the connection stays usable for the next
 //! frame. The `detection` object of a `classify` response is rendered by
 //! [`scaguard::detection_json`] — byte-identical to what the offline
-//! `scaguard classify --json` prints for the same target.
+//! `scaguard classify --json` prints for the same target. The trace id
+//! and the optional `timings` object (requested by putting
+//! `"timings":true` in any work frame's envelope) live *next to* the
+//! `detection`, never inside it, so the byte-identity holds with
+//! observability on.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -210,6 +215,11 @@ pub enum Request {
     },
     /// Server statistics.
     Stats,
+    /// Full telemetry snapshot: counters, gauges, and histogram
+    /// summaries (p50/p90/p99/max).
+    Metrics,
+    /// The flight recorder's resident request summaries.
+    Flight,
     /// Liveness / version probe.
     Ping,
     /// Stop accepting work and exit.
@@ -260,28 +270,41 @@ impl Request {
     /// server wraps it in a [`KIND_BAD_REQUEST`] error frame.
     pub fn parse(line: &str) -> Result<Request, String> {
         let v = Json::parse(line).map_err(|e| format!("invalid JSON frame: {e}"))?;
-        let cmd = req_str(&v, "cmd")?;
+        Request::from_json(&v)
+    }
+
+    /// Parse an already-decoded request frame. Envelope-level flags that
+    /// are not part of the request itself (`timings`) are read separately
+    /// with [`request_wants_timings`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::parse`].
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let cmd = req_str(v, "cmd")?;
         match cmd.as_str() {
             "classify" => Ok(Request::Classify {
-                name: req_str(&v, "name").unwrap_or_else(|_| "program".into()),
-                program: req_str(&v, "program")?,
-                victim: req_str(&v, "victim").unwrap_or_else(|_| "none".into()),
-                threshold: opt_f64(&v, "threshold")?,
-                deadline_ms: opt_u64(&v, "deadline_ms")?,
-                debug_sleep_ms: opt_u64(&v, "debug_sleep_ms")?.unwrap_or(0),
-                debug_panic: opt_bool(&v, "debug_panic")?,
+                name: req_str(v, "name").unwrap_or_else(|_| "program".into()),
+                program: req_str(v, "program")?,
+                victim: req_str(v, "victim").unwrap_or_else(|_| "none".into()),
+                threshold: opt_f64(v, "threshold")?,
+                deadline_ms: opt_u64(v, "deadline_ms")?,
+                debug_sleep_ms: opt_u64(v, "debug_sleep_ms")?.unwrap_or(0),
+                debug_panic: opt_bool(v, "debug_panic")?,
             }),
             "model" => Ok(Request::Model {
-                name: req_str(&v, "name").unwrap_or_else(|_| "program".into()),
-                program: req_str(&v, "program")?,
-                victim: req_str(&v, "victim").unwrap_or_else(|_| "none".into()),
-                deadline_ms: opt_u64(&v, "deadline_ms")?,
-                debug_sleep_ms: opt_u64(&v, "debug_sleep_ms")?.unwrap_or(0),
+                name: req_str(v, "name").unwrap_or_else(|_| "program".into()),
+                program: req_str(v, "program")?,
+                victim: req_str(v, "victim").unwrap_or_else(|_| "none".into()),
+                deadline_ms: opt_u64(v, "deadline_ms")?,
+                debug_sleep_ms: opt_u64(v, "debug_sleep_ms")?.unwrap_or(0),
             }),
             "reload-repo" => Ok(Request::ReloadRepo {
                 path: v.get("path").and_then(Json::as_str).map(str::to_string),
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "flight" => Ok(Request::Flight),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown cmd `{other}`")),
@@ -345,11 +368,57 @@ impl Request {
                 }
             }
             Request::Stats => fields.push(("cmd".into(), Json::Str("stats".into()))),
+            Request::Metrics => fields.push(("cmd".into(), Json::Str("metrics".into()))),
+            Request::Flight => fields.push(("cmd".into(), Json::Str("flight".into()))),
             Request::Ping => fields.push(("cmd".into(), Json::Str("ping".into()))),
             Request::Shutdown => fields.push(("cmd".into(), Json::Str("shutdown".into()))),
         }
         Json::Obj(fields)
     }
+}
+
+/// Whether a request frame asks for a stage-timing breakdown in its
+/// response (`"timings": true` in the envelope). Kept outside
+/// [`Request`] so the flag composes with every work command without
+/// changing the request structs.
+pub fn request_wants_timings(v: &Json) -> bool {
+    v.get("timings") == Some(&Json::Bool(true))
+}
+
+/// `frame` with `request.to_json()`'s fields plus `"timings": true`, the
+/// client side of [`request_wants_timings`].
+pub fn with_timings_flag(request: &Request) -> Json {
+    match request.to_json() {
+        Json::Obj(mut fields) => {
+            fields.push(("timings".into(), Json::Bool(true)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+/// `frame` with the server-assigned trace id inserted right after the
+/// leading `"ok"` field (or prepended if the frame is not an object).
+pub fn with_trace_id(frame: Json, trace_id: u64) -> Json {
+    let id = ("trace_id".to_string(), Json::Num(trace_id as f64));
+    match frame {
+        Json::Obj(mut fields) => {
+            let at = usize::from(fields.first().is_some_and(|(k, _)| k == "ok"));
+            fields.insert(at, id);
+            Json::Obj(fields)
+        }
+        other => Json::Obj(vec![id, ("frame".into(), other)]),
+    }
+}
+
+/// The server-assigned trace id of a response frame, if present.
+pub fn trace_id(frame: &Json) -> Option<u64> {
+    frame.get("trace_id").and_then(Json::as_u64)
+}
+
+/// The `timings` object of a response frame, if present.
+pub fn timings(frame: &Json) -> Option<&Json> {
+    frame.get("timings")
 }
 
 /// A `{"ok":false,"error":{"kind":...,"message":...}}` frame.
@@ -558,6 +627,8 @@ mod tests {
     fn every_control_request_round_trips() {
         for req in [
             Request::Stats,
+            Request::Metrics,
+            Request::Flight,
             Request::Ping,
             Request::Shutdown,
             Request::ReloadRepo { path: None },
@@ -613,6 +684,43 @@ mod tests {
         let ok = ok_frame(vec![("pong".into(), Json::Bool(true))]);
         assert!(is_ok(&ok));
         assert_eq!(error_kind(&ok), None);
+    }
+
+    #[test]
+    fn trace_id_lands_right_after_ok_on_every_frame_shape() {
+        let ok = with_trace_id(ok_frame(vec![("pong".into(), Json::Bool(true))]), 42);
+        assert_eq!(trace_id(&ok), Some(42));
+        assert_eq!(
+            ok.to_string(),
+            "{\"ok\":true,\"trace_id\":42,\"pong\":true}",
+            "trace_id must follow the leading ok field"
+        );
+        let err = with_trace_id(error_frame(KIND_BAD_REQUEST, "nope"), 7);
+        assert_eq!(trace_id(&err), Some(7));
+        assert!(!is_ok(&err));
+        assert_eq!(error_kind(&err), Some(KIND_BAD_REQUEST));
+    }
+
+    #[test]
+    fn timings_flag_rides_the_envelope_not_the_request() {
+        let req = Request::Classify {
+            name: "fr".into(),
+            program: "  halt\n".into(),
+            victim: "none".into(),
+            threshold: None,
+            deadline_ms: None,
+            debug_sleep_ms: 0,
+            debug_panic: false,
+        };
+        let plain = req.to_json();
+        assert!(!request_wants_timings(&plain));
+        let flagged = with_timings_flag(&req);
+        assert!(request_wants_timings(&flagged));
+        // The flag is invisible to request parsing: both decode equally.
+        assert_eq!(
+            Request::parse(&flagged.to_string()),
+            Request::parse(&plain.to_string())
+        );
     }
 
     #[test]

@@ -30,9 +30,24 @@
 //!   mutex). Workers snapshot the `Arc` at admission, so every response
 //!   is computed against exactly one repository generation and in-flight
 //!   work is never drained or mixed.
+//! - **Observability**: every frame gets a server-unique trace id
+//!   (returned in the response envelope); workers bind it to the thread
+//!   with [`sca_telemetry::trace_scope`] so detector/engine spans carry
+//!   it, then drain those spans per request — the registry stays bounded
+//!   no matter how long the server lives. Stage timings are measured
+//!   directly with `Instant` (so the `timings` breakdown works and sums
+//!   to the total with the registry off), every request lands in a
+//!   fixed-size [`FlightRecorder`] ring, and requests slower than
+//!   [`ServeConfig::slow_ms`] dump their summary plus full span tree as
+//!   JSONL to [`ServeConfig::slow_log`]. When telemetry is disabled the
+//!   extra per-request cost is a handful of `Instant::now` calls and one
+//!   uncontended mutex push — the registry entry points stay one relaxed
+//!   atomic load.
 
+use std::collections::BTreeMap;
 use std::fmt;
-use std::io::{self, BufReader};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -40,7 +55,10 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use sca_telemetry::Json;
+use sca_telemetry::{
+    request_json, span_json, AttrValue, FlightRecorder, Histogram, Json, Outcome, RequestSummary,
+    SpanRecord,
+};
 use scaguard::persist::LoadRepoError;
 use scaguard::{
     detection_json, load_repository, model_text, Detector, InvalidThreshold, ModelBuilder,
@@ -48,9 +66,10 @@ use scaguard::{
 };
 
 use crate::protocol::{
-    self, error_frame, ok_frame, parse_victim, read_frame_limited, write_frame, FrameReadError,
-    Request, KIND_BAD_REQUEST, KIND_DEADLINE_EXCEEDED, KIND_INTERNAL_ERROR, KIND_MODEL_ERROR,
-    KIND_OVERLOADED, KIND_RELOAD_FAILED, KIND_SHUTTING_DOWN, PROTOCOL_VERSION,
+    self, error_frame, ok_frame, parse_victim, read_frame_limited, request_wants_timings,
+    with_trace_id, write_frame, ErrorKind, FrameReadError, Request, KIND_BAD_REQUEST,
+    KIND_DEADLINE_EXCEEDED, KIND_INTERNAL_ERROR, KIND_MODEL_ERROR, KIND_OVERLOADED,
+    KIND_RELOAD_FAILED, KIND_SHUTTING_DOWN, PROTOCOL_VERSION,
 };
 use crate::queue::BoundedQueue;
 
@@ -83,6 +102,24 @@ pub struct ServeConfig {
     /// with a `bad_request` naming the limit and the connection is
     /// closed — the stream cannot be resynchronized mid-frame.
     pub max_frame_len: usize,
+    /// Enable the telemetry registry at startup (default false), so the
+    /// `metrics` command has counters/gauges/histograms to report and
+    /// spans carry trace ids. Off, every registry entry point stays one
+    /// relaxed atomic load.
+    pub metrics: bool,
+    /// Flight-recorder capacity in requests (default 256). The recorder
+    /// itself is always on — it is server-owned and bounded, not gated
+    /// by the telemetry flag.
+    pub flight_capacity: usize,
+    /// Slow-request threshold in milliseconds. A work request slower
+    /// than this dumps its summary (plus its span tree, when telemetry
+    /// is on) to [`ServeConfig::slow_log`]. `None` (the default)
+    /// disables the dump; `Some(0)` dumps every request.
+    pub slow_ms: Option<u64>,
+    /// JSONL file receiving slow-request dumps (appended, created on
+    /// demand). `None` (the default) logs nowhere even if `slow_ms` is
+    /// set.
+    pub slow_log: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -97,6 +134,10 @@ impl ServeConfig {
             repo_path: repo_path.into(),
             io_timeout_ms: Some(30_000),
             max_frame_len: protocol::MAX_FRAME_LEN,
+            metrics: false,
+            flight_capacity: 256,
+            slow_ms: None,
+            slow_log: None,
         }
     }
 }
@@ -205,6 +246,11 @@ pub struct StatsSnapshot {
     pub panics: u64,
     /// Connections dropped by the per-connection socket timeout.
     pub timeouts: u64,
+    /// Gauge: work requests admitted but not yet answered (queued or on
+    /// a worker).
+    pub in_flight: u64,
+    /// Gauge: workers currently executing a job.
+    pub busy_workers: u64,
 }
 
 /// One admitted unit of work. The `repo` snapshot is taken at admission:
@@ -216,6 +262,30 @@ struct Job {
     deadline: Option<Instant>,
     enqueued: Instant,
     reply: mpsc::Sender<Json>,
+    /// Server-unique id assigned to the frame at read time.
+    trace_id: u64,
+    /// Whether the response should carry the stage-timing breakdown.
+    wants_timings: bool,
+}
+
+impl Job {
+    /// The request kind, as recorded in the flight ring.
+    fn kind(&self) -> &'static str {
+        request_kind(&self.request)
+    }
+}
+
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Classify { .. } => "classify",
+        Request::Model { .. } => "model",
+        Request::ReloadRepo { .. } => "reload-repo",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Flight => "flight",
+        Request::Ping => "ping",
+        Request::Shutdown => "shutdown",
+    }
 }
 
 /// State shared by the acceptor, handlers, and workers.
@@ -227,6 +297,16 @@ struct Shared {
     counters: Counters,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// Next trace id; every frame read off a connection consumes one.
+    next_trace: AtomicU64,
+    /// Work requests admitted but not yet answered.
+    in_flight: AtomicU64,
+    /// Workers currently executing a job.
+    busy_workers: AtomicU64,
+    /// Always-on ring of per-request summaries.
+    flight: FlightRecorder,
+    /// Open slow-request log, when configured.
+    slow_log: Option<Mutex<File>>,
 }
 
 impl Shared {
@@ -244,7 +324,24 @@ impl Shared {
             reloads: self.counters.reloads.load(Ordering::Relaxed),
             panics: self.counters.panics.load(Ordering::Relaxed),
             timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            busy_workers: self.busy_workers.load(Ordering::Relaxed),
         }
+    }
+
+    /// Append a slow request's summary and span tree to the slow log.
+    /// Best-effort: a full disk must never take the serving path down.
+    fn write_slow_dump(&self, summary: &RequestSummary, spans: &[SpanRecord]) {
+        let Some(file) = &self.slow_log else { return };
+        let mut out = request_json(summary).to_string();
+        out.push('\n');
+        for s in spans {
+            out.push_str(&span_json(s).to_string());
+            out.push('\n');
+        }
+        let mut f = file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = f.write_all(out.as_bytes());
+        let _ = f.flush();
     }
 
     /// Begin shutdown: refuse new work, let queued work drain, wake the
@@ -278,6 +375,11 @@ impl ServerHandle {
         self.shared.stats()
     }
 
+    /// A copy of the flight recorder's resident entries, oldest first.
+    pub fn flight(&self) -> Vec<RequestSummary> {
+        self.shared.flight.snapshot()
+    }
+
     /// Ask the server to stop: no new work is admitted, queued work
     /// drains, then the pool exits. Follow with [`ServerHandle::join`].
     pub fn shutdown(&self) {
@@ -305,6 +407,15 @@ impl ServerHandle {
 /// (the error names the file, line, and reason); [`ServeError::Io`]
 /// when the listen address cannot be bound.
 pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    if config.metrics {
+        sca_telemetry::set_enabled(true);
+    }
+    let slow_log = match &config.slow_log {
+        Some(path) => Some(Mutex::new(
+            OpenOptions::new().create(true).append(true).open(path)?,
+        )),
+        None => None,
+    };
     let repo = load_repository(&config.repo_path)?;
     let detector = Detector::new(repo, config.threshold)?;
     let listener = TcpListener::bind(&config.addr)?;
@@ -321,6 +432,11 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         counters: Counters::default(),
         shutdown: AtomicBool::new(false),
         addr,
+        next_trace: AtomicU64::new(1),
+        in_flight: AtomicU64::new(0),
+        busy_workers: AtomicU64::new(0),
+        flight: FlightRecorder::new(config.flight_capacity),
+        slow_log,
         config,
     });
 
@@ -393,11 +509,15 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
             Ok(None) => break,
             Err(FrameReadError::TooLong { limit }) => {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed);
                 let _ = write_frame(
                     &mut writer,
-                    &error_frame(
-                        KIND_BAD_REQUEST,
-                        &format!("frame exceeds the {limit}-byte limit; closing connection"),
+                    &with_trace_id(
+                        error_frame(
+                            KIND_BAD_REQUEST,
+                            &format!("frame exceeds the {limit}-byte limit; closing connection"),
+                        ),
+                        trace,
                     ),
                 );
                 break;
@@ -412,22 +532,36 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
         if line.trim().is_empty() {
             continue;
         }
-        let frame = match Request::parse(&line) {
-            Err(e) => error_frame(KIND_BAD_REQUEST, &e),
-            // Acknowledge shutdown *before* initiating it: once the
-            // worker pool unwinds the whole process may exit (CLI
-            // `serve`), and a detached handler must not race its reply
-            // against that exit.
-            Ok(Request::Shutdown) => {
-                write_frame(
-                    &mut writer,
-                    &ok_frame(vec![("stopping".into(), Json::Bool(true))]),
-                )?;
-                shared.begin_shutdown();
-                continue;
+        // Every frame — work, control, even unparseable garbage — burns
+        // one trace id and returns it, so any response a client ever
+        // sees can be named when reporting a problem.
+        let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed);
+        let frame = match Json::parse(&line) {
+            Err(e) => error_frame(KIND_BAD_REQUEST, &format!("invalid JSON frame: {e}")),
+            Ok(v) => {
+                let wants_timings = request_wants_timings(&v);
+                match Request::from_json(&v) {
+                    Err(e) => error_frame(KIND_BAD_REQUEST, &e),
+                    // Acknowledge shutdown *before* initiating it: once
+                    // the worker pool unwinds the whole process may exit
+                    // (CLI `serve`), and a detached handler must not race
+                    // its reply against that exit.
+                    Ok(Request::Shutdown) => {
+                        write_frame(
+                            &mut writer,
+                            &with_trace_id(
+                                ok_frame(vec![("stopping".into(), Json::Bool(true))]),
+                                trace,
+                            ),
+                        )?;
+                        shared.begin_shutdown();
+                        continue;
+                    }
+                    Ok(req) => dispatch(req, shared, trace, wants_timings),
+                }
             }
-            Ok(req) => dispatch(req, shared),
         };
+        let frame = with_trace_id(frame, trace);
         if let Err(e) = write_frame(&mut writer, &frame) {
             // A peer that stops draining its socket stalls the write;
             // with the write timeout set, that surfaces here and costs
@@ -447,18 +581,22 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
 }
 
 /// Answer one request: control commands inline, work through the queue.
-fn dispatch(request: Request, shared: &Arc<Shared>) -> Json {
+fn dispatch(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: bool) -> Json {
     match request {
         Request::Ping => ok_frame(vec![
             ("pong".into(), Json::Bool(true)),
             ("protocol".into(), Json::Num(PROTOCOL_VERSION as f64)),
         ]),
         Request::Stats => stats_frame(shared),
+        Request::Metrics => metrics_frame(shared),
+        Request::Flight => flight_frame(shared),
         Request::ReloadRepo { path } => reload_repo(shared, path.as_deref()),
         // Intercepted by the connection handler (the ack must be written
         // before shutdown begins); kept for completeness.
         Request::Shutdown => ok_frame(vec![("stopping".into(), Json::Bool(true))]),
-        work @ (Request::Classify { .. } | Request::Model { .. }) => submit(work, shared),
+        work @ (Request::Classify { .. } | Request::Model { .. }) => {
+            submit(work, shared, trace, wants_timings)
+        }
     }
 }
 
@@ -480,7 +618,14 @@ fn stats_frame(shared: &Arc<Shared>) -> Json {
                 ("timeouts".into(), num(s.timeouts)),
                 ("queue_depth".into(), num(shared.queue.depth() as u64)),
                 ("queue_capacity".into(), num(shared.queue.capacity() as u64)),
+                ("in_flight".into(), num(s.in_flight)),
+                ("busy_workers".into(), num(s.busy_workers)),
                 ("workers".into(), num(shared.config.workers.max(1) as u64)),
+                ("repo_generation".into(), num(repo.generation)),
+                (
+                    "repo_entries".into(),
+                    num(repo.detector.repository().len() as u64),
+                ),
                 (
                     "model_cache_entries".into(),
                     num(shared.builder.len() as u64),
@@ -489,6 +634,113 @@ fn stats_frame(shared: &Arc<Shared>) -> Json {
         ),
         ("repo".into(), repo.json()),
     ])
+}
+
+/// The live server gauges, computed fresh on every call — gauges carry
+/// instantaneous state, so they are observed at exposition time rather
+/// than maintained incrementally.
+fn live_gauges(shared: &Arc<Shared>) -> Vec<(String, u64)> {
+    let s = shared.stats();
+    let repo = shared.repo_snapshot();
+    vec![
+        ("serve.queue_depth".into(), shared.queue.depth() as u64),
+        (
+            "serve.queue_capacity".into(),
+            shared.queue.capacity() as u64,
+        ),
+        ("serve.in_flight".into(), s.in_flight),
+        ("serve.busy_workers".into(), s.busy_workers),
+        ("serve.workers".into(), shared.config.workers.max(1) as u64),
+        ("serve.repo_generation".into(), repo.generation),
+        (
+            "serve.repo_entries".into(),
+            repo.detector.repository().len() as u64,
+        ),
+        (
+            "serve.model_cache_entries".into(),
+            shared.builder.len() as u64,
+        ),
+        ("serve.flight_recorded".into(), shared.flight.recorded()),
+    ]
+}
+
+fn histogram_summary(h: &Histogram) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Num(h.count() as f64)),
+        ("min".into(), Json::Num(h.min() as f64)),
+        ("max".into(), Json::Num(h.max() as f64)),
+        ("mean".into(), Json::Num(h.mean())),
+        ("p50".into(), Json::Num(h.percentile(50.0) as f64)),
+        ("p90".into(), Json::Num(h.percentile(90.0) as f64)),
+        ("p99".into(), Json::Num(h.percentile(99.0) as f64)),
+    ])
+}
+
+/// The full telemetry snapshot as one frame: counters, gauges (registry
+/// gauges merged with the live server gauges, which always win), and
+/// histogram summaries. Live gauges are also published back into the
+/// registry so JSONL exports carry them — a no-op while disabled.
+fn metrics_frame(shared: &Arc<Shared>) -> Json {
+    let live = live_gauges(shared);
+    for (k, v) in &live {
+        sca_telemetry::gauge(k, *v);
+    }
+    let snap = sca_telemetry::snapshot();
+    let mut gauges: BTreeMap<String, u64> = snap.gauges;
+    gauges.extend(live);
+    ok_frame(vec![(
+        "metrics".into(),
+        Json::Obj(vec![
+            ("telemetry".into(), Json::Bool(sca_telemetry::enabled())),
+            (
+                "counters".into(),
+                Json::Obj(
+                    snap.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    snap.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), histogram_summary(h)))
+                        .collect(),
+                ),
+            ),
+        ]),
+    )])
+}
+
+/// The flight recorder's resident entries, oldest first, each in the
+/// same shape `sca_telemetry::parse_line` accepts.
+fn flight_frame(shared: &Arc<Shared>) -> Json {
+    let entries: Vec<Json> = shared.flight.snapshot().iter().map(request_json).collect();
+    ok_frame(vec![(
+        "flight".into(),
+        Json::Obj(vec![
+            (
+                "capacity".into(),
+                Json::Num(shared.flight.capacity() as f64),
+            ),
+            (
+                "recorded".into(),
+                Json::Num(shared.flight.recorded() as f64),
+            ),
+            ("entries".into(), Json::Arr(entries)),
+        ]),
+    )])
 }
 
 /// Load a repository (the configured path unless the request named one)
@@ -530,7 +782,7 @@ fn reload_repo(shared: &Arc<Shared>, path: Option<&str>) -> Json {
 
 /// Admit a work request onto the queue (or shed it) and wait for the
 /// worker's reply.
-fn submit(request: Request, shared: &Arc<Shared>) -> Json {
+fn submit(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: bool) -> Json {
     shared.counters.received.fetch_add(1, Ordering::Relaxed);
     sca_telemetry::counter("serve.requests", 1);
     if shared.shutdown.load(Ordering::SeqCst) {
@@ -542,6 +794,7 @@ fn submit(request: Request, shared: &Arc<Shared>) -> Json {
         }
         _ => None,
     };
+    let kind = request_kind(&request);
     let (tx, rx) = mpsc::channel();
     let job = Job {
         request,
@@ -549,12 +802,24 @@ fn submit(request: Request, shared: &Arc<Shared>) -> Json {
         deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
         enqueued: Instant::now(),
         reply: tx,
+        trace_id: trace,
+        wants_timings,
     };
     match shared.queue.try_push(job) {
         Ok(depth) => sca_telemetry::record("serve.queue_depth", depth as u64),
         Err(_) => {
             shared.counters.shed.fetch_add(1, Ordering::Relaxed);
             sca_telemetry::counter("serve.shed", 1);
+            // Shed requests never reach a worker, so the admission path
+            // is the only place their story can enter the flight ring.
+            shared.flight.record(RequestSummary {
+                trace_id: trace,
+                name: kind.into(),
+                outcome: Outcome::Shed,
+                verdict: None,
+                latency_ns: 0,
+                stages: Vec::new(),
+            });
             return error_frame(
                 KIND_OVERLOADED,
                 &format!(
@@ -564,21 +829,94 @@ fn submit(request: Request, shared: &Arc<Shared>) -> Json {
             );
         }
     }
-    match rx.recv() {
+    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+    let frame = match rx.recv() {
         Ok(frame) => frame,
         // The worker pool exited with the job still queued (shutdown
         // race): the sender side was dropped without an answer.
         Err(_) => error_frame(KIND_SHUTTING_DOWN, "server is shutting down"),
+    };
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    frame
+}
+
+/// Wall-clock stage timings for one request, measured directly with
+/// `Instant` rather than derived from spans, so the breakdown exists —
+/// and sums to the reported total — whether or not the telemetry
+/// registry is enabled.
+#[derive(Default)]
+struct Stages {
+    entries: Vec<(String, u64)>,
+}
+
+impl Stages {
+    fn push(&mut self, name: &str, ns: u64) {
+        self.entries.push((format!("{name}_ns"), ns));
     }
+
+    fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.push(name, start.elapsed().as_nanos() as u64);
+        out
+    }
+}
+
+/// The `timings` object attached to a response when the request asked
+/// for one. The top-level `*_ns` stages sum to `total_ns` up to
+/// measurement noise; the span-derived DTW/lower-bound split (only
+/// available with telemetry on) nests under `detail` so it never skews
+/// that sum.
+fn timings_json(total_ns: u64, stages: &Stages, detail: Option<(u64, u64)>) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![("total_ns".into(), Json::Num(total_ns as f64))];
+    fields.extend(
+        stages
+            .entries
+            .iter()
+            .map(|(k, ns)| (k.clone(), Json::Num(*ns as f64))),
+    );
+    if let Some((lb_ns, dtw_ns)) = detail {
+        fields.push((
+            "detail".into(),
+            Json::Obj(vec![
+                ("lb_ns".into(), Json::Num(lb_ns as f64)),
+                ("dtw_ns".into(), Json::Num(dtw_ns as f64)),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// Split the drained compare spans into time resolved by the
+/// lower-bound cascade (or early abandoning) vs. full DTW runs.
+fn compare_split(spans: &[SpanRecord]) -> (u64, u64) {
+    let (mut lb_ns, mut dtw_ns) = (0u64, 0u64);
+    for s in spans {
+        if s.name != "pipeline.compare.dtw" {
+            continue;
+        }
+        let exact = matches!(s.attr("exact"), Some(AttrValue::Bool(true)));
+        if exact {
+            dtw_ns += s.duration_ns;
+        } else {
+            lb_ns += s.duration_ns;
+        }
+    }
+    (lb_ns, dtw_ns)
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        shared.busy_workers.fetch_add(1, Ordering::Relaxed);
+        // Key every span opened while handling this job — serve.request
+        // here, detect.scan and the compare spans inside the detector —
+        // to the request's trace id.
+        let trace = sca_telemetry::trace_scope(job.trace_id);
         let mut sp = sca_telemetry::span("serve.request");
-        sca_telemetry::record(
-            "serve.queue_wait_ns",
-            job.enqueued.elapsed().as_nanos() as u64,
-        );
+        let queue_wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+        sca_telemetry::record("serve.queue_wait_ns", queue_wait_ns);
+        let mut stages = Stages::default();
+        stages.push("queue_wait", queue_wait_ns);
         // Panic isolation: a panic anywhere in the classify/model work
         // must cost exactly one request, not a pool slot. Without the
         // catch, the panicking worker thread dies silently, the pool
@@ -587,34 +925,98 @@ fn worker_loop(shared: &Arc<Shared>) {
         // crossing the boundary is lock-protected with explicit
         // poison-recovery (queue, repo slot, builder shards) or atomic,
         // so observing it after an unwind is sound.
-        let frame =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, &job)))
-                .unwrap_or_else(|payload| {
-                    shared.counters.panics.fetch_add(1, Ordering::Relaxed);
-                    sca_telemetry::counter("serve.panics", 1);
-                    let what = payload
-                        .downcast_ref::<&str>()
-                        .copied()
-                        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-                        .unwrap_or("<non-string panic payload>");
-                    error_frame(
-                        KIND_INTERNAL_ERROR,
-                        &format!("worker panicked serving the request: {what}"),
-                    )
-                });
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(shared, &job, &mut stages)
+        }));
+        let panicked = caught.is_err();
+        let frame = caught.unwrap_or_else(|payload| {
+            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+            sca_telemetry::counter("serve.panics", 1);
+            let what = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("<non-string panic payload>");
+            error_frame(
+                KIND_INTERNAL_ERROR,
+                &format!("worker panicked serving the request: {what}"),
+            )
+        });
         if sp.is_recording() {
             sp.attr("ok", protocol::is_ok(&frame));
         }
-        sca_telemetry::record("serve.latency_ns", job.enqueued.elapsed().as_nanos() as u64);
+        let latency_ns = job.enqueued.elapsed().as_nanos() as u64;
+        sca_telemetry::record("serve.latency_ns", latency_ns);
+        // Land the serve.request span, then drain this trace's spans out
+        // of the registry: they feed the timing detail and the slow-log
+        // dump, and draining them is what keeps a resident server's span
+        // log bounded.
+        drop(sp);
+        drop(trace);
+        let spans = if sca_telemetry::enabled() {
+            sca_telemetry::take_trace_spans(job.trace_id)
+        } else {
+            Vec::new()
+        };
+        let outcome = if panicked {
+            Outcome::Panic
+        } else if protocol::is_ok(&frame) {
+            Outcome::Ok
+        } else {
+            match protocol::error_kind(&frame).and_then(ErrorKind::parse) {
+                Some(ErrorKind::DeadlineExceeded) => Outcome::Timeout,
+                _ => Outcome::Error,
+            }
+        };
+        let verdict = frame
+            .get("detection")
+            .and_then(|d| d.get("attack"))
+            .and_then(|a| match a {
+                Json::Bool(true) => Some("attack".to_string()),
+                Json::Bool(false) => Some("benign".to_string()),
+                _ => None,
+            });
+        let summary = RequestSummary {
+            trace_id: job.trace_id,
+            name: job.kind().into(),
+            outcome,
+            verdict,
+            latency_ns,
+            stages: stages.entries.clone(),
+        };
+        let slow = shared
+            .config
+            .slow_ms
+            .is_some_and(|ms| latency_ns >= ms.saturating_mul(1_000_000));
+        if slow {
+            sca_telemetry::counter("serve.slow_requests", 1);
+            shared.write_slow_dump(&summary, &spans);
+        }
+        shared.flight.record(summary);
+        let frame = if job.wants_timings {
+            let detail = (!spans.is_empty()).then(|| compare_split(&spans));
+            match frame {
+                Json::Obj(mut fields) => {
+                    fields.push(("timings".into(), timings_json(latency_ns, &stages, detail)));
+                    Json::Obj(fields)
+                }
+                other => other,
+            }
+        } else {
+            frame
+        };
         // A handler that hung up (client disconnect) makes this a no-op.
         let _ = job.reply.send(frame);
+        shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-/// Run one admitted job to an answer frame. Counter bookkeeping for the
+/// Run one admitted job to an answer frame, pushing each stage's
+/// wall-clock cost into `stages` as it completes (a request that fails
+/// mid-way carries the stages it finished). Counter bookkeeping for the
 /// terminal states (completed / deadline / error) happens here so the
 /// `stats` command reflects worker outcomes, not admission outcomes.
-fn execute(shared: &Arc<Shared>, job: &Job) -> Json {
+fn execute(shared: &Arc<Shared>, job: &Job, stages: &mut Stages) -> Json {
     let fail = |kind: &str, message: &str| {
         let c = if kind == KIND_DEADLINE_EXCEEDED {
             &shared.counters.deadline_exceeded
@@ -654,7 +1056,9 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> Json {
     };
 
     if sleep_ms > 0 {
-        thread::sleep(Duration::from_millis(sleep_ms));
+        stages.time("debug_sleep", || {
+            thread::sleep(Duration::from_millis(sleep_ms));
+        });
         if expired(job.deadline) {
             return fail(KIND_DEADLINE_EXCEEDED, "deadline passed during debug sleep");
         }
@@ -672,6 +1076,9 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> Json {
         panic!("debug_panic requested by the client");
     }
 
+    // The "model" stage covers victim parse, assembly, and the builder's
+    // (possibly cached) CST-BBS lookup — everything before the scan.
+    let model_start = Instant::now();
     let victim = match parse_victim(victim_spec) {
         Ok(v) => v,
         Err(e) => return fail(KIND_BAD_REQUEST, &e),
@@ -684,30 +1091,44 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> Json {
         Ok(m) => m,
         Err(e) => return fail(KIND_MODEL_ERROR, &e.to_string()),
     };
+    stages.push("model", model_start.elapsed().as_nanos() as u64);
 
     let frame = match &job.request {
-        Request::Model { .. } => ok_frame(vec![
-            ("repo".into(), job.repo.json()),
-            ("model".into(), Json::Str(model_text(&model))),
-            ("steps".into(), Json::Num(model.steps().len() as f64)),
-        ]),
+        Request::Model { .. } => stages.time("render", || {
+            ok_frame(vec![
+                ("repo".into(), job.repo.json()),
+                ("model".into(), Json::Str(model_text(&model))),
+                ("steps".into(), Json::Num(model.steps().len() as f64)),
+            ])
+        }),
         Request::Classify { threshold, .. } => {
             if let Some(t) = threshold {
                 if !(0.0..=1.0).contains(t) {
                     return fail(KIND_BAD_REQUEST, &format!("threshold out of range: {t}"));
                 }
             }
+            let scan_start = Instant::now();
             let detection = match job.deadline {
                 Some(d) => match job.repo.detector.classify_model_deadline(&model, d) {
-                    Ok(detection) => detection,
+                    Ok(detection) => {
+                        stages.push("scan", scan_start.elapsed().as_nanos() as u64);
+                        detection
+                    }
                     Err(_) => {
+                        // Record how long the aborted scan ran: that is
+                        // exactly the number a timeout post-mortem needs.
+                        stages.push("scan", scan_start.elapsed().as_nanos() as u64);
                         return fail(
                             KIND_DEADLINE_EXCEEDED,
                             "deadline passed during similarity scan",
-                        )
+                        );
                     }
                 },
-                None => job.repo.detector.classify_model(&model),
+                None => {
+                    let detection = job.repo.detector.classify_model(&model);
+                    stages.push("scan", scan_start.elapsed().as_nanos() as u64);
+                    detection
+                }
             };
             let mut detection = detection;
             if let Some(t) = threshold {
@@ -716,10 +1137,12 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> Json {
                 // per-request override is exact.
                 detection.threshold = *t;
             }
-            ok_frame(vec![
-                ("repo".into(), job.repo.json()),
-                ("detection".into(), detection_json(name, &detection)),
-            ])
+            stages.time("render", || {
+                ok_frame(vec![
+                    ("repo".into(), job.repo.json()),
+                    ("detection".into(), detection_json(name, &detection)),
+                ])
+            })
         }
         _ => unreachable!("filtered above"),
     };

@@ -145,7 +145,17 @@ fn repeated_classifications_hit_the_resident_model_cache() {
     let second = client
         .classify("target", &fx.target_src, "shared:3")
         .expect("second");
-    assert_eq!(first.to_string(), second.to_string());
+    // The envelope's trace_id is unique per request; the detections
+    // themselves must be identical.
+    assert_ne!(
+        sca_serve::trace_id(&first),
+        sca_serve::trace_id(&second),
+        "trace ids must be unique per request"
+    );
+    assert_eq!(
+        first.get("detection").expect("detection").to_string(),
+        second.get("detection").expect("detection").to_string()
+    );
 
     let stats = client.stats().expect("stats");
     let cached = stats

@@ -1,12 +1,17 @@
 //! JSONL export of snapshots and parse-back of exported lines.
 //!
 //! One record per line: spans first (completion order), then counters,
-//! then histogram summaries. Every line is a self-contained JSON object
-//! with a `"type"` discriminator, so consumers can stream-filter with
-//! line tools and [`parse_line`] can round-trip any line.
+//! then gauges, then histogram summaries. Every line is a self-contained
+//! JSON object with a `"type"` discriminator, so consumers can
+//! stream-filter with line tools and [`parse_line`] can round-trip any
+//! line. Flight-recorder entries share the format under `"type":
+//! "request"` — servers append them to slow-request logs next to the
+//! request's span tree.
 
 use std::io::{self, Write};
 
+use crate::flight::{Outcome, RequestSummary};
+use crate::histogram::Histogram;
 use crate::json::{Json, JsonError};
 use crate::{AttrValue, Snapshot, SpanRecord};
 
@@ -35,7 +40,8 @@ fn json_to_attr(v: &Json) -> Option<AttrValue> {
     }
 }
 
-fn span_to_json(s: &SpanRecord) -> Json {
+/// The JSONL object for one completed span (`"type": "span"`).
+pub fn span_json(s: &SpanRecord) -> Json {
     Json::Obj(vec![
         ("type".into(), Json::Str("span".into())),
         ("id".into(), Json::Num(s.id as f64)),
@@ -61,10 +67,52 @@ fn span_to_json(s: &SpanRecord) -> Json {
     ])
 }
 
+/// The JSONL object for one flight-recorder entry (`"type": "request"`).
+pub fn request_json(r: &RequestSummary) -> Json {
+    Json::Obj(vec![
+        ("type".into(), Json::Str("request".into())),
+        ("trace_id".into(), Json::Num(r.trace_id as f64)),
+        ("name".into(), Json::Str(r.name.clone())),
+        ("outcome".into(), Json::Str(r.outcome.as_str().into())),
+        (
+            "verdict".into(),
+            match &r.verdict {
+                Some(v) => Json::Str(v.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("latency_ns".into(), Json::Num(r.latency_ns as f64)),
+        (
+            "stages".into(),
+            Json::Obj(
+                r.stages
+                    .iter()
+                    .map(|(k, ns)| (k.clone(), Json::Num(*ns as f64)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The summary object for one histogram (`"type": "histogram"`).
+pub fn histogram_json(name: &str, h: &Histogram) -> Json {
+    Json::Obj(vec![
+        ("type".into(), Json::Str("histogram".into())),
+        ("name".into(), Json::Str(name.into())),
+        ("count".into(), Json::Num(h.count() as f64)),
+        ("min".into(), Json::Num(h.min() as f64)),
+        ("max".into(), Json::Num(h.max() as f64)),
+        ("mean".into(), Json::Num(h.mean())),
+        ("p50".into(), Json::Num(h.percentile(50.0) as f64)),
+        ("p90".into(), Json::Num(h.percentile(90.0) as f64)),
+        ("p99".into(), Json::Num(h.percentile(99.0) as f64)),
+    ])
+}
+
 /// Write `snap` as JSONL: one JSON object per line.
 pub fn write_jsonl<W: Write>(snap: &Snapshot, w: &mut W) -> io::Result<()> {
     for s in &snap.spans {
-        writeln!(w, "{}", span_to_json(s))?;
+        writeln!(w, "{}", span_json(s))?;
     }
     for (name, value) in &snap.counters {
         let rec = Json::Obj(vec![
@@ -74,19 +122,16 @@ pub fn write_jsonl<W: Write>(snap: &Snapshot, w: &mut W) -> io::Result<()> {
         ]);
         writeln!(w, "{rec}")?;
     }
-    for (name, h) in &snap.histograms {
+    for (name, value) in &snap.gauges {
         let rec = Json::Obj(vec![
-            ("type".into(), Json::Str("histogram".into())),
+            ("type".into(), Json::Str("gauge".into())),
             ("name".into(), Json::Str(name.clone())),
-            ("count".into(), Json::Num(h.count() as f64)),
-            ("min".into(), Json::Num(h.min() as f64)),
-            ("max".into(), Json::Num(h.max() as f64)),
-            ("mean".into(), Json::Num(h.mean())),
-            ("p50".into(), Json::Num(h.percentile(50.0) as f64)),
-            ("p90".into(), Json::Num(h.percentile(90.0) as f64)),
-            ("p99".into(), Json::Num(h.percentile(99.0) as f64)),
+            ("value".into(), Json::Num(*value as f64)),
         ]);
         writeln!(w, "{rec}")?;
+    }
+    for (name, h) in &snap.histograms {
+        writeln!(w, "{}", histogram_json(name, h))?;
     }
     Ok(())
 }
@@ -101,6 +146,13 @@ pub enum Record {
         /// Counter name.
         name: String,
         /// Final value.
+        value: u64,
+    },
+    /// A gauge observation.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Last observed value.
         value: u64,
     },
     /// A histogram summary.
@@ -122,6 +174,8 @@ pub enum Record {
         /// 99th percentile estimate.
         p99: u64,
     },
+    /// A flight-recorder entry.
+    Request(RequestSummary),
 }
 
 fn field_u64(v: &Json, key: &str) -> Result<u64, JsonError> {
@@ -181,6 +235,10 @@ pub fn parse_line(line: &str) -> Result<Record, JsonError> {
             name: field_str(&v, "name")?,
             value: field_u64(&v, "value")?,
         }),
+        "gauge" => Ok(Record::Gauge {
+            name: field_str(&v, "name")?,
+            value: field_u64(&v, "value")?,
+        }),
         "histogram" => Ok(Record::Histogram {
             name: field_str(&v, "name")?,
             count: field_u64(&v, "count")?,
@@ -191,6 +249,39 @@ pub fn parse_line(line: &str) -> Result<Record, JsonError> {
             p90: field_u64(&v, "p90")?,
             p99: field_u64(&v, "p99")?,
         }),
+        "request" => {
+            let outcome_s = field_str(&v, "outcome")?;
+            let outcome = Outcome::parse(&outcome_s).ok_or_else(|| JsonError {
+                message: format!("unknown outcome '{outcome_s}'"),
+                offset: 0,
+            })?;
+            let verdict = match v.get("verdict") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            };
+            let stages = match v.get("stages") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, val)| {
+                        val.as_u64()
+                            .map(|ns| (k.clone(), ns))
+                            .ok_or_else(|| JsonError {
+                                message: format!("non-integer stage '{k}'"),
+                                offset: 0,
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => Vec::new(),
+            };
+            Ok(Record::Request(RequestSummary {
+                trace_id: field_u64(&v, "trace_id")?,
+                name: field_str(&v, "name")?,
+                outcome,
+                verdict,
+                latency_ns: field_u64(&v, "latency_ns")?,
+                stages,
+            }))
+        }
         other => Err(JsonError {
             message: format!("unknown record type '{other}'"),
             offset: 0,

@@ -1,0 +1,182 @@
+//! Flight recorder: a bounded ring of per-request summaries.
+//!
+//! Unlike the global registry, the recorder is *not* gated by the
+//! enabled flag: it is owned by whoever serves requests (one per
+//! server), holds a fixed number of entries, and costs one mutex push
+//! per request — cheap enough to leave on permanently, which is the
+//! point: when a request sheds, times out, or panics, the evidence is
+//! already in the ring.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// How a request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Outcome {
+    /// Completed normally.
+    Ok,
+    /// Rejected at admission (queue full).
+    Shed,
+    /// Aborted by deadline.
+    Timeout,
+    /// Worker panicked while handling it.
+    Panic,
+    /// Failed for any other reason (bad input, internal error).
+    Error,
+}
+
+impl Outcome {
+    /// All outcomes, in display order.
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Ok,
+        Outcome::Shed,
+        Outcome::Timeout,
+        Outcome::Panic,
+        Outcome::Error,
+    ];
+
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Shed => "shed",
+            Outcome::Timeout => "timeout",
+            Outcome::Panic => "panic",
+            Outcome::Error => "error",
+        }
+    }
+
+    /// Parse a wire name back into an outcome.
+    pub fn parse(s: &str) -> Option<Outcome> {
+        Outcome::ALL.into_iter().find(|o| o.as_str() == s)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One request's condensed story: enough to spot what went wrong and
+/// correlate with the span log via the trace id, small enough to keep
+/// hundreds resident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSummary {
+    /// Trace id assigned at admission.
+    pub trace_id: u64,
+    /// Request kind, e.g. `classify`.
+    pub name: String,
+    /// How the request ended.
+    pub outcome: Outcome,
+    /// Detection verdict, when one was produced.
+    pub verdict: Option<String>,
+    /// End-to-end latency in nanoseconds (admission to response).
+    pub latency_ns: u64,
+    /// Stage timing breakdown `(stage, nanoseconds)`, in stage order.
+    pub stages: Vec<(String, u64)>,
+}
+
+/// Fixed-capacity ring buffer of [`RequestSummary`] entries. When full,
+/// recording a new entry evicts the oldest. Thread-safe; `record` takes
+/// one uncontended mutex.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    entries: VecDeque<RequestSummary>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: Mutex::new(Ring {
+                entries: VecDeque::new(),
+                capacity: capacity.max(1),
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Append a summary, evicting the oldest entry when full.
+    pub fn record(&self, summary: RequestSummary) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.entries.len() == ring.capacity {
+            ring.entries.pop_front();
+        }
+        ring.entries.push_back(summary);
+        ring.recorded += 1;
+    }
+
+    /// A copy of the resident entries, oldest first.
+    pub fn snapshot(&self) -> Vec<RequestSummary> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.entries.iter().cloned().collect()
+    }
+
+    /// Total summaries ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).recorded
+    }
+
+    /// Number of entries currently resident.
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(id: u64) -> RequestSummary {
+        RequestSummary {
+            trace_id: id,
+            name: "classify".into(),
+            outcome: Outcome::Ok,
+            verdict: Some("attack".into()),
+            latency_ns: id * 100,
+            stages: vec![("scan".into(), id * 90)],
+        }
+    }
+
+    #[test]
+    fn outcome_names_roundtrip() {
+        for o in Outcome::ALL {
+            assert_eq!(Outcome::parse(o.as_str()), Some(o));
+        }
+        assert_eq!(Outcome::parse("bogus"), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let fr = FlightRecorder::new(0);
+        assert_eq!(fr.capacity(), 1);
+        fr.record(summary(1));
+        fr.record(summary(2));
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.snapshot()[0].trace_id, 2);
+        assert_eq!(fr.recorded(), 2);
+    }
+}

@@ -180,6 +180,54 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(12_345);
+        for p in [0.001, 1.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 12_345, "p={p}");
+        }
+        assert_eq!(h.min(), 12_345);
+        assert_eq!(h.max(), 12_345);
+        assert_eq!(h.mean(), 12_345.0);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_clamp_to_observed_range() {
+        // 10_000 and 10_100 share a geometric bucket; the clamp to
+        // [min, max] must keep every percentile inside what was seen.
+        let mut h = Histogram::new();
+        for _ in 0..500 {
+            h.record(10_000);
+        }
+        for _ in 0..500 {
+            h.record(10_100);
+        }
+        assert_eq!(bucket_index(10_000), bucket_index(10_100));
+        for p in [1.0, 50.0, 99.0] {
+            let v = h.percentile(p);
+            assert!((10_000..=10_100).contains(&v), "p{p}={v}");
+        }
+    }
+
+    #[test]
+    fn saturating_max_records_without_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX); // saturated, not wrapped
+        assert_eq!(h.min(), 1);
+        // The top bucket's representative is within one sub-bucket of
+        // u64::MAX and the clamp keeps it inside the observed range.
+        for p in [99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!(v <= u64::MAX && v >= u64::MAX / 16 * 15, "p{p}={v}");
+        }
+    }
+
+    #[test]
     fn merge_combines_counts_and_extrema() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

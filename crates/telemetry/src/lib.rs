@@ -14,6 +14,13 @@
 //! * **Histograms** ([`record`]) are bucketed distributions with
 //!   p50/p90/p99 estimation; every completed span also feeds a histogram
 //!   keyed by its name, so repeated stages aggregate automatically.
+//! * **Gauges** ([`gauge`]) carry instantaneous state (queue depth,
+//!   in-flight requests); the last observed value wins.
+//! * **Traces** ([`trace_scope`]) bind a request id to the current
+//!   thread; spans opened under the scope carry a `trace` attribute and
+//!   can be drained per request with [`take_trace_spans`].
+//! * **Flight recorder** ([`FlightRecorder`]) keeps a bounded ring of
+//!   per-request summaries independent of the global registry.
 //!
 //! The registry is **disabled by default**: every entry point checks one
 //! relaxed atomic load and returns immediately, so instrumented code pays
@@ -34,14 +41,16 @@
 //! ```
 
 mod export;
+mod flight;
 mod histogram;
 mod json;
 
-pub use export::{parse_line, write_jsonl, Record};
+pub use export::{histogram_json, parse_line, request_json, span_json, write_jsonl, Record};
+pub use flight::{FlightRecorder, Outcome, RequestSummary};
 pub use histogram::Histogram;
 pub use json::{Json, JsonError};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -160,6 +169,8 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Named histograms (span durations land under the span's name).
     pub histograms: BTreeMap<String, Histogram>,
+    /// Named gauges: last observed value wins (set-on-observe semantics).
+    pub gauges: BTreeMap<String, u64>,
 }
 
 impl Snapshot {
@@ -168,6 +179,7 @@ impl Snapshot {
             spans: Vec::new(),
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            gauges: BTreeMap::new(),
         }
     }
 
@@ -183,6 +195,7 @@ static STATE: Mutex<Snapshot> = Mutex::new(Snapshot::empty());
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static TRACE_ID: Cell<u64> = const { Cell::new(0) };
 }
 
 fn epoch() -> Instant {
@@ -239,6 +252,67 @@ pub fn record(name: &str, value: u64) {
         .record(value);
 }
 
+/// Set the named gauge to `value` (last observation wins — gauges carry
+/// instantaneous state like queue depth, not monotonic sums). No-op while
+/// disabled.
+pub fn gauge(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state();
+    st.gauges.insert(name.to_string(), value);
+}
+
+/// RAII guard binding a trace id to the current thread. While it lives,
+/// every span opened on this thread carries a `trace` attribute with the
+/// id, letting one request be reconstructed across the worker's call
+/// stack. Dropping restores the previous binding (scopes nest).
+pub struct TraceScope {
+    prev: u64,
+    armed: bool,
+}
+
+/// Bind `trace_id` to the current thread for the lifetime of the returned
+/// guard. A no-op (beyond a thread-local store) while disabled, and 0 is
+/// treated as "no trace".
+pub fn trace_scope(trace_id: u64) -> TraceScope {
+    if !enabled() {
+        return TraceScope {
+            prev: 0,
+            armed: false,
+        };
+    }
+    let prev = TRACE_ID.with(|t| t.replace(trace_id));
+    TraceScope { prev, armed: true }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if self.armed {
+            TRACE_ID.with(|t| t.set(self.prev));
+        }
+    }
+}
+
+/// The trace id bound to the current thread (0 when none).
+pub fn current_trace() -> u64 {
+    TRACE_ID.with(|t| t.get())
+}
+
+/// Remove and return every completed span carrying `trace` == `trace_id`,
+/// in completion order. Resident servers call this after each request so
+/// the span log stays bounded no matter how long the process lives; the
+/// drained spans feed timing breakdowns and slow-request dumps.
+pub fn take_trace_spans(trace_id: u64) -> Vec<SpanRecord> {
+    let mut st = state();
+    let spans = std::mem::take(&mut st.spans);
+    let (taken, kept) = spans
+        .into_iter()
+        .partition(|s| s.attr("trace").and_then(AttrValue::as_u64) == Some(trace_id));
+    st.spans = kept;
+    taken
+}
+
 /// Open a span. The returned guard records the span into the registry on
 /// drop; attributes added via [`SpanGuard::attr`] are included. While the
 /// registry is disabled this is a no-op costing one atomic load.
@@ -255,6 +329,11 @@ pub fn span(name: &str) -> SpanGuard {
     });
     let start = Instant::now();
     let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+    let mut attrs = Vec::new();
+    let trace = current_trace();
+    if trace != 0 {
+        attrs.push(("trace".to_string(), AttrValue::UInt(trace)));
+    }
     SpanGuard {
         live: Some(LiveSpan {
             id,
@@ -262,7 +341,7 @@ pub fn span(name: &str) -> SpanGuard {
             name: name.to_string(),
             start,
             start_ns,
-            attrs: Vec::new(),
+            attrs,
         }),
     }
 }
@@ -341,6 +420,7 @@ pub fn reset() {
     st.spans.clear();
     st.counters.clear();
     st.histograms.clear();
+    st.gauges.clear();
 }
 
 /// Run `f` with telemetry enabled on a clean registry and return its

@@ -1,0 +1,183 @@
+//! Flight-recorder and trace-scope behavior: ring wraparound under
+//! capacity pressure, JSONL round-trip of request summaries through
+//! `parse_line`, and trace-keyed span draining.
+
+use std::collections::BTreeMap;
+
+use sca_telemetry::{
+    parse_line, write_jsonl, FlightRecorder, Outcome, Record, RequestSummary, Snapshot,
+};
+
+fn summary(id: u64, outcome: Outcome) -> RequestSummary {
+    RequestSummary {
+        trace_id: id,
+        name: "classify".into(),
+        outcome,
+        verdict: match outcome {
+            Outcome::Ok => Some("benign".into()),
+            _ => None,
+        },
+        latency_ns: id * 1_000,
+        stages: vec![
+            ("queue_wait_ns".into(), id * 10),
+            ("scan_ns".into(), id * 900),
+        ],
+    }
+}
+
+#[test]
+fn ring_wraps_and_keeps_the_newest_entries() {
+    let fr = FlightRecorder::new(4);
+    assert_eq!(fr.capacity(), 4);
+    assert!(fr.is_empty());
+    for id in 1..=10u64 {
+        fr.record(summary(id, Outcome::Ok));
+    }
+    assert_eq!(fr.len(), 4);
+    assert_eq!(fr.recorded(), 10, "evicted entries still count");
+    let ids: Vec<u64> = fr.snapshot().iter().map(|s| s.trace_id).collect();
+    assert_eq!(ids, vec![7, 8, 9, 10], "oldest first, newest retained");
+}
+
+#[test]
+fn ring_below_capacity_keeps_everything_in_order() {
+    let fr = FlightRecorder::new(100);
+    for id in [3u64, 1, 2] {
+        fr.record(summary(id, Outcome::Shed));
+    }
+    let ids: Vec<u64> = fr.snapshot().iter().map(|s| s.trace_id).collect();
+    assert_eq!(ids, vec![3, 1, 2], "insertion order, not id order");
+    assert_eq!(fr.recorded(), 3);
+}
+
+#[test]
+fn request_summaries_round_trip_through_jsonl() {
+    let entries: Vec<RequestSummary> = Outcome::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| summary(i as u64 + 1, o))
+        .collect();
+    for want in &entries {
+        let line = sca_telemetry::request_json(want).to_string();
+        match parse_line(&line).expect("request line parses") {
+            Record::Request(got) => assert_eq!(&got, want),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_outcome_has_a_distinct_stable_wire_name() {
+    let names: Vec<&str> = Outcome::ALL.iter().map(|o| o.as_str()).collect();
+    assert_eq!(names, vec!["ok", "shed", "timeout", "panic", "error"]);
+    for o in Outcome::ALL {
+        assert_eq!(Outcome::parse(o.as_str()), Some(o));
+        assert_eq!(o.to_string(), o.as_str());
+    }
+}
+
+#[test]
+fn gauges_export_between_counters_and_histograms() {
+    let snap = Snapshot {
+        spans: Vec::new(),
+        counters: BTreeMap::from([("serve.requests".into(), 5u64)]),
+        histograms: BTreeMap::new(),
+        gauges: BTreeMap::from([("serve.queue_depth".into(), 3u64)]),
+    };
+    let mut buf = Vec::new();
+    write_jsonl(&snap, &mut buf).expect("write_jsonl");
+    let text = String::from_utf8(buf).unwrap();
+    let records: Vec<Record> = text.lines().map(|l| parse_line(l).unwrap()).collect();
+    assert_eq!(
+        records,
+        vec![
+            Record::Counter {
+                name: "serve.requests".into(),
+                value: 5
+            },
+            Record::Gauge {
+                name: "serve.queue_depth".into(),
+                value: 3
+            },
+        ]
+    );
+}
+
+#[test]
+fn trace_scope_keys_spans_and_take_trace_spans_drains_them() {
+    // `collect` serializes telemetry-touching tests in this binary and
+    // across the crate's other test binaries via the global registry.
+    let ((), _snap) = sca_telemetry::collect(|| {
+        {
+            let _t = sca_telemetry::trace_scope(42);
+            assert_eq!(sca_telemetry::current_trace(), 42);
+            let _outer = sca_telemetry::span("req.outer");
+            let _inner = sca_telemetry::span("req.inner");
+        }
+        {
+            let _t = sca_telemetry::trace_scope(43);
+            let _other = sca_telemetry::span("req.other");
+        }
+        let _untraced = sca_telemetry::span("background");
+        drop(_untraced);
+
+        let taken = sca_telemetry::take_trace_spans(42);
+        let names: Vec<&str> = taken.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["req.inner", "req.outer"]);
+        for s in &taken {
+            assert_eq!(s.attr("trace").and_then(|a| a.as_u64()), Some(42));
+        }
+
+        // Unrelated spans stay: trace 43's span and the untraced one.
+        let left = sca_telemetry::snapshot();
+        let left_names: Vec<&str> = left.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(left_names, vec!["req.other", "background"]);
+
+        // Draining again finds nothing.
+        assert!(sca_telemetry::take_trace_spans(42).is_empty());
+    });
+}
+
+#[test]
+fn trace_scope_restores_previous_binding_on_drop() {
+    let ((), _snap) = sca_telemetry::collect(|| {
+        let outer = sca_telemetry::trace_scope(7);
+        {
+            let _inner = sca_telemetry::trace_scope(8);
+            assert_eq!(sca_telemetry::current_trace(), 8);
+        }
+        assert_eq!(sca_telemetry::current_trace(), 7);
+        drop(outer);
+        assert_eq!(sca_telemetry::current_trace(), 0);
+    });
+}
+
+#[test]
+fn disabled_registry_records_nothing_and_scope_is_inert() {
+    // Run inside `collect` to hold its serialization lock (other tests
+    // in this binary flip the global enabled flag), then switch the
+    // registry off within the protected section.
+    let ((), _snap) = sca_telemetry::collect(|| {
+        sca_telemetry::set_enabled(false);
+        sca_telemetry::reset();
+
+        let _t = sca_telemetry::trace_scope(99);
+        assert_eq!(
+            sca_telemetry::current_trace(),
+            0,
+            "scope is inert while off"
+        );
+        let sp = sca_telemetry::span("ghost");
+        assert!(!sp.is_recording());
+        drop(sp);
+        sca_telemetry::counter("ghost.counter", 1);
+        sca_telemetry::gauge("ghost.gauge", 1);
+        sca_telemetry::record("ghost.hist", 1);
+
+        let snap = sca_telemetry::snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    });
+}

@@ -133,6 +133,9 @@ fn jsonl_round_trips_every_line() {
             } => {
                 hists.push((name, count, min, max, p50, p90, p99));
             }
+            other @ (Record::Gauge { .. } | Record::Request(_)) => {
+                panic!("no gauges or requests were recorded, got {other:?}")
+            }
         }
     }
 

@@ -2,7 +2,7 @@
 //! written with `write_jsonl` must parse back line-by-line with
 //! `parse_line` into records equal to what was written — spans (with
 //! every attribute type, including strings that need escaping),
-//! counters, and histogram summaries.
+//! counters, gauges, histogram summaries, and flight-recorder entries.
 
 use std::collections::BTreeMap;
 
@@ -94,10 +94,15 @@ fn random_snapshot(rng: &mut Rng, spans: usize) -> Snapshot {
         }
         histograms.insert(format!("hist-{i} {s}"), h);
     }
+    let mut gauges = BTreeMap::new();
+    for (i, s) in NASTY.iter().enumerate() {
+        gauges.insert(format!("gauge-{i} {s}"), rng.small());
+    }
     Snapshot {
         spans,
         counters,
         histograms,
+        gauges,
     }
 }
 
@@ -114,8 +119,8 @@ fn assert_round_trips(snap: &Snapshot) {
         .collect();
     assert_eq!(
         records.len(),
-        snap.spans.len() + snap.counters.len() + snap.histograms.len(),
-        "one record per span, counter, and histogram"
+        snap.spans.len() + snap.counters.len() + snap.gauges.len() + snap.histograms.len(),
+        "one record per span, counter, gauge, and histogram"
     );
 
     let mut records = records.into_iter();
@@ -132,6 +137,15 @@ fn assert_round_trips(snap: &Snapshot) {
                 assert_eq!(value, *want_value);
             }
             other => panic!("expected counter {want_name:?}, got {other:?}"),
+        }
+    }
+    for (want_name, want_value) in &snap.gauges {
+        match records.next() {
+            Some(Record::Gauge { name, value }) => {
+                assert_eq!(&name, want_name);
+                assert_eq!(value, *want_value);
+            }
+            other => panic!("expected gauge {want_name:?}, got {other:?}"),
         }
     }
     for (want_name, h) in &snap.histograms {
@@ -198,6 +212,7 @@ fn every_attr_value_variant_round_trips() {
             }],
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            gauges: BTreeMap::new(),
         };
         assert_round_trips(&snap);
     }
@@ -219,8 +234,37 @@ fn strings_needing_escaping_round_trip_in_every_position() {
             }],
             counters: BTreeMap::from([((*s).to_string(), 42)]),
             histograms: BTreeMap::new(),
+            gauges: BTreeMap::from([((*s).to_string(), 17)]),
         };
         assert_round_trips(&snap);
+    }
+}
+
+#[test]
+fn request_records_round_trip_via_parse_line() {
+    use sca_telemetry::{request_json, Outcome, RequestSummary};
+    for (i, outcome) in Outcome::ALL.into_iter().enumerate() {
+        let want = RequestSummary {
+            trace_id: 1000 + i as u64,
+            name: "classify".into(),
+            outcome,
+            verdict: if outcome == Outcome::Ok {
+                Some("attack".into())
+            } else {
+                None
+            },
+            latency_ns: 123_456 + i as u64,
+            stages: vec![
+                ("queue_wait_ns".into(), 10),
+                ("scan_ns".into(), 123_400),
+                ("render_ns".into(), 46 + i as u64),
+            ],
+        };
+        let line = request_json(&want).to_string();
+        match parse_line(&line) {
+            Ok(Record::Request(got)) => assert_eq!(got, want),
+            other => panic!("expected request record, got {other:?}"),
+        }
     }
 }
 

@@ -10,7 +10,11 @@
 # responses byte-identical to the offline pipeline), or a
 # fault-tolerance regression (the chaos smoke replays the
 # fault-injection suite — delayed/truncated/garbled/dropped/oversized
-# traffic and worker panics — against a release server).
+# traffic and worker panics — against a release server), or an
+# observability regression (the observability smoke runs the trace-id /
+# timings / metrics / flight-recorder suite — including the
+# disabled-telemetry guard — then drives the release binary end to end:
+# serve --metrics, submit --timings, stats --addr).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,5 +42,65 @@ cargo run -p sca-bench --release --offline --bin serve_bench -- --smoke
 
 echo "==> chaos fault-injection smoke"
 cargo test -p sca-serve --release --offline -q --test chaos
+
+echo "==> observability smoke"
+# The test suite covers trace-id uniqueness, envelope timings, the
+# metrics/flight commands, the slow log, and the disabled-telemetry
+# guard (registry stays empty, evidence still flows).
+cargo test -p sca-serve --release --offline -q --test observability
+
+# Then the release binary end to end: a live server with --metrics on,
+# one traced submit, and a metrics scrape that must show the request.
+OBS_DIR="$(mktemp -d)"
+OBS_PID=""
+cleanup_obs() {
+    [ -n "$OBS_PID" ] && kill "$OBS_PID" 2>/dev/null || true
+    rm -rf "$OBS_DIR"
+}
+trap cleanup_obs EXIT
+
+./target/release/scaguard build-repo "$OBS_DIR/pocs.repo" >/dev/null
+cat > "$OBS_DIR/target.sasm" <<'EOF'
+; minimal flush+reload-style probe for the smoke
+        mov r0, 0
+loop:   clflush [0x1000]
+        vyield
+        ld r1, [0x1000]
+        rdtscp r2
+        add r0, 1
+        cmp r0, 8
+        blt loop
+        halt
+EOF
+
+./target/release/scaguard serve "$OBS_DIR/pocs.repo" --metrics \
+    > "$OBS_DIR/serve.log" 2>&1 &
+OBS_PID=$!
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR="$(sed -n 's/^listening on //p' "$OBS_DIR/serve.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "observability smoke: server never came up"; exit 1; }
+
+./target/release/scaguard submit "$OBS_DIR/target.sasm" --addr "$ADDR" \
+    --json --timings > "$OBS_DIR/out.json" 2> "$OBS_DIR/err.txt"
+grep -q '"attack"' "$OBS_DIR/out.json" \
+    || { echo "observability smoke: no detection on stdout"; exit 1; }
+grep -q '^trace_id: ' "$OBS_DIR/err.txt" \
+    || { echo "observability smoke: no trace id on stderr"; exit 1; }
+grep -q '^timings: ' "$OBS_DIR/err.txt" \
+    || { echo "observability smoke: no stage timings on stderr"; exit 1; }
+
+./target/release/scaguard stats --addr "$ADDR" > "$OBS_DIR/stats.txt"
+awk '$1 == "serve.requests" && $2 + 0 > 0 { found = 1 } END { exit !found }' \
+    "$OBS_DIR/stats.txt" \
+    || { echo "observability smoke: serve.requests not counted"; exit 1; }
+
+kill "$OBS_PID" 2>/dev/null || true
+OBS_PID=""
 
 echo "verify: OK"

@@ -20,6 +20,7 @@ use std::error::Error;
 use std::fs;
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{AttackFamily, Sample};
@@ -40,12 +41,15 @@ fn usage() -> &'static str {
       --jobs models them with n worker threads
   scaguard classify <program.sasm> --repo <repo-file>
           [--threshold <0..1>] [--victim none|shared:<secret>|conflict:<secret>]
-          [--jobs <n>] [--model-cache <path>] [--json] [--telemetry <out.jsonl>]
+          [--jobs <n>] [--model-cache <path>] [--json] [--timings]
+          [--telemetry <out.jsonl>]
       classify an assembled program against a saved repository;
       --jobs scans the repository with n worker threads;
       --json emits the full detection (verdict, family, per-PoC scores,
       threshold) as a single JSON object on stdout; pruned comparisons
-      report a `<=` upper bound (\"exact\": false in JSON)
+      report a `<=` upper bound (\"exact\": false in JSON); --timings
+      prints a model/scan/render stage breakdown on stderr (stdout is
+      unchanged)
   scaguard model <program.sasm> [--victim ...] [--model-cache <path>]
           [--telemetry <out.jsonl>]
       print the program's CST-BBS attack behavior model
@@ -53,23 +57,35 @@ fn usage() -> &'static str {
       show the DTW alignment against the best-matching PoC model
   scaguard serve <repo-file> [--addr <host:port>] [--workers <n>]
           [--queue-depth <n>] [--deadline-ms <n>] [--threshold <0..1>]
-          [--io-timeout-ms <n>]
+          [--io-timeout-ms <n>] [--metrics] [--flight-capacity <n>]
+          [--slow-ms <n>] [--slow-log <out.jsonl>]
       run the resident detection service on the repository: newline-
       delimited JSON over TCP (classify, model, reload-repo, stats,
-      shutdown), bounded admission queue, fixed worker pool; prints
-      `listening on <addr>` once ready and runs until a client sends
-      `shutdown`; --addr defaults to 127.0.0.1:0 (ephemeral port);
-      --io-timeout-ms disconnects a client that stalls mid-frame or
-      never drains responses (default 30000; 0 disables)
+      metrics, flight, shutdown), bounded admission queue, fixed worker
+      pool; prints `listening on <addr>` once ready and runs until a
+      client sends `shutdown`; --addr defaults to 127.0.0.1:0
+      (ephemeral port); --io-timeout-ms disconnects a client that
+      stalls mid-frame or never drains responses (default 30000; 0
+      disables); --metrics enables the telemetry registry so `metrics`
+      reports counters/histograms and spans carry trace ids; requests
+      slower than --slow-ms dump their summary and span tree to
+      --slow-log (JSONL; 0 dumps everything); --flight-capacity sizes
+      the always-on ring of per-request summaries (default 256)
   scaguard submit <program.sasm> --addr <host:port> [--victim ...]
-          [--threshold <0..1>] [--deadline-ms <n>] [--retries <n>] [--json]
+          [--threshold <0..1>] [--deadline-ms <n>] [--retries <n>]
+          [--json] [--timings]
       classify a program against a running `scaguard serve`; --json
       output is byte-identical to offline `classify --json`;
       --retries re-sends with jittered backoff when the server sheds
-      the request as `overloaded` (never after it was admitted)
+      the request as `overloaded` (never after it was admitted);
+      --timings prints the request's trace id and per-stage timing
+      breakdown on stderr (stdout is unchanged)
   scaguard stats <telemetry.jsonl>
+  scaguard stats --addr <host:port> [--watch] [--interval-ms <n>]
       summarize a telemetry trace written by --telemetry (per-stage span
-      timings, counters, histogram percentiles)
+      timings, counters, histogram percentiles), or — with --addr —
+      fetch a running server's `metrics` snapshot; --watch refreshes
+      the live view every --interval-ms (default 2000) until killed
   scaguard asm <program.sasm>
       assemble and disassemble a program (syntax check)
   scaguard --help | -h | help
@@ -99,6 +115,13 @@ struct Options {
     deadline_ms: Option<u64>,
     io_timeout_ms: Option<u64>,
     retries: u32,
+    timings: bool,
+    watch: bool,
+    interval_ms: u64,
+    metrics: bool,
+    slow_ms: Option<u64>,
+    slow_log: Option<String>,
+    flight_capacity: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -118,6 +141,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         deadline_ms: None,
         io_timeout_ms: Some(30_000),
         retries: 0,
+        timings: false,
+        watch: false,
+        interval_ms: 2_000,
+        metrics: false,
+        slow_ms: None,
+        slow_log: None,
+        flight_capacity: 256,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -197,6 +227,40 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad retry count: {e}"))?;
             }
+            "--timings" => opts.timings = true,
+            "--watch" => opts.watch = true,
+            "--interval-ms" => {
+                opts.interval_ms = it
+                    .next()
+                    .ok_or("--interval-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad interval: {e}"))?;
+                if opts.interval_ms == 0 {
+                    return Err("--interval-ms must be at least 1".into());
+                }
+            }
+            "--metrics" => opts.metrics = true,
+            "--slow-ms" => {
+                opts.slow_ms = Some(
+                    it.next()
+                        .ok_or("--slow-ms needs a value (0 dumps every request)")?
+                        .parse()
+                        .map_err(|e| format!("bad slow threshold: {e}"))?,
+                );
+            }
+            "--slow-log" => {
+                opts.slow_log = Some(it.next().ok_or("--slow-log needs a path")?.clone());
+            }
+            "--flight-capacity" => {
+                opts.flight_capacity = it
+                    .next()
+                    .ok_or("--flight-capacity needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad flight capacity: {e}"))?;
+                if opts.flight_capacity == 0 {
+                    return Err("--flight-capacity must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -269,22 +333,51 @@ fn cmd_classify(path: &str, opts: &Options, builder: &ModelBuilder) -> Result<()
     let repo = load_repository(repo_path)?;
     let detector = Detector::new(repo, opts.threshold)?;
     let program = load_program(path)?;
-    let detection = detector.classify_with_builder(&program, &opts.victim, builder, opts.jobs)?;
+    let total_start = Instant::now();
+    let mut stages: Vec<(&str, Duration)> = Vec::new();
+    // With --timings the model build and the scan are timed separately;
+    // the detection is identical either way (`classify_with_builder` is
+    // exactly this build + scan pair).
+    let detection = if opts.timings {
+        let t = Instant::now();
+        let model = builder.build_cst(&program, &opts.victim)?;
+        stages.push(("model", t.elapsed()));
+        let t = Instant::now();
+        let detection = detector.classify_model_jobs(&model, opts.jobs);
+        stages.push(("scan", t.elapsed()));
+        detection
+    } else {
+        detector.classify_with_builder(&program, &opts.victim, builder, opts.jobs)?
+    };
+    let render_start = Instant::now();
     if opts.json {
         println!("{}", detection_json(program.name(), &detection));
-        return Ok(());
+    } else {
+        for entry in &detection.scores {
+            // Pruned comparisons only have an upper bound on the score.
+            let relation = if entry.exact { "  " } else { "<=" };
+            println!(
+                "  vs {:<22} ({})  {relation} {:.2}%",
+                entry.poc,
+                entry.family,
+                entry.score * 100.0
+            );
+        }
+        println!("{detection}");
     }
-    for entry in &detection.scores {
-        // Pruned comparisons only have an upper bound on the score.
-        let relation = if entry.exact { "  " } else { "<=" };
-        println!(
-            "  vs {:<22} ({})  {relation} {:.2}%",
-            entry.poc,
-            entry.family,
-            entry.score * 100.0
+    if opts.timings {
+        stages.push(("render", render_start.elapsed()));
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let parts: Vec<String> = stages
+            .iter()
+            .map(|(name, d)| format!("{name}={:.3}ms", ms(*d)))
+            .collect();
+        eprintln!(
+            "timings: {} total={:.3}ms",
+            parts.join(" "),
+            ms(total_start.elapsed())
         );
     }
-    println!("{detection}");
     Ok(())
 }
 
@@ -299,6 +392,10 @@ fn cmd_serve(repo: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
     config.deadline_ms = opts.deadline_ms;
     config.threshold = opts.threshold;
     config.io_timeout_ms = opts.io_timeout_ms;
+    config.metrics = opts.metrics;
+    config.flight_capacity = opts.flight_capacity;
+    config.slow_ms = opts.slow_ms;
+    config.slow_log = opts.slow_log.as_ref().map(std::path::PathBuf::from);
     let handle = sca_serve::spawn(config)?;
     println!("listening on {}", handle.addr());
     std::io::stdout().flush()?;
@@ -321,7 +418,7 @@ fn cmd_submit(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
         .to_string();
     let mut client =
         Client::connect_with(addr, ClientConfig::default().with_retries(opts.retries))?;
-    let response = client.send_retry(&Request::Classify {
+    let request = Request::Classify {
         name,
         program: source,
         victim: opts.victim_spec.clone(),
@@ -329,14 +426,35 @@ fn cmd_submit(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
         deadline_ms: opts.deadline_ms,
         debug_sleep_ms: 0,
         debug_panic: false,
-    })?;
+    };
+    // The timings flag rides the envelope, not the request, so the
+    // detection on the wire stays byte-identical either way.
+    let frame = if opts.timings {
+        protocol::with_timings_flag(&request)
+    } else {
+        request.to_json()
+    };
+    let response = client.request_retry(&frame)?;
     if let Some(kind) = protocol::error_kind(&response) {
         let message = response
             .get("error")
             .and_then(|e| e.get("message"))
             .and_then(Json::as_str)
             .unwrap_or("(no message)");
-        return Err(format!("server refused the request ({kind}): {message}").into());
+        let trace = protocol::trace_id(&response)
+            .map(|t| format!(" [trace {t}]"))
+            .unwrap_or_default();
+        return Err(format!("server refused the request ({kind}){trace}: {message}").into());
+    }
+    // Observability goes to stderr: stdout stays byte-identical to
+    // offline `classify --json`.
+    if opts.timings {
+        if let Some(trace) = protocol::trace_id(&response) {
+            eprintln!("trace_id: {trace}");
+        }
+        if let Some(timings) = protocol::timings(&response) {
+            print_wire_timings(timings);
+        }
     }
     let detection = response
         .get("detection")
@@ -346,6 +464,32 @@ fn cmd_submit(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
         return Ok(());
     }
     print_remote_detection(detection)
+}
+
+/// Render a response's `timings` object on stderr, one `stage=ms` pair
+/// per wire field, with the span-derived DTW split (present only when
+/// the server runs with --metrics) indented below.
+fn print_wire_timings(timings: &Json) {
+    let Json::Obj(fields) = timings else { return };
+    let ms = |v: &Json| v.as_f64().unwrap_or(0.0) / 1e6;
+    let parts: Vec<String> = fields
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_suffix("_ns")
+                .map(|name| format!("{name}={:.3}ms", ms(v)))
+        })
+        .collect();
+    eprintln!("timings: {}", parts.join(" "));
+    if let Some(Json::Obj(detail)) = timings.get("detail") {
+        let pairs: Vec<String> = detail
+            .iter()
+            .filter_map(|(k, v)| {
+                k.strip_suffix("_ns")
+                    .map(|name| format!("{name}={:.3}ms", ms(v)))
+            })
+            .collect();
+        eprintln!("  detail: {}", pairs.join(" "));
+    }
 }
 
 /// Render a wire detection the way offline `classify` renders its own.
@@ -383,7 +527,9 @@ fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
     let text = fs::read_to_string(path)?;
     let mut spans: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut gauges: Vec<(String, u64)> = Vec::new();
     let mut hists: Vec<(String, u64, u64, u64, u64)> = Vec::new();
+    let mut requests: Vec<sca_telemetry::RequestSummary> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -397,6 +543,7 @@ fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
                 entry.1 += s.duration_ns;
             }
             Record::Counter { name, value } => counters.push((name, value)),
+            Record::Gauge { name, value } => gauges.push((name, value)),
             Record::Histogram {
                 name,
                 count,
@@ -405,6 +552,7 @@ fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
                 p99,
                 ..
             } => hists.push((name, count, p50, p90, p99)),
+            Record::Request(r) => requests.push(r),
         }
     }
     let ms = |ns: u64| ns as f64 / 1e6;
@@ -436,7 +584,103 @@ fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
             println!("  {name:<32} {value}");
         }
     }
+    if !gauges.is_empty() {
+        println!("gauges:");
+        for (name, value) in &gauges {
+            println!("  {name:<32} {value}");
+        }
+    }
+    if !requests.is_empty() {
+        println!("requests:");
+        for r in &requests {
+            println!(
+                "  trace={:<8} {:<10} {:<8} {:>10.3} ms  {}",
+                r.trace_id,
+                r.name,
+                r.outcome,
+                ms(r.latency_ns),
+                r.verdict.as_deref().unwrap_or("-")
+            );
+        }
+    }
     Ok(())
+}
+
+/// Fetch and render a running server's `metrics` snapshot; with
+/// `--watch`, clear the terminal and refresh every `--interval-ms`.
+fn cmd_stats_remote(opts: &Options) -> Result<(), Box<dyn Error>> {
+    let addr = opts.addr.as_deref().expect("checked by the caller");
+    let mut client = Client::connect(addr)?;
+    loop {
+        let frame = client.metrics()?;
+        if let Some(kind) = protocol::error_kind(&frame) {
+            return Err(format!("server refused `metrics` ({kind})").into());
+        }
+        let mut out = String::new();
+        render_metrics(&frame, &mut out);
+        if opts.watch {
+            // ANSI clear + home, then one coherent screenful.
+            print!("\x1b[2J\x1b[H{out}");
+            std::io::stdout().flush()?;
+        } else {
+            print!("{out}");
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(opts.interval_ms));
+    }
+}
+
+/// Render one `metrics` frame as the live-view screen.
+fn render_metrics(frame: &Json, out: &mut String) {
+    use std::fmt::Write as _;
+    let Some(m) = frame.get("metrics") else {
+        let _ = writeln!(out, "malformed response: no metrics object");
+        return;
+    };
+    let telemetry = m.get("telemetry") == Some(&Json::Bool(true));
+    let _ = writeln!(
+        out,
+        "telemetry: {}",
+        if telemetry {
+            "on"
+        } else {
+            "off (gauges only; start the server with --metrics)"
+        }
+    );
+    let section = |out: &mut String, title: &str, obj: Option<&Json>| {
+        let Some(Json::Obj(fields)) = obj else { return };
+        if fields.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "{title}:");
+        for (name, value) in fields {
+            let _ = writeln!(out, "  {name:<32} {}", value.as_f64().unwrap_or(0.0));
+        }
+    };
+    section(out, "gauges", m.get("gauges"));
+    section(out, "counters", m.get("counters"));
+    if let Some(Json::Obj(hists)) = m.get("histograms") {
+        if !hists.is_empty() {
+            let _ = writeln!(out, "histograms (ns):");
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "name", "count", "p50", "p90", "p99", "max"
+            );
+            for (name, h) in hists {
+                let f = |k: &str| h.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {name:<28} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                    f("count"),
+                    f("p50"),
+                    f("p90"),
+                    f("p99"),
+                    f("max")
+                );
+            }
+        }
+    }
 }
 
 fn cmd_model(path: &str, opts: &Options, builder: &ModelBuilder) -> Result<(), Box<dyn Error>> {
@@ -528,6 +772,15 @@ fn run() -> Result<(), Box<dyn Error>> {
         return cmd_asm(path);
     }
     if cmd == "stats" {
+        // Two shapes: a JSONL file to summarize, or --addr (optionally
+        // --watch) to scrape a running server's `metrics`.
+        if path.starts_with("--") {
+            let opts = parse_options(rest)?;
+            if opts.addr.is_none() {
+                return Err("stats needs a <telemetry.jsonl> file or --addr <host:port>".into());
+            }
+            return cmd_stats_remote(&opts);
+        }
         return cmd_stats(path);
     }
     let opts = parse_options(&rest[1..])?;
