@@ -9,10 +9,24 @@
 //! ([`Detector::classify_batch`]). The best score and verdict are always
 //! bitwise identical to the naive full scan; only comparisons that
 //! provably cannot win are cut short.
+//!
+//! A scan runs in two phases (DESIGN.md §15). **Phase 1** finds the best
+//! entry: every entry gets the `O(log)` interval-envelope bound
+//! ([`crate::engine::lb_interval`]) up front, then entries are visited —
+//! in repository order, or cheapest-sort-key-first when a
+//! [`RepoIndex`] is attached — through a cheapest-first cascade
+//! (envelope → length bound → CSP envelope → pivot bound → early-abandoned
+//! DTW) under the best-so-far cutoff; with an index, the scan *stops* at
+//! the first sort key above the cutoff. **Phase 2** renders the per-entry
+//! scores as a pure function of the target, the repository, and the best
+//! distance — never of the visit order — which is what makes indexed,
+//! linear, and parallel scans byte-identical.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use sca_attacks::AttackFamily;
@@ -23,9 +37,10 @@ use sca_telemetry::Json;
 use crate::builder::ModelBuilder;
 use crate::cst::CstBbs;
 use crate::engine::{
-    lb_csp_envelope, lb_length, Bounded, DeadlineExceeded, EngineStats, PreparedModel,
+    lb_csp_envelope, lb_interval, lb_length, Bounded, DeadlineExceeded, EngineStats, PreparedModel,
     SimilarityEngine,
 };
+use crate::index::{IndexConfig, IndexMismatch, QueryContext, RepoIndex};
 use crate::modeling::{build_model, ModelError, ModelingConfig};
 
 /// One PoC model in the repository.
@@ -33,8 +48,9 @@ use crate::modeling::{build_model, ModelError, ModelingConfig};
 pub struct RepoEntry {
     /// The attack family this PoC belongs to.
     pub family: AttackFamily,
-    /// The PoC's name (e.g. `"FR-IAIK"`).
-    pub name: String,
+    /// The PoC's name (e.g. `"FR-IAIK"`). Shared, so score rendering
+    /// can label thousands of entries per scan without allocating.
+    pub name: Arc<str>,
     /// Its attack behavior model.
     pub model: CstBbs,
 }
@@ -55,7 +71,7 @@ impl ModelRepository {
     pub fn add_model(&mut self, family: AttackFamily, name: impl Into<String>, model: CstBbs) {
         self.entries.push(RepoEntry {
             family,
-            name: name.into(),
+            name: name.into().into(),
             model,
         });
     }
@@ -121,14 +137,16 @@ impl Extend<RepoEntry> for ModelRepository {
 /// One repository entry's similarity to a classified target.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EntryScore {
-    /// The PoC's name.
-    pub poc: String,
+    /// The PoC's name (shared with the repository entry).
+    pub poc: Arc<str>,
     /// The PoC's attack family.
     pub family: AttackFamily,
     /// The similarity score in `[0, 1]`. Exact when [`exact`] is set;
     /// otherwise an **upper bound**: the pruned scan proved the true
-    /// score is at most this value (and strictly below the best score),
-    /// without paying for the full comparison.
+    /// score is at most this value without paying for the full
+    /// comparison. An upper bound may exceed the best (exact) score —
+    /// it only promises the true score is no higher, not that the entry
+    /// came close.
     ///
     /// [`exact`]: EntryScore::exact
     pub score: f64,
@@ -201,7 +219,7 @@ pub fn detection_json(program: &str, detection: &Detection) -> Json {
         .iter()
         .map(|entry| {
             Json::Obj(vec![
-                ("poc".into(), Json::Str(entry.poc.clone())),
+                ("poc".into(), Json::Str(entry.poc.to_string())),
                 ("family".into(), Json::Str(entry.family.to_string())),
                 ("score".into(), Json::Num(entry.score)),
                 ("exact".into(), Json::Bool(entry.exact)),
@@ -221,7 +239,7 @@ pub fn detection_json(program: &str, detection: &Detection) -> Json {
         (
             "best_poc".into(),
             match detection.best_entry() {
-                Some(entry) => Json::Str(entry.poc.clone()),
+                Some(entry) => Json::Str(entry.poc.to_string()),
                 None => Json::Null,
             },
         ),
@@ -262,15 +280,17 @@ struct ScanResult {
     best: Option<usize>,
 }
 
-/// A parallel-scan result slot: the entry's score and, when the
-/// comparison completed, its exact distance.
-type EntrySlot = Mutex<Option<(EntryScore, Option<f64>)>>;
+/// A parallel-scan result slot: the entry's exact distance, when its
+/// comparison ran to completion.
+type EntrySlot = Mutex<Option<f64>>;
 
-/// The SCAGuard detector: a model repository plus a similarity threshold.
+/// The SCAGuard detector: a model repository plus a similarity threshold,
+/// optionally accelerated by a [`RepoIndex`] (see [`Detector::set_index`]).
 #[derive(Debug)]
 pub struct Detector {
     repo: ModelRepository,
     threshold: f64,
+    index: Option<RepoIndex>,
     scan: Mutex<ScanState>,
 }
 
@@ -279,6 +299,7 @@ impl Clone for Detector {
         Detector {
             repo: self.repo.clone(),
             threshold: self.threshold,
+            index: self.index.clone(),
             scan: Mutex::new(self.lock_scan().clone()),
         }
     }
@@ -340,6 +361,7 @@ impl Detector {
         Ok(Detector {
             repo,
             threshold,
+            index: None,
             scan,
         })
     }
@@ -352,6 +374,35 @@ impl Detector {
     /// The detection threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// Attach a [`RepoIndex`] so repository scans visit entries
+    /// cheapest-first and stop early on the sort-key envelope. Detections
+    /// are byte-identical with and without an index; only the amount of
+    /// work changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexMismatch`] when the index was not built from this
+    /// detector's repository (stale sidecar, foreign file); the detector
+    /// keeps its previous index in that case.
+    pub fn set_index(&mut self, index: RepoIndex) -> Result<(), IndexMismatch> {
+        if !index.matches(&self.repo) {
+            return Err(IndexMismatch);
+        }
+        self.index = Some(index);
+        Ok(())
+    }
+
+    /// The attached index, if any.
+    pub fn index(&self) -> Option<&RepoIndex> {
+        self.index.as_ref()
+    }
+
+    /// Build a fresh [`RepoIndex`] for this detector's repository (with
+    /// default [`IndexConfig`]); always valid for [`Detector::set_index`].
+    pub fn build_index(&self) -> RepoIndex {
+        RepoIndex::build(&self.repo, &IndexConfig::default())
     }
 
     fn lock_scan(&self) -> std::sync::MutexGuard<'_, ScanState> {
@@ -369,8 +420,8 @@ impl Detector {
     pub fn classify_model(&self, target: &CstBbs) -> Detection {
         let mut sp = sca_telemetry::span("detect.scan");
         let mut state = self.lock_scan();
-        let result =
-            scan_target(&mut state, &self.repo, target, true, None).expect("no deadline was given");
+        let result = scan_target(&mut state, &self.repo, self.index.as_ref(), target, None)
+            .expect("no deadline was given");
         if state.engine.pool_len() > POOL_LIMIT {
             *state = ScanState::build(&self.repo);
         }
@@ -397,7 +448,13 @@ impl Detector {
     ) -> Result<Detection, DeadlineExceeded> {
         let mut sp = sca_telemetry::span("detect.scan");
         let mut state = self.lock_scan();
-        let result = match scan_target(&mut state, &self.repo, target, true, Some(deadline)) {
+        let result = match scan_target(
+            &mut state,
+            &self.repo,
+            self.index.as_ref(),
+            target,
+            Some(deadline),
+        ) {
             Ok(r) => r,
             Err(e) => {
                 sp.attr("deadline_exceeded", true);
@@ -414,11 +471,11 @@ impl Detector {
 
     /// Classify a prebuilt target model with an exhaustive scan: every
     /// entry's score is exact (still served by the interned engine).
+    /// Never consults the index — there is nothing to skip.
     pub fn classify_model_full(&self, target: &CstBbs) -> Detection {
         let mut sp = sca_telemetry::span("detect.scan");
         let mut state = self.lock_scan();
-        let result = scan_target(&mut state, &self.repo, target, false, None)
-            .expect("no deadline was given");
+        let result = scan_full(&mut state, &self.repo, target);
         if state.engine.pool_len() > POOL_LIMIT {
             *state = ScanState::build(&self.repo);
         }
@@ -429,67 +486,106 @@ impl Detector {
 
     /// Classify a prebuilt target model, scanning the repository with
     /// `jobs` worker threads (std-only; `jobs <= 1` degrades to the
-    /// serial scan). Workers share the best-so-far distance through an
-    /// atomic, so pruning works across threads; the verdict is identical
-    /// to the serial scan's.
+    /// serial scan). Workers drain the shared visit order (index-sorted
+    /// when an index is attached) and share the best-so-far distance
+    /// through an atomic, so pruning works across threads; scores are
+    /// rendered serially from the merged best distance, so the output is
+    /// byte-identical to the serial scan's.
     pub fn classify_model_jobs(&self, target: &CstBbs, jobs: usize) -> Detection {
         let jobs = jobs.clamp(1, self.repo.len().max(1));
         if jobs <= 1 {
             return self.classify_model(target);
         }
-        let seed = self.lock_scan().clone();
+        let mut seed = self.lock_scan().clone();
+        let mut counts = ScanCounts::default();
+        let p0 = {
+            let ScanState { engine, prepared } = &mut seed;
+            phase0(engine, prepared, self.index.as_ref(), target, &mut counts)
+        };
+        let n = self.repo.len();
+        let order = sorted_order(p0.keys.as_deref(), n);
         let next = AtomicUsize::new(0);
         // Best distance so far, as bits: for non-negative IEEE floats the
         // bit pattern orders exactly like the value, so `fetch_min` on
         // bits is `fetch_min` on distances.
         let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
-        let n = self.repo.len();
         let slots: Vec<EntrySlot> = (0..n).map(|_| Mutex::new(None)).collect();
+        let shared_counts: Mutex<ScanCounts> = Mutex::new(ScanCounts::default());
         std::thread::scope(|s| {
             for _ in 0..jobs {
                 s.spawn(|| {
+                    // The seed's pool already interned the target, so the
+                    // shared prepared target is valid in every clone.
                     let mut state = seed.clone();
-                    let prepared_target = state.engine.prepare(target);
+                    let mut local = ScanCounts::default();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let pos = next.fetch_add(1, Ordering::Relaxed);
+                        if pos >= n {
                             break;
                         }
+                        let i = order[pos];
                         let cutoff = f64::from_bits(best_bits.load(Ordering::Relaxed));
-                        let entry = &self.repo.entries()[i];
-                        let (score, distance) = scan_one(
+                        if let Some(keys) = &p0.keys {
+                            // The shared best only ever decreases, so a key
+                            // above the cutoff now stays above it forever:
+                            // skipping here is admissible even though other
+                            // workers are still lowering the best.
+                            if keys[i] > cutoff {
+                                local.entries_skipped += 1;
+                                state.engine.note_lb_skip(&p0.target, &state.prepared[i]);
+                                continue;
+                            }
+                        }
+                        let (mut lb1, mut lb2) = (f64::NAN, f64::NAN);
+                        let distance = probe_entry(
                             &mut state.engine,
-                            &prepared_target,
+                            &p0.target,
                             &state.prepared[i],
-                            entry,
+                            &self.repo.entries()[i],
+                            p0.query.as_ref(),
+                            i,
+                            p0.env[i],
                             cutoff,
                             None,
+                            &mut lb1,
+                            &mut lb2,
+                            &mut local,
                         )
                         .expect("no deadline was given");
                         if let Some(d) = distance {
                             best_bits.fetch_min(d.to_bits(), Ordering::Relaxed);
+                            *slot_lock(&slots[i]) = Some(d);
                         }
-                        *slot_lock(&slots[i]) = Some((score, distance));
                     }
+                    slot_lock(&shared_counts).absorb(&local);
                 });
             }
         });
-        let mut scores = Vec::with_capacity(n);
+        // Deterministic merge: minimum distance, later entry on ties —
+        // identical to the serial scan's rule, independent of which
+        // worker got there first.
         let mut best: Option<(usize, f64)> = None;
         for (i, slot) in slots.into_iter().enumerate() {
-            let (score, distance) = slot
-                .into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("every entry scanned");
-            if let Some(d) = distance {
-                // Same tie rule as the serial scan: on equal scores the
-                // later entry wins, mirroring the naive `max_by`.
-                if best.is_none_or(|(_, bd)| score_of(d) >= score_of(bd)) {
+            if let Some(d) = slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                if best.is_none_or(|(bi, bd)| d < bd || (d == bd && i > bi)) {
                     best = Some((i, d));
                 }
             }
-            scores.push(score);
         }
+        counts.absorb(&slot_lock(&shared_counts));
+        let mut lb1c = vec![f64::NAN; n];
+        let mut lb2c = vec![f64::NAN; n];
+        let scores = render_scores(
+            &self.repo,
+            &p0.target,
+            &seed.prepared,
+            &p0.env,
+            &mut lb1c,
+            &mut lb2c,
+            best,
+            &mut counts,
+        );
+        flush_scan_counts(&counts);
         self.detection(ScanResult {
             scores,
             best: best.map(|(i, _)| i),
@@ -520,8 +616,14 @@ impl Detector {
                         if i >= targets.len() {
                             break;
                         }
-                        let result = scan_target(&mut state, &self.repo, &targets[i], true, None)
-                            .expect("no deadline was given");
+                        let result = scan_target(
+                            &mut state,
+                            &self.repo,
+                            self.index.as_ref(),
+                            &targets[i],
+                            None,
+                        )
+                        .expect("no deadline was given");
                         *slot_lock(&slots[i]) = Some(self.detection(result));
                     }
                 });
@@ -618,7 +720,7 @@ impl Detector {
                 },
             );
             if let Some(best) = detection.best_entry() {
-                sp.attr("best_poc", best.poc.as_str());
+                sp.attr("best_poc", &*best.poc);
                 sp.attr("best_family", format!("{:?}", best.family));
                 sp.attr("best_score", best.score);
             }
@@ -654,87 +756,256 @@ fn flush_engine_stats(delta: EngineStats) {
     sca_telemetry::counter("simcache.misses", delta.cache_misses);
 }
 
-/// Compare the target against one prepared entry under `cutoff` and an
-/// optional wall-clock deadline.
-///
-/// Returns the entry's [`EntryScore`] and, when the comparison ran to
-/// completion, the exact distance (`None` means pruned: the true score
-/// is strictly below `score_of(cutoff)`).
+/// Per-scan work counters for the index/pruning machinery, bridged into
+/// the `index.*` telemetry counters by [`flush_scan_counts`] once per
+/// scan. Accumulated locally (plain integers); the disabled-telemetry
+/// cost is the single relaxed atomic load inside `sca_telemetry::enabled`.
+#[derive(Debug, Clone, Copy, Default)]
+struct ScanCounts {
+    /// Lower-bound evaluations across all cascade stages and both phases
+    /// (envelope, length, CSP envelope, pivot bounds).
+    lb_evals: u64,
+    /// Phase-1 entries rejected without running any DTW — by a cascade
+    /// bound or by the index sort-key stop.
+    entries_skipped: u64,
+    /// DTW comparisons that ran to completion (an exact distance).
+    /// Abandoned probes are partial by design and not counted here.
+    full_dtw_runs: u64,
+}
+
+impl ScanCounts {
+    fn absorb(&mut self, other: &ScanCounts) {
+        self.lb_evals += other.lb_evals;
+        self.entries_skipped += other.entries_skipped;
+        self.full_dtw_runs += other.full_dtw_runs;
+    }
+}
+
+/// Bridge one scan's pruning counters into the telemetry counters.
+fn flush_scan_counts(counts: &ScanCounts) {
+    if !sca_telemetry::enabled() {
+        return;
+    }
+    sca_telemetry::counter("index.lb_evals", counts.lb_evals);
+    sca_telemetry::counter("index.entries_skipped", counts.entries_skipped);
+    sca_telemetry::counter("index.full_dtw_runs", counts.full_dtw_runs);
+}
+
+/// Phase 0 of a pruned scan: the prepared target, the per-entry
+/// interval-envelope bounds, and (when an index is attached) the
+/// phase-1 sort keys.
+struct Phase0<'ix> {
+    target: PreparedModel,
+    query: Option<QueryContext<'ix>>,
+    /// Per-entry interval-envelope bound — index-free, so phase 2 can
+    /// render from it identically with and without an index.
+    env: Vec<f64>,
+    /// Per-entry sort keys (`Some` only with an index): `max(env, pivot
+    /// interval bound)`. Phase 1 visits entries in ascending `(key,
+    /// index)` order — the serial scan through a lazy min-heap, worker
+    /// pools through a precomputed sort; both produce the same sequence.
+    /// Once a visited key exceeds the best-so-far distance, every
+    /// unvisited entry's key does too, so the scan stops.
+    keys: Option<Vec<f64>>,
+}
+
+fn phase0<'ix>(
+    engine: &mut SimilarityEngine,
+    prepared: &[PreparedModel],
+    index: Option<&'ix RepoIndex>,
+    target: &CstBbs,
+    counts: &mut ScanCounts,
+) -> Phase0<'ix> {
+    let prepared_target = engine.prepare(target);
+    let n = prepared.len();
+    let query = index.map(|ix| ix.query(target));
+    let env: Vec<f64> = prepared
+        .iter()
+        .map(|pm| lb_interval(&prepared_target, pm))
+        .collect();
+    counts.lb_evals += n as u64;
+    let keys = query.as_ref().map(|q| {
+        let keys: Vec<f64> = (0..n).map(|i| env[i].max(q.interval_bound(i))).collect();
+        counts.lb_evals += n as u64;
+        keys
+    });
+    Phase0 {
+        target: prepared_target,
+        query,
+        env,
+        keys,
+    }
+}
+
+/// The visit order the sort keys dictate, materialized for a worker pool
+/// to drain by shared atomic position: ascending `(key, index)`, i.e.
+/// cheapest first, repository order on ties (and throughout when no index
+/// is attached). The serial scan does not materialize this — it pops the
+/// same sequence lazily from a min-heap ([`scan_target`]).
+fn sorted_order(keys: Option<&[f64]>, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if let Some(keys) = keys {
+        order.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then(a.cmp(&b)));
+    }
+    order
+}
+
+/// Phase-1 probe of one entry under `cutoff`: the cheapest-first cascade
+/// (precomputed interval envelope → length bound → CSP envelope → pivot
+/// nearest-neighbor bound → early-abandoned DTW), each stage running only
+/// if the previous one failed to disqualify the entry. Returns the exact
+/// distance when the DTW ran to completion, `None` when the entry was
+/// skipped or abandoned. `lb1`/`lb2` cache the heavy bounds (pure
+/// functions of target and entry) for phase 2.
 ///
 /// # Errors
 ///
 /// Returns [`DeadlineExceeded`] when `deadline` passes mid-comparison.
-fn scan_one(
+#[allow(clippy::too_many_arguments)]
+fn probe_entry(
     engine: &mut SimilarityEngine,
     target: &PreparedModel,
     entry_model: &PreparedModel,
     entry: &RepoEntry,
+    query: Option<&QueryContext<'_>>,
+    entry_idx: usize,
+    env: f64,
     cutoff: f64,
     deadline: Option<Instant>,
-) -> Result<(EntryScore, Option<f64>), DeadlineExceeded> {
+    lb1: &mut f64,
+    lb2: &mut f64,
+    counts: &mut ScanCounts,
+) -> Result<Option<f64>, DeadlineExceeded> {
     let mut sp = sca_telemetry::span("pipeline.compare.dtw");
     let before = engine.stats();
-    // Cascade: length-difference bound, then the CSP-only bound, then
-    // the early-abandoning full DTW. Each stage only runs if the
-    // previous one failed to disqualify the entry.
-    let lb1 = if cutoff.is_finite() {
-        lb_length(target, entry_model)
-    } else {
-        0.0
-    };
-    let outcome = if lb1 > cutoff {
+    let outcome = if env > cutoff {
+        counts.entries_skipped += 1;
         engine.note_lb_skip(target, entry_model);
-        Bounded::AtLeast(lb1)
+        Bounded::AtLeast(env)
+    } else if !cutoff.is_finite() {
+        // No best yet (first visited entry): the bounds can't disqualify
+        // anything, go straight to the (unbounded) DTW.
+        let r = engine.distance_bounded_until(target, entry_model, cutoff, deadline)?;
+        counts.full_dtw_runs += 1;
+        r
     } else {
-        let lb2 = if cutoff.is_finite() {
-            lb_csp_envelope(target, entry_model)
-        } else {
-            0.0
-        };
-        if lb2 > cutoff {
+        *lb1 = lb_length(target, entry_model);
+        counts.lb_evals += 1;
+        if *lb1 > cutoff {
+            counts.entries_skipped += 1;
             engine.note_lb_skip(target, entry_model);
-            Bounded::AtLeast(lb2.max(lb1))
+            Bounded::AtLeast(*lb1)
         } else {
-            engine.distance_bounded_until(target, entry_model, cutoff, deadline)?
+            *lb2 = lb_csp_envelope(target, entry_model);
+            counts.lb_evals += 1;
+            if *lb2 > cutoff {
+                counts.entries_skipped += 1;
+                engine.note_lb_skip(target, entry_model);
+                Bounded::AtLeast(lb2.max(*lb1))
+            } else {
+                let pivot = query.map_or(0.0, |q| {
+                    counts.lb_evals += 1;
+                    q.nn_bound(entry_idx)
+                });
+                if pivot > cutoff {
+                    counts.entries_skipped += 1;
+                    engine.note_lb_skip(target, entry_model);
+                    Bounded::AtLeast(pivot)
+                } else {
+                    let r = engine.distance_bounded_until(target, entry_model, cutoff, deadline)?;
+                    if matches!(r, Bounded::Exact(_)) {
+                        counts.full_dtw_runs += 1;
+                    }
+                    r
+                }
+            }
         }
     };
-    let (score, distance) = match outcome {
-        Bounded::Exact(d) => (
-            EntryScore {
-                poc: entry.name.clone(),
-                family: entry.family,
-                score: score_of(d),
-                exact: true,
-            },
-            Some(d),
-        ),
-        Bounded::AtLeast(lb) => (
-            EntryScore {
-                poc: entry.name.clone(),
-                family: entry.family,
-                score: score_of(lb),
-                exact: false,
-            },
-            None,
-        ),
-    };
+    let distance = outcome.exact();
     if sp.is_recording() {
         let delta = engine.stats().since(&before);
-        sp.attr("poc", entry.name.as_str());
+        sp.attr("poc", &*entry.name);
         sp.attr("family", format!("{:?}", entry.family));
         sp.attr("cells", delta.cells);
         sp.attr("cells_pruned", delta.cells_pruned);
-        sp.attr("score", score.score);
-        sp.attr("exact", score.exact);
+        sp.attr("score", score_of(outcome.lower_bound()));
+        sp.attr("exact", distance.is_some());
         sca_telemetry::counter("dtw.comparisons", 1);
         flush_engine_stats(delta);
     }
-    Ok((score, distance))
+    Ok(distance)
 }
 
-/// Scan the target against every repository entry, threading the best
-/// distance so far as the pruning cutoff (when `pruned`), under an
-/// optional wall-clock deadline checked before every entry.
+/// Phase 2: render the per-entry scores from the best distance found in
+/// phase 1 — a pure function of the target, the repository, and that
+/// distance, never of the visit order, so indexed, linear, and parallel
+/// scans produce byte-identical detections. The best entry reports its
+/// exact score; every other entry reports the tightest *deterministic*
+/// lower-bound cascade value as an upper-bound score (no DTW runs here).
+#[allow(clippy::too_many_arguments)]
+fn render_scores(
+    repo: &ModelRepository,
+    target: &PreparedModel,
+    prepared: &[PreparedModel],
+    env: &[f64],
+    lb1c: &mut [f64],
+    lb2c: &mut [f64],
+    best: Option<(usize, f64)>,
+    counts: &mut ScanCounts,
+) -> Vec<EntryScore> {
+    let Some((best_idx, best_d)) = best else {
+        // A nonempty repository always yields a best entry (the first
+        // visited entry's DTW runs under an infinite cutoff).
+        debug_assert!(repo.is_empty());
+        return Vec::new();
+    };
+    repo.entries()
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            if i == best_idx {
+                return EntryScore {
+                    poc: entry.name.clone(),
+                    family: entry.family,
+                    score: score_of(best_d),
+                    exact: true,
+                };
+            }
+            // The same cheapest-first cascade as phase 1, but against the
+            // fixed final distance: deepen the bound only while it has
+            // not yet proven the entry can't beat the best. Cached
+            // phase-1 values are pure functions of (target, entry), so
+            // reusing them cannot depend on the visit order.
+            let mut bound = env[i];
+            if bound <= best_d {
+                if lb1c[i].is_nan() {
+                    lb1c[i] = lb_length(target, &prepared[i]);
+                    counts.lb_evals += 1;
+                }
+                bound = bound.max(lb1c[i]);
+                if bound <= best_d {
+                    if lb2c[i].is_nan() {
+                        lb2c[i] = lb_csp_envelope(target, &prepared[i]);
+                        counts.lb_evals += 1;
+                    }
+                    bound = bound.max(lb2c[i]);
+                }
+            }
+            EntryScore {
+                poc: entry.name.clone(),
+                family: entry.family,
+                score: score_of(bound),
+                exact: false,
+            }
+        })
+        .collect()
+}
+
+/// Scan the target against the repository: phase 0 (envelopes and visit
+/// order), phase 1 (find the best entry under the best-so-far cutoff,
+/// stopping at the first too-expensive sort key when indexed), phase 2
+/// (render scores from the final best distance). The optional wall-clock
+/// deadline is checked before every phase-1 entry and once per DTW row.
 ///
 /// # Errors
 ///
@@ -742,46 +1013,139 @@ fn scan_one(
 fn scan_target(
     state: &mut ScanState,
     repo: &ModelRepository,
+    index: Option<&RepoIndex>,
     target: &CstBbs,
-    pruned: bool,
     deadline: Option<Instant>,
 ) -> Result<ScanResult, DeadlineExceeded> {
     let ScanState { engine, prepared } = state;
-    let prepared_target = engine.prepare(target);
-    let mut scores = Vec::with_capacity(repo.len());
+    let mut counts = ScanCounts::default();
+    let p0 = phase0(engine, prepared, index, target, &mut counts);
+    let n = repo.len();
     let mut best: Option<(usize, f64)> = None;
-    for (i, (entry, entry_model)) in repo.entries().iter().zip(prepared.iter()).enumerate() {
+    let mut lb1c = vec![f64::NAN; n];
+    let mut lb2c = vec![f64::NAN; n];
+    // Lazy visit order: a min-heap over `(key bits, index)` pops entries
+    // in exactly the ascending `(key, index)` sequence a full sort would
+    // produce (keys are non-negative finite floats, whose bit patterns
+    // order like their values), but costs `O(n)` to build plus `O(log n)`
+    // per visited entry — and the indexed scan visits only a short prefix
+    // before the sort-key stop.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = match &p0.keys {
+        Some(keys) => keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Reverse((k.to_bits(), i)))
+            .collect(),
+        None => BinaryHeap::new(),
+    };
+    let mut linear = 0..n;
+    loop {
+        // Without an index there are no keys: visit in repository order
+        // with a key that can never trip the stop below.
+        let next = if p0.keys.is_some() {
+            heap.pop().map(|Reverse((k, i))| (i, f64::from_bits(k)))
+        } else {
+            linear.next().map(|i| (i, f64::NEG_INFINITY))
+        };
+        let Some((i, key)) = next else { break };
         if let Some(d) = deadline {
             if Instant::now() >= d {
                 return Err(DeadlineExceeded);
             }
         }
-        let cutoff = if pruned {
-            best.map_or(f64::INFINITY, |(_, d)| d)
-        } else {
-            f64::INFINITY
-        };
-        let (score, distance) = scan_one(
+        let cutoff = best.map_or(f64::INFINITY, |(_, d)| d);
+        if key > cutoff {
+            // Keys ascend along the visit order: this entry and every
+            // entry still in the heap are rejected by their sort key
+            // alone.
+            counts.entries_skipped += (heap.len() + 1) as u64;
+            engine.note_lb_skip(&p0.target, &prepared[i]);
+            for &Reverse((_, j)) in heap.iter() {
+                engine.note_lb_skip(&p0.target, &prepared[j]);
+            }
+            break;
+        }
+        let distance = probe_entry(
             engine,
-            &prepared_target,
-            entry_model,
-            entry,
+            &p0.target,
+            &prepared[i],
+            &repo.entries()[i],
+            p0.query.as_ref(),
+            i,
+            p0.env[i],
             cutoff,
             deadline,
+            &mut lb1c[i],
+            &mut lb2c[i],
+            &mut counts,
         )?;
         if let Some(d) = distance {
-            // `>=` so equal scores prefer the later entry — the same tie
-            // rule as the naive `max_by` over all scores.
-            if best.is_none_or(|(_, bd)| score_of(d) >= score_of(bd)) {
+            // Minimum distance, later entry on ties — the same rule as
+            // the naive `max_by` over all scores, stated in a form that
+            // is independent of the visit order.
+            if best.is_none_or(|(bi, bd)| d < bd || (d == bd && i > bi)) {
                 best = Some((i, d));
             }
         }
-        scores.push(score);
     }
+    let scores = render_scores(
+        repo,
+        &p0.target,
+        prepared,
+        &p0.env,
+        &mut lb1c,
+        &mut lb2c,
+        best,
+        &mut counts,
+    );
+    flush_scan_counts(&counts);
     Ok(ScanResult {
         scores,
         best: best.map(|(i, _)| i),
     })
+}
+
+/// Exhaustive scan: every entry's DTW runs to completion under an
+/// infinite cutoff, so every score is exact. No pruning, no index.
+fn scan_full(state: &mut ScanState, repo: &ModelRepository, target: &CstBbs) -> ScanResult {
+    let ScanState { engine, prepared } = state;
+    let prepared_target = engine.prepare(target);
+    let mut counts = ScanCounts::default();
+    let mut scores = Vec::with_capacity(repo.len());
+    let mut best: Option<(usize, f64)> = None;
+    for (i, (entry, entry_model)) in repo.entries().iter().zip(prepared.iter()).enumerate() {
+        let (mut lb1, mut lb2) = (f64::NAN, f64::NAN);
+        let distance = probe_entry(
+            engine,
+            &prepared_target,
+            entry_model,
+            entry,
+            None,
+            i,
+            0.0,
+            f64::INFINITY,
+            None,
+            &mut lb1,
+            &mut lb2,
+            &mut counts,
+        )
+        .expect("no deadline was given");
+        let d = distance.expect("an unbounded comparison always completes");
+        if best.is_none_or(|(bi, bd)| d < bd || (d == bd && i > bi)) {
+            best = Some((i, d));
+        }
+        scores.push(EntryScore {
+            poc: entry.name.clone(),
+            family: entry.family,
+            score: score_of(d),
+            exact: true,
+        });
+    }
+    flush_scan_counts(&counts);
+    ScanResult {
+        scores,
+        best: best.map(|(i, _)| i),
+    }
 }
 
 #[cfg(test)]
@@ -852,7 +1216,7 @@ mod tests {
         let det = d.classify_model(&dummy_model(4, 0));
         assert_eq!(det.family(), Some(AttackFamily::FlushReload));
         assert_eq!(det.scores.len(), 2);
-        assert_eq!(det.best_entry().map(|e| e.poc.as_str()), Some("fr"));
+        assert_eq!(det.best_entry().map(|e| &*e.poc), Some("fr"));
     }
 
     #[test]
@@ -875,7 +1239,6 @@ mod tests {
                 assert_eq!(e.score, true_score);
             } else {
                 assert!(e.score >= true_score);
-                assert!(e.score <= det.best_score());
             }
         }
     }
@@ -903,8 +1266,47 @@ mod tests {
                 assert_eq!(serial.best, parallel.best);
                 assert_eq!(serial.best_score(), parallel.best_score());
                 assert_eq!(serial.family(), parallel.family());
+                // Phase 2 renders from the merged best distance alone, so
+                // the full per-entry score list is identical too.
+                assert_eq!(serial.scores, parallel.scores);
             }
         }
+    }
+
+    #[test]
+    fn indexed_scan_is_byte_identical_to_linear() {
+        let repo = repo4();
+        let linear = Detector::new(repo.clone(), 0.2).unwrap();
+        let mut indexed = Detector::new(repo, 0.2).unwrap();
+        indexed.set_index(indexed.build_index()).unwrap();
+        assert!(indexed.index().is_some());
+        for n in [0, 1, 3, 5, 12] {
+            for marker in [0, 1] {
+                let target = dummy_model(n, marker);
+                let a = detection_json("t", &linear.classify_model(&target)).to_string();
+                let b = detection_json("t", &indexed.classify_model(&target)).to_string();
+                assert_eq!(a, b, "indexed scan diverged (n={n}, marker={marker})");
+                for jobs in [2, 3] {
+                    let j = detection_json("t", &indexed.classify_model_jobs(&target, jobs))
+                        .to_string();
+                    assert_eq!(
+                        a, j,
+                        "indexed jobs={jobs} diverged (n={n}, marker={marker})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_index_is_rejected() {
+        let mut small = ModelRepository::new();
+        small.add_model(AttackFamily::FlushReload, "fr", dummy_model(4, 0));
+        let other = Detector::new(small, 0.2).unwrap();
+        let mut d = Detector::new(repo4(), 0.2).unwrap();
+        assert_eq!(d.set_index(other.build_index()), Err(IndexMismatch));
+        assert!(d.index().is_none(), "a rejected index must not stick");
+        assert!(d.set_index(d.build_index()).is_ok());
     }
 
     #[test]

@@ -95,12 +95,74 @@ pub struct PreparedModel {
     sorted_lens: Vec<u32>,
     /// `changes`, sorted — binary-searched by the CSP envelope term.
     sorted_changes: Vec<f64>,
+    /// Prefix sums of `sorted_lens` (as `f64`); `prefix_len[i]` is the
+    /// sum of the `i` smallest lengths. Used by [`lb_interval`] to price
+    /// a whole scan side against a value interval in `O(log n)`.
+    prefix_len: Vec<f64>,
+    /// Prefix sums of `1/len` over `sorted_lens` (`0.0` for empty
+    /// blocks, which never enter the out-of-interval terms).
+    prefix_inv_len: Vec<f64>,
+    /// Prefix sums of `sorted_changes`.
+    prefix_change: Vec<f64>,
+    /// Value-indexed cumulative counts over `sorted_lens`
+    /// (`len_cnt_le[v]` = how many steps have length `<= v`), so the
+    /// per-entry envelope pass prices length sides with two array loads
+    /// instead of two binary searches. Empty when the model has no steps
+    /// or a step is implausibly long; the searches remain as fallback
+    /// and produce identical indices.
+    len_cnt_le: Vec<u32>,
+}
+
+/// Step lengths at or above this skip the count table (a table that
+/// large would cost more than the searches it replaces).
+const LEN_LUT_CAP: usize = 4096;
+
+/// The value-indexed cumulative count table over a sorted length list,
+/// or empty when the largest value is too big to table.
+fn cumulative_len_counts(sorted: &[u32]) -> Vec<u32> {
+    let Some(&max) = sorted.last() else {
+        return Vec::new();
+    };
+    if max as usize >= LEN_LUT_CAP {
+        return Vec::new();
+    }
+    let mut cnt = vec![0u32; max as usize + 1];
+    for &v in sorted {
+        cnt[v as usize] += 1;
+    }
+    let mut run = 0u32;
+    for c in &mut cnt {
+        run += *c;
+        *c = run;
+    }
+    cnt
 }
 
 impl PreparedModel {
     /// Number of steps in the underlying model.
     pub fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    /// Number of steps with sequence length `<= v` — identical to
+    /// `sorted_lens.partition_point(|&q| q <= v)`, as one array load
+    /// when the count table covers the model.
+    #[inline]
+    fn lens_at_most(&self, v: u32) -> usize {
+        match self.len_cnt_le.len() {
+            0 => self.sorted_lens.partition_point(|&q| q <= v),
+            cap => self.len_cnt_le[(v as usize).min(cap - 1)] as usize,
+        }
+    }
+
+    /// Number of steps with sequence length `< v` — identical to
+    /// `sorted_lens.partition_point(|&q| q < v)`.
+    #[inline]
+    fn lens_below(&self, v: u32) -> usize {
+        match v {
+            0 => 0,
+            v => self.lens_at_most(v - 1),
+        }
     }
 
     /// Whether the underlying model has no steps.
@@ -236,12 +298,35 @@ impl SimilarityEngine {
         sorted_lens.sort_unstable();
         let mut sorted_changes = changes.clone();
         sorted_changes.sort_unstable_by(f64::total_cmp);
+        let mut prefix_len = Vec::with_capacity(sorted_lens.len() + 1);
+        let mut prefix_inv_len = Vec::with_capacity(sorted_lens.len() + 1);
+        let (mut sum, mut inv_sum) = (0.0f64, 0.0f64);
+        prefix_len.push(0.0);
+        prefix_inv_len.push(0.0);
+        for &l in &sorted_lens {
+            sum += f64::from(l);
+            inv_sum += if l == 0 { 0.0 } else { 1.0 / f64::from(l) };
+            prefix_len.push(sum);
+            prefix_inv_len.push(inv_sum);
+        }
+        let mut prefix_change = Vec::with_capacity(sorted_changes.len() + 1);
+        let mut csum = 0.0f64;
+        prefix_change.push(0.0);
+        for &c in &sorted_changes {
+            csum += c;
+            prefix_change.push(csum);
+        }
+        let len_cnt_le = cumulative_len_counts(&sorted_lens);
         PreparedModel {
             ids,
             changes,
             lens,
             sorted_lens,
             sorted_changes,
+            prefix_len,
+            prefix_inv_len,
+            prefix_change,
+            len_cnt_le,
         }
     }
 
@@ -513,6 +598,81 @@ pub fn lb_csp_envelope(a: &PreparedModel, b: &PreparedModel) -> f64 {
     over_a.max(over_b)
 }
 
+/// One side of the interval-envelope bound over step lengths: the summed
+/// halved length-ratio floor of `a`'s steps against `b`'s *length
+/// interval* `[lo, hi]`, priced in `O(log n)` from `a`'s prefix sums.
+///
+/// For an `a`-step of length `q` matched to any `b`-step of length
+/// `l ∈ [lo, hi]`: if `q < lo`, `len_ratio(q, l) = 1 - q/l ≥ 1 - q/lo`;
+/// if `q > hi`, `len_ratio(q, l) = 1 - l/q ≥ 1 - hi/q`; otherwise the
+/// floor is 0. Summing the closed forms over the sorted prefix sums gives
+/// the same value a term-by-term loop would (clamped at 0 against float
+/// drift, which only ever weakens the bound).
+fn interval_len_sum(a: &PreparedModel, b: &PreparedModel) -> f64 {
+    let lo = b.sorted_lens[0];
+    let hi = *b.sorted_lens.last().expect("nonempty");
+    let n = a.sorted_lens.len();
+    let at = a.lens_below(lo);
+    let left = if lo > 0 {
+        (at as f64 - a.prefix_len[at] / f64::from(lo)).max(0.0)
+    } else {
+        0.0
+    };
+    let bt = a.lens_at_most(hi);
+    let right =
+        ((n - bt) as f64 - f64::from(hi) * (a.prefix_inv_len[n] - a.prefix_inv_len[bt])).max(0.0);
+    0.5 * (left + right)
+}
+
+/// One side of the interval-envelope bound over change magnitudes: the
+/// summed halved gap of `a`'s changes to `b`'s change interval, again in
+/// `O(log n)` from prefix sums (`|c - d| ≥ max(lo - c, c - hi, 0)` for
+/// any `d ∈ [lo, hi]`).
+fn interval_change_sum(a: &PreparedModel, b: &PreparedModel) -> f64 {
+    let lo = b.sorted_changes[0];
+    let hi = *b.sorted_changes.last().expect("nonempty");
+    let n = a.sorted_changes.len();
+    let at = a.sorted_changes.partition_point(|&c| c < lo);
+    let left = (at as f64 * lo - a.prefix_change[at]).max(0.0);
+    let bt = a.sorted_changes.partition_point(|&c| c <= hi);
+    let right = ((a.prefix_change[n] - a.prefix_change[bt]) - (n - bt) as f64 * hi).max(0.0);
+    0.5 * (left + right)
+}
+
+/// **Interval-envelope lower bound** on the DTW distance, `O(log n + log m)`.
+///
+/// The cheapest member of the cascade: instead of searching each step's
+/// nearest neighbor in the other model (`O(n log m)` like [`lb_length`] /
+/// [`lb_csp_envelope`]), it prices every step against the other model's
+/// *value interval* — `[min, max]` of its step lengths and change
+/// magnitudes — using prefix sums over the already-sorted arrays. Per
+/// model pair that's four closed-form sums and a handful of binary
+/// searches, cheap enough to evaluate for *every* repository entry before
+/// any heavier bound runs; the repo scan uses it both as the first skip
+/// stage and as the index sort key component.
+///
+/// Admissible by the same per-visit argument as [`lb_length`]: a warping
+/// path visits every step at least once, each visit costs
+/// `(D_IS + D_CSP)/2`, and each component's gap to the other model's
+/// value interval never exceeds its gap to the actually-matched value.
+/// The maximum over the four sides (lengths/changes × both models) is
+/// therefore `≤ max(lb_length, lb_csp_envelope) ≤` the true distance.
+/// Mirrors the naive empty-model conventions exactly.
+pub fn lb_interval(a: &PreparedModel, b: &PreparedModel) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return if n == 0 && m == 0 {
+            0.0
+        } else {
+            (n + m) as f64
+        };
+    }
+    interval_len_sum(a, b)
+        .max(interval_len_sum(b, a))
+        .max(interval_change_sum(a, b))
+        .max(interval_change_sum(b, a))
+}
+
 /// **CSP-only lower bound** on the DTW distance, `O(n·m)` with trivial
 /// per-cell cost, early-abandoned at `cutoff`.
 ///
@@ -633,6 +793,8 @@ mod tests {
         assert_eq!(engine.distance(&pe, &p1), 1.0);
         assert_eq!(engine.distance(&p1, &pe), 1.0);
         assert_eq!(lb_length(&pe, &p1), 1.0);
+        assert_eq!(lb_interval(&pe, &p1), 1.0);
+        assert_eq!(lb_interval(&pe, &pe), 0.0);
         assert_eq!(lb_csp(&pe, &pe, f64::INFINITY), 0.0);
     }
 
@@ -677,6 +839,8 @@ mod tests {
         let mut engine = SimilarityEngine::new();
         let (pa, pb) = (engine.prepare(&a), engine.prepare(&b));
         let d = engine.distance(&pa, &pb);
+        assert!(lb_interval(&pa, &pb) <= d);
+        assert!(lb_interval(&pa, &pb) <= lb_length(&pa, &pb).max(lb_csp_envelope(&pa, &pb)));
         assert!(lb_length(&pa, &pb) <= d);
         assert!(lb_csp(&pa, &pb, f64::INFINITY) <= d);
         assert!(

@@ -49,6 +49,7 @@
 
 pub mod builder;
 pub mod engine;
+pub mod index;
 pub mod modeling;
 pub mod persist;
 pub mod similarity;
@@ -62,11 +63,13 @@ pub use detector::{
     detection_json, Detection, Detector, EntryScore, InvalidThreshold, ModelRepository, RepoEntry,
 };
 pub use engine::{Bounded, DeadlineExceeded, EngineStats, PreparedModel, SimilarityEngine};
+pub use index::{repo_fingerprint, IndexConfig, IndexMismatch, QueryContext, RepoIndex};
 pub use modeling::{
     build_model, build_models, model_from_blocks, ModelError, ModelingConfig, ModelingOutcome,
 };
 pub use persist::{
-    load_model_cache, load_repository, model_text, save_model_cache, save_repository, LoadRepoError,
+    index_sidecar_path, load_index, load_model_cache, load_repository, model_text, save_index,
+    save_model_cache, save_repository, LoadRepoError,
 };
 pub use similarity::{
     cst_distance, dtw, dtw_with_path, explain_similarity, levenshtein, similarity_score, Alignment,

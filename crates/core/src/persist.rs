@@ -27,9 +27,11 @@ use sca_isa::NormInst;
 
 use crate::cst::{Cst, CstBbs, CstStep};
 use crate::detector::ModelRepository;
+use crate::index::{EntryPivots, RepoIndex};
 
 const MAGIC: &str = "scaguard-repo v1";
 const CACHE_MAGIC: &str = "scaguard-modelcache v1";
+const INDEX_MAGIC: &str = "scaguard-index v1";
 
 /// Errors from loading or saving a repository / model-cache file.
 ///
@@ -460,6 +462,240 @@ pub fn load_model_cache(path: impl AsRef<Path>) -> Result<Vec<(String, CstBbs)>,
     model_cache_from_str(&text).map_err(|e| e.with_path(path))
 }
 
+/// Serialize a repository index to the versioned text format:
+///
+/// ```text
+/// scaguard-index v1
+/// fingerprint 0123456789abcdef
+/// pivots 2
+/// pivot
+/// inst clflush mem
+/// ...
+/// end
+/// pivot
+/// ...
+/// end
+/// entries 5
+/// entry 12
+/// levs 0 3 7
+/// levs 1 4 9
+/// end
+/// ...
+/// ```
+///
+/// Every number is an integer (the fingerprint in hex, everything else
+/// decimal), so the format round-trips byte-for-byte: no float
+/// formatting is involved. Each `entry` block carries exactly one
+/// ascending `levs` line per pivot.
+pub fn index_to_string(index: &RepoIndex) -> String {
+    let mut out = String::from(INDEX_MAGIC);
+    out.push('\n');
+    out.push_str(&format!("fingerprint {:016x}\n", index.fingerprint));
+    out.push_str(&format!("pivots {}\n", index.pivots.len()));
+    for pivot in &index.pivots {
+        out.push_str("pivot\n");
+        for inst in pivot {
+            out.push_str(&format!("inst {inst}\n"));
+        }
+        out.push_str("end\n");
+    }
+    out.push_str(&format!("entries {}\n", index.entries.len()));
+    for entry in &index.entries {
+        out.push_str(&format!("entry {}\n", entry.max_len));
+        for levs in &entry.levs {
+            out.push_str("levs");
+            for v in levs {
+                out.push_str(&format!(" {v}"));
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Pull the next non-blank line, or report a truncation at end of file.
+fn take_line<'a>(
+    lines: &[(usize, &'a str)],
+    pos: &mut usize,
+    eof_line: usize,
+    what: &str,
+) -> Result<(usize, &'a str), LoadRepoError> {
+    if *pos < lines.len() {
+        let got = lines[*pos];
+        *pos += 1;
+        Ok(got)
+    } else {
+        Err(perr(eof_line, format!("truncated index: {what} expected")))
+    }
+}
+
+/// Parse a repository index from the text format.
+///
+/// # Errors
+///
+/// Returns [`LoadRepoError::Parse`] with the offending line for any
+/// malformed content (wrong magic, bad fingerprint, mismatched pivot or
+/// entry counts, a `levs` line that is not sorted ascending, truncated
+/// or trailing records). Stale-but-well-formed indexes parse fine here;
+/// staleness is caught by [`RepoIndex::matches`] when the index is
+/// attached to a repository.
+pub fn index_from_str(text: &str) -> Result<RepoIndex, LoadRepoError> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let eof_line = text.lines().count().max(1);
+    let mut pos = 0usize;
+
+    let (line_no, first) = take_line(&lines, &mut pos, eof_line, "header")?;
+    if first != INDEX_MAGIC {
+        return Err(perr(
+            line_no,
+            format!("expected `{INDEX_MAGIC}`, got `{first}`"),
+        ));
+    }
+
+    let (line_no, line) = take_line(&lines, &mut pos, eof_line, "fingerprint")?;
+    let rest = line.strip_prefix("fingerprint ").ok_or_else(|| {
+        perr(
+            line_no,
+            format!("expected `fingerprint <hex>`, got `{line}`"),
+        )
+    })?;
+    let fingerprint = u64::from_str_radix(rest.trim(), 16)
+        .map_err(|e| perr(line_no, format!("bad fingerprint: {e}")))?;
+
+    let (line_no, line) = take_line(&lines, &mut pos, eof_line, "pivot count")?;
+    let rest = line
+        .strip_prefix("pivots ")
+        .ok_or_else(|| perr(line_no, format!("expected `pivots <count>`, got `{line}`")))?;
+    let pivot_count: usize = rest
+        .trim()
+        .parse()
+        .map_err(|e| perr(line_no, format!("bad pivot count: {e}")))?;
+
+    let mut pivots = Vec::new();
+    for _ in 0..pivot_count {
+        let (line_no, line) = take_line(&lines, &mut pos, eof_line, "pivot")?;
+        if line != "pivot" {
+            return Err(perr(line_no, format!("expected `pivot`, got `{line}`")));
+        }
+        let mut seq = Vec::new();
+        loop {
+            let (line_no, line) = take_line(&lines, &mut pos, eof_line, "`inst` or `end`")?;
+            if line == "end" {
+                break;
+            }
+            let rest = line
+                .strip_prefix("inst ")
+                .ok_or_else(|| perr(line_no, format!("expected `inst` or `end`, got `{line}`")))?;
+            seq.push(parse_inst(rest, line_no)?);
+        }
+        pivots.push(seq);
+    }
+
+    let (line_no, line) = take_line(&lines, &mut pos, eof_line, "entry count")?;
+    let rest = line
+        .strip_prefix("entries ")
+        .ok_or_else(|| perr(line_no, format!("expected `entries <count>`, got `{line}`")))?;
+    let entry_count: usize = rest
+        .trim()
+        .parse()
+        .map_err(|e| perr(line_no, format!("bad entry count: {e}")))?;
+
+    let mut entries = Vec::new();
+    for _ in 0..entry_count {
+        let (line_no, line) = take_line(&lines, &mut pos, eof_line, "entry")?;
+        let rest = line
+            .strip_prefix("entry ")
+            .ok_or_else(|| perr(line_no, format!("expected `entry <max_len>`, got `{line}`")))?;
+        let max_len: u32 = rest
+            .trim()
+            .parse()
+            .map_err(|e| perr(line_no, format!("bad max_len: {e}")))?;
+        let mut levs = Vec::with_capacity(pivot_count);
+        for _ in 0..pivot_count {
+            let (line_no, line) = take_line(&lines, &mut pos, eof_line, "levs")?;
+            let rest = line
+                .strip_prefix("levs")
+                .filter(|r| r.is_empty() || r.starts_with(' '))
+                .ok_or_else(|| {
+                    perr(
+                        line_no,
+                        format!("expected one `levs` line per pivot, got `{line}`"),
+                    )
+                })?;
+            let vals: Vec<u32> = rest
+                .split_whitespace()
+                .map(str::parse)
+                .collect::<Result<_, _>>()
+                .map_err(|e| perr(line_no, format!("bad levs value: {e}")))?;
+            if !vals.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(perr(line_no, "levs not sorted ascending"));
+            }
+            levs.push(vals);
+        }
+        let (line_no, line) = take_line(&lines, &mut pos, eof_line, "end")?;
+        if line != "end" {
+            return Err(perr(line_no, format!("expected `end`, got `{line}`")));
+        }
+        entries.push(EntryPivots { max_len, levs });
+    }
+
+    if pos < lines.len() {
+        let (line_no, line) = lines[pos];
+        return Err(perr(line_no, format!("trailing content `{line}`")));
+    }
+    Ok(RepoIndex::from_parts(fingerprint, pivots, entries))
+}
+
+/// Write a repository index to `path`.
+///
+/// # Errors
+///
+/// Returns [`LoadRepoError::Io`] on filesystem errors.
+pub fn save_index(index: &RepoIndex, path: impl AsRef<Path>) -> Result<(), LoadRepoError> {
+    let path = path.as_ref();
+    fs::write(path, index_to_string(index)).map_err(|error| LoadRepoError::Io {
+        path: Some(path.to_path_buf()),
+        error,
+    })
+}
+
+/// Read a repository index from `path`.
+///
+/// # Errors
+///
+/// Returns [`LoadRepoError::Io`] on filesystem errors and
+/// [`LoadRepoError::Parse`] on malformed content. Both carry `path`, so
+/// a truncated or corrupted index names the file, the line, and the
+/// reason. Callers should treat any error as "rebuild the index from
+/// the repository" — the sidecar is a cache, never the source of truth.
+pub fn load_index(path: impl AsRef<Path>) -> Result<RepoIndex, LoadRepoError> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path).map_err(|error| LoadRepoError::Io {
+        path: Some(path.to_path_buf()),
+        error,
+    })?;
+    index_from_str(&text).map_err(|e| e.with_path(path))
+}
+
+/// The conventional sidecar location for a repository's index:
+/// the repository path with `.idx` appended to the file name
+/// (`repo.txt` → `repo.txt.idx`), so the pair travels together.
+pub fn index_sidecar_path(repo_path: impl AsRef<Path>) -> PathBuf {
+    let repo_path = repo_path.as_ref();
+    let mut name = repo_path
+        .file_name()
+        .map(std::ffi::OsString::from)
+        .unwrap_or_default();
+    name.push(".idx");
+    repo_path.with_file_name(name)
+}
+
 impl ModelRepository {
     /// Serialize to the versioned text format (see [`repository_to_string`]).
     pub fn to_text(&self) -> String {
@@ -660,6 +896,66 @@ mod tests {
         assert_file_error("cache-bad-num", &bad_occ, 4, "bad occupancy", load);
         let truncated = format!("{CACHE_MAGIC}\nmodel\nkey k\n");
         assert_file_error("cache-truncated", &truncated, 3, "unterminated model", load);
+    }
+
+    #[test]
+    fn index_roundtrip_is_byte_stable() {
+        use crate::index::IndexConfig;
+        let repo = sample_repo();
+        let index = RepoIndex::build(&repo, &IndexConfig::default());
+        let text = index_to_string(&index);
+        let loaded = index_from_str(&text).expect("parse");
+        assert!(loaded.matches(&repo), "loaded index still fits the repo");
+        assert_eq!(
+            index_to_string(&loaded),
+            text,
+            "serialize -> parse -> serialize is byte-identical"
+        );
+
+        let dir = std::env::temp_dir().join("scaguard-persist-test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("repo.txt");
+        let sidecar = index_sidecar_path(&path);
+        assert_eq!(sidecar, dir.join("repo.txt.idx"));
+        save_index(&index, &sidecar).expect("save");
+        let from_disk = load_index(&sidecar).expect("load");
+        assert_eq!(index_to_string(&from_disk), text);
+        std::fs::remove_file(&sidecar).ok();
+    }
+
+    #[test]
+    fn corrupt_index_files_report_file_line_and_reason() {
+        let load = |p: &Path| load_index(p).err();
+        // Corrupted header.
+        assert_file_error("index-header", "scaguard-index v999\n", 1, "expected", load);
+        // Fingerprint that is not hex.
+        let bad_fp = format!("{INDEX_MAGIC}\nfingerprint zz!!\npivots 0\nentries 0\n");
+        assert_file_error("index-bad-fp", &bad_fp, 2, "bad fingerprint", load);
+        // Entry promising more levs lines than pivots provide.
+        let short_levs = format!(
+            "{INDEX_MAGIC}\nfingerprint 00\npivots 2\npivot\nend\npivot\nend\n\
+             entries 1\nentry 3\nlevs 0 1\nend\n"
+        );
+        assert_file_error(
+            "index-short-levs",
+            &short_levs,
+            11,
+            "expected one `levs` line per pivot",
+            load,
+        );
+        // A levs line out of order.
+        let unsorted = format!(
+            "{INDEX_MAGIC}\nfingerprint 00\npivots 1\npivot\nend\n\
+             entries 1\nentry 3\nlevs 5 2\nend\n"
+        );
+        assert_file_error("index-unsorted", &unsorted, 8, "not sorted", load);
+        // Truncated: fewer entries than declared.
+        let truncated =
+            format!("{INDEX_MAGIC}\nfingerprint 00\npivots 0\nentries 2\nentry 3\nend\n");
+        assert_file_error("index-truncated", &truncated, 6, "truncated index", load);
+        // Trailing garbage after a complete index.
+        let trailing = format!("{INDEX_MAGIC}\nfingerprint 00\npivots 0\nentries 0\nextra\n");
+        assert_file_error("index-trailing", &trailing, 5, "trailing content", load);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Property tests for the repository metric index: every bound in the
+//! pruning cascade is admissible (never exceeds the exact DTW distance),
+//! and an index-pruned scan renders detections byte-identical to the
+//! plain linear scan — serially and with `--jobs`-style worker pools.
+//! Randomized inputs come from seeded [`SmallRng`] loops so runs are
+//! deterministic.
+
+use sca_attacks::AttackFamily;
+use sca_cache::CacheState;
+use sca_isa::rng::SmallRng;
+use sca_isa::NormInst;
+use scaguard::engine::lb_interval;
+use scaguard::persist::{index_from_str, index_to_string};
+use scaguard::{
+    detection_json, Cst, CstBbs, CstStep, Detector, IndexConfig, ModelRepository, RepoIndex,
+    SimilarityEngine,
+};
+
+const CASES: usize = 64;
+
+fn arb_norm_inst(rng: &mut SmallRng) -> NormInst {
+    match rng.gen_range(0..7u32) {
+        0 => NormInst::binary("mov", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Imm),
+        1 => NormInst::binary("ld", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Mem),
+        2 => NormInst::binary("st", sca_isa::NormOperand::Mem, sca_isa::NormOperand::Reg),
+        3 => NormInst::binary("add", sca_isa::NormOperand::Reg, sca_isa::NormOperand::Imm),
+        4 => NormInst::unary("clflush", sca_isa::NormOperand::Mem),
+        5 => NormInst::unary("rdtscp", sca_isa::NormOperand::Reg),
+        _ => NormInst::nullary("nop"),
+    }
+}
+
+fn unit_half(rng: &mut SmallRng) -> f64 {
+    rng.gen_range(0..=500_000u64) as f64 / 1_000_000.0
+}
+
+fn arb_step(rng: &mut SmallRng) -> CstStep {
+    let norm_insts = (0..rng.gen_range(0..12usize))
+        .map(|_| arb_norm_inst(rng))
+        .collect();
+    let (ao, io) = (unit_half(rng), unit_half(rng));
+    CstStep {
+        bb_addr: 0x40_0000,
+        norm_insts,
+        cst: Cst {
+            before: CacheState::full_other(),
+            after: CacheState::new(ao, io),
+        },
+        first_seen: rng.gen_range(0u64..10_000),
+    }
+}
+
+fn arb_model(rng: &mut SmallRng) -> CstBbs {
+    let steps = (0..rng.gen_range(0..10usize))
+        .map(|_| arb_step(rng))
+        .collect();
+    CstBbs::new(steps)
+}
+
+/// A random repository of `n` models, families cycling over the four
+/// attack types.
+fn arb_repo(rng: &mut SmallRng, n: usize) -> ModelRepository {
+    let mut repo = ModelRepository::new();
+    for i in 0..n {
+        let family = AttackFamily::ALL[i % AttackFamily::ALL.len()];
+        repo.add_model(family, format!("m{i:03}"), arb_model(rng));
+    }
+    repo
+}
+
+/// Deterministic per-test RNG seeds.
+fn seed(tag: u64) -> u64 {
+    0x1dec_5000 ^ tag
+}
+
+/// Every bound the indexed scan consults — the index-free interval
+/// envelope and both pivot bounds — is a true lower bound on the exact
+/// DTW distance, on randomized model pairs. An inadmissible bound would
+/// let the scan skip the true best match.
+#[test]
+fn cascade_bounds_never_exceed_the_exact_distance() {
+    let mut rng = SmallRng::seed_from_u64(seed(1));
+    let mut engine = SimilarityEngine::new();
+    for case in 0..CASES {
+        let repo = arb_repo(&mut rng, 1 + case % 8);
+        let index = RepoIndex::build(&repo, &IndexConfig::default());
+        let target = arb_model(&mut rng);
+        let query = index.query(&target);
+        let pt = engine.prepare(&target);
+        for (i, entry) in repo.entries().iter().enumerate() {
+            let pe = engine.prepare(&entry.model);
+            let exact = engine.distance(&pt, &pe);
+            let env = lb_interval(&pt, &pe);
+            assert!(
+                env <= exact + 1e-9,
+                "case {case} entry {i}: lb_interval {env} > exact {exact}"
+            );
+            let iv = query.interval_bound(i);
+            assert!(
+                iv <= exact + 1e-9,
+                "case {case} entry {i}: interval_bound {iv} > exact {exact}"
+            );
+            let nn = query.nn_bound(i);
+            assert!(
+                nn <= exact + 1e-9,
+                "case {case} entry {i}: nn_bound {nn} > exact {exact}"
+            );
+        }
+    }
+}
+
+/// Index-pruned detections are byte-identical to the linear scan —
+/// same verdict, same per-entry scores, same JSON — on random repos of
+/// many sizes, for random targets and for enrolled duplicates, both
+/// serially and under a worker pool.
+#[test]
+fn indexed_detections_are_byte_identical_to_linear() {
+    let mut rng = SmallRng::seed_from_u64(seed(2));
+    for n in [0usize, 1, 2, 3, 5, 9, 16] {
+        let repo = arb_repo(&mut rng, n);
+        let linear = Detector::new(repo.clone(), 0.45).expect("threshold");
+        let mut indexed = Detector::new(repo.clone(), 0.45).expect("threshold");
+        indexed
+            .set_index(RepoIndex::build(&repo, &IndexConfig::default()))
+            .expect("fresh index matches");
+        let mut targets: Vec<CstBbs> = (0..4).map(|_| arb_model(&mut rng)).collect();
+        if let Some(entry) = repo.entries().first() {
+            // A query already in the database: distance zero, the
+            // strongest pruning case.
+            targets.push(entry.model.clone());
+        }
+        for (t, target) in targets.iter().enumerate() {
+            let want = detection_json("t", &linear.classify_model(target)).to_string();
+            let got = detection_json("t", &indexed.classify_model(target)).to_string();
+            assert_eq!(want, got, "n={n} target {t}: serial indexed differs");
+            for jobs in [2usize, 3] {
+                let got =
+                    detection_json("t", &indexed.classify_model_jobs(target, jobs)).to_string();
+                assert_eq!(want, got, "n={n} target {t} jobs={jobs}: parallel differs");
+            }
+        }
+        let serial: Vec<String> = targets
+            .iter()
+            .map(|t| detection_json("t", &linear.classify_model(t)).to_string())
+            .collect();
+        let batch: Vec<String> = indexed
+            .classify_batch(&targets, 3)
+            .iter()
+            .map(|d| detection_json("t", d).to_string())
+            .collect();
+        assert_eq!(serial, batch, "n={n}: indexed classify_batch differs");
+    }
+}
+
+/// Index construction is deterministic and the persisted form is
+/// byte-stable through arbitrary save/load cycles, on random repos.
+#[test]
+fn index_build_and_persistence_are_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(seed(3));
+    for n in [0usize, 1, 4, 11] {
+        let repo = arb_repo(&mut rng, n);
+        let a = RepoIndex::build(&repo, &IndexConfig::default());
+        let b = RepoIndex::build(&repo, &IndexConfig::default());
+        let text = index_to_string(&a);
+        assert_eq!(
+            text,
+            index_to_string(&b),
+            "n={n}: build is not deterministic"
+        );
+        let loaded = index_from_str(&text).expect("parse");
+        assert!(loaded.matches(&repo), "n={n}: loaded index rejected");
+        assert_eq!(
+            index_to_string(&loaded),
+            text,
+            "n={n}: save/load/save not byte-stable"
+        );
+    }
+}

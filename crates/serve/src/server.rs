@@ -49,7 +49,7 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -61,8 +61,8 @@ use sca_telemetry::{
 };
 use scaguard::persist::LoadRepoError;
 use scaguard::{
-    detection_json, load_repository, model_text, Detector, InvalidThreshold, ModelBuilder,
-    ModelingConfig,
+    detection_json, index_sidecar_path, load_index, load_repository, model_text, Detector,
+    InvalidThreshold, ModelBuilder, ModelingConfig,
 };
 
 use crate::protocol::{
@@ -406,6 +406,33 @@ impl ServerHandle {
 /// [`ServeError::Repo`] when the repository file cannot be loaded
 /// (the error names the file, line, and reason); [`ServeError::Io`]
 /// when the listen address cannot be bound.
+/// Attach the repository's sidecar index (`<repo>.idx`) to a detector,
+/// rebuilding in memory when the sidecar is missing, corrupt, or stale.
+/// The index only prunes — detections are byte-identical with or
+/// without it — so a bad sidecar warns on stderr and is never fatal.
+/// Runs at startup and on every `reload-repo`, so a hot-reloaded
+/// generation keeps its index.
+fn attach_index(detector: &mut Detector, repo_path: &Path) {
+    let sidecar = index_sidecar_path(repo_path);
+    match load_index(&sidecar) {
+        Ok(index) => {
+            if detector.set_index(index).is_ok() {
+                return;
+            }
+            eprintln!(
+                "sca-serve: index {} is stale for {}; rebuilding in memory",
+                sidecar.display(),
+                repo_path.display()
+            );
+        }
+        Err(e) => eprintln!("sca-serve: index {e}; rebuilding in memory"),
+    }
+    let index = detector.build_index();
+    detector
+        .set_index(index)
+        .expect("a freshly built index matches its repository");
+}
+
 pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     if config.metrics {
         sca_telemetry::set_enabled(true);
@@ -417,7 +444,8 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         None => None,
     };
     let repo = load_repository(&config.repo_path)?;
-    let detector = Detector::new(repo, config.threshold)?;
+    let mut detector = Detector::new(repo, config.threshold)?;
+    attach_index(&mut detector, Path::new(&config.repo_path));
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
@@ -760,13 +788,14 @@ fn reload_repo(shared: &Arc<Shared>, path: Option<&str>) -> Json {
     // The threshold was validated when the server started; re-check
     // instead of unwrapping so a future config path can never panic a
     // handler thread.
-    let detector = match Detector::new(repo, shared.config.threshold) {
+    let mut detector = match Detector::new(repo, shared.config.threshold) {
         Ok(d) => d,
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             return error_frame(KIND_RELOAD_FAILED, &e.to_string());
         }
     };
+    attach_index(&mut detector, &path);
     let mut slot = shared.repo.lock().unwrap_or_else(|e| e.into_inner());
     let next = Arc::new(RepoState {
         generation: slot.generation + 1,

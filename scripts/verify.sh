@@ -14,7 +14,10 @@
 # observability regression (the observability smoke runs the trace-id /
 # timings / metrics / flight-recorder suite — including the
 # disabled-telemetry guard — then drives the release binary end to end:
-# serve --metrics, submit --timings, stats --addr).
+# serve --metrics, submit --timings, stats --addr), or a repository-index
+# regression (the index smoke bulk-enrolls a variant repository and
+# asserts indexed detections byte-identical to the linear scan, with and
+# without the persisted sidecar).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -102,5 +105,26 @@ awk '$1 == "serve.requests" && $2 + 0 > 0 { found = 1 } END { exit !found }' \
 
 kill "$OBS_PID" 2>/dev/null || true
 OBS_PID=""
+
+echo "==> repository index smoke"
+# Bulk-enroll a variant repository with its sidecar metric index, then
+# assert the indexed classify is byte-identical to --no-index (the index
+# may only prune, never change a detection) — with the sidecar present,
+# and again after deleting it (in-memory rebuild path).
+./target/release/scaguard build-repo "$OBS_DIR/vars.repo" --variants 8 \
+    > /dev/null 2>&1
+[ -f "$OBS_DIR/vars.repo.idx" ] \
+    || { echo "index smoke: sidecar index not written"; exit 1; }
+./target/release/scaguard classify "$OBS_DIR/target.sasm" \
+    --repo "$OBS_DIR/vars.repo" --json > "$OBS_DIR/indexed.json"
+./target/release/scaguard classify "$OBS_DIR/target.sasm" \
+    --repo "$OBS_DIR/vars.repo" --json --no-index > "$OBS_DIR/linear.json"
+cmp -s "$OBS_DIR/indexed.json" "$OBS_DIR/linear.json" \
+    || { echo "index smoke: indexed and linear detections differ"; exit 1; }
+rm "$OBS_DIR/vars.repo.idx"
+./target/release/scaguard classify "$OBS_DIR/target.sasm" \
+    --repo "$OBS_DIR/vars.repo" --json > "$OBS_DIR/rebuilt.json" 2>/dev/null
+cmp -s "$OBS_DIR/rebuilt.json" "$OBS_DIR/linear.json" \
+    || { echo "index smoke: missing-sidecar rebuild diverges"; exit 1; }
 
 echo "verify: OK"

@@ -22,6 +22,8 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use sca_attacks::dataset::mutated_family;
+use sca_attacks::mutate::MutationConfig;
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{AttackFamily, Sample};
 use sca_cpu::Victim;
@@ -29,21 +31,35 @@ use sca_serve::protocol::{self, Request};
 use sca_serve::{Client, ClientConfig, ServeConfig};
 use sca_telemetry::{Json, Record};
 use scaguard::{
-    detection_json, explain_similarity, load_repository, save_repository, Detector, ModelBuilder,
-    ModelRepository, ModelingConfig,
+    detection_json, explain_similarity, index_sidecar_path, load_index, load_repository,
+    save_index, save_repository, Detector, IndexConfig, ModelBuilder, ModelRepository,
+    ModelingConfig, RepoIndex,
 };
+
+/// Master seed for `build-repo --variants` (the dataset module's paper
+/// seed), so bulk-enrolled repositories are reproducible bit-for-bit.
+const VARIANT_SEED: u64 = 0x5ca6_0a2d;
 
 fn usage() -> &'static str {
     "usage:
-  scaguard build-repo <out-file> [--jobs <n>] [--model-cache <path>]
-          [--telemetry <out.jsonl>]
+  scaguard build-repo <out-file> [--variants <n>] [--no-index] [--jobs <n>]
+          [--model-cache <path>] [--telemetry <out.jsonl>]
       model the built-in PoCs (one per attack type) and save the repository;
+      --variants additionally enrolls n deterministic mutated variants per
+      attack family (bulk enrollment: 4 families x n entries from one
+      command); a metric-index sidecar (<out-file>.idx) is written
+      alongside the repository unless --no-index;
       --jobs models them with n worker threads
   scaguard classify <program.sasm> --repo <repo-file>
           [--threshold <0..1>] [--victim none|shared:<secret>|conflict:<secret>]
-          [--jobs <n>] [--model-cache <path>] [--json] [--timings]
-          [--telemetry <out.jsonl>]
+          [--jobs <n>] [--model-cache <path>] [--no-index] [--json]
+          [--timings] [--telemetry <out.jsonl>]
       classify an assembled program against a saved repository;
+      the scan uses the repository's index sidecar (<repo-file>.idx) to
+      skip entries that provably cannot win — a missing, corrupt, or
+      stale sidecar is rebuilt in memory (warning on stderr); --no-index
+      forces the plain linear scan; the detection is byte-identical
+      either way;
       --jobs scans the repository with n worker threads;
       --json emits the full detection (verdict, family, per-PoC scores,
       threshold) as a single JSON object on stdout; pruned comparisons
@@ -122,6 +138,8 @@ struct Options {
     slow_ms: Option<u64>,
     slow_log: Option<String>,
     flight_capacity: usize,
+    variants: usize,
+    no_index: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -148,6 +166,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         slow_ms: None,
         slow_log: None,
         flight_capacity: 256,
+        variants: 0,
+        no_index: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -251,6 +271,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--slow-log" => {
                 opts.slow_log = Some(it.next().ok_or("--slow-log needs a path")?.clone());
             }
+            "--variants" => {
+                opts.variants = it
+                    .next()
+                    .ok_or("--variants needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad variant count: {e}"))?;
+            }
+            "--no-index" => opts.no_index = true,
             "--flight-capacity" => {
                 opts.flight_capacity = it
                     .next()
@@ -307,22 +335,89 @@ fn make_builder(opts: &Options) -> Result<ModelBuilder, Box<dyn Error>> {
     Ok(builder)
 }
 
-fn cmd_build_repo(out: &str, builder: &ModelBuilder) -> Result<(), Box<dyn Error>> {
+fn cmd_build_repo(out: &str, opts: &Options, builder: &ModelBuilder) -> Result<(), Box<dyn Error>> {
     let params = PocParams::default();
-    let pocs: Vec<(AttackFamily, Sample)> = AttackFamily::ALL
+    let mut pending: Vec<(AttackFamily, String, Sample)> = AttackFamily::ALL
         .iter()
-        .map(|&f| (f, poc::representative(f, &params)))
+        .map(|&f| {
+            let sample = poc::representative(f, &params);
+            let name = sample.name().to_string();
+            (f, name, sample)
+        })
         .collect();
-    let targets: Vec<_> = pocs.iter().map(|(_, s)| (&s.program, &s.victim)).collect();
+    // Bulk enrollment: n deterministic mutated variants per family, named
+    // `<abbrev>-var-<i>` so repository contents are stable across runs.
+    for family in AttackFamily::ALL {
+        for (i, sample) in mutated_family(
+            family,
+            opts.variants,
+            VARIANT_SEED,
+            &MutationConfig::default(),
+        )
+        .into_iter()
+        .enumerate()
+        {
+            pending.push((family, format!("{}-var-{i:04}", family.abbrev()), sample));
+        }
+    }
+    let targets: Vec<_> = pending
+        .iter()
+        .map(|(_, _, s)| (&s.program, &s.victim))
+        .collect();
     let models = builder.build_batch_cst(&targets);
     let mut repo = ModelRepository::new();
-    for ((family, s), model) in pocs.iter().zip(models) {
-        repo.add_model(*family, s.name(), (*model?).clone());
-        eprintln!("modeled {} <- {}", family, s.name());
+    for ((family, name, _), model) in pending.iter().zip(models) {
+        repo.add_model(*family, name.as_str(), (*model?).clone());
+        if !name.contains("-var-") {
+            eprintln!("modeled {family} <- {name}");
+        }
+    }
+    if opts.variants > 0 {
+        eprintln!(
+            "enrolled {} mutated variants ({} families x {})",
+            opts.variants * AttackFamily::ALL.len(),
+            AttackFamily::ALL.len(),
+            opts.variants
+        );
     }
     save_repository(&repo, out)?;
-    eprintln!("wrote {} models to {out}", repo.len());
+    if opts.no_index {
+        eprintln!("wrote {} models to {out} (no index)", repo.len());
+    } else {
+        let index = RepoIndex::build(&repo, &IndexConfig::default());
+        let sidecar = index_sidecar_path(out);
+        save_index(&index, &sidecar)?;
+        eprintln!(
+            "wrote {} models to {out} (index: {})",
+            repo.len(),
+            sidecar.display()
+        );
+    }
     Ok(())
+}
+
+/// Attach the repository's sidecar index to a detector, rebuilding in
+/// memory when the sidecar is missing, corrupt, or stale. The index only
+/// prunes — the detection is byte-identical with or without it — so a
+/// bad sidecar is never fatal.
+fn attach_index(detector: &mut Detector, repo_path: &str) {
+    let sidecar = index_sidecar_path(repo_path);
+    match load_index(&sidecar) {
+        Ok(index) => {
+            if detector.set_index(index).is_ok() {
+                return;
+            }
+            eprintln!(
+                "index: {} is stale for {repo_path}; rebuilding in memory",
+                sidecar.display()
+            );
+        }
+        Err(e) => eprintln!("index: {e}; rebuilding in memory"),
+    }
+    let index = detector.build_index();
+    detector
+        .set_index(index)
+        .expect("a freshly built index matches its repository");
 }
 
 fn cmd_classify(path: &str, opts: &Options, builder: &ModelBuilder) -> Result<(), Box<dyn Error>> {
@@ -331,7 +426,10 @@ fn cmd_classify(path: &str, opts: &Options, builder: &ModelBuilder) -> Result<()
         .as_deref()
         .ok_or("classify needs --repo (create one with `scaguard build-repo`)")?;
     let repo = load_repository(repo_path)?;
-    let detector = Detector::new(repo, opts.threshold)?;
+    let mut detector = Detector::new(repo, opts.threshold)?;
+    if !opts.no_index {
+        attach_index(&mut detector, repo_path);
+    }
     let program = load_program(path)?;
     let total_start = Instant::now();
     let mut stages: Vec<(&str, Duration)> = Vec::new();
@@ -795,7 +893,7 @@ fn run() -> Result<(), Box<dyn Error>> {
     }
     let builder = make_builder(&opts)?;
     let result = match cmd {
-        "build-repo" => cmd_build_repo(path, &builder),
+        "build-repo" => cmd_build_repo(path, &opts, &builder),
         "classify" => cmd_classify(path, &opts, &builder),
         "model" => cmd_model(path, &opts, &builder),
         "explain" => cmd_explain(path, &opts, &builder),
