@@ -21,10 +21,27 @@
 //!   root with throughput and p50/p90/p99/max latencies, computed with
 //!   the same `sca_telemetry::Histogram` the server exposes over the
 //!   `metrics` command.
-//! * `... -- --smoke` — tiny workload, exactness assertions only, no
-//!   timing floor; the CI verify step runs this.
+//! * `... -- --smoke` — tiny workload, exactness assertions only (plus a
+//!   2-shard `classify-batch` sanity pass), no timing floor; the CI
+//!   verify step runs this.
+//!
+//! The full run additionally sweeps shard count x batch size (1/2/4
+//! shards x batch 1/8/32) against two server replicas behind a tiny
+//! front door that round-robins connections. Byte-exactness against the
+//! offline pipeline is asserted per shard count before any timing;
+//! every swept configuration must finish with zero sheds and zero
+//! panics, and batching must not lose throughput at any shard count.
+//! Cells are scored on the process CPU clock (utime+stime summed over
+//! interleaved rounds, warmup discarded; wall clock where `/proc` is
+//! unavailable) — everything in the sweep runs inside the bench
+//! process, so CPU time prices a cell exactly while staying deaf to
+//! other tenants of a shared box. The sweep rides into
+//! `BENCH_serve.json` as a `sweep` array next to the legacy fields.
 
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -33,7 +50,7 @@ use sca_attacks::dataset::mutated_family;
 use sca_attacks::mutate::MutationConfig;
 use sca_attacks::poc::{self, PocParams};
 use sca_attacks::AttackFamily;
-use sca_serve::{spawn, Client, ServeConfig};
+use sca_serve::{spawn, BatchProgram, Client, ServeConfig, ServerHandle};
 use sca_telemetry::Json;
 use scaguard::{
     detection_json, load_repository, save_repository, Detector, ModelBuilder, ModelRepository,
@@ -88,6 +105,153 @@ fn single_shot(repo_path: &PathBuf, name: &str, source: &str) -> String {
     let victim = sca_serve::protocol::parse_victim(VICTIM).expect("victim");
     let model = builder.build_cst(&program, &victim).expect("model");
     detection_json(name, &detector.classify_model(&model)).to_string()
+}
+
+/// Build the sweep repository: the four representative PoCs plus
+/// `per_family` enrolled mutated variants each (a different seed than
+/// the workload targets, so the sweep never classifies an enrolled
+/// duplicate). Returns the entry count.
+fn build_sweep_repo(path: &PathBuf, per_family: usize) -> usize {
+    let cfg = ModelingConfig::default();
+    let params = PocParams::default();
+    let mut repo = ModelRepository::new();
+    for family in AttackFamily::ALL {
+        let s = poc::representative(family, &params);
+        repo.add_poc(family, &s.program, &s.victim, &cfg)
+            .expect("model poc");
+        for sample in mutated_family(
+            family,
+            per_family,
+            SEED ^ 0xa5a5,
+            &MutationConfig::default(),
+        ) {
+            repo.add_poc(family, &sample.program, &sample.victim, &cfg)
+                .expect("model variant");
+        }
+    }
+    let entries = repo.len();
+    save_repository(&repo, path).expect("save sweep repo");
+    entries
+}
+
+/// A tiny TCP front door: every accepted connection is relayed, bytes
+/// both ways, to the next upstream replica in round-robin order. Stop
+/// it by setting the flag and poking one last connection at the
+/// returned address.
+fn front_door(upstreams: Vec<SocketAddr>) -> (SocketAddr, Arc<AtomicBool>, thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind front door");
+    let addr = listener.local_addr().expect("front door addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let pump = thread::spawn(move || {
+        for (next, client) in listener.incoming().enumerate() {
+            if flag.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(client) = client else { break };
+            let upstream = upstreams[next % upstreams.len()];
+            thread::spawn(move || {
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    return;
+                };
+                // The relay must not add Nagle/delayed-ACK stalls on
+                // multi-segment batch frames.
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                let mut client_read = client.try_clone().expect("clone client");
+                let mut server_write = server.try_clone().expect("clone server");
+                let forward = thread::spawn(move || {
+                    let _ = io::copy(&mut client_read, &mut server_write);
+                    let _ = server_write.shutdown(Shutdown::Write);
+                });
+                let mut server_read = server;
+                let mut client_write = client;
+                let _ = io::copy(&mut server_read, &mut client_write);
+                let _ = client_write.shutdown(Shutdown::Write);
+                let _ = forward.join();
+            });
+        }
+    });
+    (addr, stop, pump)
+}
+
+/// Carve `count` programs (targets, cycled) into `batch`-sized
+/// `classify-batch` payloads for one sweep client.
+fn batch_payloads(
+    targets: &[Target],
+    count: usize,
+    batch: usize,
+    skew: usize,
+) -> Vec<Vec<BatchProgram>> {
+    let programs: Vec<BatchProgram> = (0..count)
+        .map(|i| {
+            let t = &targets[(skew + i) % targets.len()];
+            BatchProgram {
+                name: t.name.clone(),
+                program: t.source.clone(),
+                victim: VICTIM.into(),
+                threshold: None,
+            }
+        })
+        .collect();
+    programs
+        .chunks(batch)
+        .map(<[BatchProgram]>::to_vec)
+        .collect()
+}
+
+/// One timed sweep cell: `clients` threads, each submitting its share
+/// of programs through the front door as `classify-batch` frames of
+/// `batch` programs. Returns (wall_ns, cpu_ns if measurable, programs
+/// served).
+fn run_sweep_cell(
+    door: SocketAddr,
+    targets: &Arc<Vec<Target>>,
+    clients: usize,
+    per_client: usize,
+    batch: usize,
+) -> (u64, Option<u64>, usize) {
+    let cpu_before = process_cpu_ns();
+    let t = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let targets = Arc::clone(targets);
+            thread::spawn(move || {
+                let mut client = Client::connect(door).expect("connect via front door");
+                for payload in batch_payloads(&targets, per_client, batch, c * per_client) {
+                    let results = client.submit_batch(&payload).expect("batch");
+                    assert_eq!(results.len(), payload.len());
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("sweep client");
+    }
+    let cpu = process_cpu_ns().zip(cpu_before).map(|(a, b)| a - b);
+    (t.elapsed().as_nanos() as u64, cpu, clients * per_client)
+}
+
+/// Process-wide CPU time (user + system, across all threads) in
+/// nanoseconds, from `/proc/self/stat`. `None` off Linux. Granularity
+/// is one clock tick (10 ms at the universal USER_HZ=100), so cells
+/// accumulate CPU over many rounds to average the quantization out.
+/// The whole sweep — clients, front door, both server replicas — runs
+/// inside this one process, so this clock captures the full cost of a
+/// cell while ignoring other tenants of a shared box.
+fn process_cpu_ns() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // comm (field 2) may contain spaces; fields resume after the last ')'.
+    let rest = stat.rsplit(')').next()?;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) * 10_000_000)
+}
+
+/// Sum a stat across replicas.
+fn replica_sum(replicas: &[ServerHandle], f: impl Fn(&sca_serve::StatsSnapshot) -> u64) -> u64 {
+    replicas.iter().map(|h| f(&h.stats())).sum()
 }
 
 fn main() {
@@ -156,6 +320,38 @@ fn main() {
     );
 
     if smoke {
+        // Scale-out sanity: a 2-shard server answers a classify-batch
+        // with per-program detections byte-identical to offline.
+        let mut cfg = ServeConfig::new(&repo_path);
+        cfg.workers = 2;
+        cfg.shards = 2;
+        let sharded = spawn(cfg).expect("spawn sharded server");
+        let payload: Vec<BatchProgram> = targets
+            .iter()
+            .map(|t| BatchProgram {
+                name: t.name.clone(),
+                program: t.source.clone(),
+                victim: VICTIM.into(),
+                threshold: None,
+            })
+            .collect();
+        let mut client = Client::connect(sharded.addr()).expect("connect");
+        let results = client.submit_batch(&payload).expect("batch");
+        for (target, result) in targets.iter().zip(&results) {
+            let wire = result.get("detection").expect("detection").to_string();
+            let offline = single_shot(&repo_path, &target.name, &target.source);
+            assert_eq!(wire, offline, "{}: sharded batch diverges", target.name);
+        }
+        let stats = sharded.stats();
+        assert_eq!(stats.shed, 0, "smoke batch shed: {stats:?}");
+        assert_eq!(stats.panics, 0, "smoke batch panicked: {stats:?}");
+        sharded.shutdown();
+        sharded.join();
+        eprintln!(
+            "smoke: 2-shard classify-batch byte-identical to offline ({} programs)",
+            results.len()
+        );
+
         handle.shutdown();
         handle.join();
         std::fs::remove_dir_all(&dir).ok();
@@ -266,6 +462,129 @@ fn main() {
     handle.shutdown();
     handle.join();
 
+    // ------------------------------------------------------------------
+    // Scale-out sweep: shard count x batch size, two replicas behind a
+    // round-robin front door.
+    // ------------------------------------------------------------------
+    let sweep_repo = dir.join("sweep.repo");
+    eprintln!("modeling sweep repository ...");
+    // A small sweep repository keeps the per-program scan cheap, so the
+    // per-frame overhead that batching amortizes (syscalls and relay
+    // hops through the front door) is a visible fraction of each cell.
+    let sweep_entries = build_sweep_repo(&sweep_repo, 2);
+    let (sweep_clients, per_client) = (4usize, 192usize);
+    let measured_rounds = 8usize;
+    let mut sweep_rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let replicas: Vec<ServerHandle> = (0..2)
+            .map(|_| {
+                let mut cfg = ServeConfig::new(&sweep_repo);
+                // Two blocking clients land on each replica, so two
+                // workers saturate the offered load; extra threads only
+                // add scheduler noise to the timed cells.
+                cfg.workers = 2;
+                cfg.shards = shards;
+                spawn(cfg).expect("spawn sweep replica")
+            })
+            .collect();
+        let (door, stop, pump) = front_door(replicas.iter().map(ServerHandle::addr).collect());
+
+        // Exactness before any timing: every target through the door,
+        // once per replica (consecutive connections round-robin across
+        // both), must be byte-identical to the offline pipeline. This
+        // also warms both replicas' model caches so the timed cells
+        // compare steady-state service, not first-touch model builds.
+        for _replica in 0..2 {
+            let mut client = Client::connect(door).expect("connect via front door");
+            for target in targets.iter() {
+                let resp = client
+                    .classify(&target.name, &target.source, VICTIM)
+                    .expect("classify");
+                let wire = resp.get("detection").expect("detection").to_string();
+                let offline = single_shot(&sweep_repo, &target.name, &target.source);
+                assert_eq!(
+                    wire, offline,
+                    "{}: shards={shards}: wire and offline diverge",
+                    target.name
+                );
+            }
+        }
+        eprintln!(
+            "sweep: shards={shards} byte-exact over {} targets",
+            targets.len()
+        );
+
+        // N interleaved rounds per batch size, scored on the process
+        // CPU clock: the structural gain from batching (fewer round
+        // trips, so fewer syscalls and relay context switches per
+        // program) is monotone, interleaving the rounds spreads any
+        // drift evenly across the batch sizes, and — because the whole
+        // sweep (clients, front door, both replicas) runs inside this
+        // process — total utime+stime prices a cell exactly while
+        // ignoring whatever else a shared box is running. Wall clock is
+        // recorded alongside and used as the scoring fallback where
+        // /proc is unavailable. The first round is a discarded warmup
+        // so cold caches never bias a cell.
+        const BATCHES: [usize; 3] = [1, 8, 32];
+        let mut wall_total = [0u64; BATCHES.len()];
+        let mut cpu_total = [Some(0u64); BATCHES.len()];
+        let mut programs = 0usize;
+        for round in 0..=measured_rounds {
+            for (slot, &batch) in BATCHES.iter().enumerate() {
+                let (wall, cpu, n) =
+                    run_sweep_cell(door, &targets, sweep_clients, per_client, batch);
+                if round > 0 {
+                    wall_total[slot] += wall;
+                    cpu_total[slot] = cpu_total[slot].zip(cpu).map(|(a, b)| a + b);
+                }
+                programs = n;
+            }
+        }
+        let shed = replica_sum(&replicas, |s| s.shed);
+        let panics = replica_sum(&replicas, |s| s.panics);
+        assert_eq!(shed, 0, "sweep shards={shards} shed requests");
+        assert_eq!(panics, 0, "sweep shards={shards} panicked");
+        let total_programs = programs * measured_rounds;
+        let mut prev_rps = 0.0f64;
+        for (slot, &batch) in BATCHES.iter().enumerate() {
+            let scored_ns = cpu_total[slot].unwrap_or(wall_total[slot]);
+            let rps = total_programs as f64 / (scored_ns as f64 / 1e9);
+            eprintln!(
+                "sweep: shards={shards} batch={batch:<2} {rps:>10.2} programs/s ({} over {measured_rounds} rounds)",
+                if cpu_total[slot].is_some() { "cpu" } else { "wall" },
+            );
+            assert!(
+                rps >= prev_rps,
+                "batching lost throughput at shards={shards}: batch={batch} ran {rps:.2}/s after {prev_rps:.2}/s"
+            );
+            prev_rps = rps;
+            sweep_rows.push(Json::Obj(vec![
+                ("shards".into(), Json::Num(shards as f64)),
+                ("batch".into(), Json::Num(batch as f64)),
+                ("programs".into(), Json::Num(total_programs as f64)),
+                ("wall_ns".into(), Json::Num(wall_total[slot] as f64)),
+                (
+                    "cpu_ns".into(),
+                    cpu_total[slot].map_or(Json::Null, |c| Json::Num(c as f64)),
+                ),
+                (
+                    "programs_per_sec".into(),
+                    Json::Num((rps * 100.0).round() / 100.0),
+                ),
+                ("shed".into(), Json::Num(shed as f64)),
+                ("panics".into(), Json::Num(panics as f64)),
+            ]));
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(door); // unblock the acceptor
+        pump.join().expect("front door");
+        for replica in replicas {
+            replica.shutdown();
+            replica.join();
+        }
+    }
+
     println!(
         "resident service ({} targets, {clients} clients x {requests_per_client} requests, 4 workers)",
         targets.len()
@@ -336,6 +655,17 @@ fn main() {
         ),
         ("throughput_speedup".into(), Json::Num(round2(speedup))),
         ("byte_exact".into(), Json::Bool(true)),
+        (
+            "sweep".into(),
+            Json::Obj(vec![
+                ("replicas".into(), Json::Num(2.0)),
+                ("repo_entries".into(), Json::Num(sweep_entries as f64)),
+                ("clients".into(), Json::Num(sweep_clients as f64)),
+                ("programs_per_client".into(), Json::Num(per_client as f64)),
+                ("measured_rounds".into(), Json::Num(measured_rounds as f64)),
+                ("cells".into(), Json::Arr(sweep_rows)),
+            ]),
+        ),
     ]);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(out, format!("{json}\n")).expect("write BENCH_serve.json");

@@ -469,6 +469,91 @@ impl Detector {
         Ok(detection)
     }
 
+    /// Phases 0 and 1 of the pruned scan only: find the exact best entry
+    /// (index and DTW distance) without rendering per-entry scores.
+    ///
+    /// This is the scatter half of a sharded scan (see [`crate::shard`]):
+    /// each shard runs `scan_best` over its slice of the repository, the
+    /// caller merges the per-shard winners with the scan's own tie-break
+    /// rule (minimum distance, **later** index on ties), then renders
+    /// every slice against the merged best with
+    /// [`Detector::render_slice`]. The pair composes to detections
+    /// byte-identical to [`Detector::classify_model`]: a tie candidate's
+    /// DTW always runs to completion (the early-abandon row minimum is a
+    /// lower bound on the final distance, so a distance equal to the
+    /// cutoff can never abandon), so every shard reports its true best as
+    /// an exact distance no matter how the repository was decomposed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] when `deadline` passes mid-scan.
+    pub fn scan_best(
+        &self,
+        target: &CstBbs,
+        deadline: Option<Instant>,
+    ) -> Result<Option<(usize, f64)>, DeadlineExceeded> {
+        let mut state = self.lock_scan();
+        let p1 = scan_phase1(
+            &mut state,
+            &self.repo,
+            self.index.as_ref(),
+            target,
+            deadline,
+        )?;
+        flush_scan_counts(&p1.counts);
+        if state.engine.pool_len() > POOL_LIMIT {
+            *state = ScanState::build(&self.repo);
+        }
+        Ok(p1.best)
+    }
+
+    /// Phase 2 of a pruned scan against an externally supplied best
+    /// distance: render this repository's per-entry scores exactly as the
+    /// unsharded scan's phase 2 would, bounding every entry by `best_d`
+    /// and reporting entry `exact_idx` (when given — the shard that owns
+    /// the merged winner) with its exact score. The render is a pure
+    /// function of the target, the repository, and `best_d` — the lower
+    /// bounds it consults are deterministic functions of (target, entry)
+    /// — so slice renders concatenated in repository order are
+    /// byte-identical to the unsharded scan's score list.
+    pub fn render_slice(
+        &self,
+        target: &CstBbs,
+        best_d: f64,
+        exact_idx: Option<usize>,
+    ) -> Vec<EntryScore> {
+        debug_assert!(exact_idx.is_none_or(|i| i < self.repo.len()));
+        let mut state = self.lock_scan();
+        let mut counts = ScanCounts::default();
+        let scores = {
+            let ScanState { engine, prepared } = &mut *state;
+            let prepared_target = engine.prepare(target);
+            let env: Vec<f64> = prepared
+                .iter()
+                .map(|pm| lb_interval(&prepared_target, pm))
+                .collect();
+            counts.lb_evals += prepared.len() as u64;
+            let mut lb1c = vec![f64::NAN; prepared.len()];
+            let mut lb2c = vec![f64::NAN; prepared.len()];
+            render_scores_against(
+                &self.repo,
+                &prepared_target,
+                prepared,
+                &env,
+                &mut lb1c,
+                &mut lb2c,
+                best_d,
+                exact_idx,
+                &mut counts,
+            )
+        };
+        flush_scan_counts(&counts);
+        if state.engine.pool_len() > POOL_LIMIT {
+            *state = ScanState::build(&self.repo);
+        }
+        scores
+    }
+
     /// Classify a prebuilt target model with an exhaustive scan: every
     /// entry's score is exact (still served by the interned engine).
     /// Never consults the index — there is nothing to skip.
@@ -959,11 +1044,40 @@ fn render_scores(
         debug_assert!(repo.is_empty());
         return Vec::new();
     };
+    render_scores_against(
+        repo,
+        target,
+        prepared,
+        env,
+        lb1c,
+        lb2c,
+        best_d,
+        Some(best_idx),
+        counts,
+    )
+}
+
+/// The body of [`render_scores`], parameterized on an external best
+/// distance: `exact_idx` is the local index of the entry whose exact
+/// distance *is* `best_d`, or `None` when another shard of a decomposed
+/// repository owns the winner and every local entry renders a bound.
+#[allow(clippy::too_many_arguments)]
+fn render_scores_against(
+    repo: &ModelRepository,
+    target: &PreparedModel,
+    prepared: &[PreparedModel],
+    env: &[f64],
+    lb1c: &mut [f64],
+    lb2c: &mut [f64],
+    best_d: f64,
+    exact_idx: Option<usize>,
+    counts: &mut ScanCounts,
+) -> Vec<EntryScore> {
     repo.entries()
         .iter()
         .enumerate()
         .map(|(i, entry)| {
-            if i == best_idx {
+            if Some(i) == exact_idx {
                 return EntryScore {
                     poc: entry.name.clone(),
                     family: entry.family,
@@ -1017,6 +1131,43 @@ fn scan_target(
     target: &CstBbs,
     deadline: Option<Instant>,
 ) -> Result<ScanResult, DeadlineExceeded> {
+    let mut p1 = scan_phase1(state, repo, index, target, deadline)?;
+    let scores = render_scores(
+        repo,
+        &p1.p0.target,
+        &state.prepared,
+        &p1.p0.env,
+        &mut p1.lb1c,
+        &mut p1.lb2c,
+        p1.best,
+        &mut p1.counts,
+    );
+    flush_scan_counts(&p1.counts);
+    Ok(ScanResult {
+        scores,
+        best: p1.best.map(|(i, _)| i),
+    })
+}
+
+/// Everything [`scan_target`] does up to (and including) finding the
+/// best entry, bundled so phase 2 can run later — or against a *merged*
+/// best when the repository is decomposed into shards and another
+/// shard's winner beats this one's ([`Detector::scan_best`]).
+struct Phase1<'ix> {
+    p0: Phase0<'ix>,
+    lb1c: Vec<f64>,
+    lb2c: Vec<f64>,
+    best: Option<(usize, f64)>,
+    counts: ScanCounts,
+}
+
+fn scan_phase1<'ix>(
+    state: &mut ScanState,
+    repo: &ModelRepository,
+    index: Option<&'ix RepoIndex>,
+    target: &CstBbs,
+    deadline: Option<Instant>,
+) -> Result<Phase1<'ix>, DeadlineExceeded> {
     let ScanState { engine, prepared } = state;
     let mut counts = ScanCounts::default();
     let p0 = phase0(engine, prepared, index, target, &mut counts);
@@ -1088,20 +1239,12 @@ fn scan_target(
             }
         }
     }
-    let scores = render_scores(
-        repo,
-        &p0.target,
-        prepared,
-        &p0.env,
-        &mut lb1c,
-        &mut lb2c,
+    Ok(Phase1 {
+        p0,
+        lb1c,
+        lb2c,
         best,
-        &mut counts,
-    );
-    flush_scan_counts(&counts);
-    Ok(ScanResult {
-        scores,
-        best: best.map(|(i, _)| i),
+        counts,
     })
 }
 

@@ -52,6 +52,7 @@ pub mod engine;
 pub mod index;
 pub mod modeling;
 pub mod persist;
+pub mod shard;
 pub mod similarity;
 
 mod cst;
@@ -71,6 +72,7 @@ pub use persist::{
     index_sidecar_path, load_index, load_model_cache, load_repository, model_text, save_index,
     save_model_cache, save_repository, LoadRepoError,
 };
+pub use shard::{Shard, ShardedDetector};
 pub use similarity::{
     cst_distance, dtw, dtw_with_path, explain_similarity, levenshtein, similarity_score, Alignment,
 };

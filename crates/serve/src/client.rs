@@ -21,8 +21,8 @@ use std::time::{Duration, SystemTime};
 use sca_telemetry::Json;
 
 use crate::protocol::{
-    error_kind, read_frame_limited, with_timings_flag, write_frame, ErrorKind, Request,
-    MAX_FRAME_LEN,
+    error_kind, read_frame_limited, request_id, with_request_id, with_timings_flag, write_frame,
+    BatchProgram, ErrorKind, Request, MAX_FRAME_LEN,
 };
 
 /// Connection and retry policy for a [`Client`].
@@ -204,6 +204,74 @@ impl Client {
         }
     }
 
+    /// Send many frames pipelined — all tagged and written up front,
+    /// then all responses collected — and return the responses **in
+    /// submission order**, however the server completed them.
+    ///
+    /// Each frame is tagged with its submission index as the envelope
+    /// `id` (any caller-set `id` is replaced); the server answers tagged
+    /// work out of order, and this method reassembles by tag. One
+    /// round-trip's latency is paid once for the whole batch instead of
+    /// once per frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, a closed connection before every tagged
+    /// response arrived, or a response carrying a missing/unknown tag
+    /// (a protocol violation, surfaced as `InvalidData`).
+    pub fn pipeline(&mut self, frames: &[Json]) -> io::Result<Vec<Json>> {
+        for (i, frame) in frames.iter().enumerate() {
+            let tagged = with_request_id(strip_request_id(frame.clone()), &Json::Num(i as f64));
+            write_frame(&mut self.writer, &tagged)?;
+        }
+        let mut responses: Vec<Option<Json>> = vec![None; frames.len()];
+        let mut missing = frames.len();
+        while missing > 0 {
+            let line = read_frame_limited(&mut self.reader, self.config.max_frame_len)
+                .map_err(io::Error::from)?
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("server closed the connection with {missing} responses pending"),
+                    )
+                })?;
+            let response = Json::parse(&line).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}"))
+            })?;
+            let slot = request_id(&response)
+                .and_then(|id| id.as_u64())
+                .map(|id| id as usize)
+                .filter(|&id| id < responses.len() && responses[id].is_none())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "pipelined response with a missing, unknown, or duplicate id",
+                    )
+                })?;
+            responses[slot] = Some(response);
+            missing -= 1;
+        }
+        Ok(responses.into_iter().flatten().collect())
+    }
+
+    /// Classify many programs in one `classify-batch` frame and return
+    /// the per-program result objects (`{"detection":...}` or
+    /// `{"error":...}`) in submission order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; additionally `InvalidData` when the
+    /// response is an error frame or its `results` array does not match
+    /// the submission count.
+    pub fn submit_batch(&mut self, programs: &[BatchProgram]) -> io::Result<Vec<Json>> {
+        let response = self.send(&Request::ClassifyBatch {
+            programs: programs.to_vec(),
+            deadline_ms: None,
+            debug_sleep_ms: 0,
+        })?;
+        batch_results(&response, programs.len())
+    }
+
     /// Classify `program` (assembly source) against the loaded repository.
     ///
     /// # Errors
@@ -292,6 +360,46 @@ impl Client {
     pub fn shutdown(&mut self) -> io::Result<Json> {
         self.send(&Request::Shutdown)
     }
+}
+
+/// `frame` with any existing envelope `id` removed, so [`Client::pipeline`]
+/// can re-tag with the submission index it reassembles by.
+fn strip_request_id(frame: Json) -> Json {
+    match frame {
+        Json::Obj(mut fields) => {
+            fields.retain(|(k, _)| k != "id");
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+/// Extract the `results` array of a `classify-batch` response, checking
+/// the frame succeeded and the server answered every submitted program.
+///
+/// # Errors
+///
+/// `InvalidData` on an error frame or a result-count mismatch.
+fn batch_results(response: &Json, expected: usize) -> io::Result<Vec<Json>> {
+    if !crate::protocol::is_ok(response) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("batch failed: {response}"),
+        ));
+    }
+    let Some(Json::Arr(results)) = response.get("results") else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "batch response has no results array",
+        ));
+    };
+    if results.len() != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("batch answered {} of {expected} programs", results.len()),
+        ));
+    }
+    Ok(results.clone())
 }
 
 /// Backoff before retry `attempt` (0-based): `base * 2^attempt`, plus

@@ -17,13 +17,20 @@
 //! - [`queue`] — a bounded admission queue. Full queue ⇒ the request is
 //!   shed with an explicit `overloaded` response (admission control,
 //!   never unbounded backlog).
-//! - [`server`] — the acceptor, per-connection handlers, and the fixed
-//!   worker pool; plus hot repository reload (atomic `Arc` swap — each
-//!   request is answered by exactly one repository generation) and
-//!   deadline propagation into the engine's bounded-DTW hook.
+//! - [`server`] — the acceptor, per-connection handlers (reader plus a
+//!   writer thread per connection), and the fixed worker pool that
+//!   scatters each classify across per-shard probe pools and merges the
+//!   shard verdicts deterministically; plus hot repository reload
+//!   (atomic `Arc` swap — each request is answered by exactly one
+//!   repository generation) and deadline propagation into the engine's
+//!   bounded-DTW hook.
 //!
 //! [`client`] is the matching blocking client, used by `scaguard
-//! submit`, the integration tests, and the serve benchmark.
+//! submit`, the integration tests, and the serve benchmark. It speaks
+//! both the classic one-in-one-out mode and the pipelined mode
+//! ([`Client::pipeline`]) with in-order reassembly, and batches many
+//! programs into one `classify-batch` frame with
+//! [`Client::submit_batch`].
 //!
 //! Every response frame carries a `trace_id` (see
 //! [`protocol::trace_id`]); requests flagged with `"timings": true` on
@@ -44,6 +51,7 @@ pub mod server;
 
 pub use client::{Client, ClientConfig};
 pub use protocol::{
-    timings, trace_id, with_timings_flag, ErrorKind, Request, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    request_id, timings, trace_id, with_request_id, with_timings_flag, BatchProgram, ErrorKind,
+    Request, MAX_BATCH_PROGRAMS, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 pub use server::{spawn, ServeConfig, ServeError, ServerHandle, StatsSnapshot};

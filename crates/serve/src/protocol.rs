@@ -25,6 +25,22 @@
 //! `"timings":true` in any work frame's envelope) live *next to* the
 //! `detection`, never inside it, so the byte-identity holds with
 //! observability on.
+//!
+//! Two envelope-level extensions amortize per-frame overhead:
+//!
+//! - **Pipelined frames.** A work request tagged with an `"id"` (any
+//!   non-null JSON value, echoed back verbatim — see [`request_id`])
+//!   does not block the connection: the client may keep sending,
+//!   several requests stay in flight at once, and their responses carry
+//!   the same `id` and may arrive **out of order**. Untagged requests
+//!   keep the strict one-in-one-out ordering.
+//! - **`classify-batch`.** Many programs in one frame:
+//!   `{"cmd":"classify-batch","programs":[{"name":...,"program":...,
+//!   "victim":...,"threshold":...},...]}`. The response's `results`
+//!   array holds one entry per program **in submission order**, each
+//!   either `{"detection":{...}}` or `{"error":{"kind":...,
+//!   "message":...}}` — one program's failure never fails its siblings,
+//!   while the model build and repository scan fan-out are shared.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -168,6 +184,28 @@ pub fn parse_victim(spec: &str) -> Result<Victim, String> {
     }
 }
 
+/// Hard cap on the number of programs in one `classify-batch` frame.
+///
+/// A batch is admitted as *one* queue slot, so an unbounded `programs`
+/// array would let a single frame monopolize a worker indefinitely; the
+/// cap keeps the shed/deadline math of the bounded queue meaningful.
+pub const MAX_BATCH_PROGRAMS: usize = 1024;
+
+/// One program inside a [`Request::ClassifyBatch`] frame: the
+/// per-program subset of [`Request::Classify`]'s fields (deadline and
+/// debug hooks are per-frame, not per-program).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchProgram {
+    /// Program name (reported back in its detection).
+    pub name: String,
+    /// The program's assembly source.
+    pub program: String,
+    /// Victim spec (see [`parse_victim`]).
+    pub victim: String,
+    /// Per-program threshold override.
+    pub threshold: Option<f64>,
+}
+
 /// One request frame, parsed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -193,6 +231,18 @@ pub enum Request {
         /// (structured `internal_error`, pool stays at full strength);
         /// false in production traffic.
         debug_panic: bool,
+    },
+    /// Classify many programs in one frame: one model build + scan
+    /// fan-out per program, results returned in submission order.
+    ClassifyBatch {
+        /// The programs, classified independently and answered in this
+        /// order; at most [`MAX_BATCH_PROGRAMS`].
+        programs: Vec<BatchProgram>,
+        /// Per-frame deadline in milliseconds, covering the whole batch.
+        deadline_ms: Option<u64>,
+        /// Load-generator hook, as in [`Request::Classify`]; applied
+        /// once per frame, not per program.
+        debug_sleep_ms: u64,
     },
     /// Build and return a program's CST-BBS model (canonical text form).
     Model {
@@ -292,6 +342,36 @@ impl Request {
                 debug_sleep_ms: opt_u64(v, "debug_sleep_ms")?.unwrap_or(0),
                 debug_panic: opt_bool(v, "debug_panic")?,
             }),
+            "classify-batch" => {
+                let Some(Json::Arr(items)) = v.get("programs") else {
+                    return Err("field `programs` must be an array".into());
+                };
+                if items.len() > MAX_BATCH_PROGRAMS {
+                    return Err(format!(
+                        "batch of {} programs exceeds the {MAX_BATCH_PROGRAMS}-program cap",
+                        items.len()
+                    ));
+                }
+                let programs = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        Ok(BatchProgram {
+                            name: req_str(p, "name").unwrap_or_else(|_| format!("program{i}")),
+                            program: req_str(p, "program")
+                                .map_err(|e| format!("programs[{i}]: {e}"))?,
+                            victim: req_str(p, "victim").unwrap_or_else(|_| "none".into()),
+                            threshold: opt_f64(p, "threshold")
+                                .map_err(|e| format!("programs[{i}]: {e}"))?,
+                        })
+                    })
+                    .collect::<Result<Vec<BatchProgram>, String>>()?;
+                Ok(Request::ClassifyBatch {
+                    programs,
+                    deadline_ms: opt_u64(v, "deadline_ms")?,
+                    debug_sleep_ms: opt_u64(v, "debug_sleep_ms")?.unwrap_or(0),
+                })
+            }
             "model" => Ok(Request::Model {
                 name: req_str(v, "name").unwrap_or_else(|_| "program".into()),
                 program: req_str(v, "program")?,
@@ -345,6 +425,32 @@ impl Request {
                     fields.push(("debug_panic".into(), Json::Bool(true)));
                 }
             }
+            Request::ClassifyBatch {
+                programs,
+                deadline_ms,
+                debug_sleep_ms,
+            } => {
+                fields.push(("cmd".into(), Json::Str("classify-batch".into())));
+                let items = programs
+                    .iter()
+                    .map(|p| {
+                        let mut f = vec![
+                            ("name".to_string(), Json::Str(p.name.clone())),
+                            ("program".to_string(), Json::Str(p.program.clone())),
+                            ("victim".to_string(), Json::Str(p.victim.clone())),
+                        ];
+                        if let Some(t) = p.threshold {
+                            f.push(("threshold".into(), Json::Num(t)));
+                        }
+                        Json::Obj(f)
+                    })
+                    .collect();
+                fields.push(("programs".into(), Json::Arr(items)));
+                push_opt_u64(&mut fields, "deadline_ms", *deadline_ms);
+                if *debug_sleep_ms > 0 {
+                    push_opt_u64(&mut fields, "debug_sleep_ms", Some(*debug_sleep_ms));
+                }
+            }
             Request::Model {
                 name,
                 program,
@@ -394,6 +500,38 @@ pub fn with_timings_flag(request: &Request) -> Json {
             Json::Obj(fields)
         }
         other => other,
+    }
+}
+
+/// The pipelining tag of a frame: the envelope-level `"id"` value, if
+/// present and non-null.
+///
+/// Like the `timings` flag, the tag lives *outside* [`Request`]: it
+/// composes with every command without changing the request structs. A
+/// tagged work request is served pipelined (the connection keeps
+/// reading; responses may come back out of order, carrying the same
+/// `id`), so the tag is read off both requests (by the server) and
+/// responses (by the client reassembling in submission order). Any JSON
+/// value works as a tag and is echoed back verbatim.
+pub fn request_id(frame: &Json) -> Option<Json> {
+    frame
+        .get("id")
+        .filter(|id| !matches!(id, Json::Null))
+        .cloned()
+}
+
+/// `frame` with the pipelining tag `id` inserted right after the leading
+/// `"ok"` field — the response-side mirror of [`request_id`]. Used by
+/// clients on requests too (position is cosmetic there).
+pub fn with_request_id(frame: Json, id: &Json) -> Json {
+    let tag = ("id".to_string(), id.clone());
+    match frame {
+        Json::Obj(mut fields) => {
+            let at = usize::from(fields.first().is_some_and(|(k, _)| k == "ok"));
+            fields.insert(at, tag);
+            Json::Obj(fields)
+        }
+        other => Json::Obj(vec![tag, ("frame".into(), other)]),
     }
 }
 
@@ -720,6 +858,93 @@ mod tests {
         assert_eq!(
             Request::parse(&flagged.to_string()),
             Request::parse(&plain.to_string())
+        );
+    }
+
+    #[test]
+    fn classify_batch_round_trips_and_enforces_the_cap() {
+        let req = Request::ClassifyBatch {
+            programs: vec![
+                BatchProgram {
+                    name: "a".into(),
+                    program: "  halt\n".into(),
+                    victim: "none".into(),
+                    threshold: None,
+                },
+                BatchProgram {
+                    name: "b".into(),
+                    program: "  mov r1, 7\n  halt\n".into(),
+                    victim: "shared:3".into(),
+                    threshold: Some(0.3),
+                },
+            ],
+            deadline_ms: Some(750),
+            debug_sleep_ms: 0,
+        };
+        let line = req.to_json().to_string();
+        assert_eq!(Request::parse(&line), Ok(req));
+        // Defaults mirror `classify`: name and victim are optional.
+        let got = Request::parse(r#"{"cmd":"classify-batch","programs":[{"program":"x"}]}"#)
+            .expect("parse");
+        let Request::ClassifyBatch { programs, .. } = got else {
+            panic!("wrong variant");
+        };
+        assert_eq!(programs[0].name, "program0");
+        assert_eq!(programs[0].victim, "none");
+        // Malformed batches are described, never panicked on.
+        assert!(Request::parse(r#"{"cmd":"classify-batch"}"#)
+            .unwrap_err()
+            .contains("`programs`"));
+        assert!(
+            Request::parse(r#"{"cmd":"classify-batch","programs":[{}]}"#)
+                .unwrap_err()
+                .contains("programs[0]")
+        );
+        let oversized = Request::ClassifyBatch {
+            programs: vec![
+                BatchProgram {
+                    name: "x".into(),
+                    program: "  halt\n".into(),
+                    victim: "none".into(),
+                    threshold: None,
+                };
+                MAX_BATCH_PROGRAMS + 1
+            ],
+            deadline_ms: None,
+            debug_sleep_ms: 0,
+        };
+        assert!(Request::parse(&oversized.to_json().to_string())
+            .unwrap_err()
+            .contains("cap"));
+    }
+
+    #[test]
+    fn request_id_rides_the_envelope_and_echoes_verbatim() {
+        let req = Request::Ping.to_json();
+        assert_eq!(request_id(&req), None);
+        // Any non-null JSON value tags a frame; null means untagged.
+        for id in [
+            Json::Num(17.0),
+            Json::Str("req-aa".into()),
+            Json::Bool(false),
+        ] {
+            let tagged = with_request_id(req.clone(), &id);
+            assert_eq!(request_id(&tagged), Some(id.clone()));
+            // The tag is invisible to request parsing.
+            assert_eq!(
+                Request::parse(&tagged.to_string()),
+                Request::parse(&req.to_string())
+            );
+        }
+        assert_eq!(request_id(&with_request_id(req, &Json::Null)), None);
+        // On responses the id lands right after ok, alongside trace_id.
+        let resp = with_request_id(
+            with_trace_id(ok_frame(vec![("pong".into(), Json::Bool(true))]), 9),
+            &Json::Num(4.0),
+        );
+        assert_eq!(
+            resp.to_string(),
+            "{\"ok\":true,\"id\":4,\"trace_id\":9,\"pong\":true}"
         );
     }
 

@@ -10,16 +10,33 @@
 //! Architecture:
 //!
 //! ```text
-//! acceptor ──> handler (one per connection)
+//! acceptor ──> handler (reader, one per connection) ──> writer thread
 //!                │  control frames (ping/stats/reload/shutdown): inline
-//!                │  work frames (classify/model): admission queue
+//!                │  work frames (classify/classify-batch/model): queue
 //!                ▼
-//!        BoundedQueue ──> worker pool ──> reply channel ──> handler
+//!        BoundedQueue ──> worker pool ─────────┬──> reply ──> writer
+//!                            │ scatter         │ gather+merge
+//!                            ▼                 │
+//!               per-shard probe queues ──> shard pools (detector clones)
 //! ```
 //!
 //! - **Admission control**: the queue is bounded; when it is full the
 //!   handler sheds the request with an explicit `overloaded` error
 //!   instead of queueing unboundedly or stalling the connection.
+//! - **Sharded scan**: the repository is split into [`ServeConfig::shards`]
+//!   contiguous slices, each with its own probe queue and threads holding
+//!   *private clones* of the slice's detector (re-cloned only when the
+//!   repository generation moves). A classify scatters one probe per
+//!   shard, gathers the per-shard `(global index, distance)` winners, and
+//!   merges them with the exact tie-break the unsharded scan uses — the
+//!   detection is byte-identical at any shard count. Even at one shard
+//!   the clone-per-thread pool wins: scans no longer serialize on a
+//!   single detector's scan-state mutex.
+//! - **Pipelining**: every response is written by a per-connection
+//!   writer thread. Untagged requests keep one-in-one-out ordering;
+//!   requests tagged with an envelope `id` are admitted without blocking
+//!   the reader, stay in flight concurrently, and their responses
+//!   (carrying the id) may complete out of order.
 //! - **Deadline propagation**: a request deadline (per-request
 //!   `deadline_ms` or the server default) is fixed at admission and
 //!   propagated into the engine's bounded-DTW hook, so an expired
@@ -61,15 +78,16 @@ use sca_telemetry::{
 };
 use scaguard::persist::LoadRepoError;
 use scaguard::{
-    detection_json, index_sidecar_path, load_index, load_repository, model_text, Detector,
-    InvalidThreshold, ModelBuilder, ModelingConfig,
+    detection_json, index_sidecar_path, load_index, load_repository, model_text, CstBbs,
+    DeadlineExceeded, Detector, InvalidThreshold, ModelBuilder, ModelRepository, ModelingConfig,
+    ShardedDetector,
 };
 
 use crate::protocol::{
-    self, error_frame, ok_frame, parse_victim, read_frame_limited, request_wants_timings,
-    with_trace_id, write_frame, ErrorKind, FrameReadError, Request, KIND_BAD_REQUEST,
-    KIND_DEADLINE_EXCEEDED, KIND_INTERNAL_ERROR, KIND_MODEL_ERROR, KIND_OVERLOADED,
-    KIND_RELOAD_FAILED, KIND_SHUTTING_DOWN, PROTOCOL_VERSION,
+    self, error_frame, ok_frame, parse_victim, read_frame_limited, request_id,
+    request_wants_timings, with_request_id, with_trace_id, write_frame, ErrorKind, FrameReadError,
+    Request, KIND_BAD_REQUEST, KIND_DEADLINE_EXCEEDED, KIND_INTERNAL_ERROR, KIND_MODEL_ERROR,
+    KIND_OVERLOADED, KIND_RELOAD_FAILED, KIND_SHUTTING_DOWN, PROTOCOL_VERSION,
 };
 use crate::queue::BoundedQueue;
 
@@ -81,6 +99,11 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker-pool size (default 4).
     pub workers: usize,
+    /// Repository shard count (default 1). Each shard owns a contiguous
+    /// slice of the enrolled repository plus its own index and probe
+    /// pool; a classify fans out to every shard and merges the winners
+    /// deterministically, so detections are byte-identical at any count.
+    pub shards: usize,
     /// Admission-queue capacity (default 64); requests beyond it are
     /// shed with an `overloaded` response.
     pub queue_depth: usize,
@@ -128,6 +151,7 @@ impl ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
+            shards: 1,
             queue_depth: 64,
             deadline_ms: None,
             threshold: Detector::DEFAULT_THRESHOLD,
@@ -197,17 +221,14 @@ impl From<InvalidThreshold> for ServeError {
 struct RepoState {
     generation: u64,
     path: PathBuf,
-    detector: Detector,
+    detector: ShardedDetector,
 }
 
 impl RepoState {
     fn json(&self) -> Json {
         Json::Obj(vec![
             ("generation".into(), Json::Num(self.generation as f64)),
-            (
-                "entries".into(),
-                Json::Num(self.detector.repository().len() as f64),
-            ),
+            ("entries".into(), Json::Num(self.detector.len() as f64)),
             ("path".into(), Json::Str(self.path.display().to_string())),
         ])
     }
@@ -253,6 +274,26 @@ pub struct StatsSnapshot {
     pub busy_workers: u64,
 }
 
+/// A frame on its way to one connection's writer thread, which owns the
+/// write half of the socket — the only way pipelined (out-of-order)
+/// worker replies and inline control replies never interleave mid-frame.
+/// `Flush` carries an ack channel so the handler can order an external
+/// effect (process shutdown) strictly after the frame hits the socket.
+enum OutMsg {
+    Frame(Json),
+    Flush(Json, mpsc::Sender<()>),
+}
+
+/// Where a worker's answer goes. `Sync` is the classic one-in-one-out
+/// path: the handler blocks on the channel and decorates the frame
+/// itself. `Pipelined` answers a tagged request: the worker decorates
+/// the frame (trace id + echoed `id`) and routes it straight to the
+/// connection's writer, leaving the reader free to admit more work.
+enum Reply {
+    Sync(mpsc::Sender<Json>),
+    Pipelined { out: mpsc::Sender<OutMsg>, id: Json },
+}
+
 /// One admitted unit of work. The `repo` snapshot is taken at admission:
 /// whatever generation was live when the request was accepted is the
 /// generation that answers it, regardless of concurrent reloads.
@@ -261,7 +302,7 @@ struct Job {
     repo: Arc<RepoState>,
     deadline: Option<Instant>,
     enqueued: Instant,
-    reply: mpsc::Sender<Json>,
+    reply: Reply,
     /// Server-unique id assigned to the frame at read time.
     trace_id: u64,
     /// Whether the response should carry the stage-timing breakdown.
@@ -278,6 +319,7 @@ impl Job {
 fn request_kind(request: &Request) -> &'static str {
     match request {
         Request::Classify { .. } => "classify",
+        Request::ClassifyBatch { .. } => "classify-batch",
         Request::Model { .. } => "model",
         Request::ReloadRepo { .. } => "reload-repo",
         Request::Stats => "stats",
@@ -286,6 +328,35 @@ fn request_kind(request: &Request) -> &'static str {
         Request::Ping => "ping",
         Request::Shutdown => "shutdown",
     }
+}
+
+/// One scatter probe: find one shard's best `(global index, distance)`
+/// candidate for `target`. The shard index is implicit — each probe
+/// queue is drained only by its own shard's threads.
+struct ShardTask {
+    repo: Arc<RepoState>,
+    target: Arc<CstBbs>,
+    deadline: Option<Instant>,
+    /// The requesting frame's trace id: the probe binds it so the
+    /// engine spans it emits land in (and are drained from) the right
+    /// trace instead of leaking into the resident registry.
+    trace_id: u64,
+    reply: mpsc::Sender<ShardVerdict>,
+}
+
+/// One shard's answer to a probe.
+struct ShardVerdict {
+    shard: usize,
+    scan_ns: u64,
+    result: Result<Option<(usize, f64)>, DeadlineExceeded>,
+}
+
+/// One shard's probe queue plus its busy gauge. The pool's threads each
+/// hold a private, generation-cached clone of the shard's detector, so
+/// steady-state probes touch no shared locks at all.
+struct ShardPool {
+    queue: BoundedQueue<ShardTask>,
+    busy: AtomicU64,
 }
 
 /// State shared by the acceptor, handlers, and workers.
@@ -307,6 +378,8 @@ struct Shared {
     flight: FlightRecorder,
     /// Open slow-request log, when configured.
     slow_log: Option<Mutex<File>>,
+    /// One probe pool per repository shard (always at least one).
+    shard_pools: Vec<ShardPool>,
 }
 
 impl Shared {
@@ -362,6 +435,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -393,6 +467,14 @@ impl ServerHandle {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // Only once the gatherer workers are gone can no new probes be
+        // scattered; now the shard pools can drain out and exit.
+        for pool in &self.shared.shard_pools {
+            pool.queue.close();
+        }
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
         }
     }
 }
@@ -433,6 +515,26 @@ fn attach_index(detector: &mut Detector, repo_path: &Path) {
         .expect("a freshly built index matches its repository");
 }
 
+/// Build the (possibly sharded) detector for a freshly loaded
+/// repository. At one shard the full-repository sidecar index
+/// (`<repo>.idx`) is attached; above that, each shard builds its own
+/// in-memory index over its slice — a full-repository sidecar cannot
+/// match a sub-repository's fingerprint.
+fn build_sharded(
+    repo: ModelRepository,
+    repo_path: &Path,
+    threshold: f64,
+    shards: usize,
+) -> Result<ShardedDetector, InvalidThreshold> {
+    if shards.max(1) == 1 {
+        let mut detector = Detector::new(repo, threshold)?;
+        attach_index(&mut detector, repo_path);
+        Ok(ShardedDetector::from_detector(detector))
+    } else {
+        ShardedDetector::new(repo, threshold, shards)
+    }
+}
+
 pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     if config.metrics {
         sca_telemetry::set_enabled(true);
@@ -444,11 +546,25 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         None => None,
     };
     let repo = load_repository(&config.repo_path)?;
-    let mut detector = Detector::new(repo, config.threshold)?;
-    attach_index(&mut detector, Path::new(&config.repo_path));
+    let detector = build_sharded(
+        repo,
+        Path::new(&config.repo_path),
+        config.threshold,
+        config.shards,
+    )?;
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
+    let shard_count = config.shards.max(1);
+    // Probe-queue capacity: every gatherer worker can have at most one
+    // probe outstanding per shard at a time, so `workers` never sheds;
+    // the slack absorbs the inline-fallback race.
+    let shard_pools: Vec<ShardPool> = (0..shard_count)
+        .map(|_| ShardPool {
+            queue: BoundedQueue::new(workers * 2),
+            busy: AtomicU64::new(0),
+        })
+        .collect();
     let shared = Arc::new(Shared {
         builder: ModelBuilder::new(&ModelingConfig::default()),
         repo: Mutex::new(Arc::new(RepoState {
@@ -465,6 +581,7 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         busy_workers: AtomicU64::new(0),
         flight: FlightRecorder::new(config.flight_capacity),
         slow_log,
+        shard_pools,
         config,
     });
 
@@ -475,6 +592,21 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
                 .name(format!("sca-serve-worker-{i}"))
                 .spawn(move || worker_loop(&shared))
                 .expect("spawn worker thread")
+        })
+        .collect();
+
+    // The shard pools share the worker pool's parallelism budget:
+    // ~`workers` probe threads total, spread evenly, at least one per
+    // shard. Excess probes queue briefly rather than oversubscribing.
+    let per_shard = workers.div_ceil(shard_count).max(1);
+    let shard_threads: Vec<JoinHandle<()>> = (0..shard_count)
+        .flat_map(|s| (0..per_shard).map(move |t| (s, t)))
+        .map(|(s, t)| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("sca-serve-shard-{s}-{t}"))
+                .spawn(move || shard_loop(&shared, s))
+                .expect("spawn shard thread")
         })
         .collect();
 
@@ -490,6 +622,7 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         shared,
         acceptor: Some(acceptor),
         workers: pool,
+        shard_threads,
     })
 }
 
@@ -515,7 +648,14 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 /// Serve one connection: read frames until EOF, answering each one.
 /// Malformed frames get a structured `bad_request` response and the
-/// connection stays open — a client typo never costs the session.
+/// connection stays open — a client typo (or one garbled frame in the
+/// middle of a pipeline) never costs the session or its other in-flight
+/// requests.
+///
+/// All responses — inline control answers and pipelined worker replies
+/// alike — are serialized by a per-connection writer thread that owns
+/// the write half of the socket, so out-of-order completions can never
+/// interleave bytes mid-frame.
 ///
 /// The connection is *closed* (never left hanging) in exactly three
 /// hostile cases: a socket timeout (stalled, idle-forever, or
@@ -530,24 +670,63 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
     stream.set_read_timeout(io_timeout)?;
     stream.set_write_timeout(io_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
+    let (out_tx, out_rx) = mpsc::channel::<OutMsg>();
+    // The writer outlives this handler when pipelined work is still in
+    // flight at reader EOF: workers hold sender clones and their late
+    // replies are still written. It exits when the last sender drops or
+    // the peer stops draining its socket.
+    let writer_shared = Arc::clone(shared);
+    let _writer = thread::Builder::new()
+        .name("sca-serve-writer".into())
+        .spawn(move || {
+            let mut stream = stream;
+            for msg in out_rx {
+                let (frame, ack) = match msg {
+                    OutMsg::Frame(frame) => (frame, None),
+                    OutMsg::Flush(frame, ack) => (frame, Some(ack)),
+                };
+                if let Err(e) = write_frame(&mut stream, &frame) {
+                    // A peer that stops draining its socket stalls the
+                    // write; with the write timeout set, that surfaces
+                    // here and costs the peer its connection instead of
+                    // pinning this thread.
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) {
+                        writer_shared
+                            .counters
+                            .timeouts
+                            .fetch_add(1, Ordering::Relaxed);
+                        sca_telemetry::counter("serve.timeouts", 1);
+                    }
+                    break;
+                }
+                if let Some(ack) = ack {
+                    let _ = ack.send(());
+                }
+            }
+        })?;
+    let mut result = Ok(());
     loop {
+        // Every read attempt — work, control, unparseable garbage, even
+        // an oversized frame — burns one trace id and returns it, so any
+        // response a client ever sees can be named when reporting a
+        // problem. The burn happens *before* the frame-length check: the
+        // TooLong reply answers a frame that never finished arriving.
+        let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed);
         let line = match read_frame_limited(&mut reader, shared.config.max_frame_len) {
             Ok(Some(line)) => line,
             Ok(None) => break,
             Err(FrameReadError::TooLong { limit }) => {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed);
-                let _ = write_frame(
-                    &mut writer,
-                    &with_trace_id(
-                        error_frame(
-                            KIND_BAD_REQUEST,
-                            &format!("frame exceeds the {limit}-byte limit; closing connection"),
-                        ),
-                        trace,
+                let _ = out_tx.send(OutMsg::Frame(with_trace_id(
+                    error_frame(
+                        KIND_BAD_REQUEST,
+                        &format!("frame exceeds the {limit}-byte limit; closing connection"),
                     ),
-                );
+                    trace,
+                )));
                 break;
             }
             Err(e) if e.is_timeout() => {
@@ -555,57 +734,75 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
                 sca_telemetry::counter("serve.timeouts", 1);
                 break;
             }
-            Err(FrameReadError::Io(e)) => return Err(e),
+            Err(FrameReadError::Io(e)) => {
+                result = Err(e);
+                break;
+            }
         };
         if line.trim().is_empty() {
             continue;
         }
-        // Every frame — work, control, even unparseable garbage — burns
-        // one trace id and returns it, so any response a client ever
-        // sees can be named when reporting a problem.
-        let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed);
-        let frame = match Json::parse(&line) {
-            Err(e) => error_frame(KIND_BAD_REQUEST, &format!("invalid JSON frame: {e}")),
+        let (response, id) = match Json::parse(&line) {
+            Err(e) => (
+                Some(error_frame(
+                    KIND_BAD_REQUEST,
+                    &format!("invalid JSON frame: {e}"),
+                )),
+                None,
+            ),
             Ok(v) => {
+                let id = request_id(&v);
                 let wants_timings = request_wants_timings(&v);
                 match Request::from_json(&v) {
-                    Err(e) => error_frame(KIND_BAD_REQUEST, &e),
+                    Err(e) => (Some(error_frame(KIND_BAD_REQUEST, &e)), id),
                     // Acknowledge shutdown *before* initiating it: once
                     // the worker pool unwinds the whole process may exit
                     // (CLI `serve`), and a detached handler must not race
-                    // its reply against that exit.
+                    // its reply against that exit — hence the flush ack.
                     Ok(Request::Shutdown) => {
-                        write_frame(
-                            &mut writer,
-                            &with_trace_id(
-                                ok_frame(vec![("stopping".into(), Json::Bool(true))]),
-                                trace,
-                            ),
-                        )?;
+                        let mut frame = with_trace_id(
+                            ok_frame(vec![("stopping".into(), Json::Bool(true))]),
+                            trace,
+                        );
+                        if let Some(id) = &id {
+                            frame = with_request_id(frame, id);
+                        }
+                        let (ack_tx, ack_rx) = mpsc::channel();
+                        if out_tx.send(OutMsg::Flush(frame, ack_tx)).is_ok() {
+                            let _ = ack_rx.recv();
+                        }
                         shared.begin_shutdown();
                         continue;
                     }
-                    Ok(req) => dispatch(req, shared, trace, wants_timings),
+                    // Tagged work is pipelined: admit it without waiting
+                    // and keep reading — the worker routes the tagged
+                    // response to the writer whenever it completes.
+                    Ok(
+                        work @ (Request::Classify { .. }
+                        | Request::ClassifyBatch { .. }
+                        | Request::Model { .. }),
+                    ) if id.is_some() => {
+                        let id = id.expect("guarded by is_some");
+                        submit_pipelined(work, shared, trace, wants_timings, id, &out_tx);
+                        (None, None)
+                    }
+                    Ok(req) => (Some(dispatch(req, shared, trace, wants_timings)), id),
                 }
             }
         };
-        let frame = with_trace_id(frame, trace);
-        if let Err(e) = write_frame(&mut writer, &frame) {
-            // A peer that stops draining its socket stalls the write;
-            // with the write timeout set, that surfaces here and costs
-            // the peer its connection instead of pinning this thread.
-            if matches!(
-                e.kind(),
-                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-            ) {
-                shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                sca_telemetry::counter("serve.timeouts", 1);
+        if let Some(frame) = response {
+            let mut frame = with_trace_id(frame, trace);
+            if let Some(id) = &id {
+                frame = with_request_id(frame, id);
+            }
+            if out_tx.send(OutMsg::Frame(frame)).is_err() {
+                // The writer exited (write timeout or transport error);
+                // nothing more can be answered on this connection.
                 break;
             }
-            return Err(e);
         }
     }
-    Ok(())
+    result
 }
 
 /// Answer one request: control commands inline, work through the queue.
@@ -622,9 +819,9 @@ fn dispatch(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: b
         // Intercepted by the connection handler (the ack must be written
         // before shutdown begins); kept for completeness.
         Request::Shutdown => ok_frame(vec![("stopping".into(), Json::Bool(true))]),
-        work @ (Request::Classify { .. } | Request::Model { .. }) => {
-            submit(work, shared, trace, wants_timings)
-        }
+        work @ (Request::Classify { .. }
+        | Request::ClassifyBatch { .. }
+        | Request::Model { .. }) => submit(work, shared, trace, wants_timings),
     }
 }
 
@@ -649,11 +846,9 @@ fn stats_frame(shared: &Arc<Shared>) -> Json {
                 ("in_flight".into(), num(s.in_flight)),
                 ("busy_workers".into(), num(s.busy_workers)),
                 ("workers".into(), num(shared.config.workers.max(1) as u64)),
+                ("shards".into(), num(shared.shard_pools.len() as u64)),
                 ("repo_generation".into(), num(repo.generation)),
-                (
-                    "repo_entries".into(),
-                    num(repo.detector.repository().len() as u64),
-                ),
+                ("repo_entries".into(), num(repo.detector.len() as u64)),
                 (
                     "model_cache_entries".into(),
                     num(shared.builder.len() as u64),
@@ -670,7 +865,7 @@ fn stats_frame(shared: &Arc<Shared>) -> Json {
 fn live_gauges(shared: &Arc<Shared>) -> Vec<(String, u64)> {
     let s = shared.stats();
     let repo = shared.repo_snapshot();
-    vec![
+    let mut gauges = vec![
         ("serve.queue_depth".into(), shared.queue.depth() as u64),
         (
             "serve.queue_capacity".into(),
@@ -679,17 +874,26 @@ fn live_gauges(shared: &Arc<Shared>) -> Vec<(String, u64)> {
         ("serve.in_flight".into(), s.in_flight),
         ("serve.busy_workers".into(), s.busy_workers),
         ("serve.workers".into(), shared.config.workers.max(1) as u64),
+        ("serve.shards".into(), shared.shard_pools.len() as u64),
         ("serve.repo_generation".into(), repo.generation),
-        (
-            "serve.repo_entries".into(),
-            repo.detector.repository().len() as u64,
-        ),
+        ("serve.repo_entries".into(), repo.detector.len() as u64),
         (
             "serve.model_cache_entries".into(),
             shared.builder.len() as u64,
         ),
         ("serve.flight_recorded".into(), shared.flight.recorded()),
-    ]
+    ];
+    for (i, pool) in shared.shard_pools.iter().enumerate() {
+        gauges.push((
+            format!("serve.shard{i}.queue_depth"),
+            pool.queue.depth() as u64,
+        ));
+        gauges.push((
+            format!("serve.shard{i}.busy"),
+            pool.busy.load(Ordering::Relaxed),
+        ));
+    }
+    gauges
 }
 
 fn histogram_summary(h: &Histogram) -> Json {
@@ -788,14 +992,13 @@ fn reload_repo(shared: &Arc<Shared>, path: Option<&str>) -> Json {
     // The threshold was validated when the server started; re-check
     // instead of unwrapping so a future config path can never panic a
     // handler thread.
-    let mut detector = match Detector::new(repo, shared.config.threshold) {
+    let detector = match build_sharded(repo, &path, shared.config.threshold, shared.config.shards) {
         Ok(d) => d,
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             return error_frame(KIND_RELOAD_FAILED, &e.to_string());
         }
     };
-    attach_index(&mut detector, &path);
     let mut slot = shared.repo.lock().unwrap_or_else(|e| e.into_inner());
     let next = Arc::new(RepoState {
         generation: slot.generation + 1,
@@ -809,33 +1012,44 @@ fn reload_repo(shared: &Arc<Shared>, path: Option<&str>) -> Json {
     ok_frame(vec![("repo".into(), next.json())])
 }
 
-/// Admit a work request onto the queue (or shed it) and wait for the
-/// worker's reply.
-fn submit(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: bool) -> Json {
+/// Admit a work request onto the queue with the given reply route, or
+/// hand back the error frame explaining why it was refused (shutdown or
+/// shed). Successful admission bumps `in_flight`; the worker drops it
+/// after answering.
+fn admit(
+    request: Request,
+    shared: &Arc<Shared>,
+    trace: u64,
+    wants_timings: bool,
+    reply: Reply,
+) -> Result<(), Json> {
     shared.counters.received.fetch_add(1, Ordering::Relaxed);
     sca_telemetry::counter("serve.requests", 1);
     if shared.shutdown.load(Ordering::SeqCst) {
-        return error_frame(KIND_SHUTTING_DOWN, "server is shutting down");
+        return Err(error_frame(KIND_SHUTTING_DOWN, "server is shutting down"));
     }
     let deadline_ms = match &request {
-        Request::Classify { deadline_ms, .. } | Request::Model { deadline_ms, .. } => {
-            deadline_ms.or(shared.config.deadline_ms)
-        }
+        Request::Classify { deadline_ms, .. }
+        | Request::ClassifyBatch { deadline_ms, .. }
+        | Request::Model { deadline_ms, .. } => deadline_ms.or(shared.config.deadline_ms),
         _ => None,
     };
     let kind = request_kind(&request);
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         request,
         repo: shared.repo_snapshot(),
         deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
         enqueued: Instant::now(),
-        reply: tx,
+        reply,
         trace_id: trace,
         wants_timings,
     };
     match shared.queue.try_push(job) {
-        Ok(depth) => sca_telemetry::record("serve.queue_depth", depth as u64),
+        Ok(depth) => {
+            sca_telemetry::record("serve.queue_depth", depth as u64);
+            shared.in_flight.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
         Err(_) => {
             shared.counters.shed.fetch_add(1, Ordering::Relaxed);
             sca_telemetry::counter("serve.shed", 1);
@@ -849,24 +1063,51 @@ fn submit(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: boo
                 latency_ns: 0,
                 stages: Vec::new(),
             });
-            return error_frame(
+            Err(error_frame(
                 KIND_OVERLOADED,
                 &format!(
                     "admission queue full ({} queued); retry later",
                     shared.queue.capacity()
                 ),
-            );
+            ))
         }
     }
-    shared.in_flight.fetch_add(1, Ordering::Relaxed);
-    let frame = match rx.recv() {
+}
+
+/// Admit a work request and wait for the worker's reply — the classic
+/// blocking path for untagged requests.
+fn submit(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: bool) -> Json {
+    let (tx, rx) = mpsc::channel();
+    if let Err(frame) = admit(request, shared, trace, wants_timings, Reply::Sync(tx)) {
+        return frame;
+    }
+    match rx.recv() {
         Ok(frame) => frame,
         // The worker pool exited with the job still queued (shutdown
         // race): the sender side was dropped without an answer.
         Err(_) => error_frame(KIND_SHUTTING_DOWN, "server is shutting down"),
+    }
+}
+
+/// Admit a tagged work request without blocking the connection's
+/// reader: the worker's (decorated) reply goes straight to the writer
+/// thread. Admission failures answer immediately, also via the writer.
+fn submit_pipelined(
+    request: Request,
+    shared: &Arc<Shared>,
+    trace: u64,
+    wants_timings: bool,
+    id: Json,
+    out: &mpsc::Sender<OutMsg>,
+) {
+    let reply = Reply::Pipelined {
+        out: out.clone(),
+        id: id.clone(),
     };
-    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-    frame
+    if let Err(frame) = admit(request, shared, trace, wants_timings, reply) {
+        let frame = with_request_id(with_trace_id(frame, trace), &id);
+        let _ = out.send(OutMsg::Frame(frame));
+    }
 }
 
 /// Wall-clock stage timings for one request, measured directly with
@@ -876,6 +1117,10 @@ fn submit(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: boo
 #[derive(Default)]
 struct Stages {
     entries: Vec<(String, u64)>,
+    /// Wall-clock spent scanning each shard (index-aligned with the
+    /// shard pools), summed over the request's programs. Rendered as the
+    /// per-shard `shards` detail when the repository is actually sharded.
+    shard_scan_ns: Vec<u64>,
 }
 
 impl Stages {
@@ -894,8 +1139,9 @@ impl Stages {
 /// The `timings` object attached to a response when the request asked
 /// for one. The top-level `*_ns` stages sum to `total_ns` up to
 /// measurement noise; the span-derived DTW/lower-bound split (only
-/// available with telemetry on) nests under `detail` so it never skews
-/// that sum.
+/// available with telemetry on) nests under `detail`, and the per-shard
+/// scan split (only when sharded: the shard scans overlap in time)
+/// under `shards`, so neither ever skews that sum.
 fn timings_json(total_ns: u64, stages: &Stages, detail: Option<(u64, u64)>) -> Json {
     let mut fields: Vec<(String, Json)> = vec![("total_ns".into(), Json::Num(total_ns as f64))];
     fields.extend(
@@ -904,6 +1150,24 @@ fn timings_json(total_ns: u64, stages: &Stages, detail: Option<(u64, u64)>) -> J
             .iter()
             .map(|(k, ns)| (k.clone(), Json::Num(*ns as f64))),
     );
+    if stages.shard_scan_ns.len() > 1 {
+        fields.push((
+            "shards".into(),
+            Json::Arr(
+                stages
+                    .shard_scan_ns
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ns)| {
+                        Json::Obj(vec![
+                            ("shard".into(), Json::Num(i as f64)),
+                            ("scan_ns".into(), Json::Num(*ns as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
     if let Some((lb_ns, dtw_ns)) = detail {
         fields.push((
             "detail".into(),
@@ -1034,10 +1298,177 @@ fn worker_loop(shared: &Arc<Shared>) {
         } else {
             frame
         };
-        // A handler that hung up (client disconnect) makes this a no-op.
-        let _ = job.reply.send(frame);
+        // `in_flight` is documented exact: it must drop *before* the
+        // reply leaves, or a client that pipelines `metrics` right
+        // behind a classify can observe its own answered request as
+        // still in flight. `busy_workers` stays eventually consistent
+        // (decremented after the send) by the same documentation.
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        // A handler (or writer) that hung up makes these no-ops.
+        match &job.reply {
+            Reply::Sync(tx) => {
+                let _ = tx.send(frame);
+            }
+            Reply::Pipelined { out, id } => {
+                let frame = with_request_id(with_trace_id(frame, job.trace_id), id);
+                let _ = out.send(OutMsg::Frame(frame));
+            }
+        }
         shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
     }
+}
+
+/// Drain one shard's probe queue. The thread keeps a private clone of
+/// the shard's detector, re-cloned only when the repository generation
+/// moves, so steady-state probes touch no cross-thread locks at all —
+/// this is what lets concurrent classifies scan in parallel instead of
+/// serializing on one detector's scan-state mutex.
+fn shard_loop(shared: &Arc<Shared>, shard_idx: usize) {
+    let pool = &shared.shard_pools[shard_idx];
+    let mut cache: Option<(u64, Detector)> = None;
+    while let Some(task) = pool.queue.pop() {
+        pool.busy.fetch_add(1, Ordering::Relaxed);
+        let shard = &task.repo.detector.shards()[shard_idx];
+        if cache
+            .as_ref()
+            .is_none_or(|(generation, _)| *generation != task.repo.generation)
+        {
+            cache = Some((task.repo.generation, shard.detector().clone()));
+        }
+        let (_, detector) = cache.as_ref().expect("cache was just filled");
+        let offset = shard.offset();
+        // Key the probe's engine spans to the originating request; the
+        // gatherer drains them after the scatter completes (the gather
+        // is a barrier, so every probe span lands first).
+        let trace = sca_telemetry::trace_scope(task.trace_id);
+        let start = Instant::now();
+        let result = detector
+            .scan_best(&task.target, task.deadline)
+            .map(|best| best.map(|(i, d)| (offset + i, d)));
+        drop(trace);
+        let _ = task.reply.send(ShardVerdict {
+            shard: shard_idx,
+            scan_ns: start.elapsed().as_nanos() as u64,
+            result,
+        });
+        pool.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Scatter one target's scan across every shard pool, gather the
+/// per-shard winners, and merge them with the unsharded tie-break
+/// (lowest distance, then highest global index) — see
+/// [`ShardedDetector::merge`] for why the result is byte-identical to
+/// the single-detector scan.
+///
+/// Accumulates each shard's scan wall-clock into `shard_ns`. Any
+/// shard's deadline abort fails the whole scan (the others abort on
+/// their own deadline checks moments later).
+fn scatter_scan(
+    shared: &Arc<Shared>,
+    repo: &Arc<RepoState>,
+    target: &Arc<CstBbs>,
+    deadline: Option<Instant>,
+    trace_id: u64,
+    shard_ns: &mut [u64],
+) -> Result<Option<(usize, f64)>, DeadlineExceeded> {
+    let (tx, rx) = mpsc::channel();
+    for (i, pool) in shared.shard_pools.iter().enumerate() {
+        let task = ShardTask {
+            repo: Arc::clone(repo),
+            target: Arc::clone(target),
+            deadline,
+            trace_id,
+            reply: tx.clone(),
+        };
+        if let Err(task) = pool.queue.try_push(task) {
+            // Pool saturated (or closing): probe inline on this worker
+            // instead of waiting — a scatter must never block behind
+            // the very pool it is trying to feed.
+            let start = Instant::now();
+            let result = task.repo.detector.shards()[i].scan_best(&task.target, deadline);
+            let _ = task.reply.send(ShardVerdict {
+                shard: i,
+                scan_ns: start.elapsed().as_nanos() as u64,
+                result,
+            });
+        }
+    }
+    drop(tx);
+    let mut per_shard: Vec<Option<(usize, f64)>> = Vec::with_capacity(shared.shard_pools.len());
+    let mut deadline_hit = None;
+    for verdict in rx {
+        if let Some(ns) = shard_ns.get_mut(verdict.shard) {
+            *ns += verdict.scan_ns;
+        }
+        match verdict.result {
+            Ok(best) => per_shard.push(best),
+            Err(e) => deadline_hit = Some(e),
+        }
+    }
+    match deadline_hit {
+        Some(e) => Err(e),
+        // Arrival order does not matter: the merge relation is a total
+        // order on (distance, index) pairs and shard index ranges are
+        // disjoint, so the extremum is order-independent.
+        None => Ok(ShardedDetector::merge(&per_shard)),
+    }
+}
+
+/// Victim parse, assembly, and the builder's (possibly cached) CST-BBS
+/// lookup for one program — everything before the scan. Returns the
+/// model plus the stage's wall-clock cost, or the error `(kind,
+/// message)` pair for the caller to route (whole-frame failure for
+/// `classify`/`model`, per-program result for `classify-batch`).
+fn build_model(
+    shared: &Arc<Shared>,
+    name: &str,
+    source: &str,
+    victim_spec: &str,
+) -> Result<(Arc<CstBbs>, u64), (&'static str, String)> {
+    let start = Instant::now();
+    let victim = parse_victim(victim_spec).map_err(|e| (KIND_BAD_REQUEST, e))?;
+    let program = sca_isa::assemble(name, source)
+        .map_err(|e| (KIND_BAD_REQUEST, format!("assembly failed: {e}")))?;
+    let model = shared
+        .builder
+        .build_cst(&program, &victim)
+        .map_err(|e| (KIND_MODEL_ERROR, e.to_string()))?;
+    Ok((model, start.elapsed().as_nanos() as u64))
+}
+
+/// Classify one prebuilt model through the scatter-gather path and
+/// render its detection object (byte-identical to the offline CLI's).
+#[allow(clippy::too_many_arguments)]
+fn classify_one(
+    shared: &Arc<Shared>,
+    repo: &Arc<RepoState>,
+    name: &str,
+    model: &Arc<CstBbs>,
+    threshold: Option<f64>,
+    deadline: Option<Instant>,
+    trace_id: u64,
+    shard_ns: &mut [u64],
+) -> Result<Json, (&'static str, String)> {
+    if let Some(t) = threshold {
+        if !(0.0..=1.0).contains(&t) {
+            return Err((KIND_BAD_REQUEST, format!("threshold out of range: {t}")));
+        }
+    }
+    let merged = scatter_scan(shared, repo, model, deadline, trace_id, shard_ns).map_err(|_| {
+        (
+            KIND_DEADLINE_EXCEEDED,
+            "deadline passed during similarity scan".to_string(),
+        )
+    })?;
+    let mut detection = repo.detector.detection_from(model, merged);
+    if let Some(t) = threshold {
+        // The threshold gates only the verdict, never the scan: scores
+        // are identical for every threshold, so a per-request override
+        // is exact.
+        detection.threshold = t;
+    }
+    Ok(detection_json(name, &detection))
 }
 
 /// Run one admitted job to an answer frame, pushing each stage's
@@ -1064,21 +1495,10 @@ fn execute(shared: &Arc<Shared>, job: &Job, stages: &mut Stages) -> Json {
         return fail(KIND_DEADLINE_EXCEEDED, "deadline passed while queued");
     }
 
-    let (name, source, victim_spec, sleep_ms) = match &job.request {
-        Request::Classify {
-            name,
-            program,
-            victim,
-            debug_sleep_ms,
-            ..
-        }
-        | Request::Model {
-            name,
-            program,
-            victim,
-            debug_sleep_ms,
-            ..
-        } => (name, program, victim, *debug_sleep_ms),
+    let sleep_ms = match &job.request {
+        Request::Classify { debug_sleep_ms, .. }
+        | Request::ClassifyBatch { debug_sleep_ms, .. }
+        | Request::Model { debug_sleep_ms, .. } => *debug_sleep_ms,
         // Control requests are answered inline by the handler and never
         // reach the queue.
         _ => return fail(KIND_BAD_REQUEST, "not a work request"),
@@ -1105,71 +1525,141 @@ fn execute(shared: &Arc<Shared>, job: &Job, stages: &mut Stages) -> Json {
         panic!("debug_panic requested by the client");
     }
 
-    // The "model" stage covers victim parse, assembly, and the builder's
-    // (possibly cached) CST-BBS lookup — everything before the scan.
-    let model_start = Instant::now();
-    let victim = match parse_victim(victim_spec) {
-        Ok(v) => v,
-        Err(e) => return fail(KIND_BAD_REQUEST, &e),
-    };
-    let program = match sca_isa::assemble(name, source) {
-        Ok(p) => p,
-        Err(e) => return fail(KIND_BAD_REQUEST, &format!("assembly failed: {e}")),
-    };
-    let model = match shared.builder.build_cst(&program, &victim) {
-        Ok(m) => m,
-        Err(e) => return fail(KIND_MODEL_ERROR, &e.to_string()),
-    };
-    stages.push("model", model_start.elapsed().as_nanos() as u64);
-
     let frame = match &job.request {
-        Request::Model { .. } => stages.time("render", || {
-            ok_frame(vec![
-                ("repo".into(), job.repo.json()),
-                ("model".into(), Json::Str(model_text(&model))),
-                ("steps".into(), Json::Num(model.steps().len() as f64)),
-            ])
-        }),
-        Request::Classify { threshold, .. } => {
-            if let Some(t) = threshold {
-                if !(0.0..=1.0).contains(t) {
-                    return fail(KIND_BAD_REQUEST, &format!("threshold out of range: {t}"));
+        Request::Model {
+            name,
+            program,
+            victim,
+            ..
+        } => {
+            let model = match build_model(shared, name, program, victim) {
+                Ok((model, ns)) => {
+                    stages.push("model", ns);
+                    model
                 }
-            }
-            let scan_start = Instant::now();
-            let detection = match job.deadline {
-                Some(d) => match job.repo.detector.classify_model_deadline(&model, d) {
-                    Ok(detection) => {
-                        stages.push("scan", scan_start.elapsed().as_nanos() as u64);
-                        detection
-                    }
-                    Err(_) => {
-                        // Record how long the aborted scan ran: that is
-                        // exactly the number a timeout post-mortem needs.
-                        stages.push("scan", scan_start.elapsed().as_nanos() as u64);
-                        return fail(
-                            KIND_DEADLINE_EXCEEDED,
-                            "deadline passed during similarity scan",
-                        );
-                    }
-                },
-                None => {
-                    let detection = job.repo.detector.classify_model(&model);
-                    stages.push("scan", scan_start.elapsed().as_nanos() as u64);
-                    detection
-                }
+                Err((kind, msg)) => return fail(kind, &msg),
             };
-            let mut detection = detection;
-            if let Some(t) = threshold {
-                // The threshold gates only the verdict, never the scan:
-                // scores are identical for every threshold, so a
-                // per-request override is exact.
-                detection.threshold = *t;
-            }
             stages.time("render", || {
                 ok_frame(vec![
                     ("repo".into(), job.repo.json()),
-                    ("detection".into(), detection_json(name, &detection)),
+                    ("model".into(), Json::Str(model_text(&model))),
+                    ("steps".into(), Json::Num(model.steps().len() as f64)),
+                ])
+            })
+        }
+        Request::Classify {
+            name,
+            program,
+            victim,
+            threshold,
+            ..
+        } => {
+            let model = match build_model(shared, name, program, victim) {
+                Ok((model, ns)) => {
+                    stages.push("model", ns);
+                    model
+                }
+                Err((kind, msg)) => return fail(kind, &msg),
+            };
+            let mut shard_ns = vec![0u64; shared.shard_pools.len()];
+            let scan_start = Instant::now();
+            let out = classify_one(
+                shared,
+                &job.repo,
+                name,
+                &model,
+                *threshold,
+                job.deadline,
+                job.trace_id,
+                &mut shard_ns,
+            );
+            // Record how long the scan ran even when it aborts: that is
+            // exactly the number a timeout post-mortem needs.
+            stages.push("scan", scan_start.elapsed().as_nanos() as u64);
+            stages.shard_scan_ns = shard_ns;
+            let detection = match out {
+                Ok(d) => d,
+                Err((kind, msg)) => return fail(kind, &msg),
+            };
+            stages.time("render", || {
+                ok_frame(vec![
+                    ("repo".into(), job.repo.json()),
+                    ("detection".into(), detection),
+                ])
+            })
+        }
+        Request::ClassifyBatch { programs, .. } => {
+            let mut model_ns = 0u64;
+            let mut scan_ns = 0u64;
+            let mut shard_ns = vec![0u64; shared.shard_pools.len()];
+            let mut results: Vec<Json> = Vec::with_capacity(programs.len());
+            for p in programs {
+                // The deadline covers the whole frame; once it passes,
+                // the remaining programs could only ever time out too,
+                // so the frame fails as a unit — exactly like a single
+                // classify that dies mid-scan.
+                if expired(job.deadline) {
+                    stages.push("model", model_ns);
+                    stages.push("scan", scan_ns);
+                    stages.shard_scan_ns = shard_ns;
+                    return fail(
+                        KIND_DEADLINE_EXCEEDED,
+                        &format!(
+                            "deadline passed after {} of {} programs",
+                            results.len(),
+                            programs.len()
+                        ),
+                    );
+                }
+                let one =
+                    build_model(shared, &p.name, &p.program, &p.victim).and_then(|(model, ns)| {
+                        model_ns += ns;
+                        let scan_start = Instant::now();
+                        let out = classify_one(
+                            shared,
+                            &job.repo,
+                            &p.name,
+                            &model,
+                            p.threshold,
+                            job.deadline,
+                            job.trace_id,
+                            &mut shard_ns,
+                        );
+                        scan_ns += scan_start.elapsed().as_nanos() as u64;
+                        out
+                    });
+                match one {
+                    Ok(detection) => {
+                        results.push(Json::Obj(vec![("detection".into(), detection)]));
+                    }
+                    Err((kind, msg)) if kind == KIND_DEADLINE_EXCEEDED => {
+                        stages.push("model", model_ns);
+                        stages.push("scan", scan_ns);
+                        stages.shard_scan_ns = shard_ns;
+                        return fail(kind, &msg);
+                    }
+                    // A bad program fails alone: its siblings' results
+                    // stay exact and keep their submission-order slots.
+                    Err((kind, msg)) => {
+                        sca_telemetry::counter("serve.batch_program_errors", 1);
+                        results.push(Json::Obj(vec![(
+                            "error".into(),
+                            Json::Obj(vec![
+                                ("kind".into(), Json::Str(kind.into())),
+                                ("message".into(), Json::Str(msg)),
+                            ]),
+                        )]));
+                    }
+                }
+            }
+            stages.push("model", model_ns);
+            stages.push("scan", scan_ns);
+            stages.shard_scan_ns = shard_ns;
+            sca_telemetry::counter("serve.batch_programs", programs.len() as u64);
+            stages.time("render", || {
+                ok_frame(vec![
+                    ("repo".into(), job.repo.json()),
+                    ("results".into(), Json::Arr(results)),
                 ])
             })
         }

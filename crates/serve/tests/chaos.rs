@@ -432,3 +432,99 @@ fn shed_requests_retry_with_backoff_and_eventually_land() {
     handle.shutdown();
     handle.join();
 }
+
+#[test]
+fn truncated_frame_mid_pipeline_fails_only_its_own_request() {
+    use std::io::BufRead;
+
+    let fx = fixture();
+    let handle = spawn(ServeConfig::new(&fx.repo)).expect("spawn server");
+
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = io::BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    // Three pipelined frames on one connection: a slow request tagged
+    // id 0, a frame cut off mid-line (the newline survives, the JSON
+    // does not), and a fast request tagged id 2 — all in flight at once.
+    let slow = sca_serve::with_request_id(
+        classify_request("slow", 400, false).to_json(),
+        &Json::Num(0.0),
+    );
+    let cut = classify_request("cut", 0, false).to_json().to_string();
+    let fast = sca_serve::with_request_id(
+        classify_request("fast", 0, false).to_json(),
+        &Json::Num(2.0),
+    );
+    write!(writer, "{slow}\n{}\n{fast}\n", &cut[..cut.len() / 2]).expect("write");
+    writer.flush().expect("flush");
+
+    // Exactly three responses, each attributable: the cut frame gets an
+    // untagged bad_request (it never parsed far enough to have an id),
+    // the tagged requests complete normally with their ids intact.
+    let mut ok_ids = Vec::new();
+    let mut rejects = 0;
+    let mut arrival = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let resp = Json::parse(line.trim_end()).expect("response is JSON");
+        if is_ok(&resp) {
+            let id = sca_serve::request_id(&resp)
+                .and_then(|id| id.as_u64())
+                .expect("tagged response lost its id");
+            let name = resp
+                .get("detection")
+                .and_then(|d| d.get("program"))
+                .and_then(Json::as_str)
+                .expect("detection.program");
+            assert_eq!(
+                name,
+                if id == 0 { "slow" } else { "fast" },
+                "id {id} routed to the wrong program"
+            );
+            ok_ids.push(id);
+            arrival.push(format!("ok:{id}"));
+        } else {
+            assert_eq!(error_kind(&resp), Some(KIND_BAD_REQUEST), "got {resp}");
+            assert!(
+                sca_serve::request_id(&resp).is_none(),
+                "the unparseable frame was answered with someone else's id: {resp}"
+            );
+            rejects += 1;
+            arrival.push("bad_request".into());
+        }
+    }
+    ok_ids.sort_unstable();
+    assert_eq!(ok_ids, vec![0, 2], "an in-flight request was lost");
+    assert_eq!(rejects, 1, "the cut frame was not rejected exactly once");
+    // The slow request finishes last: the rejection and the fast
+    // response overtook it, proving the failure never stalled the pipe.
+    assert_eq!(arrival[2], "ok:0", "unexpected arrival order: {arrival:?}");
+
+    // The connection is still usable after the mid-pipeline failure.
+    let probe = sca_serve::with_request_id(
+        classify_request("after", 0, false).to_json(),
+        &Json::Num(7.0),
+    );
+    writeln!(writer, "{probe}").expect("write");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    let resp = Json::parse(line.trim_end()).expect("response is JSON");
+    assert!(
+        is_ok(&resp),
+        "connection broken after the cut frame: {resp}"
+    );
+    assert_eq!(
+        sca_serve::request_id(&resp).and_then(|id| id.as_u64()),
+        Some(7)
+    );
+
+    assert_alive(&handle);
+    handle.shutdown();
+    handle.join();
+}

@@ -495,3 +495,44 @@ fn slow_requests_dump_summaries_and_span_trees_to_the_slow_log() {
         "dump does not name the client's trace id"
     );
 }
+
+/// Regression: the per-request trace id is burned *before* the
+/// frame-size limit check, so even the error frame answering an
+/// oversized request carries one — there is no frame shape a client can
+/// send that yields an unnameable response.
+#[test]
+fn oversize_frame_rejection_carries_a_trace_id() {
+    let _guard = telemetry_lock();
+    let fx = fixture();
+    let mut cfg = ServeConfig::new(&fx.repo_all);
+    cfg.max_frame_len = 256;
+    let handle = spawn(cfg).expect("spawn server");
+
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writeln!(writer, "{}", "x".repeat(4096)).expect("write");
+    writer.flush().expect("flush");
+
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    let resp = Json::parse(line.trim_end()).expect("response is JSON");
+    assert_eq!(error_kind(&resp), Some(protocol::KIND_BAD_REQUEST));
+    assert!(
+        resp.get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("256-byte limit"),
+        "unexpected message: {resp}"
+    );
+    protocol::trace_id(&resp)
+        .unwrap_or_else(|| panic!("oversize rejection frame without a trace id: {resp}"));
+
+    // The connection was closed after the rejection.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).expect("read eof"), 0);
+
+    handle.shutdown();
+    handle.join();
+}

@@ -447,3 +447,219 @@ fn stats_reports_counters_and_shutdown_joins_cleanly() {
     assert!(is_ok(&resp));
     handle.join();
 }
+
+#[test]
+fn sharded_server_detections_match_offline_at_every_shard_count() {
+    let fx = fixture();
+    // The offline path, once per target: what `scaguard classify --json`
+    // prints. Targets include each family's PoC and the shared fixture
+    // program, so both attack and near-miss shapes cross the wire.
+    let repo = load_repository(&fx.repo_all).expect("load repo");
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold");
+    let builder = ModelBuilder::new(&ModelingConfig::default());
+    let victim = protocol::parse_victim("shared:3").expect("victim");
+    let targets: Vec<(String, String)> = fx
+        .pocs
+        .iter()
+        .map(|(f, s)| (format!("poc-{f}"), s.program.disasm()))
+        .chain([("target".to_string(), fx.target_src.clone())])
+        .collect();
+    let offline: Vec<String> = targets
+        .iter()
+        .map(|(name, src)| {
+            let program = sca_isa::assemble(name, src).expect("assemble");
+            let model = builder.build_cst(&program, &victim).expect("model");
+            detection_json(name, &detector.classify_model(&model)).to_string()
+        })
+        .collect();
+
+    for shards in [1usize, 2, 4] {
+        let mut cfg = ServeConfig::new(&fx.repo_all);
+        cfg.shards = shards;
+        let handle = spawn(cfg).expect("spawn server");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(
+            stats
+                .get("stats")
+                .and_then(|s| s.get("shards"))
+                .and_then(Json::as_u64),
+            Some(shards as u64)
+        );
+        for ((name, src), want) in targets.iter().zip(&offline) {
+            let resp = client.classify(name, src, "shared:3").expect("classify");
+            assert!(is_ok(&resp), "classify failed: {resp}");
+            let wire = resp.get("detection").expect("detection").to_string();
+            assert_eq!(
+                want, &wire,
+                "shards={shards} target={name}: wire diverged from offline"
+            );
+        }
+        assert_eq!(handle.stats().shed, 0);
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+#[test]
+fn classify_batch_returns_per_program_results_in_submission_order() {
+    let fx = fixture();
+    let mut cfg = ServeConfig::new(&fx.repo_all);
+    cfg.shards = 2;
+    let handle = spawn(cfg).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // One attack, one benign, one per-program failure (unknown victim
+    // kind), then another attack: the failure must not poison siblings,
+    // and results must come back in submission order.
+    let programs = vec![
+        sca_serve::BatchProgram {
+            name: "first".into(),
+            program: fx.target_src.clone(),
+            victim: "shared:3".into(),
+            threshold: None,
+        },
+        sca_serve::BatchProgram {
+            name: "benign".into(),
+            program: "  halt\n".into(),
+            victim: "shared:3".into(),
+            threshold: None,
+        },
+        sca_serve::BatchProgram {
+            name: "broken".into(),
+            program: fx.target_src.clone(),
+            victim: "wat:1".into(),
+            threshold: None,
+        },
+        sca_serve::BatchProgram {
+            name: "last".into(),
+            program: fx.target_src.clone(),
+            victim: "shared:3".into(),
+            threshold: Some(0.9),
+        },
+    ];
+    let results = client.submit_batch(&programs).expect("batch");
+    assert_eq!(results.len(), programs.len());
+
+    // Each successful slot is byte-identical to the same program sent
+    // through a plain classify frame.
+    for (i, p) in programs.iter().enumerate() {
+        if p.name == "broken" {
+            continue;
+        }
+        let solo = client
+            .send(&Request::Classify {
+                name: p.name.clone(),
+                program: p.program.clone(),
+                victim: p.victim.clone(),
+                threshold: p.threshold,
+                deadline_ms: None,
+                debug_sleep_ms: 0,
+                debug_panic: false,
+            })
+            .expect("solo classify");
+        assert!(is_ok(&solo), "solo classify failed: {solo}");
+        let batched = results[i].get("detection").expect("detection in slot");
+        assert_eq!(
+            batched
+                .get("program")
+                .and_then(Json::as_str)
+                .expect("program name"),
+            p.name,
+            "slot {i} out of submission order"
+        );
+        assert_eq!(
+            batched.to_string(),
+            solo.get("detection").unwrap().to_string(),
+            "slot {i} ({}) diverged from the solo classify",
+            p.name
+        );
+    }
+    let err = results[2].get("error").expect("error object in slot 2");
+    assert_eq!(
+        err.get("kind").and_then(Json::as_str),
+        Some(KIND_BAD_REQUEST)
+    );
+    assert!(err
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("wat"));
+
+    // The whole batch was one queue slot: 1 batch + 3 solo classifies.
+    assert_eq!(handle.stats().received, 4);
+    assert_eq!(handle.stats().completed, 4);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn pipelined_responses_may_arrive_out_of_order_and_reassemble_in_order() {
+    let fx = fixture();
+    let handle = spawn(ServeConfig::new(&fx.repo_all)).expect("spawn server");
+
+    // Raw socket first, to observe the wire order: a slow request tagged
+    // id 0 followed by two fast ones. With 4 workers the fast responses
+    // overtake the slow one, so the first frame off the wire is not id 0.
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    for (id, sleep) in [(0u64, 500u64), (1, 0), (2, 0)] {
+        let frame = sca_serve::with_request_id(
+            classify_request(&format!("p{id}"), sleep, None).to_json(),
+            &Json::Num(id as f64),
+        );
+        writeln!(writer, "{frame}").expect("write");
+    }
+    writer.flush().expect("flush");
+    let mut wire_order = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let resp = Json::parse(line.trim_end()).expect("response is JSON");
+        assert!(is_ok(&resp), "pipelined request failed: {resp}");
+        let id = sca_serve::request_id(&resp)
+            .and_then(|id| id.as_u64())
+            .expect("response carries its request id");
+        let name = resp
+            .get("detection")
+            .and_then(|d| d.get("program"))
+            .and_then(Json::as_str)
+            .expect("detection.program")
+            .to_string();
+        assert_eq!(name, format!("p{id}"), "id routed to the wrong program");
+        wire_order.push(id);
+    }
+    let mut sorted = wire_order.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![0, 1, 2], "a response was lost or duplicated");
+    assert_ne!(
+        wire_order[0], 0,
+        "the slow request was first off the wire — no pipelining observed"
+    );
+    drop(writer);
+
+    // The blocking client hides the reordering: responses come back in
+    // submission order regardless of completion order.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let frames: Vec<Json> = [("slow", 300u64), ("mid", 0), ("quick", 0)]
+        .iter()
+        .map(|(name, sleep)| classify_request(name, *sleep, None).to_json())
+        .collect();
+    let responses = client.pipeline(&frames).expect("pipeline");
+    let names: Vec<&str> = responses
+        .iter()
+        .map(|r| {
+            assert!(is_ok(r), "pipelined request failed: {r}");
+            r.get("detection")
+                .and_then(|d| d.get("program"))
+                .and_then(Json::as_str)
+                .expect("detection.program")
+        })
+        .collect();
+    assert_eq!(names, ["slow", "mid", "quick"]);
+
+    handle.shutdown();
+    handle.join();
+}

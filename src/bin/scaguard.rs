@@ -72,36 +72,43 @@ fn usage() -> &'static str {
   scaguard explain <program.sasm> --repo <repo-file> [--victim ...]
       show the DTW alignment against the best-matching PoC model
   scaguard serve <repo-file> [--addr <host:port>] [--workers <n>]
-          [--queue-depth <n>] [--deadline-ms <n>] [--threshold <0..1>]
-          [--io-timeout-ms <n>] [--metrics] [--flight-capacity <n>]
-          [--slow-ms <n>] [--slow-log <out.jsonl>]
+          [--shards <n>] [--queue-depth <n>] [--deadline-ms <n>]
+          [--threshold <0..1>] [--io-timeout-ms <n>] [--metrics]
+          [--flight-capacity <n>] [--slow-ms <n>] [--slow-log <out.jsonl>]
       run the resident detection service on the repository: newline-
-      delimited JSON over TCP (classify, model, reload-repo, stats,
-      metrics, flight, shutdown), bounded admission queue, fixed worker
-      pool; prints `listening on <addr>` once ready and runs until a
-      client sends `shutdown`; --addr defaults to 127.0.0.1:0
-      (ephemeral port); --io-timeout-ms disconnects a client that
+      delimited JSON over TCP (classify, classify-batch, model,
+      reload-repo, stats, metrics, flight, shutdown), bounded admission
+      queue, fixed worker pool; prints `listening on <addr>` once ready
+      and runs until a client sends `shutdown`; --addr defaults to
+      127.0.0.1:0 (ephemeral port); --shards splits the repository
+      across n shard-local scan pools and scatter-gathers every
+      classify across them (default 1) — detections are byte-identical
+      at any shard count; --io-timeout-ms disconnects a client that
       stalls mid-frame or never drains responses (default 30000; 0
       disables); --metrics enables the telemetry registry so `metrics`
       reports counters/histograms and spans carry trace ids; requests
       slower than --slow-ms dump their summary and span tree to
       --slow-log (JSONL; 0 dumps everything); --flight-capacity sizes
       the always-on ring of per-request summaries (default 256)
-  scaguard submit <program.sasm> --addr <host:port> [--victim ...]
-          [--threshold <0..1>] [--deadline-ms <n>] [--retries <n>]
-          [--json] [--timings]
-      classify a program against a running `scaguard serve`; --json
-      output is byte-identical to offline `classify --json`;
+  scaguard submit <program.sasm>... --addr <host:port> [--victim ...]
+          [--batch <n>] [--threshold <0..1>] [--deadline-ms <n>]
+          [--retries <n>] [--json] [--timings]
+      classify one or more programs against a running `scaguard serve`;
+      --json output is byte-identical to offline `classify --json`, one
+      detection object per program in submission order; several
+      programs ride `classify-batch` frames of --batch programs each
+      (default: all in one frame), pipelined on a single connection;
       --retries re-sends with jittered backoff when the server sheds
       the request as `overloaded` (never after it was admitted);
-      --timings prints the request's trace id and per-stage timing
+      --timings prints each request's trace id and per-stage timing
       breakdown on stderr (stdout is unchanged)
   scaguard stats <telemetry.jsonl>
   scaguard stats --addr <host:port> [--watch] [--interval-ms <n>]
       summarize a telemetry trace written by --telemetry (per-stage span
       timings, counters, histogram percentiles), or — with --addr —
       fetch a running server's `metrics` snapshot; --watch refreshes
-      the live view every --interval-ms (default 2000) until killed
+      the live view every --interval-ms (default 1000, minimum 100)
+      until killed
   scaguard asm <program.sasm>
       assemble and disassemble a program (syntax check)
   scaguard --help | -h | help
@@ -134,6 +141,8 @@ struct Options {
     timings: bool,
     watch: bool,
     interval_ms: u64,
+    shards: usize,
+    batch: Option<usize>,
     metrics: bool,
     slow_ms: Option<u64>,
     slow_log: Option<String>,
@@ -161,7 +170,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         retries: 0,
         timings: false,
         watch: false,
-        interval_ms: 2_000,
+        interval_ms: 1_000,
+        shards: 1,
+        batch: None,
         metrics: false,
         slow_ms: None,
         slow_log: None,
@@ -255,9 +266,30 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or("--interval-ms needs a value")?
                     .parse()
                     .map_err(|e| format!("bad interval: {e}"))?;
-                if opts.interval_ms == 0 {
-                    return Err("--interval-ms must be at least 1".into());
+                if opts.interval_ms < 100 {
+                    return Err("--interval-ms must be at least 100".into());
                 }
+            }
+            "--shards" => {
+                opts.shards = it
+                    .next()
+                    .ok_or("--shards needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad shard count: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--batch" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--batch needs a size")?
+                    .parse()
+                    .map_err(|e| format!("bad batch size: {e}"))?;
+                if n == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+                opts.batch = Some(n);
             }
             "--metrics" => opts.metrics = true,
             "--slow-ms" => {
@@ -486,6 +518,7 @@ fn cmd_serve(repo: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
         config.addr = addr.clone();
     }
     config.workers = opts.workers;
+    config.shards = opts.shards;
     config.queue_depth = opts.queue_depth;
     config.deadline_ms = opts.deadline_ms;
     config.threshold = opts.threshold;
@@ -502,18 +535,33 @@ fn cmd_serve(repo: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// Classify a program against a running `scaguard serve` instance.
-fn cmd_submit(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
-    let addr = opts
-        .addr
-        .as_deref()
-        .ok_or("submit needs --addr <host:port> of a running `scaguard serve`")?;
+/// Read a program source and its display name (the file stem).
+fn read_program_source(path: &str) -> Result<(String, String), Box<dyn Error>> {
     let source = fs::read_to_string(path)?;
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("program")
         .to_string();
+    Ok((name, source))
+}
+
+/// Classify one or more programs against a running `scaguard serve`
+/// instance. A single program without `--batch` keeps the classic
+/// one-frame request; anything else rides `classify-batch` frames,
+/// pipelined on one connection.
+fn cmd_submit(paths: &[String], opts: &Options) -> Result<(), Box<dyn Error>> {
+    let addr = opts
+        .addr
+        .as_deref()
+        .ok_or("submit needs --addr <host:port> of a running `scaguard serve`")?;
+    if paths.is_empty() {
+        return Err("submit needs at least one <program.sasm> path".into());
+    }
+    if paths.len() > 1 || opts.batch.is_some() {
+        return cmd_submit_batch(paths, addr, opts);
+    }
+    let (name, source) = read_program_source(&paths[0])?;
     let mut client =
         Client::connect_with(addr, ClientConfig::default().with_retries(opts.retries))?;
     let request = Request::Classify {
@@ -562,6 +610,96 @@ fn cmd_submit(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
         return Ok(());
     }
     print_remote_detection(detection)
+}
+
+/// The batched submit path: chunk the programs into `classify-batch`
+/// frames of `--batch` programs each (default: one frame with all of
+/// them), keep every frame in flight at once on one pipelined
+/// connection, and print the per-program results in submission order.
+/// A per-program failure is reported on stderr and turns the exit
+/// status, but never hides its siblings' detections.
+fn cmd_submit_batch(paths: &[String], addr: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
+    let programs = paths
+        .iter()
+        .map(|path| {
+            let (name, source) = read_program_source(path)?;
+            Ok(sca_serve::BatchProgram {
+                name,
+                program: source,
+                victim: opts.victim_spec.clone(),
+                threshold: opts.threshold_set.then_some(opts.threshold),
+            })
+        })
+        .collect::<Result<Vec<_>, Box<dyn Error>>>()?;
+    let chunk = opts.batch.unwrap_or(programs.len()).max(1);
+    let frames: Vec<Json> = programs
+        .chunks(chunk)
+        .map(|c| {
+            let request = Request::ClassifyBatch {
+                programs: c.to_vec(),
+                deadline_ms: opts.deadline_ms,
+                debug_sleep_ms: 0,
+            };
+            if opts.timings {
+                protocol::with_timings_flag(&request)
+            } else {
+                request.to_json()
+            }
+        })
+        .collect();
+    let mut client =
+        Client::connect_with(addr, ClientConfig::default().with_retries(opts.retries))?;
+    let responses = client.pipeline(&frames)?;
+
+    let mut failures = 0usize;
+    let mut slots = programs.iter();
+    for response in &responses {
+        if let Some(kind) = protocol::error_kind(response) {
+            let message = response
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("(no message)");
+            return Err(format!("server refused a batch frame ({kind}): {message}").into());
+        }
+        if opts.timings {
+            if let Some(trace) = protocol::trace_id(response) {
+                eprintln!("trace_id: {trace}");
+            }
+            if let Some(timings) = protocol::timings(response) {
+                print_wire_timings(timings);
+            }
+        }
+        let Some(Json::Arr(results)) = response.get("results") else {
+            return Err("malformed response: no results array".into());
+        };
+        for result in results {
+            let program = slots.next().ok_or("server returned too many results")?;
+            if let Some(err) = result.get("error") {
+                failures += 1;
+                let kind = err.get("kind").and_then(Json::as_str).unwrap_or("?");
+                let message = err.get("message").and_then(Json::as_str).unwrap_or("?");
+                eprintln!("error: {} ({kind}): {message}", program.name);
+                continue;
+            }
+            let detection = result
+                .get("detection")
+                .ok_or("malformed result: neither detection nor error")?;
+            if opts.json {
+                println!("{detection}");
+            } else {
+                println!("{}:", program.name);
+                print_remote_detection(detection)?;
+            }
+        }
+    }
+    if slots.next().is_some() {
+        return Err("server returned too few results".into());
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} programs failed", programs.len()).into());
+    }
+    Ok(())
 }
 
 /// Render a response's `timings` object on stderr, one `stage=ms` pair
@@ -881,12 +1019,18 @@ fn run() -> Result<(), Box<dyn Error>> {
         }
         return cmd_stats(path);
     }
+    if cmd == "submit" {
+        // Every leading non-flag argument is a program path.
+        let split = rest
+            .iter()
+            .position(|a| a.starts_with("--"))
+            .unwrap_or(rest.len());
+        let opts = parse_options(&rest[split..])?;
+        return cmd_submit(&rest[..split], &opts);
+    }
     let opts = parse_options(&rest[1..])?;
     if cmd == "serve" {
         return cmd_serve(path, &opts);
-    }
-    if cmd == "submit" {
-        return cmd_submit(path, &opts);
     }
     if opts.telemetry.is_some() {
         sca_telemetry::set_enabled(true);
