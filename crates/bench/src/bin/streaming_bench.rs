@@ -1,0 +1,222 @@
+//! The streaming detection bench: the online scorer's detection latency
+//! per attack family and the (τ, k) alarm-policy sweep, written as
+//! `BENCH_streaming.json` at the workspace root.
+//!
+//! Before anything is measured, the incremental modeler's core invariant
+//! is asserted: the model of every streamed prefix is byte-identical to
+//! modeling that prefix from scratch (the wire and eval layers lean on
+//! this for their "anytime" semantics).
+//!
+//! * `cargo run -p sca-bench --release --bin streaming_bench` — full run;
+//!   asserts zero benign false alarms at the default policy and early
+//!   alarms (mean alarm position under half the trace), then writes the
+//!   JSON report.
+//! * `... -- --smoke` — reduced scale, invariants only, no file write;
+//!   the CI verify step runs this.
+
+use std::time::Instant;
+
+use sca_attacks::poc::{self, PocParams};
+use sca_attacks::AttackFamily;
+use sca_eval::experiments::{streaming_latency, StreamingReport};
+use sca_eval::EvalConfig;
+use sca_telemetry::Json;
+use scaguard::{model_text, ModelingConfig, StreamConfig, StreamingModeler};
+
+/// Assert the streamed prefix model is byte-identical to the batch model
+/// of the same prefix, at a few increment sizes over one PoC.
+fn assert_prefix_identity() {
+    let cfg = ModelingConfig::default();
+    let sample = poc::representative(AttackFamily::FlushReload, &PocParams::default());
+    for increment in [1u64, 7, 64, 1024] {
+        let mut modeler =
+            StreamingModeler::begin(&sample.program, &sample.victim, &cfg).expect("begin");
+        while !modeler.is_done() {
+            modeler.advance(increment);
+            let steps = modeler.steps();
+            let mut batch_cfg = cfg.clone();
+            batch_cfg.cpu.max_steps = steps;
+            let batch = scaguard::build_model(&sample.program, &sample.victim, &batch_cfg)
+                .expect("batch prefix model");
+            assert_eq!(
+                model_text(&modeler.model_cst()),
+                model_text(&batch.cst_bbs),
+                "prefix model diverges at step {steps} (increment {increment})"
+            );
+        }
+    }
+}
+
+fn family_json(report: &StreamingReport) -> Json {
+    Json::Arr(
+        report
+            .families
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("family".into(), Json::Str(r.family.abbrev().into())),
+                    ("detected".into(), Json::Num(r.detected as f64)),
+                    ("total".into(), Json::Num(r.total as f64)),
+                    (
+                        "mean_steps_to_alarm".into(),
+                        Json::Num(r.mean_steps_to_alarm.round()),
+                    ),
+                    (
+                        "mean_trace_fraction".into(),
+                        Json::Num((r.mean_trace_fraction * 1000.0).round() / 1000.0),
+                    ),
+                    (
+                        "mean_trace_steps".into(),
+                        Json::Num(r.mean_trace_steps.round()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn sweep_json(report: &StreamingReport) -> Json {
+    Json::Arr(
+        report
+            .sweep
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("threshold".into(), Json::Num(p.threshold)),
+                    ("sustain".into(), Json::Num(f64::from(p.sustain))),
+                    ("detected".into(), Json::Num(p.detected as f64)),
+                    ("attack_total".into(), Json::Num(p.attack_total as f64)),
+                    ("false_alarms".into(), Json::Num(p.false_alarms as f64)),
+                    ("benign_total".into(), Json::Num(p.benign_total as f64)),
+                    (
+                        "mean_steps_to_alarm".into(),
+                        Json::Num(p.mean_steps_to_alarm.round()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    eprintln!("prefix identity: streamed models vs batch prefix models ...");
+    assert_prefix_identity();
+
+    let per_type = if smoke { 2 } else { 12 };
+    let mut cfg = EvalConfig::small(per_type);
+    cfg.benign_total = if smoke { 2 } else { 16 };
+    eprintln!(
+        "streaming {} attack variants + {} benign programs ...",
+        per_type * AttackFamily::ALL.len(),
+        cfg.benign_total
+    );
+    let start = Instant::now();
+    let report = streaming_latency(&cfg).expect("streaming eval");
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    let default = report
+        .sweep
+        .iter()
+        .find(|p| {
+            p.threshold == StreamConfig::DEFAULT_THRESHOLD
+                && p.sustain == StreamConfig::default().sustain
+        })
+        .expect("default policy on the sweep grid");
+    println!(
+        "streaming detection ({} attacks, {} benign, {}ms)",
+        default.attack_total,
+        default.benign_total,
+        wall_ns / 1_000_000
+    );
+    for row in &report.families {
+        println!(
+            "  {:<5} {:>2}/{:<2} detected, mean alarm at step {:>6.0} ({:.1}% of a {:.0}-step trace)",
+            row.family.abbrev(),
+            row.detected,
+            row.total,
+            row.mean_steps_to_alarm,
+            row.mean_trace_fraction * 100.0,
+            row.mean_trace_steps
+        );
+    }
+    println!(
+        "  default policy (tau {:.2}, k {}): {}/{} detected, {}/{} false alarms",
+        default.threshold,
+        default.sustain,
+        default.detected,
+        default.attack_total,
+        default.false_alarms,
+        default.benign_total
+    );
+
+    assert_eq!(
+        default.false_alarms, 0,
+        "benign programs alarmed at the default policy"
+    );
+    assert!(
+        default.detected * 2 >= default.attack_total,
+        "under half the attacks detected: {}/{}",
+        default.detected,
+        default.attack_total
+    );
+    let detected_rows: Vec<_> = report.families.iter().filter(|r| r.detected > 0).collect();
+    assert!(!detected_rows.is_empty(), "no family ever alarmed");
+    let mean_fraction = detected_rows
+        .iter()
+        .map(|r| r.mean_trace_fraction)
+        .sum::<f64>()
+        / detected_rows.len() as f64;
+    assert!(
+        mean_fraction < 0.5,
+        "alarms are not early: mean alarm position {:.2} of the trace",
+        mean_fraction
+    );
+
+    if smoke {
+        eprintln!("smoke: invariants hold; skipping BENCH_streaming.json");
+        return;
+    }
+
+    let json = Json::Obj(vec![
+        (
+            "bench".into(),
+            Json::Str("streaming online detection".into()),
+        ),
+        (
+            "workload".into(),
+            Json::Obj(vec![
+                ("attacks".into(), Json::Num(default.attack_total as f64)),
+                ("benign".into(), Json::Num(default.benign_total as f64)),
+                ("variants_per_type".into(), Json::Num(per_type as f64)),
+                (
+                    "increment".into(),
+                    Json::Num(StreamConfig::default().increment as f64),
+                ),
+                ("wall_ns".into(), Json::Num(wall_ns as f64)),
+            ]),
+        ),
+        (
+            "default_policy".into(),
+            Json::Obj(vec![
+                ("threshold".into(), Json::Num(default.threshold)),
+                ("sustain".into(), Json::Num(f64::from(default.sustain))),
+                ("detected".into(), Json::Num(default.detected as f64)),
+                (
+                    "false_alarms".into(),
+                    Json::Num(default.false_alarms as f64),
+                ),
+                (
+                    "mean_steps_to_alarm".into(),
+                    Json::Num(default.mean_steps_to_alarm.round()),
+                ),
+            ]),
+        ),
+        ("families".into(), family_json(&report)),
+        ("sweep".into(), sweep_json(&report)),
+        ("prefix_byte_identity".into(), Json::Bool(true)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+    std::fs::write(out, format!("{json}\n")).expect("write BENCH_streaming.json");
+    eprintln!("wrote {out}");
+}

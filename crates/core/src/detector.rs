@@ -492,12 +492,41 @@ impl Detector {
         target: &CstBbs,
         deadline: Option<Instant>,
     ) -> Result<Option<(usize, f64)>, DeadlineExceeded> {
+        self.scan_best_seeded(target, None, deadline)
+    }
+
+    /// [`Detector::scan_best`] with phase 1's best-so-far cutoff
+    /// pre-seeded: `seed` is an entry index plus that entry's **exact**
+    /// DTW distance to `target`, known before the scan starts (a
+    /// streaming session carries the previous increment's winner forward
+    /// via [`crate::engine::PrefixDtw`]).
+    ///
+    /// The result is bitwise identical to the unseeded scan. Every prune
+    /// requires a lower bound strictly above the cutoff, and the cutoff
+    /// never drops below the true best distance `d*` (the seed is an
+    /// exact distance of one entry, so `seed.1 >= d*`); hence every entry
+    /// with distance `<= d*` still completes its DTW (a distance equal to
+    /// the cutoff never abandons — the row minimum is a lower bound on
+    /// the final distance), and the tie rule (minimum distance, later
+    /// index) resolves over the same completed set. Seeding only skips
+    /// comparisons that provably cannot win.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] when `deadline` passes mid-scan.
+    pub fn scan_best_seeded(
+        &self,
+        target: &CstBbs,
+        seed: Option<(usize, f64)>,
+        deadline: Option<Instant>,
+    ) -> Result<Option<(usize, f64)>, DeadlineExceeded> {
         let mut state = self.lock_scan();
         let p1 = scan_phase1(
             &mut state,
             &self.repo,
             self.index.as_ref(),
             target,
+            seed,
             deadline,
         )?;
         flush_scan_counts(&p1.counts);
@@ -1131,7 +1160,7 @@ fn scan_target(
     target: &CstBbs,
     deadline: Option<Instant>,
 ) -> Result<ScanResult, DeadlineExceeded> {
-    let mut p1 = scan_phase1(state, repo, index, target, deadline)?;
+    let mut p1 = scan_phase1(state, repo, index, target, None, deadline)?;
     let scores = render_scores(
         repo,
         &p1.p0.target,
@@ -1166,13 +1195,15 @@ fn scan_phase1<'ix>(
     repo: &ModelRepository,
     index: Option<&'ix RepoIndex>,
     target: &CstBbs,
+    seed: Option<(usize, f64)>,
     deadline: Option<Instant>,
 ) -> Result<Phase1<'ix>, DeadlineExceeded> {
     let ScanState { engine, prepared } = state;
     let mut counts = ScanCounts::default();
     let p0 = phase0(engine, prepared, index, target, &mut counts);
     let n = repo.len();
-    let mut best: Option<(usize, f64)> = None;
+    debug_assert!(seed.is_none_or(|(i, _)| i < n));
+    let mut best: Option<(usize, f64)> = seed;
     let mut lb1c = vec![f64::NAN; n];
     let mut lb2c = vec![f64::NAN; n];
     // Lazy visit order: a min-heap over `(key bits, index)` pops entries
@@ -1382,6 +1413,40 @@ mod tests {
                 assert_eq!(e.score, true_score);
             } else {
                 assert!(e.score >= true_score);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_scan_matches_unseeded_bitwise() {
+        let mut d = Detector::new(repo4(), 0.2).unwrap();
+        for indexed in [false, true] {
+            if indexed {
+                d.set_index(d.build_index()).unwrap();
+            }
+            for (t, marker) in [(1usize, 0u64), (4, 0), (5, 1), (10, 1)] {
+                let target = dummy_model(t, marker);
+                let want = d.scan_best(&target, None).unwrap();
+                // Seed with the true winner's exact distance (the case a
+                // streaming session produces), and with every other
+                // entry's exact distance (a stale tracked entry after the
+                // winner changed): all must reproduce the unseeded result
+                // bit for bit.
+                for i in 0..d.repository().len() {
+                    let exact = crate::similarity::model_distance(
+                        &target,
+                        &d.repository().entries()[i].model,
+                    );
+                    let got = d.scan_best_seeded(&target, Some((i, exact)), None).unwrap();
+                    let (wi, wd) = want.unwrap();
+                    let (gi, gd) = got.unwrap();
+                    assert_eq!(wi, gi, "indexed={indexed} t={t} marker={marker} seed={i}");
+                    assert_eq!(
+                        wd.to_bits(),
+                        gd.to_bits(),
+                        "indexed={indexed} t={t} marker={marker} seed={i}"
+                    );
+                }
             }
         }
     }

@@ -495,6 +495,116 @@ impl SimilarityEngine {
     }
 }
 
+/// A resumable exact DTW against one fixed repository entry, for targets
+/// that grow between scoring rounds (streaming detection re-scores an
+/// enrolled entry against every prefix of the model under construction).
+///
+/// The DP is row-major with the *target* as rows, so when a new target
+/// extends the previously scored one step-for-step, only the added rows
+/// are computed — the cached final DP row is resumed. Per-cell arithmetic
+/// and evaluation order replicate [`SimilarityEngine::distance`]'s
+/// no-cutoff path exactly; DTW's DP is transpose-symmetric under these
+/// per-cell operations (the three predecessor cells map onto each other
+/// and `f64::min` over non-negative values is commutative), so the result
+/// is **bitwise identical** to `distance()` in either argument order. If
+/// the new target does *not* extend the consumed prefix (streamed models
+/// are not append-only: a block's CST or the relevant-block set can
+/// change as evidence accumulates), the cache resets and the full DP
+/// reruns — correctness never depends on append-only growth.
+#[derive(Debug, Clone)]
+pub struct PrefixDtw {
+    /// Interned ids / change magnitudes of the fixed entry (columns).
+    eids: Vec<u32>,
+    echanges: Vec<f64>,
+    /// The target rows consumed so far, kept to validate extension.
+    tids: Vec<u32>,
+    tchanges: Vec<f64>,
+    /// The DP row after consuming `tids.len()` target rows.
+    row: Vec<f64>,
+    /// Times the cache had to reset because the target did not extend
+    /// the consumed prefix.
+    rebuilds: u64,
+}
+
+impl PrefixDtw {
+    /// A fresh resumable comparison against `entry`.
+    pub fn new(entry: &PreparedModel) -> PrefixDtw {
+        let m = entry.len();
+        let mut row = vec![f64::INFINITY; m + 1];
+        row[0] = 0.0;
+        PrefixDtw {
+            eids: entry.ids.clone(),
+            echanges: entry.changes.clone(),
+            tids: Vec::new(),
+            tchanges: Vec::new(),
+            row,
+            rebuilds: 0,
+        }
+    }
+
+    /// How often the cache reset because a target failed to extend the
+    /// previously consumed prefix.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Whether `target` extends the consumed prefix bitwise (same
+    /// interned ids, same change magnitudes) so the cached row can be
+    /// resumed.
+    fn extends(&self, target: &PreparedModel) -> bool {
+        let k = self.tids.len();
+        target.len() >= k
+            && target.ids[..k] == self.tids[..]
+            && target.changes[..k]
+                .iter()
+                .zip(&self.tchanges)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// The exact DTW distance from `target` to the fixed entry — bitwise
+    /// identical to `engine.distance(&target, &entry)` — computing only
+    /// the rows `target` adds beyond the last scored prefix when it
+    /// extends it.
+    pub fn distance_to(&mut self, engine: &mut SimilarityEngine, target: &PreparedModel) -> f64 {
+        let (n, m) = (target.len(), self.eids.len());
+        if n == 0 || m == 0 {
+            // Same conventions as `distance`; the DP cache is untouched.
+            return if n == 0 && m == 0 {
+                0.0
+            } else {
+                (n + m) as f64
+            };
+        }
+        if !self.extends(target) {
+            self.rebuilds += 1;
+            self.tids.clear();
+            self.tchanges.clear();
+            self.row.fill(f64::INFINITY);
+            self.row[0] = 0.0;
+        }
+        let mut cur = vec![f64::INFINITY; m + 1];
+        for i in self.tids.len()..n {
+            cur[0] = f64::INFINITY;
+            let ida = target.ids[i];
+            let ca = target.changes[i];
+            for j in 0..m {
+                // Identical arithmetic, identical order to
+                // `distance_bounded_until`'s no-cutoff path.
+                let dis = engine.instruction_distance(ida, self.eids[j]);
+                let csp = (ca - self.echanges[j]).abs();
+                let d = (dis + csp) / 2.0;
+                let best = self.row[j].min(self.row[j + 1]).min(cur[j]);
+                cur[j + 1] = d + best;
+            }
+            engine.stats.cells += m as u64;
+            std::mem::swap(&mut self.row, &mut cur);
+            self.tids.push(ida);
+            self.tchanges.push(ca);
+        }
+        self.row[m]
+    }
+}
+
 /// `|p - q| / max(p, q)` — the length-difference floor of a normalized
 /// Levenshtein distance (0 when both lengths are 0).
 fn len_ratio(p: u32, q: u32) -> f64 {
@@ -871,6 +981,51 @@ mod tests {
             engine.distance_bounded_until(&pa, &pb, f64::INFINITY, Some(far)),
             Ok(Bounded::Exact(d))
         );
+    }
+
+    #[test]
+    fn prefix_dtw_matches_batch_distance_at_every_prefix() {
+        let entry = model(&[
+            (&[ld(), flush()], 0.3),
+            (&[nop(), nop()], 0.1),
+            (&[ld(), flush(), ld()], 0.25),
+            (&[flush()], 0.6),
+        ]);
+        let target = model(&[
+            (&[ld(), flush(), ld()], 0.25),
+            (&[ld(), flush(), ld()], 0.2),
+            (&[nop()], 0.0),
+            (&[flush(), flush()], 0.5),
+            (&[ld()], 0.45),
+        ]);
+        let mut engine = SimilarityEngine::new();
+        let pe = engine.prepare(&entry);
+        let mut pd = PrefixDtw::new(&pe);
+        for k in 0..=target.len() {
+            let prefix: CstBbs = target.steps()[..k].to_vec().into_iter().collect();
+            let pp = engine.prepare(&prefix);
+            let resumed = pd.distance_to(&mut engine, &pp);
+            // Bitwise identity in both argument orders (the DP is
+            // transpose-symmetric).
+            assert_eq!(resumed.to_bits(), engine.distance(&pp, &pe).to_bits());
+            assert_eq!(resumed.to_bits(), engine.distance(&pe, &pp).to_bits());
+        }
+        assert_eq!(pd.rebuilds(), 0, "append-only growth must resume");
+
+        // A non-extending target (first step replaced) still scores
+        // exactly, through a reset.
+        let swapped = model(&[(&[nop()], 0.9), (&[ld()], 0.45)]);
+        let ps = engine.prepare(&swapped);
+        let d = pd.distance_to(&mut engine, &ps);
+        assert_eq!(d.to_bits(), engine.distance(&ps, &pe).to_bits());
+        assert_eq!(pd.rebuilds(), 1);
+
+        // Empty conventions match `distance`.
+        let pempty = engine.prepare(&CstBbs::default());
+        assert_eq!(pd.distance_to(&mut engine, &pempty), 4.0);
+        let mut pd_empty = PrefixDtw::new(&pempty);
+        assert_eq!(pd_empty.distance_to(&mut engine, &pempty), 0.0);
+        assert_eq!(pd_empty.distance_to(&mut engine, &ps), 2.0);
     }
 
     #[test]

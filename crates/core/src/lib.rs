@@ -54,6 +54,7 @@ pub mod modeling;
 pub mod persist;
 pub mod shard;
 pub mod similarity;
+pub mod stream;
 
 mod cst;
 mod detector;
@@ -63,7 +64,9 @@ pub use cst::{Cst, CstBbs, CstStep};
 pub use detector::{
     detection_json, Detection, Detector, EntryScore, InvalidThreshold, ModelRepository, RepoEntry,
 };
-pub use engine::{Bounded, DeadlineExceeded, EngineStats, PreparedModel, SimilarityEngine};
+pub use engine::{
+    Bounded, DeadlineExceeded, EngineStats, PrefixDtw, PreparedModel, SimilarityEngine,
+};
 pub use index::{repo_fingerprint, IndexConfig, IndexMismatch, QueryContext, RepoIndex};
 pub use modeling::{
     build_model, build_models, model_from_blocks, ModelError, ModelingConfig, ModelingOutcome,
@@ -76,3 +79,4 @@ pub use shard::{Shard, ShardedDetector};
 pub use similarity::{
     cst_distance, dtw, dtw_with_path, explain_similarity, levenshtein, similarity_score, Alignment,
 };
+pub use stream::{Alarm, StreamConfig, StreamSession, StreamUpdate, StreamingModeler};

@@ -173,10 +173,26 @@ pub(crate) fn collect_and_graph(
     config: &ModelingConfig,
 ) -> Result<TraceGraph, ModelError> {
     // Step 0: runtime data collection (HPC + PT substitutes). The machine
-    // itself emits the `pipeline.execute` span; `pipeline.collect` covers
-    // turning the raw trace into per-block aggregates.
+    // itself emits the `pipeline.execute` span.
     let mut machine = Machine::new(config.cpu.clone());
     let trace = machine.run(program, victim)?;
+    Ok(graph_from_trace(program, trace, config))
+}
+
+/// Steps 1–5 of the pipeline on an already-collected trace: per-block
+/// aggregation, relevant-block identification, and attack-relevant graph
+/// construction (Algorithm 1). Pure in `(program, trace, config)`, so a
+/// trace snapshotted from an in-progress [`sca_cpu::Execution`] yields
+/// exactly the graph a batch run cut off at the same prefix yields —
+/// the foundation of [`crate::stream::StreamingModeler`]'s prefix
+/// identity.
+pub(crate) fn graph_from_trace(
+    program: &Program,
+    trace: Trace,
+    config: &ModelingConfig,
+) -> TraceGraph {
+    // `pipeline.collect` covers turning the raw trace into per-block
+    // aggregates.
     let (cfg, hpc, sets) = {
         let mut sp = sca_telemetry::span("pipeline.collect");
         let cfg = Cfg::build(program);
@@ -224,14 +240,14 @@ pub(crate) fn collect_and_graph(
         (relevant, edges)
     };
 
-    Ok(TraceGraph {
+    TraceGraph {
         cfg,
         trace,
         potential,
         overlap,
         relevant,
         edges,
-    })
+    }
 }
 
 /// Steps 6-7: CST measurement per relevant block and flattening by

@@ -80,9 +80,33 @@ impl Shard {
         target: &CstBbs,
         deadline: Option<Instant>,
     ) -> Result<Option<(usize, f64)>, DeadlineExceeded> {
+        self.scan_best_seeded(target, None, deadline)
+    }
+
+    /// [`Shard::scan_best`] with a pre-scan cutoff seed (a **global**
+    /// `(index, exact distance)` pair; see
+    /// [`Detector::scan_best_seeded`]). A seed owned by another shard is
+    /// ignored — only the owning shard may start from it, because a
+    /// shard's winner must remain an exact distance of one of *its*
+    /// entries for [`ShardedDetector::merge`] to stay correct.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] when `deadline` passes mid-scan.
+    pub fn scan_best_seeded(
+        &self,
+        target: &CstBbs,
+        seed: Option<(usize, f64)>,
+        deadline: Option<Instant>,
+    ) -> Result<Option<(usize, f64)>, DeadlineExceeded> {
+        let local = seed.and_then(|(i, d)| {
+            i.checked_sub(self.offset)
+                .filter(|&l| l < self.len())
+                .map(|l| (l, d))
+        });
         Ok(self
             .detector
-            .scan_best(target, deadline)?
+            .scan_best_seeded(target, local, deadline)?
             .map(|(i, d)| (self.offset + i, d)))
     }
 }
@@ -232,6 +256,30 @@ impl ShardedDetector {
             .map(|s| s.scan_best(target, None).expect("no deadline was given"))
             .collect();
         self.detection_from(target, Self::merge(&per_shard))
+    }
+
+    /// Scatter-and-merge only: every shard scans its slice with the
+    /// optional seed routed to its owning shard, and the winners merge
+    /// under the scan's own tie rule. Bitwise identical to an unseeded
+    /// scatter (see [`Detector::scan_best_seeded`] for why); this is the
+    /// per-increment step of a streaming session, which keeps the
+    /// previous increment's winner as the seed and renders full scores
+    /// only when a caller asks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] when `deadline` passes mid-scan.
+    pub fn scan_best_seeded(
+        &self,
+        target: &CstBbs,
+        seed: Option<(usize, f64)>,
+        deadline: Option<Instant>,
+    ) -> Result<Option<(usize, f64)>, DeadlineExceeded> {
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            per_shard.push(shard.scan_best_seeded(target, seed, deadline)?);
+        }
+        Ok(Self::merge(&per_shard))
     }
 
     /// [`ShardedDetector::classify_model`] under a wall-clock deadline,

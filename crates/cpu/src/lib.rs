@@ -33,7 +33,7 @@ mod trace;
 mod victim;
 
 pub use hpc::{EventCounts, HpcEvent};
-pub use machine::{CpuConfig, LatencyModel, Machine, PrefetchPolicy, RunError};
+pub use machine::{CpuConfig, Execution, LatencyModel, Machine, PrefetchPolicy, RunError};
 pub use predictor::BranchPredictor;
 pub use trace::{SetAccess, SetAccessKind, Trace};
 pub use victim::Victim;

@@ -174,6 +174,10 @@ struct ProcState {
 }
 
 /// Trace-accumulation state for one run.
+///
+/// Cloneable so an in-progress [`Execution`] can snapshot its trace
+/// between increments without disturbing the run.
+#[derive(Debug, Clone)]
 struct Collector {
     inst_events: HashMap<u64, EventCounts>,
     inst_accesses: HashMap<u64, HashSet<u64>>,
@@ -268,6 +272,17 @@ impl Collector {
             halted,
         }
     }
+}
+
+/// Architectural position of a run between committed instructions: the
+/// loop-local state of the batch run loop, lifted out so a run can be
+/// suspended after any commit and resumed later.
+#[derive(Debug, Clone, Default)]
+struct Cursor {
+    pc: usize,
+    steps: u64,
+    halted: bool,
+    yields: u64,
 }
 
 impl Machine {
@@ -396,17 +411,58 @@ impl Machine {
         let mut sp = sca_telemetry::span("pipeline.execute");
         self.reset();
         let mut col = Collector::new(&self.cfg);
-        let line = self.cfg.hierarchy.llc.line_size;
-        let mut pc = 0usize;
-        let mut steps = 0u64;
-        let mut halted = false;
-        let mut yields = 0u64;
+        let mut cur = Cursor::default();
 
-        while steps < self.cfg.max_steps {
-            let Some(&inst) = program.get(pc) else { break };
+        while cur.steps < self.cfg.max_steps {
+            if !self.step_commit(program, victim, victim_program, &mut col, &mut cur) {
+                break;
+            }
+        }
+
+        let trace = col.finish(self.cycles, cur.steps, cur.halted);
+        if sp.is_recording() {
+            sp.attr("program", program.name());
+            sp.attr("steps", cur.steps);
+            sp.attr("cycles", self.cycles);
+            sp.attr("halted", cur.halted);
+            sp.attr("set_trace_len", trace.set_trace.len());
+            sca_telemetry::counter("cpu.instructions_retired", cur.steps);
+            for e in HpcEvent::ALL {
+                let n = trace.totals[e];
+                if n > 0 {
+                    sca_telemetry::counter(&format!("cpu.hpc.{e:?}"), n);
+                }
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Commit exactly one instruction: the body of the batch run loop,
+    /// shared verbatim with incremental [`Execution`]s so that a run
+    /// advanced in any increment pattern is state-identical to a batch
+    /// run over the same committed prefix.
+    ///
+    /// Returns `false` when the cursor must stop advancing: no
+    /// instruction exists at `cur.pc` (the program ran off its end —
+    /// nothing was committed) or the committed instruction was `halt`.
+    fn step_commit(
+        &mut self,
+        program: &Program,
+        victim: &Victim,
+        victim_program: Option<(&Program, u64)>,
+        col: &mut Collector,
+        cur: &mut Cursor,
+    ) -> bool {
+        let line = self.cfg.hierarchy.llc.line_size;
+        {
+            let pc = cur.pc;
+            let Some(&inst) = program.get(pc) else {
+                return false;
+            };
             let inst_addr = program.addr_of(pc);
             col.first_seen.entry(inst_addr).or_insert(self.cycles);
-            steps += 1;
+            cur.steps += 1;
+            let steps = cur.steps;
             self.cycles += self.cfg.latency.base;
 
             // Instruction fetch.
@@ -429,12 +485,12 @@ impl Machine {
                 Inst::MovReg { dst, src } => self.regs[dst.index()] = self.reg(src),
                 Inst::Load { dst, addr } => {
                     let ea = Self::effective_addr(&self.regs, &addr);
-                    self.data_access(&mut col, inst_addr, ea, false, line, steps);
+                    self.data_access(col, inst_addr, ea, false, line, steps);
                     self.regs[dst.index()] = self.mem_read(ea);
                 }
                 Inst::Store { src, addr } => {
                     let ea = Self::effective_addr(&self.regs, &addr);
-                    self.data_access(&mut col, inst_addr, ea, true, line, steps);
+                    self.data_access(col, inst_addr, ea, true, line, steps);
                     let v = self.reg(src);
                     self.mem_write(ea, v);
                 }
@@ -464,7 +520,7 @@ impl Machine {
                         // Wrong-path (transient) execution: cache side
                         // effects persist, architectural state is squashed.
                         let wrong_pc = if predicted { target } else { pc + 1 };
-                        self.speculate(program, wrong_pc, &mut col, line);
+                        self.speculate(program, wrong_pc, col, line);
                     }
                     self.pred.update(inst_addr, taken);
                     next_pc = if taken { target } else { pc + 1 };
@@ -501,13 +557,13 @@ impl Machine {
                     self.cycles += self.cfg.latency.vyield;
                     match victim_program {
                         Some((vp, quantum)) => self.step_victim(vp, quantum),
-                        None => victim.on_yield(&mut self.hier, yields),
+                        None => victim.on_yield(&mut self.hier, cur.yields),
                     }
-                    yields += 1;
+                    cur.yields += 1;
                 }
                 Inst::Nop => {}
                 Inst::Halt => {
-                    halted = true;
+                    cur.halted = true;
                 }
             }
 
@@ -519,28 +575,12 @@ impl Machine {
                 }
             }
             col.maybe_sample(self.cycles, self.cfg.sample_period);
-            if halted {
-                break;
+            if cur.halted {
+                return false;
             }
-            pc = next_pc;
+            cur.pc = next_pc;
         }
-
-        let trace = col.finish(self.cycles, steps, halted);
-        if sp.is_recording() {
-            sp.attr("program", program.name());
-            sp.attr("steps", steps);
-            sp.attr("cycles", self.cycles);
-            sp.attr("halted", halted);
-            sp.attr("set_trace_len", trace.set_trace.len());
-            sca_telemetry::counter("cpu.instructions_retired", steps);
-            for e in HpcEvent::ALL {
-                let n = trace.totals[e];
-                if n > 0 {
-                    sca_telemetry::counter(&format!("cpu.hpc.{e:?}"), n);
-                }
-            }
-        }
-        Ok(trace)
+        true
     }
 
     /// Execute up to `budget` committed victim-process instructions;
@@ -757,6 +797,125 @@ impl Machine {
     }
 }
 
+/// An in-progress run that is advanced a bounded number of committed
+/// instructions at a time and can snapshot its trace between increments —
+/// the substrate of streaming detection.
+///
+/// Each advance commits instructions through [`Machine`]'s own batch loop
+/// body ([`Machine::run`] uses the same code), so a run advanced in *any*
+/// increment pattern passes through exactly the states a batch run
+/// passes through: the trace snapshotted after `n` committed
+/// instructions is identical to the trace of a batch run configured
+/// with `max_steps = n`.
+///
+/// ```
+/// use sca_cpu::{CpuConfig, Execution, Victim};
+/// use sca_isa::ProgramBuilder;
+///
+/// # fn main() -> Result<(), sca_cpu::RunError> {
+/// let mut b = ProgramBuilder::new("three");
+/// b.nop();
+/// b.nop();
+/// b.halt();
+/// let mut exec = Execution::begin(CpuConfig::default(), &b.build(), &Victim::None)?;
+/// assert_eq!(exec.advance(2), 2);
+/// assert!(!exec.is_done());
+/// assert_eq!(exec.advance(100), 1); // the halt
+/// assert!(exec.is_done() && exec.trace().halted);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Execution {
+    machine: Machine,
+    program: Program,
+    victim: Victim,
+    col: Collector,
+    cur: Cursor,
+}
+
+impl Execution {
+    /// Start a run of `program` against `victim` from cold state without
+    /// committing any instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::EmptyProgram`] if the program has no
+    /// instructions.
+    pub fn begin(
+        cfg: CpuConfig,
+        program: &Program,
+        victim: &Victim,
+    ) -> Result<Execution, RunError> {
+        if program.is_empty() {
+            return Err(RunError::EmptyProgram);
+        }
+        let machine = Machine::new(cfg);
+        let col = Collector::new(&machine.cfg);
+        Ok(Execution {
+            col,
+            machine,
+            program: program.clone(),
+            victim: victim.clone(),
+            cur: Cursor::default(),
+        })
+    }
+
+    /// Commit up to `budget` further instructions; returns how many were
+    /// committed. Short counts happen only at end of run: `halt`
+    /// committed, the configured `max_steps` exhausted, or the program
+    /// ran off its end.
+    pub fn advance(&mut self, budget: u64) -> u64 {
+        let start = self.cur.steps;
+        let quota = budget.min(self.machine.cfg.max_steps.saturating_sub(start));
+        let mut left = quota;
+        while left > 0 && !self.cur.halted {
+            if !self.machine.step_commit(
+                &self.program,
+                &self.victim,
+                None,
+                &mut self.col,
+                &mut self.cur,
+            ) {
+                break;
+            }
+            left -= 1;
+        }
+        self.cur.steps - start
+    }
+
+    /// Committed instructions so far.
+    pub fn steps(&self) -> u64 {
+        self.cur.steps
+    }
+
+    /// Whether a `halt` has committed.
+    pub fn halted(&self) -> bool {
+        self.cur.halted
+    }
+
+    /// Whether further [`advance`](Execution::advance) calls can commit
+    /// anything.
+    pub fn is_done(&self) -> bool {
+        self.cur.halted
+            || self.cur.steps >= self.machine.cfg.max_steps
+            || self.program.get(self.cur.pc).is_none()
+    }
+
+    /// Snapshot the trace of the committed prefix, exactly as
+    /// [`Machine::run`] would return it for a run cut off here.
+    pub fn trace(&self) -> Trace {
+        self.col
+            .clone()
+            .finish(self.machine.cycles, self.cur.steps, self.cur.halted)
+    }
+
+    /// The machine state as of the last committed instruction.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -794,6 +953,57 @@ mod tests {
             hierarchy: HierarchyConfig::tiny(),
             ..CpuConfig::default()
         })
+    }
+
+    #[test]
+    fn execution_prefixes_match_batch_runs() {
+        // A run advanced in ragged increments must pass through exactly
+        // the states a batch run visits: at every prefix length n, the
+        // snapshot equals `run` with `max_steps = n`, field for field.
+        let mut b = ProgramBuilder::new("prefix");
+        b.mov_imm(Reg::R0, 0);
+        let top = b.here();
+        b.clflush(MemRef::abs(0x1000));
+        b.vyield();
+        b.load(Reg::R2, MemRef::abs(0x1000));
+        b.rdtscp(Reg::R3);
+        b.alu_imm(AluOp::Add, Reg::R0, 1);
+        b.cmp_imm(Reg::R0, 5);
+        b.br(Cond::Lt, top);
+        b.halt();
+        let p = b.build();
+        let victim = Victim::shared_memory(0x1000, 64, vec![0]);
+
+        let cfg = CpuConfig {
+            hierarchy: HierarchyConfig::tiny(),
+            sample_period: 50,
+            ..CpuConfig::default()
+        };
+        let mut exec = Execution::begin(cfg.clone(), &p, &victim).expect("begin");
+        // Ragged increments: 1, 2, 3, ... to hit many split points.
+        let mut budget = 1;
+        loop {
+            let committed = exec.advance(budget);
+            let snap = exec.trace();
+            let mut m = Machine::new(CpuConfig {
+                max_steps: snap.steps,
+                ..cfg.clone()
+            });
+            let batch = m.run(&p, &victim).expect("batch run");
+            assert_eq!(snap.steps, batch.steps);
+            assert_eq!(snap.cycles, batch.cycles);
+            assert_eq!(snap.halted, batch.halted);
+            assert_eq!(snap.totals, batch.totals);
+            assert_eq!(snap.first_seen, batch.first_seen);
+            assert_eq!(snap.inst_accesses, batch.inst_accesses);
+            assert_eq!(snap.samples, batch.samples);
+            if committed < budget {
+                break;
+            }
+            budget += 1;
+        }
+        assert!(exec.is_done() && exec.halted());
+        assert_eq!(exec.advance(10), 0, "a finished run commits nothing");
     }
 
     #[test]

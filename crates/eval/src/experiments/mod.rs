@@ -4,6 +4,7 @@ mod bb_id;
 mod classification;
 mod robustness;
 mod scenarios;
+mod streaming;
 mod threshold;
 mod timing;
 
@@ -11,5 +12,6 @@ pub use bb_id::{bb_identification, BbIdRow};
 pub use classification::{classification, run_task, ClassTask, TaskResult};
 pub use robustness::{noise_robustness, RobustnessRow};
 pub use scenarios::{scenario_similarities, ScenarioResult};
+pub use streaming::{streaming_latency, StreamingFamilyRow, StreamingPoint, StreamingReport};
 pub use threshold::{threshold_sweep, ThresholdPoint};
 pub use timing::{timing, TimingRow};

@@ -12,6 +12,7 @@
 //! | Table VI | [`experiments::classification`] | E1–E4 vs the four baselines |
 //! | Fig. 5 | [`experiments::threshold_sweep`] | P/R/F1 vs similarity threshold |
 //! | §V | [`experiments::timing`] | per-approach detection time |
+//! | (extension) | [`experiments::streaming_latency`] | online detection latency and the (τ, k) alarm-policy sweep |
 //!
 //! Every driver takes an [`EvalConfig`] so the whole evaluation can run at
 //! reduced scale in tests and at paper scale (400 variants per type) from

@@ -69,6 +69,20 @@ impl ClientConfig {
     }
 }
 
+/// Optional knobs of a `watch` frame for [`Client::watch_open`]
+/// (`None` everywhere means server defaults).
+#[derive(Debug, Clone, Default)]
+pub struct WatchOptions {
+    /// Instructions committed per increment.
+    pub increment: Option<u64>,
+    /// Early-alarm threshold τ override.
+    pub threshold: Option<f64>,
+    /// Sustain count k override.
+    pub sustain: Option<u64>,
+    /// Per-push deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
 /// A connected protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -359,6 +373,89 @@ impl Client {
     /// As [`Client::request`].
     pub fn shutdown(&mut self) -> io::Result<Json> {
         self.send(&Request::Shutdown)
+    }
+
+    /// Open a watch stream for `program` and return the server's ack
+    /// frame; its `stream` field is the id to pass to
+    /// [`Client::watch_push`] / [`Client::watch_finish`].
+    ///
+    /// The watch methods read pushed events off the same connection, so
+    /// they assume no other tagged work is in flight on this client —
+    /// interleave watches with [`Client::pipeline`] on separate
+    /// connections.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn watch_open(
+        &mut self,
+        name: &str,
+        program: &str,
+        victim: &str,
+        options: &WatchOptions,
+    ) -> io::Result<Json> {
+        self.send(&Request::Watch {
+            name: name.into(),
+            program: program.into(),
+            victim: victim.into(),
+            increment: options.increment,
+            threshold: options.threshold,
+            sustain: options.sustain,
+            deadline_ms: options.deadline_ms,
+        })
+    }
+
+    /// Advance an open watch stream by `increments` increments and
+    /// collect the events the server pushes back — `progress` per
+    /// increment plus `alarm`/`done` as they fire, ending at the frame
+    /// marked `"last":true` (or at the first error frame).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn watch_push(&mut self, stream: u64, increments: u64) -> io::Result<Vec<Json>> {
+        write_frame(
+            &mut self.writer,
+            &Request::WatchPush { stream, increments }.to_json(),
+        )?;
+        self.read_watch_events()
+    }
+
+    /// Close an open watch stream; the returned events end with the
+    /// `done` frame carrying the current prefix's full detection.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn watch_finish(&mut self, stream: u64) -> io::Result<Vec<Json>> {
+        write_frame(&mut self.writer, &Request::WatchFinish { stream }.to_json())?;
+        self.read_watch_events()
+    }
+
+    /// Read pushed stream events up to the deterministic stop: a frame
+    /// marked `"last":true`, or any error frame (inline routing errors
+    /// carry no `last`).
+    fn read_watch_events(&mut self) -> io::Result<Vec<Json>> {
+        let mut events = Vec::new();
+        loop {
+            let line = read_frame_limited(&mut self.reader, self.config.max_frame_len)
+                .map_err(io::Error::from)?
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-stream",
+                    )
+                })?;
+            let event = Json::parse(&line).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad event: {e}"))
+            })?;
+            let stop =
+                event.get("last") == Some(&Json::Bool(true)) || !crate::protocol::is_ok(&event);
+            events.push(event);
+            if stop {
+                return Ok(events);
+            }
+        }
     }
 }
 

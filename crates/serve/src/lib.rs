@@ -32,6 +32,16 @@
 //! programs into one `classify-batch` frame with
 //! [`Client::submit_batch`].
 //!
+//! The protocol also carries **online detection**: `watch` opens a
+//! long-lived stream on a connection, `watch-push` frames drive the
+//! program forward increment by increment, and the server pushes
+//! `progress`/`alarm`/`done` events as the streaming scorer
+//! ([`scaguard::StreamSession`]) sees each committed prefix — an alarm
+//! can fire long before the trace ends, and it is never retracted.
+//! Streams run on dedicated threads outside the worker pool, are
+//! accounted in the flight recorder (one `watch` summary per stream)
+//! and the `serve.streams_active` gauge, and die with their connection.
+//!
 //! Every response frame carries a `trace_id` (see
 //! [`protocol::trace_id`]); requests flagged with `"timings": true` on
 //! the envelope additionally get a stage-timing breakdown
@@ -49,7 +59,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::{Client, ClientConfig};
+pub use client::{Client, ClientConfig, WatchOptions};
 pub use protocol::{
     request_id, timings, trace_id, with_request_id, with_timings_flag, BatchProgram, ErrorKind,
     Request, MAX_BATCH_PROGRAMS, MAX_FRAME_LEN, PROTOCOL_VERSION,

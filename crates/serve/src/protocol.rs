@@ -41,6 +41,19 @@
 //!   either `{"detection":{...}}` or `{"error":{"kind":...,
 //!   "message":...}}` — one program's failure never fails its siblings,
 //!   while the model build and repository scan fan-out are shared.
+//!
+//! **Watch streams** turn a connection into an online detection session
+//! (DESIGN.md §17). `{"cmd":"watch",...}` answers with an ack naming a
+//! `stream` id; each `{"cmd":"watch-push","stream":N}` then commits
+//! increments of the program's execution and the server pushes one or
+//! more *event* frames back — `progress` per increment, `alarm` the
+//! moment the early-alarm policy fires, `done` when the trace ends (or
+//! on `{"cmd":"watch-finish","stream":N}`). Every event carries the
+//! triggering frame's `trace_id` (and `id`, when tagged), names its
+//! `stream`, and the final event of each push is marked `"last":true`
+//! so a client knows when to stop reading. Streams are per-connection:
+//! a stream id is only routable on the connection that opened it, and
+//! tearing the connection down tears its streams down with it.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -257,6 +270,45 @@ pub enum Request {
         /// Load-generator hook, as in [`Request::Classify`].
         debug_sleep_ms: u64,
     },
+    /// Open a long-lived watch stream on this connection: run `program`
+    /// incrementally, score every committed prefix against the loaded
+    /// repository, and push `progress`/`alarm`/`done` events as
+    /// `watch-push` frames drive it forward (module docs).
+    Watch {
+        /// Program name (reported back in the final detection).
+        name: String,
+        /// The program's assembly source.
+        program: String,
+        /// Victim spec (see [`parse_victim`]).
+        victim: String,
+        /// Instructions committed per increment (server default when
+        /// absent).
+        increment: Option<u64>,
+        /// Early-alarm threshold τ override (see
+        /// `scaguard::StreamConfig`).
+        threshold: Option<f64>,
+        /// Sustain count k override: consecutive increments at or above
+        /// τ before the alarm fires.
+        sustain: Option<u64>,
+        /// Per-push deadline in milliseconds (overrides the server
+        /// default). A deadline miss ends the push, not the stream.
+        deadline_ms: Option<u64>,
+    },
+    /// Advance an open watch stream by whole increments. Answered only
+    /// with pushed events (one `progress` per increment, plus `alarm` /
+    /// `done` as they happen), never with an inline response.
+    WatchPush {
+        /// The stream id from the `watch` ack.
+        stream: u64,
+        /// How many increments to commit (at least 1).
+        increments: u64,
+    },
+    /// Close an open watch stream: the final `done` event carries the
+    /// current prefix's full detection.
+    WatchFinish {
+        /// The stream id from the `watch` ack.
+        stream: u64,
+    },
     /// Atomically swap in a repository from disk (the server's own path
     /// when `path` is `None`).
     ReloadRepo {
@@ -281,6 +333,12 @@ fn req_str(v: &Json, key: &str) -> Result<String, String> {
         .and_then(Json::as_str)
         .map(str::to_string)
         .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer field `{key}`"))
 }
 
 fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
@@ -379,6 +437,22 @@ impl Request {
                 deadline_ms: opt_u64(v, "deadline_ms")?,
                 debug_sleep_ms: opt_u64(v, "debug_sleep_ms")?.unwrap_or(0),
             }),
+            "watch" => Ok(Request::Watch {
+                name: req_str(v, "name").unwrap_or_else(|_| "program".into()),
+                program: req_str(v, "program")?,
+                victim: req_str(v, "victim").unwrap_or_else(|_| "none".into()),
+                increment: opt_u64(v, "increment")?,
+                threshold: opt_f64(v, "threshold")?,
+                sustain: opt_u64(v, "sustain")?,
+                deadline_ms: opt_u64(v, "deadline_ms")?,
+            }),
+            "watch-push" => Ok(Request::WatchPush {
+                stream: req_u64(v, "stream")?,
+                increments: opt_u64(v, "increments")?.unwrap_or(1),
+            }),
+            "watch-finish" => Ok(Request::WatchFinish {
+                stream: req_u64(v, "stream")?,
+            }),
             "reload-repo" => Ok(Request::ReloadRepo {
                 path: v.get("path").and_then(Json::as_str).map(str::to_string),
             }),
@@ -466,6 +540,37 @@ impl Request {
                 if *debug_sleep_ms > 0 {
                     push_opt_u64(&mut fields, "debug_sleep_ms", Some(*debug_sleep_ms));
                 }
+            }
+            Request::Watch {
+                name,
+                program,
+                victim,
+                increment,
+                threshold,
+                sustain,
+                deadline_ms,
+            } => {
+                fields.push(("cmd".into(), Json::Str("watch".into())));
+                fields.push(("name".into(), Json::Str(name.clone())));
+                fields.push(("program".into(), Json::Str(program.clone())));
+                fields.push(("victim".into(), Json::Str(victim.clone())));
+                push_opt_u64(&mut fields, "increment", *increment);
+                if let Some(t) = threshold {
+                    fields.push(("threshold".into(), Json::Num(*t)));
+                }
+                push_opt_u64(&mut fields, "sustain", *sustain);
+                push_opt_u64(&mut fields, "deadline_ms", *deadline_ms);
+            }
+            Request::WatchPush { stream, increments } => {
+                fields.push(("cmd".into(), Json::Str("watch-push".into())));
+                fields.push(("stream".into(), Json::Num(*stream as f64)));
+                if *increments != 1 {
+                    push_opt_u64(&mut fields, "increments", Some(*increments));
+                }
+            }
+            Request::WatchFinish { stream } => {
+                fields.push(("cmd".into(), Json::Str("watch-finish".into())));
+                fields.push(("stream".into(), Json::Num(*stream as f64)));
             }
             Request::ReloadRepo { path } => {
                 fields.push(("cmd".into(), Json::Str("reload-repo".into())));
@@ -784,6 +889,52 @@ mod tests {
             let line = req.to_json().to_string();
             assert_eq!(Request::parse(&line), Ok(req));
         }
+    }
+
+    #[test]
+    fn watch_requests_round_trip() {
+        for req in [
+            Request::Watch {
+                name: "fr".into(),
+                program: "  mov r1, 7\n  halt\n".into(),
+                victim: "shared:3".into(),
+                increment: Some(32),
+                threshold: Some(0.4),
+                sustain: Some(3),
+                deadline_ms: Some(250),
+            },
+            Request::Watch {
+                name: "program".into(),
+                program: "  halt\n".into(),
+                victim: "none".into(),
+                increment: None,
+                threshold: None,
+                sustain: None,
+                deadline_ms: None,
+            },
+            Request::WatchPush {
+                stream: 7,
+                increments: 1,
+            },
+            Request::WatchPush {
+                stream: 7,
+                increments: 64,
+            },
+            Request::WatchFinish { stream: 7 },
+        ] {
+            let line = req.to_json().to_string();
+            assert_eq!(Request::parse(&line), Ok(req));
+        }
+    }
+
+    #[test]
+    fn watch_push_requires_a_stream_id() {
+        assert!(Request::parse("{\"cmd\":\"watch-push\"}")
+            .unwrap_err()
+            .contains("`stream`"));
+        assert!(Request::parse("{\"cmd\":\"watch-finish\"}")
+            .unwrap_err()
+            .contains("`stream`"));
     }
 
     #[test]

@@ -61,7 +61,7 @@
 //!   uncontended mutex push — the registry entry points stay one relaxed
 //!   atomic load.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, Write};
@@ -72,15 +72,16 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use sca_cpu::Victim;
 use sca_telemetry::{
     request_json, span_json, AttrValue, FlightRecorder, Histogram, Json, Outcome, RequestSummary,
     SpanRecord,
 };
 use scaguard::persist::LoadRepoError;
 use scaguard::{
-    detection_json, index_sidecar_path, load_index, load_repository, model_text, CstBbs,
+    detection_json, index_sidecar_path, load_index, load_repository, model_text, Alarm, CstBbs,
     DeadlineExceeded, Detector, InvalidThreshold, ModelBuilder, ModelRepository, ModelingConfig,
-    ShardedDetector,
+    ShardedDetector, StreamConfig, StreamSession, StreamUpdate, StreamingModeler,
 };
 
 use crate::protocol::{
@@ -322,6 +323,9 @@ fn request_kind(request: &Request) -> &'static str {
         Request::ClassifyBatch { .. } => "classify-batch",
         Request::Model { .. } => "model",
         Request::ReloadRepo { .. } => "reload-repo",
+        Request::Watch { .. } => "watch",
+        Request::WatchPush { .. } => "watch-push",
+        Request::WatchFinish { .. } => "watch-finish",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Flight => "flight",
@@ -374,6 +378,9 @@ struct Shared {
     in_flight: AtomicU64,
     /// Workers currently executing a job.
     busy_workers: AtomicU64,
+    /// Open watch streams across all connections (each runs on its own
+    /// dedicated thread, outside the worker pool).
+    streams_active: AtomicU64,
     /// Always-on ring of per-request summaries.
     flight: FlightRecorder,
     /// Open slow-request log, when configured.
@@ -579,6 +586,7 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         next_trace: AtomicU64::new(1),
         in_flight: AtomicU64::new(0),
         busy_workers: AtomicU64::new(0),
+        streams_active: AtomicU64::new(0),
         flight: FlightRecorder::new(config.flight_capacity),
         slow_log,
         shard_pools,
@@ -708,6 +716,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
             }
         })?;
     let mut result = Ok(());
+    // Open watch streams on this connection, keyed by stream id (the
+    // `watch` frame's trace id). The map lives in the handler, so a
+    // stream id is only routable on the connection that opened it, and
+    // dropping the map at connection end drops the last command sender
+    // of every stream — each stream thread winds down on its own.
+    let mut watches: HashMap<u64, mpsc::Sender<WatchCmd>> = HashMap::new();
     loop {
         // Every read attempt — work, control, unparseable garbage, even
         // an oversized frame — burns one trace id and returns it, so any
@@ -774,6 +788,55 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
                         shared.begin_shutdown();
                         continue;
                     }
+                    // Watch streams are per-connection state, so the
+                    // three stream commands are handled here rather
+                    // than in `dispatch`. Pushed events flow from the
+                    // stream thread straight to the writer; only the
+                    // open ack (and routing failures) answer inline.
+                    Ok(Request::Watch {
+                        name,
+                        program,
+                        victim,
+                        increment,
+                        threshold,
+                        sustain,
+                        deadline_ms,
+                    }) => {
+                        let open = WatchOpen {
+                            name,
+                            program,
+                            victim,
+                            increment,
+                            threshold,
+                            sustain,
+                            deadline_ms,
+                        };
+                        (
+                            Some(start_watch(shared, &out_tx, &mut watches, trace, open)),
+                            id,
+                        )
+                    }
+                    Ok(Request::WatchPush { stream, increments }) => {
+                        let cmd = WatchCmd::Push {
+                            increments,
+                            trace,
+                            id: id.clone(),
+                        };
+                        (route_watch_cmd(&mut watches, stream, cmd), id)
+                    }
+                    Ok(Request::WatchFinish { stream }) => {
+                        let cmd = WatchCmd::Finish {
+                            trace,
+                            id: id.clone(),
+                        };
+                        let response = route_watch_cmd(&mut watches, stream, cmd);
+                        // Finish closes the stream either way: a
+                        // successfully routed finish ends the thread,
+                        // and a routing failure means it is already
+                        // gone.
+                        watches.remove(&stream);
+                        (response, id)
+                    }
                     // Tagged work is pipelined: admit it without waiting
                     // and keep reading — the worker routes the tagged
                     // response to the writer whenever it completes.
@@ -819,6 +882,14 @@ fn dispatch(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: b
         // Intercepted by the connection handler (the ack must be written
         // before shutdown begins); kept for completeness.
         Request::Shutdown => ok_frame(vec![("stopping".into(), Json::Bool(true))]),
+        // Intercepted by the connection handler (streams are
+        // per-connection state); kept for exhaustiveness.
+        Request::Watch { .. } | Request::WatchPush { .. } | Request::WatchFinish { .. } => {
+            error_frame(
+                KIND_BAD_REQUEST,
+                "watch commands are only valid on the connection that opened the stream",
+            )
+        }
         work @ (Request::Classify { .. }
         | Request::ClassifyBatch { .. }
         | Request::Model { .. }) => submit(work, shared, trace, wants_timings),
@@ -845,6 +916,10 @@ fn stats_frame(shared: &Arc<Shared>) -> Json {
                 ("queue_capacity".into(), num(shared.queue.capacity() as u64)),
                 ("in_flight".into(), num(s.in_flight)),
                 ("busy_workers".into(), num(s.busy_workers)),
+                (
+                    "streams_active".into(),
+                    num(shared.streams_active.load(Ordering::Relaxed)),
+                ),
                 ("workers".into(), num(shared.config.workers.max(1) as u64)),
                 ("shards".into(), num(shared.shard_pools.len() as u64)),
                 ("repo_generation".into(), num(repo.generation)),
@@ -882,6 +957,10 @@ fn live_gauges(shared: &Arc<Shared>) -> Vec<(String, u64)> {
             shared.builder.len() as u64,
         ),
         ("serve.flight_recorded".into(), shared.flight.recorded()),
+        (
+            "serve.streams_active".into(),
+            shared.streams_active.load(Ordering::Relaxed),
+        ),
     ];
     for (i, pool) in shared.shard_pools.iter().enumerate() {
         gauges.push((
@@ -1010,6 +1089,502 @@ fn reload_repo(shared: &Arc<Shared>, path: Option<&str>) -> Json {
     shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
     sca_telemetry::counter("serve.reloads", 1);
     ok_frame(vec![("repo".into(), next.json())])
+}
+
+/// The parsed fields of a `watch` frame, bundled so the open path stays
+/// one argument list.
+struct WatchOpen {
+    name: String,
+    program: String,
+    victim: String,
+    increment: Option<u64>,
+    threshold: Option<f64>,
+    sustain: Option<u64>,
+    deadline_ms: Option<u64>,
+}
+
+/// One command routed from the connection handler to a watch stream's
+/// dedicated thread. Each carries the triggering frame's trace id and
+/// echoed envelope `id`, so every pushed event can be attributed to the
+/// frame that caused it.
+enum WatchCmd {
+    /// Commit `increments` whole increments, emitting one `progress`
+    /// event per increment (plus `alarm`/`done` as they happen).
+    Push {
+        increments: u64,
+        trace: u64,
+        id: Option<Json>,
+    },
+    /// Close the stream: emit the final `done` event with the current
+    /// prefix's detection, then exit.
+    Finish { trace: u64, id: Option<Json> },
+}
+
+/// How a watch stream ended, for its one flight-recorder entry.
+struct StreamEnd {
+    outcome: Outcome,
+    verdict: Option<String>,
+    increments: u64,
+    alarms: u64,
+}
+
+/// Open a watch stream: validate the inputs inline (victim spec,
+/// assembly, threshold — all answered synchronously as `bad_request` /
+/// `model_error`), snapshot the repository generation, and hand the
+/// session to a dedicated detached thread. Streams deliberately run
+/// *outside* the worker pool: a stream lives as long as its client
+/// keeps pushing, and parking it on a worker would let a handful of
+/// idle watchers starve classify traffic.
+fn start_watch(
+    shared: &Arc<Shared>,
+    out: &mpsc::Sender<OutMsg>,
+    watches: &mut HashMap<u64, mpsc::Sender<WatchCmd>>,
+    stream_id: u64,
+    open: WatchOpen,
+) -> Json {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return error_frame(KIND_SHUTTING_DOWN, "server is shutting down");
+    }
+    let victim = match parse_victim(&open.victim) {
+        Ok(v) => v,
+        Err(e) => return error_frame(KIND_BAD_REQUEST, &e),
+    };
+    let program = match sca_isa::assemble(&open.name, &open.program) {
+        Ok(p) => p,
+        Err(e) => return error_frame(KIND_BAD_REQUEST, &format!("assembly failed: {e}")),
+    };
+    let mut cfg = StreamConfig::default();
+    if let Some(n) = open.increment {
+        cfg.increment = n.max(1);
+    }
+    if let Some(t) = open.threshold {
+        cfg.threshold = t;
+    }
+    if let Some(k) = open.sustain {
+        cfg.sustain = u32::try_from(k.clamp(1, u64::from(u32::MAX))).expect("clamped");
+    }
+    if let Err(e) = StreamSession::validate_threshold(&cfg) {
+        return error_frame(KIND_BAD_REQUEST, &e.to_string());
+    }
+    let modeling = ModelingConfig::default();
+    // Fail empty programs at the ack, not as a first pushed event — the
+    // rejection is the same one batch modeling gives.
+    if let Err(e) = StreamingModeler::begin(&program, &victim, &modeling) {
+        return error_frame(KIND_MODEL_ERROR, &e.to_string());
+    }
+    // Like work admission, the repository generation is fixed when the
+    // stream opens: every increment of one stream scores against
+    // exactly one generation, regardless of concurrent reloads.
+    let repo = shared.repo_snapshot();
+    let (cmd_tx, cmd_rx) = mpsc::channel();
+    let stream = WatchStream {
+        shared: Arc::clone(shared),
+        repo: Arc::clone(&repo),
+        out: out.clone(),
+        stream_id,
+        program,
+        victim,
+        modeling,
+        cfg: cfg.clone(),
+        deadline_ms: open.deadline_ms.or(shared.config.deadline_ms),
+    };
+    if thread::Builder::new()
+        .name(format!("sca-serve-stream-{stream_id}"))
+        .spawn(move || stream.run(cmd_rx))
+        .is_err()
+    {
+        return error_frame(KIND_INTERNAL_ERROR, "cannot spawn a stream thread");
+    }
+    watches.insert(stream_id, cmd_tx);
+    sca_telemetry::counter("serve.streams_opened", 1);
+    ok_frame(vec![
+        ("event".into(), Json::Str("watching".into())),
+        ("stream".into(), Json::Num(stream_id as f64)),
+        ("increment".into(), Json::Num(cfg.increment as f64)),
+        ("threshold".into(), Json::Num(cfg.threshold)),
+        ("sustain".into(), Json::Num(f64::from(cfg.sustain.max(1)))),
+        ("repo".into(), repo.json()),
+    ])
+}
+
+/// Route one command to an open stream on this connection. `None` means
+/// it was routed (the stream thread answers with events); `Some` is the
+/// inline error frame for an unknown or already-closed stream.
+fn route_watch_cmd(
+    watches: &mut HashMap<u64, mpsc::Sender<WatchCmd>>,
+    stream: u64,
+    cmd: WatchCmd,
+) -> Option<Json> {
+    let Some(tx) = watches.get(&stream) else {
+        return Some(error_frame(
+            KIND_BAD_REQUEST,
+            &format!("no open watch stream {stream} on this connection"),
+        ));
+    };
+    if tx.send(cmd).is_err() {
+        // The thread already exited (its trace ended, or it died to a
+        // panic / deadline policy): the stream fails alone, and later
+        // commands get a structured answer instead of silence.
+        watches.remove(&stream);
+        return Some(error_frame(
+            KIND_BAD_REQUEST,
+            &format!("watch stream {stream} is closed"),
+        ));
+    }
+    None
+}
+
+/// One live watch stream: an online [`StreamSession`] plus the plumbing
+/// to push its events to the connection's writer (DESIGN.md §17).
+struct WatchStream {
+    shared: Arc<Shared>,
+    repo: Arc<RepoState>,
+    out: mpsc::Sender<OutMsg>,
+    stream_id: u64,
+    program: sca_isa::Program,
+    victim: Victim,
+    modeling: ModelingConfig,
+    cfg: StreamConfig,
+    /// Per-push deadline budget; a miss ends the push, not the stream.
+    deadline_ms: Option<u64>,
+}
+
+impl WatchStream {
+    /// Thread body: serve commands until the stream ends, then record
+    /// its one flight-recorder entry. The gauge and the summary are
+    /// written outside the catch so even a panicking stream is
+    /// accounted for and `serve.streams_active` always returns to zero.
+    fn run(self, cmds: mpsc::Receiver<WatchCmd>) {
+        self.shared.streams_active.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let end =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.serve_stream(cmds)))
+                .unwrap_or(StreamEnd {
+                    outcome: Outcome::Panic,
+                    verdict: None,
+                    increments: 0,
+                    alarms: 0,
+                });
+        // One summary per stream, not per increment — and deliberately
+        // never recorded into the `serve.latency_ns` histogram: a
+        // stream's lifetime is set by how long the client keeps
+        // pushing, and folding that into the per-request histogram
+        // would drown the worker latencies it summarizes.
+        self.shared.flight.record(RequestSummary {
+            trace_id: self.stream_id,
+            name: "watch".into(),
+            outcome: end.outcome,
+            verdict: end.verdict,
+            latency_ns: started.elapsed().as_nanos() as u64,
+            stages: vec![
+                ("increments".into(), end.increments),
+                ("alarms".into(), end.alarms),
+            ],
+        });
+        self.shared.streams_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The per-push deadline, re-armed fresh for each unit of work.
+    fn deadline(&self) -> Option<Instant> {
+        self.deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms))
+    }
+
+    /// Decorate an event with the triggering frame's ids and push it to
+    /// the writer. Failures are ignored: a gone writer means a gone
+    /// connection, and the recv loop will see the disconnect next.
+    fn emit(&self, trace: u64, id: Option<&Json>, frame: Json) {
+        let mut frame = with_trace_id(frame, trace);
+        if let Some(id) = id {
+            frame = with_request_id(frame, id);
+        }
+        let _ = self.out.send(OutMsg::Frame(frame));
+    }
+
+    fn serve_stream(&self, cmds: mpsc::Receiver<WatchCmd>) -> StreamEnd {
+        // The receiver lives in an Option so every terminal path can
+        // drop it *before* emitting its last event. That ordering is
+        // load-bearing: once a client has read a terminal event, a
+        // subsequent `watch-push` must find a dead sender and get the
+        // inline closed-stream error — if the receiver outlived the
+        // emit, the push could be routed into this exiting thread and
+        // never answered.
+        let mut cmds = Some(cmds);
+        let mut end = StreamEnd {
+            outcome: Outcome::Error,
+            verdict: None,
+            increments: 0,
+            alarms: 0,
+        };
+        let mut session = match StreamSession::begin(
+            &self.repo.detector,
+            &self.program,
+            &self.victim,
+            &self.modeling,
+            &self.cfg,
+        ) {
+            Ok(s) => s,
+            // Unreachable in practice: `start_watch` already ran the
+            // same begin. Answered as a terminal event for safety.
+            Err(e) => {
+                drop(cmds.take());
+                self.emit(
+                    self.stream_id,
+                    None,
+                    error_event(self.stream_id, KIND_MODEL_ERROR, &e.to_string()),
+                );
+                return end;
+            }
+        };
+        loop {
+            let Ok(cmd) = cmds
+                .as_ref()
+                .expect("receiver lives until a terminal path")
+                .recv()
+            else {
+                // The connection went away (handler dropped, or the
+                // stream was finished and forgotten): this stream dies
+                // alone, with whatever it counted so far.
+                return end;
+            };
+            match cmd {
+                WatchCmd::Push {
+                    increments,
+                    trace,
+                    id,
+                } => {
+                    if !self.push(
+                        &mut session,
+                        &mut end,
+                        increments,
+                        trace,
+                        id.as_ref(),
+                        &mut cmds,
+                    ) {
+                        return end;
+                    }
+                }
+                WatchCmd::Finish { trace, id } => {
+                    self.finish(&mut session, &mut end, trace, id.as_ref(), &mut cmds);
+                    return end;
+                }
+            }
+        }
+    }
+
+    /// Serve one `watch-push`: commit up to `increments` increments,
+    /// emitting events as they happen. Returns whether the stream is
+    /// still alive afterwards; `end` tracks the running totals either
+    /// way.
+    fn push(
+        &self,
+        session: &mut StreamSession<'_>,
+        end: &mut StreamEnd,
+        increments: u64,
+        trace: u64,
+        id: Option<&Json>,
+        cmds: &mut Option<mpsc::Receiver<WatchCmd>>,
+    ) -> bool {
+        let want = increments.max(1);
+        for i in 0..want {
+            // Panic isolation, stream edition: a panic mid-increment
+            // costs exactly this stream — the connection, its other
+            // streams, and the worker pool stay at full strength.
+            let pushed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.push(None, self.deadline())
+            }));
+            let update = match pushed {
+                Err(payload) => {
+                    self.shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                    sca_telemetry::counter("serve.panics", 1);
+                    let what = payload
+                        .downcast_ref::<&str>()
+                        .copied()
+                        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                        .unwrap_or("<non-string panic payload>");
+                    drop(cmds.take());
+                    self.emit(
+                        trace,
+                        id,
+                        error_event(
+                            self.stream_id,
+                            KIND_INTERNAL_ERROR,
+                            &format!("stream panicked mid-increment: {what}"),
+                        ),
+                    );
+                    end.outcome = Outcome::Panic;
+                    return false;
+                }
+                Ok(Err(DeadlineExceeded)) => {
+                    // The increment's instructions stay committed; the
+                    // stream survives and the client may push again.
+                    self.shared
+                        .counters
+                        .deadline_exceeded
+                        .fetch_add(1, Ordering::Relaxed);
+                    sca_telemetry::counter("serve.deadline_exceeded", 1);
+                    self.emit(
+                        trace,
+                        id,
+                        error_event(
+                            self.stream_id,
+                            KIND_DEADLINE_EXCEEDED,
+                            "deadline passed mid-scan; the increment stays committed — push again to retry",
+                        ),
+                    );
+                    return true;
+                }
+                Ok(Ok(update)) => update,
+            };
+            end.increments += 1;
+            sca_telemetry::counter("serve.stream_increments", 1);
+            if let Some(alarm) = &update.fired {
+                end.alarms += 1;
+                end.verdict = Some(format!("alarm:{}", alarm.family));
+                sca_telemetry::counter("serve.stream_alarms", 1);
+            }
+            // `last` marks the final event of this push so a client can
+            // read to a deterministic stop; it is never set on an event
+            // another one follows — in particular not on the progress
+            // event of the increment that completes the trace, because
+            // the `done` frame still follows it.
+            let push_ends = update.done || i + 1 == want;
+            self.emit(
+                trace,
+                id,
+                progress_event(
+                    self.stream_id,
+                    &update,
+                    push_ends && update.fired.is_none() && !update.done,
+                ),
+            );
+            if let Some(alarm) = &update.fired {
+                self.emit(
+                    trace,
+                    id,
+                    alarm_event(self.stream_id, alarm, push_ends && !update.done),
+                );
+            }
+            if update.done {
+                self.finish(session, end, trace, id, cmds);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Emit the terminal `done` event — increments, steps, the latched
+    /// alarm if any, and the current prefix's full detection (rendered
+    /// with the same `detection_json` as classify, so the `detection`
+    /// object is byte-identical to classifying the prefix outright).
+    fn finish(
+        &self,
+        session: &mut StreamSession<'_>,
+        end: &mut StreamEnd,
+        trace: u64,
+        id: Option<&Json>,
+        cmds: &mut Option<mpsc::Receiver<WatchCmd>>,
+    ) {
+        let detection = session
+            .detection(self.deadline())
+            .ok()
+            .map(|d| detection_json(self.program.name(), &d));
+        if end.verdict.is_none() {
+            end.verdict = detection
+                .as_ref()
+                .and_then(|d| d.get("attack"))
+                .and_then(|a| match a {
+                    Json::Bool(true) => Some("attack".to_string()),
+                    Json::Bool(false) => Some("benign".to_string()),
+                    _ => None,
+                });
+        }
+        let mut fields = vec![
+            ("event".into(), Json::Str("done".into())),
+            ("stream".into(), Json::Num(self.stream_id as f64)),
+            ("increments".into(), Json::Num(session.increments() as f64)),
+            ("steps".into(), Json::Num(session.steps() as f64)),
+            ("done".into(), Json::Bool(session.is_done())),
+            ("alarmed".into(), Json::Bool(session.alarm().is_some())),
+        ];
+        if let Some(alarm) = session.alarm() {
+            fields.push(("alarm".into(), alarm_json(alarm)));
+        }
+        if let Some(d) = detection {
+            fields.push(("detection".into(), d));
+        }
+        fields.push(("last".into(), Json::Bool(true)));
+        // Close the command channel before the `done` event goes out:
+        // a client that has read `done` and pushes again must find a
+        // dead sender (inline closed-stream error), never a queued
+        // command this exiting thread will silently drop.
+        drop(cmds.take());
+        self.emit(trace, id, ok_frame(fields));
+        end.outcome = Outcome::Ok;
+    }
+}
+
+/// Render a fired [`Alarm`] as its wire object.
+fn alarm_json(alarm: &Alarm) -> Json {
+    Json::Obj(vec![
+        ("at_step".into(), Json::Num(alarm.at_step as f64)),
+        ("at_increment".into(), Json::Num(alarm.at_increment as f64)),
+        ("family".into(), Json::Str(alarm.family.to_string())),
+        ("poc".into(), Json::Str(alarm.poc.to_string())),
+        ("score".into(), Json::Num(alarm.score)),
+    ])
+}
+
+/// One `progress` event: where the stream is after one increment.
+fn progress_event(stream: u64, update: &StreamUpdate, last: bool) -> Json {
+    let mut fields = vec![
+        ("event".into(), Json::Str("progress".into())),
+        ("stream".into(), Json::Num(stream as f64)),
+        ("increment".into(), Json::Num(update.increment as f64)),
+        ("committed".into(), Json::Num(update.committed as f64)),
+        ("steps".into(), Json::Num(update.steps as f64)),
+        ("done".into(), Json::Bool(update.done)),
+    ];
+    if let Some((_, score)) = update.best {
+        fields.push(("score".into(), Json::Num(score)));
+    }
+    if let Some(poc) = &update.best_poc {
+        fields.push(("best_poc".into(), Json::Str(poc.to_string())));
+    }
+    if let Some(family) = update.best_family {
+        fields.push(("best_family".into(), Json::Str(family.to_string())));
+    }
+    if last {
+        fields.push(("last".into(), Json::Bool(true)));
+    }
+    ok_frame(fields)
+}
+
+/// One `alarm` event: the early-alarm policy fired on this increment.
+fn alarm_event(stream: u64, alarm: &Alarm, last: bool) -> Json {
+    let mut fields = vec![
+        ("event".into(), Json::Str("alarm".into())),
+        ("stream".into(), Json::Num(stream as f64)),
+        ("alarm".into(), alarm_json(alarm)),
+    ];
+    if last {
+        fields.push(("last".into(), Json::Bool(true)));
+    }
+    ok_frame(fields)
+}
+
+/// A terminal error event on a stream: an error frame that also names
+/// its stream and carries `"last":true`, because nothing follows it in
+/// this push.
+fn error_event(stream: u64, kind: &str, message: &str) -> Json {
+    match error_frame(kind, message) {
+        Json::Obj(mut fields) => {
+            fields.push(("stream".into(), Json::Num(stream as f64)));
+            fields.push(("last".into(), Json::Bool(true)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
 }
 
 /// Admit a work request onto the queue with the given reply route, or

@@ -434,6 +434,148 @@ fn shed_requests_retry_with_backoff_and_eventually_land() {
 }
 
 #[test]
+fn watch_stream_torn_mid_increment_fails_alone() {
+    use std::io::BufRead;
+
+    let fx = fixture();
+    let mut cfg = ServeConfig::new(&fx.repo);
+    cfg.workers = 2;
+    let handle = spawn(cfg).expect("spawn server");
+    let addr = handle.addr();
+
+    // A healthy second stream on its own connection: the torn one must
+    // not take it down.
+    let mut survivor = Client::connect_with(addr, impatient()).expect("connect survivor");
+    let survivor_ack = survivor
+        .watch_open(
+            "survivor",
+            &fx.target_src,
+            "shared:3",
+            &sca_serve::WatchOptions::default(),
+        )
+        .expect("open survivor stream");
+    assert!(is_ok(&survivor_ack), "survivor refused: {survivor_ack}");
+    let survivor_id = survivor_ack
+        .get("stream")
+        .and_then(Json::as_u64)
+        .expect("stream id");
+
+    // Raw socket for the victim stream, so the teardown can be abrupt:
+    // open a watch, push a large batch of increments, read just enough
+    // to know the stream is mid-work, then sever the connection.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = io::BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let open = Request::Watch {
+        name: "torn".into(),
+        program: fx.target_src.clone(),
+        victim: "shared:3".into(),
+        increment: Some(16),
+        threshold: None,
+        sustain: None,
+        deadline_ms: None,
+    };
+    writeln!(writer, "{}", open.to_json()).expect("write watch");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read ack");
+    let ack = Json::parse(line.trim_end()).expect("ack is JSON");
+    assert!(is_ok(&ack), "watch refused: {ack}");
+    let torn_id = ack.get("stream").and_then(Json::as_u64).expect("stream id");
+    let push = Request::WatchPush {
+        stream: torn_id,
+        increments: 500,
+    };
+    writeln!(writer, "{}", push.to_json()).expect("write push");
+    writer.flush().expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("first progress event");
+    assert!(
+        is_ok(&Json::parse(line.trim_end()).expect("event is JSON")),
+        "stream never started: {line}"
+    );
+    // Tear the connection down with hundreds of increments still owed.
+    writer.shutdown(Shutdown::Both).expect("tear down");
+    drop(reader);
+
+    // The dead stream must wind down on its own (the gauge in `stats`
+    // returns to zero) — no handler thread, worker, or shard pool is
+    // left holding it.
+    let mut probe = Client::connect_with(addr, impatient()).expect("connect probe");
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = probe.stats().expect("stats");
+        let active = stats
+            .get("stats")
+            .and_then(|s| s.get("streams_active"))
+            .and_then(Json::as_u64)
+            .expect("streams_active");
+        if active <= 1 {
+            // Only the survivor stream may remain.
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "torn stream never wound down (streams_active {active})"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // The survivor stream still answers on its own connection.
+    let events = survivor
+        .watch_push(survivor_id, 1)
+        .expect("survivor push after the tear");
+    assert!(
+        events.iter().all(is_ok),
+        "survivor stream was hurt by the tear: {events:?}"
+    );
+    let _ = survivor.watch_finish(survivor_id);
+
+    // Worker pool at full strength: two concurrent sleeping classifies
+    // complete in parallel, so neither worker died with the stream.
+    assert_alive(&handle);
+    let concurrent: Vec<_> = (0..2)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut c = Client::connect_with(addr, impatient()).expect("connect");
+                c.send(&classify_request(&format!("post-tear-{i}"), 250, false))
+                    .expect("reply")
+            })
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    for t in concurrent {
+        let resp = t.join().expect("join");
+        assert!(is_ok(&resp), "post-tear request failed: {resp}");
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(2_000),
+        "concurrent requests serialized: a worker died with the torn stream"
+    );
+
+    // And the clean path is byte-identical to the offline pipeline.
+    let mut clean = Client::connect_with(addr, impatient()).expect("connect");
+    let resp = clean
+        .send(&classify_request("target", 0, false))
+        .expect("clean classify");
+    assert!(is_ok(&resp), "clean request failed: {resp}");
+    let wire = resp.get("detection").expect("detection").to_string();
+    let repo = load_repository(&fx.repo).expect("load repo");
+    let detector = Detector::new(repo, Detector::DEFAULT_THRESHOLD).expect("threshold in range");
+    let builder = ModelBuilder::new(&ModelingConfig::default());
+    let program = sca_isa::assemble("target", &fx.target_src).expect("assemble");
+    let victim = protocol::parse_victim("shared:3").expect("victim");
+    let model = builder.build_cst(&program, &victim).expect("model");
+    let offline = detection_json("target", &detector.classify_model(&model)).to_string();
+    assert_eq!(wire, offline, "the torn stream perturbed the clean path");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn truncated_frame_mid_pipeline_fails_only_its_own_request() {
     use std::io::BufRead;
 

@@ -1,0 +1,43 @@
+//! Write the built-in attack PoCs (one representative per family, the
+//! same programs `scaguard build-repo` enrolls) as `.sasm` files, so
+//! shell-level smokes and quick experiments can feed real PoCs to
+//! `scaguard classify` / `submit` / `watch` without hand-writing
+//! assembly.
+//!
+//! ```sh
+//! cargo run --release --example dump_pocs -- /tmp/pocs
+//! # /tmp/pocs/FR-F.sasm  /tmp/pocs/PP-F.sasm  /tmp/pocs/S-FR.sasm  /tmp/pocs/S-PP.sasm
+//! ```
+//!
+//! Each file is named by the family abbreviation; the matching
+//! `--victim` spec is printed alongside (FR-style PoCs probe a shared
+//! line, PP-style ones a conflicting set).
+
+use scaguard_repro::attacks::poc::{self, PocParams};
+use scaguard_repro::attacks::AttackFamily;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .ok_or("usage: dump_pocs <out-dir>")?;
+    std::fs::create_dir_all(&dir)?;
+    let params = PocParams::default();
+    for &family in AttackFamily::ALL.iter() {
+        let sample = poc::representative(family, &params);
+        let path = std::path::Path::new(&dir).join(format!("{}.sasm", family.abbrev()));
+        std::fs::write(&path, sca_isa::to_asm(&sample.program))?;
+        // FR-style PoCs probe a line the victim shares; PP-style ones a
+        // conflicting set (protocol::parse_victim's two specs).
+        let victim = match family {
+            AttackFamily::FlushReload | AttackFamily::SpectreFlushReload => "shared:3",
+            AttackFamily::PrimeProbe | AttackFamily::SpectrePrimeProbe => "conflict:3",
+        };
+        println!(
+            "{} <- {} ({} instructions, --victim {victim})",
+            path.display(),
+            sample.name(),
+            sample.program.len(),
+        );
+    }
+    Ok(())
+}

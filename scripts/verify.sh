@@ -178,4 +178,62 @@ awk '$1 == "serve.panics" && $2 + 0 > 0 { bad = 1 } END { exit bad }' \
 kill "$OBS_PID" 2>/dev/null || true
 OBS_PID=""
 
+echo "==> streaming bench smoke"
+# Prefix byte-identity (streamed models == batch prefix models) plus the
+# default alarm policy's invariants (no benign false alarms, early
+# alarms) at reduced scale.
+cargo run -p sca-bench --release --offline --bin streaming_bench -- --smoke
+
+echo "==> streaming watch smoke"
+# A live release server, then `scaguard watch` end to end: the enrolled
+# FR PoC must raise its ALARM before the trace ends (the alarm line
+# precedes the trace-complete line), and a benign program must stream
+# to the end without one.
+cargo run --release --offline --example dump_pocs -- "$OBS_DIR/poc-asm" \
+    > /dev/null
+./target/release/scaguard serve "$OBS_DIR/pocs.repo" \
+    > "$OBS_DIR/watch.log" 2>&1 &
+OBS_PID=$!
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR="$(sed -n 's/^listening on //p' "$OBS_DIR/watch.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "watch smoke: server never came up"; exit 1; }
+
+./target/release/scaguard watch "$OBS_DIR/poc-asm/FR-F.sasm" --addr "$ADDR" \
+    --victim shared:3 > "$OBS_DIR/watch-attack.txt" 2>/dev/null
+grep -q '^ALARM ' "$OBS_DIR/watch-attack.txt" \
+    || { echo "watch smoke: no alarm on the FR PoC"; exit 1; }
+grep -q '^trace complete' "$OBS_DIR/watch-attack.txt" \
+    || { echo "watch smoke: stream never finished"; exit 1; }
+alarm_line="$(grep -n '^ALARM ' "$OBS_DIR/watch-attack.txt" | head -1 | cut -d: -f1)"
+done_line="$(grep -n '^trace complete' "$OBS_DIR/watch-attack.txt" | head -1 | cut -d: -f1)"
+[ "$alarm_line" -lt "$done_line" ] \
+    || { echo "watch smoke: alarm did not precede end of trace"; exit 1; }
+
+cat > "$OBS_DIR/benign.sasm" <<'EOF'
+; arithmetic-only loop: nothing cache-timing shaped
+        mov r0, 0
+        mov r1, 1
+bloop:  add r1, 3
+        mul r1, 2
+        add r0, 1
+        cmp r0, 64
+        blt bloop
+        halt
+EOF
+./target/release/scaguard watch "$OBS_DIR/benign.sasm" --addr "$ADDR" \
+    > "$OBS_DIR/watch-benign.txt" 2>/dev/null
+grep -q '^ALARM ' "$OBS_DIR/watch-benign.txt" \
+    && { echo "watch smoke: benign stream alarmed"; exit 1; }
+grep -q 'benign' "$OBS_DIR/watch-benign.txt" \
+    || { echo "watch smoke: no benign verdict"; exit 1; }
+
+kill "$OBS_PID" 2>/dev/null || true
+OBS_PID=""
+
 echo "verify: OK"

@@ -28,7 +28,7 @@ use sca_attacks::poc::{self, PocParams};
 use sca_attacks::{AttackFamily, Sample};
 use sca_cpu::Victim;
 use sca_serve::protocol::{self, Request};
-use sca_serve::{Client, ClientConfig, ServeConfig};
+use sca_serve::{Client, ClientConfig, ServeConfig, WatchOptions};
 use sca_telemetry::{Json, Record};
 use scaguard::{
     detection_json, explain_similarity, index_sidecar_path, load_index, load_repository,
@@ -102,6 +102,18 @@ fn usage() -> &'static str {
       the request as `overloaded` (never after it was admitted);
       --timings prints each request's trace id and per-stage timing
       breakdown on stderr (stdout is unchanged)
+  scaguard watch <program.sasm> --addr <host:port> [--victim ...]
+          [--increment <n>] [--stream-threshold <0..1>] [--sustain <n>]
+          [--deadline-ms <n>] [--json]
+      stream the program to a running `scaguard serve` for online
+      detection: the server commits --increment instructions at a time
+      (default 64) and re-scores the prefix after each one; an ALARM
+      line is printed the moment the prefix's best score holds at or
+      above --stream-threshold for --sustain consecutive increments
+      (defaults: the server's streaming defaults), long before the
+      trace ends; the final verdict over the whole trace follows;
+      --json instead emits every progress/alarm/done event as one JSON
+      object per line on stdout
   scaguard stats <telemetry.jsonl>
   scaguard stats --addr <host:port> [--watch] [--interval-ms <n>]
       summarize a telemetry trace written by --telemetry (per-stage span
@@ -149,6 +161,9 @@ struct Options {
     flight_capacity: usize,
     variants: usize,
     no_index: bool,
+    increment: Option<u64>,
+    stream_threshold: Option<f64>,
+    sustain: Option<u64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -179,6 +194,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         flight_capacity: 256,
         variants: 0,
         no_index: false,
+        increment: None,
+        stream_threshold: None,
+        sustain: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -311,6 +329,36 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("bad variant count: {e}"))?;
             }
             "--no-index" => opts.no_index = true,
+            "--increment" => {
+                let n: u64 = it
+                    .next()
+                    .ok_or("--increment needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad increment: {e}"))?;
+                if n == 0 {
+                    return Err("--increment must be at least 1".into());
+                }
+                opts.increment = Some(n);
+            }
+            "--stream-threshold" => {
+                opts.stream_threshold = Some(
+                    it.next()
+                        .ok_or("--stream-threshold needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad stream threshold: {e}"))?,
+                );
+            }
+            "--sustain" => {
+                let n: u64 = it
+                    .next()
+                    .ok_or("--sustain needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad sustain count: {e}"))?;
+                if n == 0 {
+                    return Err("--sustain must be at least 1".into());
+                }
+                opts.sustain = Some(n);
+            }
             "--flight-capacity" => {
                 opts.flight_capacity = it
                     .next()
@@ -702,6 +750,100 @@ fn cmd_submit_batch(paths: &[String], addr: &str, opts: &Options) -> Result<(), 
     Ok(())
 }
 
+/// Stream a program to a running `scaguard serve` for online detection:
+/// open a watch stream, push one increment per frame, and surface the
+/// server's `progress`/`alarm`/`done` events as they arrive. An alarm is
+/// printed the moment it fires — typically long before the trace ends —
+/// and the terminal verdict for the streamed prefix follows.
+fn cmd_watch(path: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
+    let addr = opts
+        .addr
+        .as_deref()
+        .ok_or("watch needs --addr <host:port> of a running `scaguard serve`")?;
+    let (name, source) = read_program_source(path)?;
+    let mut client = Client::connect(addr)?;
+    let options = WatchOptions {
+        increment: opts.increment,
+        threshold: opts.stream_threshold,
+        sustain: opts.sustain,
+        deadline_ms: opts.deadline_ms,
+    };
+    let ack = client.watch_open(&name, &source, &opts.victim_spec, &options)?;
+    if let Some(kind) = protocol::error_kind(&ack) {
+        let message = ack
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("(no message)");
+        return Err(format!("server refused the watch ({kind}): {message}").into());
+    }
+    let stream = ack
+        .get("stream")
+        .and_then(Json::as_u64)
+        .ok_or("malformed ack: no stream id")?;
+    let num = |k: &str| ack.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    eprintln!(
+        "watching {name} as stream {stream} (increment {}, threshold {:.2}, sustain {})",
+        num("increment"),
+        num("threshold"),
+        num("sustain")
+    );
+    if opts.json {
+        println!("{ack}");
+    }
+    loop {
+        let events = client.watch_push(stream, 1)?;
+        for event in &events {
+            if let Some(kind) = protocol::error_kind(event) {
+                let message = event
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("(no message)");
+                return Err(format!("watch stream failed ({kind}): {message}").into());
+            }
+            if opts.json {
+                println!("{event}");
+            }
+            match event.get("event").and_then(Json::as_str) {
+                Some("alarm") => {
+                    let alarm = event.get("alarm").ok_or("malformed alarm event")?;
+                    let get = |k: &str| alarm.get(k).and_then(Json::as_str).unwrap_or("?");
+                    let at_step = alarm.get("at_step").and_then(Json::as_u64).unwrap_or(0);
+                    let score = alarm.get("score").and_then(Json::as_f64).unwrap_or(0.0);
+                    let line = format!(
+                        "ALARM {} at step {at_step} (matches {}, score {:.2}%)",
+                        get("family"),
+                        get("poc"),
+                        score * 100.0
+                    );
+                    if opts.json {
+                        eprintln!("{line}");
+                    } else {
+                        println!("{line}");
+                    }
+                }
+                Some("progress") => {
+                    let steps = event.get("steps").and_then(Json::as_u64).unwrap_or(0);
+                    let score = event.get("score").and_then(Json::as_f64).unwrap_or(0.0);
+                    eprintln!("  step {steps:>8}  best score {:.2}%", score * 100.0);
+                }
+                Some("done") => {
+                    if !opts.json {
+                        let steps = event.get("steps").and_then(Json::as_u64).unwrap_or(0);
+                        println!("trace complete after {steps} instructions");
+                        if let Some(detection) = event.get("detection") {
+                            print_remote_detection(detection)?;
+                        }
+                    }
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
 /// Render a response's `timings` object on stderr, one `stage=ms` pair
 /// per wire field, with the span-derived DTW split (present only when
 /// the server runs with --metrics) indented below.
@@ -1031,6 +1173,9 @@ fn run() -> Result<(), Box<dyn Error>> {
     let opts = parse_options(&rest[1..])?;
     if cmd == "serve" {
         return cmd_serve(path, &opts);
+    }
+    if cmd == "watch" {
+        return cmd_watch(path, &opts);
     }
     if opts.telemetry.is_some() {
         sca_telemetry::set_enabled(true);

@@ -52,6 +52,7 @@ fn help_exits_zero_with_usage_on_stdout() {
             "explain",
             "serve",
             "submit",
+            "watch",
             "stats",
             "asm",
         ] {
@@ -132,6 +133,68 @@ fn serve_and_submit_round_trip_matches_offline_classify() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"));
 
     // Shut the server down over the protocol and reap it.
+    let mut client = scaguard_repro::serve::Client::connect(&*addr).expect("connect");
+    let resp = client.shutdown().expect("shutdown");
+    assert!(sca_serve::protocol::is_ok(&resp));
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "serve exited with {status:?}");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn watch_streams_alarm_early_on_attacks_and_stay_quiet_on_benign() {
+    use std::io::BufRead;
+
+    let dir = tmp_dir("watch");
+    let repo = dir.join("pocs.repo").to_string_lossy().into_owned();
+    assert!(scaguard(&["build-repo", &repo]).status.success());
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_scaguard"))
+        .args(["serve", &repo, "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut first_line = String::new();
+    std::io::BufReader::new(server.stdout.take().expect("stdout"))
+        .read_line(&mut first_line)
+        .expect("read announcement");
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("announcement format")
+        .to_string();
+
+    // An enrolled FR PoC alarms before its trace ends, then the final
+    // whole-trace verdict confirms the attack.
+    let fr = poc::representative(AttackFamily::FlushReload, &PocParams::default());
+    let fr_path = write_sasm(&dir, "fr", &fr.program);
+    let out = scaguard(&["watch", &fr_path, "--addr", &addr, "--victim", "shared:3"]);
+    assert!(
+        out.status.success(),
+        "watch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let alarm_at = text.find("ALARM").expect("an alarm line");
+    let done_at = text.find("trace complete").expect("a trace-complete line");
+    assert!(alarm_at < done_at, "alarm must precede the final verdict");
+    assert!(text.contains("ATTACK"), "final verdict missing: {text}");
+
+    // A benign program streams to the end without a single alarm.
+    let benign = benign::generate(Kind::Spec, 7);
+    let benign_path = write_sasm(&dir, "benign", &benign.program);
+    let out = scaguard(&["watch", &benign_path, "--addr", &addr]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("ALARM"), "benign stream alarmed: {text}");
+    assert!(text.contains("benign"), "final verdict missing: {text}");
+
+    // watch without --addr is a clear error, not a hang.
+    let out = scaguard(&["watch", &fr_path]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"));
+
     let mut client = scaguard_repro::serve::Client::connect(&*addr).expect("connect");
     let resp = client.shutdown().expect("shutdown");
     assert!(sca_serve::protocol::is_ok(&resp));
