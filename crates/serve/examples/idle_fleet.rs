@@ -1,0 +1,55 @@
+//! Hold a fleet of mostly-idle connections against a running server —
+//! the workload the event-driven connection layer exists for. Used by
+//! `scripts/verify.sh`'s reactor smoke.
+//!
+//! Usage: `idle_fleet <addr> [count] [hold-secs]`
+//!
+//! Opens `count` connections (default 256), completes one ping on each
+//! so they all count as spoken-and-parked, prints `held <count>
+//! connections` on stdout, then keeps them open for `hold-secs`
+//! (default 10) before exiting. Exits nonzero if any connection fails
+//! to open or answer.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        eprintln!("usage: idle_fleet <addr> [count] [hold-secs]");
+        std::process::exit(2);
+    };
+    let count: usize = args.next().map_or(256, |v| v.parse().expect("bad count"));
+    let hold: u64 = args
+        .next()
+        .map_or(10, |v| v.parse().expect("bad hold-secs"));
+
+    let mut fleet = Vec::with_capacity(count);
+    for i in 0..count {
+        let stream = TcpStream::connect(&addr)
+            .unwrap_or_else(|e| panic!("connection {i} failed to open: {e}"));
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set read timeout");
+        let mut reader = BufReader::new(stream);
+        reader
+            .get_mut()
+            .write_all(b"{\"cmd\":\"ping\"}\n")
+            .unwrap_or_else(|e| panic!("connection {i} failed to ping: {e}"));
+        fleet.push(reader);
+    }
+    for (i, conn) in fleet.iter_mut().enumerate() {
+        let mut line = String::new();
+        conn.read_line(&mut line)
+            .unwrap_or_else(|e| panic!("connection {i} got no pong: {e}"));
+        assert!(
+            line.contains("\"pong\":true"),
+            "connection {i} got an unexpected answer: {}",
+            line.trim_end()
+        );
+    }
+    println!("held {count} connections");
+    std::io::stdout().flush().expect("flush");
+    std::thread::sleep(Duration::from_secs(hold));
+}

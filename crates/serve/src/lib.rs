@@ -14,15 +14,19 @@
 //!   kinds, and frame I/O. Detections on the wire are rendered by
 //!   [`scaguard::detection_json`], byte-identical to
 //!   `scaguard classify --json`.
-//! - [`queue`] — a bounded admission queue. Full queue ⇒ the request is
-//!   shed with an explicit `overloaded` response (admission control,
-//!   never unbounded backlog).
-//! - [`server`] — the acceptor, per-connection handlers (reader plus a
-//!   writer thread per connection), and the fixed worker pool that
-//!   scatters each classify across per-shard probe pools and merges the
-//!   shard verdicts deterministically; plus hot repository reload
-//!   (atomic `Arc` swap — each request is answered by exactly one
-//!   repository generation) and deadline propagation into the engine's
+//! - [`queue`] — a bounded admission queue (full queue ⇒ the request is
+//!   shed with an explicit `overloaded` response — admission control,
+//!   never unbounded backlog) and the per-connection [`queue::Outbox`]
+//!   reply buffer.
+//! - [`server`] — the event-driven connection layer: one reactor thread
+//!   owns the nonblocking listener and every accepted socket, assembles
+//!   frames from partial reads, and parks idle connections as plain
+//!   registry entries (no thread per connection — thousands of idle
+//!   watchers cost nothing); plus the fixed worker pool that scatters
+//!   each classify across per-shard probe pools and merges the shard
+//!   verdicts deterministically, hot repository reload (atomic `Arc`
+//!   swap — each request is answered by exactly one repository
+//!   generation), and deadline propagation into the engine's
 //!   bounded-DTW hook.
 //!
 //! [`client`] is the matching blocking client, used by `scaguard

@@ -847,6 +847,120 @@ pub fn write_frame(w: &mut impl Write, frame: &Json) -> io::Result<()> {
     w.flush()
 }
 
+/// A complete or still-arriving line exceeded the frame limit; the
+/// stream cannot be resynchronized mid-frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLong {
+    /// The limit that was exceeded, for the error message.
+    pub limit: usize,
+}
+
+/// Incremental frame assembly for nonblocking reads.
+///
+/// [`read_frame_limited`] pulls bytes from a blocking `BufRead` until a
+/// frame completes; a reactor cannot block, so it [`feed`]s whatever a
+/// nonblocking read returned and pops complete frames as they form.
+/// The two are semantically identical — same limit rule (a line longer
+/// than `limit` bytes, terminated or not, is [`FrameTooLong`]; exactly
+/// `limit` is fine), same trailing-`\r` stripping, same lossy UTF-8
+/// decode, and the same EOF rule (a final unterminated line is still a
+/// frame) — which is what keeps every PR-5 framing guarantee intact
+/// under the event-driven connection layer.
+///
+/// [`feed`]: FrameAssembler::feed
+#[derive(Debug)]
+pub struct FrameAssembler {
+    limit: usize,
+    buf: Vec<u8>,
+    /// Prefix of `buf` already scanned and known newline-free, so a
+    /// slowly arriving frame is not rescanned from the start on every
+    /// sweep.
+    scanned: usize,
+    eof: bool,
+}
+
+impl FrameAssembler {
+    /// An empty assembler enforcing `limit` bytes per frame.
+    pub fn new(limit: usize) -> FrameAssembler {
+        FrameAssembler {
+            limit,
+            buf: Vec::new(),
+            scanned: 0,
+            eof: false,
+        }
+    }
+
+    /// Append bytes read off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Mark end of stream: the next [`FrameAssembler::next_frame`] call
+    /// hands out a final unterminated line, if one is buffered.
+    pub fn set_eof(&mut self) {
+        self.eof = true;
+    }
+
+    /// Whether bytes of an incomplete frame are buffered — the
+    /// mid-frame-stall half of the io-timeout split keys off this.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no frame can ever be produced again: end of stream seen
+    /// and nothing buffered.
+    pub fn is_drained(&self) -> bool {
+        self.eof && self.buf.is_empty()
+    }
+
+    /// Pop the next complete frame, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameTooLong`] under exactly the conditions
+    /// [`read_frame_limited`] errors: a terminated line longer than the
+    /// limit, or more than `limit` bytes buffered with no newline yet.
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameTooLong> {
+        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(rel) => {
+                let pos = self.scanned + rel;
+                if pos > self.limit {
+                    return Err(FrameTooLong { limit: self.limit });
+                }
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop();
+                self.scanned = 0;
+                while line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+            }
+            None => {
+                self.scanned = self.buf.len();
+                if self.buf.len() > self.limit {
+                    return Err(FrameTooLong { limit: self.limit });
+                }
+                if self.eof && !self.buf.is_empty() {
+                    let mut line = std::mem::take(&mut self.buf);
+                    self.scanned = 0;
+                    while line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1193,5 +1307,94 @@ mod tests {
                 Err(FrameReadError::Io(e)) => panic!("in-memory reader failed: {e}"),
             }
         }
+    }
+
+    /// Drive an assembler over `bytes` in `chunk`-sized feeds, popping
+    /// eagerly after every feed — the reactor's access pattern.
+    fn assemble_all(bytes: &[u8], limit: usize, chunk: usize) -> Result<Vec<String>, FrameTooLong> {
+        let mut asm = FrameAssembler::new(limit);
+        let mut frames = Vec::new();
+        for piece in bytes.chunks(chunk.max(1)) {
+            asm.feed(piece);
+            while let Some(f) = asm.next_frame()? {
+                frames.push(f);
+            }
+        }
+        asm.set_eof();
+        while let Some(f) = asm.next_frame()? {
+            frames.push(f);
+        }
+        assert!(asm.is_drained());
+        Ok(frames)
+    }
+
+    #[test]
+    fn assembler_matches_blocking_reads_at_any_chunk_size() {
+        let inputs: &[&[u8]] = &[
+            b"one\ntwo\r\n\nfour",
+            b"{\"cmd\":\"ping\"}\n{\"cmd\":\"stats\"}\n",
+            b"exactly-eight\n",
+            b"trailing-partial",
+            b"\xffgarbled\xfe\nok\n",
+            b"",
+            b"\n\n\n",
+        ];
+        for bytes in inputs {
+            for limit in [4usize, 16, 64] {
+                let blocking = read_all_frames(bytes, limit);
+                for chunk in [1usize, 3, 7, 4096] {
+                    let incremental = assemble_all(bytes, limit, chunk);
+                    match (&blocking, &incremental) {
+                        (Ok(a), Ok(b)) => assert_eq!(a, b, "chunk {chunk} limit {limit}"),
+                        (
+                            Err(FrameReadError::TooLong { limit: a }),
+                            Err(FrameTooLong { limit: b }),
+                        ) => {
+                            assert_eq!(a, b);
+                        }
+                        (b, i) => panic!("blocking {b:?} vs incremental {i:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assembler_accepts_a_frame_at_exactly_the_limit() {
+        let mut asm = FrameAssembler::new(5);
+        asm.feed(b"12345\n");
+        assert_eq!(asm.next_frame(), Ok(Some("12345".into())));
+        asm.feed(b"123456\n");
+        assert_eq!(asm.next_frame(), Err(FrameTooLong { limit: 5 }));
+    }
+
+    #[test]
+    fn assembler_rejects_an_unterminated_overlong_line_before_eof() {
+        // The limit trips as soon as too many bytes are buffered with no
+        // newline — the reactor must not wait for a newline that may
+        // never come (that was the read_line memory-exhaustion vector).
+        let mut asm = FrameAssembler::new(8);
+        asm.feed(b"123456");
+        assert_eq!(asm.next_frame(), Ok(None));
+        assert!(asm.has_partial());
+        asm.feed(b"789");
+        assert_eq!(asm.next_frame(), Err(FrameTooLong { limit: 8 }));
+    }
+
+    #[test]
+    fn assembler_pops_buffered_frames_without_new_bytes() {
+        // An unpaused connection must be able to drain frames that
+        // arrived while it was paused, with no further socket reads.
+        let mut asm = FrameAssembler::new(64);
+        asm.feed(b"a\nb\nc");
+        assert_eq!(asm.next_frame(), Ok(Some("a".into())));
+        assert_eq!(asm.next_frame(), Ok(Some("b".into())));
+        assert_eq!(asm.next_frame(), Ok(None));
+        assert!(asm.has_partial());
+        assert_eq!(asm.buffered(), 1);
+        asm.set_eof();
+        assert_eq!(asm.next_frame(), Ok(Some("c".into())));
+        assert_eq!(asm.next_frame(), Ok(None));
+        assert!(asm.is_drained());
     }
 }

@@ -10,18 +10,54 @@
 //! Architecture:
 //!
 //! ```text
-//! acceptor ──> handler (reader, one per connection) ──> writer thread
-//!                │  control frames (ping/stats/reload/shutdown): inline
-//!                │  work frames (classify/classify-batch/model): queue
-//!                ▼
-//!        BoundedQueue ──> worker pool ─────────┬──> reply ──> writer
-//!                            │ scatter         │ gather+merge
-//!                            ▼                 │
-//!               per-shard probe queues ──> shard pools (detector clones)
+//! reactor (one thread: nonblocking accept + reads + writes, timed sweeps)
+//!    │  control frames (ping/stats/metrics/flight/shutdown): inline
+//!    │  watch frames: routed to the stream's dedicated thread
+//!    │  reload-repo: transient thread (connection paused meanwhile)
+//!    │  work frames (classify/classify-batch/model): queue
+//!    ▼
+//! BoundedQueue ──> worker pool ────────┬──> reply ──> conn outbox ──> reactor
+//!                     │ scatter        │ gather+merge
+//!                     ▼                │
+//!        per-shard probe queues ──> shard pools (detector clones)
 //! ```
 //!
+//! - **Event-driven connections**: there is no thread per connection.
+//!   One reactor thread owns the nonblocking listener and every
+//!   accepted socket, sweeping them on a short timer (plus a condvar
+//!   wake whenever a producer enqueues output): each sweep accepts
+//!   pending peers, drains each connection's [`Outbox`] into its
+//!   socket, feeds whatever bytes are readable into a per-connection
+//!   [`FrameAssembler`], and dispatches the complete frames. An idle
+//!   connection is just a registry entry — a socket, an empty
+//!   assembler, an empty outbox — so thousands of parked watchers cost
+//!   file descriptors, not threads or stacks.
+//! - **Write-path ownership**: the reactor is the only thing that ever
+//!   writes a socket. Workers, stream threads, and the reload thread
+//!   push whole rendered frames into the connection's outbox (one lock,
+//!   one append), which is what keeps out-of-order completions from
+//!   interleaving bytes mid-frame — the invariant the old per-
+//!   connection writer thread provided, now without the thread.
+//! - **Ordering without blocking**: untagged requests keep one-in-one-
+//!   out ordering by *pausing* the connection — the reactor stops
+//!   reading and parsing it until the worker has pushed the reply —
+//!   so backpressure is TCP's, not an unbounded buffer's. Requests
+//!   tagged with an envelope `id` are pipelined exactly as before:
+//!   admitted without pausing, answered out of order.
+//! - **Timeout split**: the per-connection io-timeout now distinguishes
+//!   a *stalled* peer from a *parked* one. A connection mid-frame (or
+//!   one that has never completed a frame, or one whose outbox cannot
+//!   make write progress) is killed after [`ServeConfig::io_timeout_ms`]
+//!   and counted in `timeouts`; a connection that has spoken and gone
+//!   quiet — the resident-watcher steady state — parks indefinitely at
+//!   zero cost.
+//! - **Connection cap**: beyond [`ServeConfig::max_connections`] a new
+//!   peer gets one structured `overloaded` frame and a clean close
+//!   (`conns_rejected`) — the admission queue's shedding discipline,
+//!   one layer down. Accept errors (fd exhaustion) back off
+//!   exponentially instead of hot-looping, counted in `accept_errors`.
 //! - **Admission control**: the queue is bounded; when it is full the
-//!   handler sheds the request with an explicit `overloaded` error
+//!   reactor sheds the request with an explicit `overloaded` error
 //!   instead of queueing unboundedly or stalling the connection.
 //! - **Sharded scan**: the repository is split into [`ServeConfig::shards`]
 //!   contiguous slices, each with its own probe queue and threads holding
@@ -32,11 +68,6 @@
 //!   detection is byte-identical at any shard count. Even at one shard
 //!   the clone-per-thread pool wins: scans no longer serialize on a
 //!   single detector's scan-state mutex.
-//! - **Pipelining**: every response is written by a per-connection
-//!   writer thread. Untagged requests keep one-in-one-out ordering;
-//!   requests tagged with an envelope `id` are admitted without blocking
-//!   the reader, stay in flight concurrently, and their responses
-//!   (carrying the id) may complete out of order.
 //! - **Deadline propagation**: a request deadline (per-request
 //!   `deadline_ms` or the server default) is fixed at admission and
 //!   propagated into the engine's bounded-DTW hook, so an expired
@@ -64,11 +95,11 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -85,12 +116,12 @@ use scaguard::{
 };
 
 use crate::protocol::{
-    self, error_frame, ok_frame, parse_victim, read_frame_limited, request_id,
-    request_wants_timings, with_request_id, with_trace_id, write_frame, ErrorKind, FrameReadError,
-    Request, KIND_BAD_REQUEST, KIND_DEADLINE_EXCEEDED, KIND_INTERNAL_ERROR, KIND_MODEL_ERROR,
-    KIND_OVERLOADED, KIND_RELOAD_FAILED, KIND_SHUTTING_DOWN, PROTOCOL_VERSION,
+    self, error_frame, ok_frame, parse_victim, request_id, request_wants_timings, with_request_id,
+    with_trace_id, ErrorKind, FrameAssembler, FrameTooLong, Request, KIND_BAD_REQUEST,
+    KIND_DEADLINE_EXCEEDED, KIND_INTERNAL_ERROR, KIND_MODEL_ERROR, KIND_OVERLOADED,
+    KIND_RELOAD_FAILED, KIND_SHUTTING_DOWN, PROTOCOL_VERSION,
 };
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, Outbox};
 
 /// Server configuration; see the field docs for defaults.
 #[derive(Debug, Clone)]
@@ -116,11 +147,21 @@ pub struct ServeConfig {
     /// The repository file to load (and to re-read on `reload-repo`
     /// without an explicit path).
     pub repo_path: PathBuf,
-    /// Per-connection socket read/write timeout (default 30s). A client
-    /// that stalls mid-frame, goes idle forever, or never drains its
-    /// responses is disconnected instead of pinning a handler thread
-    /// for the life of the process. `None` disables the timeouts.
+    /// Per-connection stall timeout (default 30s). A peer that stalls
+    /// mid-frame, never completes a first frame, or stops draining its
+    /// responses is disconnected and counted in `timeouts`. A
+    /// connection that has completed at least one frame and gone fully
+    /// quiet is *parked* instead — under the reactor an idle connection
+    /// costs a registry entry, not a thread, so it may sit past this
+    /// timeout indefinitely. `None` disables the stall timeout too.
     pub io_timeout_ms: Option<u64>,
+    /// Hard cap on concurrently open connections (default `None`:
+    /// unbounded). At the cap a new peer is answered with one
+    /// structured `overloaded` frame and cleanly closed (counted in
+    /// `conns_rejected`) — the admission queue's shedding discipline
+    /// applied one layer down, before the peer can occupy a registry
+    /// slot.
+    pub max_connections: Option<usize>,
     /// Hard cap on one request frame's length in bytes (default
     /// [`protocol::MAX_FRAME_LEN`]). An oversized frame is answered
     /// with a `bad_request` naming the limit and the connection is
@@ -158,6 +199,7 @@ impl ServeConfig {
             threshold: Detector::DEFAULT_THRESHOLD,
             repo_path: repo_path.into(),
             io_timeout_ms: Some(30_000),
+            max_connections: None,
             max_frame_len: protocol::MAX_FRAME_LEN,
             metrics: false,
             flight_capacity: 256,
@@ -246,6 +288,9 @@ struct Counters {
     reloads: AtomicU64,
     panics: AtomicU64,
     timeouts: AtomicU64,
+    accept_errors: AtomicU64,
+    conns_rejected: AtomicU64,
+    spawn_errors: AtomicU64,
 }
 
 /// A point-in-time copy of the server counters.
@@ -266,33 +311,123 @@ pub struct StatsSnapshot {
     /// Worker panics caught and answered with `internal_error` (the
     /// pool stays at full strength; this counter is how you notice).
     pub panics: u64,
-    /// Connections dropped by the per-connection socket timeout.
+    /// Connections dropped by the stall timeout: a peer stuck mid-frame,
+    /// never completing a first frame, or not draining its responses.
+    /// Parked-idle connections are deliberately not counted (or killed).
     pub timeouts: u64,
+    /// `accept` failures (fd exhaustion and kin); each also arms the
+    /// accept backoff so the reactor never hot-loops on a failing
+    /// listener.
+    pub accept_errors: u64,
+    /// Connections refused at the [`ServeConfig::max_connections`] cap
+    /// with a structured `overloaded` frame and a clean close.
+    pub conns_rejected: u64,
+    /// Thread-spawn failures surfaced as structured `internal_error`
+    /// responses (stream threads, the reload thread) instead of being
+    /// silently swallowed.
+    pub spawn_errors: u64,
     /// Gauge: work requests admitted but not yet answered (queued or on
     /// a worker).
     pub in_flight: u64,
     /// Gauge: workers currently executing a job.
     pub busy_workers: u64,
+    /// Gauge: connections currently registered with the reactor.
+    pub conns_active: u64,
 }
 
-/// A frame on its way to one connection's writer thread, which owns the
-/// write half of the socket — the only way pipelined (out-of-order)
-/// worker replies and inline control replies never interleave mid-frame.
-/// `Flush` carries an ack channel so the handler can order an external
-/// effect (process shutdown) strictly after the frame hits the socket.
-enum OutMsg {
-    Frame(Json),
-    Flush(Json, mpsc::Sender<()>),
+/// The reactor's doorbell. The reactor sleeps between sweeps on this
+/// condvar; any producer with fresh output (a worker reply, a stream
+/// event, the reload thread, shutdown) rings it so flushing never waits
+/// for the next timed sweep. Socket *input* is not signalled — inbound
+/// bytes are picked up by the timed sweep itself, which bounds the cost
+/// of thousands of idle connections to one nonblocking read each per
+/// sweep.
+#[derive(Default)]
+struct ReactorWake {
+    rung: Mutex<bool>,
+    bell: Condvar,
 }
 
-/// Where a worker's answer goes. `Sync` is the classic one-in-one-out
-/// path: the handler blocks on the channel and decorates the frame
-/// itself. `Pipelined` answers a tagged request: the worker decorates
-/// the frame (trace id + echoed `id`) and routes it straight to the
-/// connection's writer, leaving the reader free to admit more work.
+impl ReactorWake {
+    fn notify(&self) {
+        let mut rung = self.rung.lock().unwrap_or_else(|e| e.into_inner());
+        *rung = true;
+        self.bell.notify_one();
+    }
+
+    /// Sleep until rung, at most `timeout`; consumes the ring.
+    fn wait(&self, timeout: Duration) {
+        let mut rung = self.rung.lock().unwrap_or_else(|e| e.into_inner());
+        if !*rung {
+            let (guard, _) = self
+                .bell
+                .wait_timeout(rung, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            rung = guard;
+        }
+        *rung = false;
+    }
+}
+
+/// The slice of one connection's state shared outside the reactor.
+/// Workers, stream threads, and the transient reload thread hold an
+/// `Arc` to it and push rendered reply frames into the outbox; the
+/// reactor — sole owner of the socket — drains it. The reactor also
+/// uses the `Arc`'s strong count as the liveness signal for a
+/// half-closed connection: once it holds the only reference and the
+/// outbox is dry, no late reply can ever arrive and the socket can
+/// close.
+struct ConnShared {
+    outbox: Outbox,
+    /// True while an ordered (untagged) request or reload is in flight:
+    /// the reactor neither reads the socket nor parses buffered frames
+    /// until the producer pushes the reply and lifts the pause — the
+    /// blocking path's one-in-one-out ordering, with TCP backpressure
+    /// instead of a blocked reader thread.
+    paused: AtomicBool,
+    wake: Arc<ReactorWake>,
+}
+
+impl ConnShared {
+    fn new(wake: Arc<ReactorWake>) -> ConnShared {
+        ConnShared {
+            outbox: Outbox::new(),
+            paused: AtomicBool::new(false),
+            wake,
+        }
+    }
+
+    /// Render `frame` and enqueue it for the reactor to write. A closed
+    /// outbox (dead connection) makes this a no-op — a worker finishing
+    /// after its peer hung up answers nowhere, exactly like the old
+    /// dropped writer channel.
+    fn push(&self, frame: Json) {
+        let mut line = frame.to_string();
+        line.push('\n');
+        if self.outbox.push(line.as_bytes()) {
+            self.wake.notify();
+        }
+    }
+
+    /// Push a reply and lift the connection's pause, in that order —
+    /// the reply must be in the outbox before the reactor may parse
+    /// (and answer) the connection's next frame.
+    fn push_and_unpause(&self, frame: Json) {
+        self.push(frame);
+        self.paused.store(false, Ordering::Release);
+        self.wake.notify();
+    }
+}
+
+/// Where a worker's answer goes: into the connection's outbox, drained
+/// by the reactor. `Ordered` answers an untagged request — the reactor
+/// paused the connection at admission and the worker lifts the pause
+/// only after the decorated reply is enqueued. `Pipelined` answers a
+/// tagged request: the worker decorates the frame (trace id + echoed
+/// `id`) and the response may overtake other in-flight work.
 enum Reply {
-    Sync(mpsc::Sender<Json>),
-    Pipelined { out: mpsc::Sender<OutMsg>, id: Json },
+    Ordered { conn: Arc<ConnShared> },
+    Pipelined { conn: Arc<ConnShared>, id: Json },
 }
 
 /// One admitted unit of work. The `repo` snapshot is taken at admission:
@@ -381,6 +516,13 @@ struct Shared {
     /// Open watch streams across all connections (each runs on its own
     /// dedicated thread, outside the worker pool).
     streams_active: AtomicU64,
+    /// Connections currently registered with the reactor.
+    conns_active: AtomicU64,
+    /// Set by [`ServerHandle::join`] once the workers are gone: the
+    /// reactor makes one final bounded flush pass and exits.
+    reactor_stop: AtomicBool,
+    /// The reactor's doorbell (see [`ReactorWake`]).
+    wake: Arc<ReactorWake>,
     /// Always-on ring of per-request summaries.
     flight: FlightRecorder,
     /// Open slow-request log, when configured.
@@ -404,8 +546,12 @@ impl Shared {
             reloads: self.counters.reloads.load(Ordering::Relaxed),
             panics: self.counters.panics.load(Ordering::Relaxed),
             timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            accept_errors: self.counters.accept_errors.load(Ordering::Relaxed),
+            conns_rejected: self.counters.conns_rejected.load(Ordering::Relaxed),
+            spawn_errors: self.counters.spawn_errors.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             busy_workers: self.busy_workers.load(Ordering::Relaxed),
+            conns_active: self.conns_active.load(Ordering::Relaxed),
         }
     }
 
@@ -424,23 +570,22 @@ impl Shared {
         let _ = f.flush();
     }
 
-    /// Begin shutdown: refuse new work, let queued work drain, wake the
-    /// acceptor with a self-connection.
+    /// Begin shutdown: refuse new work and let queued work drain. The
+    /// reactor never blocks in `accept`, so it only needs its doorbell
+    /// rung to observe the flag and drop the listener.
     fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         self.queue.close();
-        // The acceptor blocks in `accept`; a throwaway connection wakes
-        // it so it can observe the flag and exit.
-        let _ = TcpStream::connect(self.addr);
+        self.wake.notify();
     }
 }
 
 /// A running server: its bound address plus the thread handles.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
 }
@@ -467,11 +612,10 @@ impl ServerHandle {
         self.shared.begin_shutdown();
     }
 
-    /// Wait for the acceptor and every worker to exit.
+    /// Wait for every worker, shard thread, and the reactor to exit.
     pub fn join(mut self) {
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
+        // The reactor keeps sweeping while the workers drain so their
+        // final replies still reach clients; it is stopped last.
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -482,6 +626,13 @@ impl ServerHandle {
         }
         for t in self.shard_threads.drain(..) {
             let _ = t.join();
+        }
+        // Every reply is now in its outbox: one final bounded flush
+        // pass, then the reactor exits.
+        self.shared.reactor_stop.store(true, Ordering::SeqCst);
+        self.shared.wake.notify();
+        if let Some(r) = self.reactor.take() {
+            let _ = r.join();
         }
     }
 }
@@ -560,6 +711,10 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         config.shards,
     )?;
     let listener = TcpListener::bind(&config.addr)?;
+    // The reactor owns every socket and must never block in a syscall:
+    // accepts, reads, and writes all go nonblocking and are revisited
+    // on the next sweep.
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
     let shard_count = config.shards.max(1);
@@ -587,289 +742,654 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         in_flight: AtomicU64::new(0),
         busy_workers: AtomicU64::new(0),
         streams_active: AtomicU64::new(0),
+        conns_active: AtomicU64::new(0),
+        reactor_stop: AtomicBool::new(false),
+        wake: Arc::new(ReactorWake::default()),
         flight: FlightRecorder::new(config.flight_capacity),
         slow_log,
         shard_pools,
         config,
     });
 
-    let pool: Vec<JoinHandle<()>> = (0..workers)
-        .map(|i| {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name(format!("sca-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn worker thread")
-        })
-        .collect();
+    // A startup spawn failure is a hard error, never a silently smaller
+    // pool: close the queues so the threads already spawned exit, join
+    // them, and hand the caller the `io::Error`.
+    let fail_spawn = |shared: &Arc<Shared>,
+                      workers: Vec<JoinHandle<()>>,
+                      shard_threads: Vec<JoinHandle<()>>,
+                      e: io::Error| {
+        shared.queue.close();
+        for pool in &shared.shard_pools {
+            pool.queue.close();
+        }
+        for h in workers {
+            let _ = h.join();
+        }
+        for h in shard_threads {
+            let _ = h.join();
+        }
+        ServeError::Io(e)
+    };
+
+    let mut pool: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let s = Arc::clone(&shared);
+        match thread::Builder::new()
+            .name(format!("sca-serve-worker-{i}"))
+            .spawn(move || worker_loop(&s))
+        {
+            Ok(h) => pool.push(h),
+            Err(e) => return Err(fail_spawn(&shared, pool, Vec::new(), e)),
+        }
+    }
 
     // The shard pools share the worker pool's parallelism budget:
     // ~`workers` probe threads total, spread evenly, at least one per
     // shard. Excess probes queue briefly rather than oversubscribing.
     let per_shard = workers.div_ceil(shard_count).max(1);
-    let shard_threads: Vec<JoinHandle<()>> = (0..shard_count)
-        .flat_map(|s| (0..per_shard).map(move |t| (s, t)))
-        .map(|(s, t)| {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name(format!("sca-serve-shard-{s}-{t}"))
-                .spawn(move || shard_loop(&shared, s))
-                .expect("spawn shard thread")
-        })
-        .collect();
+    let mut shard_threads: Vec<JoinHandle<()>> = Vec::with_capacity(shard_count * per_shard);
+    for (s, t) in (0..shard_count).flat_map(|s| (0..per_shard).map(move |t| (s, t))) {
+        let sh = Arc::clone(&shared);
+        match thread::Builder::new()
+            .name(format!("sca-serve-shard-{s}-{t}"))
+            .spawn(move || shard_loop(&sh, s))
+        {
+            Ok(h) => shard_threads.push(h),
+            Err(e) => return Err(fail_spawn(&shared, pool, shard_threads, e)),
+        }
+    }
 
-    let acceptor = {
+    let reactor = {
         let shared = Arc::clone(&shared);
         thread::Builder::new()
-            .name("sca-serve-acceptor".into())
-            .spawn(move || acceptor_loop(&listener, &shared))
-            .expect("spawn acceptor thread")
+            .name("sca-serve-reactor".into())
+            .spawn(move || reactor_loop(listener, &shared))
+    };
+    let reactor = match reactor {
+        Ok(h) => h,
+        Err(e) => return Err(fail_spawn(&shared, pool, shard_threads, e)),
     };
 
     Ok(ServerHandle {
         shared,
-        acceptor: Some(acceptor),
+        reactor: Some(reactor),
         workers: pool,
         shard_threads,
     })
 }
 
-fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        // Without NODELAY, Nagle + delayed ACK adds ~40ms to every
-        // small response frame.
-        let _ = stream.set_nodelay(true);
-        let shared = Arc::clone(shared);
-        // Handlers are detached: they die with their connection, and
-        // shutdown only needs the acceptor + workers to stop.
-        let _ = thread::Builder::new()
-            .name("sca-serve-conn".into())
-            .spawn(move || {
-                let _ = handle_connection(stream, &shared);
-            });
+/// How much one nonblocking read pulls off a socket at a time.
+const READ_CHUNK: usize = 16 * 1024;
+/// Per-connection per-sweep read budget: a firehose pipeliner is
+/// revisited next sweep instead of starving every other connection.
+const READ_BURST_MAX: usize = 256 * 1024;
+/// The timed-sweep period when nothing is happening. Producers with
+/// fresh output ring the doorbell instead of waiting it out; inbound
+/// socket bytes and new peers wait at most this long.
+const SWEEP_IDLE: Duration = Duration::from_millis(5);
+/// First accept-error backoff; doubles per consecutive error.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Accept-error backoff ceiling.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+/// How long the exiting reactor keeps flushing already-queued replies
+/// to slow peers before dropping the remaining connections.
+const FINAL_FLUSH_GRACE: Duration = Duration::from_millis(250);
+
+/// Nonblocking-io "try again later" (plus the timeout spelling some
+/// platforms use for it).
+fn would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// The accept backoff schedule: 10ms on the first error, doubling per
+/// consecutive error, capped at 1s. A successful accept resets it (the
+/// caller passes `None` again). This is what turns the old
+/// `let Ok(stream) = stream else { continue }` 100%-CPU spin under fd
+/// exhaustion into a bounded retry.
+fn next_accept_backoff(previous: Option<Duration>) -> Duration {
+    match previous {
+        None => ACCEPT_BACKOFF_MIN,
+        Some(d) => d.saturating_mul(2).min(ACCEPT_BACKOFF_MAX),
     }
 }
 
-/// Serve one connection: read frames until EOF, answering each one.
-/// Malformed frames get a structured `bad_request` response and the
-/// connection stays open — a client typo (or one garbled frame in the
-/// middle of a pipeline) never costs the session or its other in-flight
-/// requests.
-///
-/// All responses — inline control answers and pipelined worker replies
-/// alike — are serialized by a per-connection writer thread that owns
-/// the write half of the socket, so out-of-order completions can never
-/// interleave bytes mid-frame.
-///
-/// The connection is *closed* (never left hanging) in exactly three
-/// hostile cases: a socket timeout (stalled, idle-forever, or
-/// never-reading peer — counted in `timeouts`), an oversized frame
-/// (answered with a `bad_request` naming the limit first; the stream
-/// cannot be resynchronized mid-frame), and a transport error.
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+/// One registered connection — the reactor-private half. An idle parked
+/// connection is exactly this struct: a socket, an empty assembler, an
+/// empty outbox, and a couple of timestamps. No thread, no stack.
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    assembler: FrameAssembler,
+    /// Open watch streams on this connection, keyed by stream id (the
+    /// `watch` frame's trace id). A stream id is only routable on the
+    /// connection that opened it; dropping the map drops the last
+    /// command sender of every stream — each stream thread winds down
+    /// on its own.
+    watches: HashMap<u64, mpsc::Sender<WatchCmd>>,
+    /// When the last byte arrived (connect time until then).
+    last_read: Instant,
+    /// Set while outbound bytes are pending and writes make no
+    /// progress; cleared by any successful write (or an empty outbox).
+    write_stalled_since: Option<Instant>,
+    /// At least one complete frame has arrived. Until then the peer is
+    /// mid-handshake and subject to the stall timeout; afterwards a
+    /// fully quiet connection parks indefinitely.
+    spoke: bool,
+    /// Peer half-closed its write side. Buffered frames still parse and
+    /// in-flight replies still flush; the socket closes once both are
+    /// drained and no producer holds a reference.
+    eof: bool,
+    /// A fatal frame error (oversized) was answered; close as soon as
+    /// the error frame is flushed — the stream cannot be resynchronized.
+    draining: bool,
+    /// A shutdown ack is in the outbox; `begin_shutdown` runs strictly
+    /// after it (and everything before it) hits the socket, so the ack
+    /// can never race process exit.
+    shutdown_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, shared: Arc<ConnShared>, max_frame_len: usize) -> Conn {
+        Conn {
+            stream,
+            shared,
+            assembler: FrameAssembler::new(max_frame_len),
+            watches: HashMap::new(),
+            last_read: Instant::now(),
+            write_stalled_since: None,
+            spoke: false,
+            eof: false,
+            draining: false,
+            shutdown_after_flush: false,
+        }
+    }
+}
+
+/// What one sweep concluded about one connection.
+enum SweepOutcome {
+    /// Something moved: bytes in, bytes out, a frame dispatched.
+    Progress,
+    /// Nothing to do.
+    Idle,
+    /// Deregister the connection.
+    Close(CloseReason),
+}
+
+enum CloseReason {
+    /// EOF fully drained, or a fatal frame error flushed.
+    Clean,
+    /// The stall timeout fired (mid-frame, handshake, or write stall).
+    Timeout,
+    /// The transport failed (reset, broken pipe).
+    Transport,
+}
+
+/// The reactor: one thread owning the listener and every connection.
+/// Each sweep accepts pending peers (with backoff on accept errors),
+/// then serves every connection — flush outbox, nonblocking read into
+/// the frame assembler, dispatch complete frames, stall-timeout checks
+/// — and sleeps on the doorbell only when a full sweep made no
+/// progress.
+fn reactor_loop(listener: TcpListener, shared: &Arc<Shared>) {
     let io_timeout = shared
         .config
         .io_timeout_ms
         .map(|ms| Duration::from_millis(ms.max(1)));
-    stream.set_read_timeout(io_timeout)?;
-    stream.set_write_timeout(io_timeout)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let (out_tx, out_rx) = mpsc::channel::<OutMsg>();
-    // The writer outlives this handler when pipelined work is still in
-    // flight at reader EOF: workers hold sender clones and their late
-    // replies are still written. It exits when the last sender drops or
-    // the peer stops draining its socket.
-    let writer_shared = Arc::clone(shared);
-    let _writer = thread::Builder::new()
-        .name("sca-serve-writer".into())
-        .spawn(move || {
-            let mut stream = stream;
-            for msg in out_rx {
-                let (frame, ack) = match msg {
-                    OutMsg::Frame(frame) => (frame, None),
-                    OutMsg::Flush(frame, ack) => (frame, Some(ack)),
-                };
-                if let Err(e) = write_frame(&mut stream, &frame) {
-                    // A peer that stops draining its socket stalls the
-                    // write; with the write timeout set, that surfaces
-                    // here and costs the peer its connection instead of
-                    // pinning this thread.
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) {
-                        writer_shared
-                            .counters
-                            .timeouts
-                            .fetch_add(1, Ordering::Relaxed);
-                        sca_telemetry::counter("serve.timeouts", 1);
-                    }
-                    break;
-                }
-                if let Some(ack) = ack {
-                    let _ = ack.send(());
-                }
-            }
-        })?;
-    let mut result = Ok(());
-    // Open watch streams on this connection, keyed by stream id (the
-    // `watch` frame's trace id). The map lives in the handler, so a
-    // stream id is only routable on the connection that opened it, and
-    // dropping the map at connection end drops the last command sender
-    // of every stream — each stream thread winds down on its own.
-    let mut watches: HashMap<u64, mpsc::Sender<WatchCmd>> = HashMap::new();
+    let mut listener = Some(listener);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut backoff: Option<Duration> = None;
+    let mut retry_at: Option<Instant> = None;
+    let mut buf = vec![0u8; READ_CHUNK];
     loop {
-        // Every read attempt — work, control, unparseable garbage, even
-        // an oversized frame — burns one trace id and returns it, so any
-        // response a client ever sees can be named when reporting a
-        // problem. The burn happens *before* the frame-length check: the
-        // TooLong reply answers a frame that never finished arriving.
-        let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed);
-        let line = match read_frame_limited(&mut reader, shared.config.max_frame_len) {
-            Ok(Some(line)) => line,
-            Ok(None) => break,
-            Err(FrameReadError::TooLong { limit }) => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = out_tx.send(OutMsg::Frame(with_trace_id(
-                    error_frame(
-                        KIND_BAD_REQUEST,
-                        &format!("frame exceeds the {limit}-byte limit; closing connection"),
-                    ),
-                    trace,
-                )));
-                break;
-            }
-            Err(e) if e.is_timeout() => {
-                shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                sca_telemetry::counter("serve.timeouts", 1);
-                break;
-            }
-            Err(FrameReadError::Io(e)) => {
-                result = Err(e);
-                break;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
+        let mut progress = false;
+        // Shutdown begun (wire command or `ServerHandle::shutdown`):
+        // drop the listener so no new peer is accepted, keep sweeping
+        // so queued work's replies still drain.
+        if shared.shutdown.load(Ordering::SeqCst) && listener.is_some() {
+            listener = None;
+            progress = true;
         }
-        let (response, id) = match Json::parse(&line) {
-            Err(e) => (
-                Some(error_frame(
-                    KIND_BAD_REQUEST,
-                    &format!("invalid JSON frame: {e}"),
-                )),
-                None,
-            ),
-            Ok(v) => {
-                let id = request_id(&v);
-                let wants_timings = request_wants_timings(&v);
-                match Request::from_json(&v) {
-                    Err(e) => (Some(error_frame(KIND_BAD_REQUEST, &e)), id),
-                    // Acknowledge shutdown *before* initiating it: once
-                    // the worker pool unwinds the whole process may exit
-                    // (CLI `serve`), and a detached handler must not race
-                    // its reply against that exit — hence the flush ack.
-                    Ok(Request::Shutdown) => {
-                        let mut frame = with_trace_id(
-                            ok_frame(vec![("stopping".into(), Json::Bool(true))]),
-                            trace,
-                        );
-                        if let Some(id) = &id {
-                            frame = with_request_id(frame, id);
-                        }
-                        let (ack_tx, ack_rx) = mpsc::channel();
-                        if out_tx.send(OutMsg::Flush(frame, ack_tx)).is_ok() {
-                            let _ = ack_rx.recv();
-                        }
-                        shared.begin_shutdown();
-                        continue;
+        if let Some(l) = &listener {
+            if retry_at.is_none_or(|t| Instant::now() >= t) {
+                match accept_burst(l, shared, &mut conns) {
+                    AcceptOutcome::Accepted => {
+                        progress = true;
+                        backoff = None;
+                        retry_at = None;
                     }
-                    // Watch streams are per-connection state, so the
-                    // three stream commands are handled here rather
-                    // than in `dispatch`. Pushed events flow from the
-                    // stream thread straight to the writer; only the
-                    // open ack (and routing failures) answer inline.
-                    Ok(Request::Watch {
-                        name,
-                        program,
-                        victim,
-                        increment,
-                        threshold,
-                        sustain,
-                        deadline_ms,
-                    }) => {
-                        let open = WatchOpen {
-                            name,
-                            program,
-                            victim,
-                            increment,
-                            threshold,
-                            sustain,
-                            deadline_ms,
-                        };
-                        (
-                            Some(start_watch(shared, &out_tx, &mut watches, trace, open)),
-                            id,
-                        )
+                    AcceptOutcome::Quiet => {
+                        backoff = None;
+                        retry_at = None;
                     }
-                    Ok(Request::WatchPush { stream, increments }) => {
-                        let cmd = WatchCmd::Push {
-                            increments,
-                            trace,
-                            id: id.clone(),
-                        };
-                        (route_watch_cmd(&mut watches, stream, cmd), id)
+                    AcceptOutcome::Errored => {
+                        let delay = next_accept_backoff(backoff);
+                        backoff = Some(delay);
+                        retry_at = Some(Instant::now() + delay);
                     }
-                    Ok(Request::WatchFinish { stream }) => {
-                        let cmd = WatchCmd::Finish {
-                            trace,
-                            id: id.clone(),
-                        };
-                        let response = route_watch_cmd(&mut watches, stream, cmd);
-                        // Finish closes the stream either way: a
-                        // successfully routed finish ends the thread,
-                        // and a routing failure means it is already
-                        // gone.
-                        watches.remove(&stream);
-                        (response, id)
-                    }
-                    // Tagged work is pipelined: admit it without waiting
-                    // and keep reading — the worker routes the tagged
-                    // response to the writer whenever it completes.
-                    Ok(
-                        work @ (Request::Classify { .. }
-                        | Request::ClassifyBatch { .. }
-                        | Request::Model { .. }),
-                    ) if id.is_some() => {
-                        let id = id.expect("guarded by is_some");
-                        submit_pipelined(work, shared, trace, wants_timings, id, &out_tx);
-                        (None, None)
-                    }
-                    Ok(req) => (Some(dispatch(req, shared, trace, wants_timings)), id),
                 }
             }
-        };
-        if let Some(frame) = response {
-            let mut frame = with_trace_id(frame, trace);
-            if let Some(id) = &id {
-                frame = with_request_id(frame, id);
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            match sweep_conn(shared, &mut conns[i], io_timeout, &mut buf) {
+                SweepOutcome::Progress => {
+                    progress = true;
+                    i += 1;
+                }
+                SweepOutcome::Idle => i += 1,
+                SweepOutcome::Close(reason) => {
+                    let conn = conns.swap_remove(i);
+                    close_conn(shared, conn, &reason);
+                    progress = true;
+                }
             }
-            if out_tx.send(OutMsg::Frame(frame)).is_err() {
-                // The writer exited (write timeout or transport error);
-                // nothing more can be answered on this connection.
-                break;
+        }
+        if shared.reactor_stop.load(Ordering::SeqCst) {
+            final_flush(shared, conns);
+            return;
+        }
+        if !progress {
+            shared.wake.wait(SWEEP_IDLE);
+        }
+    }
+}
+
+enum AcceptOutcome {
+    Accepted,
+    Quiet,
+    Errored,
+}
+
+/// Accept every peer currently pending on the nonblocking listener.
+/// Stops at the first real error (the caller backs off) and never
+/// blocks.
+fn accept_burst(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &mut Vec<Conn>,
+) -> AcceptOutcome {
+    let mut accepted = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                accepted = true;
+                // Without NODELAY, Nagle + delayed ACK adds ~40ms to
+                // every small response frame.
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    // A socket the reactor cannot make nonblocking
+                    // would wedge every sweep; drop it.
+                    continue;
+                }
+                if shared
+                    .config
+                    .max_connections
+                    .is_some_and(|cap| conns.len() >= cap)
+                {
+                    reject_at_capacity(shared, stream, conns.len());
+                    continue;
+                }
+                shared.conns_active.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::new(ConnShared::new(Arc::clone(&shared.wake)));
+                conns.push(Conn::new(stream, conn_shared, shared.config.max_frame_len));
+            }
+            Err(e) if would_block(&e) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                shared
+                    .counters
+                    .accept_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                sca_telemetry::counter("serve.accept_errors", 1);
+                return AcceptOutcome::Errored;
             }
         }
     }
-    result
+    if accepted {
+        AcceptOutcome::Accepted
+    } else {
+        AcceptOutcome::Quiet
+    }
 }
 
-/// Answer one request: control commands inline, work through the queue.
-fn dispatch(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: bool) -> Json {
+/// Refuse a peer at the connection cap: one structured `overloaded`
+/// frame (best effort — a fresh socket's send buffer holds it without
+/// blocking), then a clean close.
+fn reject_at_capacity(shared: &Arc<Shared>, mut stream: TcpStream, active: usize) {
+    shared
+        .counters
+        .conns_rejected
+        .fetch_add(1, Ordering::Relaxed);
+    sca_telemetry::counter("serve.conns_rejected", 1);
+    let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed);
+    let frame = with_trace_id(
+        error_frame(
+            KIND_OVERLOADED,
+            &format!("connection limit reached ({active} active); retry later"),
+        ),
+        trace,
+    );
+    let mut line = frame.to_string();
+    line.push('\n');
+    let _ = stream.write(line.as_bytes());
+}
+
+/// Serve one connection for one sweep. Malformed frames get a
+/// structured `bad_request` and the connection stays open — a client
+/// typo (or one garbled frame mid-pipeline) never costs the session or
+/// its other in-flight requests. The connection is *closed* (never left
+/// hanging) in exactly three hostile cases: a stall timeout (mid-frame,
+/// never-spoke, or never-draining peer — counted in `timeouts`), an
+/// oversized frame (answered with a `bad_request` naming the limit
+/// first), and a transport error.
+fn sweep_conn(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    io_timeout: Option<Duration>,
+    buf: &mut [u8],
+) -> SweepOutcome {
+    let mut progress = false;
+    // 1. Drain the outbox. The reactor owns the write half; producers
+    // only ever append.
+    match conn.shared.outbox.flush_into(&mut conn.stream) {
+        Ok(0) => {}
+        Ok(_) => progress = true,
+        Err(e) if would_block(&e) => {}
+        Err(_) => return SweepOutcome::Close(CloseReason::Transport),
+    }
+    // The write-stall clock runs only while bytes are pending and no
+    // write makes progress; any flushed byte (or an emptied outbox)
+    // resets it.
+    if conn.shared.outbox.is_empty() || progress {
+        conn.write_stalled_since = None;
+    } else if conn.write_stalled_since.is_none() {
+        conn.write_stalled_since = Some(Instant::now());
+    }
+    // 2. A flushed shutdown ack is the signal to actually begin.
+    if conn.shutdown_after_flush && conn.shared.outbox.is_empty() {
+        conn.shutdown_after_flush = false;
+        shared.begin_shutdown();
+        progress = true;
+    }
+    // 3. A connection that answered a fatal frame error closes as soon
+    // as the error frame is out (the write-stall timeout below still
+    // bounds a peer that never drains it).
+    if conn.draining {
+        if conn.shared.outbox.is_empty() {
+            return SweepOutcome::Close(CloseReason::Clean);
+        }
+    } else {
+        // 4. Read whatever is available, unless the connection is
+        // paused (an ordered request or reload in flight: ordering is
+        // preserved by TCP backpressure, not server-side buffering).
+        let paused = conn.shared.paused.load(Ordering::Acquire) || conn.shutdown_after_flush;
+        if !paused && !conn.eof {
+            loop {
+                match conn.stream.read(buf) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        conn.assembler.set_eof();
+                        progress = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.assembler.feed(&buf[..n]);
+                        conn.last_read = Instant::now();
+                        progress = true;
+                        if n < buf.len() || conn.assembler.buffered() >= READ_BURST_MAX {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) if would_block(&e) => break,
+                    Err(_) => return SweepOutcome::Close(CloseReason::Transport),
+                }
+            }
+        }
+        // 5. Dispatch complete frames. The pause flag is re-read every
+        // iteration: dispatching an ordered request pauses the
+        // connection mid-loop and later frames stay buffered until its
+        // reply is ordered ahead of them.
+        while !conn.shared.paused.load(Ordering::Acquire)
+            && !conn.shutdown_after_flush
+            && !conn.draining
+        {
+            match conn.assembler.next_frame() {
+                Ok(Some(line)) => {
+                    progress = true;
+                    conn.spoke = true;
+                    handle_frame(shared, conn, &line);
+                }
+                Ok(None) => break,
+                Err(FrameTooLong { limit }) => {
+                    progress = true;
+                    // The burn happens for the TooLong reply too: it
+                    // answers a frame that never finished arriving.
+                    let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    conn.shared.push(with_trace_id(
+                        error_frame(
+                            KIND_BAD_REQUEST,
+                            &format!("frame exceeds the {limit}-byte limit; closing connection"),
+                        ),
+                        trace,
+                    ));
+                    conn.draining = true;
+                }
+            }
+        }
+        // 6. EOF wind-down. Once the assembler is drained no further
+        // frame can arrive: drop the watch senders (each stream thread
+        // winds down on its own), and close when the outbox is dry and
+        // no worker/stream/reload still holds the connection — their
+        // late replies must still be written first.
+        if conn.eof && conn.assembler.is_drained() {
+            if !conn.watches.is_empty() {
+                conn.watches.clear();
+                progress = true;
+            }
+            if conn.shared.outbox.is_empty() && Arc::strong_count(&conn.shared) == 1 {
+                return SweepOutcome::Close(CloseReason::Clean);
+            }
+        }
+    }
+    // 7. The stall-timeout split. `timeouts` counts peers that are
+    // *stuck* — mid-frame, never completed a first frame, or sitting on
+    // undrained output — never peers that are merely parked: a
+    // connection that has spoken, owes nothing, and is owed nothing may
+    // idle past the timeout forever.
+    if let Some(t) = io_timeout {
+        if conn.write_stalled_since.is_some_and(|s| s.elapsed() >= t) {
+            return SweepOutcome::Close(CloseReason::Timeout);
+        }
+        let paused = conn.shared.paused.load(Ordering::Acquire) || conn.shutdown_after_flush;
+        let awaiting_frame = !conn.eof && !paused && (conn.assembler.has_partial() || !conn.spoke);
+        if awaiting_frame && conn.last_read.elapsed() >= t {
+            return SweepOutcome::Close(CloseReason::Timeout);
+        }
+    }
+    if progress {
+        SweepOutcome::Progress
+    } else {
+        SweepOutcome::Idle
+    }
+}
+
+/// Deregister a connection: count it if it died to the stall timeout,
+/// close its outbox so late producers become no-ops, and drop the
+/// socket and watch senders.
+fn close_conn(shared: &Arc<Shared>, conn: Conn, reason: &CloseReason) {
+    if matches!(reason, CloseReason::Timeout) {
+        shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+        sca_telemetry::counter("serve.timeouts", 1);
+    }
+    conn.shared.outbox.close();
+    shared.conns_active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The exiting reactor's last act: keep flushing already-queued replies
+/// for a bounded grace period, then drop every connection. Workers are
+/// already gone, so the outboxes can only shrink.
+fn final_flush(shared: &Arc<Shared>, mut conns: Vec<Conn>) {
+    let deadline = Instant::now() + FINAL_FLUSH_GRACE;
+    loop {
+        let mut pending = false;
+        conns.retain_mut(|conn| {
+            if conn.shared.outbox.flush_into(&mut conn.stream).is_err() {
+                return false;
+            }
+            if conn.shared.outbox.is_empty() {
+                false
+            } else {
+                pending = true;
+                true
+            }
+        });
+        if !pending || Instant::now() >= deadline {
+            break;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    for conn in &conns {
+        conn.shared.outbox.close();
+    }
+    shared.conns_active.store(0, Ordering::Relaxed);
+}
+
+/// Dispatch one complete frame. Every frame — work, control,
+/// unparseable garbage — burns one trace id, so any response a client
+/// ever sees can be named when reporting a problem.
+fn handle_frame(shared: &Arc<Shared>, conn: &mut Conn, line: &str) {
+    let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed);
+    if line.trim().is_empty() {
+        return;
+    }
+    let parsed = match Json::parse(line) {
+        Err(e) => {
+            conn.shared.push(with_trace_id(
+                error_frame(KIND_BAD_REQUEST, &format!("invalid JSON frame: {e}")),
+                trace,
+            ));
+            return;
+        }
+        Ok(v) => v,
+    };
+    let id = request_id(&parsed);
+    let wants_timings = request_wants_timings(&parsed);
+    let (response, id) = match Request::from_json(&parsed) {
+        Err(e) => (Some(error_frame(KIND_BAD_REQUEST, &e)), id),
+        // Acknowledge shutdown *before* initiating it: once the worker
+        // pool unwinds the whole process may exit (CLI `serve`), and
+        // the ack must not race that exit — so `begin_shutdown` waits
+        // until the sweep sees the ack flushed.
+        Ok(Request::Shutdown) => {
+            let mut frame =
+                with_trace_id(ok_frame(vec![("stopping".into(), Json::Bool(true))]), trace);
+            if let Some(id) = &id {
+                frame = with_request_id(frame, id);
+            }
+            conn.shared.push(frame);
+            conn.shutdown_after_flush = true;
+            (None, None)
+        }
+        // Watch streams are per-connection state, so the three stream
+        // commands are routed here. Pushed events flow from the stream
+        // thread straight into the outbox; only the open ack (and
+        // routing failures) answer inline.
+        Ok(Request::Watch {
+            name,
+            program,
+            victim,
+            increment,
+            threshold,
+            sustain,
+            deadline_ms,
+        }) => {
+            let open = WatchOpen {
+                name,
+                program,
+                victim,
+                increment,
+                threshold,
+                sustain,
+                deadline_ms,
+            };
+            (
+                Some(start_watch(
+                    shared,
+                    &conn.shared,
+                    &mut conn.watches,
+                    trace,
+                    open,
+                )),
+                id,
+            )
+        }
+        Ok(Request::WatchPush { stream, increments }) => {
+            let cmd = WatchCmd::Push {
+                increments,
+                trace,
+                id: id.clone(),
+            };
+            (route_watch_cmd(&mut conn.watches, stream, cmd), id)
+        }
+        Ok(Request::WatchFinish { stream }) => {
+            let cmd = WatchCmd::Finish {
+                trace,
+                id: id.clone(),
+            };
+            let response = route_watch_cmd(&mut conn.watches, stream, cmd);
+            // Finish closes the stream either way: a successfully
+            // routed finish ends the thread, and a routing failure
+            // means it is already gone.
+            conn.watches.remove(&stream);
+            (response, id)
+        }
+        // Reload rebuilds a whole detector — far too slow for the
+        // reactor thread. It runs on a transient thread with the
+        // connection paused, preserving the old inline ordering.
+        Ok(Request::ReloadRepo { path }) => {
+            submit_reload(shared, &conn.shared, trace, id, path);
+            (None, None)
+        }
+        // Tagged work is pipelined: admitted without pausing, answered
+        // whenever it completes, possibly out of order.
+        Ok(
+            work @ (Request::Classify { .. }
+            | Request::ClassifyBatch { .. }
+            | Request::Model { .. }),
+        ) if id.is_some() => {
+            let id = id.expect("guarded by is_some");
+            submit_pipelined(work, shared, trace, wants_timings, id, &conn.shared);
+            (None, None)
+        }
+        // Untagged work keeps one-in-one-out ordering by pausing the
+        // connection until the worker's reply is in the outbox.
+        Ok(
+            work @ (Request::Classify { .. }
+            | Request::ClassifyBatch { .. }
+            | Request::Model { .. }),
+        ) => {
+            submit_ordered(work, shared, trace, wants_timings, &conn.shared);
+            (None, None)
+        }
+        Ok(req) => (Some(dispatch(req, shared)), id),
+    };
+    if let Some(frame) = response {
+        let mut frame = with_trace_id(frame, trace);
+        if let Some(id) = &id {
+            frame = with_request_id(frame, id);
+        }
+        conn.shared.push(frame);
+    }
+}
+
+/// Answer a control request inline on the reactor; these are all cheap
+/// snapshots (no model building, no scanning).
+fn dispatch(request: Request, shared: &Arc<Shared>) -> Json {
     match request {
         Request::Ping => ok_frame(vec![
             ("pong".into(), Json::Bool(true)),
@@ -878,21 +1398,13 @@ fn dispatch(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: b
         Request::Stats => stats_frame(shared),
         Request::Metrics => metrics_frame(shared),
         Request::Flight => flight_frame(shared),
-        Request::ReloadRepo { path } => reload_repo(shared, path.as_deref()),
-        // Intercepted by the connection handler (the ack must be written
-        // before shutdown begins); kept for completeness.
-        Request::Shutdown => ok_frame(vec![("stopping".into(), Json::Bool(true))]),
-        // Intercepted by the connection handler (streams are
-        // per-connection state); kept for exhaustiveness.
-        Request::Watch { .. } | Request::WatchPush { .. } | Request::WatchFinish { .. } => {
-            error_frame(
-                KIND_BAD_REQUEST,
-                "watch commands are only valid on the connection that opened the stream",
-            )
-        }
-        work @ (Request::Classify { .. }
-        | Request::ClassifyBatch { .. }
-        | Request::Model { .. }) => submit(work, shared, trace, wants_timings),
+        // Every other request is routed by `handle_frame` before it can
+        // reach here; answer defensively rather than panicking the
+        // reactor if that routing ever regresses.
+        _ => error_frame(
+            KIND_INTERNAL_ERROR,
+            "request routed to the inline dispatcher by mistake",
+        ),
     }
 }
 
@@ -912,6 +1424,10 @@ fn stats_frame(shared: &Arc<Shared>) -> Json {
                 ("reloads".into(), num(s.reloads)),
                 ("panics".into(), num(s.panics)),
                 ("timeouts".into(), num(s.timeouts)),
+                ("accept_errors".into(), num(s.accept_errors)),
+                ("conns_rejected".into(), num(s.conns_rejected)),
+                ("spawn_errors".into(), num(s.spawn_errors)),
+                ("conns_active".into(), num(s.conns_active)),
                 ("queue_depth".into(), num(shared.queue.depth() as u64)),
                 ("queue_capacity".into(), num(shared.queue.capacity() as u64)),
                 ("in_flight".into(), num(s.in_flight)),
@@ -961,6 +1477,7 @@ fn live_gauges(shared: &Arc<Shared>) -> Vec<(String, u64)> {
             "serve.streams_active".into(),
             shared.streams_active.load(Ordering::Relaxed),
         ),
+        ("serve.conns_active".into(), s.conns_active),
     ];
     for (i, pool) in shared.shard_pools.iter().enumerate() {
         gauges.push((
@@ -1137,7 +1654,7 @@ struct StreamEnd {
 /// idle watchers starve classify traffic.
 fn start_watch(
     shared: &Arc<Shared>,
-    out: &mpsc::Sender<OutMsg>,
+    out: &Arc<ConnShared>,
     watches: &mut HashMap<u64, mpsc::Sender<WatchCmd>>,
     stream_id: u64,
     open: WatchOpen,
@@ -1180,7 +1697,7 @@ fn start_watch(
     let stream = WatchStream {
         shared: Arc::clone(shared),
         repo: Arc::clone(&repo),
-        out: out.clone(),
+        out: Arc::clone(out),
         stream_id,
         program,
         victim,
@@ -1193,6 +1710,8 @@ fn start_watch(
         .spawn(move || stream.run(cmd_rx))
         .is_err()
     {
+        shared.counters.spawn_errors.fetch_add(1, Ordering::Relaxed);
+        sca_telemetry::counter("serve.spawn_errors", 1);
         return error_frame(KIND_INTERNAL_ERROR, "cannot spawn a stream thread");
     }
     watches.insert(stream_id, cmd_tx);
@@ -1235,11 +1754,11 @@ fn route_watch_cmd(
 }
 
 /// One live watch stream: an online [`StreamSession`] plus the plumbing
-/// to push its events to the connection's writer (DESIGN.md §17).
+/// to push its events into the connection's outbox (DESIGN.md §17).
 struct WatchStream {
     shared: Arc<Shared>,
     repo: Arc<RepoState>,
-    out: mpsc::Sender<OutMsg>,
+    out: Arc<ConnShared>,
     stream_id: u64,
     program: sca_isa::Program,
     victim: Victim,
@@ -1290,15 +1809,15 @@ impl WatchStream {
             .map(|ms| Instant::now() + Duration::from_millis(ms))
     }
 
-    /// Decorate an event with the triggering frame's ids and push it to
-    /// the writer. Failures are ignored: a gone writer means a gone
-    /// connection, and the recv loop will see the disconnect next.
+    /// Decorate an event with the triggering frame's ids and push it
+    /// into the outbox. A closed outbox means a gone connection and the
+    /// push is a silent no-op; the recv loop sees the disconnect next.
     fn emit(&self, trace: u64, id: Option<&Json>, frame: Json) {
         let mut frame = with_trace_id(frame, trace);
         if let Some(id) = id {
             frame = with_request_id(frame, id);
         }
-        let _ = self.out.send(OutMsg::Frame(frame));
+        self.out.push(frame);
     }
 
     fn serve_stream(&self, cmds: mpsc::Receiver<WatchCmd>) -> StreamEnd {
@@ -1649,39 +2168,84 @@ fn admit(
     }
 }
 
-/// Admit a work request and wait for the worker's reply — the classic
-/// blocking path for untagged requests.
-fn submit(request: Request, shared: &Arc<Shared>, trace: u64, wants_timings: bool) -> Json {
-    let (tx, rx) = mpsc::channel();
-    if let Err(frame) = admit(request, shared, trace, wants_timings, Reply::Sync(tx)) {
-        return frame;
-    }
-    match rx.recv() {
-        Ok(frame) => frame,
-        // The worker pool exited with the job still queued (shutdown
-        // race): the sender side was dropped without an answer.
-        Err(_) => error_frame(KIND_SHUTTING_DOWN, "server is shutting down"),
+/// Admit an untagged work request with one-in-one-out ordering: pause
+/// the connection first (the reactor stops reading and parsing it),
+/// then admit — the worker pushes the decorated reply and lifts the
+/// pause. Admission failures answer immediately and unpause.
+fn submit_ordered(
+    request: Request,
+    shared: &Arc<Shared>,
+    trace: u64,
+    wants_timings: bool,
+    out: &Arc<ConnShared>,
+) {
+    out.paused.store(true, Ordering::Release);
+    let reply = Reply::Ordered {
+        conn: Arc::clone(out),
+    };
+    if let Err(frame) = admit(request, shared, trace, wants_timings, reply) {
+        out.push_and_unpause(with_trace_id(frame, trace));
     }
 }
 
-/// Admit a tagged work request without blocking the connection's
-/// reader: the worker's (decorated) reply goes straight to the writer
-/// thread. Admission failures answer immediately, also via the writer.
+/// Admit a tagged work request without pausing the connection: the
+/// worker's (decorated) reply lands in the outbox whenever it
+/// completes, possibly overtaking other in-flight work. Admission
+/// failures answer immediately, also via the outbox.
 fn submit_pipelined(
     request: Request,
     shared: &Arc<Shared>,
     trace: u64,
     wants_timings: bool,
     id: Json,
-    out: &mpsc::Sender<OutMsg>,
+    out: &Arc<ConnShared>,
 ) {
     let reply = Reply::Pipelined {
-        out: out.clone(),
+        conn: Arc::clone(out),
         id: id.clone(),
     };
     if let Err(frame) = admit(request, shared, trace, wants_timings, reply) {
-        let frame = with_request_id(with_trace_id(frame, trace), &id);
-        let _ = out.send(OutMsg::Frame(frame));
+        out.push(with_request_id(with_trace_id(frame, trace), &id));
+    }
+}
+
+/// Run `reload-repo` on a transient thread with the connection paused:
+/// rebuilding a detector is far too slow for the reactor thread, and
+/// the pause preserves the old inline ordering (no later frame on this
+/// connection is answered before the reload's own reply). A spawn
+/// failure is surfaced as a structured `internal_error`, never
+/// silenced.
+fn submit_reload(
+    shared: &Arc<Shared>,
+    out: &Arc<ConnShared>,
+    trace: u64,
+    id: Option<Json>,
+    path: Option<String>,
+) {
+    out.paused.store(true, Ordering::Release);
+    let shared2 = Arc::clone(shared);
+    let out2 = Arc::clone(out);
+    let id2 = id.clone();
+    let spawned = thread::Builder::new()
+        .name("sca-serve-reload".into())
+        .spawn(move || {
+            let mut frame = with_trace_id(reload_repo(&shared2, path.as_deref()), trace);
+            if let Some(id) = &id2 {
+                frame = with_request_id(frame, id);
+            }
+            out2.push_and_unpause(frame);
+        });
+    if spawned.is_err() {
+        shared.counters.spawn_errors.fetch_add(1, Ordering::Relaxed);
+        sca_telemetry::counter("serve.spawn_errors", 1);
+        let mut frame = with_trace_id(
+            error_frame(KIND_INTERNAL_ERROR, "cannot spawn the reload thread"),
+            trace,
+        );
+        if let Some(id) = &id {
+            frame = with_request_id(frame, id);
+        }
+        out.push_and_unpause(frame);
     }
 }
 
@@ -1879,14 +2443,14 @@ fn worker_loop(shared: &Arc<Shared>) {
         // still in flight. `busy_workers` stays eventually consistent
         // (decremented after the send) by the same documentation.
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-        // A handler (or writer) that hung up makes these no-ops.
+        // A connection that went away closed its outbox; these are
+        // no-ops there.
         match &job.reply {
-            Reply::Sync(tx) => {
-                let _ = tx.send(frame);
+            Reply::Ordered { conn } => {
+                conn.push_and_unpause(with_trace_id(frame, job.trace_id));
             }
-            Reply::Pipelined { out, id } => {
-                let frame = with_request_id(with_trace_id(frame, job.trace_id), id);
-                let _ = out.send(OutMsg::Frame(frame));
+            Reply::Pipelined { conn, id } => {
+                conn.push(with_request_id(with_trace_id(frame, job.trace_id), id));
             }
         }
         shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
@@ -2243,4 +2807,37 @@ fn execute(shared: &Arc<Shared>, job: &Job, stages: &mut Stages) -> Json {
     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
     sca_telemetry::counter("serve.completed", 1);
     frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // EMFILE cannot be injected into an in-process listener, so the
+    // backoff schedule — the part that turns a hot loop into a bounded
+    // retry — is pinned directly.
+    #[test]
+    fn accept_backoff_starts_small_doubles_and_caps() {
+        let first = next_accept_backoff(None);
+        assert_eq!(first, ACCEPT_BACKOFF_MIN);
+        let mut d = first;
+        let mut steps = 0;
+        while d < ACCEPT_BACKOFF_MAX {
+            let next = next_accept_backoff(Some(d));
+            assert_eq!(next, (d * 2).min(ACCEPT_BACKOFF_MAX));
+            d = next;
+            steps += 1;
+            assert!(steps < 64, "backoff never reached its ceiling");
+        }
+        assert_eq!(d, ACCEPT_BACKOFF_MAX);
+        // Saturated: further errors stay at the ceiling.
+        assert_eq!(next_accept_backoff(Some(d)), ACCEPT_BACKOFF_MAX);
+    }
+
+    #[test]
+    fn accept_backoff_resets_by_passing_none() {
+        let saturated = next_accept_backoff(Some(ACCEPT_BACKOFF_MAX));
+        assert_eq!(saturated, ACCEPT_BACKOFF_MAX);
+        assert_eq!(next_accept_backoff(None), ACCEPT_BACKOFF_MIN);
+    }
 }

@@ -1,0 +1,181 @@
+//! Connection-lifecycle limits: the `--max-connections` cap and the
+//! io-timeout's read-stall / idle-parked split.
+//!
+//! The cap must refuse the N+1th peer with one structured `overloaded`
+//! frame and a clean close — never a silent drop, never an unbounded
+//! registry — and must free a slot the moment a capped connection goes
+//! away. The timeout must kill a peer stalled mid-frame (the stream can
+//! never be resynchronized) while leaving a parked idle connection —
+//! one that completed a frame and owes nothing — alone forever.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use sca_serve::protocol::{error_kind, is_ok, KIND_OVERLOADED};
+use sca_serve::{spawn, ServeConfig, ServerHandle};
+use sca_telemetry::Json;
+use scaguard::{save_repository, ModelRepository, ModelingConfig};
+
+/// A one-family repository is enough: these tests exercise the
+/// connection layer, not the detector.
+fn repo_path() -> &'static PathBuf {
+    static REPO: OnceLock<PathBuf> = OnceLock::new();
+    REPO.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("sca-limits-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let params = sca_attacks::poc::PocParams::default();
+        let sample =
+            sca_attacks::poc::representative(sca_attacks::AttackFamily::FlushReload, &params);
+        let mut repo = ModelRepository::new();
+        repo.add_poc(
+            sca_attacks::AttackFamily::FlushReload,
+            &sample.program,
+            &sample.victim,
+            &ModelingConfig::default(),
+        )
+        .expect("model poc");
+        let path = dir.join("one.repo");
+        save_repository(&repo, &path).expect("save repo");
+        path
+    })
+}
+
+fn serve(configure: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let mut config = ServeConfig::new(repo_path());
+    config.workers = 1;
+    configure(&mut config);
+    spawn(config).expect("spawn server")
+}
+
+/// Connect and complete one ping round-trip, proving the server
+/// registered (and is answering) this connection.
+fn connect_and_ping(addr: SocketAddr) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    let mut reader = BufReader::new(stream);
+    ping(&mut reader).expect("ping");
+    reader
+}
+
+fn ping(reader: &mut BufReader<TcpStream>) -> Result<(), String> {
+    reader
+        .get_mut()
+        .write_all(b"{\"cmd\":\"ping\"}\n")
+        .map_err(|e| format!("write: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read: {e}"))?;
+    let frame = Json::parse(&line).map_err(|e| format!("parse: {e}"))?;
+    if is_ok(&frame) {
+        Ok(())
+    } else {
+        Err(format!("refused: {frame}"))
+    }
+}
+
+#[test]
+fn the_connection_cap_refuses_with_a_structured_frame_and_frees_on_close() {
+    let cap = 8usize;
+    let handle = serve(|c| c.max_connections = Some(cap));
+    let addr = handle.addr();
+
+    // Fill the cap. Each ping round-trip proves the reactor registered
+    // the connection before the next one arrives.
+    let mut held: Vec<BufReader<TcpStream>> = (0..cap).map(|_| connect_and_ping(addr)).collect();
+    assert_eq!(handle.stats().conns_active, cap as u64);
+
+    // The peer over the cap gets exactly one structured `overloaded`
+    // frame, then EOF — a clean close, not a hang or a reset.
+    let over = TcpStream::connect(addr).expect("connect over cap");
+    over.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    let mut over = BufReader::new(over);
+    let mut line = String::new();
+    over.read_line(&mut line).expect("read rejection");
+    let frame = Json::parse(&line).expect("parse rejection");
+    assert_eq!(
+        error_kind(&frame),
+        Some(KIND_OVERLOADED),
+        "expected an overloaded rejection, got: {frame}"
+    );
+    assert!(frame.get("trace_id").is_some(), "rejection has no trace id");
+    let mut rest = Vec::new();
+    over.read_to_end(&mut rest).expect("read to EOF");
+    assert!(rest.is_empty(), "bytes after the rejection frame: {rest:?}");
+
+    let stats = handle.stats();
+    assert!(stats.conns_rejected >= 1, "conns_rejected never counted");
+    assert_eq!(stats.conns_active, cap as u64);
+
+    // Closing one held connection frees its slot; a retrying peer gets
+    // in once the reactor notices the close.
+    drop(held.pop());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stream = TcpStream::connect(addr).expect("reconnect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("set read timeout");
+        let mut reader = BufReader::new(stream);
+        match ping(&mut reader) {
+            Ok(()) => {
+                held.push(reader);
+                break;
+            }
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("slot never freed after close: {e}"),
+        }
+    }
+
+    drop(held);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn a_peer_stalled_mid_frame_is_disconnected_and_counted() {
+    let handle = serve(|c| c.io_timeout_ms = Some(300));
+    let addr = handle.addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    // Half a frame, then silence: the stream can never resynchronize,
+    // so the stall timeout must kill it.
+    stream.write_all(b"{\"cmd\":\"pi").expect("write partial");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read to EOF");
+    assert!(
+        rest.is_empty(),
+        "unexpected bytes on a stalled conn: {rest:?}"
+    );
+    assert_eq!(handle.stats().timeouts, 1, "mid-frame stall not counted");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn a_parked_idle_connection_outlives_the_io_timeout() {
+    let handle = serve(|c| c.io_timeout_ms = Some(300));
+    let addr = handle.addr();
+    let mut reader = connect_and_ping(addr);
+    // Idle for >3x the timeout. The connection completed a frame and
+    // owes nothing: it parks, and the timeout must not touch it.
+    std::thread::sleep(Duration::from_millis(1000));
+    ping(&mut reader).expect("parked connection died");
+    assert_eq!(
+        handle.stats().timeouts,
+        0,
+        "a parked idle connection was counted as a timeout"
+    );
+    handle.shutdown();
+    handle.join();
+}

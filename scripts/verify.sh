@@ -236,4 +236,66 @@ grep -q 'benign' "$OBS_DIR/watch-benign.txt" \
 kill "$OBS_PID" 2>/dev/null || true
 OBS_PID=""
 
+echo "==> reactor smoke"
+# The event-driven connection layer end to end: a release server holds a
+# fleet of idle parked connections (threads stay O(workers); the fleet
+# example fails if any connection is refused or dropped) while classify,
+# stats, and watch traffic interleaves on fresh connections, and the
+# conns_active gauge must count the herd. The chaos suite and the
+# serve_bench exactness checks above already gate the same layer's
+# fault and clean paths.
+FLEET_N=256
+./target/release/scaguard serve "$OBS_DIR/pocs.repo" --metrics \
+    --max-connections 4096 > "$OBS_DIR/reactor.log" 2>&1 &
+OBS_PID=$!
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR="$(sed -n 's/^listening on //p' "$OBS_DIR/reactor.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "reactor smoke: server never came up"; exit 1; }
+
+cargo run -p sca-serve --release --offline --example idle_fleet -- \
+    "$ADDR" "$FLEET_N" 30 > "$OBS_DIR/fleet.log" 2>&1 &
+FLEET_PID=$!
+i=0
+while [ $i -lt 300 ]; do
+    grep -q "^held $FLEET_N connections" "$OBS_DIR/fleet.log" && break
+    kill -0 "$FLEET_PID" 2>/dev/null \
+        || { echo "reactor smoke: fleet exited early"; cat "$OBS_DIR/fleet.log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q "^held $FLEET_N connections" "$OBS_DIR/fleet.log" \
+    || { echo "reactor smoke: fleet never parked"; exit 1; }
+
+# Work traffic flows between the parked herd, byte-identical as ever.
+./target/release/scaguard submit "$OBS_DIR/target.sasm" --addr "$ADDR" \
+    --json > "$OBS_DIR/reactor-submit.json"
+./target/release/scaguard classify "$OBS_DIR/target.sasm" \
+    --repo "$OBS_DIR/pocs.repo" --json > "$OBS_DIR/reactor-offline.json"
+cmp -s "$OBS_DIR/reactor-submit.json" "$OBS_DIR/reactor-offline.json" \
+    || { echo "reactor smoke: wire detection diverges under the idle herd"; exit 1; }
+
+./target/release/scaguard watch "$OBS_DIR/poc-asm/FR-F.sasm" --addr "$ADDR" \
+    --victim shared:3 > "$OBS_DIR/reactor-watch.txt" 2>/dev/null
+grep -q '^trace complete' "$OBS_DIR/reactor-watch.txt" \
+    || { echo "reactor smoke: watch stream died under the idle herd"; exit 1; }
+
+./target/release/scaguard stats --addr "$ADDR" > "$OBS_DIR/reactor-stats.txt"
+awk -v n="$FLEET_N" \
+    '$1 == "serve.conns_active" && $2 + 0 >= n { found = 1 } END { exit !found }' \
+    "$OBS_DIR/reactor-stats.txt" \
+    || { echo "reactor smoke: serve.conns_active does not count the herd"; exit 1; }
+awk '$1 == "serve.timeouts" && $2 + 0 > 0 { bad = 1 } END { exit bad }' \
+    "$OBS_DIR/reactor-stats.txt" \
+    || { echo "reactor smoke: parked connections were timed out"; exit 1; }
+
+kill "$FLEET_PID" 2>/dev/null || true
+kill "$OBS_PID" 2>/dev/null || true
+OBS_PID=""
+
 echo "verify: OK"

@@ -74,7 +74,8 @@ fn usage() -> &'static str {
   scaguard serve <repo-file> [--addr <host:port>] [--workers <n>]
           [--shards <n>] [--queue-depth <n>] [--deadline-ms <n>]
           [--threshold <0..1>] [--io-timeout-ms <n>] [--metrics]
-          [--flight-capacity <n>] [--slow-ms <n>] [--slow-log <out.jsonl>]
+          [--max-connections <n>] [--flight-capacity <n>] [--slow-ms <n>]
+          [--slow-log <out.jsonl>]
       run the resident detection service on the repository: newline-
       delimited JSON over TCP (classify, classify-batch, model,
       reload-repo, stats, metrics, flight, shutdown), bounded admission
@@ -85,7 +86,11 @@ fn usage() -> &'static str {
       classify across them (default 1) — detections are byte-identical
       at any shard count; --io-timeout-ms disconnects a client that
       stalls mid-frame or never drains responses (default 30000; 0
-      disables); --metrics enables the telemetry registry so `metrics`
+      disables) — idle connections that completed a frame park free of
+      charge and are never timed out; --max-connections caps concurrent
+      connections (beyond it a peer gets one `overloaded` frame and a
+      clean close; 0 or unset = unlimited); --metrics enables the
+      telemetry registry so `metrics`
       reports counters/histograms and spans carry trace ids; requests
       slower than --slow-ms dump their summary and span tree to
       --slow-log (JSONL; 0 dumps everything); --flight-capacity sizes
@@ -149,6 +154,7 @@ struct Options {
     queue_depth: usize,
     deadline_ms: Option<u64>,
     io_timeout_ms: Option<u64>,
+    max_connections: Option<usize>,
     retries: u32,
     timings: bool,
     watch: bool,
@@ -182,6 +188,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         queue_depth: 64,
         deadline_ms: None,
         io_timeout_ms: Some(30_000),
+        max_connections: None,
         retries: 0,
         timings: false,
         watch: false,
@@ -268,6 +275,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad io timeout: {e}"))?;
                 opts.io_timeout_ms = (ms > 0).then_some(ms);
+            }
+            "--max-connections" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--max-connections needs a count (0 removes the cap)")?
+                    .parse()
+                    .map_err(|e| format!("bad connection cap: {e}"))?;
+                opts.max_connections = (n > 0).then_some(n);
             }
             "--retries" => {
                 opts.retries = it
@@ -571,6 +586,7 @@ fn cmd_serve(repo: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
     config.deadline_ms = opts.deadline_ms;
     config.threshold = opts.threshold;
     config.io_timeout_ms = opts.io_timeout_ms;
+    config.max_connections = opts.max_connections;
     config.metrics = opts.metrics;
     config.flight_capacity = opts.flight_capacity;
     config.slow_ms = opts.slow_ms;
